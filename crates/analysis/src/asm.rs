@@ -1,0 +1,306 @@
+//! A small x86-like instruction and module model, plus a textual parser.
+//!
+//! The model keeps exactly the information the paper's analyses need: the
+//! mnemonic, whether the instruction carries a `LOCK` prefix, its operands
+//! (registers, immediates and symbolic memory references), the symbol the
+//! memory operand refers to, and the source line the debug information maps
+//! the instruction to (the paper's Ruby script uses the same mapping to drive
+//! the source-level refactoring).
+
+use serde::{Deserialize, Serialize};
+
+/// A symbolic memory reference: `symbol(+offset)` — e.g. `spinlock+4`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// The symbol (variable name or abstract heap object) being addressed.
+    pub symbol: String,
+    /// Byte offset from the symbol.
+    pub offset: i64,
+    /// Whether the access is naturally aligned for its width.
+    pub aligned: bool,
+}
+
+impl MemRef {
+    /// Creates an aligned reference to `symbol`.
+    pub fn to(symbol: &str) -> Self {
+        MemRef {
+            symbol: symbol.to_string(),
+            offset: 0,
+            aligned: true,
+        }
+    }
+
+    /// Creates a reference with an offset.
+    pub fn with_offset(symbol: &str, offset: i64) -> Self {
+        MemRef {
+            symbol: symbol.to_string(),
+            offset,
+            aligned: offset % 8 == 0,
+        }
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register.
+    Reg(String),
+    /// An immediate value.
+    Imm(i64),
+    /// A memory reference.
+    Mem(MemRef),
+}
+
+impl Operand {
+    /// The memory reference, if this operand is one.
+    pub fn mem(&self) -> Option<&MemRef> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Lower-case mnemonic (`mov`, `cmpxchg`, `xchg`, `add`, ...).
+    pub mnemonic: String,
+    /// Whether the instruction carries a `LOCK` prefix.
+    pub lock_prefix: bool,
+    /// Operands, destination first (AT&T order is normalized by the parser).
+    pub operands: Vec<Operand>,
+    /// Source line from the debug information (0 when unknown).
+    pub source_line: u32,
+    /// The function the instruction belongs to.
+    pub function: String,
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    pub fn new(mnemonic: &str, lock_prefix: bool, operands: Vec<Operand>) -> Self {
+        Instruction {
+            mnemonic: mnemonic.to_lowercase(),
+            lock_prefix,
+            operands,
+            source_line: 0,
+            function: String::new(),
+        }
+    }
+
+    /// Sets the source line (builder style).
+    pub fn at_line(mut self, line: u32) -> Self {
+        self.source_line = line;
+        self
+    }
+
+    /// Sets the enclosing function (builder style).
+    pub fn in_function(mut self, function: &str) -> Self {
+        self.function = function.to_string();
+        self
+    }
+
+    /// The first memory operand, if any.
+    pub fn memory_operand(&self) -> Option<&MemRef> {
+        self.operands.iter().find_map(Operand::mem)
+    }
+
+    /// Whether this is an ordinary aligned load or store (`mov` family with a
+    /// memory operand) — a *candidate* type-iii sync op.
+    pub fn is_aligned_load_store(&self) -> bool {
+        matches!(self.mnemonic.as_str(), "mov" | "movl" | "movq" | "movb" | "movw")
+            && self.memory_operand().map(|m| m.aligned).unwrap_or(false)
+    }
+}
+
+/// A compiled module (a program binary or a shared library).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (e.g. `libc-2.19.so`).
+    pub name: String,
+    /// All instructions, in layout order.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: &str) -> Self {
+        Module {
+            name: name.to_string(),
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Appends an instruction and returns its index.
+    pub fn push(&mut self, instruction: Instruction) -> usize {
+        self.instructions.push(instruction);
+        self.instructions.len() - 1
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the module has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Parses a toy AT&T-flavoured listing, one instruction per line:
+    ///
+    /// ```text
+    /// # comment
+    /// fn spinlock_lock
+    /// lock cmpxchg %ecx, spinlock      ; line 4
+    /// mov $0, spinlock                 ; line 9
+    /// xchg %eax, futex_word
+    /// ```
+    ///
+    /// `fn NAME` switches the current function; `; line N` attaches debug
+    /// info.  Operands starting with `%` are registers, with `$` immediates,
+    /// anything else is a symbolic memory reference (`symbol+offset`).
+    pub fn parse(name: &str, listing: &str) -> Self {
+        let mut module = Module::new(name);
+        let mut current_fn = String::from("unknown");
+        for raw in listing.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("fn ") {
+                current_fn = rest.trim().to_string();
+                continue;
+            }
+            let (code, meta) = match line.split_once(';') {
+                Some((c, m)) => (c.trim(), m.trim()),
+                None => (line, ""),
+            };
+            let source_line = meta
+                .strip_prefix("line ")
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0);
+            let mut tokens = code.split_whitespace();
+            let first = match tokens.next() {
+                Some(t) => t,
+                None => continue,
+            };
+            let (lock, mnemonic) = if first.eq_ignore_ascii_case("lock") {
+                (true, tokens.next().unwrap_or("nop").to_string())
+            } else {
+                (false, first.to_string())
+            };
+            let rest: String = tokens.collect::<Vec<_>>().join(" ");
+            let operands = rest
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(Self::parse_operand)
+                .collect();
+            module.push(
+                Instruction::new(&mnemonic, lock, operands)
+                    .at_line(source_line)
+                    .in_function(&current_fn),
+            );
+        }
+        module
+    }
+
+    fn parse_operand(text: &str) -> Operand {
+        if let Some(reg) = text.strip_prefix('%') {
+            return Operand::Reg(reg.to_string());
+        }
+        if let Some(imm) = text.strip_prefix('$') {
+            return Operand::Imm(imm.parse().unwrap_or(0));
+        }
+        // symbol or symbol+offset / symbol-offset
+        if let Some((sym, off)) = text.split_once('+') {
+            let offset = off.parse().unwrap_or(0);
+            return Operand::Mem(MemRef::with_offset(sym, offset));
+        }
+        if let Some((sym, off)) = text.rsplit_once('-') {
+            if let Ok(off) = off.parse::<i64>() {
+                return Operand::Mem(MemRef::with_offset(sym, -off));
+            }
+        }
+        Operand::Mem(MemRef::to(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING: &str = r#"
+# A spinlock and its unlock.
+fn spinlock_lock
+lock cmpxchg %ecx, spinlock   ; line 4
+fn spinlock_unlock
+mov $0, spinlock              ; line 9
+fn other
+xchg %eax, exchange_word
+mov %eax, plain_data
+add %eax, %ebx
+"#;
+
+    #[test]
+    fn parser_extracts_instructions_and_functions() {
+        let m = Module::parse("test.so", LISTING);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.instructions[0].mnemonic, "cmpxchg");
+        assert!(m.instructions[0].lock_prefix);
+        assert_eq!(m.instructions[0].function, "spinlock_lock");
+        assert_eq!(m.instructions[0].source_line, 4);
+        assert_eq!(m.instructions[1].mnemonic, "mov");
+        assert!(!m.instructions[1].lock_prefix);
+        assert_eq!(m.instructions[1].source_line, 9);
+        assert_eq!(m.instructions[2].mnemonic, "xchg");
+    }
+
+    #[test]
+    fn memory_operands_resolve_symbols_and_offsets() {
+        let m = Module::parse("t", "mov %eax, buffer+16\nmov %eax, counter");
+        assert_eq!(
+            m.instructions[0].memory_operand(),
+            Some(&MemRef::with_offset("buffer", 16))
+        );
+        assert_eq!(
+            m.instructions[1].memory_operand(),
+            Some(&MemRef::to("counter"))
+        );
+    }
+
+    #[test]
+    fn aligned_load_store_detection() {
+        let m = Module::parse("t", "mov %eax, word\nadd %eax, word\nmov %eax, %ebx");
+        assert!(m.instructions[0].is_aligned_load_store());
+        assert!(!m.instructions[1].is_aligned_load_store(), "add is not a mov");
+        assert!(
+            !m.instructions[2].is_aligned_load_store(),
+            "register-only mov has no memory operand"
+        );
+    }
+
+    #[test]
+    fn unaligned_offsets_are_not_aligned_references() {
+        let r = MemRef::with_offset("x", 4);
+        assert!(!r.aligned);
+        let r8 = MemRef::with_offset("x", 8);
+        assert!(r8.aligned);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let m = Module::parse("t", "\n# nothing here\n\nnop\n");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.instructions[0].mnemonic, "nop");
+    }
+
+    #[test]
+    fn register_and_immediate_operands_parse() {
+        let m = Module::parse("t", "mov $42, %eax");
+        assert_eq!(m.instructions[0].operands[0], Operand::Imm(42));
+        assert_eq!(m.instructions[0].operands[1], Operand::Reg("eax".into()));
+        assert!(m.instructions[0].memory_operand().is_none());
+    }
+}

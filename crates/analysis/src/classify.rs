@@ -1,0 +1,177 @@
+//! Stage 1: classifying instructions into the paper's sync-op types.
+//!
+//! * **Type (i)** — instructions with an explicit `LOCK` prefix.
+//! * **Type (ii)** — `XCHG` instructions, which are implicitly locked on x86.
+//! * **Type (iii)** — aligned loads/stores of variables that are *also*
+//!   accessed by type (i)/(ii) instructions somewhere in the program (these
+//!   are only confirmed by stage 2's points-to analysis; stage 1 merely
+//!   collects the candidates).
+//!
+//! The per-module [`SyncOpReport`] is the row format of the paper's Table 3.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asm::Module;
+
+/// The paper's sync-op classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncOpClass {
+    /// Type (i): explicit `LOCK` prefix.
+    LockPrefixed,
+    /// Type (ii): `XCHG` (implicit lock).
+    Exchange,
+    /// Type (iii): aligned load/store that may alias a type (i)/(ii) operand.
+    AlignedLoadStore,
+}
+
+impl SyncOpClass {
+    /// Table-3 column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyncOpClass::LockPrefixed => "(i)",
+            SyncOpClass::Exchange => "(ii)",
+            SyncOpClass::AlignedLoadStore => "(iii)",
+        }
+    }
+}
+
+/// Stage-1 result for one module.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncOpReport {
+    /// Module name.
+    pub module: String,
+    /// Indices of type (i) instructions.
+    pub type_i: Vec<usize>,
+    /// Indices of type (ii) instructions.
+    pub type_ii: Vec<usize>,
+    /// Indices of *confirmed* type (iii) instructions (filled in by stage 2).
+    pub type_iii: Vec<usize>,
+    /// Indices of aligned load/store instructions that are candidates for
+    /// type (iii) (input to stage 2).
+    pub type_iii_candidates: Vec<usize>,
+    /// The synchronization-variable symbols named by type (i)/(ii) operands.
+    pub sync_symbols: BTreeSet<String>,
+}
+
+impl SyncOpReport {
+    /// Total number of confirmed sync ops.
+    pub fn total(&self) -> usize {
+        self.type_i.len() + self.type_ii.len() + self.type_iii.len()
+    }
+
+    /// Counts as a `(i, ii, iii)` triple — one row of Table 3.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.type_i.len(), self.type_ii.len(), self.type_iii.len())
+    }
+
+    /// All confirmed sync-op instruction indices, ascending.
+    pub fn all_sync_ops(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .type_i
+            .iter()
+            .chain(self.type_ii.iter())
+            .chain(self.type_iii.iter())
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Runs stage 1 over a module.
+///
+/// The returned report has `type_i`, `type_ii`, the type (iii) *candidates*
+/// and the set of synchronization-variable symbols; `type_iii` itself is
+/// empty until [`stage2::identify_sync_ops`](crate::stage2::identify_sync_ops)
+/// confirms candidates with a points-to analysis.
+pub fn classify_module(module: &Module) -> SyncOpReport {
+    let mut report = SyncOpReport {
+        module: module.name.clone(),
+        ..Default::default()
+    };
+    for (idx, ins) in module.instructions.iter().enumerate() {
+        if ins.lock_prefix {
+            report.type_i.push(idx);
+            if let Some(mem) = ins.memory_operand() {
+                report.sync_symbols.insert(mem.symbol.clone());
+            }
+        } else if ins.mnemonic == "xchg" {
+            report.type_ii.push(idx);
+            if let Some(mem) = ins.memory_operand() {
+                report.sync_symbols.insert(mem.symbol.clone());
+            }
+        } else if ins.is_aligned_load_store() {
+            report.type_iii_candidates.push(idx);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Module;
+
+    const LISTING: &str = r#"
+fn spinlock_lock
+lock cmpxchg %ecx, spinlock      ; line 4
+fn spinlock_unlock
+mov $0, spinlock                 ; line 9
+fn barrier
+lock xadd %eax, barrier_count
+xchg %eax, exchange_word
+fn compute
+mov %eax, local_data
+mov %eax, %ebx
+add %ecx, plain_counter
+"#;
+
+    #[test]
+    fn stage1_separates_types() {
+        let m = Module::parse("test", LISTING);
+        let r = classify_module(&m);
+        assert_eq!(r.type_i.len(), 2, "two LOCK-prefixed instructions");
+        assert_eq!(r.type_ii.len(), 1, "one XCHG");
+        assert_eq!(r.type_iii.len(), 0, "stage 1 confirms no type (iii)");
+        // The two movs with memory operands are candidates; `add` is not.
+        assert_eq!(r.type_iii_candidates.len(), 2);
+    }
+
+    #[test]
+    fn sync_symbols_come_from_lock_and_xchg_operands() {
+        let m = Module::parse("test", LISTING);
+        let r = classify_module(&m);
+        assert!(r.sync_symbols.contains("spinlock"));
+        assert!(r.sync_symbols.contains("barrier_count"));
+        assert!(r.sync_symbols.contains("exchange_word"));
+        assert!(!r.sync_symbols.contains("local_data"));
+    }
+
+    #[test]
+    fn counts_and_totals_are_consistent() {
+        let m = Module::parse("test", LISTING);
+        let r = classify_module(&m);
+        let (i, ii, iii) = r.counts();
+        assert_eq!(r.total(), i + ii + iii);
+        assert_eq!(r.all_sync_ops().len(), r.total());
+    }
+
+    #[test]
+    fn empty_module_produces_empty_report() {
+        let m = Module::new("empty");
+        let r = classify_module(&m);
+        assert_eq!(r.total(), 0);
+        assert!(r.sync_symbols.is_empty());
+        assert!(r.type_iii_candidates.is_empty());
+    }
+
+    #[test]
+    fn class_labels_match_the_paper() {
+        assert_eq!(SyncOpClass::LockPrefixed.label(), "(i)");
+        assert_eq!(SyncOpClass::Exchange.label(), "(ii)");
+        assert_eq!(SyncOpClass::AlignedLoadStore.label(), "(iii)");
+    }
+}

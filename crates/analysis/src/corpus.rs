@@ -1,0 +1,207 @@
+//! Synthetic code corpora modelled after the modules of Table 3.
+//!
+//! The paper reports how many sync ops of each type its analysis finds in
+//! glibc, libpthread, libgomp, libstdc++ and four PARSEC binaries, plus the
+//! 51 sync ops identified in nginx's custom synchronization primitives
+//! (§5.5).  The real binaries are not available here, so this module
+//! generates synthetic assembly corpora with the same sync-op population:
+//! each corpus contains exactly the reported number of `LOCK`-prefixed
+//! instructions, `XCHG` instructions and aliasing aligned loads/stores,
+//! embedded in a realistic amount of ordinary code.  Running the stage-1 +
+//! stage-2 pipeline over these corpora regenerates Table 3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::asm::Module;
+
+/// One row of Table 3: the expected sync-op population of a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Module name as printed in the paper.
+    pub name: &'static str,
+    /// Whether the paper groups it under "Base Libraries" or the benchmarks.
+    pub is_library: bool,
+    /// Expected type (i) count (LOCK prefix).
+    pub type_i: usize,
+    /// Expected type (ii) count (XCHG).
+    pub type_ii: usize,
+    /// Expected type (iii) count (aliasing aligned load/store).
+    pub type_iii: usize,
+}
+
+/// The paper's Table 3, row by row.
+pub const TABLE3_SPECS: &[CorpusSpec] = &[
+    CorpusSpec { name: "libc-2.19.so", is_library: true, type_i: 319, type_ii: 409, type_iii: 94 },
+    CorpusSpec { name: "libpthreads-2.19.so", is_library: true, type_i: 163, type_ii: 81, type_iii: 160 },
+    CorpusSpec { name: "libgomp.so", is_library: true, type_i: 68, type_ii: 38, type_iii: 13 },
+    CorpusSpec { name: "libstdc++.so", is_library: true, type_i: 162, type_ii: 3, type_iii: 25 },
+    CorpusSpec { name: "bodytrack", is_library: false, type_i: 201, type_ii: 0, type_iii: 8 },
+    CorpusSpec { name: "facesim", is_library: false, type_i: 385, type_ii: 0, type_iii: 8 },
+    CorpusSpec { name: "raytrace", is_library: false, type_i: 170, type_ii: 0, type_iii: 8 },
+    CorpusSpec { name: "vips", is_library: false, type_i: 4, type_ii: 0, type_iii: 6 },
+];
+
+/// The number of sync ops the paper reports identifying in nginx 1.8's custom
+/// synchronization primitives (§5.5).
+pub const NGINX_SYNC_OPS: usize = 51;
+
+/// Generates the synthetic module for one Table 3 row.
+///
+/// The module contains, per sync variable, a cluster of LOCK/XCHG accesses
+/// plus aligned loads/stores to the same symbols (the type-iii population),
+/// interleaved with ordinary code (`mov`/`add`/`call` on unrelated symbols)
+/// at roughly 40 filler instructions per sync op, so the analysis has to find
+/// the needles in a realistic haystack.
+pub fn generate_module(spec: &CorpusSpec) -> Module {
+    let mut listing = String::new();
+    let mut sync_var = 0usize;
+
+    // Type (i): LOCK-prefixed read-modify-writes spread over lock variables.
+    for i in 0..spec.type_i {
+        listing.push_str(&format!("fn {}_lock_fn_{}\n", sanitize(spec.name), i));
+        push_filler(&mut listing, i, 20);
+        let var = format!("{}_syncvar_{}", sanitize(spec.name), sync_var % (spec.type_i.max(1)));
+        let op = match i % 3 {
+            0 => "cmpxchg %ecx,",
+            1 => "xadd %eax,",
+            _ => "add $1,",
+        };
+        listing.push_str(&format!("lock {} {} ; line {}\n", op, var, 100 + i));
+        push_filler(&mut listing, i + 7, 20);
+        sync_var += 1;
+    }
+
+    // Type (ii): XCHG instructions on their own set of variables.
+    for i in 0..spec.type_ii {
+        listing.push_str(&format!("fn {}_xchg_fn_{}\n", sanitize(spec.name), i));
+        push_filler(&mut listing, i + 3, 15);
+        let var = format!("{}_xchgvar_{}", sanitize(spec.name), i);
+        listing.push_str(&format!("xchg %eax, {} ; line {}\n", var, 500 + i));
+        push_filler(&mut listing, i + 11, 15);
+    }
+
+    // Type (iii): aligned loads/stores on variables already touched by the
+    // type (i) instructions above (so symbol identity confirms them).
+    for i in 0..spec.type_iii {
+        listing.push_str(&format!("fn {}_unlock_fn_{}\n", sanitize(spec.name), i));
+        push_filler(&mut listing, i + 5, 10);
+        let var = format!(
+            "{}_syncvar_{}",
+            sanitize(spec.name),
+            i % (spec.type_i.max(1))
+        );
+        listing.push_str(&format!("mov $0, {} ; line {}\n", var, 900 + i));
+        push_filler(&mut listing, i + 13, 10);
+    }
+
+    Module::parse(spec.name, &listing)
+}
+
+/// Generates the nginx corpus of §5.5: 51 sync ops implementing nginx's
+/// custom spinlocks and atomic counters, on top of pthread-style primitives.
+pub fn generate_nginx_module() -> Module {
+    let mut listing = String::new();
+    // nginx's ngx_spinlock / ngx_atomic_cmp_set style primitives: a mixture
+    // of LOCK CMPXCHG, LOCK XADD and the release stores that pair with them.
+    // 34 locked ops + 3 xchg + 14 release stores = 51 sync ops.
+    for i in 0..34 {
+        listing.push_str(&format!("fn ngx_spinlock_{}\n", i));
+        push_filler(&mut listing, i, 12);
+        let var = format!("ngx_lock_{}", i % 17);
+        let op = if i % 2 == 0 { "cmpxchg %ecx," } else { "xadd %eax," };
+        listing.push_str(&format!("lock {} {} ; line {}\n", op, var, 40 + i));
+    }
+    for i in 0..3 {
+        listing.push_str(&format!("fn ngx_xchg_{}\n", i));
+        listing.push_str(&format!("xchg %eax, ngx_exchange_{} ; line {}\n", i, 90 + i));
+    }
+    for i in 0..14 {
+        listing.push_str(&format!("fn ngx_unlock_{}\n", i));
+        push_filler(&mut listing, i + 2, 8);
+        let var = format!("ngx_lock_{}", i % 17);
+        listing.push_str(&format!("mov $0, {} ; line {}\n", var, 120 + i));
+    }
+    Module::parse("nginx-1.8", &listing)
+}
+
+fn sanitize(name: &str) -> String {
+    name.replace(['.', '-', '+'], "_")
+}
+
+fn push_filler(listing: &mut String, seed: usize, count: usize) {
+    for j in 0..count {
+        match (seed + j) % 5 {
+            0 => listing.push_str(&format!("mov %eax, %r{}\n", 8 + (j % 8))),
+            1 => listing.push_str(&format!("add $1, %r{}\n", 8 + (j % 8))),
+            2 => listing.push_str("call helper_function\n"),
+            3 => listing.push_str(&format!("mov %ebx, filler_data_{}\n", seed * 31 + j)),
+            _ => listing.push_str("cmp %eax, %ebx\n"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_module;
+    use crate::stage2::identify_sync_ops_syntactic;
+
+    #[test]
+    fn every_table3_corpus_reproduces_its_row() {
+        for spec in TABLE3_SPECS {
+            let module = generate_module(spec);
+            let report = identify_sync_ops_syntactic(&module);
+            let (i, ii, iii) = report.counts();
+            assert_eq!(i, spec.type_i, "{}: type (i)", spec.name);
+            assert_eq!(ii, spec.type_ii, "{}: type (ii)", spec.name);
+            assert_eq!(iii, spec.type_iii, "{}: type (iii)", spec.name);
+        }
+    }
+
+    #[test]
+    fn corpora_contain_realistic_amounts_of_filler() {
+        let spec = &TABLE3_SPECS[0]; // libc
+        let module = generate_module(spec);
+        let report = classify_module(&module);
+        let sync = report.type_i.len() + report.type_ii.len();
+        assert!(
+            module.len() > sync * 10,
+            "filler must dominate: {} instructions for {} sync ops",
+            module.len(),
+            sync
+        );
+    }
+
+    #[test]
+    fn filler_stores_are_not_misclassified() {
+        // Filler `mov %ebx, filler_data_N` must not be confirmed as type iii.
+        let spec = CorpusSpec {
+            name: "tiny",
+            is_library: false,
+            type_i: 2,
+            type_ii: 1,
+            type_iii: 1,
+        };
+        let module = generate_module(&spec);
+        let report = identify_sync_ops_syntactic(&module);
+        assert_eq!(report.counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn nginx_corpus_has_exactly_51_sync_ops() {
+        let module = generate_nginx_module();
+        let report = identify_sync_ops_syntactic(&module);
+        assert_eq!(report.total(), NGINX_SYNC_OPS);
+    }
+
+    #[test]
+    fn table3_has_the_papers_eight_rows() {
+        assert_eq!(TABLE3_SPECS.len(), 8);
+        assert_eq!(TABLE3_SPECS.iter().filter(|s| s.is_library).count(), 4);
+        // Spot-check two rows against the paper.
+        let libc = &TABLE3_SPECS[0];
+        assert_eq!((libc.type_i, libc.type_ii, libc.type_iii), (319, 409, 94));
+        let vips = TABLE3_SPECS.iter().find(|s| s.name == "vips").unwrap();
+        assert_eq!((vips.type_i, vips.type_ii, vips.type_iii), (4, 0, 6));
+    }
+}

@@ -1,0 +1,463 @@
+//! Points-to analyses: Steensgaard-style unification and Andersen-style
+//! subset constraints.
+//!
+//! The paper prototypes its stage-2 analysis twice — once on LLVM's DSA
+//! framework (a Steensgaard-style, unification-based analysis) and once on
+//! SVF (an Andersen-style, subset-based analysis) — and reports that both are
+//! overly conservative on large code bases (§4.3.1).  This module implements
+//! both algorithms over a small constraint language so the reproduction can
+//! compare their precision the way the paper discusses it:
+//!
+//! * `p = &x`    — address-of ([`Constraint::AddressOf`])
+//! * `p = q`     — copy ([`Constraint::Copy`])
+//! * `p = *q`    — load ([`Constraint::Load`])
+//! * `*p = q`    — store ([`Constraint::Store`])
+//!
+//! Both analyses answer the same queries: the points-to set of a pointer and
+//! whether two pointers may alias.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// A pointer or object name.
+pub type Name = String;
+
+/// One assignment in the analysed program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// `dst = &object`
+    AddressOf {
+        /// Destination pointer.
+        dst: Name,
+        /// The object whose address is taken.
+        object: Name,
+    },
+    /// `dst = src`
+    Copy {
+        /// Destination pointer.
+        dst: Name,
+        /// Source pointer.
+        src: Name,
+    },
+    /// `dst = *src`
+    Load {
+        /// Destination pointer.
+        dst: Name,
+        /// Pointer that is dereferenced.
+        src: Name,
+    },
+    /// `*dst = src`
+    Store {
+        /// Pointer that is dereferenced and written through.
+        dst: Name,
+        /// Source pointer.
+        src: Name,
+    },
+}
+
+/// A program in points-to constraint form.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointsToProgram {
+    /// All constraints, in program order (order is irrelevant to the result).
+    pub constraints: Vec<Constraint>,
+}
+
+impl PointsToProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `dst = &object`
+    pub fn address_of(&mut self, dst: &str, object: &str) -> &mut Self {
+        self.constraints.push(Constraint::AddressOf {
+            dst: dst.into(),
+            object: object.into(),
+        });
+        self
+    }
+
+    /// `dst = src`
+    pub fn copy(&mut self, dst: &str, src: &str) -> &mut Self {
+        self.constraints.push(Constraint::Copy {
+            dst: dst.into(),
+            src: src.into(),
+        });
+        self
+    }
+
+    /// `dst = *src`
+    pub fn load(&mut self, dst: &str, src: &str) -> &mut Self {
+        self.constraints.push(Constraint::Load {
+            dst: dst.into(),
+            src: src.into(),
+        });
+        self
+    }
+
+    /// `*dst = src`
+    pub fn store(&mut self, dst: &str, src: &str) -> &mut Self {
+        self.constraints.push(Constraint::Store {
+            dst: dst.into(),
+            src: src.into(),
+        });
+        self
+    }
+}
+
+/// The interface both analyses implement.
+pub trait PointsToAnalysis {
+    /// Analysis name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The points-to set of `pointer`.
+    fn points_to(&self, pointer: &str) -> BTreeSet<Name>;
+
+    /// Whether `a` and `b` may point to a common object.
+    fn may_alias(&self, a: &str, b: &str) -> bool {
+        !self.points_to(a).is_disjoint(&self.points_to(b))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Andersen: subset-based, worklist solved.
+// ---------------------------------------------------------------------------
+
+/// Andersen-style (inclusion-based) points-to analysis.
+///
+/// More precise than unification, cubic in the worst case — the trade-off the
+/// paper attributes to SVF.
+#[derive(Debug, Clone)]
+pub struct AndersenAnalysis {
+    sets: BTreeMap<Name, BTreeSet<Name>>,
+}
+
+impl AndersenAnalysis {
+    /// Solves the constraints of `program`.
+    pub fn solve(program: &PointsToProgram) -> Self {
+        let mut sets: BTreeMap<Name, BTreeSet<Name>> = BTreeMap::new();
+        // Seed with address-of edges.
+        for c in &program.constraints {
+            if let Constraint::AddressOf { dst, object } = c {
+                sets.entry(dst.clone()).or_default().insert(object.clone());
+            }
+        }
+        // Iterate to a fixpoint over copy/load/store edges.
+        loop {
+            let mut changed = false;
+            for c in &program.constraints {
+                match c {
+                    Constraint::AddressOf { .. } => {}
+                    Constraint::Copy { dst, src } => {
+                        let src_set = sets.get(src).cloned().unwrap_or_default();
+                        let dst_set = sets.entry(dst.clone()).or_default();
+                        for o in src_set {
+                            changed |= dst_set.insert(o);
+                        }
+                    }
+                    Constraint::Load { dst, src } => {
+                        // dst ⊇ pts(o) for every o in pts(src)
+                        let targets = sets.get(src).cloned().unwrap_or_default();
+                        let mut additions = BTreeSet::new();
+                        for o in &targets {
+                            if let Some(s) = sets.get(o) {
+                                additions.extend(s.iter().cloned());
+                            }
+                        }
+                        let dst_set = sets.entry(dst.clone()).or_default();
+                        for o in additions {
+                            changed |= dst_set.insert(o);
+                        }
+                    }
+                    Constraint::Store { dst, src } => {
+                        // pts(o) ⊇ pts(src) for every o in pts(dst)
+                        let targets = sets.get(dst).cloned().unwrap_or_default();
+                        let src_set = sets.get(src).cloned().unwrap_or_default();
+                        for o in targets {
+                            let o_set = sets.entry(o).or_default();
+                            for s in &src_set {
+                                changed |= o_set.insert(s.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        AndersenAnalysis { sets }
+    }
+}
+
+impl PointsToAnalysis for AndersenAnalysis {
+    fn name(&self) -> &'static str {
+        "andersen (subset-based, SVF-style)"
+    }
+
+    fn points_to(&self, pointer: &str) -> BTreeSet<Name> {
+        self.sets.get(pointer).cloned().unwrap_or_default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Steensgaard: unification-based union-find.
+// ---------------------------------------------------------------------------
+
+/// Steensgaard-style (unification-based) points-to analysis.
+///
+/// Almost linear time, but unification merges everything a pointer ever
+/// touches into one equivalence class — the field-sensitivity loss the paper
+/// observed with DSA ("heap objects of incompatible types get unified").
+#[derive(Debug, Clone)]
+pub struct SteensgaardAnalysis {
+    /// Union-find parent map over variable/object names.
+    parent: BTreeMap<Name, Name>,
+    /// For each equivalence-class representative, the representative of the
+    /// class it points to (if any).
+    points: BTreeMap<Name, Name>,
+    /// All object names (address-taken variables) seen.
+    objects: BTreeSet<Name>,
+}
+
+impl SteensgaardAnalysis {
+    /// Solves the constraints of `program`.
+    pub fn solve(program: &PointsToProgram) -> Self {
+        let mut analysis = SteensgaardAnalysis {
+            parent: BTreeMap::new(),
+            points: BTreeMap::new(),
+            objects: BTreeSet::new(),
+        };
+        for c in &program.constraints {
+            match c {
+                Constraint::AddressOf { dst, object } => {
+                    analysis.objects.insert(object.clone());
+                    let target = analysis.target_of(dst);
+                    match target {
+                        Some(t) => analysis.union(&t, object),
+                        None => analysis.set_target(dst, object),
+                    }
+                }
+                Constraint::Copy { dst, src } => analysis.unify_targets(dst, src),
+                Constraint::Load { dst, src } => {
+                    // dst points to whatever *src points to: unify pts(dst)
+                    // with pts(pts(src)).
+                    let via = analysis.target_or_fresh(src);
+                    let inner = analysis.target_or_fresh(&via);
+                    match analysis.target_of(dst) {
+                        Some(t) => analysis.union(&t, &inner),
+                        None => analysis.set_target(dst, &inner),
+                    }
+                }
+                Constraint::Store { dst, src } => {
+                    let via = analysis.target_or_fresh(dst);
+                    let src_target = analysis.target_or_fresh(src);
+                    match analysis.target_of(&via) {
+                        Some(t) => analysis.union(&t, &src_target),
+                        None => analysis.set_target(&via, &src_target),
+                    }
+                }
+            }
+        }
+        analysis
+    }
+
+    fn find(&mut self, name: &str) -> Name {
+        let entry = self.parent.get(name).cloned();
+        match entry {
+            None => {
+                self.parent.insert(name.to_string(), name.to_string());
+                name.to_string()
+            }
+            Some(p) if p == name => p,
+            Some(p) => {
+                let root = self.find(&p);
+                self.parent.insert(name.to_string(), root.clone());
+                root
+            }
+        }
+    }
+
+    fn union(&mut self, a: &str, b: &str) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Merge rb into ra, then unify their targets recursively (Steensgaard
+        // keeps the type graph a forest).
+        self.parent.insert(rb.clone(), ra.clone());
+        let ta = self.points.get(&ra).cloned();
+        let tb = self.points.remove(&rb);
+        match (ta, tb) {
+            (Some(ta), Some(tb)) => self.union(&ta, &tb),
+            (None, Some(tb)) => {
+                self.points.insert(ra, tb);
+            }
+            _ => {}
+        }
+    }
+
+    fn target_of(&mut self, name: &str) -> Option<Name> {
+        let root = self.find(name);
+        self.points.get(&root).cloned()
+    }
+
+    fn set_target(&mut self, name: &str, target: &str) {
+        let root = self.find(name);
+        let troot = self.find(target);
+        self.points.insert(root, troot);
+    }
+
+    fn target_or_fresh(&mut self, name: &str) -> Name {
+        if let Some(t) = self.target_of(name) {
+            return t;
+        }
+        let fresh = format!("__steens_obj_{}", self.points.len());
+        self.set_target(name, &fresh);
+        fresh
+    }
+
+    fn unify_targets(&mut self, a: &str, b: &str) {
+        let ta = self.target_of(a);
+        let tb = self.target_of(b);
+        match (ta, tb) {
+            (Some(ta), Some(tb)) => self.union(&ta, &tb),
+            (Some(ta), None) => self.set_target(b, &ta),
+            (None, Some(tb)) => self.set_target(a, &tb),
+            (None, None) => {
+                let fresh = self.target_or_fresh(a);
+                self.set_target(b, &fresh);
+            }
+        }
+    }
+
+    fn find_readonly(&self, name: &str) -> Option<Name> {
+        let mut current = self.parent.get(name)?.clone();
+        loop {
+            let next = self.parent.get(&current)?.clone();
+            if next == current {
+                return Some(current);
+            }
+            current = next;
+        }
+    }
+}
+
+impl PointsToAnalysis for SteensgaardAnalysis {
+    fn name(&self) -> &'static str {
+        "steensgaard (unification-based, DSA-style)"
+    }
+
+    fn points_to(&self, pointer: &str) -> BTreeSet<Name> {
+        let root = match self.find_readonly(pointer) {
+            Some(r) => r,
+            None => return BTreeSet::new(),
+        };
+        let target_root = match self.points.get(&root) {
+            Some(t) => self.find_readonly(t).unwrap_or_else(|| t.clone()),
+            None => return BTreeSet::new(),
+        };
+        // Every object whose representative equals the target's representative.
+        self.objects
+            .iter()
+            .filter(|o| {
+                self.find_readonly(o)
+                    .map(|r| r == target_root)
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 1: a pointer passed to `spinlock_lock` and
+    /// `spinlock_unlock` both referring to the global `spinlock`.
+    fn spinlock_program() -> PointsToProgram {
+        let mut p = PointsToProgram::new();
+        p.address_of("lock_arg", "spinlock");
+        p.copy("lock_ptr", "lock_arg");
+        p.copy("unlock_ptr", "lock_arg");
+        p.address_of("other", "unrelated");
+        p
+    }
+
+    #[test]
+    fn andersen_finds_the_alias_in_the_spinlock_example() {
+        let a = AndersenAnalysis::solve(&spinlock_program());
+        assert!(a.points_to("unlock_ptr").contains("spinlock"));
+        assert!(a.may_alias("lock_ptr", "unlock_ptr"));
+        assert!(!a.may_alias("lock_ptr", "other"));
+    }
+
+    #[test]
+    fn steensgaard_finds_the_alias_in_the_spinlock_example() {
+        let s = SteensgaardAnalysis::solve(&spinlock_program());
+        assert!(s.points_to("unlock_ptr").contains("spinlock"));
+        assert!(s.may_alias("lock_ptr", "unlock_ptr"));
+        assert!(!s.may_alias("lock_ptr", "other"));
+    }
+
+    #[test]
+    fn andersen_is_flow_insensitive_but_directional() {
+        // p = &a; q = &b; p = q  =>  p may point to {a, b}, q only to {b}.
+        let mut prog = PointsToProgram::new();
+        prog.address_of("p", "a");
+        prog.address_of("q", "b");
+        prog.copy("p", "q");
+        let a = AndersenAnalysis::solve(&prog);
+        assert_eq!(a.points_to("p").len(), 2);
+        assert_eq!(a.points_to("q").len(), 1);
+    }
+
+    #[test]
+    fn steensgaard_unifies_where_andersen_separates() {
+        // The unification analysis merges a and b into one class once p and q
+        // are copied, so q appears to point to both — the precision loss the
+        // paper observed with DSA.
+        let mut prog = PointsToProgram::new();
+        prog.address_of("p", "a");
+        prog.address_of("q", "b");
+        prog.copy("p", "q");
+        let s = SteensgaardAnalysis::solve(&prog);
+        let a = AndersenAnalysis::solve(&prog);
+        assert!(s.points_to("q").len() >= a.points_to("q").len());
+        assert!(s.points_to("q").contains("a"));
+    }
+
+    #[test]
+    fn loads_and_stores_propagate_through_the_heap() {
+        // heap = &obj; *heap_ptr_holder = heap; read = *heap_ptr_holder
+        let mut prog = PointsToProgram::new();
+        prog.address_of("heap", "obj");
+        prog.address_of("holder", "cell");
+        prog.store("holder", "heap");
+        prog.load("read", "holder");
+        let a = AndersenAnalysis::solve(&prog);
+        assert!(a.points_to("read").contains("obj"));
+        let s = SteensgaardAnalysis::solve(&prog);
+        assert!(s.points_to("read").contains("obj"));
+    }
+
+    #[test]
+    fn unknown_pointers_have_empty_sets() {
+        let a = AndersenAnalysis::solve(&PointsToProgram::new());
+        assert!(a.points_to("nothing").is_empty());
+        let s = SteensgaardAnalysis::solve(&PointsToProgram::new());
+        assert!(s.points_to("nothing").is_empty());
+        assert!(!a.may_alias("x", "y"));
+    }
+
+    #[test]
+    fn analyses_report_their_names() {
+        let a = AndersenAnalysis::solve(&PointsToProgram::new());
+        let s = SteensgaardAnalysis::solve(&PointsToProgram::new());
+        assert!(a.name().contains("andersen"));
+        assert!(s.name().contains("steensgaard"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The `_Atomic` type-qualification workflow (§4.3.1, "Explicit type
+//! qualification").
+//!
+//! Instead of relying on whole-program alias analysis, the paper proposes a
+//! refactoring discipline: mark every synchronization variable with C11's
+//! `_Atomic` qualifier and let a modified clang enforce that the qualifier is
+//! never lost along def-use chains.  The modified compiler
+//!
+//! * warns when a pointer to a *non*-qualified variable is cast to a pointer
+//!   to an `_Atomic`-qualified variable,
+//! * rejects (error) the opposite cast, which would silently drop the
+//!   qualifier, and
+//! * rejects using an `_Atomic`-qualified variable inside inline assembly.
+//!
+//! [`QualificationModel`] reproduces that workflow over a symbolic model of
+//! variables, pointers and def-use edges: seed the sync variables found by
+//! the stage-1 script, propagate the qualifier to a fixpoint, and collect the
+//! diagnostics a build with the modified clang would print.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a declaration carries the `_Atomic` qualifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Qualifier {
+    /// Explicitly `_Atomic`-qualified.
+    Atomic,
+    /// Not qualified.
+    Plain,
+}
+
+/// A def-use edge between two declarations (an assignment, argument pass or
+/// cast from `from` to `to`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefUseEdge {
+    /// Source declaration.
+    pub from: String,
+    /// Destination declaration.
+    pub to: String,
+    /// Whether the edge is an explicit cast (casts get diagnostics).
+    pub is_cast: bool,
+}
+
+/// A clang-style diagnostic produced by the qualification check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Diagnostic {
+    /// Warning: pointer to non-qualified data cast to pointer to `_Atomic`.
+    WarningCastToAtomic {
+        /// The cast's source declaration.
+        from: String,
+        /// The cast's destination declaration.
+        to: String,
+    },
+    /// Error: pointer to `_Atomic` data cast to pointer to non-qualified.
+    ErrorCastDropsAtomic {
+        /// The cast's source declaration.
+        from: String,
+        /// The cast's destination declaration.
+        to: String,
+    },
+    /// Error: an `_Atomic` variable is referenced from inline assembly.
+    ErrorAtomicInInlineAsm {
+        /// The offending variable.
+        variable: String,
+    },
+}
+
+impl Diagnostic {
+    /// Whether this diagnostic aborts compilation.
+    pub fn is_error(&self) -> bool {
+        !matches!(self, Diagnostic::WarningCastToAtomic { .. })
+    }
+}
+
+/// The symbolic refactoring model.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QualificationModel {
+    qualifiers: BTreeMap<String, Qualifier>,
+    edges: Vec<DefUseEdge>,
+    inline_asm_uses: BTreeSet<String>,
+}
+
+impl QualificationModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a variable or pointer with an initial qualifier.
+    pub fn declare(&mut self, name: &str, qualifier: Qualifier) -> &mut Self {
+        self.qualifiers.insert(name.to_string(), qualifier);
+        self
+    }
+
+    /// Adds a def-use edge (assignment or argument pass).
+    pub fn flow(&mut self, from: &str, to: &str) -> &mut Self {
+        self.edges.push(DefUseEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            is_cast: false,
+        });
+        self
+    }
+
+    /// Adds an explicit cast edge.
+    pub fn cast(&mut self, from: &str, to: &str) -> &mut Self {
+        self.edges.push(DefUseEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            is_cast: true,
+        });
+        self
+    }
+
+    /// Records that `variable` is referenced from an inline-assembly block.
+    pub fn use_in_inline_asm(&mut self, variable: &str) -> &mut Self {
+        self.inline_asm_uses.insert(variable.to_string());
+        self
+    }
+
+    /// The current qualifier of `name` (Plain when undeclared).
+    pub fn qualifier_of(&self, name: &str) -> Qualifier {
+        self.qualifiers.get(name).copied().unwrap_or(Qualifier::Plain)
+    }
+
+    /// Seeds the `_Atomic` qualifier on the variables the stage-1 script
+    /// reported (the paper: "Based on the output of this script, we add
+    /// type-qualifiers to variables used in sync ops").
+    pub fn seed_from_sync_symbols<'a>(&mut self, symbols: impl IntoIterator<Item = &'a str>) {
+        for s in symbols {
+            self.qualifiers.insert(s.to_string(), Qualifier::Atomic);
+        }
+    }
+
+    /// Propagates the qualifier along def-use chains until a fixpoint is
+    /// reached, mirroring the repeated compile-and-fix cycle of Figure 3.
+    /// Returns the number of declarations whose qualifier changed.
+    pub fn propagate(&mut self) -> usize {
+        let mut changed_total = 0;
+        loop {
+            let mut changed = 0;
+            for edge in &self.edges.clone() {
+                let from_q = self.qualifier_of(&edge.from);
+                let to_q = self.qualifier_of(&edge.to);
+                // The qualifier propagates in both directions along def-use
+                // chains ("propagate the Atomic type-qualifier up and down
+                // the def-use chains of all pointers to sync variables").
+                if from_q == Qualifier::Atomic && to_q == Qualifier::Plain {
+                    self.qualifiers.insert(edge.to.clone(), Qualifier::Atomic);
+                    changed += 1;
+                }
+                if to_q == Qualifier::Atomic && from_q == Qualifier::Plain {
+                    self.qualifiers.insert(edge.from.clone(), Qualifier::Atomic);
+                    changed += 1;
+                }
+            }
+            changed_total += changed;
+            if changed == 0 {
+                break;
+            }
+        }
+        changed_total
+    }
+
+    /// Runs the modified-clang checks and returns the diagnostics.
+    pub fn check(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for edge in &self.edges {
+            if !edge.is_cast {
+                continue;
+            }
+            let from_q = self.qualifier_of(&edge.from);
+            let to_q = self.qualifier_of(&edge.to);
+            match (from_q, to_q) {
+                (Qualifier::Plain, Qualifier::Atomic) => {
+                    diags.push(Diagnostic::WarningCastToAtomic {
+                        from: edge.from.clone(),
+                        to: edge.to.clone(),
+                    });
+                }
+                (Qualifier::Atomic, Qualifier::Plain) => {
+                    diags.push(Diagnostic::ErrorCastDropsAtomic {
+                        from: edge.from.clone(),
+                        to: edge.to.clone(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        for var in &self.inline_asm_uses {
+            if self.qualifier_of(var) == Qualifier::Atomic {
+                diags.push(Diagnostic::ErrorAtomicInInlineAsm {
+                    variable: var.clone(),
+                });
+            }
+        }
+        diags
+    }
+
+    /// Whether the refactoring has reached the paper's fixpoint: the
+    /// propagation adds nothing and the checks produce no diagnostics.
+    pub fn is_fully_qualified(&mut self) -> bool {
+        self.propagate() == 0 && self.check().is_empty()
+    }
+
+    /// Number of `_Atomic`-qualified declarations.
+    pub fn qualified_count(&self) -> usize {
+        self.qualifiers
+            .values()
+            .filter(|q| **q == Qualifier::Atomic)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_and_propagation_reach_pointers() {
+        // spinlock is a sync variable; ptr = &spinlock; arg = ptr.
+        let mut m = QualificationModel::new();
+        m.declare("spinlock", Qualifier::Plain)
+            .declare("ptr", Qualifier::Plain)
+            .declare("arg", Qualifier::Plain)
+            .flow("spinlock", "ptr")
+            .flow("ptr", "arg");
+        m.seed_from_sync_symbols(["spinlock"]);
+        let changed = m.propagate();
+        assert_eq!(changed, 2);
+        assert_eq!(m.qualifier_of("arg"), Qualifier::Atomic);
+        assert_eq!(m.qualified_count(), 3);
+    }
+
+    #[test]
+    fn propagation_goes_up_and_down_def_use_chains() {
+        // Only a downstream use is qualified; the source must become
+        // qualified too (propagation "up ... the def-use chains").
+        let mut m = QualificationModel::new();
+        m.declare("source", Qualifier::Plain)
+            .declare("sink", Qualifier::Atomic)
+            .flow("source", "sink");
+        m.propagate();
+        assert_eq!(m.qualifier_of("source"), Qualifier::Atomic);
+    }
+
+    #[test]
+    fn cast_to_atomic_is_a_warning_only() {
+        let mut m = QualificationModel::new();
+        m.declare("plain_ptr", Qualifier::Plain)
+            .declare("atomic_ptr", Qualifier::Atomic)
+            .cast("plain_ptr", "atomic_ptr");
+        // No propagation: casts are exactly where the programmer must look.
+        let diags = m.check();
+        assert_eq!(diags.len(), 1);
+        assert!(!diags[0].is_error());
+    }
+
+    #[test]
+    fn cast_dropping_atomic_is_an_error() {
+        let mut m = QualificationModel::new();
+        m.declare("atomic_ptr", Qualifier::Atomic)
+            .declare("plain_ptr", Qualifier::Plain)
+            .cast("atomic_ptr", "plain_ptr");
+        let diags = m.check();
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].is_error());
+        assert!(matches!(diags[0], Diagnostic::ErrorCastDropsAtomic { .. }));
+    }
+
+    #[test]
+    fn atomic_in_inline_asm_is_an_error() {
+        let mut m = QualificationModel::new();
+        m.declare("lock_word", Qualifier::Atomic)
+            .use_in_inline_asm("lock_word")
+            .use_in_inline_asm("scratch");
+        let diags = m.check();
+        assert_eq!(diags.len(), 1);
+        assert!(matches!(
+            &diags[0],
+            Diagnostic::ErrorAtomicInInlineAsm { variable } if variable == "lock_word"
+        ));
+    }
+
+    #[test]
+    fn fixpoint_detection_matches_figure_3() {
+        // First round: the cast produces a warning, so not yet fully
+        // qualified; after the programmer qualifies the source, the build is
+        // clean.
+        let mut m = QualificationModel::new();
+        m.declare("nginx_lock", Qualifier::Plain)
+            .declare("lock_ptr", Qualifier::Atomic)
+            .cast("nginx_lock", "lock_ptr");
+        assert!(!m.is_fully_qualified());
+        // The propagation performed by is_fully_qualified has now qualified
+        // nginx_lock, so a second compile round is clean.
+        assert!(m.is_fully_qualified());
+    }
+
+    #[test]
+    fn undeclared_names_default_to_plain() {
+        let m = QualificationModel::new();
+        assert_eq!(m.qualifier_of("whatever"), Qualifier::Plain);
+        assert_eq!(m.qualified_count(), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! A Kendo-style deterministic-multithreading (weak determinism) baseline.
+//!
+//! Kendo [Olszewski et al., ASPLOS'09] and its descendants grant the "right
+//! to acquire a lock" to the thread with the smallest *deterministic logical
+//! clock*, where the clock counts retired instructions (read from a hardware
+//! performance counter).  Given the same program and the same inputs, every
+//! run acquires locks in the same order — determinism without recording.
+//!
+//! The paper's point (§2, §6) is that this breaks down across *diversified*
+//! variants: diversity changes the instruction counts, so each variant still
+//! has a deterministic schedule, but a *different* one, and the variants
+//! diverge.  [`DmtScheduler`] reproduces the scheduling decision procedure so
+//! the benchmark harness can measure exactly that effect: feed it the same
+//! logical acquisition workload with per-variant instruction-count factors
+//! and compare the resulting schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// One lock acquisition request by a thread at a given logical time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcquireRequest {
+    /// The requesting thread.
+    pub thread: usize,
+    /// The lock being acquired.
+    pub lock: u32,
+    /// Instructions the thread retires *before* this acquisition (between its
+    /// previous acquisition and this one), before diversity scaling.
+    pub instructions_before: u64,
+}
+
+/// The deterministic schedule a DMT system produces: the global order of lock
+/// acquisitions, as `(thread, lock)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmtSchedule {
+    /// Acquisitions in the order the scheduler granted them.
+    pub order: Vec<(usize, u32)>,
+}
+
+impl DmtSchedule {
+    /// Number of positions at which two schedules differ.
+    pub fn divergence_count(&self, other: &DmtSchedule) -> usize {
+        let common = self.order.len().min(other.order.len());
+        let mismatched = (0..common)
+            .filter(|&i| self.order[i] != other.order[i])
+            .count();
+        mismatched + self.order.len().abs_diff(other.order.len())
+    }
+
+    /// Whether two schedules are identical.
+    pub fn matches(&self, other: &DmtSchedule) -> bool {
+        self.order == other.order
+    }
+}
+
+/// A Kendo-style scheduler simulation.
+#[derive(Debug, Clone)]
+pub struct DmtScheduler {
+    /// Number of threads.
+    threads: usize,
+    /// Deterministic logical clock per thread (retired instructions).
+    clocks: Vec<u64>,
+}
+
+impl DmtScheduler {
+    /// Creates a scheduler for `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        DmtScheduler {
+            threads,
+            clocks: vec![0; threads],
+        }
+    }
+
+    /// Runs the per-thread request streams to completion and returns the
+    /// deterministic acquisition order.
+    ///
+    /// `instruction_factor[t]` models diversity: the instructions each
+    /// variant retires for the same source-level work (1.0 = undiversified).
+    /// Kendo's rule is applied at every step: among the threads whose next
+    /// request is pending, the one with the smallest deterministic clock
+    /// (ties broken by thread id) acquires next, and its clock advances by
+    /// the scaled instruction count of the work it performed.
+    pub fn schedule(
+        &mut self,
+        requests: &[Vec<AcquireRequest>],
+        instruction_factor: &[f64],
+    ) -> DmtSchedule {
+        assert_eq!(requests.len(), self.threads, "one request stream per thread");
+        assert_eq!(
+            instruction_factor.len(),
+            self.threads,
+            "one instruction factor per thread"
+        );
+        let mut next_index = vec![0usize; self.threads];
+        let mut order = Vec::new();
+        loop {
+            // Threads that still have pending requests.
+            let mut candidates: Vec<usize> = (0..self.threads)
+                .filter(|&t| next_index[t] < requests[t].len())
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            // Kendo: the pending thread with the smallest deterministic clock
+            // (after accounting for the work preceding its request) wins.
+            candidates.sort_by_key(|&t| {
+                let req = &requests[t][next_index[t]];
+                let scaled =
+                    (req.instructions_before as f64 * instruction_factor[t]).round() as u64;
+                (self.clocks[t] + scaled, t)
+            });
+            let winner = candidates[0];
+            let req = requests[winner][next_index[winner]];
+            let scaled =
+                (req.instructions_before as f64 * instruction_factor[winner]).round() as u64;
+            self.clocks[winner] += scaled + 1;
+            next_index[winner] += 1;
+            order.push((winner, req.lock));
+        }
+        DmtSchedule { order }
+    }
+
+    /// Convenience: schedules the same workload once per variant, each with
+    /// its own uniform instruction factor, and returns the schedules.
+    pub fn schedule_variants(
+        threads: usize,
+        requests: &[Vec<AcquireRequest>],
+        variant_factors: &[f64],
+    ) -> Vec<DmtSchedule> {
+        variant_factors
+            .iter()
+            .map(|&f| {
+                let factors = vec![f; threads];
+                DmtScheduler::new(threads).schedule(requests, &factors)
+            })
+            .collect()
+    }
+}
+
+/// Builds a synthetic acquisition workload: `threads` threads, each issuing
+/// `per_thread` acquisitions of locks drawn from `locks` distinct locks, with
+/// varying amounts of work between acquisitions.
+pub fn synthetic_workload(threads: usize, per_thread: usize, locks: u32) -> Vec<Vec<AcquireRequest>> {
+    (0..threads)
+        .map(|t| {
+            (0..per_thread)
+                .map(|i| AcquireRequest {
+                    thread: t,
+                    lock: ((t + i) as u32) % locks.max(1),
+                    // Deterministic but irregular inter-acquisition work.
+                    instructions_before: 100 + ((t * 37 + i * 61) % 97) as u64 * 10,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_variants_get_identical_schedules() {
+        let workload = synthetic_workload(4, 50, 3);
+        let schedules = DmtScheduler::schedule_variants(4, &workload, &[1.0, 1.0]);
+        assert!(schedules[0].matches(&schedules[1]));
+        assert_eq!(schedules[0].divergence_count(&schedules[1]), 0);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let workload = synthetic_workload(4, 30, 2);
+        let a = DmtScheduler::new(4).schedule(&workload, &[1.0; 4]);
+        let b = DmtScheduler::new(4).schedule(&workload, &[1.0; 4]);
+        assert!(a.matches(&b));
+    }
+
+    #[test]
+    fn diversified_variants_get_different_schedules() {
+        // The paper's core argument: a few percent of instruction-count skew
+        // is enough to change the deterministic schedule.
+        let workload = synthetic_workload(4, 100, 3);
+        let schedules = DmtScheduler::schedule_variants(4, &workload, &[1.0, 1.03]);
+        assert!(
+            !schedules[0].matches(&schedules[1]),
+            "3% instruction skew must perturb the Kendo schedule"
+        );
+        assert!(schedules[0].divergence_count(&schedules[1]) > 0);
+    }
+
+    #[test]
+    fn schedules_cover_every_request_exactly_once() {
+        let workload = synthetic_workload(3, 20, 2);
+        let schedule = DmtScheduler::new(3).schedule(&workload, &[1.0; 3]);
+        assert_eq!(schedule.order.len(), 3 * 20);
+        for t in 0..3 {
+            assert_eq!(
+                schedule.order.iter().filter(|(thread, _)| *thread == t).count(),
+                20
+            );
+        }
+    }
+
+    #[test]
+    fn divergence_count_includes_length_differences() {
+        let a = DmtSchedule { order: vec![(0, 1), (1, 1)] };
+        let b = DmtSchedule { order: vec![(0, 1)] };
+        assert_eq!(a.divergence_count(&b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one request stream per thread")]
+    fn mismatched_stream_count_panics() {
+        let workload = synthetic_workload(2, 5, 2);
+        let _ = DmtScheduler::new(3).schedule(&workload, &[1.0; 3]);
+    }
+}

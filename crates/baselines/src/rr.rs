@@ -1,0 +1,264 @@
+//! Record/replay baselines: RecPlay-style offline logs and LSA-style online
+//! per-mutex replication.
+//!
+//! * **RecPlay** [Ronsse & De Bosschere, TOCS'99] records a Lamport timestamp
+//!   for every synchronization operation during one execution and, during a
+//!   later replay, makes each operation wait until every operation with a
+//!   smaller timestamp on the same variable has completed.  It assigns equal
+//!   timestamps to non-conflicting operations so they can replay in parallel.
+//! * **LSA** [Basile et al.] designates a master node that records the order
+//!   of mutex acquisitions and periodically broadcasts it; the other nodes
+//!   enforce the same per-mutex acquisition order.
+//!
+//! Both are close relatives of the paper's agents — order-based rather than
+//! progress-based — which is why they tolerate diversified variants.  They
+//! are reproduced here as reference implementations the benchmarks compare
+//! against and as documentation of where the paper's wall-of-clocks design
+//! differs (no dynamic allocation, fixed clock wall, per-thread buffers).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded synchronization operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordedOp {
+    /// Executing thread.
+    pub thread: usize,
+    /// Synchronization variable (logical identifier).
+    pub variable: u64,
+    /// Lamport timestamp assigned during recording.
+    pub timestamp: u64,
+}
+
+/// A RecPlay-style log of one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecPlayLog {
+    ops: Vec<RecordedOp>,
+}
+
+impl RecPlayLog {
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// All operations, in recording order.
+    pub fn ops(&self) -> &[RecordedOp] {
+        &self.ops
+    }
+
+    /// The operations of one thread, in program order.
+    pub fn thread_ops(&self, thread: usize) -> Vec<RecordedOp> {
+        self.ops.iter().copied().filter(|o| o.thread == thread).collect()
+    }
+
+    /// Replays the log: returns a legal global completion order (operations
+    /// on the same variable complete in timestamp order; independent
+    /// operations may complete in any order — this replay picks the order in
+    /// which they become ready, scanning threads round-robin).
+    ///
+    /// Returns `None` if the log is inconsistent (a deadlock: no thread's
+    /// next operation is ready).
+    pub fn replay(&self) -> Option<Vec<RecordedOp>> {
+        let threads: usize = self.ops.iter().map(|o| o.thread + 1).max().unwrap_or(0);
+        let mut per_thread: Vec<VecDeque<RecordedOp>> = vec![VecDeque::new(); threads];
+        for op in &self.ops {
+            per_thread[op.thread].push_back(*op);
+        }
+        // Per-variable clock: the next timestamp allowed to complete.
+        let mut var_clock: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut completed = Vec::with_capacity(self.ops.len());
+        while completed.len() < self.ops.len() {
+            let mut progressed = false;
+            for q in per_thread.iter_mut() {
+                if let Some(&op) = q.front() {
+                    let clock = var_clock.entry(op.variable).or_insert(0);
+                    if *clock == op.timestamp {
+                        *clock += 1;
+                        completed.push(op);
+                        q.pop_front();
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                return None;
+            }
+        }
+        Some(completed)
+    }
+}
+
+/// Records an execution the way RecPlay does: per-variable Lamport clocks.
+#[derive(Debug, Default)]
+pub struct RecPlayRecorder {
+    clocks: HashMap<u64, u64>,
+    log: RecPlayLog,
+}
+
+impl RecPlayRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one synchronization operation and returns its timestamp.
+    pub fn record(&mut self, thread: usize, variable: u64) -> u64 {
+        let clock = self.clocks.entry(variable).or_insert(0);
+        let timestamp = *clock;
+        *clock += 1;
+        self.log.ops.push(RecordedOp {
+            thread,
+            variable,
+            timestamp,
+        });
+        timestamp
+    }
+
+    /// Finishes recording and returns the log.
+    pub fn finish(self) -> RecPlayLog {
+        self.log
+    }
+}
+
+/// LSA-style per-mutex order replication.
+///
+/// The master side appends acquisitions per mutex; the slave side checks (or
+/// enforces) that its own acquisitions follow the same per-mutex thread
+/// order.
+#[derive(Debug, Default)]
+pub struct LsaReplicator {
+    /// Recorded acquisition order per mutex: the sequence of acquiring
+    /// threads.
+    orders: HashMap<u64, Vec<usize>>,
+    /// Slave-side replay cursor per mutex.
+    cursors: HashMap<u64, usize>,
+}
+
+impl LsaReplicator {
+    /// Creates an empty replicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Master side: records that `thread` acquired `mutex`.
+    pub fn record_acquisition(&mut self, mutex: u64, thread: usize) {
+        self.orders.entry(mutex).or_default().push(thread);
+    }
+
+    /// Slave side: asks whether `thread` may acquire `mutex` now.
+    /// Returns `true` (and advances the cursor) when it is `thread`'s turn.
+    pub fn try_acquire(&mut self, mutex: u64, thread: usize) -> bool {
+        let order = match self.orders.get(&mutex) {
+            Some(o) => o,
+            None => return false,
+        };
+        let cursor = self.cursors.entry(mutex).or_insert(0);
+        if order.get(*cursor) == Some(&thread) {
+            *cursor += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of acquisitions recorded for `mutex`.
+    pub fn recorded_len(&self, mutex: u64) -> usize {
+        self.orders.get(&mutex).map_or(0, Vec::len)
+    }
+
+    /// Whether the slave replayed every recorded acquisition.
+    pub fn fully_replayed(&self) -> bool {
+        self.orders
+            .iter()
+            .all(|(m, o)| self.cursors.get(m).copied().unwrap_or(0) == o.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_assigns_per_variable_timestamps() {
+        let mut rec = RecPlayRecorder::new();
+        assert_eq!(rec.record(0, 100), 0);
+        assert_eq!(rec.record(1, 100), 1);
+        assert_eq!(rec.record(0, 200), 0, "independent variable starts at zero");
+        assert_eq!(rec.record(1, 100), 2);
+        let log = rec.finish();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.thread_ops(0).len(), 2);
+    }
+
+    #[test]
+    fn replay_reproduces_per_variable_order() {
+        let mut rec = RecPlayRecorder::new();
+        // Two threads interleave on one variable and use one private each.
+        rec.record(0, 7);
+        rec.record(1, 7);
+        rec.record(0, 8);
+        rec.record(1, 9);
+        rec.record(0, 7);
+        let log = rec.finish();
+        let replay = log.replay().expect("consistent log");
+        assert_eq!(replay.len(), log.len());
+        // Per-variable timestamps must be non-decreasing in the replay.
+        let mut last: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in replay {
+            if let Some(prev) = last.get(&op.variable) {
+                assert!(op.timestamp > *prev);
+            }
+            last.insert(op.variable, op.timestamp);
+        }
+    }
+
+    #[test]
+    fn replay_detects_inconsistent_logs() {
+        // A log in which a thread's first op requires a timestamp that can
+        // never be reached is a deadlock.
+        let log = RecPlayLog {
+            ops: vec![RecordedOp {
+                thread: 0,
+                variable: 1,
+                timestamp: 5,
+            }],
+        };
+        assert_eq!(log.replay(), None);
+    }
+
+    #[test]
+    fn replay_of_empty_log_is_empty() {
+        let log = RecPlayLog::default();
+        assert_eq!(log.replay().unwrap().len(), 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn lsa_enforces_per_mutex_thread_order() {
+        let mut lsa = LsaReplicator::new();
+        lsa.record_acquisition(1, 0);
+        lsa.record_acquisition(1, 1);
+        lsa.record_acquisition(2, 1);
+
+        // Thread 1 must wait for thread 0 on mutex 1 but may take mutex 2.
+        assert!(!lsa.try_acquire(1, 1));
+        assert!(lsa.try_acquire(2, 1));
+        assert!(lsa.try_acquire(1, 0));
+        assert!(lsa.try_acquire(1, 1));
+        assert!(lsa.fully_replayed());
+        assert_eq!(lsa.recorded_len(1), 2);
+    }
+
+    #[test]
+    fn lsa_rejects_unknown_mutexes() {
+        let mut lsa = LsaReplicator::new();
+        assert!(!lsa.try_acquire(99, 0));
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation: the effect of the wall-of-clocks size.
+//!
+//! The paper accepts hash collisions onto a fixed number of clocks as the
+//! price of never allocating memory in the agent (§4.5).  This bench sweeps
+//! the clock count from 1 (everything falsely serialized) to 4096 and
+//! measures both the record/replay cost and the number of collisions.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvee_sync_agent::agents::WallOfClocksAgent;
+use mvee_sync_agent::context::{AgentConfig, SyncContext, VariantRole};
+use mvee_sync_agent::SyncAgent;
+
+const OPS: u64 = 2_000;
+const DISTINCT_VARS: u64 = 128;
+
+fn bench_clock_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/clock-count");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(20);
+    for clocks in [1usize, 16, 128, 512, 4096] {
+        group.bench_function(BenchmarkId::from_parameter(clocks), |b| {
+            b.iter(|| {
+                let config = AgentConfig::default()
+                    .with_variants(2)
+                    .with_threads(1)
+                    .with_buffer_capacity(4096)
+                    .with_clock_count(clocks);
+                let agent = WallOfClocksAgent::new(config);
+                let master = SyncContext::new(VariantRole::Master, 0);
+                let slave = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
+                for i in 0..OPS {
+                    let addr = 0x4000 + (i % DISTINCT_VARS) * 64;
+                    agent.before_sync_op(&master, addr);
+                    agent.after_sync_op(&master, addr);
+                }
+                for i in 0..OPS {
+                    let addr = 0x8_4000 + (i % DISTINCT_VARS) * 64;
+                    agent.before_sync_op(&slave, addr);
+                    agent.after_sync_op(&slave, addr);
+                }
+                agent.stats().clock_collisions
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock_counts);
+criterion_main!(benches);

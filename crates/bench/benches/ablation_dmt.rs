@@ -1,0 +1,36 @@
+//! Ablation: cost of the Kendo-style DMT scheduling decision versus the
+//! RecPlay-style record/replay pass for the same synthetic acquisition
+//! workload — the two families the paper contrasts in §2 and §6.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvee_baselines::dmt::{synthetic_workload, DmtScheduler};
+use mvee_baselines::rr::RecPlayRecorder;
+
+fn bench_dmt_vs_rr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/dmt-vs-record-replay");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(20);
+    for per_thread in [100usize, 500] {
+        let workload = synthetic_workload(4, per_thread, 4);
+        group.bench_function(BenchmarkId::new("kendo-dmt", per_thread), |b| {
+            b.iter(|| DmtScheduler::new(4).schedule(&workload, &[1.0, 1.02, 0.98, 1.01]))
+        });
+        group.bench_function(BenchmarkId::new("recplay-record+replay", per_thread), |b| {
+            b.iter(|| {
+                let mut rec = RecPlayRecorder::new();
+                for (t, stream) in workload.iter().enumerate() {
+                    for req in stream {
+                        rec.record(t, u64::from(req.lock));
+                    }
+                }
+                rec.finish().replay().map(|r| r.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dmt_vs_rr);
+criterion_main!(benches);

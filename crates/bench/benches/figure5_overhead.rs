@@ -1,0 +1,33 @@
+//! Criterion bench backing Figure 5: overhead of the wall-of-clocks agent on
+//! a high-sync-rate benchmark (`radiosity`-like) and a low-sync-rate one
+//! (`fft`-like) as the variant count grows from 2 to 4.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvee_sync_agent::agents::AgentKind;
+use mvee_variant::runner::{run_mvee, RunConfig};
+use mvee_workloads::catalog::BenchmarkSpec;
+
+const SCALE: f64 = 1.5e-6;
+
+fn bench_variant_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5/woc-variant-scaling");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(10);
+    for name in ["fft", "radiosity"] {
+        let spec = BenchmarkSpec::by_name(name).expect("benchmark in catalog");
+        let program = spec.paper_program(SCALE);
+        for variants in [2usize, 3, 4] {
+            let config = RunConfig::new(variants, AgentKind::WallOfClocks);
+            group.bench_function(
+                BenchmarkId::new(name, format!("{variants}-variants")),
+                |b| b.iter(|| run_mvee(&program, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variant_scaling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench backing Table 1: the aggregated cost of running a
+//! representative subset of the catalog under each synchronization agent
+//! with two variants, compared against native execution.
+//!
+//! The full 25-benchmark × 3-agent × 3-variant-count sweep lives in the
+//! `table1` binary; Criterion measures a stable subset so regressions in the
+//! agents show up in CI-style runs.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvee_sync_agent::agents::AgentKind;
+use mvee_variant::runner::{run_mvee, run_native, RunConfig};
+use mvee_workloads::catalog::BenchmarkSpec;
+
+const SCALE: f64 = 1.5e-6;
+const SUBSET: &[&str] = &["fft", "streamcluster", "dedup", "barnes"];
+
+fn bench_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/native");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(10);
+    for name in SUBSET {
+        let spec = BenchmarkSpec::by_name(name).expect("benchmark in catalog");
+        let program = spec.paper_program(SCALE);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| run_native(&program));
+        });
+    }
+    group.finish();
+}
+
+fn bench_agents(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/mvee-2-variants");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(10);
+    for name in SUBSET {
+        let spec = BenchmarkSpec::by_name(name).expect("benchmark in catalog");
+        let program = spec.paper_program(SCALE);
+        for agent in AgentKind::replication_agents() {
+            let config = RunConfig::new(2, agent);
+            group.bench_function(
+                BenchmarkId::new(agent.name(), name),
+                |b| b.iter(|| run_mvee(&program, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_native, bench_agents);
+criterion_main!(benches);

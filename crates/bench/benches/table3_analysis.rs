@@ -1,0 +1,44 @@
+//! Criterion bench backing Table 3: the cost of the two-stage sync-op
+//! identification and of the instrumentation pass over the synthetic libc
+//! corpus (the largest of the Table 3 modules).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvee_analysis::corpus::{generate_module, TABLE3_SPECS};
+use mvee_analysis::instrument::instrument_module;
+use mvee_analysis::pointsto::{AndersenAnalysis, PointsToProgram, SteensgaardAnalysis};
+use mvee_analysis::stage2::identify_sync_ops_syntactic;
+
+fn bench_identification(c: &mut Criterion) {
+    let libc = generate_module(&TABLE3_SPECS[0]);
+    c.bench_function("table3/identify-libc", |b| {
+        b.iter(|| identify_sync_ops_syntactic(&libc))
+    });
+
+    let report = identify_sync_ops_syntactic(&libc);
+    c.bench_function("table3/instrument-libc", |b| {
+        b.iter(|| instrument_module(&libc, &report))
+    });
+}
+
+fn bench_points_to(c: &mut Criterion) {
+    // A chain of pointer copies plus heap traffic, the pattern that separates
+    // the two analyses' precision and cost.
+    let mut program = PointsToProgram::new();
+    for i in 0..200 {
+        program.address_of(&format!("p{i}"), &format!("obj{i}"));
+        if i > 0 {
+            program.copy(&format!("p{i}"), &format!("p{}", i - 1));
+        }
+        program.store(&format!("p{i}"), &format!("p{}", i / 2));
+        program.load(&format!("q{i}"), &format!("p{i}"));
+    }
+    c.bench_function("table3/andersen-200", |b| {
+        b.iter(|| AndersenAnalysis::solve(&program))
+    });
+    c.bench_function("table3/steensgaard-200", |b| {
+        b.iter(|| SteensgaardAnalysis::solve(&program))
+    });
+}
+
+criterion_group!(benches, bench_identification, bench_points_to);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regenerates Figure 5: per-benchmark run-time overhead relative to native
+//! execution, for each synchronization agent and 2–4 variants.
+//!
+//! The paper draws these as stacked bars (one stack per benchmark, one bar
+//! per agent, segments for 2/3/4 variants); this binary prints the same
+//! series as a table, one row per (benchmark, agent).
+
+use mvee_bench::{format_row, measure, print_table_header, workload_scale};
+use mvee_sync_agent::agents::AgentKind;
+use mvee_workloads::catalog::CATALOG;
+
+fn main() {
+    let scale = workload_scale();
+    println!("Figure 5 — relative overhead per benchmark, agent and variant count");
+    println!("(values are run time / native run time; scale = {scale:.1e})");
+
+    let widths = [16, 16, 12, 12, 12, 10];
+    print_table_header(
+        "Figure 5",
+        &["benchmark", "agent", "2 variants", "3 variants", "4 variants", "clean"],
+        &widths,
+    );
+
+    for spec in CATALOG {
+        for agent in AgentKind::replication_agents() {
+            let mut cells = vec![spec.name.to_string(), agent.name().to_string()];
+            let mut all_clean = true;
+            for variants in [2usize, 3, 4] {
+                let m = measure(spec, agent, variants, scale);
+                all_clean &= m.clean;
+                cells.push(format!("{:.2}x", m.slowdown));
+            }
+            cells.push(if all_clean { "yes".into() } else { "NO".into() });
+            println!("{}", format_row(&cells, &widths));
+        }
+    }
+}

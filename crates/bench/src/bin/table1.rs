@@ -1,0 +1,48 @@
+//! Regenerates Table 1: aggregated average slowdowns of the three
+//! synchronization agents with 2, 3 and 4 variants, over the whole
+//! PARSEC + SPLASH catalog.
+//!
+//! The paper reports 2.76–2.87× (total order), 2.83–3.00× (partial order)
+//! and 1.14–1.38× (wall of clocks).  The absolute values here depend on the
+//! simulated substrate, but the *ordering* (WoC ≪ PO ≈ TO) and the growth
+//! with the variant count reproduce the paper's shape.
+
+use mvee_bench::{arithmetic_mean, format_row, measure, print_table_header, workload_scale};
+use mvee_sync_agent::agents::AgentKind;
+use mvee_workloads::catalog::CATALOG;
+
+fn main() {
+    let scale = workload_scale();
+    let variant_counts = [2usize, 3, 4];
+    println!("Table 1 — aggregated average slowdowns per agent and variant count");
+    println!("(scale = {scale:.1e}; paper: TO 2.76/2.83/2.87, PO 2.83/2.83/3.00, WoC 1.14/1.27/1.38)");
+
+    let widths = [20, 12, 12, 12];
+    print_table_header(
+        "Table 1",
+        &["agent", "2 variants", "3 variants", "4 variants"],
+        &widths,
+    );
+
+    for agent in AgentKind::replication_agents() {
+        let mut row = vec![agent.name().to_string()];
+        for &variants in &variant_counts {
+            let mut slowdowns = Vec::new();
+            for spec in CATALOG {
+                let m = measure(spec, agent, variants, scale);
+                if m.clean {
+                    slowdowns.push(m.slowdown);
+                } else {
+                    eprintln!(
+                        "warning: {} with {} variants under {} diverged",
+                        spec.name,
+                        variants,
+                        agent.name()
+                    );
+                }
+            }
+            row.push(format!("{:.2}x", arithmetic_mean(&slowdowns)));
+        }
+        println!("{}", format_row(&row, &widths));
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerates Table 2: native run times, system-call rates and sync-op
+//! rates of the PARSEC 2.1 and SPLASH-2x benchmarks (4 worker threads).
+//!
+//! The synthetic workloads are parameterized by the paper's own Table 2, so
+//! this binary shows both the paper's values and the rates the scaled
+//! synthetic programs actually achieve when run natively.
+
+use mvee_bench::{format_row, print_table_header, workload_scale};
+use mvee_variant::runner::run_native;
+use mvee_workloads::catalog::{Suite, CATALOG};
+
+fn main() {
+    let scale = workload_scale();
+    println!("Table 2 — native run times, syscall and sync-op rates");
+    println!("(paper values for the real suites; measured values for the scaled synthetic programs, scale = {scale:.1e})");
+
+    let widths = [16, 10, 12, 12, 12, 14, 14];
+    print_table_header(
+        "Table 2",
+        &[
+            "benchmark",
+            "suite",
+            "paper t(s)",
+            "paper sc/s",
+            "paper sy/s",
+            "meas. sc/s",
+            "meas. sy/s",
+        ],
+        &widths,
+    );
+
+    for spec in CATALOG {
+        let program = spec.paper_program(scale);
+        let report = run_native(&program);
+        let suite = match spec.suite {
+            Suite::Parsec => "PARSEC",
+            Suite::Splash2x => "SPLASH-2x",
+        };
+        println!(
+            "{}",
+            format_row(
+                &[
+                    spec.name.to_string(),
+                    suite.to_string(),
+                    format!("{:.2}", spec.native_runtime_s),
+                    format!("{:.0}", spec.syscalls_per_s),
+                    format!("{:.0}", spec.sync_ops_per_s),
+                    format!("{:.0}", report.syscall_rate()),
+                    format!("{:.0}", report.sync_op_rate()),
+                ],
+                &widths,
+            )
+        );
+    }
+    println!("\n(sc/s = system calls per second, sy/s = sync ops per second)");
+}

@@ -1,0 +1,178 @@
+//! Divergence detection: comparing equivalent system calls across variants.
+//!
+//! The monitor's security argument rests on one comparison: when the
+//! equivalent threads of all variants arrive at their n-th monitored system
+//! call, the calls must be *equivalent* — same call number, same compared
+//! arguments, same outgoing data.  Pointer-valued arguments are exempt
+//! because diversified variants legitimately pass different addresses.
+//!
+//! A mismatch, or a variant that fails to arrive at the rendezvous at all
+//! within the timeout, produces a [`DivergenceReport`] and the MVEE shuts all
+//! variants down (§1: "MVEEs terminate execution upon detection of
+//! divergence").
+
+use serde::{Deserialize, Serialize};
+
+use mvee_kernel::syscall::{ComparisonKey, Sysno};
+
+/// Why the monitor declared divergence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivergenceKind {
+    /// Two variants issued different system calls (or the same call with
+    /// different compared arguments) at the same rendezvous point.
+    SyscallMismatch {
+        /// The call issued by the master variant.
+        master: Sysno,
+        /// The call issued by the diverging variant.
+        variant: Sysno,
+    },
+    /// A variant failed to reach the rendezvous before the timeout expired.
+    RendezvousTimeout {
+        /// The variant(s) that did arrive in time.
+        arrived: Vec<usize>,
+    },
+    /// A variant issued a call that the policy forbids outright
+    /// (used by tests to model policies with deny-lists).
+    PolicyViolation {
+        /// The offending call.
+        call: Sysno,
+    },
+}
+
+/// A divergence event: the MVEE's detection result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DivergenceReport {
+    /// The kind of divergence.
+    pub kind: DivergenceKind,
+    /// Logical thread on which the divergence was observed.
+    pub thread: usize,
+    /// Per-thread sequence number of the monitored call.
+    pub sequence: u64,
+    /// Index of the variant the monitor blames (the first variant whose key
+    /// differed from the master's, or the first missing variant).
+    pub variant: usize,
+}
+
+impl DivergenceReport {
+    /// A short human-readable summary.
+    pub fn summary(&self) -> String {
+        match &self.kind {
+            DivergenceKind::SyscallMismatch { master, variant } => format!(
+                "divergence on thread {} call #{}: master issued {} but variant {} issued {}",
+                self.thread,
+                self.sequence,
+                master.name(),
+                self.variant,
+                variant.name()
+            ),
+            DivergenceKind::RendezvousTimeout { arrived } => format!(
+                "divergence on thread {} call #{}: variant {} did not reach the rendezvous (arrived: {:?})",
+                self.thread, self.sequence, self.variant, arrived
+            ),
+            DivergenceKind::PolicyViolation { call } => format!(
+                "policy violation on thread {} call #{}: variant {} issued forbidden call {}",
+                self.thread,
+                self.sequence,
+                self.variant,
+                call.name()
+            ),
+        }
+    }
+}
+
+/// Compares the master's key against every other variant's key.
+///
+/// Returns the index and key of the first variant that disagrees, if any.
+/// `keys[i]` is `None` when variant `i` has not arrived; absent variants are
+/// not treated as divergent here (the rendezvous timeout handles them).
+pub fn first_mismatch(
+    keys: &[Option<ComparisonKey>],
+) -> Option<(usize, ComparisonKey, ComparisonKey)> {
+    let master = keys.first().and_then(|k| k.as_ref())?;
+    for (i, key) in keys.iter().enumerate().skip(1) {
+        if let Some(k) = key {
+            if k != master {
+                return Some((i, master.clone(), k.clone()));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvee_kernel::syscall::SyscallRequest;
+
+    fn key(no: Sysno, payload: &[u8]) -> ComparisonKey {
+        SyscallRequest::new(no).with_payload(payload).comparison_key()
+    }
+
+    #[test]
+    fn identical_keys_produce_no_mismatch() {
+        let keys = vec![
+            Some(key(Sysno::Write, b"hello")),
+            Some(key(Sysno::Write, b"hello")),
+            Some(key(Sysno::Write, b"hello")),
+        ];
+        assert!(first_mismatch(&keys).is_none());
+    }
+
+    #[test]
+    fn differing_call_number_is_a_mismatch() {
+        let keys = vec![
+            Some(key(Sysno::Write, b"x")),
+            Some(key(Sysno::Mprotect, b"x")),
+        ];
+        let (variant, master, diverged) = first_mismatch(&keys).unwrap();
+        assert_eq!(variant, 1);
+        assert_eq!(master.no, Sysno::Write);
+        assert_eq!(diverged.no, Sysno::Mprotect);
+    }
+
+    #[test]
+    fn differing_payload_is_a_mismatch() {
+        let keys = vec![
+            Some(key(Sysno::Write, b"normal response")),
+            Some(key(Sysno::Write, b"leaked secrets!")),
+        ];
+        assert!(first_mismatch(&keys).is_some());
+    }
+
+    #[test]
+    fn missing_variants_are_not_mismatches() {
+        let keys = vec![Some(key(Sysno::Write, b"x")), None, Some(key(Sysno::Write, b"x"))];
+        assert!(first_mismatch(&keys).is_none());
+    }
+
+    #[test]
+    fn missing_master_is_not_a_mismatch_yet() {
+        let keys = vec![None, Some(key(Sysno::Write, b"x"))];
+        assert!(first_mismatch(&keys).is_none());
+    }
+
+    #[test]
+    fn report_summaries_mention_the_blamed_variant() {
+        let report = DivergenceReport {
+            kind: DivergenceKind::SyscallMismatch {
+                master: Sysno::Write,
+                variant: Sysno::Mprotect,
+            },
+            thread: 2,
+            sequence: 17,
+            variant: 1,
+        };
+        let s = report.summary();
+        assert!(s.contains("write"));
+        assert!(s.contains("mprotect"));
+        assert!(s.contains("variant 1"));
+
+        let timeout = DivergenceReport {
+            kind: DivergenceKind::RendezvousTimeout { arrived: vec![0] },
+            thread: 0,
+            sequence: 3,
+            variant: 1,
+        };
+        assert!(timeout.summary().contains("did not reach"));
+    }
+}

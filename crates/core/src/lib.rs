@@ -1,0 +1,47 @@
+//! The MVEE monitor: lockstep system-call monitoring, divergence detection
+//! and result replication.
+//!
+//! A multi-variant execution environment (MVEE) runs two or more diversified
+//! copies (*variants*) of the same program side by side and compares their
+//! behaviour at the system-call interface.  Because every variant receives
+//! the same inputs but the variants are diversified (different address-space
+//! layouts, disjoint code layouts, ...), a memory-corruption exploit that
+//! depends on concrete addresses cannot compromise all variants at once
+//! without making them behave differently — and behavioural *divergence* is
+//! exactly what the monitor detects and turns into a shutdown.
+//!
+//! This crate is the reproduction of ReMon's monitor as described in the
+//! paper:
+//!
+//! * [`monitor::Monitor`] — the system-call gateway every variant thread
+//!   calls instead of the kernel.  It performs lockstep comparison
+//!   ([`lockstep`]), replication of I/O results from the master to the
+//!   slaves, and cross-thread ordering of ordered calls via the *syscall
+//!   ordering clock* ([`ordering`], §4.1 of the paper).
+//! * [`policy::MonitoringPolicy`] — which calls are locksteped (everything,
+//!   only security-sensitive calls, or nothing), matching the policy range
+//!   evaluated in §5.1.
+//! * [`divergence`] — the comparison logic and the report produced when
+//!   variants disagree.
+//! * [`mvee::Mvee`] — the front end that wires a simulated kernel, a
+//!   synchronization agent and a monitor together and hands out per-variant
+//!   gateways.
+//!
+//! The crate deliberately knows nothing about *how* variants execute; the
+//! `mvee-variant` crate drives real OS threads through the gateway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod divergence;
+pub mod lockstep;
+pub mod monitor;
+pub mod mvee;
+pub mod ordering;
+pub mod policy;
+
+pub use divergence::{DivergenceKind, DivergenceReport};
+pub use monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
+pub use mvee::{Mvee, MveeBuilder, VariantGateway};
+pub use ordering::SyscallOrderingClock;
+pub use policy::MonitoringPolicy;

@@ -1,0 +1,350 @@
+//! The lockstep rendezvous and result-replication table.
+//!
+//! Every monitored call of a variant thread maps to a *slot*, keyed by the
+//! logical thread index and the thread's per-thread call sequence number.
+//! The slot is where the monitor implements the two cross-variant
+//! interactions the paper describes:
+//!
+//! * **Lockstep comparison** — under a lockstep policy, no variant may
+//!   proceed past the call until all variants have arrived at the same slot
+//!   with an equivalent call ([`LockstepTable::arrive`]).
+//! * **Result replication** — for I/O calls the master executes the call once
+//!   and publishes the outcome into the slot
+//!   ([`LockstepTable::publish_outcome`]); slave variants block until the
+//!   outcome is available ([`LockstepTable::wait_outcome`]).
+//!
+//! Slots are reclaimed once every variant has consumed them, so the table's
+//! size is bounded by the number of in-flight calls, not by the length of the
+//! execution.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use mvee_kernel::syscall::{ComparisonKey, SyscallOutcome};
+
+use crate::divergence::first_mismatch;
+
+/// Identifies a monitored call: (logical thread, per-thread sequence number).
+pub type SlotKey = (usize, u64);
+
+/// Result of a lockstep arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalResult {
+    /// All variants arrived with equivalent calls.
+    Consistent,
+    /// A variant arrived with a different call; the tuple holds
+    /// (diverging variant index, master key, diverging key).
+    Mismatch(usize, ComparisonKey, ComparisonKey),
+    /// Not every variant arrived before the timeout; the vector lists the
+    /// variants that did arrive.
+    Timeout(Vec<usize>),
+    /// The table was poisoned because divergence was detected elsewhere.
+    Poisoned,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    keys: Vec<Option<ComparisonKey>>,
+    outcome: Option<SyscallOutcome>,
+    timestamp: Option<u64>,
+    consumed: usize,
+    mismatch: bool,
+}
+
+impl Slot {
+    fn new(variants: usize) -> Self {
+        Slot {
+            keys: vec![None; variants],
+            outcome: None,
+            timestamp: None,
+            consumed: 0,
+            mismatch: false,
+        }
+    }
+
+    fn arrived(&self) -> usize {
+        self.keys.iter().filter(|k| k.is_some()).count()
+    }
+}
+
+/// The rendezvous / replication table shared by all monitor threads.
+#[derive(Debug)]
+pub struct LockstepTable {
+    variants: usize,
+    slots: Mutex<HashMap<SlotKey, Slot>>,
+    changed: Condvar,
+    poisoned: Mutex<bool>,
+}
+
+impl LockstepTable {
+    /// Creates a table for `variants` variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` is zero.
+    pub fn new(variants: usize) -> Self {
+        assert!(variants > 0, "need at least one variant");
+        LockstepTable {
+            variants,
+            slots: Mutex::new(HashMap::new()),
+            changed: Condvar::new(),
+            poisoned: Mutex::new(false),
+        }
+    }
+
+    /// Number of variants this table coordinates.
+    pub fn variants(&self) -> usize {
+        self.variants
+    }
+
+    /// Number of live (unreclaimed) slots; used by tests to verify cleanup.
+    pub fn live_slots(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Marks the table as poisoned and wakes every waiter.
+    ///
+    /// Called when divergence has been detected so that threads blocked in a
+    /// rendezvous or waiting for a replicated result abort promptly instead
+    /// of running into their timeouts.
+    pub fn poison(&self) {
+        *self.poisoned.lock() = true;
+        self.changed.notify_all();
+    }
+
+    /// Whether the table has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        *self.poisoned.lock()
+    }
+
+    /// Registers variant `variant`'s arrival at `key` with comparison key
+    /// `cmp` and waits until every variant has arrived (lockstep).
+    pub fn arrive(
+        &self,
+        key: SlotKey,
+        variant: usize,
+        cmp: ComparisonKey,
+        timeout: Duration,
+    ) -> ArrivalResult {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
+        slot.keys[variant] = Some(cmp);
+        let complete = slot.arrived() == self.variants;
+        if complete {
+            if let Some((idx, master, other)) = first_mismatch(&slot.keys) {
+                slot.mismatch = true;
+                self.changed.notify_all();
+                return ArrivalResult::Mismatch(idx, master, other);
+            }
+            self.changed.notify_all();
+            return ArrivalResult::Consistent;
+        }
+        self.changed.notify_all();
+        loop {
+            if *self.poisoned.lock() {
+                return ArrivalResult::Poisoned;
+            }
+            let slot = slots.get(&key).expect("slot cannot vanish while a waiter holds it");
+            if slot.mismatch {
+                let (idx, master, other) =
+                    first_mismatch(&slot.keys).expect("mismatch flag implies a mismatch");
+                return ArrivalResult::Mismatch(idx, master, other);
+            }
+            if slot.arrived() == self.variants {
+                if let Some((idx, master, other)) = first_mismatch(&slot.keys) {
+                    return ArrivalResult::Mismatch(idx, master, other);
+                }
+                return ArrivalResult::Consistent;
+            }
+            let timed_out = self
+                .changed
+                .wait_until(&mut slots, deadline)
+                .timed_out();
+            if timed_out {
+                let slot = slots.get(&key).expect("slot present");
+                if slot.arrived() == self.variants {
+                    continue;
+                }
+                let arrived = slot
+                    .keys
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, k)| k.as_ref().map(|_| i))
+                    .collect();
+                return ArrivalResult::Timeout(arrived);
+            }
+        }
+    }
+
+    /// Publishes the master's outcome (and, for ordered calls, the syscall
+    /// ordering timestamp) into the slot and wakes waiting slaves.
+    pub fn publish_outcome(
+        &self,
+        key: SlotKey,
+        outcome: SyscallOutcome,
+        timestamp: Option<u64>,
+    ) {
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
+        slot.outcome = Some(outcome);
+        slot.timestamp = timestamp;
+        self.changed.notify_all();
+    }
+
+    /// Blocks until the master has published an outcome for `key`.
+    ///
+    /// Returns `None` on timeout or when the table is poisoned.
+    pub fn wait_outcome(
+        &self,
+        key: SlotKey,
+        timeout: Duration,
+    ) -> Option<(SyscallOutcome, Option<u64>)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slots = self.slots.lock();
+        loop {
+            if *self.poisoned.lock() {
+                return None;
+            }
+            if let Some(slot) = slots.get(&key) {
+                if let Some(outcome) = &slot.outcome {
+                    return Some((outcome.clone(), slot.timestamp));
+                }
+            }
+            if self.changed.wait_until(&mut slots, deadline).timed_out() {
+                let published = slots.get(&key).and_then(|s| s.outcome.clone());
+                return published.map(|o| {
+                    let ts = slots.get(&key).and_then(|s| s.timestamp);
+                    (o, ts)
+                });
+            }
+        }
+    }
+
+    /// Marks `variant`'s use of the slot as finished; the slot is reclaimed
+    /// once every variant has consumed it.
+    pub fn consume(&self, key: SlotKey) {
+        let mut slots = self.slots.lock();
+        let remove = if let Some(slot) = slots.get_mut(&key) {
+            slot.consumed += 1;
+            slot.consumed >= self.variants
+        } else {
+            false
+        };
+        if remove {
+            slots.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvee_kernel::syscall::{SyscallRequest, Sysno};
+    use std::sync::Arc;
+
+    fn cmp(no: Sysno, payload: &[u8]) -> ComparisonKey {
+        SyscallRequest::new(no).with_payload(payload).comparison_key()
+    }
+
+    #[test]
+    fn single_variant_arrival_is_immediately_consistent() {
+        let table = LockstepTable::new(1);
+        let r = table.arrive((0, 0), 0, cmp(Sysno::Write, b"x"), Duration::from_millis(50));
+        assert_eq!(r, ArrivalResult::Consistent);
+    }
+
+    #[test]
+    fn two_variants_rendezvous_and_agree() {
+        let table = Arc::new(LockstepTable::new(2));
+        let t2 = Arc::clone(&table);
+        let handle = std::thread::spawn(move || {
+            t2.arrive((0, 0), 1, cmp(Sysno::Open, b""), Duration::from_secs(2))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let r0 = table.arrive((0, 0), 0, cmp(Sysno::Open, b""), Duration::from_secs(2));
+        let r1 = handle.join().unwrap();
+        assert_eq!(r0, ArrivalResult::Consistent);
+        assert_eq!(r1, ArrivalResult::Consistent);
+    }
+
+    #[test]
+    fn mismatched_calls_are_reported_to_both_sides() {
+        let table = Arc::new(LockstepTable::new(2));
+        let t2 = Arc::clone(&table);
+        let handle = std::thread::spawn(move || {
+            t2.arrive((0, 0), 1, cmp(Sysno::Mprotect, b""), Duration::from_secs(2))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let r0 = table.arrive((0, 0), 0, cmp(Sysno::Write, b"hi"), Duration::from_secs(2));
+        let r1 = handle.join().unwrap();
+        assert!(matches!(r0, ArrivalResult::Mismatch(1, _, _)));
+        assert!(matches!(r1, ArrivalResult::Mismatch(1, _, _)));
+    }
+
+    #[test]
+    fn missing_variant_causes_timeout_listing_arrivals() {
+        let table = LockstepTable::new(2);
+        let r = table.arrive((3, 7), 0, cmp(Sysno::Write, b"x"), Duration::from_millis(50));
+        assert_eq!(r, ArrivalResult::Timeout(vec![0]));
+    }
+
+    #[test]
+    fn outcome_publication_wakes_waiters() {
+        let table = Arc::new(LockstepTable::new(2));
+        let t2 = Arc::clone(&table);
+        let handle =
+            std::thread::spawn(move || t2.wait_outcome((1, 5), Duration::from_secs(2)));
+        std::thread::sleep(Duration::from_millis(10));
+        table.publish_outcome((1, 5), SyscallOutcome::ok(42), Some(9));
+        let (outcome, ts) = handle.join().unwrap().unwrap();
+        assert_eq!(outcome.result, Ok(42));
+        assert_eq!(ts, Some(9));
+    }
+
+    #[test]
+    fn wait_outcome_times_out_when_master_never_publishes() {
+        let table = LockstepTable::new(2);
+        assert!(table.wait_outcome((0, 0), Duration::from_millis(40)).is_none());
+    }
+
+    #[test]
+    fn slots_are_reclaimed_after_all_variants_consume() {
+        let table = LockstepTable::new(2);
+        table.publish_outcome((0, 0), SyscallOutcome::ok(1), None);
+        assert_eq!(table.live_slots(), 1);
+        table.consume((0, 0));
+        assert_eq!(table.live_slots(), 1);
+        table.consume((0, 0));
+        assert_eq!(table.live_slots(), 0);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_arrivals() {
+        let table = Arc::new(LockstepTable::new(2));
+        let t2 = Arc::clone(&table);
+        let handle = std::thread::spawn(move || {
+            t2.arrive((0, 0), 0, cmp(Sysno::Write, b"x"), Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        table.poison();
+        assert_eq!(handle.join().unwrap(), ArrivalResult::Poisoned);
+        assert!(table.is_poisoned());
+    }
+
+    #[test]
+    fn distinct_slots_do_not_interfere() {
+        let table = LockstepTable::new(1);
+        assert_eq!(
+            table.arrive((0, 0), 0, cmp(Sysno::Write, b"a"), Duration::from_millis(20)),
+            ArrivalResult::Consistent
+        );
+        assert_eq!(
+            table.arrive((1, 0), 0, cmp(Sysno::Open, b"b"), Duration::from_millis(20)),
+            ArrivalResult::Consistent
+        );
+        assert_eq!(table.live_slots(), 2);
+    }
+}

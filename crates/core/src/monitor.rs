@@ -1,0 +1,625 @@
+//! The monitor: the system-call gateway variants call instead of the kernel.
+//!
+//! In the real ReMon the monitor interposes on system calls with ptrace and a
+//! small in-process broker; in this reproduction every variant thread calls
+//! [`Monitor::syscall`] directly.  The information flow is identical to a
+//! ptrace stop: the monitor sees the call number, the normalized arguments
+//! and the calling (variant, thread) pair, decides whether to compare,
+//! replicate, order or simply forward the call, and only then lets the
+//! variant proceed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use mvee_kernel::kernel::Kernel;
+use mvee_kernel::process::Pid;
+use mvee_kernel::syscall::{SyscallClass, SyscallOutcome, SyscallRequest, Sysno};
+
+use crate::divergence::{DivergenceKind, DivergenceReport};
+use crate::lockstep::{ArrivalResult, LockstepTable, SlotKey};
+use crate::ordering::SyscallOrderingClock;
+use crate::policy::MonitoringPolicy;
+
+/// Spin-then-yield wait with a deadline; returns `false` on timeout.
+///
+/// Used by the ordering clock and a few monitor-internal waits where a
+/// condition variable would be heavier than the expected wait time.
+pub fn wait_until_with_timeout(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    let mut spins = 0u32;
+    loop {
+        if cond() {
+            return true;
+        }
+        if std::time::Instant::now() >= deadline {
+            return cond();
+        }
+        spins += 1;
+        if spins % 64 == 0 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Number of variants under monitoring.
+    pub variants: usize,
+    /// The lockstep policy.
+    pub policy: MonitoringPolicy,
+    /// How long a rendezvous or replication wait may take before the monitor
+    /// declares divergence.
+    pub lockstep_timeout: Duration,
+    /// Maximum number of logical threads per variant.
+    pub max_threads: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            variants: 2,
+            policy: MonitoringPolicy::StrictLockstep,
+            lockstep_timeout: Duration::from_secs(5),
+            max_threads: 64,
+        }
+    }
+}
+
+/// Errors the gateway returns to a variant thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// Divergence was detected on this very call; the report describes it.
+    Diverged(DivergenceReport),
+    /// The MVEE has already been shut down (divergence detected elsewhere);
+    /// the variant thread must terminate.
+    ShutDown,
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::Diverged(report) => write!(f, "{}", report.summary()),
+            MonitorError::ShutDown => write!(f, "MVEE has been shut down"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// Aggregate counters the monitor maintains.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Total calls that entered the gateway.
+    pub total_syscalls: u64,
+    /// Calls that required a lockstep rendezvous.
+    pub lockstep_syscalls: u64,
+    /// Calls whose results were replicated from the master.
+    pub replicated_syscalls: u64,
+    /// Calls ordered with the syscall ordering clock.
+    pub ordered_syscalls: u64,
+    /// Divergences detected.
+    pub divergences: u64,
+    /// `mvee_self_aware` queries answered.
+    pub self_aware_queries: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCounters {
+    total_syscalls: AtomicU64,
+    lockstep_syscalls: AtomicU64,
+    replicated_syscalls: AtomicU64,
+    ordered_syscalls: AtomicU64,
+    divergences: AtomicU64,
+    self_aware_queries: AtomicU64,
+}
+
+/// The MVEE monitor.
+pub struct Monitor {
+    config: MonitorConfig,
+    kernel: std::sync::Arc<Kernel>,
+    /// Kernel process backing each variant.
+    pids: Vec<Pid>,
+    lockstep: LockstepTable,
+    /// Per-variant syscall ordering clocks.  The master's clock hands out
+    /// timestamps; each slave's clock gates execution (§4.1).
+    ordering_clocks: Vec<SyscallOrderingClock>,
+    /// Per (variant, thread) sequence numbers for monitored calls.
+    sequences: Vec<AtomicU64>,
+    stats: StatCounters,
+    diverged: AtomicBool,
+    divergence_report: Mutex<Option<DivergenceReport>>,
+}
+
+impl Monitor {
+    /// Creates a monitor over an existing kernel and pre-spawned variant
+    /// processes (`pids[i]` backs variant `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pids.len() != config.variants` or if `config.variants == 0`.
+    pub fn new(config: MonitorConfig, kernel: std::sync::Arc<Kernel>, pids: Vec<Pid>) -> Self {
+        assert!(config.variants > 0, "need at least one variant");
+        assert_eq!(
+            pids.len(),
+            config.variants,
+            "one kernel process per variant is required"
+        );
+        Monitor {
+            lockstep: LockstepTable::new(config.variants),
+            ordering_clocks: (0..config.variants)
+                .map(|_| SyscallOrderingClock::new())
+                .collect(),
+            sequences: (0..config.variants * config.max_threads)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            stats: StatCounters::default(),
+            diverged: AtomicBool::new(false),
+            divergence_report: Mutex::new(None),
+            config,
+            kernel,
+            pids,
+        }
+    }
+
+    /// The monitor configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// The kernel process id backing `variant`.
+    pub fn pid_of(&self, variant: usize) -> Pid {
+        self.pids[variant]
+    }
+
+    /// Whether divergence has been detected.
+    pub fn has_diverged(&self) -> bool {
+        self.diverged.load(Ordering::Acquire)
+    }
+
+    /// The divergence report, if any.
+    pub fn divergence(&self) -> Option<DivergenceReport> {
+        self.divergence_report.lock().clone()
+    }
+
+    /// A snapshot of the monitor's counters.
+    pub fn stats(&self) -> MonitorStats {
+        MonitorStats {
+            total_syscalls: self.stats.total_syscalls.load(Ordering::Relaxed),
+            lockstep_syscalls: self.stats.lockstep_syscalls.load(Ordering::Relaxed),
+            replicated_syscalls: self.stats.replicated_syscalls.load(Ordering::Relaxed),
+            ordered_syscalls: self.stats.ordered_syscalls.load(Ordering::Relaxed),
+            divergences: self.stats.divergences.load(Ordering::Relaxed),
+            self_aware_queries: self.stats.self_aware_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    fn seq_slot(&self, variant: usize, thread: usize) -> &AtomicU64 {
+        &self.sequences[variant * self.config.max_threads + thread]
+    }
+
+    fn record_divergence(&self, report: DivergenceReport) -> MonitorError {
+        self.stats.divergences.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.divergence_report.lock();
+        if slot.is_none() {
+            *slot = Some(report.clone());
+        }
+        drop(slot);
+        self.diverged.store(true, Ordering::Release);
+        // Wake every thread blocked in a rendezvous or replication wait so
+        // the whole MVEE shuts down promptly.
+        self.lockstep.poison();
+        MonitorError::Diverged(report)
+    }
+
+    /// The single entry point: thread `thread` of variant `variant` issues
+    /// the system call described by `req`.
+    ///
+    /// Returns the outcome the variant observes, or an error instructing the
+    /// variant to terminate.
+    pub fn syscall(
+        &self,
+        variant: usize,
+        thread: usize,
+        req: &SyscallRequest,
+    ) -> Result<SyscallOutcome, MonitorError> {
+        assert!(variant < self.config.variants, "unknown variant index");
+        assert!(thread < self.config.max_threads, "thread index out of range");
+
+        if self.has_diverged() {
+            return Err(MonitorError::ShutDown);
+        }
+        self.stats.total_syscalls.fetch_add(1, Ordering::Relaxed);
+
+        // The self-awareness pseudo call (§4.5): answered by the monitor, not
+        // the kernel.  Returns 0 for the master and the 1-based slave index
+        // for slaves.
+        if req.no == Sysno::MveeSelfAware {
+            self.stats.self_aware_queries.fetch_add(1, Ordering::Relaxed);
+            return Ok(SyscallOutcome::ok(variant as i64));
+        }
+
+        let seq = self.seq_slot(variant, thread).fetch_add(1, Ordering::AcqRel);
+        let key: SlotKey = (thread, seq);
+
+        let lockstep = self.config.policy.requires_lockstep(req.no);
+        let replicate = Self::is_replicated(req.no);
+        let ordered = !replicate && req.no.needs_ordering();
+
+        if lockstep {
+            self.stats.lockstep_syscalls.fetch_add(1, Ordering::Relaxed);
+            match self.lockstep.arrive(
+                key,
+                variant,
+                req.comparison_key(),
+                self.config.lockstep_timeout,
+            ) {
+                ArrivalResult::Consistent => {}
+                ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => {
+                    return Err(self.record_divergence(DivergenceReport {
+                        kind: DivergenceKind::SyscallMismatch {
+                            master: master_key.no,
+                            variant: bad_key.no,
+                        },
+                        thread,
+                        sequence: seq,
+                        variant: bad_variant,
+                    }));
+                }
+                ArrivalResult::Timeout(arrived) => {
+                    let missing = (0..self.config.variants)
+                        .find(|v| !arrived.contains(v))
+                        .unwrap_or(0);
+                    return Err(self.record_divergence(DivergenceReport {
+                        kind: DivergenceKind::RendezvousTimeout { arrived },
+                        thread,
+                        sequence: seq,
+                        variant: missing,
+                    }));
+                }
+                ArrivalResult::Poisoned => return Err(MonitorError::ShutDown),
+            }
+        }
+
+        if replicate {
+            self.stats.replicated_syscalls.fetch_add(1, Ordering::Relaxed);
+            return self.run_replicated(variant, thread, seq, key, req);
+        }
+        if ordered {
+            self.stats.ordered_syscalls.fetch_add(1, Ordering::Relaxed);
+            return self.run_ordered(variant, thread, seq, key, req);
+        }
+        // Neither replicated nor ordered: the variant executes against its
+        // own kernel process directly (sched_yield, gettid-style queries that
+        // happen to differ, exit of a single thread, ...).
+        self.lockstep.consume(key);
+        Ok(self.kernel.execute(self.pids[variant], thread as u64, req))
+    }
+
+    /// Whether results for this call flow from the master to the slaves.
+    fn is_replicated(no: Sysno) -> bool {
+        matches!(
+            no.class(),
+            SyscallClass::Io | SyscallClass::ReadOnlyInfo | SyscallClass::BlockingSync
+        )
+    }
+
+    fn run_replicated(
+        &self,
+        variant: usize,
+        thread: usize,
+        seq: u64,
+        key: SlotKey,
+        req: &SyscallRequest,
+    ) -> Result<SyscallOutcome, MonitorError> {
+        if variant == 0 {
+            // Master: execute once, publish, done.
+            let outcome = self.kernel.execute(self.pids[0], thread as u64, req);
+            self.lockstep.publish_outcome(key, outcome.clone(), None);
+            self.lockstep.consume(key);
+            Ok(outcome)
+        } else {
+            match self.lockstep.wait_outcome(key, self.config.lockstep_timeout) {
+                Some((outcome, _)) => {
+                    self.lockstep.consume(key);
+                    Ok(outcome)
+                }
+                None => {
+                    if self.has_diverged() {
+                        return Err(MonitorError::ShutDown);
+                    }
+                    Err(self.record_divergence(DivergenceReport {
+                        kind: DivergenceKind::RendezvousTimeout { arrived: vec![variant] },
+                        thread,
+                        sequence: seq,
+                        variant: 0,
+                    }))
+                }
+            }
+        }
+    }
+
+    fn run_ordered(
+        &self,
+        variant: usize,
+        thread: usize,
+        seq: u64,
+        key: SlotKey,
+        req: &SyscallRequest,
+    ) -> Result<SyscallOutcome, MonitorError> {
+        if variant == 0 {
+            // Master: claim a timestamp, execute, publish the timestamp so the
+            // slaves can replay the cross-thread order.
+            let ts = self.ordering_clocks[0].claim_timestamp();
+            let outcome = self.kernel.execute(self.pids[0], thread as u64, req);
+            self.lockstep.publish_outcome(key, outcome.clone(), Some(ts));
+            self.lockstep.consume(key);
+            Ok(outcome)
+        } else {
+            let (_, ts) = match self.lockstep.wait_outcome(key, self.config.lockstep_timeout) {
+                Some(v) => v,
+                None => {
+                    if self.has_diverged() {
+                        return Err(MonitorError::ShutDown);
+                    }
+                    return Err(self.record_divergence(DivergenceReport {
+                        kind: DivergenceKind::RendezvousTimeout { arrived: vec![variant] },
+                        thread,
+                        sequence: seq,
+                        variant: 0,
+                    }));
+                }
+            };
+            let ts = ts.unwrap_or(0);
+            if !self.ordering_clocks[variant].wait_for_turn(ts, self.config.lockstep_timeout) {
+                if self.has_diverged() {
+                    return Err(MonitorError::ShutDown);
+                }
+                return Err(self.record_divergence(DivergenceReport {
+                    kind: DivergenceKind::RendezvousTimeout { arrived: vec![variant] },
+                    thread,
+                    sequence: seq,
+                    variant,
+                }));
+            }
+            let outcome = self.kernel.execute(self.pids[variant], thread as u64, req);
+            self.ordering_clocks[variant].advance();
+            self.lockstep.consume(key);
+            Ok(outcome)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvee_kernel::syscall::SyscallArg;
+    use mvee_kernel::vfs::OpenFlags;
+    use std::sync::Arc;
+
+    fn make_monitor(variants: usize, policy: MonitoringPolicy) -> (Arc<Monitor>, Arc<Kernel>) {
+        let kernel = Arc::new(Kernel::new_manual_clock());
+        kernel.install_file("/input", b"some input data");
+        let pids = (0..variants).map(|_| kernel.spawn_process()).collect();
+        let config = MonitorConfig {
+            variants,
+            policy,
+            lockstep_timeout: Duration::from_millis(500),
+            max_threads: 8,
+        };
+        (Arc::new(Monitor::new(config, Arc::clone(&kernel), pids)), kernel)
+    }
+
+    fn open_req(path: &str) -> SyscallRequest {
+        SyscallRequest::new(Sysno::Open)
+            .with_path(path)
+            .with_arg(SyscallArg::Flags(OpenFlags::READ.bits()))
+    }
+
+    #[test]
+    fn self_aware_call_reports_variant_index() {
+        let (monitor, _) = make_monitor(3, MonitoringPolicy::StrictLockstep);
+        for v in 0..3 {
+            let out = monitor
+                .syscall(v, 0, &SyscallRequest::new(Sysno::MveeSelfAware))
+                .unwrap();
+            assert_eq!(out.result, Ok(v as i64));
+        }
+        assert_eq!(monitor.stats().self_aware_queries, 3);
+    }
+
+    #[test]
+    fn replicated_open_gives_all_variants_the_same_fd() {
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::StrictLockstep);
+        let m = Arc::clone(&monitor);
+        let slave = std::thread::spawn(move || m.syscall(1, 0, &open_req("/input")).unwrap());
+        let master = monitor.syscall(0, 0, &open_req("/input")).unwrap();
+        let slave = slave.join().unwrap();
+        assert_eq!(master.result, slave.result);
+        assert_eq!(master.result, Ok(3));
+        assert!(!monitor.has_diverged());
+    }
+
+    #[test]
+    fn replicated_read_copies_master_payload_to_slaves() {
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::StrictLockstep);
+        // Both variants open the file first.
+        let m = Arc::clone(&monitor);
+        let t = std::thread::spawn(move || {
+            m.syscall(1, 0, &open_req("/input")).unwrap();
+            m.syscall(
+                1,
+                0,
+                &SyscallRequest::new(Sysno::Read).with_fd(3).with_int(4),
+            )
+            .unwrap()
+        });
+        monitor.syscall(0, 0, &open_req("/input")).unwrap();
+        let master = monitor
+            .syscall(0, 0, &SyscallRequest::new(Sysno::Read).with_fd(3).with_int(4))
+            .unwrap();
+        let slave = t.join().unwrap();
+        assert_eq!(master.payload, b"some");
+        assert_eq!(slave.payload, b"some");
+    }
+
+    #[test]
+    fn lockstep_detects_divergent_write_payloads() {
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::StrictLockstep);
+        let m = Arc::clone(&monitor);
+        let slave = std::thread::spawn(move || {
+            m.syscall(
+                1,
+                0,
+                &SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(b"evil"),
+            )
+        });
+        let master = monitor.syscall(
+            0,
+            0,
+            &SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(b"good"),
+        );
+        let slave = slave.join().unwrap();
+        assert!(master.is_err() || slave.is_err());
+        assert!(monitor.has_diverged());
+        let report = monitor.divergence().unwrap();
+        assert!(matches!(report.kind, DivergenceKind::SyscallMismatch { .. }));
+        assert_eq!(monitor.stats().divergences >= 1, true);
+    }
+
+    #[test]
+    fn lockstep_detects_divergent_call_numbers() {
+        // The attack scenario: the compromised slave issues mprotect while
+        // the master issues a write.
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::StrictLockstep);
+        let m = Arc::clone(&monitor);
+        let slave = std::thread::spawn(move || {
+            m.syscall(
+                1,
+                0,
+                &SyscallRequest::new(Sysno::Mprotect)
+                    .with_arg(SyscallArg::Pointer(0x7fff_0000))
+                    .with_int(4096)
+                    .with_arg(SyscallArg::Flags(7)),
+            )
+        });
+        let master = monitor.syscall(
+            0,
+            0,
+            &SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(b"response"),
+        );
+        let slave_result = slave.join().unwrap();
+        assert!(master.is_err() || slave_result.is_err());
+        assert!(monitor.has_diverged());
+    }
+
+    #[test]
+    fn missing_variant_triggers_timeout_divergence() {
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::StrictLockstep);
+        let result = monitor.syscall(0, 0, &open_req("/input"));
+        assert!(result.is_err());
+        let report = monitor.divergence().unwrap();
+        assert!(matches!(report.kind, DivergenceKind::RendezvousTimeout { .. }));
+    }
+
+    #[test]
+    fn calls_after_divergence_are_rejected() {
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::StrictLockstep);
+        let _ = monitor.syscall(0, 0, &open_req("/input"));
+        assert!(monitor.has_diverged());
+        let r = monitor.syscall(0, 1, &SyscallRequest::new(Sysno::SchedYield));
+        assert_eq!(r, Err(MonitorError::ShutDown));
+    }
+
+    #[test]
+    fn ordered_brk_executes_in_each_variants_own_address_space() {
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::NoComparison);
+        let m = Arc::clone(&monitor);
+        let slave = std::thread::spawn(move || {
+            m.syscall(1, 0, &SyscallRequest::new(Sysno::Brk).with_int(0)).unwrap()
+        });
+        let master = monitor
+            .syscall(0, 0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+            .unwrap();
+        let slave = slave.join().unwrap();
+        // Both get their own break value; with identical layouts they match.
+        assert_eq!(master.result, slave.result);
+        assert!(monitor.stats().ordered_syscalls >= 2);
+    }
+
+    #[test]
+    fn ordering_clock_makes_slave_follow_master_cross_thread_order() {
+        // Master: thread 0 brk, then thread 1 brk (timestamps 0 and 1).
+        // Slave: thread 1 arrives first but must wait for thread 0.
+        let (monitor, kernel) = make_monitor(2, MonitoringPolicy::NoComparison);
+        let brk = |m: &Monitor, v: usize, t: usize| {
+            m.syscall(v, t, &SyscallRequest::new(Sysno::Brk).with_int(0))
+        };
+        brk(&monitor, 0, 0).unwrap();
+        brk(&monitor, 0, 1).unwrap();
+
+        let m = Arc::clone(&monitor);
+        let slave_t1 = std::thread::spawn(move || brk(&m, 1, 1));
+        std::thread::sleep(Duration::from_millis(50));
+        // Slave thread 1 is stalled on the ordering clock until thread 0 runs.
+        brk(&monitor, 1, 0).unwrap();
+        slave_t1.join().unwrap().unwrap();
+        assert!(!monitor.has_diverged());
+        assert_eq!(monitor.stats().ordered_syscalls, 4);
+        assert!(kernel.process_syscall_count(monitor.pid_of(1)) >= 1);
+    }
+
+    #[test]
+    fn relaxed_policy_skips_lockstep_for_non_sensitive_calls() {
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::SecuritySensitiveOnly);
+        // gettimeofday is not security sensitive: the master proceeds without
+        // waiting for the slave to arrive.
+        let master = monitor
+            .syscall(0, 0, &SyscallRequest::new(Sysno::Gettimeofday))
+            .unwrap();
+        assert_eq!(monitor.stats().lockstep_syscalls, 0);
+        // The slave arrives later and still receives the replicated result.
+        let slave = monitor
+            .syscall(1, 0, &SyscallRequest::new(Sysno::Gettimeofday))
+            .unwrap();
+        assert_eq!(master.payload, slave.payload);
+        // A sensitive call under the same policy still requires lockstep: the
+        // master alone times out into a divergence.
+        let r = monitor.syscall(0, 0, &open_req("/input"));
+        assert!(r.is_err());
+        assert_eq!(monitor.stats().lockstep_syscalls, 1);
+    }
+
+    #[test]
+    fn stats_track_call_categories() {
+        let (monitor, _) = make_monitor(1, MonitoringPolicy::StrictLockstep);
+        monitor.syscall(0, 0, &open_req("/input")).unwrap();
+        monitor
+            .syscall(0, 0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+            .unwrap();
+        monitor
+            .syscall(0, 0, &SyscallRequest::new(Sysno::SchedYield))
+            .unwrap();
+        let s = monitor.stats();
+        assert_eq!(s.total_syscalls, 3);
+        assert_eq!(s.replicated_syscalls, 1);
+        assert_eq!(s.ordered_syscalls, 1);
+        assert_eq!(s.divergences, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one kernel process per variant")]
+    fn monitor_requires_one_pid_per_variant() {
+        let kernel = Arc::new(Kernel::new_manual_clock());
+        let pid = kernel.spawn_process();
+        let config = MonitorConfig {
+            variants: 2,
+            ..Default::default()
+        };
+        let _ = Monitor::new(config, kernel, vec![pid]);
+    }
+}

@@ -1,0 +1,392 @@
+//! The MVEE front end: wiring a kernel, a monitor and a synchronization agent
+//! together and handing out per-variant gateways.
+//!
+//! This mirrors ReMon's bootstrap process (§4 of the paper): the bootstrap
+//! sets up the variants (here: one simulated kernel process per variant,
+//! optionally with a diversified address-space layout), the monitors and the
+//! shared buffers, injects the synchronization agent, and then hands control
+//! to the monitors.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mvee_kernel::kernel::Kernel;
+use mvee_kernel::process::Pid;
+use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest};
+use mvee_sync_agent::agents::{build_agent, AgentKind};
+use mvee_sync_agent::context::{AgentConfig, SyncContext, VariantRole};
+use mvee_sync_agent::{AgentStats, SyncAgent};
+
+use crate::divergence::DivergenceReport;
+use crate::monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
+use crate::policy::MonitoringPolicy;
+
+/// Per-variant address-space layout (ASLR / DCL diversity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariantLayout {
+    /// Program-break base address.
+    pub brk_base: u64,
+    /// Top of the `mmap` allocation area.
+    pub mmap_top: u64,
+}
+
+impl VariantLayout {
+    /// The default, undiversified layout.
+    pub fn default_layout() -> Self {
+        VariantLayout {
+            brk_base: mvee_kernel::mem::DEFAULT_BRK_BASE,
+            mmap_top: mvee_kernel::mem::DEFAULT_MMAP_TOP,
+        }
+    }
+}
+
+/// Builder for an [`Mvee`].
+#[derive(Debug, Clone)]
+pub struct MveeBuilder {
+    variants: usize,
+    threads: usize,
+    policy: MonitoringPolicy,
+    agent_kind: AgentKind,
+    agent_config: AgentConfig,
+    lockstep_timeout: Duration,
+    layouts: Option<Vec<VariantLayout>>,
+    manual_clock: bool,
+}
+
+impl Default for MveeBuilder {
+    fn default() -> Self {
+        MveeBuilder {
+            variants: 2,
+            threads: 4,
+            policy: MonitoringPolicy::StrictLockstep,
+            agent_kind: AgentKind::WallOfClocks,
+            agent_config: AgentConfig::default(),
+            lockstep_timeout: Duration::from_secs(5),
+            layouts: None,
+            manual_clock: false,
+        }
+    }
+}
+
+impl MveeBuilder {
+    /// Sets the number of variants.
+    pub fn variants(mut self, variants: usize) -> Self {
+        self.variants = variants;
+        self
+    }
+
+    /// Sets the number of logical worker threads per variant.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the monitoring policy.
+    pub fn policy(mut self, policy: MonitoringPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Selects the synchronization agent.
+    pub fn agent(mut self, kind: AgentKind) -> Self {
+        self.agent_kind = kind;
+        self
+    }
+
+    /// Overrides the agent configuration (buffer capacity, clock count, ...).
+    pub fn agent_config(mut self, config: AgentConfig) -> Self {
+        self.agent_config = config;
+        self
+    }
+
+    /// Sets the rendezvous / replication timeout.
+    pub fn lockstep_timeout(mut self, timeout: Duration) -> Self {
+        self.lockstep_timeout = timeout;
+        self
+    }
+
+    /// Supplies per-variant address-space layouts (diversity).  The vector
+    /// length must match the variant count.
+    pub fn layouts(mut self, layouts: Vec<VariantLayout>) -> Self {
+        self.layouts = Some(layouts);
+        self
+    }
+
+    /// Uses a manually driven virtual clock (deterministic tests).
+    pub fn manual_clock(mut self, manual: bool) -> Self {
+        self.manual_clock = manual;
+        self
+    }
+
+    /// Builds the MVEE: spawns one kernel process per variant, constructs the
+    /// monitor and injects the synchronization agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layout vector of the wrong length was supplied.
+    pub fn build(self) -> Mvee {
+        let kernel = Arc::new(if self.manual_clock {
+            Kernel::new_manual_clock()
+        } else {
+            Kernel::new()
+        });
+        let layouts = self
+            .layouts
+            .unwrap_or_else(|| vec![VariantLayout::default_layout(); self.variants]);
+        assert_eq!(
+            layouts.len(),
+            self.variants,
+            "one layout per variant is required"
+        );
+        let pids: Vec<Pid> = layouts
+            .iter()
+            .map(|l| kernel.spawn_process_with_layout(l.brk_base, l.mmap_top))
+            .collect();
+        let monitor_config = MonitorConfig {
+            variants: self.variants,
+            policy: self.policy,
+            lockstep_timeout: self.lockstep_timeout,
+            max_threads: mvee_sync_agent::context::MAX_THREADS,
+        };
+        let monitor = Arc::new(Monitor::new(monitor_config, Arc::clone(&kernel), pids.clone()));
+        let agent_config = self
+            .agent_config
+            .with_variants(self.variants)
+            .with_threads(self.threads.max(1));
+        let agent: Arc<dyn SyncAgent> = Arc::from(build_agent(self.agent_kind, agent_config));
+        Mvee {
+            kernel,
+            monitor,
+            agent,
+            agent_kind: self.agent_kind,
+            pids,
+            variants: self.variants,
+            threads: self.threads,
+        }
+    }
+}
+
+/// A fully wired multi-variant execution environment.
+pub struct Mvee {
+    kernel: Arc<Kernel>,
+    monitor: Arc<Monitor>,
+    agent: Arc<dyn SyncAgent>,
+    agent_kind: AgentKind,
+    pids: Vec<Pid>,
+    variants: usize,
+    threads: usize,
+}
+
+impl Mvee {
+    /// Starts building an MVEE.
+    pub fn builder() -> MveeBuilder {
+        MveeBuilder::default()
+    }
+
+    /// Number of variants.
+    pub fn variants(&self) -> usize {
+        self.variants
+    }
+
+    /// Number of logical worker threads per variant.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The simulated kernel.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The monitor.
+    pub fn monitor(&self) -> &Arc<Monitor> {
+        &self.monitor
+    }
+
+    /// The injected synchronization agent.
+    pub fn agent(&self) -> &Arc<dyn SyncAgent> {
+        &self.agent
+    }
+
+    /// Which agent design is injected.
+    pub fn agent_kind(&self) -> AgentKind {
+        self.agent_kind
+    }
+
+    /// The kernel process backing variant `v`.
+    pub fn pid_of(&self, v: usize) -> Pid {
+        self.pids[v]
+    }
+
+    /// Divergence report, if the monitor detected one.
+    pub fn divergence(&self) -> Option<DivergenceReport> {
+        self.monitor.divergence()
+    }
+
+    /// Monitor counters.
+    pub fn monitor_stats(&self) -> MonitorStats {
+        self.monitor.stats()
+    }
+
+    /// Agent counters.
+    pub fn agent_stats(&self) -> AgentStats {
+        self.agent.stats()
+    }
+
+    /// Returns the gateway for variant `v`; the variant execution engine
+    /// hands one to every variant thread.
+    pub fn gateway(&self, variant: usize) -> VariantGateway {
+        assert!(variant < self.variants, "unknown variant index");
+        VariantGateway {
+            variant,
+            monitor: Arc::clone(&self.monitor),
+            agent: Arc::clone(&self.agent),
+        }
+    }
+}
+
+/// A per-variant handle: the system-call gateway plus the sync-agent hooks.
+#[derive(Clone)]
+pub struct VariantGateway {
+    variant: usize,
+    monitor: Arc<Monitor>,
+    agent: Arc<dyn SyncAgent>,
+}
+
+impl VariantGateway {
+    /// Zero-based variant index (0 is the master).
+    pub fn variant_index(&self) -> usize {
+        self.variant
+    }
+
+    /// The variant's replication role.
+    pub fn role(&self) -> VariantRole {
+        VariantRole::from_variant_index(self.variant)
+    }
+
+    /// Whether this gateway belongs to the master variant.
+    pub fn is_master(&self) -> bool {
+        self.variant == 0
+    }
+
+    /// Builds the sync context for logical thread `thread`.
+    pub fn sync_context(&self, thread: usize) -> SyncContext {
+        SyncContext::new(self.role(), thread)
+    }
+
+    /// Issues a system call on behalf of `thread`.
+    pub fn syscall(
+        &self,
+        thread: usize,
+        req: &SyscallRequest,
+    ) -> Result<SyscallOutcome, MonitorError> {
+        self.monitor.syscall(self.variant, thread, req)
+    }
+
+    /// Brackets a sync op: `before_sync_op`, the closure, `after_sync_op`.
+    pub fn sync_op<T>(&self, thread: usize, addr: u64, op: impl FnOnce() -> T) -> T {
+        let ctx = self.sync_context(thread);
+        self.agent.before_sync_op(&ctx, addr);
+        let result = op();
+        self.agent.after_sync_op(&ctx, addr);
+        result
+    }
+
+    /// Direct access to the injected agent.
+    pub fn agent(&self) -> &Arc<dyn SyncAgent> {
+        &self.agent
+    }
+
+    /// Whether the MVEE has shut down due to divergence.
+    pub fn is_shut_down(&self) -> bool {
+        self.monitor.has_diverged()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvee_kernel::syscall::Sysno;
+
+    #[test]
+    fn builder_wires_variants_and_agent() {
+        let mvee = Mvee::builder()
+            .variants(3)
+            .threads(4)
+            .agent(AgentKind::TotalOrder)
+            .manual_clock(true)
+            .build();
+        assert_eq!(mvee.variants(), 3);
+        assert_eq!(mvee.agent_kind(), AgentKind::TotalOrder);
+        assert_eq!(mvee.pid_of(0), 0);
+        assert_eq!(mvee.pid_of(2), 2);
+        assert!(mvee.divergence().is_none());
+    }
+
+    #[test]
+    fn gateways_report_roles() {
+        let mvee = Mvee::builder().variants(2).manual_clock(true).build();
+        assert!(mvee.gateway(0).is_master());
+        assert!(!mvee.gateway(1).is_master());
+        assert_eq!(
+            mvee.gateway(1).role(),
+            VariantRole::Slave { index: 0 }
+        );
+    }
+
+    #[test]
+    fn gateway_syscall_reaches_the_monitor() {
+        let mvee = Mvee::builder().variants(1).manual_clock(true).build();
+        let gw = mvee.gateway(0);
+        let out = gw.syscall(0, &SyscallRequest::new(Sysno::Getpid)).unwrap();
+        assert!(out.is_ok());
+        assert_eq!(mvee.monitor_stats().total_syscalls, 1);
+    }
+
+    #[test]
+    fn gateway_sync_op_records_in_master() {
+        let mvee = Mvee::builder().variants(2).manual_clock(true).build();
+        let gw = mvee.gateway(0);
+        let v = gw.sync_op(0, 0x1000, || 7);
+        assert_eq!(v, 7);
+        assert_eq!(mvee.agent_stats().ops_recorded, 1);
+    }
+
+    #[test]
+    fn diversified_layouts_produce_different_heap_bases() {
+        let layouts = vec![
+            VariantLayout {
+                brk_base: 0x5555_0000_0000,
+                mmap_top: 0x7fff_0000_0000,
+            },
+            VariantLayout {
+                brk_base: 0x5655_4000_0000,
+                mmap_top: 0x7ffd_8000_0000,
+            },
+        ];
+        let mvee = Mvee::builder()
+            .variants(2)
+            .layouts(layouts)
+            .policy(MonitoringPolicy::NoComparison)
+            .manual_clock(true)
+            .build();
+        let b0 = mvee
+            .gateway(0)
+            .syscall(0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+            .unwrap();
+        let b1 = mvee
+            .gateway(1)
+            .syscall(0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+            .unwrap();
+        assert_ne!(b0.result, b1.result);
+    }
+
+    #[test]
+    #[should_panic(expected = "one layout per variant")]
+    fn mismatched_layout_count_panics() {
+        let _ = Mvee::builder()
+            .variants(3)
+            .layouts(vec![VariantLayout::default_layout()])
+            .build();
+    }
+}

@@ -1,0 +1,115 @@
+//! The syscall ordering clock (§4.1 of the paper).
+//!
+//! ReMon orders related system calls across the threads of a variant with
+//! Lamport-style logical clocks: the monitor assigns the master variant's
+//! ordered calls increasing timestamps, and a slave variant's thread may only
+//! execute its copy of an ordered call once the slave's private clock has
+//! reached the recorded timestamp.  After the call completes the slave
+//! increments its clock, releasing whichever thread holds the next timestamp.
+//!
+//! This forces the *cross-thread order* of ordered calls (file-descriptor
+//! allocation, memory-management calls, ...) in every slave to match the
+//! master's order — which is exactly what makes FD numbers and allocator
+//! behaviour consistent across variants (§3.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::monitor::wait_until_with_timeout;
+
+/// A per-variant syscall ordering clock.
+#[derive(Debug, Default)]
+pub struct SyscallOrderingClock {
+    time: AtomicU64,
+}
+
+impl SyscallOrderingClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time.
+    pub fn now(&self) -> u64 {
+        self.time.load(Ordering::Acquire)
+    }
+
+    /// Master side: claims the next timestamp (returns the pre-increment
+    /// value).
+    pub fn claim_timestamp(&self) -> u64 {
+        self.time.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Slave side: blocks until the clock reaches `timestamp`, then returns
+    /// `true`.  Returns `false` if `timeout` elapses first (which the caller
+    /// escalates to a divergence).
+    pub fn wait_for_turn(&self, timestamp: u64, timeout: std::time::Duration) -> bool {
+        wait_until_with_timeout(timeout, || self.time.load(Ordering::Acquire) >= timestamp)
+    }
+
+    /// Slave side: marks the ordered call as finished, advancing the clock.
+    pub fn advance(&self) -> u64 {
+        self.time.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn master_claims_monotonically_increasing_timestamps() {
+        let c = SyscallOrderingClock::new();
+        assert_eq!(c.claim_timestamp(), 0);
+        assert_eq!(c.claim_timestamp(), 1);
+        assert_eq!(c.claim_timestamp(), 2);
+        assert_eq!(c.now(), 3);
+    }
+
+    #[test]
+    fn slave_wait_returns_immediately_when_time_reached() {
+        let c = SyscallOrderingClock::new();
+        assert!(c.wait_for_turn(0, Duration::from_millis(10)));
+        c.advance();
+        assert!(c.wait_for_turn(1, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn slave_wait_times_out_when_turn_never_comes() {
+        let c = SyscallOrderingClock::new();
+        assert!(!c.wait_for_turn(5, Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn out_of_order_threads_are_serialized_by_the_clock() {
+        // Thread B holds timestamp 1 and must wait for thread A (timestamp 0).
+        let clock = Arc::new(SyscallOrderingClock::new());
+        let order = Arc::new(AtomicU64::new(0));
+
+        let c_b = Arc::clone(&clock);
+        let o_b = Arc::clone(&order);
+        let thread_b = std::thread::spawn(move || {
+            assert!(c_b.wait_for_turn(1, Duration::from_secs(2)));
+            let pos = o_b.fetch_add(1, Ordering::SeqCst);
+            c_b.advance();
+            pos
+        });
+
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(order.load(Ordering::SeqCst), 0, "B must still be waiting");
+
+        let c_a = Arc::clone(&clock);
+        let o_a = Arc::clone(&order);
+        let thread_a = std::thread::spawn(move || {
+            assert!(c_a.wait_for_turn(0, Duration::from_secs(2)));
+            let pos = o_a.fetch_add(1, Ordering::SeqCst);
+            c_a.advance();
+            pos
+        });
+
+        assert_eq!(thread_a.join().unwrap(), 0);
+        assert_eq!(thread_b.join().unwrap(), 1);
+        assert_eq!(clock.now(), 2);
+    }
+}

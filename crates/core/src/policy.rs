@@ -1,0 +1,142 @@
+//! Monitoring policies: which system calls are locksteped.
+//!
+//! The paper's correctness evaluation (§5.1) exercises "a variety of
+//! monitoring policies ranging from strict lockstepping on all system calls
+//! to lockstepping only on security-sensitive system calls".  The policy
+//! never changes *replication* (I/O results always flow from the master to
+//! the slaves, or the variants would receive inconsistent inputs); it only
+//! changes which calls require a full cross-variant rendezvous and argument
+//! comparison before proceeding.
+
+use serde::{Deserialize, Serialize};
+
+use mvee_kernel::syscall::Sysno;
+
+/// Which system calls the monitor compares in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MonitoringPolicy {
+    /// Every monitored call is compared across all variants before any
+    /// variant may proceed — the paper's default, strongest setting.
+    StrictLockstep,
+    /// Only security-sensitive calls (those that open new channels to the
+    /// outside world or change memory protections) are compared; everything
+    /// else is replicated/ordered without a rendezvous.
+    SecuritySensitiveOnly,
+    /// No comparison at all.  Only useful for overhead ablations; an MVEE
+    /// running this policy provides no protection.
+    NoComparison,
+}
+
+impl MonitoringPolicy {
+    /// Whether `sysno` requires a lockstep rendezvous under this policy.
+    ///
+    /// Blocking calls are never locksteped regardless of policy (§4.1: the
+    /// monitor cannot hold all variants inside a rendezvous that may never
+    /// complete); they are replicated from the master instead.
+    pub fn requires_lockstep(self, sysno: Sysno) -> bool {
+        if sysno.may_block() {
+            return false;
+        }
+        match self {
+            MonitoringPolicy::StrictLockstep => {
+                sysno.needs_ordering() || sysno.is_security_sensitive()
+            }
+            MonitoringPolicy::SecuritySensitiveOnly => sysno.is_security_sensitive(),
+            MonitoringPolicy::NoComparison => false,
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MonitoringPolicy::StrictLockstep => "strict-lockstep",
+            MonitoringPolicy::SecuritySensitiveOnly => "security-sensitive-only",
+            MonitoringPolicy::NoComparison => "no-comparison",
+        }
+    }
+
+    /// All policies evaluated by the correctness experiment.
+    pub fn all() -> [MonitoringPolicy; 3] {
+        [
+            MonitoringPolicy::StrictLockstep,
+            MonitoringPolicy::SecuritySensitiveOnly,
+            MonitoringPolicy::NoComparison,
+        ]
+    }
+}
+
+impl Default for MonitoringPolicy {
+    fn default() -> Self {
+        MonitoringPolicy::StrictLockstep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_policy_locksteps_ordered_and_sensitive_calls() {
+        let p = MonitoringPolicy::StrictLockstep;
+        assert!(p.requires_lockstep(Sysno::Open));
+        assert!(p.requires_lockstep(Sysno::Write));
+        assert!(p.requires_lockstep(Sysno::Mprotect));
+        assert!(p.requires_lockstep(Sysno::Brk));
+        // Pure queries are not locksteped even under the strict policy.
+        assert!(!p.requires_lockstep(Sysno::Gettid));
+        assert!(!p.requires_lockstep(Sysno::SchedYield));
+    }
+
+    #[test]
+    fn blocking_calls_are_never_locksteped() {
+        for p in MonitoringPolicy::all() {
+            assert!(!p.requires_lockstep(Sysno::FutexWait), "{:?}", p);
+            assert!(!p.requires_lockstep(Sysno::Accept), "{:?}", p);
+            assert!(!p.requires_lockstep(Sysno::Recv), "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn sensitive_only_policy_is_a_subset_of_strict() {
+        let strict = MonitoringPolicy::StrictLockstep;
+        let relaxed = MonitoringPolicy::SecuritySensitiveOnly;
+        for sysno in [
+            Sysno::Open,
+            Sysno::Read,
+            Sysno::Write,
+            Sysno::Close,
+            Sysno::Brk,
+            Sysno::Mmap,
+            Sysno::Mprotect,
+            Sysno::Socket,
+            Sysno::Gettimeofday,
+            Sysno::Clone,
+        ] {
+            if relaxed.requires_lockstep(sysno) {
+                assert!(strict.requires_lockstep(sysno), "{:?}", sysno);
+            }
+        }
+        // And it is a strict subset: some strict-locksteped calls are relaxed.
+        assert!(strict.requires_lockstep(Sysno::Brk));
+        assert!(!relaxed.requires_lockstep(Sysno::Brk));
+    }
+
+    #[test]
+    fn no_comparison_policy_never_locksteps() {
+        let p = MonitoringPolicy::NoComparison;
+        for sysno in [Sysno::Open, Sysno::Write, Sysno::Mprotect, Sysno::ExitGroup] {
+            assert!(!p.requires_lockstep(sysno));
+        }
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(MonitoringPolicy::StrictLockstep.name(), "strict-lockstep");
+        assert_eq!(
+            MonitoringPolicy::SecuritySensitiveOnly.name(),
+            "security-sensitive-only"
+        );
+        assert_eq!(MonitoringPolicy::NoComparison.name(), "no-comparison");
+        assert_eq!(MonitoringPolicy::default(), MonitoringPolicy::StrictLockstep);
+    }
+}

@@ -1,0 +1,165 @@
+//! Error numbers and result types for the simulated kernel.
+//!
+//! The simulated kernel mirrors the Linux convention of returning small
+//! negative integers on failure.  [`Errno`] models the subset of error
+//! numbers the MVEE monitor and the workloads actually observe.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error numbers returned by the simulated kernel.
+///
+/// The numeric values match the Linux x86-64 ABI so that traces produced by
+/// the simulated kernel read like real `strace` output and so the divergence
+/// detector compares the same representation a ptrace monitor would compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(i32)]
+pub enum Errno {
+    /// Operation not permitted.
+    Eperm = 1,
+    /// No such file or directory.
+    Enoent = 2,
+    /// Interrupted system call.
+    Eintr = 4,
+    /// I/O error.
+    Eio = 5,
+    /// Bad file descriptor.
+    Ebadf = 9,
+    /// Resource temporarily unavailable (also `EWOULDBLOCK`).
+    Eagain = 11,
+    /// Out of memory.
+    Enomem = 12,
+    /// Permission denied.
+    Eacces = 13,
+    /// Bad address.
+    Efault = 14,
+    /// Device or resource busy.
+    Ebusy = 16,
+    /// File exists.
+    Eexist = 17,
+    /// Not a directory.
+    Enotdir = 20,
+    /// Is a directory.
+    Eisdir = 21,
+    /// Invalid argument.
+    Einval = 22,
+    /// Too many open files.
+    Emfile = 24,
+    /// Illegal seek.
+    Espipe = 29,
+    /// Broken pipe.
+    Epipe = 32,
+    /// Function not implemented.
+    Enosys = 38,
+    /// Socket operation on non-socket.
+    Enotsock = 88,
+    /// Address already in use.
+    Eaddrinuse = 98,
+    /// Connection reset by peer.
+    Econnreset = 104,
+    /// Transport endpoint is not connected.
+    Enotconn = 107,
+    /// Connection refused.
+    Econnrefused = 111,
+    /// Operation timed out.
+    Etimedout = 110,
+}
+
+impl Errno {
+    /// Returns the raw (positive) error number.
+    pub fn as_raw(self) -> i32 {
+        self as i32
+    }
+
+    /// Returns the value as it would appear in a syscall return register:
+    /// `-errno`.
+    pub fn as_syscall_ret(self) -> i64 {
+        -(self as i32 as i64)
+    }
+
+    /// Returns the conventional upper-case symbol (e.g. `"ENOENT"`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Errno::Eperm => "EPERM",
+            Errno::Enoent => "ENOENT",
+            Errno::Eintr => "EINTR",
+            Errno::Eio => "EIO",
+            Errno::Ebadf => "EBADF",
+            Errno::Eagain => "EAGAIN",
+            Errno::Enomem => "ENOMEM",
+            Errno::Eacces => "EACCES",
+            Errno::Efault => "EFAULT",
+            Errno::Ebusy => "EBUSY",
+            Errno::Eexist => "EEXIST",
+            Errno::Enotdir => "ENOTDIR",
+            Errno::Eisdir => "EISDIR",
+            Errno::Einval => "EINVAL",
+            Errno::Emfile => "EMFILE",
+            Errno::Espipe => "ESPIPE",
+            Errno::Epipe => "EPIPE",
+            Errno::Enosys => "ENOSYS",
+            Errno::Enotsock => "ENOTSOCK",
+            Errno::Eaddrinuse => "EADDRINUSE",
+            Errno::Econnreset => "ECONNRESET",
+            Errno::Enotconn => "ENOTCONN",
+            Errno::Econnrefused => "ECONNREFUSED",
+            Errno::Etimedout => "ETIMEDOUT",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.symbol(), self.as_raw())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Result type used throughout the simulated kernel.
+pub type KernelResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_raw_values_match_linux_abi() {
+        assert_eq!(Errno::Eperm.as_raw(), 1);
+        assert_eq!(Errno::Enoent.as_raw(), 2);
+        assert_eq!(Errno::Ebadf.as_raw(), 9);
+        assert_eq!(Errno::Eagain.as_raw(), 11);
+        assert_eq!(Errno::Einval.as_raw(), 22);
+        assert_eq!(Errno::Enosys.as_raw(), 38);
+        assert_eq!(Errno::Econnrefused.as_raw(), 111);
+    }
+
+    #[test]
+    fn errno_syscall_return_is_negative() {
+        assert_eq!(Errno::Enoent.as_syscall_ret(), -2);
+        assert_eq!(Errno::Emfile.as_syscall_ret(), -24);
+    }
+
+    #[test]
+    fn errno_symbols_are_uppercase() {
+        for e in [
+            Errno::Eperm,
+            Errno::Enoent,
+            Errno::Eio,
+            Errno::Ebadf,
+            Errno::Epipe,
+            Errno::Enosys,
+        ] {
+            assert!(e.symbol().chars().all(|c| c.is_ascii_uppercase()));
+            assert!(e.symbol().starts_with('E'));
+        }
+    }
+
+    #[test]
+    fn errno_display_contains_symbol_and_number() {
+        let s = format!("{}", Errno::Einval);
+        assert!(s.contains("EINVAL"));
+        assert!(s.contains("22"));
+    }
+}

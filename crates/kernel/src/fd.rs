@@ -1,0 +1,263 @@
+//! Per-process file-descriptor tables.
+//!
+//! File-descriptor allocation is the paper's canonical example of a shared
+//! kernel resource whose allocation order is externally visible (§3.1): the
+//! kernel hands out the *lowest available* descriptor, so if two threads race
+//! on `open`, the FD each thread receives depends on the order in which their
+//! calls reach the kernel.  The MVEE must therefore order FD-allocating calls
+//! across variants (or replicate the master's results).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Errno, KernelResult};
+
+/// What a file descriptor refers to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FdObject {
+    /// A regular file in the VFS, identified by inode number.
+    File {
+        /// Inode of the open file.
+        inode: u64,
+        /// Current file offset.
+        offset: u64,
+        /// Whether the descriptor allows writes.
+        writable: bool,
+    },
+    /// The read end of a pipe.
+    PipeRead {
+        /// Pipe identifier.
+        pipe: u64,
+    },
+    /// The write end of a pipe.
+    PipeWrite {
+        /// Pipe identifier.
+        pipe: u64,
+    },
+    /// A socket endpoint.
+    Socket {
+        /// Socket identifier in the network stack.
+        socket: u64,
+    },
+    /// One of the standard streams (0, 1, 2).
+    StandardStream {
+        /// 0 = stdin, 1 = stdout, 2 = stderr.
+        which: u8,
+    },
+}
+
+/// A per-process table mapping descriptor numbers to open objects.
+///
+/// Allocation follows the POSIX rule the paper relies on: the lowest
+/// non-negative integer not currently open.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FdTable {
+    entries: BTreeMap<i32, FdObject>,
+    /// Maximum number of open descriptors (RLIMIT_NOFILE model).
+    limit: usize,
+}
+
+/// Default soft limit on open descriptors, mirroring a typical Linux default.
+pub const DEFAULT_FD_LIMIT: usize = 1024;
+
+impl FdTable {
+    /// Creates a table pre-populated with the three standard streams.
+    pub fn with_standard_streams() -> Self {
+        let mut t = FdTable {
+            entries: BTreeMap::new(),
+            limit: DEFAULT_FD_LIMIT,
+        };
+        for i in 0..3u8 {
+            t.entries
+                .insert(i32::from(i), FdObject::StandardStream { which: i });
+        }
+        t
+    }
+
+    /// Creates an empty table (no standard streams), mainly for tests.
+    pub fn empty() -> Self {
+        FdTable {
+            entries: BTreeMap::new(),
+            limit: DEFAULT_FD_LIMIT,
+        }
+    }
+
+    /// Overrides the descriptor limit.
+    pub fn set_limit(&mut self, limit: usize) {
+        self.limit = limit;
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no descriptors are open.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Allocates the lowest available descriptor for `obj`.
+    ///
+    /// Returns `EMFILE` when the table is full.
+    pub fn allocate(&mut self, obj: FdObject) -> KernelResult<i32> {
+        if self.entries.len() >= self.limit {
+            return Err(Errno::Emfile);
+        }
+        let fd = self.lowest_free();
+        self.entries.insert(fd, obj);
+        Ok(fd)
+    }
+
+    /// Allocates a specific descriptor number (used by `dup2`-style calls).
+    ///
+    /// Any object previously installed at `fd` is silently replaced, matching
+    /// `dup2` semantics.
+    pub fn allocate_at(&mut self, fd: i32, obj: FdObject) -> KernelResult<i32> {
+        if fd < 0 {
+            return Err(Errno::Ebadf);
+        }
+        if self.entries.len() >= self.limit && !self.entries.contains_key(&fd) {
+            return Err(Errno::Emfile);
+        }
+        self.entries.insert(fd, obj);
+        Ok(fd)
+    }
+
+    /// Returns the object behind `fd`.
+    pub fn get(&self, fd: i32) -> KernelResult<&FdObject> {
+        self.entries.get(&fd).ok_or(Errno::Ebadf)
+    }
+
+    /// Returns the object behind `fd` mutably.
+    pub fn get_mut(&mut self, fd: i32) -> KernelResult<&mut FdObject> {
+        self.entries.get_mut(&fd).ok_or(Errno::Ebadf)
+    }
+
+    /// Closes `fd`, returning the object it referred to.
+    pub fn close(&mut self, fd: i32) -> KernelResult<FdObject> {
+        self.entries.remove(&fd).ok_or(Errno::Ebadf)
+    }
+
+    /// Duplicates `fd` onto the lowest available descriptor.
+    pub fn dup(&mut self, fd: i32) -> KernelResult<i32> {
+        let obj = self.get(fd)?.clone();
+        self.allocate(obj)
+    }
+
+    /// Iterates over `(fd, object)` pairs in ascending descriptor order.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, &FdObject)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    fn lowest_free(&self) -> i32 {
+        let mut candidate = 0;
+        for &fd in self.entries.keys() {
+            if fd == candidate {
+                candidate += 1;
+            } else if fd > candidate {
+                break;
+            }
+        }
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(inode: u64) -> FdObject {
+        FdObject::File {
+            inode,
+            offset: 0,
+            writable: false,
+        }
+    }
+
+    #[test]
+    fn standard_streams_occupy_first_three_descriptors() {
+        let t = FdTable::with_standard_streams();
+        assert_eq!(t.len(), 3);
+        assert!(matches!(
+            t.get(0),
+            Ok(FdObject::StandardStream { which: 0 })
+        ));
+        assert!(matches!(
+            t.get(2),
+            Ok(FdObject::StandardStream { which: 2 })
+        ));
+    }
+
+    #[test]
+    fn allocation_returns_lowest_available() {
+        let mut t = FdTable::with_standard_streams();
+        assert_eq!(t.allocate(file(10)).unwrap(), 3);
+        assert_eq!(t.allocate(file(11)).unwrap(), 4);
+        t.close(3).unwrap();
+        // The hole at 3 is reused before extending past 4.
+        assert_eq!(t.allocate(file(12)).unwrap(), 3);
+        assert_eq!(t.allocate(file(13)).unwrap(), 5);
+    }
+
+    #[test]
+    fn allocation_order_determines_fd_values() {
+        // The §3.1 scenario: two opens in different orders yield swapped FDs.
+        let mut first = FdTable::with_standard_streams();
+        let a1 = first.allocate(file(100)).unwrap();
+        let b1 = first.allocate(file(200)).unwrap();
+
+        let mut second = FdTable::with_standard_streams();
+        let b2 = second.allocate(file(200)).unwrap();
+        let a2 = second.allocate(file(100)).unwrap();
+
+        assert_eq!(a1, b2);
+        assert_eq!(b1, a2);
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn close_of_unknown_fd_is_ebadf() {
+        let mut t = FdTable::empty();
+        assert_eq!(t.close(5), Err(Errno::Ebadf));
+        assert_eq!(t.get(5).err(), Some(Errno::Ebadf));
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let mut t = FdTable::empty();
+        t.set_limit(2);
+        t.allocate(file(1)).unwrap();
+        t.allocate(file(2)).unwrap();
+        assert_eq!(t.allocate(file(3)), Err(Errno::Emfile));
+    }
+
+    #[test]
+    fn dup_duplicates_to_lowest_slot() {
+        let mut t = FdTable::with_standard_streams();
+        let fd = t.allocate(file(42)).unwrap();
+        t.close(1).unwrap();
+        let dup = t.dup(fd).unwrap();
+        assert_eq!(dup, 1);
+        assert!(matches!(t.get(dup), Ok(FdObject::File { inode: 42, .. })));
+    }
+
+    #[test]
+    fn allocate_at_replaces_existing_entry() {
+        let mut t = FdTable::with_standard_streams();
+        t.allocate_at(1, file(7)).unwrap();
+        assert!(matches!(t.get(1), Ok(FdObject::File { inode: 7, .. })));
+        assert_eq!(t.allocate_at(-1, file(8)), Err(Errno::Ebadf));
+    }
+
+    #[test]
+    fn iter_yields_ascending_descriptors() {
+        let mut t = FdTable::with_standard_streams();
+        t.allocate(file(1)).unwrap();
+        let fds: Vec<i32> = t.iter().map(|(fd, _)| fd).collect();
+        let mut sorted = fds.clone();
+        sorted.sort_unstable();
+        assert_eq!(fds, sorted);
+    }
+}

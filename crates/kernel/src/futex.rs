@@ -1,0 +1,186 @@
+//! Futex model: the kernel half of user-space blocking synchronization.
+//!
+//! The paper singles out `sys_futex` as the one blocking call that would
+//! otherwise need ordering and explains that it is instead treated like an
+//! I/O operation (§4.1, footnote 5).  This module provides the wait-queue
+//! bookkeeping the simulated kernel needs for that treatment: `futex_wait`
+//! registers a waiter (if the futex word still holds the expected value) and
+//! `futex_wake` releases up to `n` waiters in FIFO order.
+//!
+//! The futex *word* itself lives in the variant's simulated memory; the
+//! caller passes its current value, mirroring how the real kernel reads the
+//! word under the queue lock.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a waiting thread: (variant-local process id, thread id).
+pub type WaiterId = (u64, u64);
+
+/// Result of a `futex_wait` attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FutexWaitResult {
+    /// The caller was enqueued and must block until woken.
+    WouldBlock,
+    /// The futex word no longer held the expected value (`EAGAIN` in Linux).
+    ValueMismatch,
+}
+
+/// Per-process futex wait queues keyed by futex-word address.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct FutexTable {
+    queues: HashMap<u64, VecDeque<WaiterId>>,
+    /// Total number of wake-ups delivered, for statistics.
+    wakeups: u64,
+    /// Total number of waits that actually blocked.
+    blocked_waits: u64,
+}
+
+impl FutexTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to wait on the futex at `addr`.
+    ///
+    /// `current` is the current value of the futex word as read by the
+    /// caller; `expected` is the value the caller believes it holds.  When
+    /// they differ the wait fails immediately with
+    /// [`FutexWaitResult::ValueMismatch`]; otherwise the waiter is enqueued.
+    pub fn wait(
+        &mut self,
+        addr: u64,
+        current: u32,
+        expected: u32,
+        waiter: WaiterId,
+    ) -> FutexWaitResult {
+        if current != expected {
+            return FutexWaitResult::ValueMismatch;
+        }
+        self.queues.entry(addr).or_default().push_back(waiter);
+        self.blocked_waits += 1;
+        FutexWaitResult::WouldBlock
+    }
+
+    /// Wakes up to `count` waiters on `addr`, returning them in FIFO order.
+    pub fn wake(&mut self, addr: u64, count: usize) -> Vec<WaiterId> {
+        let mut woken = Vec::new();
+        if let Some(q) = self.queues.get_mut(&addr) {
+            while woken.len() < count {
+                match q.pop_front() {
+                    Some(w) => woken.push(w),
+                    None => break,
+                }
+            }
+            if q.is_empty() {
+                self.queues.remove(&addr);
+            }
+        }
+        self.wakeups += woken.len() as u64;
+        woken
+    }
+
+    /// Removes a specific waiter (used when a thread exits while blocked).
+    pub fn remove_waiter(&mut self, addr: u64, waiter: WaiterId) -> bool {
+        if let Some(q) = self.queues.get_mut(&addr) {
+            if let Some(pos) = q.iter().position(|w| *w == waiter) {
+                q.remove(pos);
+                if q.is_empty() {
+                    self.queues.remove(&addr);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of threads currently blocked on `addr`.
+    pub fn waiters_on(&self, addr: u64) -> usize {
+        self.queues.get(&addr).map_or(0, VecDeque::len)
+    }
+
+    /// Total number of threads blocked on any futex.
+    pub fn total_waiters(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Number of wake-ups delivered so far.
+    pub fn wakeup_count(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// Number of waits that actually enqueued a waiter.
+    pub fn blocked_wait_count(&self) -> u64 {
+        self.blocked_waits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ADDR: u64 = 0x7f00_0000_1000;
+
+    #[test]
+    fn wait_with_matching_value_blocks() {
+        let mut t = FutexTable::new();
+        assert_eq!(t.wait(ADDR, 1, 1, (1, 1)), FutexWaitResult::WouldBlock);
+        assert_eq!(t.waiters_on(ADDR), 1);
+        assert_eq!(t.blocked_wait_count(), 1);
+    }
+
+    #[test]
+    fn wait_with_stale_value_returns_mismatch() {
+        let mut t = FutexTable::new();
+        assert_eq!(t.wait(ADDR, 2, 1, (1, 1)), FutexWaitResult::ValueMismatch);
+        assert_eq!(t.waiters_on(ADDR), 0);
+    }
+
+    #[test]
+    fn wake_releases_waiters_in_fifo_order() {
+        let mut t = FutexTable::new();
+        for tid in 1..=3 {
+            t.wait(ADDR, 0, 0, (1, tid));
+        }
+        let woken = t.wake(ADDR, 2);
+        assert_eq!(woken, vec![(1, 1), (1, 2)]);
+        assert_eq!(t.waiters_on(ADDR), 1);
+        let rest = t.wake(ADDR, 10);
+        assert_eq!(rest, vec![(1, 3)]);
+        assert_eq!(t.waiters_on(ADDR), 0);
+        assert_eq!(t.wakeup_count(), 3);
+    }
+
+    #[test]
+    fn wake_on_empty_queue_is_noop() {
+        let mut t = FutexTable::new();
+        assert!(t.wake(ADDR, 1).is_empty());
+        assert_eq!(t.wakeup_count(), 0);
+    }
+
+    #[test]
+    fn waiters_on_distinct_addresses_are_independent() {
+        let mut t = FutexTable::new();
+        t.wait(ADDR, 0, 0, (1, 1));
+        t.wait(ADDR + 4, 0, 0, (1, 2));
+        assert_eq!(t.waiters_on(ADDR), 1);
+        assert_eq!(t.waiters_on(ADDR + 4), 1);
+        assert_eq!(t.total_waiters(), 2);
+        let woken = t.wake(ADDR, 10);
+        assert_eq!(woken, vec![(1, 1)]);
+        assert_eq!(t.total_waiters(), 1);
+    }
+
+    #[test]
+    fn remove_waiter_cancels_a_pending_wait() {
+        let mut t = FutexTable::new();
+        t.wait(ADDR, 0, 0, (1, 1));
+        t.wait(ADDR, 0, 0, (1, 2));
+        assert!(t.remove_waiter(ADDR, (1, 1)));
+        assert!(!t.remove_waiter(ADDR, (1, 1)));
+        assert_eq!(t.wake(ADDR, 10), vec![(1, 2)]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulated operating-system substrate for the MVEE reproduction.
+//!
+//! The paper ("Taming Parallelism in a Multi-Variant Execution Environment",
+//! EuroSys 2017) runs its variants on a real Linux kernel and interposes on
+//! their system calls with a ptrace-based monitor.  This crate provides the
+//! substitute substrate: a deterministic, user-space model of the kernel
+//! facilities the paper's evaluation interacts with.
+//!
+//! The model covers exactly the interactions the paper must order or
+//! replicate across variants:
+//!
+//! * **File-descriptor allocation** ([`fd::FdTable`]) — the kernel assigns the
+//!   lowest available FD, so the order in which threads open files is
+//!   externally visible (§3.1 of the paper).
+//! * **A virtual file system** ([`vfs::Vfs`]) — regular files, pipes and
+//!   sockets, the targets of the I/O calls the monitor replicates.
+//! * **Address spaces** ([`mem::AddressSpace`]) — `brk`/`mmap`/`mprotect`,
+//!   whose ordering is affected by allocator-internal spinlocks (§3.2).
+//! * **Futexes** ([`futex::FutexTable`]) — the blocking primitive the paper
+//!   explicitly exempts from syscall ordering and treats as an I/O operation
+//!   (§4.1, footnote 5).
+//! * **Virtual time** ([`time::VirtualClock`]) — `gettimeofday`/`rdtsc`
+//!   results, which the covert-channel analysis in §5.4 abuses.
+//!
+//! The central entry point is [`kernel::Kernel`], which owns per-process
+//! state and executes [`syscall::SyscallRequest`]s, returning
+//! [`syscall::SyscallOutcome`]s.  The MVEE monitor (crate `mvee-core`) holds
+//! one `Kernel` and issues every system call exactly once (for the master
+//! variant), replicating results to the slaves.
+//!
+//! # Example
+//!
+//! ```
+//! use mvee_kernel::kernel::Kernel;
+//! use mvee_kernel::syscall::{SyscallRequest, Sysno, SyscallArg};
+//!
+//! let kernel = Kernel::new();
+//! let pid = kernel.spawn_process();
+//! let req = SyscallRequest::new(Sysno::Open)
+//!     .with_path("/tmp/data")
+//!     .with_arg(SyscallArg::Flags(mvee_kernel::vfs::OpenFlags::CREATE.bits()));
+//! let outcome = kernel.execute(pid, 0, &req);
+//! assert!(outcome.result.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fd;
+pub mod futex;
+pub mod kernel;
+pub mod mem;
+pub mod net;
+pub mod process;
+pub mod syscall;
+pub mod time;
+pub mod vfs;
+
+pub use error::{Errno, KernelResult};
+pub use kernel::Kernel;
+pub use syscall::{SyscallOutcome, SyscallRequest, Sysno};

@@ -1,0 +1,349 @@
+//! Per-process address-space model: `brk`, `mmap`, `munmap`, `mprotect`.
+//!
+//! Memory-management calls matter to the MVEE for two reasons.  First, they
+//! are ordered calls: glibc's allocator protects its arenas with low-level
+//! spinlocks, so the *order* in which threads reach `brk`/`mmap` depends on
+//! sync-op ordering (§3.2 of the paper).  Second, their arguments expose
+//! diversified addresses, which the monitor must not compare directly.
+//!
+//! The model allocates regions top-down from a per-variant `mmap` base so
+//! that different variants (with different ASLR offsets) naturally return
+//! different addresses for equivalent requests, exactly the situation the
+//! paper's positional sync-op correspondence is designed to tolerate.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Errno, KernelResult};
+
+/// Page size used by the address-space model (4 KiB, matching x86).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Memory-protection bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Protection(u8);
+
+impl Protection {
+    /// No access.
+    pub const NONE: Protection = Protection(0);
+    /// Readable.
+    pub const READ: Protection = Protection(1);
+    /// Writable.
+    pub const WRITE: Protection = Protection(2);
+    /// Executable.
+    pub const EXEC: Protection = Protection(4);
+    /// Read + write.
+    pub const RW: Protection = Protection(3);
+    /// Read + exec.
+    pub const RX: Protection = Protection(5);
+    /// Read + write + exec (the classic "dangerous" mapping).
+    pub const RWX: Protection = Protection(7);
+
+    /// Builds a protection value from raw bits.
+    pub fn from_bits(bits: u8) -> Self {
+        Protection(bits & 7)
+    }
+
+    /// Raw bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether all bits of `other` are present.
+    pub fn contains(self, other: Protection) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the region is simultaneously writable and executable.
+    ///
+    /// A W+X mapping is what a code-injection exploit needs; the monitor's
+    /// security-sensitive policy flags `mprotect` calls that request it.
+    pub fn is_wx(self) -> bool {
+        self.contains(Protection::WRITE) && self.contains(Protection::EXEC)
+    }
+}
+
+/// A mapped region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Start address (page aligned).
+    pub start: u64,
+    /// Length in bytes (page aligned).
+    pub len: u64,
+    /// Protection bits.
+    pub prot: Protection,
+    /// Whether the region was created by `brk` (heap) rather than `mmap`.
+    pub is_heap: bool,
+}
+
+impl Region {
+    /// Exclusive end address.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains_addr(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// Whether two regions overlap.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// Rounds `v` up to the next multiple of the page size.
+pub fn page_align_up(v: u64) -> u64 {
+    (v + PAGE_SIZE - 1) & !(PAGE_SIZE - 1)
+}
+
+/// A single process's address space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AddressSpace {
+    /// Initial program break.
+    brk_base: u64,
+    /// Current program break.
+    brk_current: u64,
+    /// Base address below which `mmap` allocates (grows downwards).
+    mmap_top: u64,
+    /// Next mmap allocation cursor.
+    mmap_cursor: u64,
+    /// Mapped regions keyed by start address.
+    regions: BTreeMap<u64, Region>,
+}
+
+/// Default program-break base for an undiversified variant.
+pub const DEFAULT_BRK_BASE: u64 = 0x0000_5555_0000_0000;
+/// Default top of the mmap area for an undiversified variant.
+pub const DEFAULT_MMAP_TOP: u64 = 0x0000_7fff_0000_0000;
+
+impl AddressSpace {
+    /// Creates an address space with the default (undiversified) layout.
+    pub fn new() -> Self {
+        Self::with_layout(DEFAULT_BRK_BASE, DEFAULT_MMAP_TOP)
+    }
+
+    /// Creates an address space with a diversified layout.
+    ///
+    /// Each variant passes its own ASLR-shifted `brk_base` and `mmap_top`, so
+    /// equivalent allocations land at different addresses in different
+    /// variants.
+    pub fn with_layout(brk_base: u64, mmap_top: u64) -> Self {
+        let brk_base = page_align_up(brk_base);
+        let mmap_top = page_align_up(mmap_top);
+        AddressSpace {
+            brk_base,
+            brk_current: brk_base,
+            mmap_top,
+            mmap_cursor: mmap_top,
+            regions: BTreeMap::new(),
+        }
+    }
+
+    /// Current program break.
+    pub fn brk(&self) -> u64 {
+        self.brk_current
+    }
+
+    /// Implements the `brk` system call: sets the program break to `addr`
+    /// (or merely queries it when `addr` is zero), returning the new break.
+    pub fn set_brk(&mut self, addr: u64) -> u64 {
+        if addr == 0 {
+            return self.brk_current;
+        }
+        if addr >= self.brk_base && addr < self.mmap_cursor {
+            self.brk_current = page_align_up(addr);
+        }
+        self.brk_current
+    }
+
+    /// Number of bytes of heap growth since process start.
+    pub fn heap_size(&self) -> u64 {
+        self.brk_current - self.brk_base
+    }
+
+    /// Implements `mmap` with a kernel-chosen address: carves a region of
+    /// `len` bytes below the previous allocation.
+    pub fn mmap(&mut self, len: u64, prot: Protection) -> KernelResult<u64> {
+        if len == 0 {
+            return Err(Errno::Einval);
+        }
+        let len = page_align_up(len);
+        let start = self
+            .mmap_cursor
+            .checked_sub(len)
+            .ok_or(Errno::Enomem)?;
+        if start <= self.brk_current {
+            return Err(Errno::Enomem);
+        }
+        self.mmap_cursor = start;
+        let region = Region {
+            start,
+            len,
+            prot,
+            is_heap: false,
+        };
+        self.regions.insert(start, region);
+        Ok(start)
+    }
+
+    /// Implements `munmap`.  Only whole-region unmaps are supported, which is
+    /// what the workloads issue.
+    pub fn munmap(&mut self, addr: u64, len: u64) -> KernelResult<()> {
+        let len = page_align_up(len);
+        match self.regions.get(&addr) {
+            Some(r) if r.len == len => {
+                self.regions.remove(&addr);
+                Ok(())
+            }
+            Some(_) => Err(Errno::Einval),
+            None => Err(Errno::Einval),
+        }
+    }
+
+    /// Implements `mprotect` over a previously mapped region.
+    pub fn mprotect(&mut self, addr: u64, len: u64, prot: Protection) -> KernelResult<()> {
+        let len = page_align_up(len);
+        match self.regions.get_mut(&addr) {
+            Some(r) if len <= r.len => {
+                r.prot = prot;
+                Ok(())
+            }
+            _ => Err(Errno::Einval),
+        }
+    }
+
+    /// Finds the region containing `addr`.
+    pub fn region_at(&self, addr: u64) -> Option<&Region> {
+        self.regions
+            .range(..=addr)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains_addr(addr))
+    }
+
+    /// Number of currently mapped (non-heap) regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Iterates over mapped regions in ascending address order.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.values()
+    }
+
+    /// Whether any mapped region is writable and executable.
+    pub fn has_wx_region(&self) -> bool {
+        self.regions.values().any(|r| r.prot.is_wx())
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_alignment_rounds_up() {
+        assert_eq!(page_align_up(0), 0);
+        assert_eq!(page_align_up(1), PAGE_SIZE);
+        assert_eq!(page_align_up(PAGE_SIZE), PAGE_SIZE);
+        assert_eq!(page_align_up(PAGE_SIZE + 1), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn brk_query_and_grow() {
+        let mut a = AddressSpace::new();
+        let base = a.brk();
+        assert_eq!(a.set_brk(0), base);
+        let grown = a.set_brk(base + 10_000);
+        assert_eq!(grown, page_align_up(base + 10_000));
+        assert_eq!(a.heap_size(), grown - base);
+    }
+
+    #[test]
+    fn brk_rejects_addresses_below_base() {
+        let mut a = AddressSpace::new();
+        let base = a.brk();
+        assert_eq!(a.set_brk(base - PAGE_SIZE), base);
+    }
+
+    #[test]
+    fn mmap_allocates_downward_non_overlapping() {
+        let mut a = AddressSpace::new();
+        let r1 = a.mmap(8192, Protection::RW).unwrap();
+        let r2 = a.mmap(4096, Protection::RW).unwrap();
+        assert!(r2 < r1);
+        let region1 = *a.region_at(r1).unwrap();
+        let region2 = *a.region_at(r2).unwrap();
+        assert!(!region1.overlaps(&region2));
+    }
+
+    #[test]
+    fn mmap_zero_length_is_einval() {
+        let mut a = AddressSpace::new();
+        assert_eq!(a.mmap(0, Protection::RW), Err(Errno::Einval));
+    }
+
+    #[test]
+    fn munmap_requires_exact_region() {
+        let mut a = AddressSpace::new();
+        let addr = a.mmap(8192, Protection::RW).unwrap();
+        assert_eq!(a.munmap(addr, 4096), Err(Errno::Einval));
+        a.munmap(addr, 8192).unwrap();
+        assert!(a.region_at(addr).is_none());
+    }
+
+    #[test]
+    fn mprotect_changes_protection() {
+        let mut a = AddressSpace::new();
+        let addr = a.mmap(4096, Protection::RW).unwrap();
+        assert!(!a.has_wx_region());
+        a.mprotect(addr, 4096, Protection::RWX).unwrap();
+        assert!(a.has_wx_region());
+        assert!(a.region_at(addr).unwrap().prot.is_wx());
+    }
+
+    #[test]
+    fn mprotect_unmapped_is_einval() {
+        let mut a = AddressSpace::new();
+        assert_eq!(a.mprotect(0x1000, 4096, Protection::READ), Err(Errno::Einval));
+    }
+
+    #[test]
+    fn diversified_layouts_return_different_addresses() {
+        // The situation §4.5.1 describes: the same logical allocation lands
+        // at different addresses in each variant.
+        let mut v0 = AddressSpace::with_layout(DEFAULT_BRK_BASE, DEFAULT_MMAP_TOP);
+        let mut v1 = AddressSpace::with_layout(
+            DEFAULT_BRK_BASE + 0x1000_0000,
+            DEFAULT_MMAP_TOP - 0x2000_0000,
+        );
+        let a0 = v0.mmap(4096, Protection::RW).unwrap();
+        let a1 = v1.mmap(4096, Protection::RW).unwrap();
+        assert_ne!(a0, a1);
+    }
+
+    #[test]
+    fn region_at_finds_containing_region_only() {
+        let mut a = AddressSpace::new();
+        let addr = a.mmap(2 * PAGE_SIZE, Protection::READ).unwrap();
+        assert!(a.region_at(addr + PAGE_SIZE).is_some());
+        assert!(a.region_at(addr + 3 * PAGE_SIZE).is_none());
+    }
+
+    #[test]
+    fn protection_bit_algebra() {
+        assert!(Protection::RWX.contains(Protection::WRITE));
+        assert!(!Protection::RX.is_wx());
+        assert!(Protection::RWX.is_wx());
+        assert_eq!(Protection::from_bits(0xff).bits(), 7);
+    }
+}

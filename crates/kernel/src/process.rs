@@ -1,0 +1,216 @@
+//! Per-process kernel state: threads, FD table, address space.
+//!
+//! A *process* here corresponds to one variant.  The MVEE runs N variants of
+//! the same program, so the kernel holds N processes that should — in the
+//! absence of attacks and benign divergence — make equivalent system calls.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fd::FdTable;
+use crate::mem::AddressSpace;
+
+/// Process identifier within the simulated kernel.
+pub type Pid = u64;
+/// Thread identifier, unique within a process (0 is the initial thread).
+pub type Tid = u64;
+
+/// Lifecycle state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Running or runnable.
+    Running,
+    /// Blocked in a futex wait.
+    BlockedOnFutex {
+        /// Address of the futex word the thread waits on.
+        addr: u64,
+    },
+    /// Exited with a status code.
+    Exited {
+        /// Exit status.
+        status: i32,
+    },
+}
+
+/// A thread belonging to a process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Thread {
+    /// Thread id within the process.
+    pub tid: Tid,
+    /// Current state.
+    pub state: ThreadState,
+    /// Number of system calls issued by this thread.
+    pub syscall_count: u64,
+}
+
+/// A simulated process (one variant).
+#[derive(Debug)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Open file descriptors.
+    pub fds: FdTable,
+    /// The process address space.
+    pub mem: AddressSpace,
+    /// Threads, indexed by tid.
+    threads: Vec<Thread>,
+    /// Whether the whole process has exited (`exit_group`).
+    exited: Option<i32>,
+}
+
+impl Process {
+    /// Creates a process with a single initial thread and standard streams.
+    pub fn new(pid: Pid) -> Self {
+        Self::with_address_space(pid, AddressSpace::new())
+    }
+
+    /// Creates a process with a custom (e.g. diversified) address space.
+    pub fn with_address_space(pid: Pid, mem: AddressSpace) -> Self {
+        Process {
+            pid,
+            fds: FdTable::with_standard_streams(),
+            mem,
+            threads: vec![Thread {
+                tid: 0,
+                state: ThreadState::Running,
+                syscall_count: 0,
+            }],
+            exited: None,
+        }
+    }
+
+    /// Spawns a new thread (the `clone` syscall) and returns its tid.
+    pub fn spawn_thread(&mut self) -> Tid {
+        let tid = self.threads.len() as Tid;
+        self.threads.push(Thread {
+            tid,
+            state: ThreadState::Running,
+            syscall_count: 0,
+        });
+        tid
+    }
+
+    /// Number of threads ever created (including exited ones).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Number of threads currently running or blocked (not exited).
+    pub fn live_thread_count(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| !matches!(t.state, ThreadState::Exited { .. }))
+            .count()
+    }
+
+    /// Returns a reference to a thread.
+    pub fn thread(&self, tid: Tid) -> Option<&Thread> {
+        self.threads.get(tid as usize)
+    }
+
+    /// Returns a mutable reference to a thread.
+    pub fn thread_mut(&mut self, tid: Tid) -> Option<&mut Thread> {
+        self.threads.get_mut(tid as usize)
+    }
+
+    /// Marks one thread as exited.
+    pub fn exit_thread(&mut self, tid: Tid, status: i32) {
+        if let Some(t) = self.thread_mut(tid) {
+            t.state = ThreadState::Exited { status };
+        }
+    }
+
+    /// Marks the whole process as exited (`exit_group`).
+    pub fn exit_group(&mut self, status: i32) {
+        self.exited = Some(status);
+        for t in &mut self.threads {
+            t.state = ThreadState::Exited { status };
+        }
+    }
+
+    /// Whether the whole process has exited.
+    pub fn has_exited(&self) -> bool {
+        self.exited.is_some()
+    }
+
+    /// The exit status, if the process has exited.
+    pub fn exit_status(&self) -> Option<i32> {
+        self.exited
+    }
+
+    /// Records that `tid` issued a system call; returns the running total.
+    pub fn count_syscall(&mut self, tid: Tid) -> u64 {
+        match self.thread_mut(tid) {
+            Some(t) => {
+                t.syscall_count += 1;
+                t.syscall_count
+            }
+            None => 0,
+        }
+    }
+
+    /// Total system calls issued by all threads of this process.
+    pub fn total_syscalls(&self) -> u64 {
+        self.threads.iter().map(|t| t.syscall_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_process_has_one_running_thread() {
+        let p = Process::new(1);
+        assert_eq!(p.thread_count(), 1);
+        assert_eq!(p.live_thread_count(), 1);
+        assert!(matches!(p.thread(0).unwrap().state, ThreadState::Running));
+        assert!(!p.has_exited());
+    }
+
+    #[test]
+    fn spawn_thread_assigns_sequential_tids() {
+        let mut p = Process::new(1);
+        assert_eq!(p.spawn_thread(), 1);
+        assert_eq!(p.spawn_thread(), 2);
+        assert_eq!(p.thread_count(), 3);
+    }
+
+    #[test]
+    fn exit_thread_reduces_live_count() {
+        let mut p = Process::new(1);
+        p.spawn_thread();
+        p.exit_thread(1, 0);
+        assert_eq!(p.thread_count(), 2);
+        assert_eq!(p.live_thread_count(), 1);
+    }
+
+    #[test]
+    fn exit_group_terminates_everything() {
+        let mut p = Process::new(1);
+        p.spawn_thread();
+        p.spawn_thread();
+        p.exit_group(7);
+        assert!(p.has_exited());
+        assert_eq!(p.exit_status(), Some(7));
+        assert_eq!(p.live_thread_count(), 0);
+    }
+
+    #[test]
+    fn syscall_counters_are_per_thread() {
+        let mut p = Process::new(1);
+        p.spawn_thread();
+        assert_eq!(p.count_syscall(0), 1);
+        assert_eq!(p.count_syscall(0), 2);
+        assert_eq!(p.count_syscall(1), 1);
+        assert_eq!(p.total_syscalls(), 3);
+        // Unknown tid is counted nowhere.
+        assert_eq!(p.count_syscall(99), 0);
+        assert_eq!(p.total_syscalls(), 3);
+    }
+
+    #[test]
+    fn processes_have_standard_streams() {
+        let p = Process::new(3);
+        assert_eq!(p.fds.len(), 3);
+    }
+}

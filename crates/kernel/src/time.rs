@@ -1,0 +1,181 @@
+//! Virtual time sources: `gettimeofday`, `clock_gettime` and an `rdtsc` model.
+//!
+//! Time matters to the MVEE in two ways.  First, time queries are replicated
+//! from the master to the slaves so all variants observe identical
+//! timestamps.  Second, exactly because they are replicated, they form the
+//! timing covert channel analysed in §5.4: a data-dependent delay in the
+//! master between two `gettimeofday` calls is visible to the slave through
+//! the replicated delta.
+//!
+//! The clock can run in two modes:
+//!
+//! * **Wall-clock mode** — backed by [`std::time::Instant`], used by the
+//!   benchmark harness so measured overheads are real.
+//! * **Manual mode** — advanced explicitly, used by unit tests and by the
+//!   covert-channel proof of concept so results are deterministic.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A timestamp in nanoseconds since clock start.
+pub type Nanos = u64;
+
+/// A `timeval`-like value: seconds and microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeVal {
+    /// Whole seconds.
+    pub sec: u64,
+    /// Microseconds within the second.
+    pub usec: u32,
+}
+
+impl TimeVal {
+    /// Builds a `TimeVal` from nanoseconds.
+    pub fn from_nanos(ns: Nanos) -> Self {
+        TimeVal {
+            sec: ns / 1_000_000_000,
+            usec: ((ns % 1_000_000_000) / 1_000) as u32,
+        }
+    }
+
+    /// Converts back to nanoseconds (losing sub-microsecond precision).
+    pub fn to_nanos(self) -> Nanos {
+        self.sec * 1_000_000_000 + u64::from(self.usec) * 1_000
+    }
+}
+
+enum Source {
+    Wall { start: Instant },
+    Manual { now: Nanos },
+}
+
+/// A virtual clock serving time-related system calls.
+pub struct VirtualClock {
+    source: Mutex<Source>,
+    /// Simulated TSC frequency in ticks per nanosecond numerator/denominator.
+    /// We model a 2.2 GHz part (the paper's Xeon E5-2660), i.e. 2.2 ticks/ns,
+    /// stored as 11/5 to stay in integer arithmetic.
+    tsc_num: u64,
+    tsc_den: u64,
+}
+
+impl VirtualClock {
+    /// Creates a wall-clock-backed virtual clock.
+    pub fn new_wall() -> Self {
+        VirtualClock {
+            source: Mutex::new(Source::Wall {
+                start: Instant::now(),
+            }),
+            tsc_num: 11,
+            tsc_den: 5,
+        }
+    }
+
+    /// Creates a manually advanced clock starting at zero.
+    pub fn new_manual() -> Self {
+        VirtualClock {
+            source: Mutex::new(Source::Manual { now: 0 }),
+            tsc_num: 11,
+            tsc_den: 5,
+        }
+    }
+
+    /// Current time in nanoseconds since clock start.
+    pub fn now_nanos(&self) -> Nanos {
+        match &*self.source.lock() {
+            Source::Wall { start } => start.elapsed().as_nanos() as u64,
+            Source::Manual { now } => *now,
+        }
+    }
+
+    /// Advances a manual clock by `ns` nanoseconds.
+    ///
+    /// On a wall clock this is a no-op; tests use manual clocks when they
+    /// need to control time.
+    pub fn advance(&self, ns: Nanos) {
+        if let Source::Manual { now } = &mut *self.source.lock() {
+            *now += ns;
+        }
+    }
+
+    /// `gettimeofday` result.
+    pub fn gettimeofday(&self) -> TimeVal {
+        TimeVal::from_nanos(self.now_nanos())
+    }
+
+    /// `clock_gettime(CLOCK_MONOTONIC)` result in nanoseconds.
+    pub fn clock_gettime(&self) -> Nanos {
+        self.now_nanos()
+    }
+
+    /// Simulated `rdtsc` value.
+    ///
+    /// The paper's covert channel also mentions `rdtsc`; modelling it as a
+    /// scaled view of the same clock is sufficient for that experiment.
+    pub fn rdtsc(&self) -> u64 {
+        self.now_nanos() * self.tsc_num / self.tsc_den
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new_wall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeval_conversion_roundtrip() {
+        let tv = TimeVal::from_nanos(3_250_001_000);
+        assert_eq!(tv.sec, 3);
+        assert_eq!(tv.usec, 250_001);
+        assert_eq!(tv.to_nanos(), 3_250_001_000);
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let c = VirtualClock::new_manual();
+        assert_eq!(c.now_nanos(), 0);
+        c.advance(1_500);
+        assert_eq!(c.now_nanos(), 1_500);
+        c.advance(500);
+        assert_eq!(c.gettimeofday().to_nanos(), 2_000);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = VirtualClock::new_wall();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn rdtsc_scales_with_frequency() {
+        let c = VirtualClock::new_manual();
+        c.advance(1_000);
+        // 2.2 ticks per nanosecond.
+        assert_eq!(c.rdtsc(), 2_200);
+    }
+
+    #[test]
+    fn advance_on_wall_clock_is_noop() {
+        let c = VirtualClock::new_wall();
+        let before = c.now_nanos();
+        c.advance(1_000_000_000);
+        // The clock did not jump a full second ahead.
+        assert!(c.now_nanos() < before + 900_000_000);
+    }
+
+    #[test]
+    fn clock_gettime_matches_now() {
+        let c = VirtualClock::new_manual();
+        c.advance(42);
+        assert_eq!(c.clock_gettime(), 42);
+    }
+}

@@ -1,0 +1,428 @@
+//! A small virtual file system: regular files, directories and pipes.
+//!
+//! The VFS is the target of the I/O system calls the monitor executes once
+//! (in the master variant) and whose results it replicates to the slaves.
+//! It is deliberately simple — a flat inode table plus a path index — but it
+//! implements the pieces whose semantics matter to the MVEE: inode and
+//! descriptor allocation order, per-descriptor offsets, pipe capacity and
+//! `EPIPE`/`EAGAIN` behaviour.
+
+use std::collections::HashMap;
+
+use bytes::{Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Errno, KernelResult};
+
+/// Flags accepted by [`Vfs::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenFlags(u64);
+
+impl OpenFlags {
+    /// Open read-only.
+    pub const READ: OpenFlags = OpenFlags(0x1);
+    /// Open write-only.
+    pub const WRITE: OpenFlags = OpenFlags(0x2);
+    /// Create the file if it does not exist.
+    pub const CREATE: OpenFlags = OpenFlags(0x40);
+    /// Truncate the file on open.
+    pub const TRUNCATE: OpenFlags = OpenFlags(0x200);
+    /// Append on every write.
+    pub const APPEND: OpenFlags = OpenFlags(0x400);
+
+    /// Creates a flag set from raw bits.
+    pub fn from_bits(bits: u64) -> Self {
+        OpenFlags(bits)
+    }
+
+    /// Returns the raw bits.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether all bits in `other` are set.
+    pub fn contains(self, other: OpenFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(self, other: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | other.0)
+    }
+}
+
+/// File metadata, the result of `stat`/`fstat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileStat {
+    /// Inode number.
+    pub inode: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Whether the inode is a directory.
+    pub is_dir: bool,
+}
+
+/// In-memory inode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Inode {
+    Regular { data: Vec<u8> },
+    Directory,
+}
+
+/// Pipe capacity in bytes (Linux default is 64 KiB).
+pub const PIPE_CAPACITY: usize = 64 * 1024;
+
+/// A unidirectional pipe.
+#[derive(Debug, Default)]
+struct Pipe {
+    buffer: BytesMut,
+    read_closed: bool,
+    write_closed: bool,
+}
+
+/// The virtual file system.
+#[derive(Debug, Default)]
+pub struct Vfs {
+    inodes: HashMap<u64, Inode>,
+    paths: HashMap<String, u64>,
+    next_inode: u64,
+    pipes: HashMap<u64, Pipe>,
+    next_pipe: u64,
+}
+
+impl Vfs {
+    /// Creates an empty file system containing only the root directory.
+    pub fn new() -> Self {
+        let mut vfs = Vfs {
+            inodes: HashMap::new(),
+            paths: HashMap::new(),
+            next_inode: 1,
+            pipes: HashMap::new(),
+            next_pipe: 1,
+        };
+        let root = vfs.alloc_inode(Inode::Directory);
+        vfs.paths.insert("/".to_string(), root);
+        vfs
+    }
+
+    fn alloc_inode(&mut self, inode: Inode) -> u64 {
+        let id = self.next_inode;
+        self.next_inode += 1;
+        self.inodes.insert(id, inode);
+        id
+    }
+
+    /// Creates a regular file at `path` with the given contents, replacing any
+    /// existing file.  Intended for test and workload setup.
+    pub fn install_file(&mut self, path: &str, contents: &[u8]) -> u64 {
+        let inode = self.alloc_inode(Inode::Regular {
+            data: contents.to_vec(),
+        });
+        self.paths.insert(path.to_string(), inode);
+        inode
+    }
+
+    /// Creates a directory at `path`.
+    pub fn mkdir(&mut self, path: &str) -> KernelResult<u64> {
+        if self.paths.contains_key(path) {
+            return Err(Errno::Eexist);
+        }
+        let inode = self.alloc_inode(Inode::Directory);
+        self.paths.insert(path.to_string(), inode);
+        Ok(inode)
+    }
+
+    /// Resolves `path` to an inode and returns it, creating the file when
+    /// `CREATE` is given.  Returns the inode number.
+    pub fn open(&mut self, path: &str, flags: OpenFlags) -> KernelResult<u64> {
+        match self.paths.get(path).copied() {
+            Some(inode) => {
+                if flags.contains(OpenFlags::TRUNCATE) {
+                    if let Some(Inode::Regular { data }) = self.inodes.get_mut(&inode) {
+                        data.clear();
+                    }
+                }
+                Ok(inode)
+            }
+            None if flags.contains(OpenFlags::CREATE) => {
+                let inode = self.alloc_inode(Inode::Regular { data: Vec::new() });
+                self.paths.insert(path.to_string(), inode);
+                Ok(inode)
+            }
+            None => Err(Errno::Enoent),
+        }
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.paths.contains_key(path)
+    }
+
+    /// Removes the name `path`.  The inode is dropped as well (no hard links
+    /// in this model).
+    pub fn unlink(&mut self, path: &str) -> KernelResult<()> {
+        let inode = self.paths.remove(path).ok_or(Errno::Enoent)?;
+        self.inodes.remove(&inode);
+        Ok(())
+    }
+
+    /// Renames `from` to `to`.
+    pub fn rename(&mut self, from: &str, to: &str) -> KernelResult<()> {
+        let inode = self.paths.remove(from).ok_or(Errno::Enoent)?;
+        self.paths.insert(to.to_string(), inode);
+        Ok(())
+    }
+
+    /// Returns metadata for the inode behind `path`.
+    pub fn stat(&self, path: &str) -> KernelResult<FileStat> {
+        let inode = *self.paths.get(path).ok_or(Errno::Enoent)?;
+        self.fstat(inode)
+    }
+
+    /// Returns metadata for `inode`.
+    pub fn fstat(&self, inode: u64) -> KernelResult<FileStat> {
+        match self.inodes.get(&inode) {
+            Some(Inode::Regular { data }) => Ok(FileStat {
+                inode,
+                size: data.len() as u64,
+                is_dir: false,
+            }),
+            Some(Inode::Directory) => Ok(FileStat {
+                inode,
+                size: 0,
+                is_dir: true,
+            }),
+            None => Err(Errno::Enoent),
+        }
+    }
+
+    /// Reads up to `len` bytes from `inode` starting at `offset`.
+    pub fn read(&self, inode: u64, offset: u64, len: usize) -> KernelResult<Bytes> {
+        match self.inodes.get(&inode) {
+            Some(Inode::Regular { data }) => {
+                let start = (offset as usize).min(data.len());
+                let end = (start + len).min(data.len());
+                Ok(Bytes::copy_from_slice(&data[start..end]))
+            }
+            Some(Inode::Directory) => Err(Errno::Eisdir),
+            None => Err(Errno::Ebadf),
+        }
+    }
+
+    /// Writes `buf` to `inode` at `offset` (or at the end when `append`),
+    /// returning the number of bytes written.
+    pub fn write(
+        &mut self,
+        inode: u64,
+        offset: u64,
+        buf: &[u8],
+        append: bool,
+    ) -> KernelResult<usize> {
+        match self.inodes.get_mut(&inode) {
+            Some(Inode::Regular { data }) => {
+                let start = if append { data.len() } else { offset as usize };
+                if start > data.len() {
+                    data.resize(start, 0);
+                }
+                let end = start + buf.len();
+                if end > data.len() {
+                    data.resize(end, 0);
+                }
+                data[start..end].copy_from_slice(buf);
+                Ok(buf.len())
+            }
+            Some(Inode::Directory) => Err(Errno::Eisdir),
+            None => Err(Errno::Ebadf),
+        }
+    }
+
+    /// Creates a pipe and returns its identifier.
+    pub fn create_pipe(&mut self) -> u64 {
+        let id = self.next_pipe;
+        self.next_pipe += 1;
+        self.pipes.insert(id, Pipe::default());
+        id
+    }
+
+    /// Writes to the pipe's buffer.
+    ///
+    /// Returns `EPIPE` when the read end is closed and `EAGAIN` when the pipe
+    /// is full (this model is non-blocking; the monitor layers blocking
+    /// semantics on top where needed).
+    pub fn pipe_write(&mut self, pipe: u64, buf: &[u8]) -> KernelResult<usize> {
+        let p = self.pipes.get_mut(&pipe).ok_or(Errno::Ebadf)?;
+        if p.read_closed {
+            return Err(Errno::Epipe);
+        }
+        let available = PIPE_CAPACITY.saturating_sub(p.buffer.len());
+        if available == 0 {
+            return Err(Errno::Eagain);
+        }
+        let n = buf.len().min(available);
+        p.buffer.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    /// Reads up to `len` bytes from the pipe.
+    ///
+    /// Returns `Ok(empty)` at end-of-stream (write end closed, buffer empty)
+    /// and `EAGAIN` when the pipe is merely empty.
+    pub fn pipe_read(&mut self, pipe: u64, len: usize) -> KernelResult<Bytes> {
+        let p = self.pipes.get_mut(&pipe).ok_or(Errno::Ebadf)?;
+        if p.buffer.is_empty() {
+            if p.write_closed {
+                return Ok(Bytes::new());
+            }
+            return Err(Errno::Eagain);
+        }
+        let n = len.min(p.buffer.len());
+        Ok(p.buffer.split_to(n).freeze())
+    }
+
+    /// Closes one end of a pipe.
+    pub fn pipe_close(&mut self, pipe: u64, read_end: bool) -> KernelResult<()> {
+        let p = self.pipes.get_mut(&pipe).ok_or(Errno::Ebadf)?;
+        if read_end {
+            p.read_closed = true;
+        } else {
+            p.write_closed = true;
+        }
+        if p.read_closed && p.write_closed {
+            self.pipes.remove(&pipe);
+        }
+        Ok(())
+    }
+
+    /// Number of bytes currently buffered in the pipe.
+    pub fn pipe_len(&self, pipe: u64) -> KernelResult<usize> {
+        self.pipes.get(&pipe).map(|p| p.buffer.len()).ok_or(Errno::Ebadf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_missing_file_without_create_fails() {
+        let mut vfs = Vfs::new();
+        assert_eq!(vfs.open("/nope", OpenFlags::READ), Err(Errno::Enoent));
+    }
+
+    #[test]
+    fn open_with_create_allocates_inode() {
+        let mut vfs = Vfs::new();
+        let inode = vfs.open("/a", OpenFlags::CREATE).unwrap();
+        assert!(vfs.exists("/a"));
+        assert_eq!(vfs.fstat(inode).unwrap().size, 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut vfs = Vfs::new();
+        let inode = vfs.open("/data", OpenFlags::CREATE.union(OpenFlags::WRITE)).unwrap();
+        vfs.write(inode, 0, b"hello world", false).unwrap();
+        let out = vfs.read(inode, 6, 5).unwrap();
+        assert_eq!(&out[..], b"world");
+        assert_eq!(vfs.fstat(inode).unwrap().size, 11);
+    }
+
+    #[test]
+    fn write_past_end_zero_fills() {
+        let mut vfs = Vfs::new();
+        let inode = vfs.install_file("/f", b"ab");
+        vfs.write(inode, 5, b"x", false).unwrap();
+        let all = vfs.read(inode, 0, 16).unwrap();
+        assert_eq!(&all[..], b"ab\0\0\0x");
+    }
+
+    #[test]
+    fn append_ignores_offset() {
+        let mut vfs = Vfs::new();
+        let inode = vfs.install_file("/log", b"one");
+        vfs.write(inode, 0, b"two", true).unwrap();
+        assert_eq!(&vfs.read(inode, 0, 16).unwrap()[..], b"onetwo");
+    }
+
+    #[test]
+    fn truncate_clears_contents() {
+        let mut vfs = Vfs::new();
+        vfs.install_file("/t", b"contents");
+        let inode = vfs.open("/t", OpenFlags::TRUNCATE).unwrap();
+        assert_eq!(vfs.fstat(inode).unwrap().size, 0);
+    }
+
+    #[test]
+    fn unlink_and_rename() {
+        let mut vfs = Vfs::new();
+        vfs.install_file("/a", b"1");
+        vfs.rename("/a", "/b").unwrap();
+        assert!(!vfs.exists("/a"));
+        assert!(vfs.exists("/b"));
+        vfs.unlink("/b").unwrap();
+        assert!(!vfs.exists("/b"));
+        assert_eq!(vfs.unlink("/b"), Err(Errno::Enoent));
+    }
+
+    #[test]
+    fn mkdir_reports_eexist() {
+        let mut vfs = Vfs::new();
+        vfs.mkdir("/dir").unwrap();
+        assert_eq!(vfs.mkdir("/dir"), Err(Errno::Eexist));
+        assert!(vfs.stat("/dir").unwrap().is_dir);
+    }
+
+    #[test]
+    fn directory_read_is_eisdir() {
+        let mut vfs = Vfs::new();
+        let d = vfs.mkdir("/dir").unwrap();
+        assert_eq!(vfs.read(d, 0, 1), Err(Errno::Eisdir));
+        assert_eq!(vfs.write(d, 0, b"x", false), Err(Errno::Eisdir));
+    }
+
+    #[test]
+    fn pipe_fifo_order() {
+        let mut vfs = Vfs::new();
+        let p = vfs.create_pipe();
+        vfs.pipe_write(p, b"abc").unwrap();
+        vfs.pipe_write(p, b"def").unwrap();
+        assert_eq!(&vfs.pipe_read(p, 4).unwrap()[..], b"abcd");
+        assert_eq!(&vfs.pipe_read(p, 4).unwrap()[..], b"ef");
+    }
+
+    #[test]
+    fn pipe_empty_returns_eagain_until_writer_closes() {
+        let mut vfs = Vfs::new();
+        let p = vfs.create_pipe();
+        assert_eq!(vfs.pipe_read(p, 1), Err(Errno::Eagain));
+        vfs.pipe_close(p, false).unwrap();
+        assert_eq!(vfs.pipe_read(p, 1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn pipe_write_after_reader_close_is_epipe() {
+        let mut vfs = Vfs::new();
+        let p = vfs.create_pipe();
+        vfs.pipe_close(p, true).unwrap();
+        assert_eq!(vfs.pipe_write(p, b"x"), Err(Errno::Epipe));
+    }
+
+    #[test]
+    fn pipe_respects_capacity() {
+        let mut vfs = Vfs::new();
+        let p = vfs.create_pipe();
+        let big = vec![0u8; PIPE_CAPACITY + 100];
+        let n = vfs.pipe_write(p, &big).unwrap();
+        assert_eq!(n, PIPE_CAPACITY);
+        assert_eq!(vfs.pipe_write(p, b"more"), Err(Errno::Eagain));
+        assert_eq!(vfs.pipe_len(p).unwrap(), PIPE_CAPACITY);
+    }
+
+    #[test]
+    fn inode_numbers_are_allocation_ordered() {
+        let mut vfs = Vfs::new();
+        let a = vfs.install_file("/1", b"");
+        let b = vfs.install_file("/2", b"");
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,101 @@
+//! The synchronization-agent implementations.
+//!
+//! Three designs are evaluated by the paper (§4.5) and implemented here, plus
+//! a [`NullAgent`] that performs no replication and serves as the "native"
+//! baseline in the benchmark harness:
+//!
+//! | Agent | Buffering | Slave ordering discipline |
+//! |---|---|---|
+//! | [`TotalOrderAgent`] | one shared buffer, shared cursor | exact recorded global order |
+//! | [`PartialOrderAgent`] | one shared buffer, shared cursor | order only among ops on the same variable (look-ahead window) |
+//! | [`WallOfClocksAgent`] | one buffer per master thread | per-clock happens-before via a fixed wall of logical clocks |
+
+mod null;
+mod partial_order;
+mod total_order;
+mod wall_of_clocks;
+
+pub use null::NullAgent;
+pub use partial_order::PartialOrderAgent;
+pub use total_order::TotalOrderAgent;
+pub use wall_of_clocks::WallOfClocksAgent;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies an agent design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgentKind {
+    /// No replication at all (native baseline).
+    Null,
+    /// Total-order replication (§4.5, Figure 4a).
+    TotalOrder,
+    /// Partial-order replication (§4.5, Figure 4b).
+    PartialOrder,
+    /// Wall-of-clocks replication (§4.5, Figure 4c).
+    WallOfClocks,
+}
+
+impl AgentKind {
+    /// Human-readable name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AgentKind::Null => "none",
+            AgentKind::TotalOrder => "total-order",
+            AgentKind::PartialOrder => "partial-order",
+            AgentKind::WallOfClocks => "wall-of-clocks",
+        }
+    }
+
+    /// All replication agents, in the order the paper's tables list them.
+    pub fn replication_agents() -> [AgentKind; 3] {
+        [
+            AgentKind::TotalOrder,
+            AgentKind::PartialOrder,
+            AgentKind::WallOfClocks,
+        ]
+    }
+}
+
+/// Constructs a boxed agent of the requested kind.
+pub fn build_agent(kind: AgentKind, config: crate::context::AgentConfig) -> Box<dyn crate::SyncAgent> {
+    match kind {
+        AgentKind::Null => Box::new(NullAgent::new()),
+        AgentKind::TotalOrder => Box::new(TotalOrderAgent::new(config)),
+        AgentKind::PartialOrder => Box::new(PartialOrderAgent::new(config)),
+        AgentKind::WallOfClocks => Box::new(WallOfClocksAgent::new(config)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AgentConfig;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(AgentKind::TotalOrder.name(), "total-order");
+        assert_eq!(AgentKind::WallOfClocks.name(), "wall-of-clocks");
+        assert_eq!(AgentKind::Null.name(), "none");
+    }
+
+    #[test]
+    fn replication_agents_excludes_null() {
+        let agents = AgentKind::replication_agents();
+        assert_eq!(agents.len(), 3);
+        assert!(!agents.contains(&AgentKind::Null));
+    }
+
+    #[test]
+    fn build_agent_returns_matching_kind() {
+        let config = AgentConfig::default();
+        for kind in [
+            AgentKind::Null,
+            AgentKind::TotalOrder,
+            AgentKind::PartialOrder,
+            AgentKind::WallOfClocks,
+        ] {
+            let agent = build_agent(kind, config);
+            assert_eq!(agent.kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The partial-order (PO) replication agent.
+//!
+//! The PO agent (§4.5, Figure 4b) relaxes the total-order discipline: a slave
+//! thread may execute its next recorded sync op as soon as every *dependent*
+//! op — an earlier recorded op on the same memory location — has completed,
+//! even if unrelated earlier ops are still outstanding.  Slaves therefore
+//! scan a look-ahead window of the shared buffer instead of only its head.
+//!
+//! The design removes the unnecessary stalls of the TO agent but keeps its
+//! scalability problems: all master threads still share one write cursor and
+//! all slave threads share per-variant completion state, which the paper
+//! identifies as the source of cache contention in `radiosity`,
+//! `fluidanimate`, `dedup` and friends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::context::{AgentConfig, SyncContext, VariantRole, MAX_THREADS};
+use crate::guards::{GuardTable, Waiter};
+use crate::ring::{RecordRing, SyncRecord};
+use crate::stats::{AgentStats, SharedStats};
+use crate::SyncAgent;
+
+use super::AgentKind;
+
+/// Per-slave replay state, all pre-allocated (§3.3: no dynamic allocation).
+#[derive(Debug)]
+struct SlaveState {
+    /// `completed[pos % capacity] == pos + 1` once this slave finished the op
+    /// recorded at `pos`.
+    completed: Vec<AtomicU64>,
+    /// Per-thread position of the op claimed between `before` and `after`,
+    /// stored as `pos + 1` (0 = none).
+    claimed: Vec<AtomicU64>,
+    /// Per-thread scan cursor: the position after this thread's most recently
+    /// claimed record.
+    scan_from: Vec<AtomicU64>,
+}
+
+impl SlaveState {
+    fn new(capacity: usize) -> Self {
+        SlaveState {
+            completed: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            claimed: (0..MAX_THREADS).map(|_| AtomicU64::new(0)).collect(),
+            scan_from: (0..MAX_THREADS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Partial-order replication agent.
+#[derive(Debug)]
+pub struct PartialOrderAgent {
+    config: AgentConfig,
+    ring: RecordRing,
+    guards: GuardTable,
+    waiter: Waiter,
+    stats: SharedStats,
+    slaves: Vec<SlaveState>,
+}
+
+impl PartialOrderAgent {
+    /// Creates a partial-order agent for `config.variants` variants.
+    pub fn new(config: AgentConfig) -> Self {
+        let readers = config.slave_count().max(1);
+        PartialOrderAgent {
+            ring: RecordRing::new(config.buffer_capacity, readers),
+            guards: GuardTable::new(config.guard_buckets, config.spin_before_yield),
+            waiter: Waiter::new(config.spin_before_yield),
+            stats: SharedStats::new(),
+            slaves: (0..readers)
+                .map(|_| SlaveState::new(config.buffer_capacity))
+                .collect(),
+            config,
+        }
+    }
+
+    /// The agent's sizing configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    fn capacity(&self) -> u64 {
+        self.config.buffer_capacity as u64
+    }
+
+    fn dependency_key(addr: u64) -> u64 {
+        // Two ops are dependent when they touch the same 64-bit word; this is
+        // the same alignment rule the clock wall uses.
+        addr & !7
+    }
+
+    fn master_before(&self, ctx: &SyncContext, addr: u64) {
+        let bucket = self.guards.bucket_for(addr);
+        let record = SyncRecord::simple(ctx.thread as u32, addr);
+        // Never hold the ordering guard while waiting for buffer space (see
+        // the wall-of-clocks agent for the deadlock this avoids).
+        loop {
+            self.guards.acquire(bucket);
+            match self.ring.try_push(record) {
+                crate::ring::PushOutcome::Stored(_) => {
+                    self.stats.count_record();
+                    return;
+                }
+                crate::ring::PushOutcome::Full => {
+                    self.guards.release(bucket);
+                    self.stats.count_master_stall();
+                    self.waiter.wait_until(|| self.ring.has_space());
+                }
+            }
+        }
+    }
+
+    fn master_after(&self, _ctx: &SyncContext, addr: u64) {
+        self.guards.release(self.guards.bucket_for(addr));
+    }
+
+    /// Whether this slave has completed the op recorded at `pos`.
+    fn is_completed(&self, slave: usize, pos: u64) -> bool {
+        let slot = (pos % self.capacity()) as usize;
+        self.slaves[slave].completed[slot].load(Ordering::Acquire) == pos + 1
+    }
+
+    /// Finds the next record belonging to `thread`, scanning forward from the
+    /// thread's scan cursor.  Returns `None` when it has not been published
+    /// yet or lies outside the look-ahead window.
+    fn find_own_record(&self, slave: usize, thread: u32) -> Option<(u64, SyncRecord)> {
+        let frontier = self.ring.reader_pos(slave);
+        let window_end = frontier + self.config.lookahead_window as u64;
+        let start = self.slaves[slave].scan_from[thread as usize]
+            .load(Ordering::Acquire)
+            .max(frontier);
+        let published = self.ring.write_pos();
+        let mut pos = start;
+        while pos < published && pos < window_end {
+            match self.ring.get(pos) {
+                Some(rec) if rec.thread == thread && !self.is_completed(slave, pos) => {
+                    return Some((pos, rec));
+                }
+                Some(_) => pos += 1,
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// Whether every earlier op on the same 64-bit word has completed.
+    fn dependencies_met(&self, slave: usize, pos: u64, addr: u64) -> bool {
+        let key = Self::dependency_key(addr);
+        let frontier = self.ring.reader_pos(slave);
+        let mut q = frontier;
+        while q < pos {
+            if !self.is_completed(slave, q) {
+                match self.ring.get(q) {
+                    Some(rec) if Self::dependency_key(rec.addr) == key => return false,
+                    Some(_) => {}
+                    None => return false,
+                }
+            }
+            q += 1;
+        }
+        true
+    }
+
+    fn slave_before(&self, ctx: &SyncContext, slave: usize) {
+        let thread = ctx.thread as u32;
+        let mut spins = 0u64;
+        let mut stalled = false;
+        let (pos, _rec) = loop {
+            if let Some((pos, rec)) = self.find_own_record(slave, thread) {
+                if self.dependencies_met(slave, pos, rec.addr) {
+                    break (pos, rec);
+                }
+            }
+            stalled = true;
+            spins += 1;
+            if spins % u64::from(self.config.spin_before_yield) == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        };
+        self.slaves[slave].claimed[ctx.thread].store(pos + 1, Ordering::Release);
+        self.slaves[slave].scan_from[ctx.thread].store(pos + 1, Ordering::Release);
+        if stalled {
+            self.stats.count_slave_stall();
+            self.stats.add_spin_iterations(spins);
+        }
+        self.stats.count_replay();
+    }
+
+    fn slave_after(&self, ctx: &SyncContext, slave: usize) {
+        let claimed = self.slaves[slave].claimed[ctx.thread].swap(0, Ordering::AcqRel);
+        debug_assert!(claimed > 0, "after_sync_op without matching before_sync_op");
+        if claimed == 0 {
+            return;
+        }
+        let pos = claimed - 1;
+        let slot = (pos % self.capacity()) as usize;
+        self.slaves[slave].completed[slot].store(pos + 1, Ordering::Release);
+        // Advance the completion frontier over the completed prefix so the
+        // master can reuse those slots.
+        loop {
+            let frontier = self.ring.reader_pos(slave);
+            if !self.is_completed(slave, frontier) {
+                break;
+            }
+            if !self.ring.try_advance_reader(slave, frontier) {
+                // Another thread advanced it; re-check from the new frontier.
+                continue;
+            }
+        }
+    }
+}
+
+impl SyncAgent for PartialOrderAgent {
+    fn kind(&self) -> AgentKind {
+        AgentKind::PartialOrder
+    }
+
+    fn before_sync_op(&self, ctx: &SyncContext, addr: u64) {
+        match ctx.role {
+            VariantRole::Master => self.master_before(ctx, addr),
+            VariantRole::Slave { index } => self.slave_before(ctx, index),
+        }
+    }
+
+    fn after_sync_op(&self, ctx: &SyncContext, addr: u64) {
+        match ctx.role {
+            VariantRole::Master => self.master_after(ctx, addr),
+            VariantRole::Slave { index } => self.slave_after(ctx, index),
+        }
+    }
+
+    fn stats(&self) -> AgentStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_sync_op;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn config() -> AgentConfig {
+        AgentConfig::default()
+            .with_variants(2)
+            .with_threads(2)
+            .with_buffer_capacity(256)
+            .with_lookahead_window(64)
+    }
+
+    #[test]
+    fn same_thread_replay_follows_record_order() {
+        let agent = PartialOrderAgent::new(config());
+        let master = SyncContext::new(VariantRole::Master, 0);
+        let addrs = [0x10u64, 0x20, 0x10, 0x30];
+        for &a in &addrs {
+            with_sync_op(&agent, &master, a, || {});
+        }
+        let slave = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
+        for &a in &addrs {
+            with_sync_op(&agent, &slave, a, || {});
+        }
+        let s = agent.stats();
+        assert_eq!(s.ops_recorded, 4);
+        assert_eq!(s.ops_replayed, 4);
+    }
+
+    #[test]
+    fn independent_ops_do_not_stall_out_of_order_threads() {
+        // Master records thread 0 (lock A) before thread 1 (lock B).  In the
+        // slave, thread 1 arrives first; because its op is independent it may
+        // proceed immediately — the Figure 4b behaviour that distinguishes PO
+        // from TO.
+        let agent = Arc::new(PartialOrderAgent::new(config()));
+        let m0 = SyncContext::new(VariantRole::Master, 0);
+        let m1 = SyncContext::new(VariantRole::Master, 1);
+        with_sync_op(agent.as_ref(), &m0, 0xA000, || {});
+        with_sync_op(agent.as_ref(), &m0, 0xA000, || {});
+        with_sync_op(agent.as_ref(), &m1, 0xB000, || {});
+        with_sync_op(agent.as_ref(), &m1, 0xB000, || {});
+
+        // Slave: only thread 1 runs; it must complete both of its ops without
+        // waiting for thread 0.
+        let a1 = Arc::clone(&agent);
+        let done = Arc::new(AtomicU64::new(0));
+        let d1 = Arc::clone(&done);
+        let handle = std::thread::spawn(move || {
+            let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 1);
+            with_sync_op(a1.as_ref(), &ctx, 0xBB00, || d1.fetch_add(1, Ordering::SeqCst));
+            with_sync_op(a1.as_ref(), &ctx, 0xBB00, || d1.fetch_add(1, Ordering::SeqCst));
+        });
+        handle.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+
+        // Thread 0 replays afterwards; everything still completes.
+        let ctx0 = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
+        with_sync_op(agent.as_ref(), &ctx0, 0xAA00, || {});
+        with_sync_op(agent.as_ref(), &ctx0, 0xAA00, || {});
+        assert_eq!(agent.stats().ops_replayed, 4);
+    }
+
+    #[test]
+    fn dependent_ops_are_serialized_in_recorded_order() {
+        // Master: thread 0 then thread 1 touch the SAME variable.  The slave
+        // must not let thread 1 run before thread 0 even if thread 1 arrives
+        // first.
+        let agent = Arc::new(PartialOrderAgent::new(config()));
+        let m0 = SyncContext::new(VariantRole::Master, 0);
+        let m1 = SyncContext::new(VariantRole::Master, 1);
+        with_sync_op(agent.as_ref(), &m0, 0xC000, || {});
+        with_sync_op(agent.as_ref(), &m1, 0xC000, || {});
+
+        let order = Arc::new(AtomicU64::new(0));
+        let a1 = Arc::clone(&agent);
+        let o1 = Arc::clone(&order);
+        let t1 = std::thread::spawn(move || {
+            let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 1);
+            with_sync_op(a1.as_ref(), &ctx, 0xCC00, || o1.fetch_add(1, Ordering::SeqCst))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(order.load(Ordering::SeqCst), 0, "dependent op must stall");
+
+        let a0 = Arc::clone(&agent);
+        let o0 = Arc::clone(&order);
+        let t0 = std::thread::spawn(move || {
+            let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
+            with_sync_op(a0.as_ref(), &ctx, 0xCC00, || o0.fetch_add(1, Ordering::SeqCst))
+        });
+        assert_eq!(t0.join().unwrap(), 0);
+        assert_eq!(t1.join().unwrap(), 1);
+        assert!(agent.stats().slave_stalls >= 1);
+    }
+
+    #[test]
+    fn frontier_advances_over_completed_prefix() {
+        let agent = PartialOrderAgent::new(config());
+        let master = SyncContext::new(VariantRole::Master, 0);
+        for i in 0..5u64 {
+            with_sync_op(&agent, &master, 0x100 + i * 8, || {});
+        }
+        let slave = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
+        for i in 0..5u64 {
+            with_sync_op(&agent, &slave, 0x100 + i * 8, || {});
+        }
+        assert_eq!(agent.ring.reader_pos(0), 5);
+    }
+
+    #[test]
+    fn concurrent_master_and_slave_threads_complete() {
+        let cfg = AgentConfig::default()
+            .with_variants(2)
+            .with_threads(4)
+            .with_buffer_capacity(1024)
+            .with_lookahead_window(128);
+        let agent = Arc::new(PartialOrderAgent::new(cfg));
+        let per_thread = 200u64;
+
+        // Master phase: 4 threads, two shared variables.
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let agent = Arc::clone(&agent);
+            handles.push(std::thread::spawn(move || {
+                let ctx = SyncContext::new(VariantRole::Master, t);
+                for i in 0..per_thread {
+                    let addr = if i % 2 == 0 { 0xD000 } else { 0xE000 + (t as u64) * 64 };
+                    with_sync_op(agent.as_ref(), &ctx, addr, || {});
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Slave phase: same four threads replay concurrently.
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let agent = Arc::clone(&agent);
+            handles.push(std::thread::spawn(move || {
+                let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, t);
+                for i in 0..per_thread {
+                    let addr = if i % 2 == 0 { 0xD100 } else { 0xE100 + (t as u64) * 64 };
+                    with_sync_op(agent.as_ref(), &ctx, addr, || {});
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = agent.stats();
+        assert_eq!(s.ops_recorded, 4 * per_thread);
+        assert_eq!(s.ops_replayed, 4 * per_thread);
+        assert_eq!(agent.ring.reader_pos(0), 4 * per_thread);
+    }
+}

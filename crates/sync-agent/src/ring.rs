@@ -1,0 +1,401 @@
+//! Fixed-capacity sync buffers (ring buffers of sync-op records).
+//!
+//! The paper's agents communicate through *sync buffers*: shared-memory ring
+//! buffers the MVEE maps into every variant (§4).  The total-order and
+//! partial-order agents use a single buffer with one producer cursor shared
+//! by all master threads; the wall-of-clocks agent uses one buffer per master
+//! thread so that each buffer has a single producer (§4.5).
+//!
+//! [`RecordRing`] covers both shapes: it is a bounded, multi-producer ring
+//! with one *read cursor per slave variant*.  A slot may only be reused once
+//! every slave's cursor has moved past it, which is how the master is slowed
+//! down (back-pressure) when a slave lags more than one buffer behind.
+//!
+//! The implementation uses only safe atomics; each slot carries a sequence
+//! number that is published with `Release` ordering after the record fields
+//! are written, and readers check it with `Acquire` before trusting the
+//! fields (the usual Lamport/Vyukov bounded-queue publication scheme).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::guards::Waiter;
+
+/// One recorded synchronization operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncRecord {
+    /// Logical index of the master thread that executed the op.
+    pub thread: u32,
+    /// Address of the synchronization variable *in the master variant*.
+    /// Slaves never interpret this as one of their own addresses; they only
+    /// compare it against other recorded addresses (partial-order agent) or
+    /// ignore it entirely (total-order agent).
+    pub addr: u64,
+    /// Agent-specific auxiliary value: the logical-clock identifier for the
+    /// wall-of-clocks agent, zero otherwise.
+    pub clock: u32,
+    /// Agent-specific auxiliary value: the logical-clock time for the
+    /// wall-of-clocks agent, zero otherwise.
+    pub time: u64,
+}
+
+impl SyncRecord {
+    /// A record carrying only the executing thread and the variable address.
+    pub fn simple(thread: u32, addr: u64) -> Self {
+        SyncRecord {
+            thread,
+            addr,
+            clock: 0,
+            time: 0,
+        }
+    }
+
+    /// A wall-of-clocks record.
+    pub fn with_clock(thread: u32, addr: u64, clock: u32, time: u64) -> Self {
+        SyncRecord {
+            thread,
+            addr,
+            clock,
+            time,
+        }
+    }
+}
+
+/// A slot of the ring.  `seq == position + 1` marks the record as published
+/// for the generation that starts at `position`.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    thread: AtomicU64,
+    addr: AtomicU64,
+    clock: AtomicU64,
+    time: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            thread: AtomicU64::new(0),
+            addr: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            time: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Outcome of a non-blocking push attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The record was stored at the returned position.
+    Stored(u64),
+    /// The ring is full: some slave has not yet consumed the slot that would
+    /// be overwritten.
+    Full,
+}
+
+/// A bounded multi-producer ring with one read cursor per slave variant.
+#[derive(Debug)]
+pub struct RecordRing {
+    slots: Vec<Slot>,
+    capacity: u64,
+    write_cursor: AtomicU64,
+    reader_cursors: Vec<AtomicU64>,
+}
+
+impl RecordRing {
+    /// Creates a ring with `capacity` slots (must be a power of two) and
+    /// `readers` independent read cursors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two or `readers` is zero.
+    pub fn new(capacity: usize, readers: usize) -> Self {
+        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(readers > 0, "need at least one reader");
+        RecordRing {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            capacity: capacity as u64,
+            write_cursor: AtomicU64::new(0),
+            reader_cursors: (0..readers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Number of read cursors.
+    pub fn readers(&self) -> usize {
+        self.reader_cursors.len()
+    }
+
+    /// Position the next pushed record will receive.
+    pub fn write_pos(&self) -> u64 {
+        self.write_cursor.load(Ordering::Acquire)
+    }
+
+    /// Current position of reader `reader`.
+    pub fn reader_pos(&self, reader: usize) -> u64 {
+        self.reader_cursors[reader].load(Ordering::Acquire)
+    }
+
+    /// The slowest reader's position; slots below it may be reused.
+    pub fn min_reader_pos(&self) -> u64 {
+        self.reader_cursors
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether at least one slot is free for the next push.
+    pub fn has_space(&self) -> bool {
+        self.write_pos() - self.min_reader_pos() < self.capacity
+    }
+
+    /// Attempts to append `record` without blocking.
+    pub fn try_push(&self, record: SyncRecord) -> PushOutcome {
+        loop {
+            let pos = self.write_cursor.load(Ordering::Acquire);
+            if pos - self.min_reader_pos() >= self.capacity {
+                return PushOutcome::Full;
+            }
+            if self
+                .write_cursor
+                .compare_exchange_weak(pos, pos + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let slot = &self.slots[(pos % self.capacity) as usize];
+                slot.thread.store(u64::from(record.thread), Ordering::Relaxed);
+                slot.addr.store(record.addr, Ordering::Relaxed);
+                slot.clock.store(u64::from(record.clock), Ordering::Relaxed);
+                slot.time.store(record.time, Ordering::Relaxed);
+                slot.seq.store(pos + 1, Ordering::Release);
+                return PushOutcome::Stored(pos);
+            }
+        }
+    }
+
+    /// Appends `record`, spinning (with the supplied waiter) while the ring
+    /// is full.  Returns the position and the number of wait iterations.
+    pub fn push_blocking(&self, record: SyncRecord, waiter: &Waiter) -> (u64, u64) {
+        let mut stalls = 0u64;
+        loop {
+            match self.try_push(record) {
+                PushOutcome::Stored(pos) => return (pos, stalls),
+                PushOutcome::Full => {
+                    stalls += waiter.wait_until(|| {
+                        self.write_cursor.load(Ordering::Acquire) - self.min_reader_pos()
+                            < self.capacity
+                    });
+                    // Retry the push; another producer may have raced us.
+                    stalls += 1;
+                }
+            }
+        }
+    }
+
+    /// Reads the record at `pos` if it has been published.
+    pub fn get(&self, pos: u64) -> Option<SyncRecord> {
+        let slot = &self.slots[(pos % self.capacity) as usize];
+        if slot.seq.load(Ordering::Acquire) != pos + 1 {
+            return None;
+        }
+        Some(SyncRecord {
+            thread: slot.thread.load(Ordering::Relaxed) as u32,
+            addr: slot.addr.load(Ordering::Relaxed),
+            clock: slot.clock.load(Ordering::Relaxed) as u32,
+            time: slot.time.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Blocks until the record at `pos` is published, then returns it along
+    /// with the number of wait iterations.
+    pub fn get_blocking(&self, pos: u64, waiter: &Waiter) -> (SyncRecord, u64) {
+        let mut waited = 0;
+        loop {
+            if let Some(r) = self.get(pos) {
+                return (r, waited);
+            }
+            waited += waiter.wait_until(|| self.get(pos).is_some()) + 1;
+        }
+    }
+
+    /// Advances reader `reader` by one position.
+    pub fn advance_reader(&self, reader: usize) {
+        self.reader_cursors[reader].fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Atomically advances reader `reader` from `from` to `from + 1`.
+    ///
+    /// Returns `false` when another thread advanced the cursor first.  The
+    /// partial-order agent uses this when several slave threads race to move
+    /// the completion frontier forward.
+    pub fn try_advance_reader(&self, reader: usize, from: u64) -> bool {
+        self.reader_cursors[reader]
+            .compare_exchange(from, from + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Sets reader `reader` to an absolute position (used by the
+    /// partial-order agent when its completion frontier jumps forward).
+    pub fn set_reader_pos(&self, reader: usize, pos: u64) {
+        self.reader_cursors[reader].store(pos, Ordering::Release);
+    }
+
+    /// Number of records published but not yet consumed by reader `reader`.
+    pub fn backlog(&self, reader: usize) -> u64 {
+        self.write_pos().saturating_sub(self.reader_pos(reader))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn waiter() -> Waiter {
+        Waiter::new(16)
+    }
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let ring = RecordRing::new(8, 1);
+        let rec = SyncRecord::with_clock(3, 0xdead, 7, 99);
+        assert_eq!(ring.try_push(rec), PushOutcome::Stored(0));
+        assert_eq!(ring.get(0), Some(rec));
+        assert_eq!(ring.get(1), None);
+    }
+
+    #[test]
+    fn records_are_fifo_per_position() {
+        let ring = RecordRing::new(8, 1);
+        for i in 0..8u64 {
+            ring.try_push(SyncRecord::simple(i as u32, i * 16));
+        }
+        for i in 0..8u64 {
+            assert_eq!(ring.get(i).unwrap().thread, i as u32);
+        }
+    }
+
+    #[test]
+    fn ring_reports_full_until_readers_advance() {
+        let ring = RecordRing::new(4, 2);
+        for i in 0..4 {
+            assert!(matches!(
+                ring.try_push(SyncRecord::simple(0, i)),
+                PushOutcome::Stored(_)
+            ));
+        }
+        assert_eq!(ring.try_push(SyncRecord::simple(0, 99)), PushOutcome::Full);
+        // One reader advancing is not enough; the slowest reader gates reuse.
+        ring.advance_reader(0);
+        assert_eq!(ring.try_push(SyncRecord::simple(0, 99)), PushOutcome::Full);
+        ring.advance_reader(1);
+        assert!(matches!(
+            ring.try_push(SyncRecord::simple(0, 99)),
+            PushOutcome::Stored(4)
+        ));
+    }
+
+    #[test]
+    fn wraparound_overwrites_consumed_slots_only() {
+        let ring = RecordRing::new(4, 1);
+        for i in 0..4 {
+            ring.try_push(SyncRecord::simple(1, i));
+        }
+        for _ in 0..4 {
+            ring.advance_reader(0);
+        }
+        for i in 4..8 {
+            assert!(matches!(
+                ring.try_push(SyncRecord::simple(2, i)),
+                PushOutcome::Stored(_)
+            ));
+        }
+        // Old positions are no longer published under their old sequence.
+        assert_eq!(ring.get(0), None);
+        assert_eq!(ring.get(5).unwrap().thread, 2);
+    }
+
+    #[test]
+    fn backlog_tracks_unconsumed_records() {
+        let ring = RecordRing::new(8, 1);
+        ring.try_push(SyncRecord::simple(0, 1));
+        ring.try_push(SyncRecord::simple(0, 2));
+        assert_eq!(ring.backlog(0), 2);
+        ring.advance_reader(0);
+        assert_eq!(ring.backlog(0), 1);
+    }
+
+    #[test]
+    fn get_blocking_waits_for_publication() {
+        let ring = Arc::new(RecordRing::new(8, 1));
+        let r2 = Arc::clone(&ring);
+        let handle = std::thread::spawn(move || r2.get_blocking(0, &waiter()).0);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ring.try_push(SyncRecord::simple(5, 0x42));
+        let rec = handle.join().unwrap();
+        assert_eq!(rec.thread, 5);
+        assert_eq!(rec.addr, 0x42);
+    }
+
+    #[test]
+    fn push_blocking_waits_for_reader() {
+        let ring = Arc::new(RecordRing::new(2, 1));
+        ring.try_push(SyncRecord::simple(0, 0));
+        ring.try_push(SyncRecord::simple(0, 1));
+        let r2 = Arc::clone(&ring);
+        let handle = std::thread::spawn(move || {
+            let (pos, _stalls) = r2.push_blocking(SyncRecord::simple(0, 2), &waiter());
+            pos
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ring.advance_reader(0);
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_do_not_lose_records() {
+        let ring = Arc::new(RecordRing::new(1024, 1));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    ring.push_blocking(SyncRecord::simple(t, i), &waiter());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.write_pos(), 800);
+        // Every position holds a published record and per-thread order is
+        // preserved (addresses are strictly increasing per thread).
+        let mut last_addr = [None::<u64>; 4];
+        for pos in 0..800 {
+            let rec = ring.get(pos).expect("record published");
+            let t = rec.thread as usize;
+            if let Some(prev) = last_addr[t] {
+                assert!(rec.addr > prev, "per-thread order violated");
+            }
+            last_addr[t] = Some(rec.addr);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_capacity_panics() {
+        let _ = RecordRing::new(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader")]
+    fn zero_readers_panics() {
+        let _ = RecordRing::new(4, 0);
+    }
+}

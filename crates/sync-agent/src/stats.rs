@@ -1,0 +1,157 @@
+//! Counters the agents maintain and the benchmark harness reads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of an agent's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentStats {
+    /// Sync ops recorded by the master variant.
+    pub ops_recorded: u64,
+    /// Sync ops replayed by slave variants (summed over all slaves).
+    pub ops_replayed: u64,
+    /// Times a slave thread had to wait before it could execute its next op.
+    pub slave_stalls: u64,
+    /// Times the master had to wait because a sync buffer was full.
+    pub master_stalls: u64,
+    /// Total spin-wait iterations executed by slaves while stalled.
+    pub slave_spin_iterations: u64,
+    /// Times two distinct sync-variable addresses hashed onto the same
+    /// logical clock (wall-of-clocks only): false serialization.
+    pub clock_collisions: u64,
+}
+
+impl AgentStats {
+    /// Replays per recorded op; 1.0 per slave when every op was replayed.
+    pub fn replay_ratio(&self) -> f64 {
+        if self.ops_recorded == 0 {
+            0.0
+        } else {
+            self.ops_replayed as f64 / self.ops_recorded as f64
+        }
+    }
+
+    /// Stalls per replayed op — the agent-efficiency figure the paper's
+    /// Figure 4 illustrates qualitatively.
+    pub fn stall_rate(&self) -> f64 {
+        if self.ops_replayed == 0 {
+            0.0
+        } else {
+            self.slave_stalls as f64 / self.ops_replayed as f64
+        }
+    }
+}
+
+/// Thread-safe counter block shared by an agent's threads.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    ops_recorded: AtomicU64,
+    ops_replayed: AtomicU64,
+    slave_stalls: AtomicU64,
+    master_stalls: AtomicU64,
+    slave_spin_iterations: AtomicU64,
+    clock_collisions: AtomicU64,
+}
+
+impl SharedStats {
+    /// Creates a zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one recorded op.
+    pub fn count_record(&self) {
+        self.ops_recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one replayed op.
+    pub fn count_replay(&self) {
+        self.ops_replayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one slave stall (a wait that did not succeed immediately).
+    pub fn count_slave_stall(&self) {
+        self.slave_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one master stall (buffer full).
+    pub fn count_master_stall(&self) {
+        self.master_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` spin iterations to the slave spin counter.
+    pub fn add_spin_iterations(&self, n: u64) {
+        self.slave_spin_iterations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one hash collision between distinct addresses on one clock.
+    pub fn count_clock_collision(&self) {
+        self.clock_collisions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> AgentStats {
+        AgentStats {
+            ops_recorded: self.ops_recorded.load(Ordering::Relaxed),
+            ops_replayed: self.ops_replayed.load(Ordering::Relaxed),
+            slave_stalls: self.slave_stalls.load(Ordering::Relaxed),
+            master_stalls: self.master_stalls.load(Ordering::Relaxed),
+            slave_spin_iterations: self.slave_spin_iterations.load(Ordering::Relaxed),
+            clock_collisions: self.clock_collisions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_into_snapshot() {
+        let s = SharedStats::new();
+        s.count_record();
+        s.count_record();
+        s.count_replay();
+        s.count_slave_stall();
+        s.count_master_stall();
+        s.add_spin_iterations(10);
+        s.count_clock_collision();
+        let snap = s.snapshot();
+        assert_eq!(snap.ops_recorded, 2);
+        assert_eq!(snap.ops_replayed, 1);
+        assert_eq!(snap.slave_stalls, 1);
+        assert_eq!(snap.master_stalls, 1);
+        assert_eq!(snap.slave_spin_iterations, 10);
+        assert_eq!(snap.clock_collisions, 1);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let empty = AgentStats::default();
+        assert_eq!(empty.replay_ratio(), 0.0);
+        assert_eq!(empty.stall_rate(), 0.0);
+    }
+
+    #[test]
+    fn replay_ratio_counts_all_slaves() {
+        let s = AgentStats {
+            ops_recorded: 10,
+            ops_replayed: 30,
+            ..Default::default()
+        };
+        // Three slaves each replayed all ten ops.
+        assert!((s.replay_ratio() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_rate_is_per_replayed_op() {
+        let s = AgentStats {
+            ops_recorded: 10,
+            ops_replayed: 20,
+            slave_stalls: 5,
+            ..Default::default()
+        };
+        assert!((s.stall_rate() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,240 @@
+//! Software-diversity transforms applied to variants.
+//!
+//! The paper's security argument requires the variants to be diversified so
+//! that one concrete exploit cannot compromise all of them.  The evaluation
+//! enables Address Space Layout Randomization (ASLR), Disjoint Code Layouts
+//! (DCL, from the authors' earlier work) and Position Independent Executables
+//! for the correctness runs, and argues (§2) that instruction-level diversity
+//! breaks DMT systems because it perturbs the instruction counts those
+//! systems use to measure thread progress.
+//!
+//! [`DiversityProfile`] models these transforms for the simulated variants:
+//!
+//! * per-variant address-space layouts (heap / mmap bases and the base
+//!   address of the synchronization variables),
+//! * disjoint code layouts (no two variants share a code region), and
+//! * an instruction-count perturbation factor per variant (NOP insertion /
+//!   code layout effects) used by the DMT baseline comparison.
+
+use serde::{Deserialize, Serialize};
+
+use mvee_core::mvee::VariantLayout;
+
+/// A deterministic, seedable diversity profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiversityProfile {
+    /// Randomize address-space layout per variant.
+    pub aslr: bool,
+    /// Give every variant a disjoint code region.
+    pub disjoint_code_layouts: bool,
+    /// Apply instruction-count perturbation (NOP insertion model).  The
+    /// perturbation is at most ±`max_instruction_skew` of the baseline count.
+    pub instruction_skew: bool,
+    /// Maximum relative instruction-count skew (e.g. 0.05 = ±5%).
+    pub max_instruction_skew: f64,
+    /// Seed for the deterministic layout generator.
+    pub seed: u64,
+}
+
+impl DiversityProfile {
+    /// No diversity at all (the configuration used for the paper's
+    /// performance runs, §5.1: "we disabled ASLR and did not apply any
+    /// diversity techniques").
+    pub fn none() -> Self {
+        DiversityProfile {
+            aslr: false,
+            disjoint_code_layouts: false,
+            instruction_skew: false,
+            max_instruction_skew: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Full diversity (the configuration used for the correctness runs:
+    /// ASLR + DCL + instruction-count perturbation).
+    pub fn full(seed: u64) -> Self {
+        DiversityProfile {
+            aslr: true,
+            disjoint_code_layouts: true,
+            instruction_skew: true,
+            max_instruction_skew: 0.05,
+            seed,
+        }
+    }
+
+    /// ASLR only.
+    pub fn aslr_only(seed: u64) -> Self {
+        DiversityProfile {
+            aslr: true,
+            disjoint_code_layouts: false,
+            instruction_skew: false,
+            max_instruction_skew: 0.0,
+            seed,
+        }
+    }
+
+    fn mix(&self, variant: usize, salt: u64) -> u64 {
+        // SplitMix64 over (seed, variant, salt): deterministic and
+        // well-distributed, which keeps every run reproducible.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(variant as u64 + 1))
+            .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The kernel address-space layout for variant `variant`.
+    pub fn layout_for(&self, variant: usize) -> VariantLayout {
+        if !self.aslr || variant == 0 && !self.disjoint_code_layouts {
+            // Variant 0 keeps the default layout unless ASLR moves it too.
+            if !self.aslr {
+                return VariantLayout::default_layout();
+            }
+        }
+        let base = VariantLayout::default_layout();
+        if !self.aslr {
+            return base;
+        }
+        // Shift the heap by up to 16 GiB and the mmap area down by up to
+        // 64 GiB, in page-sized steps.
+        let brk_shift = (self.mix(variant, 1) % 0x4_0000) * 4096;
+        let mmap_shift = (self.mix(variant, 2) % 0x10_0000) * 4096;
+        VariantLayout {
+            brk_base: base.brk_base + brk_shift,
+            mmap_top: base.mmap_top - mmap_shift,
+        }
+    }
+
+    /// The base address of the synchronization-variable region for variant
+    /// `variant` (the analogue of the data segment moving under ASLR/PIE).
+    pub fn sync_base_for(&self, variant: usize) -> u64 {
+        const DEFAULT_SYNC_BASE: u64 = 0x0000_7f10_0000_0000;
+        if !self.aslr {
+            return DEFAULT_SYNC_BASE;
+        }
+        DEFAULT_SYNC_BASE + (self.mix(variant, 3) % 0x8_0000) * 4096
+    }
+
+    /// The base address of the code region for variant `variant`.
+    ///
+    /// With disjoint code layouts enabled no two variants may overlap; the
+    /// regions are laid out in non-overlapping 1 GiB slots.
+    pub fn code_base_for(&self, variant: usize) -> u64 {
+        const DEFAULT_CODE_BASE: u64 = 0x0000_5555_5555_0000;
+        const SLOT: u64 = 1 << 30;
+        if self.disjoint_code_layouts {
+            DEFAULT_CODE_BASE + SLOT * variant as u64
+        } else if self.aslr {
+            DEFAULT_CODE_BASE + (self.mix(variant, 4) % 0x1000) * 4096
+        } else {
+            DEFAULT_CODE_BASE
+        }
+    }
+
+    /// The instruction-count multiplier for variant `variant` (1.0 when
+    /// instruction skew is disabled).
+    ///
+    /// DMT systems that measure progress in executed instructions will see
+    /// each variant reach its quantum boundary at a different point in the
+    /// program when this factor differs between variants — the incompatibility
+    /// the paper describes in §2 and §6.
+    pub fn instruction_factor_for(&self, variant: usize) -> f64 {
+        if !self.instruction_skew || variant == 0 {
+            return 1.0;
+        }
+        let raw = self.mix(variant, 5) % 10_000;
+        1.0 + (raw as f64 / 10_000.0 * 2.0 - 1.0) * self.max_instruction_skew
+    }
+
+    /// Whether two distinct variants end up with overlapping code regions.
+    pub fn code_regions_overlap(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        const SIZE: u64 = 64 << 20; // 64 MiB of code per variant.
+        let (sa, sb) = (self.code_base_for(a), self.code_base_for(b));
+        sa < sb + SIZE && sb < sa + SIZE
+    }
+}
+
+impl Default for DiversityProfile {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_diversity_gives_identical_layouts() {
+        let d = DiversityProfile::none();
+        assert_eq!(d.layout_for(0), d.layout_for(1));
+        assert_eq!(d.sync_base_for(0), d.sync_base_for(3));
+        assert_eq!(d.instruction_factor_for(0), 1.0);
+        assert_eq!(d.instruction_factor_for(2), 1.0);
+    }
+
+    #[test]
+    fn aslr_gives_each_variant_a_different_layout() {
+        let d = DiversityProfile::full(42);
+        let l0 = d.layout_for(0);
+        let l1 = d.layout_for(1);
+        let l2 = d.layout_for(2);
+        assert_ne!(l0, l1);
+        assert_ne!(l1, l2);
+        assert_ne!(d.sync_base_for(0), d.sync_base_for(1));
+    }
+
+    #[test]
+    fn layouts_are_deterministic_per_seed() {
+        let a = DiversityProfile::full(7);
+        let b = DiversityProfile::full(7);
+        let c = DiversityProfile::full(8);
+        assert_eq!(a.layout_for(1), b.layout_for(1));
+        assert_ne!(a.layout_for(1), c.layout_for(1));
+    }
+
+    #[test]
+    fn disjoint_code_layouts_never_overlap() {
+        let d = DiversityProfile::full(3);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert!(!d.code_regions_overlap(a, b), "variants {a} and {b} overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_layouts_without_dcl() {
+        let d = DiversityProfile::none();
+        assert!(d.code_regions_overlap(0, 1));
+    }
+
+    #[test]
+    fn instruction_skew_is_bounded_and_nontrivial() {
+        let d = DiversityProfile::full(99);
+        for v in 1..8 {
+            let f = d.instruction_factor_for(v);
+            assert!(f >= 0.95 && f <= 1.05, "factor {f} out of bounds");
+        }
+        // At least one variant differs from the master.
+        assert!((1..8).any(|v| (d.instruction_factor_for(v) - 1.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn page_alignment_of_generated_layouts() {
+        let d = DiversityProfile::full(11);
+        for v in 0..4 {
+            let l = d.layout_for(v);
+            assert_eq!(l.brk_base % 4096, 0);
+            assert_eq!(l.mmap_top % 4096, 0);
+            assert_eq!(d.sync_base_for(v) % 4096, 0);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Variant program model, execution engine and software-diversity transforms.
+//!
+//! The paper runs real, diversified x86 binaries (PARSEC, SPLASH-2x, nginx)
+//! under its MVEE.  This crate provides the substitute: a small, explicit
+//! *program model* ([`program::Program`]) whose threads execute sequences of
+//! actions — computation, synchronization operations on named variables,
+//! system calls, barriers and task-queue operations — on real OS threads.
+//!
+//! The crucial property the model preserves is the one the paper's agents
+//! depend on: every access to a synchronization variable is a *sync op* that
+//! is bracketed by `before_sync_op` / `after_sync_op` calls into the injected
+//! agent, and every externally visible effect flows through the monitored
+//! system-call gateway.  Locks are spinlocks built from individual
+//! compare-and-swap sync ops (the paper's Listing 1/3), barriers are
+//! increment-and-spin loops over sync variables, and task queues are
+//! lock-protected shared structures whose pop order — and therefore the
+//! program's observable output — depends on the thread interleaving.
+//!
+//! [`diversity::DiversityProfile`] models the software-diversity transforms
+//! the paper applies to its variants (ASLR, disjoint code layouts,
+//! instruction-count perturbation), and [`runner`] executes a program
+//! natively or under a fully wired MVEE and reports timing, monitor and agent
+//! statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diversity;
+pub mod executor;
+pub mod memory;
+pub mod port;
+pub mod program;
+pub mod report;
+pub mod runner;
+
+pub use diversity::DiversityProfile;
+pub use program::{Action, Program, SyscallSpec, ThreadSpec};
+pub use report::{NativeReport, RunReport};
+pub use runner::{run_mvee, run_native, RunConfig};

@@ -1,0 +1,277 @@
+//! The variant's simulated user-space memory for shared program state.
+//!
+//! Each variant owns one [`VariantMemory`]: the spinlock words, barrier
+//! counters, task queues and shared counters its threads operate on.  Under
+//! address-space diversity the *addresses* reported for these variables
+//! differ between variants (each variant gets its own base), while the
+//! logical layout is identical — exactly the situation the paper's agents
+//! must tolerate without maintaining an explicit address mapping (§4.5.1).
+//!
+//! All shared state is stored in atomics, so the model itself is free of data
+//! races even if a (buggy or adversarial) program accesses the state without
+//! holding the protecting lock.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::program::{BarrierId, CounterId, LockId, Program, QueueId};
+
+/// Maximum number of entries a task queue can hold.
+pub const QUEUE_CAPACITY: usize = 4096;
+
+/// Spacing between simulated synchronization variables, chosen so distinct
+/// variables never share a cache line (or an 8-byte word, which would force
+/// the agents to serialize them).
+pub const VAR_SPACING: u64 = 64;
+
+#[derive(Debug)]
+struct TaskQueue {
+    slots: Vec<AtomicU64>,
+    head: AtomicU64,
+    tail: AtomicU64,
+}
+
+impl TaskQueue {
+    fn new() -> Self {
+        TaskQueue {
+            slots: (0..QUEUE_CAPACITY).map(|_| AtomicU64::new(0)).collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared memory of one variant.
+#[derive(Debug)]
+pub struct VariantMemory {
+    /// Base address reported for synchronization variables (diversified).
+    sync_base: u64,
+    locks: Vec<AtomicU32>,
+    barriers: Vec<AtomicU32>,
+    queues: Vec<TaskQueue>,
+    queue_locks: Vec<AtomicU32>,
+    counters: Vec<AtomicU64>,
+}
+
+impl VariantMemory {
+    /// Allocates the shared state a program needs, reporting synchronization
+    /// variable addresses relative to `sync_base`.
+    pub fn for_program(program: &Program, sync_base: u64) -> Self {
+        VariantMemory {
+            sync_base,
+            locks: (0..program.locks).map(|_| AtomicU32::new(0)).collect(),
+            barriers: (0..program.barriers).map(|_| AtomicU32::new(0)).collect(),
+            queues: (0..program.queues).map(|_| TaskQueue::new()).collect(),
+            queue_locks: (0..program.queues).map(|_| AtomicU32::new(0)).collect(),
+            counters: (0..program.counters).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The diversified base address of this variant's sync variables.
+    pub fn sync_base(&self) -> u64 {
+        self.sync_base
+    }
+
+    /// Address of lock `id` in this variant.
+    pub fn lock_addr(&self, id: LockId) -> u64 {
+        self.sync_base + u64::from(id) * VAR_SPACING
+    }
+
+    /// Address of barrier `id` in this variant.
+    pub fn barrier_addr(&self, id: BarrierId) -> u64 {
+        self.sync_base + 0x10_0000 + u64::from(id) * VAR_SPACING
+    }
+
+    /// Address of the lock protecting queue `id` in this variant.
+    pub fn queue_lock_addr(&self, id: QueueId) -> u64 {
+        self.sync_base + 0x20_0000 + u64::from(id) * VAR_SPACING
+    }
+
+    /// Address of counter `id` in this variant.
+    pub fn counter_addr(&self, id: CounterId) -> u64 {
+        self.sync_base + 0x30_0000 + u64::from(id) * VAR_SPACING
+    }
+
+    // ---- spinlock words ---------------------------------------------------
+
+    /// Attempts to acquire lock `id` with a single compare-and-swap.
+    /// Returns `true` on success.  This is one sync op.
+    pub fn lock_try_acquire(&self, id: LockId) -> bool {
+        self.locks[id as usize]
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Releases lock `id` with a plain store.  This is one sync op.
+    pub fn lock_release(&self, id: LockId) {
+        self.locks[id as usize].store(0, Ordering::Release);
+    }
+
+    /// Whether lock `id` is currently held (diagnostics only).
+    pub fn lock_is_held(&self, id: LockId) -> bool {
+        self.locks[id as usize].load(Ordering::Acquire) != 0
+    }
+
+    /// Attempts to acquire the spinlock protecting queue `id`.
+    /// Returns `true` on success.  This is one sync op.
+    pub fn lock_try_acquire_queue(&self, id: QueueId) -> bool {
+        self.queue_locks[id as usize]
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Releases the spinlock protecting queue `id`.  This is one sync op.
+    pub fn lock_release_queue(&self, id: QueueId) {
+        self.queue_locks[id as usize].store(0, Ordering::Release);
+    }
+
+    // ---- barriers ----------------------------------------------------------
+
+    /// Atomically increments the arrival counter of barrier `id` and returns
+    /// the new value.  This is one sync op.
+    pub fn barrier_arrive(&self, id: BarrierId) -> u32 {
+        self.barriers[id as usize].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Reads the arrival counter of barrier `id`.  This is one sync op
+    /// (an aligned load of a synchronization variable).
+    pub fn barrier_count(&self, id: BarrierId) -> u32 {
+        self.barriers[id as usize].load(Ordering::Acquire)
+    }
+
+    // ---- queues (data protected by the queue lock) --------------------------
+
+    /// Appends `value` to queue `id`.  Must be called with the queue lock
+    /// held; the accesses themselves are ordinary data accesses.
+    pub fn queue_push(&self, id: QueueId, value: u64) -> bool {
+        let q = &self.queues[id as usize];
+        let tail = q.tail.load(Ordering::Acquire);
+        let head = q.head.load(Ordering::Acquire);
+        if (tail - head) as usize >= QUEUE_CAPACITY {
+            return false;
+        }
+        q.slots[(tail as usize) % QUEUE_CAPACITY].store(value, Ordering::Release);
+        q.tail.store(tail + 1, Ordering::Release);
+        true
+    }
+
+    /// Pops the oldest value from queue `id`, or `None` when empty.  Must be
+    /// called with the queue lock held.
+    pub fn queue_pop(&self, id: QueueId) -> Option<u64> {
+        let q = &self.queues[id as usize];
+        let head = q.head.load(Ordering::Acquire);
+        let tail = q.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let value = q.slots[(head as usize) % QUEUE_CAPACITY].load(Ordering::Acquire);
+        q.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of values currently queued.
+    pub fn queue_len(&self, id: QueueId) -> usize {
+        let q = &self.queues[id as usize];
+        (q.tail.load(Ordering::Acquire) - q.head.load(Ordering::Acquire)) as usize
+    }
+
+    // ---- counters ----------------------------------------------------------
+
+    /// Atomically adds `amount` to counter `id` and returns the new value.
+    /// This is one sync op (a LOCK-prefixed read-modify-write).
+    pub fn counter_add(&self, id: CounterId, amount: u64) -> u64 {
+        self.counters[id as usize].fetch_add(amount, Ordering::AcqRel) + amount
+    }
+
+    /// Reads counter `id`.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id as usize].load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    fn memory() -> VariantMemory {
+        let p = Program::new("m").with_resources(4, 2, 2, 2);
+        VariantMemory::for_program(&p, 0x7f00_0000_0000)
+    }
+
+    #[test]
+    fn addresses_are_distinct_and_word_separated() {
+        let m = memory();
+        let a0 = m.lock_addr(0);
+        let a1 = m.lock_addr(1);
+        assert!(a1 - a0 >= 8, "locks must not share a 64-bit word");
+        assert_ne!(m.lock_addr(0), m.barrier_addr(0));
+        assert_ne!(m.barrier_addr(0), m.queue_lock_addr(0));
+        assert_ne!(m.queue_lock_addr(0), m.counter_addr(0));
+    }
+
+    #[test]
+    fn diversified_bases_shift_every_address() {
+        let p = Program::new("m").with_resources(1, 1, 1, 1);
+        let m0 = VariantMemory::for_program(&p, 0x1000_0000);
+        let m1 = VariantMemory::for_program(&p, 0x2000_0000);
+        assert_ne!(m0.lock_addr(0), m1.lock_addr(0));
+        assert_eq!(
+            m1.lock_addr(0) - m0.lock_addr(0),
+            0x1000_0000,
+            "logical layout is preserved, only the base moves"
+        );
+    }
+
+    #[test]
+    fn spinlock_acquire_release_cycle() {
+        let m = memory();
+        assert!(m.lock_try_acquire(0));
+        assert!(m.lock_is_held(0));
+        assert!(!m.lock_try_acquire(0), "second acquire must fail");
+        m.lock_release(0);
+        assert!(!m.lock_is_held(0));
+        assert!(m.lock_try_acquire(0));
+    }
+
+    #[test]
+    fn barrier_counts_arrivals() {
+        let m = memory();
+        assert_eq!(m.barrier_count(0), 0);
+        assert_eq!(m.barrier_arrive(0), 1);
+        assert_eq!(m.barrier_arrive(0), 2);
+        assert_eq!(m.barrier_count(0), 2);
+        // Barriers are independent.
+        assert_eq!(m.barrier_count(1), 0);
+    }
+
+    #[test]
+    fn queue_is_fifo_and_bounded() {
+        let m = memory();
+        assert_eq!(m.queue_pop(0), None);
+        assert!(m.queue_push(0, 10));
+        assert!(m.queue_push(0, 20));
+        assert_eq!(m.queue_len(0), 2);
+        assert_eq!(m.queue_pop(0), Some(10));
+        assert_eq!(m.queue_pop(0), Some(20));
+        assert_eq!(m.queue_pop(0), None);
+    }
+
+    #[test]
+    fn queue_rejects_overflow() {
+        let m = memory();
+        for i in 0..QUEUE_CAPACITY as u64 {
+            assert!(m.queue_push(1, i));
+        }
+        assert!(!m.queue_push(1, 999));
+        assert_eq!(m.queue_len(1), QUEUE_CAPACITY);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = memory();
+        assert_eq!(m.counter_add(0, 5), 5);
+        assert_eq!(m.counter_add(0, 3), 8);
+        assert_eq!(m.counter_value(0), 8);
+        assert_eq!(m.counter_value(1), 0);
+    }
+}

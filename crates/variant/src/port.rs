@@ -1,0 +1,161 @@
+//! The syscall/sync-op port a variant thread executes against.
+//!
+//! The executor is agnostic about whether it runs under the MVEE or natively:
+//! it only needs something that accepts system calls and sync-op brackets.
+//! [`SyscallPort`] is that abstraction; it is implemented by
+//! [`VariantGateway`](mvee_core::mvee::VariantGateway) (monitored execution)
+//! and by [`NativePort`] (direct execution against a private kernel, used for
+//! the "native" baselines of the evaluation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mvee_core::monitor::MonitorError;
+use mvee_core::mvee::VariantGateway;
+use mvee_kernel::kernel::Kernel;
+use mvee_kernel::process::Pid;
+use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest};
+
+/// What a variant thread calls instead of the kernel.
+pub trait SyscallPort: Send + Sync {
+    /// Issues a system call on behalf of logical thread `thread`.
+    fn syscall(&self, thread: usize, req: &SyscallRequest)
+        -> Result<SyscallOutcome, MonitorError>;
+
+    /// Called immediately before a sync op on the variable at `addr`.
+    fn before_sync_op(&self, thread: usize, addr: u64);
+
+    /// Called immediately after the sync op on the variable at `addr`.
+    fn after_sync_op(&self, thread: usize, addr: u64);
+
+    /// The variant index this port belongs to (0 = master / native).
+    fn variant_index(&self) -> usize;
+}
+
+impl SyscallPort for VariantGateway {
+    fn syscall(
+        &self,
+        thread: usize,
+        req: &SyscallRequest,
+    ) -> Result<SyscallOutcome, MonitorError> {
+        VariantGateway::syscall(self, thread, req)
+    }
+
+    fn before_sync_op(&self, thread: usize, addr: u64) {
+        let ctx = self.sync_context(thread);
+        self.agent().before_sync_op(&ctx, addr);
+    }
+
+    fn after_sync_op(&self, thread: usize, addr: u64) {
+        let ctx = self.sync_context(thread);
+        self.agent().after_sync_op(&ctx, addr);
+    }
+
+    fn variant_index(&self) -> usize {
+        VariantGateway::variant_index(self)
+    }
+}
+
+/// Direct, unmonitored execution against a private kernel process.
+///
+/// This is the "native execution" of the paper's evaluation: no monitor, no
+/// replication, no sync-op ordering — only the raw work of the program.
+pub struct NativePort {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    sync_ops: AtomicU64,
+    syscalls: AtomicU64,
+}
+
+impl NativePort {
+    /// Creates a native port over an existing kernel process.
+    pub fn new(kernel: Arc<Kernel>, pid: Pid) -> Self {
+        NativePort {
+            kernel,
+            pid,
+            sync_ops: AtomicU64::new(0),
+            syscalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of sync ops the program executed.
+    pub fn sync_op_count(&self) -> u64 {
+        self.sync_ops.load(Ordering::Relaxed)
+    }
+
+    /// Number of system calls the program executed.
+    pub fn syscall_count(&self) -> u64 {
+        self.syscalls.load(Ordering::Relaxed)
+    }
+
+    /// The kernel backing this port.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The kernel process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+}
+
+impl SyscallPort for NativePort {
+    fn syscall(
+        &self,
+        thread: usize,
+        req: &SyscallRequest,
+    ) -> Result<SyscallOutcome, MonitorError> {
+        self.syscalls.fetch_add(1, Ordering::Relaxed);
+        Ok(self.kernel.execute(self.pid, thread as u64, req))
+    }
+
+    fn before_sync_op(&self, _thread: usize, _addr: u64) {
+        self.sync_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn after_sync_op(&self, _thread: usize, _addr: u64) {}
+
+    fn variant_index(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvee_kernel::syscall::Sysno;
+
+    #[test]
+    fn native_port_executes_directly_and_counts() {
+        let kernel = Arc::new(Kernel::new_manual_clock());
+        let pid = kernel.spawn_process();
+        let port = NativePort::new(Arc::clone(&kernel), pid);
+        let out = port
+            .syscall(0, &SyscallRequest::new(Sysno::Getpid))
+            .unwrap();
+        assert!(out.is_ok());
+        port.before_sync_op(0, 0x1000);
+        port.after_sync_op(0, 0x1000);
+        assert_eq!(port.syscall_count(), 1);
+        assert_eq!(port.sync_op_count(), 1);
+        assert_eq!(port.variant_index(), 0);
+        assert_eq!(port.pid(), pid);
+    }
+
+    #[test]
+    fn gateway_port_routes_through_monitor_and_agent() {
+        let mvee = mvee_core::mvee::Mvee::builder()
+            .variants(1)
+            .manual_clock(true)
+            .build();
+        let gw = mvee.gateway(0);
+        let port: &dyn SyscallPort = &gw;
+        port.before_sync_op(0, 0x2000);
+        port.after_sync_op(0, 0x2000);
+        let out = port.syscall(0, &SyscallRequest::new(Sysno::Gettid)).unwrap();
+        assert!(out.is_ok());
+        assert_eq!(mvee.agent_stats().ops_recorded, 1);
+        assert_eq!(mvee.monitor_stats().total_syscalls, 1);
+        assert_eq!(port.variant_index(), 0);
+    }
+}

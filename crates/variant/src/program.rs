@@ -1,0 +1,336 @@
+//! The variant program model: threads as sequences of actions.
+//!
+//! A [`Program`] declares its shared resources (locks, barriers, queues,
+//! counters), the files it expects to find in the simulated file system and
+//! one action list per logical thread.  The same `Program` is executed by
+//! every variant; diversity changes *where* its synchronization variables
+//! live, not *what* the program does.
+
+use serde::{Deserialize, Serialize};
+
+use mvee_kernel::syscall::SyscallRequest;
+
+/// Identifier of a lock (spinlock) declared by the program.
+pub type LockId = u32;
+/// Identifier of a barrier declared by the program.
+pub type BarrierId = u32;
+/// Identifier of a task queue declared by the program.
+pub type QueueId = u32;
+/// Identifier of a shared counter declared by the program.
+pub type CounterId = u32;
+
+/// A simplified, parameterized system call issued by an action.
+///
+/// The executor expands these into full [`SyscallRequest`]s; keeping them
+/// symbolic lets one `Program` run in differently diversified variants (the
+/// concrete pointer arguments are filled in per variant).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SyscallSpec {
+    /// `open(path, O_RDONLY)`; the resulting FD becomes the thread's
+    /// "current" descriptor.
+    OpenInput {
+        /// Path to open.
+        path: String,
+    },
+    /// `read(current_fd, len)`.
+    ReadChunk {
+        /// Number of bytes to request.
+        len: usize,
+    },
+    /// `close(current_fd)`.
+    CloseCurrent,
+    /// `write(stdout, …)` of `len` deterministic bytes tagged with `tag`.
+    WriteOutput {
+        /// Payload length.
+        len: usize,
+        /// Tag mixed into the payload so different logical writes differ.
+        tag: u64,
+    },
+    /// `brk(current + grow)`.
+    BrkGrow {
+        /// Number of bytes to grow the heap by.
+        grow: u64,
+    },
+    /// Anonymous `mmap` of `len` bytes.
+    MmapAnon {
+        /// Mapping length in bytes.
+        len: u64,
+    },
+    /// `gettimeofday`.
+    Gettimeofday,
+    /// `sched_yield`.
+    SchedYield,
+    /// `getpid`.
+    Getpid,
+    /// A fully spelled-out request (used by attack payloads and tests).
+    Raw(SyscallRequest),
+}
+
+/// One step of a thread's execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Busy computation of roughly `units` abstract work units.
+    Compute(u64),
+    /// Acquire the spinlock `LockId` (a loop of CAS sync ops).
+    LockAcquire(LockId),
+    /// Release the spinlock `LockId` (a store sync op).
+    LockRelease(LockId),
+    /// Atomically add `amount` to a shared counter while holding no lock
+    /// (a single LOCK-prefixed read-modify-write sync op).
+    AtomicAdd {
+        /// Which counter.
+        counter: CounterId,
+        /// Amount to add.
+        amount: u64,
+    },
+    /// Wait at a barrier until all `participants` threads have arrived.
+    BarrierWait {
+        /// Which barrier.
+        barrier: BarrierId,
+        /// Number of threads that must arrive.
+        participants: u32,
+    },
+    /// Push `value` onto a lock-protected task queue.
+    QueuePush {
+        /// Which queue.
+        queue: QueueId,
+        /// The value pushed.
+        value: u64,
+    },
+    /// Pop a value from a lock-protected task queue (no-op when empty);
+    /// optionally report the popped value on stdout, making the pop order
+    /// externally observable.
+    QueuePop {
+        /// Which queue.
+        queue: QueueId,
+        /// Whether to `write` the popped value to stdout.
+        print: bool,
+    },
+    /// Read a shared counter and report its value on stdout.
+    PrintCounter(CounterId),
+    /// Issue a system call.
+    Syscall(SyscallSpec),
+    /// Repeat the nested actions `times` times.
+    Repeat {
+        /// Number of repetitions.
+        times: u64,
+        /// Body to repeat.
+        body: Vec<Action>,
+    },
+    /// Do nothing (padding; also used by diversity-perturbation tests).
+    Nop,
+}
+
+impl Action {
+    /// A rough instruction-count estimate for one execution of this action,
+    /// used by the deterministic-multithreading baseline, which schedules by
+    /// logical thread progress (and is therefore sensitive to diversity).
+    pub fn instruction_estimate(&self) -> u64 {
+        match self {
+            Action::Compute(units) => *units,
+            Action::LockAcquire(_) | Action::LockRelease(_) => 8,
+            Action::AtomicAdd { .. } => 4,
+            Action::BarrierWait { .. } => 32,
+            Action::QueuePush { .. } | Action::QueuePop { .. } => 24,
+            Action::PrintCounter(_) => 16,
+            Action::Syscall(_) => 64,
+            Action::Repeat { times, body } => {
+                times * body.iter().map(Action::instruction_estimate).sum::<u64>()
+            }
+            Action::Nop => 1,
+        }
+    }
+}
+
+/// The action list of one logical thread.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadSpec {
+    /// Actions executed in order.
+    pub actions: Vec<Action>,
+}
+
+impl ThreadSpec {
+    /// Creates a thread from its action list.
+    pub fn new(actions: Vec<Action>) -> Self {
+        ThreadSpec { actions }
+    }
+
+    /// Estimated instruction count of the whole thread.
+    pub fn instruction_estimate(&self) -> u64 {
+        self.actions.iter().map(Action::instruction_estimate).sum()
+    }
+}
+
+/// A complete multi-threaded program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (used in reports).
+    pub name: String,
+    /// One spec per logical thread; thread 0 is the initial thread.
+    pub threads: Vec<ThreadSpec>,
+    /// Number of spinlocks the program declares.
+    pub locks: u32,
+    /// Number of barriers the program declares.
+    pub barriers: u32,
+    /// Number of task queues the program declares.
+    pub queues: u32,
+    /// Number of shared counters the program declares.
+    pub counters: u32,
+    /// Files installed in the simulated file system before the run.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+impl Program {
+    /// Creates an empty program with the given name.
+    pub fn new(name: &str) -> Self {
+        Program {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a thread (builder style) and returns its index.
+    pub fn add_thread(&mut self, spec: ThreadSpec) -> usize {
+        self.threads.push(spec);
+        self.threads.len() - 1
+    }
+
+    /// Declares shared resources (builder style).
+    pub fn with_resources(mut self, locks: u32, barriers: u32, queues: u32, counters: u32) -> Self {
+        self.locks = locks;
+        self.barriers = barriers;
+        self.queues = queues;
+        self.counters = counters;
+        self
+    }
+
+    /// Installs a file in the simulated VFS before the run (builder style).
+    pub fn with_file(mut self, path: &str, contents: &[u8]) -> Self {
+        self.files.push((path.to_string(), contents.to_vec()));
+        self
+    }
+
+    /// Number of logical threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Estimated instruction count over all threads.
+    pub fn instruction_estimate(&self) -> u64 {
+        self.threads.iter().map(ThreadSpec::instruction_estimate).sum()
+    }
+
+    /// Counts the sync ops a single, uncontended execution would perform.
+    ///
+    /// Lock acquisition is counted as two ops (one successful CAS plus the
+    /// release store is counted separately), barriers as `participants + 1`
+    /// reads on average; this is an estimate used for workload calibration,
+    /// not an exact prediction.
+    pub fn estimated_sync_ops(&self) -> u64 {
+        fn count(actions: &[Action]) -> u64 {
+            actions
+                .iter()
+                .map(|a| match a {
+                    Action::LockAcquire(_) => 1,
+                    Action::LockRelease(_) => 1,
+                    Action::AtomicAdd { .. } => 1,
+                    Action::BarrierWait { participants, .. } => u64::from(*participants) + 1,
+                    Action::QueuePush { .. } | Action::QueuePop { .. } => 4,
+                    Action::Repeat { times, body } => times * count(body),
+                    _ => 0,
+                })
+                .sum()
+        }
+        self.threads.iter().map(|t| count(&t.actions)).sum()
+    }
+
+    /// Counts the system calls a single execution performs (excluding the
+    /// bookkeeping calls the executor adds, such as `clone`/`exit_group`).
+    pub fn estimated_syscalls(&self) -> u64 {
+        fn count(actions: &[Action]) -> u64 {
+            actions
+                .iter()
+                .map(|a| match a {
+                    Action::Syscall(_) => 1,
+                    Action::QueuePop { print: true, .. } => 1,
+                    Action::PrintCounter(_) => 1,
+                    Action::Repeat { times, body } => times * count(body),
+                    _ => 0,
+                })
+                .sum()
+        }
+        self.threads.iter().map(|t| count(&t.actions)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        let mut p = Program::new("sample").with_resources(2, 1, 1, 1);
+        p.add_thread(ThreadSpec::new(vec![
+            Action::Compute(100),
+            Action::LockAcquire(0),
+            Action::AtomicAdd { counter: 0, amount: 1 },
+            Action::LockRelease(0),
+            Action::Syscall(SyscallSpec::WriteOutput { len: 8, tag: 1 }),
+        ]));
+        p.add_thread(ThreadSpec::new(vec![Action::Repeat {
+            times: 3,
+            body: vec![
+                Action::LockAcquire(1),
+                Action::QueuePush { queue: 0, value: 7 },
+                Action::LockRelease(1),
+            ],
+        }]));
+        p
+    }
+
+    #[test]
+    fn program_builder_collects_threads_and_resources() {
+        let p = sample_program();
+        assert_eq!(p.thread_count(), 2);
+        assert_eq!(p.locks, 2);
+        assert_eq!(p.queues, 1);
+        assert_eq!(p.name, "sample");
+    }
+
+    #[test]
+    fn instruction_estimates_scale_with_repeat() {
+        let single = Action::LockAcquire(0).instruction_estimate();
+        let repeated = Action::Repeat {
+            times: 5,
+            body: vec![Action::LockAcquire(0)],
+        }
+        .instruction_estimate();
+        assert_eq!(repeated, 5 * single);
+    }
+
+    #[test]
+    fn sync_op_estimate_counts_locks_and_queues() {
+        let p = sample_program();
+        // Thread 0: acquire + add + release = 3.
+        // Thread 1: 3 * (acquire + push(4) + release) = 18.
+        assert_eq!(p.estimated_sync_ops(), 3 + 18);
+    }
+
+    #[test]
+    fn syscall_estimate_counts_explicit_calls_only() {
+        let p = sample_program();
+        assert_eq!(p.estimated_syscalls(), 1);
+    }
+
+    #[test]
+    fn file_builder_installs_files() {
+        let p = Program::new("io").with_file("/input.dat", b"abc");
+        assert_eq!(p.files.len(), 1);
+        assert_eq!(p.files[0].0, "/input.dat");
+    }
+
+    #[test]
+    fn compute_estimate_equals_units() {
+        assert_eq!(Action::Compute(1234).instruction_estimate(), 1234);
+        assert_eq!(Action::Nop.instruction_estimate(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Run reports: what a native or MVEE execution measured.
+
+use std::time::Duration;
+
+use mvee_core::divergence::DivergenceReport;
+use mvee_core::monitor::MonitorStats;
+use mvee_sync_agent::agents::AgentKind;
+use mvee_sync_agent::AgentStats;
+
+use crate::executor::ThreadRunStats;
+
+/// Result of running a program natively (outside the MVEE).
+#[derive(Debug, Clone)]
+pub struct NativeReport {
+    /// Program name.
+    pub program: String,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Aggregated per-thread statistics.
+    pub threads: ThreadRunStats,
+    /// Console output produced by the program.
+    pub output: Vec<u8>,
+}
+
+impl NativeReport {
+    /// System calls per second of run time.
+    pub fn syscall_rate(&self) -> f64 {
+        self.threads.syscalls as f64 / self.duration.as_secs_f64().max(1e-9)
+    }
+
+    /// Sync ops per second of run time.
+    pub fn sync_op_rate(&self) -> f64 {
+        self.threads.sync_ops as f64 / self.duration.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Result of running a program under the MVEE.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Program name.
+    pub program: String,
+    /// Number of variants that ran.
+    pub variants: usize,
+    /// The injected synchronization agent.
+    pub agent: AgentKind,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Aggregated statistics over all variants' threads.
+    pub threads: ThreadRunStats,
+    /// Monitor counters.
+    pub monitor: MonitorStats,
+    /// Agent counters.
+    pub agent_stats: AgentStats,
+    /// The divergence report, if the MVEE shut the variants down.
+    pub divergence: Option<DivergenceReport>,
+    /// Console output of each variant (only the master's output would be
+    /// visible to a real user; the others are kept for verification).
+    pub outputs: Vec<Vec<u8>>,
+}
+
+impl RunReport {
+    /// Whether the run completed without divergence.
+    pub fn completed_cleanly(&self) -> bool {
+        self.divergence.is_none() && !self.threads.killed
+    }
+
+    /// Whether every variant that produced console output produced the same
+    /// bytes.
+    ///
+    /// Because the monitor executes I/O only in the master variant and
+    /// replicates the results, slave variants normally have *empty* console
+    /// buffers — their would-be output was compared against the master's at
+    /// the rendezvous instead of being written.  Non-empty outputs therefore
+    /// only appear for the master (or for every variant when running with the
+    /// `NoComparison` policy in tests), and those must agree byte for byte.
+    pub fn outputs_identical(&self) -> bool {
+        let non_empty: Vec<&Vec<u8>> = self.outputs.iter().filter(|o| !o.is_empty()).collect();
+        match non_empty.first() {
+            Some(first) => non_empty.iter().all(|o| o == first),
+            None => true,
+        }
+    }
+
+    /// The console output visible to the user (the master variant's output).
+    pub fn master_output(&self) -> &[u8] {
+        self.outputs.first().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Relative slowdown with respect to a native run of the same program.
+    pub fn slowdown_vs(&self, native: &NativeReport) -> f64 {
+        self.duration.as_secs_f64() / native.duration.as_secs_f64().max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn native(ms: u64) -> NativeReport {
+        NativeReport {
+            program: "p".into(),
+            duration: Duration::from_millis(ms),
+            threads: ThreadRunStats {
+                syscalls: 100,
+                sync_ops: 1000,
+                instructions: 10_000,
+                killed: false,
+                syscall_errors: 0,
+            },
+            output: b"ok".to_vec(),
+        }
+    }
+
+    fn run(ms: u64, outputs: Vec<Vec<u8>>) -> RunReport {
+        RunReport {
+            program: "p".into(),
+            variants: outputs.len(),
+            agent: AgentKind::WallOfClocks,
+            duration: Duration::from_millis(ms),
+            threads: ThreadRunStats::default(),
+            monitor: MonitorStats::default(),
+            agent_stats: AgentStats::default(),
+            divergence: None,
+            outputs,
+        }
+    }
+
+    #[test]
+    fn rates_are_per_second() {
+        let n = native(500);
+        assert!((n.syscall_rate() - 200.0).abs() < 1.0);
+        assert!((n.sync_op_rate() - 2000.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn slowdown_is_relative_to_native() {
+        let n = native(100);
+        let r = run(150, vec![b"a".to_vec(), b"a".to_vec()]);
+        assert!((r.slowdown_vs(&n) - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn identical_outputs_are_detected() {
+        assert!(run(1, vec![b"x".to_vec(), b"x".to_vec()]).outputs_identical());
+        assert!(!run(1, vec![b"x".to_vec(), b"y".to_vec()]).outputs_identical());
+        assert!(run(1, vec![]).outputs_identical());
+        // Slave outputs are empty because I/O is only executed by the master.
+        assert!(run(1, vec![b"x".to_vec(), Vec::new()]).outputs_identical());
+        assert_eq!(run(1, vec![b"x".to_vec(), Vec::new()]).master_output(), b"x");
+    }
+
+    #[test]
+    fn clean_completion_requires_no_divergence_and_no_kills() {
+        let mut r = run(1, vec![b"x".to_vec()]);
+        assert!(r.completed_cleanly());
+        r.threads.killed = true;
+        assert!(!r.completed_cleanly());
+    }
+}

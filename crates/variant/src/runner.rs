@@ -1,0 +1,319 @@
+//! Running a program natively or under a fully wired MVEE.
+//!
+//! [`run_native`] measures the program by itself (the "native execution" the
+//! paper's Figure 5 normalizes against); [`run_mvee`] builds an
+//! [`Mvee`](mvee_core::mvee::Mvee) with the requested variant count, agent
+//! and policy, spawns one OS thread per (variant, logical thread) pair and
+//! lets all variants run concurrently, exactly as ReMon runs its variants
+//! side by side on the same machine.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mvee_core::mvee::Mvee;
+use mvee_core::policy::MonitoringPolicy;
+use mvee_kernel::kernel::Kernel;
+use mvee_sync_agent::agents::AgentKind;
+use mvee_sync_agent::context::AgentConfig;
+
+use crate::diversity::DiversityProfile;
+use crate::executor::{execute_thread, ThreadRunStats};
+use crate::memory::VariantMemory;
+use crate::port::{NativePort, SyscallPort};
+use crate::program::Program;
+use crate::report::{NativeReport, RunReport};
+
+/// Configuration of an MVEE run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of variants (including the master).
+    pub variants: usize,
+    /// The synchronization agent to inject.
+    pub agent: AgentKind,
+    /// The monitoring policy.
+    pub policy: MonitoringPolicy,
+    /// The diversity applied to the variants.
+    pub diversity: DiversityProfile,
+    /// Rendezvous / replication timeout before divergence is declared.
+    pub lockstep_timeout: Duration,
+    /// Capacity of each sync buffer, in records.
+    pub buffer_capacity: usize,
+    /// Number of logical clocks for the wall-of-clocks agent.
+    pub clock_count: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            variants: 2,
+            agent: AgentKind::WallOfClocks,
+            policy: MonitoringPolicy::StrictLockstep,
+            diversity: DiversityProfile::none(),
+            lockstep_timeout: Duration::from_secs(10),
+            buffer_capacity: 1 << 16,
+            clock_count: 512,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Convenience constructor: `variants` variants with `agent`.
+    pub fn new(variants: usize, agent: AgentKind) -> Self {
+        RunConfig {
+            variants,
+            agent,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the diversity profile (builder style).
+    pub fn with_diversity(mut self, diversity: DiversityProfile) -> Self {
+        self.diversity = diversity;
+        self
+    }
+
+    /// Sets the monitoring policy (builder style).
+    pub fn with_policy(mut self, policy: MonitoringPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Runs `program` natively (one instance, no monitor, no replication) and
+/// returns what it measured.
+pub fn run_native(program: &Program) -> NativeReport {
+    let kernel = Arc::new(Kernel::new());
+    let pid = kernel.spawn_process();
+    for (path, contents) in &program.files {
+        kernel.install_file(path, contents);
+    }
+    let port: Arc<dyn SyscallPort> = Arc::new(NativePort::new(Arc::clone(&kernel), pid));
+    let memory = Arc::new(VariantMemory::for_program(program, 0x7f10_0000_0000));
+
+    let start = Instant::now();
+    let program_arc = Arc::new(program.clone());
+    let mut handles = Vec::new();
+    for t in 0..program.thread_count() {
+        let program = Arc::clone(&program_arc);
+        let port = Arc::clone(&port);
+        let memory = Arc::clone(&memory);
+        handles.push(std::thread::spawn(move || {
+            execute_thread(&program, t, &port, &memory, 1.0)
+        }));
+    }
+    let mut threads = ThreadRunStats::default();
+    for h in handles {
+        threads.merge(&h.join().expect("native thread panicked"));
+    }
+    let duration = start.elapsed();
+    NativeReport {
+        program: program.name.clone(),
+        duration,
+        threads,
+        output: kernel.console_output(pid),
+    }
+}
+
+/// Runs `program` under the MVEE described by `config`.
+pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
+    assert!(config.variants >= 1, "need at least one variant");
+    assert!(
+        program.thread_count() >= 1,
+        "program needs at least one thread"
+    );
+
+    let layouts = (0..config.variants)
+        .map(|v| config.diversity.layout_for(v))
+        .collect();
+    let agent_config = AgentConfig::default()
+        .with_buffer_capacity(config.buffer_capacity)
+        .with_clock_count(config.clock_count);
+    let mvee = Mvee::builder()
+        .variants(config.variants)
+        .threads(program.thread_count())
+        .policy(config.policy)
+        .agent(config.agent)
+        .agent_config(agent_config)
+        .layouts(layouts)
+        .lockstep_timeout(config.lockstep_timeout)
+        .build();
+
+    for (path, contents) in &program.files {
+        mvee.kernel().install_file(path, contents);
+    }
+
+    let program_arc = Arc::new(program.clone());
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for v in 0..config.variants {
+        let gateway = mvee.gateway(v);
+        let memory = Arc::new(VariantMemory::for_program(
+            program,
+            config.diversity.sync_base_for(v),
+        ));
+        let factor = config.diversity.instruction_factor_for(v);
+        let port: Arc<dyn SyscallPort> = Arc::new(gateway);
+        for t in 0..program.thread_count() {
+            let program = Arc::clone(&program_arc);
+            let port = Arc::clone(&port);
+            let memory = Arc::clone(&memory);
+            handles.push(std::thread::spawn(move || {
+                execute_thread(&program, t, &port, &memory, factor)
+            }));
+        }
+    }
+    let mut threads = ThreadRunStats::default();
+    for h in handles {
+        threads.merge(&h.join().expect("variant thread panicked"));
+    }
+    let duration = start.elapsed();
+
+    let outputs = (0..config.variants)
+        .map(|v| mvee.kernel().console_output(mvee.pid_of(v)))
+        .collect();
+
+    RunReport {
+        program: program.name.clone(),
+        variants: config.variants,
+        agent: config.agent,
+        duration,
+        threads,
+        monitor: mvee.monitor_stats(),
+        agent_stats: mvee.agent_stats(),
+        divergence: mvee.divergence(),
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Action, SyscallSpec, ThreadSpec};
+
+    /// A small producer/consumer program whose console output depends on the
+    /// order in which the consumer threads pop the queue.
+    fn queue_program(items: u64) -> Program {
+        let mut p = Program::new("queue-test").with_resources(1, 1, 1, 1);
+        p.add_thread(ThreadSpec::new(vec![
+            Action::Repeat {
+                times: items,
+                body: vec![Action::QueuePush { queue: 0, value: 7 }],
+            },
+            Action::BarrierWait { barrier: 0, participants: 3 },
+        ]));
+        for _ in 0..2 {
+            p.add_thread(ThreadSpec::new(vec![
+                Action::BarrierWait { barrier: 0, participants: 3 },
+                Action::Repeat {
+                    times: items / 2,
+                    body: vec![
+                        Action::QueuePop { queue: 0, print: true },
+                        Action::Compute(50),
+                    ],
+                },
+            ]));
+        }
+        p
+    }
+
+    fn io_program() -> Program {
+        let mut p = Program::new("io-test")
+            .with_resources(1, 0, 0, 1)
+            .with_file("/in.dat", b"abcdefghijklmnopqrstuvwxyz");
+        p.add_thread(ThreadSpec::new(vec![
+            Action::Syscall(SyscallSpec::OpenInput { path: "/in.dat".into() }),
+            Action::Syscall(SyscallSpec::ReadChunk { len: 13 }),
+            Action::Syscall(SyscallSpec::WriteOutput { len: 32, tag: 0xAB }),
+            Action::Syscall(SyscallSpec::CloseCurrent),
+            Action::Repeat {
+                times: 5,
+                body: vec![
+                    Action::LockAcquire(0),
+                    Action::AtomicAdd { counter: 0, amount: 1 },
+                    Action::LockRelease(0),
+                ],
+            },
+            Action::PrintCounter(0),
+        ]));
+        p.add_thread(ThreadSpec::new(vec![Action::Repeat {
+            times: 5,
+            body: vec![
+                Action::LockAcquire(0),
+                Action::AtomicAdd { counter: 0, amount: 1 },
+                Action::LockRelease(0),
+            ],
+        }]));
+        p
+    }
+
+    #[test]
+    fn native_run_produces_output_and_counts() {
+        let report = run_native(&io_program());
+        assert!(!report.threads.killed);
+        assert!(report.threads.syscalls >= 6);
+        assert!(report.threads.sync_ops >= 21);
+        // The printed counter value depends on how far thread 1 has come when
+        // thread 0 reads it, but the line itself must be present and the
+        // value must be at least thread 0's own five increments.
+        let text = String::from_utf8_lossy(&report.output).into_owned();
+        let idx = text.find("counter 0 = ").expect("counter line present");
+        let value: u64 = text[idx + "counter 0 = ".len()..]
+            .trim_end()
+            .parse()
+            .unwrap();
+        assert!((5..=10).contains(&value));
+    }
+
+    #[test]
+    fn two_variant_wall_of_clocks_run_completes_without_divergence() {
+        let report = run_mvee(
+            &io_program(),
+            &RunConfig::new(2, AgentKind::WallOfClocks),
+        );
+        assert!(report.completed_cleanly(), "divergence: {:?}", report.divergence);
+        assert!(report.outputs_identical());
+        assert!(report.agent_stats.ops_recorded > 0);
+        assert!(report.agent_stats.ops_replayed > 0);
+    }
+
+    #[test]
+    fn queue_program_outputs_match_across_variants_for_all_agents() {
+        for agent in AgentKind::replication_agents() {
+            let report = run_mvee(&queue_program(8), &RunConfig::new(2, agent));
+            assert!(
+                report.completed_cleanly(),
+                "agent {:?} diverged: {:?}",
+                agent,
+                report.divergence
+            );
+            assert!(
+                report.outputs_identical(),
+                "agent {:?} produced differing outputs",
+                agent
+            );
+        }
+    }
+
+    #[test]
+    fn diversified_variants_still_agree() {
+        let config = RunConfig::new(2, AgentKind::WallOfClocks)
+            .with_diversity(DiversityProfile::full(1234));
+        let report = run_mvee(&io_program(), &config);
+        assert!(report.completed_cleanly(), "divergence: {:?}", report.divergence);
+        assert!(report.outputs_identical());
+    }
+
+    #[test]
+    fn three_variants_replay_twice_as_many_ops() {
+        let report = run_mvee(&io_program(), &RunConfig::new(3, AgentKind::WallOfClocks));
+        assert!(report.completed_cleanly());
+        assert!(report.agent_stats.ops_replayed >= 2 * report.agent_stats.ops_recorded);
+    }
+
+    #[test]
+    fn single_variant_run_works_with_null_agent() {
+        let report = run_mvee(&io_program(), &RunConfig::new(1, AgentKind::Null));
+        assert!(report.completed_cleanly());
+        assert_eq!(report.variants, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic workloads reproducing the paper's evaluation targets.
+//!
+//! The paper evaluates its synchronization agents on PARSEC 2.1 and
+//! SPLASH-2x (Table 2, Figure 5, Table 1), on an nginx-1.8 thread-pool server
+//! (§5.5) and on two covert-channel proof-of-concept programs (§5.4).  The
+//! real benchmark suites and nginx are not available in this environment, so
+//! this crate generates *synthetic equivalents* parameterized by the numbers
+//! the paper itself reports:
+//!
+//! * [`catalog`] — one entry per PARSEC/SPLASH benchmark with the native run
+//!   time, system-call rate and sync-op rate from Table 2 plus a thread
+//!   topology (data-parallel, pipeline, task-queue); each entry expands into
+//!   a [`Program`](mvee_variant::program::Program) whose rates match a scaled
+//!   version of the original.
+//! * [`nginx`] — a thread-pooled web server with both pthread-style and
+//!   custom (inline-assembly-style) synchronization primitives, a load
+//!   generator, and the CVE-2013-2028-style attack payload.
+//! * [`covert`] — the timing and trylock covert channels of §5.4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod covert;
+pub mod nginx;
+
+pub use catalog::{BenchmarkSpec, Suite, Topology, CATALOG};

@@ -1,0 +1,44 @@
+//! The nginx use case (§5.5 of the paper) as a runnable example: a
+//! thread-pooled web server with custom synchronization primitives runs as
+//! two diversified variants under the MVEE while a wrk-style load generator
+//! drives it, and a CVE-2013-2028-style exploit is thrown at it.
+//!
+//! ```bash
+//! cargo run --example nginx_server
+//! ```
+
+use mvee::kernel::net::LinkKind;
+use mvee::workloads::nginx::{run_nginx_experiment, AttackOutcome, NginxServerConfig};
+
+fn main() {
+    let config = NginxServerConfig {
+        variants: 2,
+        pool_threads: 4,
+        page_bytes: 4096,
+        requests: 32,
+        link: LinkKind::Loopback,
+        ..Default::default()
+    };
+
+    println!("serving {} requests with {} pool threads across {} variants...",
+        config.requests, config.pool_threads, config.variants);
+    let normal = run_nginx_experiment(&config, false);
+    println!("  completed   : {}/{}", normal.completed_requests, config.requests);
+    println!("  throughput  : {:.0} requests/second", normal.throughput_rps);
+    println!("  divergence  : {}", normal.diverged);
+    assert!(!normal.diverged, "benign traffic must not diverge");
+
+    println!("\nreplaying the same setup with a tailored code-reuse attack appended...");
+    let attacked = run_nginx_experiment(&config, true);
+    println!("  attack outcome: {:?}", attacked.attack);
+    assert_eq!(attacked.attack, AttackOutcome::DetectedAndStopped);
+
+    println!("\nand against a single unprotected server (no MVEE)...");
+    let single = NginxServerConfig { variants: 1, requests: 8, ..config };
+    let unprotected = run_nginx_experiment(&single, true);
+    println!("  attack outcome: {:?}", unprotected.attack);
+    assert_eq!(unprotected.attack, AttackOutcome::Compromised);
+
+    println!("\nThe MVEE detects the exploit as divergence before it takes effect,");
+    println!("while the unprotected server is compromised — the paper's §5.5 result.");
+}

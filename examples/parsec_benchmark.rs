@@ -1,0 +1,59 @@
+//! Runs one synthetic PARSEC/SPLASH workload from the Table 2 catalog under
+//! all three synchronization agents and prints the resulting slowdowns —
+//! a single row of the paper's Figure 5.
+//!
+//! ```bash
+//! cargo run --release --example parsec_benchmark            # default: dedup
+//! cargo run --release --example parsec_benchmark -- radiosity
+//! ```
+
+use mvee::sync_agent::agents::AgentKind;
+use mvee::variant::runner::{run_mvee, run_native, RunConfig};
+use mvee::workloads::catalog::{BenchmarkSpec, CATALOG};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "dedup".to_string());
+    let spec = match BenchmarkSpec::by_name(&name) {
+        Some(s) => s,
+        None => {
+            eprintln!("unknown benchmark '{name}'; available:");
+            for b in CATALOG {
+                eprintln!("  {}", b.name);
+            }
+            std::process::exit(1);
+        }
+    };
+
+    let scale = 1e-5;
+    let program = spec.paper_program(scale);
+    println!(
+        "{} ({}; paper: {:.1}s native, {:.0} syscalls/s, {:.0} sync ops/s)",
+        spec.name,
+        spec.suite.label(),
+        spec.native_runtime_s,
+        spec.syscalls_per_s,
+        spec.sync_ops_per_s
+    );
+    println!("synthetic program: {} threads, ~{} sync ops, ~{} syscalls\n",
+        program.thread_count(),
+        program.estimated_sync_ops(),
+        program.estimated_syscalls());
+
+    let native = run_native(&program);
+    println!("native: {:?}", native.duration);
+
+    for agent in AgentKind::replication_agents() {
+        for variants in [2usize, 4] {
+            let report = run_mvee(&program, &RunConfig::new(variants, agent));
+            println!(
+                "{:<14} {} variants: {:>8.2?}  ({:.2}x native, {} stalls, clean: {})",
+                agent.name(),
+                variants,
+                report.duration,
+                report.slowdown_vs(&native),
+                report.agent_stats.slave_stalls,
+                report.completed_cleanly()
+            );
+        }
+    }
+}

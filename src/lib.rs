@@ -1,0 +1,25 @@
+//! Facade crate for the MVEE reproduction.
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate.  See the individual crates for the full documentation:
+//!
+//! * [`core`] — the MVEE monitor (lockstep syscall monitoring, divergence
+//!   detection, result replication, the syscall ordering clock).
+//! * [`kernel`] — the simulated operating-system substrate.
+//! * [`sync_agent`] — the total-order, partial-order and wall-of-clocks
+//!   synchronization agents.
+//! * [`variant`] — the variant program model, execution engine and diversity
+//!   transforms.
+//! * [`analysis`] — static sync-op identification and instrumentation.
+//! * [`baselines`] — deterministic-multithreading and record/replay baselines.
+//! * [`workloads`] — synthetic PARSEC/SPLASH workloads, the nginx use case
+//!   and the covert-channel proofs of concept.
+
+pub use mvee_analysis as analysis;
+pub use mvee_baselines as baselines;
+pub use mvee_core as core;
+pub use mvee_kernel as kernel;
+pub use mvee_sync_agent as sync_agent;
+pub use mvee_variant as variant;
+pub use mvee_workloads as workloads;

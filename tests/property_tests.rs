@@ -1,0 +1,165 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use mvee::kernel::fd::{FdObject, FdTable};
+use mvee::kernel::syscall::{SyscallArg, SyscallRequest, Sysno};
+use mvee::sync_agent::clockwall::ClockWall;
+use mvee::sync_agent::context::{AgentConfig, SyncContext, VariantRole};
+use mvee::sync_agent::ring::{PushOutcome, RecordRing, SyncRecord};
+use mvee::sync_agent::{SyncAgent, WallOfClocksAgent};
+use mvee::analysis::corpus::CorpusSpec;
+use mvee::analysis::stage2::identify_sync_ops_syntactic;
+use mvee::baselines::rr::RecPlayRecorder;
+
+proptest! {
+    /// FD allocation always returns the lowest free descriptor, so replaying
+    /// the same open/close sequence always yields the same descriptors —
+    /// the determinism the monitor's ordering relies on.
+    #[test]
+    fn fd_allocation_is_deterministic(ops in proptest::collection::vec(0u8..4, 1..60)) {
+        let run = |ops: &[u8]| {
+            let mut table = FdTable::with_standard_streams();
+            let mut log = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    0..=2 => {
+                        if let Ok(fd) = table.allocate(FdObject::File { inode: i as u64, offset: 0, writable: false }) {
+                            log.push(fd);
+                        }
+                    }
+                    _ => {
+                        // Close the smallest non-standard descriptor, if any.
+                        let target = table.iter().map(|(fd, _)| fd).find(|fd| *fd >= 3);
+                        if let Some(fd) = target {
+                            table.close(fd).unwrap();
+                            log.push(-fd);
+                        }
+                    }
+                }
+            }
+            log
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+
+    /// The comparison key never depends on pointer argument values, and two
+    /// requests that differ in any compared argument have different keys.
+    #[test]
+    fn comparison_keys_ignore_pointers_only(fd in 0i32..64, ptr_a in 0u64..u64::MAX, ptr_b in 0u64..u64::MAX, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let a = SyscallRequest::new(Sysno::Write)
+            .with_fd(fd)
+            .with_arg(SyscallArg::Pointer(ptr_a))
+            .with_payload(&payload);
+        let b = SyscallRequest::new(Sysno::Write)
+            .with_fd(fd)
+            .with_arg(SyscallArg::Pointer(ptr_b))
+            .with_payload(&payload);
+        prop_assert_eq!(a.comparison_key(), b.comparison_key());
+
+        let c = SyscallRequest::new(Sysno::Write)
+            .with_fd(fd + 1)
+            .with_arg(SyscallArg::Pointer(ptr_a))
+            .with_payload(&payload);
+        prop_assert_ne!(a.comparison_key(), c.comparison_key());
+    }
+
+    /// Ring buffers deliver records FIFO per position and never lose records
+    /// as long as readers keep consuming.
+    #[test]
+    fn record_ring_is_fifo(records in proptest::collection::vec((0u32..8, any::<u64>()), 1..200)) {
+        let ring = RecordRing::new(64, 1);
+        let mut read_pos = 0u64;
+        let mut delivered = Vec::new();
+        for (thread, addr) in &records {
+            loop {
+                match ring.try_push(SyncRecord::simple(*thread, *addr)) {
+                    PushOutcome::Stored(_) => break,
+                    PushOutcome::Full => {
+                        let rec = ring.get(read_pos).expect("published");
+                        delivered.push((rec.thread, rec.addr));
+                        ring.advance_reader(0);
+                        read_pos += 1;
+                    }
+                }
+            }
+        }
+        while (read_pos as usize) < records.len() {
+            let rec = ring.get(read_pos).expect("published");
+            delivered.push((rec.thread, rec.addr));
+            ring.advance_reader(0);
+            read_pos += 1;
+        }
+        prop_assert_eq!(delivered, records);
+    }
+
+    /// The clock wall maps any address to a valid clock, deterministically,
+    /// and 8-byte-aligned pairs always share a clock.
+    #[test]
+    fn clock_wall_assignment_is_total_and_deterministic(addr in any::<u64>(), clocks in 1usize..700) {
+        let wall = ClockWall::new(clocks);
+        let c1 = wall.clock_for(addr);
+        let c2 = wall.clock_for(addr);
+        prop_assert_eq!(c1, c2);
+        prop_assert!(c1 < clocks);
+        prop_assert_eq!(wall.clock_for(addr & !7), c1);
+    }
+
+    /// Wall-of-clocks record/replay preserves the per-thread op count for any
+    /// single-threaded op sequence (the positional correspondence invariant).
+    #[test]
+    fn woc_replay_preserves_op_counts(addrs in proptest::collection::vec(0u64..0x1_0000, 1..120)) {
+        let config = AgentConfig::default()
+            .with_variants(2)
+            .with_threads(1)
+            .with_buffer_capacity(256);
+        let agent = WallOfClocksAgent::new(config);
+        let master = SyncContext::new(VariantRole::Master, 0);
+        let slave = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
+        for addr in &addrs {
+            // Interleave recording and replaying so the bounded buffer never
+            // fills: the slave replays each op right after it is recorded.
+            agent.before_sync_op(&master, *addr);
+            agent.after_sync_op(&master, *addr);
+            agent.before_sync_op(&slave, *addr);
+            agent.after_sync_op(&slave, *addr);
+        }
+        let stats = agent.stats();
+        prop_assert_eq!(stats.ops_recorded, addrs.len() as u64);
+        prop_assert_eq!(stats.ops_replayed, addrs.len() as u64);
+    }
+
+    /// RecPlay logs always replay successfully and preserve per-variable
+    /// timestamp order.
+    #[test]
+    fn recplay_logs_always_replay(ops in proptest::collection::vec((0usize..4, 0u64..6), 0..150)) {
+        let mut rec = RecPlayRecorder::new();
+        for (thread, var) in &ops {
+            rec.record(*thread, *var);
+        }
+        let log = rec.finish();
+        let replay = log.replay();
+        prop_assert!(replay.is_some());
+        let replay = replay.unwrap();
+        prop_assert_eq!(replay.len(), ops.len());
+        let mut last: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for op in replay {
+            if let Some(prev) = last.get(&op.variable) {
+                prop_assert!(op.timestamp > *prev);
+            }
+            last.insert(op.variable, op.timestamp);
+        }
+    }
+
+    /// The stage-1/stage-2 classification finds exactly the planted sync ops
+    /// in a generated corpus, for any corpus size.
+    #[test]
+    fn corpus_classification_is_exact(i in 0usize..40, ii in 0usize..40, iii in 0usize..20) {
+        // Type (iii) stores target type (i) variables, so they need i >= 1.
+        prop_assume!(iii == 0 || i >= 1);
+        let spec = CorpusSpec { name: "prop", is_library: false, type_i: i, type_ii: ii, type_iii: iii };
+        let module = mvee::analysis::corpus::generate_module(&spec);
+        let report = identify_sync_ops_syntactic(&module);
+        prop_assert_eq!(report.counts(), (i, ii, iii));
+    }
+}
