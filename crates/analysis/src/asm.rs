@@ -108,8 +108,10 @@ impl Instruction {
     /// Whether this is an ordinary aligned load or store (`mov` family with a
     /// memory operand) — a *candidate* type-iii sync op.
     pub fn is_aligned_load_store(&self) -> bool {
-        matches!(self.mnemonic.as_str(), "mov" | "movl" | "movq" | "movb" | "movw")
-            && self.memory_operand().map(|m| m.aligned).unwrap_or(false)
+        matches!(
+            self.mnemonic.as_str(),
+            "mov" | "movl" | "movq" | "movb" | "movw"
+        ) && self.memory_operand().map(|m| m.aligned).unwrap_or(false)
     }
 }
 
@@ -274,7 +276,10 @@ add %eax, %ebx
     fn aligned_load_store_detection() {
         let m = Module::parse("t", "mov %eax, word\nadd %eax, word\nmov %eax, %ebx");
         assert!(m.instructions[0].is_aligned_load_store());
-        assert!(!m.instructions[1].is_aligned_load_store(), "add is not a mov");
+        assert!(
+            !m.instructions[1].is_aligned_load_store(),
+            "add is not a mov"
+        );
         assert!(
             !m.instructions[2].is_aligned_load_store(),
             "register-only mov has no memory operand"

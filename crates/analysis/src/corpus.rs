@@ -31,14 +31,62 @@ pub struct CorpusSpec {
 
 /// The paper's Table 3, row by row.
 pub const TABLE3_SPECS: &[CorpusSpec] = &[
-    CorpusSpec { name: "libc-2.19.so", is_library: true, type_i: 319, type_ii: 409, type_iii: 94 },
-    CorpusSpec { name: "libpthreads-2.19.so", is_library: true, type_i: 163, type_ii: 81, type_iii: 160 },
-    CorpusSpec { name: "libgomp.so", is_library: true, type_i: 68, type_ii: 38, type_iii: 13 },
-    CorpusSpec { name: "libstdc++.so", is_library: true, type_i: 162, type_ii: 3, type_iii: 25 },
-    CorpusSpec { name: "bodytrack", is_library: false, type_i: 201, type_ii: 0, type_iii: 8 },
-    CorpusSpec { name: "facesim", is_library: false, type_i: 385, type_ii: 0, type_iii: 8 },
-    CorpusSpec { name: "raytrace", is_library: false, type_i: 170, type_ii: 0, type_iii: 8 },
-    CorpusSpec { name: "vips", is_library: false, type_i: 4, type_ii: 0, type_iii: 6 },
+    CorpusSpec {
+        name: "libc-2.19.so",
+        is_library: true,
+        type_i: 319,
+        type_ii: 409,
+        type_iii: 94,
+    },
+    CorpusSpec {
+        name: "libpthreads-2.19.so",
+        is_library: true,
+        type_i: 163,
+        type_ii: 81,
+        type_iii: 160,
+    },
+    CorpusSpec {
+        name: "libgomp.so",
+        is_library: true,
+        type_i: 68,
+        type_ii: 38,
+        type_iii: 13,
+    },
+    CorpusSpec {
+        name: "libstdc++.so",
+        is_library: true,
+        type_i: 162,
+        type_ii: 3,
+        type_iii: 25,
+    },
+    CorpusSpec {
+        name: "bodytrack",
+        is_library: false,
+        type_i: 201,
+        type_ii: 0,
+        type_iii: 8,
+    },
+    CorpusSpec {
+        name: "facesim",
+        is_library: false,
+        type_i: 385,
+        type_ii: 0,
+        type_iii: 8,
+    },
+    CorpusSpec {
+        name: "raytrace",
+        is_library: false,
+        type_i: 170,
+        type_ii: 0,
+        type_iii: 8,
+    },
+    CorpusSpec {
+        name: "vips",
+        is_library: false,
+        type_i: 4,
+        type_ii: 0,
+        type_iii: 6,
+    },
 ];
 
 /// The number of sync ops the paper reports identifying in nginx 1.8's custom
@@ -54,13 +102,12 @@ pub const NGINX_SYNC_OPS: usize = 51;
 /// the needles in a realistic haystack.
 pub fn generate_module(spec: &CorpusSpec) -> Module {
     let mut listing = String::new();
-    let mut sync_var = 0usize;
 
     // Type (i): LOCK-prefixed read-modify-writes spread over lock variables.
     for i in 0..spec.type_i {
         listing.push_str(&format!("fn {}_lock_fn_{}\n", sanitize(spec.name), i));
         push_filler(&mut listing, i, 20);
-        let var = format!("{}_syncvar_{}", sanitize(spec.name), sync_var % (spec.type_i.max(1)));
+        let var = format!("{}_syncvar_{}", sanitize(spec.name), i);
         let op = match i % 3 {
             0 => "cmpxchg %ecx,",
             1 => "xadd %eax,",
@@ -68,7 +115,6 @@ pub fn generate_module(spec: &CorpusSpec) -> Module {
         };
         listing.push_str(&format!("lock {} {} ; line {}\n", op, var, 100 + i));
         push_filler(&mut listing, i + 7, 20);
-        sync_var += 1;
     }
 
     // Type (ii): XCHG instructions on their own set of variables.
@@ -108,12 +154,20 @@ pub fn generate_nginx_module() -> Module {
         listing.push_str(&format!("fn ngx_spinlock_{}\n", i));
         push_filler(&mut listing, i, 12);
         let var = format!("ngx_lock_{}", i % 17);
-        let op = if i % 2 == 0 { "cmpxchg %ecx," } else { "xadd %eax," };
+        let op = if i % 2 == 0 {
+            "cmpxchg %ecx,"
+        } else {
+            "xadd %eax,"
+        };
         listing.push_str(&format!("lock {} {} ; line {}\n", op, var, 40 + i));
     }
     for i in 0..3 {
         listing.push_str(&format!("fn ngx_xchg_{}\n", i));
-        listing.push_str(&format!("xchg %eax, ngx_exchange_{} ; line {}\n", i, 90 + i));
+        listing.push_str(&format!(
+            "xchg %eax, ngx_exchange_{} ; line {}\n",
+            i,
+            90 + i
+        ));
     }
     for i in 0..14 {
         listing.push_str(&format!("fn ngx_unlock_{}\n", i));

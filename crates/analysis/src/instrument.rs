@@ -35,7 +35,10 @@ impl InstrumentationSummary {
 ///
 /// The inserted calls carry the sync variable as their operand so that later
 /// passes (and tests) can check which variable each call guards.
-pub fn instrument_module(module: &Module, report: &SyncOpReport) -> (Module, InstrumentationSummary) {
+pub fn instrument_module(
+    module: &Module,
+    report: &SyncOpReport,
+) -> (Module, InstrumentationSummary) {
     let sync_indices = report.all_sync_ops();
     let mut out = Module::new(&module.name);
     for (idx, ins) in module.instructions.iter().enumerate() {
@@ -61,9 +64,13 @@ fn call_instruction(target: &str, wrapped: &Instruction) -> Instruction {
         .memory_operand()
         .cloned()
         .unwrap_or_else(|| MemRef::to("unknown"));
-    Instruction::new("call", false, vec![Operand::Mem(MemRef::to(target)), Operand::Mem(operand)])
-        .at_line(wrapped.source_line)
-        .in_function(&wrapped.function)
+    Instruction::new(
+        "call",
+        false,
+        vec![Operand::Mem(MemRef::to(target)), Operand::Mem(operand)],
+    )
+    .at_line(wrapped.source_line)
+    .in_function(&wrapped.function)
 }
 
 /// Verifies that an instrumented module wraps exactly the expected ops: every
@@ -138,7 +145,10 @@ add %eax, %ebx
     #[test]
     fn uninstrumented_sync_ops_fail_verification() {
         let m = Module::parse("t", LISTING);
-        assert!(!verify_instrumentation(&m), "raw module has unwrapped sync ops");
+        assert!(
+            !verify_instrumentation(&m),
+            "raw module has unwrapped sync ops"
+        );
     }
 
     #[test]
@@ -164,7 +174,9 @@ add %eax, %ebx
             .iter()
             .position(|i| {
                 i.mnemonic == "mov"
-                    && i.memory_operand().map(|m| m.symbol == "plain").unwrap_or(false)
+                    && i.memory_operand()
+                        .map(|m| m.symbol == "plain")
+                        .unwrap_or(false)
             })
             .unwrap();
         let prev = &instrumented.instructions[plain_idx - 1];
@@ -173,13 +185,19 @@ add %eax, %ebx
                 .memory_operand()
                 .map(|m| m.symbol == "before_sync_op")
                 .unwrap_or(false);
-        assert!(!is_before_call, "plain mov must not be preceded by a before_sync_op call");
+        assert!(
+            !is_before_call,
+            "plain mov must not be preceded by a before_sync_op call"
+        );
         let next = &instrumented.instructions[plain_idx + 1];
         let is_after_call = next.mnemonic == "call"
             && next
                 .memory_operand()
                 .map(|m| m.symbol == "after_sync_op")
                 .unwrap_or(false);
-        assert!(!is_after_call, "plain mov must not be followed by an after_sync_op call");
+        assert!(
+            !is_after_call,
+            "plain mov must not be followed by an after_sync_op call"
+        );
     }
 }

@@ -121,7 +121,10 @@ impl QualificationModel {
 
     /// The current qualifier of `name` (Plain when undeclared).
     pub fn qualifier_of(&self, name: &str) -> Qualifier {
-        self.qualifiers.get(name).copied().unwrap_or(Qualifier::Plain)
+        self.qualifiers
+            .get(name)
+            .copied()
+            .unwrap_or(Qualifier::Plain)
     }
 
     /// Seeds the `_Atomic` qualifier on the variables the stage-1 script

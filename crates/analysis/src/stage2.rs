@@ -54,9 +54,7 @@ pub fn identify_sync_ops(
                 return true;
             }
             // Pointer-mediated access: consult the points-to analysis.
-            if let (Some(pointer), Some(analysis)) =
-                (pointer_bindings.get(&mem.symbol), analysis)
-            {
+            if let (Some(pointer), Some(analysis)) = (pointer_bindings.get(&mem.symbol), analysis) {
                 let pts = analysis.points_to(pointer);
                 return sync_symbols.iter().any(|s| pts.contains(s));
             }
@@ -94,7 +92,11 @@ mov %eax, plain_global
         let m = Module::parse("t", listing);
         let r = identify_sync_ops_syntactic(&m);
         assert_eq!(r.type_i.len(), 1);
-        assert_eq!(r.type_iii, vec![1], "the store to the same symbol is type (iii)");
+        assert_eq!(
+            r.type_iii,
+            vec![1],
+            "the store to the same symbol is type (iii)"
+        );
     }
 
     #[test]

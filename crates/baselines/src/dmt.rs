@@ -89,7 +89,11 @@ impl DmtScheduler {
         requests: &[Vec<AcquireRequest>],
         instruction_factor: &[f64],
     ) -> DmtSchedule {
-        assert_eq!(requests.len(), self.threads, "one request stream per thread");
+        assert_eq!(
+            requests.len(),
+            self.threads,
+            "one request stream per thread"
+        );
         assert_eq!(
             instruction_factor.len(),
             self.threads,
@@ -144,7 +148,11 @@ impl DmtScheduler {
 /// Builds a synthetic acquisition workload: `threads` threads, each issuing
 /// `per_thread` acquisitions of locks drawn from `locks` distinct locks, with
 /// varying amounts of work between acquisitions.
-pub fn synthetic_workload(threads: usize, per_thread: usize, locks: u32) -> Vec<Vec<AcquireRequest>> {
+pub fn synthetic_workload(
+    threads: usize,
+    per_thread: usize,
+    locks: u32,
+) -> Vec<Vec<AcquireRequest>> {
     (0..threads)
         .map(|t| {
             (0..per_thread)
@@ -199,7 +207,11 @@ mod tests {
         assert_eq!(schedule.order.len(), 3 * 20);
         for t in 0..3 {
             assert_eq!(
-                schedule.order.iter().filter(|(thread, _)| *thread == t).count(),
+                schedule
+                    .order
+                    .iter()
+                    .filter(|(thread, _)| *thread == t)
+                    .count(),
                 20
             );
         }
@@ -207,8 +219,12 @@ mod tests {
 
     #[test]
     fn divergence_count_includes_length_differences() {
-        let a = DmtSchedule { order: vec![(0, 1), (1, 1)] };
-        let b = DmtSchedule { order: vec![(0, 1)] };
+        let a = DmtSchedule {
+            order: vec![(0, 1), (1, 1)],
+        };
+        let b = DmtSchedule {
+            order: vec![(0, 1)],
+        };
         assert_eq!(a.divergence_count(&b), 1);
     }
 

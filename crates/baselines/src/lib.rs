@@ -26,5 +26,5 @@
 pub mod dmt;
 pub mod rr;
 
-pub use dmt::{DmtScheduler, DmtSchedule};
+pub use dmt::{DmtSchedule, DmtScheduler};
 pub use rr::{LsaReplicator, RecPlayLog, RecPlayRecorder};

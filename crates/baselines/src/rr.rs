@@ -55,7 +55,11 @@ impl RecPlayLog {
 
     /// The operations of one thread, in program order.
     pub fn thread_ops(&self, thread: usize) -> Vec<RecordedOp> {
-        self.ops.iter().copied().filter(|o| o.thread == thread).collect()
+        self.ops
+            .iter()
+            .copied()
+            .filter(|o| o.thread == thread)
+            .collect()
     }
 
     /// Replays the log: returns a legal global completion order (operations

@@ -2,10 +2,10 @@
 //! agent, isolated from any workload — a microbenchmark over the agents'
 //! fast paths (record one op in the master, replay one op in a slave).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mvee_sync_agent::agents::{build_agent, AgentKind};
 use mvee_sync_agent::context::{AgentConfig, SyncContext, VariantRole};
+use std::time::Duration;
 
 const OPS: u64 = 2_000;
 

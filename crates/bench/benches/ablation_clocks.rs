@@ -5,11 +5,11 @@
 //! the clock count from 1 (everything falsely serialized) to 4096 and
 //! measures both the record/replay cost and the number of collisions.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvee_sync_agent::agents::WallOfClocksAgent;
 use mvee_sync_agent::context::{AgentConfig, SyncContext, VariantRole};
 use mvee_sync_agent::SyncAgent;
+use std::time::Duration;
 
 const OPS: u64 = 2_000;
 const DISTINCT_VARS: u64 = 128;

@@ -2,10 +2,10 @@
 //! RecPlay-style record/replay pass for the same synthetic acquisition
 //! workload — the two families the paper contrasts in §2 and §6.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvee_baselines::dmt::{synthetic_workload, DmtScheduler};
 use mvee_baselines::rr::RecPlayRecorder;
+use std::time::Duration;
 
 fn bench_dmt_vs_rr(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/dmt-vs-record-replay");

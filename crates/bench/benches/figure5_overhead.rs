@@ -2,11 +2,11 @@
 //! a high-sync-rate benchmark (`radiosity`-like) and a low-sync-rate one
 //! (`fft`-like) as the variant count grows from 2 to 4.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvee_sync_agent::agents::AgentKind;
 use mvee_variant::runner::{run_mvee, RunConfig};
 use mvee_workloads::catalog::BenchmarkSpec;
+use std::time::Duration;
 
 const SCALE: f64 = 1.5e-6;
 

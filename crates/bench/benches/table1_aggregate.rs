@@ -6,11 +6,11 @@
 //! `table1` binary; Criterion measures a stable subset so regressions in the
 //! agents show up in CI-style runs.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvee_sync_agent::agents::AgentKind;
 use mvee_variant::runner::{run_mvee, run_native, RunConfig};
 use mvee_workloads::catalog::BenchmarkSpec;
+use std::time::Duration;
 
 const SCALE: f64 = 1.5e-6;
 const SUBSET: &[&str] = &["fft", "streamcluster", "dedup", "barnes"];
@@ -40,10 +40,9 @@ fn bench_agents(c: &mut Criterion) {
         let program = spec.paper_program(SCALE);
         for agent in AgentKind::replication_agents() {
             let config = RunConfig::new(2, agent);
-            group.bench_function(
-                BenchmarkId::new(agent.name(), name),
-                |b| b.iter(|| run_mvee(&program, &config)),
-            );
+            group.bench_function(BenchmarkId::new(agent.name(), name), |b| {
+                b.iter(|| run_mvee(&program, &config))
+            });
         }
     }
     group.finish();

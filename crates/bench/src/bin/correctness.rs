@@ -24,7 +24,9 @@ fn main() {
             let program = spec.paper_program(scale);
             let config = RunConfig::new(2, AgentKind::WallOfClocks)
                 .with_policy(policy)
-                .with_diversity(DiversityProfile::full(0x5151 + spec.native_runtime_s as u64));
+                .with_diversity(DiversityProfile::full(
+                    0x5151 + spec.native_runtime_s as u64,
+                ));
             let report = run_mvee(&program, &config);
             let ok = report.completed_cleanly() && report.outputs_identical();
             if !ok {

@@ -8,7 +8,9 @@ use mvee_workloads::covert::{exchange_pointers, run_timing_channel, run_trylock_
 fn main() {
     println!("§5.4 covert channels — leaking data between colluding variants\n");
 
-    let secret: Vec<bool> = (0..32).map(|i| (0xdead_beefu64 >> (i % 32)) & 1 == 1).collect();
+    let secret: Vec<bool> = (0..32)
+        .map(|i| (0xdead_beefu64 >> (i % 32)) & 1 == 1)
+        .collect();
 
     let timing = run_timing_channel(&secret);
     println!(

@@ -21,13 +21,16 @@ fn main() {
     let widths = [26, 18, 22];
     print_table_header(
         "schedule divergence",
-        &["instruction skew", "DMT positions off", "order-based replay"],
+        &[
+            "instruction skew",
+            "DMT positions off",
+            "order-based replay",
+        ],
         &widths,
     );
 
     for skew in [0.0, 0.01, 0.03, 0.05] {
-        let schedules =
-            DmtScheduler::schedule_variants(threads, &workload, &[1.0, 1.0 + skew]);
+        let schedules = DmtScheduler::schedule_variants(threads, &workload, &[1.0, 1.0 + skew]);
         let dmt_divergence = schedules[0].divergence_count(&schedules[1]);
 
         // Order-based replay: record once, replay everywhere — by
@@ -48,7 +51,11 @@ fn main() {
                 &[
                     format!("{:.0}%", skew * 100.0),
                     dmt_divergence.to_string(),
-                    if replay_ok { "identical".into() } else { "FAILED".into() },
+                    if replay_ok {
+                        "identical".into()
+                    } else {
+                        "FAILED".into()
+                    },
                 ],
                 &widths,
             )
@@ -59,8 +66,8 @@ fn main() {
     // wall-of-clocks agent (which, like R+R, is order-based) stays clean.
     let spec = BenchmarkSpec::by_name("barnes").unwrap();
     let program = spec.paper_program(2e-6);
-    let config = RunConfig::new(2, AgentKind::WallOfClocks)
-        .with_diversity(DiversityProfile::full(77));
+    let config =
+        RunConfig::new(2, AgentKind::WallOfClocks).with_diversity(DiversityProfile::full(77));
     let report = run_mvee(&program, &config);
     println!(
         "\nwall-of-clocks agent with 5% instruction skew on 'barnes': divergence = {}",

@@ -17,7 +17,14 @@ fn main() {
     let widths = [16, 16, 12, 12, 12, 10];
     print_table_header(
         "Figure 5",
-        &["benchmark", "agent", "2 variants", "3 variants", "4 variants", "clean"],
+        &[
+            "benchmark",
+            "agent",
+            "2 variants",
+            "3 variants",
+            "4 variants",
+            "clean",
+        ],
         &widths,
     );
 

@@ -42,7 +42,8 @@ fn main() {
         mvee_cfg.link = link;
         let mvee = run_nginx_experiment(&mvee_cfg, false);
 
-        let overhead = 1.0 - mvee.effective_throughput_rps / native.effective_throughput_rps.max(1e-9);
+        let overhead =
+            1.0 - mvee.effective_throughput_rps / native.effective_throughput_rps.max(1e-9);
         println!(
             "{:<28}: native {:>8.0} req/s, MVEE {:>8.0} req/s, throughput loss {:>5.1}% (paper: {}%)",
             format!("instrumented, {:?}", link),

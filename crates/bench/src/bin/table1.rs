@@ -15,7 +15,9 @@ fn main() {
     let scale = workload_scale();
     let variant_counts = [2usize, 3, 4];
     println!("Table 1 — aggregated average slowdowns per agent and variant count");
-    println!("(scale = {scale:.1e}; paper: TO 2.76/2.83/2.87, PO 2.83/2.83/3.00, WoC 1.14/1.27/1.38)");
+    println!(
+        "(scale = {scale:.1e}; paper: TO 2.76/2.83/2.87, PO 2.83/2.83/3.00, WoC 1.14/1.27/1.38)"
+    );
 
     let widths = [20, 12, 12, 12];
     print_table_header(

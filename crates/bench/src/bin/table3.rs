@@ -35,7 +35,11 @@ fn main() {
                     ii.to_string(),
                     iii.to_string(),
                     report.total().to_string(),
-                    if verified { "ok".into() } else { "FAILED".into() },
+                    if verified {
+                        "ok".into()
+                    } else {
+                        "FAILED".into()
+                    },
                 ],
                 &widths,
             )

@@ -62,12 +62,7 @@ pub struct Measurement {
 
 /// Runs `spec` natively and under the MVEE with the given agent and variant
 /// count, and returns the measurement.
-pub fn measure(
-    spec: &BenchmarkSpec,
-    agent: AgentKind,
-    variants: usize,
-    scale: f64,
-) -> Measurement {
+pub fn measure(spec: &BenchmarkSpec, agent: AgentKind, variants: usize, scale: f64) -> Measurement {
     let program = spec.paper_program(scale);
     let native = run_native(&program);
     let config = RunConfig::new(variants, agent);
@@ -96,8 +91,7 @@ pub fn measure_with_diversity(
     seed: u64,
 ) -> bool {
     let program = spec.paper_program(scale);
-    let config =
-        RunConfig::new(variants, agent).with_diversity(DiversityProfile::full(seed));
+    let config = RunConfig::new(variants, agent).with_diversity(DiversityProfile::full(seed));
     let report = run_mvee(&program, &config);
     report.completed_cleanly()
 }

@@ -105,7 +105,9 @@ mod tests {
     use mvee_kernel::syscall::SyscallRequest;
 
     fn key(no: Sysno, payload: &[u8]) -> ComparisonKey {
-        SyscallRequest::new(no).with_payload(payload).comparison_key()
+        SyscallRequest::new(no)
+            .with_payload(payload)
+            .comparison_key()
     }
 
     #[test]
@@ -141,7 +143,11 @@ mod tests {
 
     #[test]
     fn missing_variants_are_not_mismatches() {
-        let keys = vec![Some(key(Sysno::Write, b"x")), None, Some(key(Sysno::Write, b"x"))];
+        let keys = vec![
+            Some(key(Sysno::Write, b"x")),
+            None,
+            Some(key(Sysno::Write, b"x")),
+        ];
         assert!(first_mismatch(&keys).is_none());
     }
 

@@ -147,7 +147,9 @@ impl LockstepTable {
             if *self.poisoned.lock() {
                 return ArrivalResult::Poisoned;
             }
-            let slot = slots.get(&key).expect("slot cannot vanish while a waiter holds it");
+            let slot = slots
+                .get(&key)
+                .expect("slot cannot vanish while a waiter holds it");
             if slot.mismatch {
                 let (idx, master, other) =
                     first_mismatch(&slot.keys).expect("mismatch flag implies a mismatch");
@@ -159,10 +161,7 @@ impl LockstepTable {
                 }
                 return ArrivalResult::Consistent;
             }
-            let timed_out = self
-                .changed
-                .wait_until(&mut slots, deadline)
-                .timed_out();
+            let timed_out = self.changed.wait_until(&mut slots, deadline).timed_out();
             if timed_out {
                 let slot = slots.get(&key).expect("slot present");
                 if slot.arrived() == self.variants {
@@ -181,12 +180,7 @@ impl LockstepTable {
 
     /// Publishes the master's outcome (and, for ordered calls, the syscall
     /// ordering timestamp) into the slot and wakes waiting slaves.
-    pub fn publish_outcome(
-        &self,
-        key: SlotKey,
-        outcome: SyscallOutcome,
-        timestamp: Option<u64>,
-    ) {
+    pub fn publish_outcome(&self, key: SlotKey, outcome: SyscallOutcome, timestamp: Option<u64>) {
         let mut slots = self.slots.lock();
         let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
         slot.outcome = Some(outcome);
@@ -246,13 +240,20 @@ mod tests {
     use std::sync::Arc;
 
     fn cmp(no: Sysno, payload: &[u8]) -> ComparisonKey {
-        SyscallRequest::new(no).with_payload(payload).comparison_key()
+        SyscallRequest::new(no)
+            .with_payload(payload)
+            .comparison_key()
     }
 
     #[test]
     fn single_variant_arrival_is_immediately_consistent() {
         let table = LockstepTable::new(1);
-        let r = table.arrive((0, 0), 0, cmp(Sysno::Write, b"x"), Duration::from_millis(50));
+        let r = table.arrive(
+            (0, 0),
+            0,
+            cmp(Sysno::Write, b"x"),
+            Duration::from_millis(50),
+        );
         assert_eq!(r, ArrivalResult::Consistent);
     }
 
@@ -287,7 +288,12 @@ mod tests {
     #[test]
     fn missing_variant_causes_timeout_listing_arrivals() {
         let table = LockstepTable::new(2);
-        let r = table.arrive((3, 7), 0, cmp(Sysno::Write, b"x"), Duration::from_millis(50));
+        let r = table.arrive(
+            (3, 7),
+            0,
+            cmp(Sysno::Write, b"x"),
+            Duration::from_millis(50),
+        );
         assert_eq!(r, ArrivalResult::Timeout(vec![0]));
     }
 
@@ -295,8 +301,7 @@ mod tests {
     fn outcome_publication_wakes_waiters() {
         let table = Arc::new(LockstepTable::new(2));
         let t2 = Arc::clone(&table);
-        let handle =
-            std::thread::spawn(move || t2.wait_outcome((1, 5), Duration::from_secs(2)));
+        let handle = std::thread::spawn(move || t2.wait_outcome((1, 5), Duration::from_secs(2)));
         std::thread::sleep(Duration::from_millis(10));
         table.publish_outcome((1, 5), SyscallOutcome::ok(42), Some(9));
         let (outcome, ts) = handle.join().unwrap().unwrap();
@@ -307,7 +312,9 @@ mod tests {
     #[test]
     fn wait_outcome_times_out_when_master_never_publishes() {
         let table = LockstepTable::new(2);
-        assert!(table.wait_outcome((0, 0), Duration::from_millis(40)).is_none());
+        assert!(table
+            .wait_outcome((0, 0), Duration::from_millis(40))
+            .is_none());
     }
 
     #[test]
@@ -338,7 +345,12 @@ mod tests {
     fn distinct_slots_do_not_interfere() {
         let table = LockstepTable::new(1);
         assert_eq!(
-            table.arrive((0, 0), 0, cmp(Sysno::Write, b"a"), Duration::from_millis(20)),
+            table.arrive(
+                (0, 0),
+                0,
+                cmp(Sysno::Write, b"a"),
+                Duration::from_millis(20)
+            ),
             ArrivalResult::Consistent
         );
         assert_eq!(

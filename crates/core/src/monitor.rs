@@ -37,7 +37,7 @@ pub fn wait_until_with_timeout(timeout: Duration, mut cond: impl FnMut() -> bool
             return cond();
         }
         spins += 1;
-        if spins % 64 == 0 {
+        if spins.is_multiple_of(64) {
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();
@@ -228,7 +228,10 @@ impl Monitor {
         req: &SyscallRequest,
     ) -> Result<SyscallOutcome, MonitorError> {
         assert!(variant < self.config.variants, "unknown variant index");
-        assert!(thread < self.config.max_threads, "thread index out of range");
+        assert!(
+            thread < self.config.max_threads,
+            "thread index out of range"
+        );
 
         if self.has_diverged() {
             return Err(MonitorError::ShutDown);
@@ -239,11 +242,15 @@ impl Monitor {
         // the kernel.  Returns 0 for the master and the 1-based slave index
         // for slaves.
         if req.no == Sysno::MveeSelfAware {
-            self.stats.self_aware_queries.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .self_aware_queries
+                .fetch_add(1, Ordering::Relaxed);
             return Ok(SyscallOutcome::ok(variant as i64));
         }
 
-        let seq = self.seq_slot(variant, thread).fetch_add(1, Ordering::AcqRel);
+        let seq = self
+            .seq_slot(variant, thread)
+            .fetch_add(1, Ordering::AcqRel);
         let key: SlotKey = (thread, seq);
 
         let lockstep = self.config.policy.requires_lockstep(req.no);
@@ -286,7 +293,9 @@ impl Monitor {
         }
 
         if replicate {
-            self.stats.replicated_syscalls.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .replicated_syscalls
+                .fetch_add(1, Ordering::Relaxed);
             return self.run_replicated(variant, thread, seq, key, req);
         }
         if ordered {
@@ -323,7 +332,10 @@ impl Monitor {
             self.lockstep.consume(key);
             Ok(outcome)
         } else {
-            match self.lockstep.wait_outcome(key, self.config.lockstep_timeout) {
+            match self
+                .lockstep
+                .wait_outcome(key, self.config.lockstep_timeout)
+            {
                 Some((outcome, _)) => {
                     self.lockstep.consume(key);
                     Ok(outcome)
@@ -333,7 +345,9 @@ impl Monitor {
                         return Err(MonitorError::ShutDown);
                     }
                     Err(self.record_divergence(DivergenceReport {
-                        kind: DivergenceKind::RendezvousTimeout { arrived: vec![variant] },
+                        kind: DivergenceKind::RendezvousTimeout {
+                            arrived: vec![variant],
+                        },
                         thread,
                         sequence: seq,
                         variant: 0,
@@ -356,18 +370,24 @@ impl Monitor {
             // slaves can replay the cross-thread order.
             let ts = self.ordering_clocks[0].claim_timestamp();
             let outcome = self.kernel.execute(self.pids[0], thread as u64, req);
-            self.lockstep.publish_outcome(key, outcome.clone(), Some(ts));
+            self.lockstep
+                .publish_outcome(key, outcome.clone(), Some(ts));
             self.lockstep.consume(key);
             Ok(outcome)
         } else {
-            let (_, ts) = match self.lockstep.wait_outcome(key, self.config.lockstep_timeout) {
+            let (_, ts) = match self
+                .lockstep
+                .wait_outcome(key, self.config.lockstep_timeout)
+            {
                 Some(v) => v,
                 None => {
                     if self.has_diverged() {
                         return Err(MonitorError::ShutDown);
                     }
                     return Err(self.record_divergence(DivergenceReport {
-                        kind: DivergenceKind::RendezvousTimeout { arrived: vec![variant] },
+                        kind: DivergenceKind::RendezvousTimeout {
+                            arrived: vec![variant],
+                        },
                         thread,
                         sequence: seq,
                         variant: 0,
@@ -380,7 +400,9 @@ impl Monitor {
                     return Err(MonitorError::ShutDown);
                 }
                 return Err(self.record_divergence(DivergenceReport {
-                    kind: DivergenceKind::RendezvousTimeout { arrived: vec![variant] },
+                    kind: DivergenceKind::RendezvousTimeout {
+                        arrived: vec![variant],
+                    },
                     thread,
                     sequence: seq,
                     variant,
@@ -411,7 +433,10 @@ mod tests {
             lockstep_timeout: Duration::from_millis(500),
             max_threads: 8,
         };
-        (Arc::new(Monitor::new(config, Arc::clone(&kernel), pids)), kernel)
+        (
+            Arc::new(Monitor::new(config, Arc::clone(&kernel), pids)),
+            kernel,
+        )
     }
 
     fn open_req(path: &str) -> SyscallRequest {
@@ -460,7 +485,11 @@ mod tests {
         });
         monitor.syscall(0, 0, &open_req("/input")).unwrap();
         let master = monitor
-            .syscall(0, 0, &SyscallRequest::new(Sysno::Read).with_fd(3).with_int(4))
+            .syscall(
+                0,
+                0,
+                &SyscallRequest::new(Sysno::Read).with_fd(3).with_int(4),
+            )
             .unwrap();
         let slave = t.join().unwrap();
         assert_eq!(master.payload, b"some");
@@ -475,20 +504,27 @@ mod tests {
             m.syscall(
                 1,
                 0,
-                &SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(b"evil"),
+                &SyscallRequest::new(Sysno::Write)
+                    .with_fd(1)
+                    .with_payload(b"evil"),
             )
         });
         let master = monitor.syscall(
             0,
             0,
-            &SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(b"good"),
+            &SyscallRequest::new(Sysno::Write)
+                .with_fd(1)
+                .with_payload(b"good"),
         );
         let slave = slave.join().unwrap();
         assert!(master.is_err() || slave.is_err());
         assert!(monitor.has_diverged());
         let report = monitor.divergence().unwrap();
-        assert!(matches!(report.kind, DivergenceKind::SyscallMismatch { .. }));
-        assert_eq!(monitor.stats().divergences >= 1, true);
+        assert!(matches!(
+            report.kind,
+            DivergenceKind::SyscallMismatch { .. }
+        ));
+        assert!(monitor.stats().divergences >= 1);
     }
 
     #[test]
@@ -510,7 +546,9 @@ mod tests {
         let master = monitor.syscall(
             0,
             0,
-            &SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(b"response"),
+            &SyscallRequest::new(Sysno::Write)
+                .with_fd(1)
+                .with_payload(b"response"),
         );
         let slave_result = slave.join().unwrap();
         assert!(master.is_err() || slave_result.is_err());
@@ -523,7 +561,10 @@ mod tests {
         let result = monitor.syscall(0, 0, &open_req("/input"));
         assert!(result.is_err());
         let report = monitor.divergence().unwrap();
-        assert!(matches!(report.kind, DivergenceKind::RendezvousTimeout { .. }));
+        assert!(matches!(
+            report.kind,
+            DivergenceKind::RendezvousTimeout { .. }
+        ));
     }
 
     #[test]
@@ -540,7 +581,8 @@ mod tests {
         let (monitor, _) = make_monitor(2, MonitoringPolicy::NoComparison);
         let m = Arc::clone(&monitor);
         let slave = std::thread::spawn(move || {
-            m.syscall(1, 0, &SyscallRequest::new(Sysno::Brk).with_int(0)).unwrap()
+            m.syscall(1, 0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+                .unwrap()
         });
         let master = monitor
             .syscall(0, 0, &SyscallRequest::new(Sysno::Brk).with_int(0))

@@ -148,7 +148,11 @@ impl MveeBuilder {
             lockstep_timeout: self.lockstep_timeout,
             max_threads: mvee_sync_agent::context::MAX_THREADS,
         };
-        let monitor = Arc::new(Monitor::new(monitor_config, Arc::clone(&kernel), pids.clone()));
+        let monitor = Arc::new(Monitor::new(
+            monitor_config,
+            Arc::clone(&kernel),
+            pids.clone(),
+        ));
         let agent_config = self
             .agent_config
             .with_variants(self.variants)
@@ -328,10 +332,7 @@ mod tests {
         let mvee = Mvee::builder().variants(2).manual_clock(true).build();
         assert!(mvee.gateway(0).is_master());
         assert!(!mvee.gateway(1).is_master());
-        assert_eq!(
-            mvee.gateway(1).role(),
-            VariantRole::Slave { index: 0 }
-        );
+        assert_eq!(mvee.gateway(1).role(), VariantRole::Slave { index: 0 });
     }
 
     #[test]

@@ -13,10 +13,11 @@ use serde::{Deserialize, Serialize};
 use mvee_kernel::syscall::Sysno;
 
 /// Which system calls the monitor compares in lockstep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum MonitoringPolicy {
     /// Every monitored call is compared across all variants before any
     /// variant may proceed — the paper's default, strongest setting.
+    #[default]
     StrictLockstep,
     /// Only security-sensitive calls (those that open new channels to the
     /// outside world or change memory protections) are compared; everything
@@ -62,12 +63,6 @@ impl MonitoringPolicy {
             MonitoringPolicy::SecuritySensitiveOnly,
             MonitoringPolicy::NoComparison,
         ]
-    }
-}
-
-impl Default for MonitoringPolicy {
-    fn default() -> Self {
-        MonitoringPolicy::StrictLockstep
     }
 }
 
@@ -137,6 +132,9 @@ mod tests {
             "security-sensitive-only"
         );
         assert_eq!(MonitoringPolicy::NoComparison.name(), "no-comparison");
-        assert_eq!(MonitoringPolicy::default(), MonitoringPolicy::StrictLockstep);
+        assert_eq!(
+            MonitoringPolicy::default(),
+            MonitoringPolicy::StrictLockstep
+        );
     }
 }

@@ -303,12 +303,15 @@ impl Kernel {
 
     // ---- file system ------------------------------------------------------
 
-    fn sys_open(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_open(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let path = Self::arg_path(req, 0)?.to_string();
         let flags = OpenFlags::from_bits(Self::arg_flags(req, 1));
         let inode = st.vfs.open(&path, flags)?;
-        let writable =
-            flags.contains(OpenFlags::WRITE) || flags.contains(OpenFlags::APPEND);
+        let writable = flags.contains(OpenFlags::WRITE) || flags.contains(OpenFlags::APPEND);
         let proc = Self::process_mut(st, pid)?;
         let fd = proc.fds.allocate(FdObject::File {
             inode,
@@ -318,7 +321,11 @@ impl Kernel {
         Ok(SyscallOutcome::ok(i64::from(fd)))
     }
 
-    fn sys_close(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_close(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let obj = Self::process_mut(st, pid)?.fds.close(fd)?;
         match obj {
@@ -330,7 +337,11 @@ impl Kernel {
         Ok(SyscallOutcome::ok(0))
     }
 
-    fn sys_read(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_read(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let len = Self::arg_int(req, 1).unwrap_or(0).max(0) as usize;
         let obj = {
@@ -367,7 +378,11 @@ impl Kernel {
         }
     }
 
-    fn sys_write(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_write(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let data = req.payload.clone();
         let obj = {
@@ -418,7 +433,11 @@ impl Kernel {
         Ok(SyscallOutcome::ok_with_payload(0, payload))
     }
 
-    fn sys_fstat(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_fstat(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let proc = Self::process_mut(st, pid)?;
         let obj = proc.fds.get(fd)?.clone();
@@ -435,7 +454,11 @@ impl Kernel {
         }
     }
 
-    fn sys_lseek(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_lseek(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let pos = Self::arg_int(req, 1)?.max(0) as u64;
         let proc = Self::process_mut(st, pid)?;
@@ -474,7 +497,11 @@ impl Kernel {
         Ok(SyscallOutcome::ok(0))
     }
 
-    fn sys_sendfile(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_sendfile(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         // sendfile(out_fd, in_fd, len): copy file bytes straight to a socket.
         let out_fd = Self::arg_fd(req, 0)?;
         let in_fd = Self::arg_fd(req, 1)?;
@@ -504,13 +531,21 @@ impl Kernel {
 
     // ---- memory ---------------------------------------------------------
 
-    fn sys_brk(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_brk(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let addr = Self::arg_int(req, 0).unwrap_or(0).max(0) as u64;
         let proc = Self::process_mut(st, pid)?;
         Ok(SyscallOutcome::ok(proc.mem.set_brk(addr) as i64))
     }
 
-    fn sys_mmap(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_mmap(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let len = Self::arg_int(req, 0)?.max(0) as u64;
         let prot = Protection::from_bits(Self::arg_flags(req, 1) as u8);
         let proc = Self::process_mut(st, pid)?;
@@ -518,7 +553,11 @@ impl Kernel {
         Ok(SyscallOutcome::ok(addr as i64))
     }
 
-    fn sys_munmap(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_munmap(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let addr = Self::arg_ptr(req, 0)?;
         let len = Self::arg_int(req, 1)?.max(0) as u64;
         let proc = Self::process_mut(st, pid)?;
@@ -526,7 +565,11 @@ impl Kernel {
         Ok(SyscallOutcome::ok(0))
     }
 
-    fn sys_mprotect(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_mprotect(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let addr = Self::arg_ptr(req, 0)?;
         let len = Self::arg_int(req, 1)?.max(0) as u64;
         let prot = Protection::from_bits(Self::arg_flags(req, 2) as u8);
@@ -548,7 +591,11 @@ impl Kernel {
         Ok(SyscallOutcome::ok_with_payload(0, payload))
     }
 
-    fn sys_dup(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_dup(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let proc = Self::process_mut(st, pid)?;
         let new_fd = proc.fds.dup(fd)?;
@@ -572,7 +619,11 @@ impl Kernel {
         }
     }
 
-    fn sys_bind(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_bind(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let port = Self::arg_int(req, 1)? as u16;
         let socket = Self::socket_of(st, pid, fd)?;
@@ -580,14 +631,22 @@ impl Kernel {
         Ok(SyscallOutcome::ok(0))
     }
 
-    fn sys_listen(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_listen(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let socket = Self::socket_of(st, pid, fd)?;
         st.net.listen(socket)?;
         Ok(SyscallOutcome::ok(0))
     }
 
-    fn sys_accept(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_accept(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let socket = Self::socket_of(st, pid, fd)?;
         let conn = st.net.accept(socket)?;
@@ -596,7 +655,11 @@ impl Kernel {
         Ok(SyscallOutcome::ok(i64::from(conn_fd)))
     }
 
-    fn sys_connect(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_connect(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let port = Self::arg_int(req, 1)? as u16;
         let link = if Self::arg_flags(req, 2) == 1 {
@@ -609,14 +672,22 @@ impl Kernel {
         Ok(SyscallOutcome::ok(0))
     }
 
-    fn sys_send(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_send(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let socket = Self::socket_of(st, pid, fd)?;
         let n = st.net.send(socket, &req.payload)?;
         Ok(SyscallOutcome::ok(n as i64))
     }
 
-    fn sys_recv(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_recv(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let len = Self::arg_int(req, 1)?.max(0) as usize;
         let socket = Self::socket_of(st, pid, fd)?;
@@ -627,7 +698,11 @@ impl Kernel {
         ))
     }
 
-    fn sys_shutdown(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_shutdown(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let fd = Self::arg_fd(req, 0)?;
         let socket = Self::socket_of(st, pid, fd)?;
         st.net.close(socket)?;
@@ -651,7 +726,11 @@ impl Kernel {
         }
     }
 
-    fn sys_futex_wake(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_futex_wake(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let _ = pid;
         let addr = Self::arg_ptr(req, 0)?;
         let count = Self::arg_int(req, 1)?.max(0) as usize;
@@ -665,14 +744,23 @@ impl Kernel {
         Ok(SyscallOutcome::ok(tid as i64))
     }
 
-    fn sys_exit(st: &mut KernelState, pid: Pid, tid: Tid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_exit(
+        st: &mut KernelState,
+        pid: Pid,
+        tid: Tid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let status = Self::arg_int(req, 0).unwrap_or(0) as i32;
         let proc = Self::process_mut(st, pid)?;
         proc.exit_thread(tid, status);
         Ok(SyscallOutcome::ok(0))
     }
 
-    fn sys_exit_group(st: &mut KernelState, pid: Pid, req: &SyscallRequest) -> KernelResult<SyscallOutcome> {
+    fn sys_exit_group(
+        st: &mut KernelState,
+        pid: Pid,
+        req: &SyscallRequest,
+    ) -> KernelResult<SyscallOutcome> {
         let status = Self::arg_int(req, 0).unwrap_or(0) as i32;
         let proc = Self::process_mut(st, pid)?;
         proc.exit_group(status);
@@ -757,8 +845,16 @@ mod tests {
         let (k, pid) = kernel_with_process();
         k.install_file("/f", b"abcdef");
         let fd = k.must_open(pid, "/f", OpenFlags::READ);
-        let r1 = k.execute(pid, 0, &SyscallRequest::new(Sysno::Read).with_fd(fd).with_int(3));
-        let r2 = k.execute(pid, 0, &SyscallRequest::new(Sysno::Read).with_fd(fd).with_int(3));
+        let r1 = k.execute(
+            pid,
+            0,
+            &SyscallRequest::new(Sysno::Read).with_fd(fd).with_int(3),
+        );
+        let r2 = k.execute(
+            pid,
+            0,
+            &SyscallRequest::new(Sysno::Read).with_fd(fd).with_int(3),
+        );
         assert_eq!(&r1.payload, b"abc");
         assert_eq!(&r2.payload, b"def");
     }
@@ -803,7 +899,9 @@ mod tests {
         let out = k.execute(
             pid,
             0,
-            &SyscallRequest::new(Sysno::Write).with_fd(fd).with_payload(b"y"),
+            &SyscallRequest::new(Sysno::Write)
+                .with_fd(fd)
+                .with_payload(b"y"),
         );
         assert_eq!(out.result, Err(Errno::Eacces));
     }
@@ -813,7 +911,11 @@ mod tests {
         let (k, pid) = kernel_with_process();
         let brk0 = k.execute(pid, 0, &SyscallRequest::new(Sysno::Brk).with_int(0));
         let base = brk0.result.unwrap();
-        let brk1 = k.execute(pid, 0, &SyscallRequest::new(Sysno::Brk).with_int(base + 8192));
+        let brk1 = k.execute(
+            pid,
+            0,
+            &SyscallRequest::new(Sysno::Brk).with_int(base + 8192),
+        );
         assert!(brk1.result.unwrap() >= base + 8192);
 
         let mmap = k.execute(
@@ -871,7 +973,9 @@ mod tests {
         let r = k.execute(
             pid,
             0,
-            &SyscallRequest::new(Sysno::Read).with_fd(read_fd).with_int(10),
+            &SyscallRequest::new(Sysno::Read)
+                .with_fd(read_fd)
+                .with_int(10),
         );
         assert_eq!(&r.payload, b"ping");
     }
@@ -916,12 +1020,16 @@ mod tests {
         k.execute(
             client,
             0,
-            &SyscallRequest::new(Sysno::Send).with_fd(cfd).with_payload(b"GET /"),
+            &SyscallRequest::new(Sysno::Send)
+                .with_fd(cfd)
+                .with_payload(b"GET /"),
         );
         let got = k.execute(
             server,
             0,
-            &SyscallRequest::new(Sysno::Recv).with_fd(conn_fd).with_int(64),
+            &SyscallRequest::new(Sysno::Recv)
+                .with_fd(conn_fd)
+                .with_int(64),
         );
         assert_eq!(&got.payload, b"GET /");
     }
@@ -1013,14 +1121,27 @@ mod tests {
         let client = k.spawn_process();
         k.install_file("/www/page.html", &vec![b'x'; 4096]);
 
-        let sfd = k.execute(server, 0, &SyscallRequest::new(Sysno::Socket)).result.unwrap() as i32;
-        k.execute(server, 0, &SyscallRequest::new(Sysno::Bind).with_fd(sfd).with_int(80));
+        let sfd = k
+            .execute(server, 0, &SyscallRequest::new(Sysno::Socket))
+            .result
+            .unwrap() as i32;
+        k.execute(
+            server,
+            0,
+            &SyscallRequest::new(Sysno::Bind).with_fd(sfd).with_int(80),
+        );
         k.execute(server, 0, &SyscallRequest::new(Sysno::Listen).with_fd(sfd));
-        let cfd = k.execute(client, 0, &SyscallRequest::new(Sysno::Socket)).result.unwrap() as i32;
+        let cfd = k
+            .execute(client, 0, &SyscallRequest::new(Sysno::Socket))
+            .result
+            .unwrap() as i32;
         k.execute(
             client,
             0,
-            &SyscallRequest::new(Sysno::Connect).with_fd(cfd).with_int(80).with_arg(SyscallArg::Flags(0)),
+            &SyscallRequest::new(Sysno::Connect)
+                .with_fd(cfd)
+                .with_int(80)
+                .with_arg(SyscallArg::Flags(0)),
         );
         let conn_fd = k
             .execute(server, 0, &SyscallRequest::new(Sysno::Accept).with_fd(sfd))
@@ -1036,7 +1157,11 @@ mod tests {
                 .with_int(4096),
         );
         assert_eq!(sent.result, Ok(4096));
-        let got = k.execute(client, 0, &SyscallRequest::new(Sysno::Recv).with_fd(cfd).with_int(8192));
+        let got = k.execute(
+            client,
+            0,
+            &SyscallRequest::new(Sysno::Recv).with_fd(cfd).with_int(8192),
+        );
         assert_eq!(got.payload.len(), 4096);
     }
 
@@ -1045,8 +1170,20 @@ mod tests {
         let k = Kernel::new_manual_clock();
         let v0 = k.spawn_process_with_layout(0x5555_0000_0000, 0x7fff_0000_0000);
         let v1 = k.spawn_process_with_layout(0x5655_1000_0000, 0x7ffe_2000_0000);
-        let m0 = k.execute(v0, 0, &SyscallRequest::new(Sysno::Mmap).with_int(4096).with_arg(SyscallArg::Flags(3)));
-        let m1 = k.execute(v1, 0, &SyscallRequest::new(Sysno::Mmap).with_int(4096).with_arg(SyscallArg::Flags(3)));
+        let m0 = k.execute(
+            v0,
+            0,
+            &SyscallRequest::new(Sysno::Mmap)
+                .with_int(4096)
+                .with_arg(SyscallArg::Flags(3)),
+        );
+        let m1 = k.execute(
+            v1,
+            0,
+            &SyscallRequest::new(Sysno::Mmap)
+                .with_int(4096)
+                .with_arg(SyscallArg::Flags(3)),
+        );
         assert_ne!(m0.result.unwrap(), m1.result.unwrap());
     }
 }

@@ -147,6 +147,14 @@ impl AddressSpace {
         self.brk_current
     }
 
+    /// Top of the mmap area (the address below which `mmap` allocates).
+    ///
+    /// Diversified variants have different tops, which is what makes the
+    /// addresses returned by [`Self::mmap`] differ across variants.
+    pub fn mmap_top(&self) -> u64 {
+        self.mmap_top
+    }
+
     /// Implements the `brk` system call: sets the program break to `addr`
     /// (or merely queries it when `addr` is zero), returning the new break.
     pub fn set_brk(&mut self, addr: u64) -> u64 {
@@ -171,10 +179,7 @@ impl AddressSpace {
             return Err(Errno::Einval);
         }
         let len = page_align_up(len);
-        let start = self
-            .mmap_cursor
-            .checked_sub(len)
-            .ok_or(Errno::Enomem)?;
+        let start = self.mmap_cursor.checked_sub(len).ok_or(Errno::Enomem)?;
         if start <= self.brk_current {
             return Err(Errno::Enomem);
         }
@@ -314,7 +319,10 @@ mod tests {
     #[test]
     fn mprotect_unmapped_is_einval() {
         let mut a = AddressSpace::new();
-        assert_eq!(a.mprotect(0x1000, 4096, Protection::READ), Err(Errno::Einval));
+        assert_eq!(
+            a.mprotect(0x1000, 4096, Protection::READ),
+            Err(Errno::Einval)
+        );
     }
 
     #[test]

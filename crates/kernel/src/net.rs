@@ -248,7 +248,10 @@ impl NetworkStack {
 
     /// Number of bytes buffered for reading on `socket`.
     pub fn pending(&self, socket: u64) -> KernelResult<usize> {
-        self.sockets.get(&socket).map(|s| s.rx.len()).ok_or(Errno::Ebadf)
+        self.sockets
+            .get(&socket)
+            .map(|s| s.rx.len())
+            .ok_or(Errno::Ebadf)
     }
 
     /// Shuts down a socket.
@@ -268,12 +271,18 @@ impl NetworkStack {
 
     /// State of a socket (mainly for tests and assertions).
     pub fn state(&self, socket: u64) -> KernelResult<SocketState> {
-        self.sockets.get(&socket).map(|s| s.state).ok_or(Errno::Ebadf)
+        self.sockets
+            .get(&socket)
+            .map(|s| s.state)
+            .ok_or(Errno::Ebadf)
     }
 
     /// The link kind of a connected socket.
     pub fn link(&self, socket: u64) -> KernelResult<LinkKind> {
-        self.sockets.get(&socket).map(|s| s.link).ok_or(Errno::Ebadf)
+        self.sockets
+            .get(&socket)
+            .map(|s| s.link)
+            .ok_or(Errno::Ebadf)
     }
 
     /// Total bytes pushed through `send` so far.
@@ -393,7 +402,8 @@ mod tests {
         );
         // A 4 KiB page takes longer over the network than over loopback.
         assert!(
-            LinkKind::GigabitNetwork.transfer_time_ns(4096) > LinkKind::Loopback.transfer_time_ns(4096)
+            LinkKind::GigabitNetwork.transfer_time_ns(4096)
+                > LinkKind::Loopback.transfer_time_ns(4096)
         );
     }
 

@@ -117,9 +117,7 @@ impl Sysno {
             }
             Mmap | Mprotect | Munmap | Brk | Madvise => SyscallClass::AddressSpace,
             Clone | Exit | ExitGroup => SyscallClass::Process,
-            Gettimeofday | ClockGettime | Getpid | Gettid | Getrandom => {
-                SyscallClass::ReadOnlyInfo
-            }
+            Gettimeofday | ClockGettime | Getpid | Gettid | Getrandom => SyscallClass::ReadOnlyInfo,
             FutexWait | FutexWake => SyscallClass::BlockingSync,
             SchedYield | Nanosleep => SyscallClass::SchedulerHint,
             MveeSelfAware => SyscallClass::MveePrivate,
@@ -501,8 +499,12 @@ mod tests {
 
     #[test]
     fn comparison_key_detects_payload_difference() {
-        let a = SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(b"aaaa");
-        let b = SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(b"aaab");
+        let a = SyscallRequest::new(Sysno::Write)
+            .with_fd(1)
+            .with_payload(b"aaaa");
+        let b = SyscallRequest::new(Sysno::Write)
+            .with_fd(1)
+            .with_payload(b"aaab");
         assert_ne!(a.comparison_key(), b.comparison_key());
     }
 

@@ -295,7 +295,10 @@ impl Vfs {
 
     /// Number of bytes currently buffered in the pipe.
     pub fn pipe_len(&self, pipe: u64) -> KernelResult<usize> {
-        self.pipes.get(&pipe).map(|p| p.buffer.len()).ok_or(Errno::Ebadf)
+        self.pipes
+            .get(&pipe)
+            .map(|p| p.buffer.len())
+            .ok_or(Errno::Ebadf)
     }
 }
 
@@ -320,7 +323,9 @@ mod tests {
     #[test]
     fn read_write_roundtrip() {
         let mut vfs = Vfs::new();
-        let inode = vfs.open("/data", OpenFlags::CREATE.union(OpenFlags::WRITE)).unwrap();
+        let inode = vfs
+            .open("/data", OpenFlags::CREATE.union(OpenFlags::WRITE))
+            .unwrap();
         vfs.write(inode, 0, b"hello world", false).unwrap();
         let out = vfs.read(inode, 6, 5).unwrap();
         assert_eq!(&out[..], b"world");

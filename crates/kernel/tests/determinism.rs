@@ -1,0 +1,145 @@
+//! Tests for the kernel's determinism primitives.
+//!
+//! The monitor's cross-variant consistency rests on two kernel-side
+//! invariants (§3.1 of the paper): file descriptors are allocated
+//! lowest-free, so a replayed open/close order yields identical descriptor
+//! numbers in every variant; and the lockstep comparison key of a system call
+//! ignores raw pointer values, which legitimately differ between diversified
+//! variants, while still distinguishing every argument that must match.
+
+use mvee_kernel::fd::{FdObject, FdTable};
+use mvee_kernel::syscall::{SyscallArg, SyscallRequest, Sysno};
+
+fn file(inode: u64) -> FdObject {
+    FdObject::File {
+        inode,
+        offset: 0,
+        writable: false,
+    }
+}
+
+#[test]
+fn fd_allocation_returns_lowest_free_descriptor() {
+    let mut table = FdTable::with_standard_streams();
+
+    // Standard streams occupy 0..3, so fresh allocations continue from 3.
+    assert_eq!(table.allocate(file(10)).unwrap(), 3);
+    assert_eq!(table.allocate(file(11)).unwrap(), 4);
+    assert_eq!(table.allocate(file(12)).unwrap(), 5);
+
+    // Closing an interior descriptor makes it the lowest free one again.
+    table.close(4).unwrap();
+    assert_eq!(table.allocate(file(13)).unwrap(), 4);
+
+    // Closing several descriptors: allocation fills the lowest hole first.
+    table.close(3).unwrap();
+    table.close(5).unwrap();
+    assert_eq!(table.allocate(file(14)).unwrap(), 3);
+    assert_eq!(table.allocate(file(15)).unwrap(), 5);
+
+    // Even a closed standard stream's number is reused, like POSIX.
+    table.close(0).unwrap();
+    assert_eq!(table.allocate(file(16)).unwrap(), 0);
+}
+
+#[test]
+fn fd_allocation_sequence_is_replayable() {
+    // Two tables driven through the same open/close sequence hand out the
+    // same descriptors — the property the syscall ordering clock relies on
+    // when it forces slaves to replay the master's FD allocation order.
+    let run = || {
+        let mut table = FdTable::with_standard_streams();
+        let mut log = Vec::new();
+        for inode in 0..16u64 {
+            let fd = table.allocate(file(inode)).unwrap();
+            log.push(fd);
+            if inode % 3 == 2 {
+                table.close(fd - 1).unwrap();
+                log.push(-(fd - 1));
+            }
+        }
+        log
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn diversified_address_spaces_allocate_at_different_addresses() {
+    use mvee_kernel::mem::{AddressSpace, Protection};
+
+    // Two variants with ASLR-shifted layouts: the same mmap sequence must
+    // yield different addresses (that is the point of diversification), and
+    // each variant's allocations stay below its own mmap top.
+    let mut master = AddressSpace::with_layout(0x5555_0000_0000, 0x7fff_0000_0000);
+    let mut slave = AddressSpace::with_layout(0x5560_0000_0000, 0x7ff0_0000_0000);
+    assert_ne!(master.mmap_top(), slave.mmap_top());
+    for _ in 0..4 {
+        let m = master.mmap(0x4000, Protection::RW).unwrap();
+        let s = slave.mmap(0x4000, Protection::RW).unwrap();
+        assert_ne!(m, s, "diversified variants must not share mmap addresses");
+        assert!(m < master.mmap_top());
+        assert!(s < slave.mmap_top());
+    }
+}
+
+#[test]
+fn comparison_key_is_stable_across_pointer_values() {
+    // Two variants issue the same write; only the buffer address differs
+    // because their address spaces are diversified.  The key must not see it.
+    let request_with_pointer = |ptr: u64| {
+        SyscallRequest::new(Sysno::Write)
+            .with_fd(1)
+            .with_arg(SyscallArg::Pointer(ptr))
+            .with_payload(b"identical payload")
+    };
+    let master = request_with_pointer(0x0000_5555_0000_1000);
+    let slave = request_with_pointer(0x0000_7fff_dead_beef);
+    assert_eq!(master.comparison_key(), slave.comparison_key());
+}
+
+#[test]
+fn comparison_key_distinguishes_compared_arguments() {
+    let base = SyscallRequest::new(Sysno::Write)
+        .with_fd(1)
+        .with_payload(b"payload");
+
+    let different_fd = SyscallRequest::new(Sysno::Write)
+        .with_fd(2)
+        .with_payload(b"payload");
+    assert_ne!(base.comparison_key(), different_fd.comparison_key());
+
+    let different_payload = SyscallRequest::new(Sysno::Write)
+        .with_fd(1)
+        .with_payload(b"payloae");
+    assert_ne!(base.comparison_key(), different_payload.comparison_key());
+
+    let different_sysno = SyscallRequest::new(Sysno::Read)
+        .with_fd(1)
+        .with_payload(b"payload");
+    assert_ne!(base.comparison_key(), different_sysno.comparison_key());
+}
+
+#[test]
+fn comparison_key_sees_non_pointer_scalar_arguments() {
+    let with_flags = |flags: u64| {
+        SyscallRequest::new(Sysno::Mprotect)
+            .with_arg(SyscallArg::Pointer(0x4000))
+            .with_int(4096)
+            .with_arg(SyscallArg::Flags(flags))
+    };
+    // Protection flags are security-relevant and must be compared...
+    assert_ne!(
+        with_flags(5).comparison_key(),
+        with_flags(7).comparison_key()
+    );
+    // ...while the pointer stays excluded even for memory-management calls.
+    let a = SyscallRequest::new(Sysno::Mprotect)
+        .with_arg(SyscallArg::Pointer(0x4000))
+        .with_int(4096)
+        .with_arg(SyscallArg::Flags(7));
+    let b = SyscallRequest::new(Sysno::Mprotect)
+        .with_arg(SyscallArg::Pointer(0x9000))
+        .with_int(4096)
+        .with_arg(SyscallArg::Flags(7));
+    assert_eq!(a.comparison_key(), b.comparison_key());
+}

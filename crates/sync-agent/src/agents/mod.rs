@@ -57,7 +57,10 @@ impl AgentKind {
 }
 
 /// Constructs a boxed agent of the requested kind.
-pub fn build_agent(kind: AgentKind, config: crate::context::AgentConfig) -> Box<dyn crate::SyncAgent> {
+pub fn build_agent(
+    kind: AgentKind,
+    config: crate::context::AgentConfig,
+) -> Box<dyn crate::SyncAgent> {
     match kind {
         AgentKind::Null => Box::new(NullAgent::new()),
         AgentKind::TotalOrder => Box::new(TotalOrderAgent::new(config)),

@@ -164,6 +164,9 @@ impl PartialOrderAgent {
         let thread = ctx.thread as u32;
         let mut spins = 0u64;
         let mut stalled = false;
+        // spin_before_yield == 0 means "yield every iteration", matching the
+        // Waiter in guards.rs (and avoiding a modulo by zero).
+        let spin_budget = u64::from(self.config.spin_before_yield);
         let (pos, _rec) = loop {
             if let Some((pos, rec)) = self.find_own_record(slave, thread) {
                 if self.dependencies_met(slave, pos, rec.addr) {
@@ -172,7 +175,7 @@ impl PartialOrderAgent {
             }
             stalled = true;
             spins += 1;
-            if spins % u64::from(self.config.spin_before_yield) == 0 {
+            if spin_budget == 0 || spins.is_multiple_of(spin_budget) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -288,8 +291,12 @@ mod tests {
         let d1 = Arc::clone(&done);
         let handle = std::thread::spawn(move || {
             let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 1);
-            with_sync_op(a1.as_ref(), &ctx, 0xBB00, || d1.fetch_add(1, Ordering::SeqCst));
-            with_sync_op(a1.as_ref(), &ctx, 0xBB00, || d1.fetch_add(1, Ordering::SeqCst));
+            with_sync_op(a1.as_ref(), &ctx, 0xBB00, || {
+                d1.fetch_add(1, Ordering::SeqCst)
+            });
+            with_sync_op(a1.as_ref(), &ctx, 0xBB00, || {
+                d1.fetch_add(1, Ordering::SeqCst)
+            });
         });
         handle.join().unwrap();
         assert_eq!(done.load(Ordering::SeqCst), 2);
@@ -317,7 +324,9 @@ mod tests {
         let o1 = Arc::clone(&order);
         let t1 = std::thread::spawn(move || {
             let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 1);
-            with_sync_op(a1.as_ref(), &ctx, 0xCC00, || o1.fetch_add(1, Ordering::SeqCst))
+            with_sync_op(a1.as_ref(), &ctx, 0xCC00, || {
+                o1.fetch_add(1, Ordering::SeqCst)
+            })
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(order.load(Ordering::SeqCst), 0, "dependent op must stall");
@@ -326,7 +335,9 @@ mod tests {
         let o0 = Arc::clone(&order);
         let t0 = std::thread::spawn(move || {
             let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
-            with_sync_op(a0.as_ref(), &ctx, 0xCC00, || o0.fetch_add(1, Ordering::SeqCst))
+            with_sync_op(a0.as_ref(), &ctx, 0xCC00, || {
+                o0.fetch_add(1, Ordering::SeqCst)
+            })
         });
         assert_eq!(t0.join().unwrap(), 0);
         assert_eq!(t1.join().unwrap(), 1);
@@ -364,7 +375,11 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let ctx = SyncContext::new(VariantRole::Master, t);
                 for i in 0..per_thread {
-                    let addr = if i % 2 == 0 { 0xD000 } else { 0xE000 + (t as u64) * 64 };
+                    let addr = if i % 2 == 0 {
+                        0xD000
+                    } else {
+                        0xE000 + (t as u64) * 64
+                    };
                     with_sync_op(agent.as_ref(), &ctx, addr, || {});
                 }
             }));
@@ -380,7 +395,11 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, t);
                 for i in 0..per_thread {
-                    let addr = if i % 2 == 0 { 0xD100 } else { 0xE100 + (t as u64) * 64 };
+                    let addr = if i % 2 == 0 {
+                        0xD100
+                    } else {
+                        0xE100 + (t as u64) * 64
+                    };
                     with_sync_op(agent.as_ref(), &ctx, addr, || {});
                 }
             }));

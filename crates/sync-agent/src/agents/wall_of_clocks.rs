@@ -57,7 +57,9 @@ impl WallOfClocksAgent {
                 .map(|_| RecordRing::new(config.buffer_capacity, readers))
                 .collect(),
             master_wall: ClockWall::new(config.clock_count),
-            slave_walls: (0..readers).map(|_| ClockWall::new(config.clock_count)).collect(),
+            slave_walls: (0..readers)
+                .map(|_| ClockWall::new(config.clock_count))
+                .collect(),
             // One guard per clock so the guard index equals the clock index.
             guards: GuardTable::new(config.clock_count, config.spin_before_yield),
             waiter: Waiter::new(config.spin_before_yield),
@@ -124,14 +126,12 @@ impl WallOfClocksAgent {
         let ring = self.ring_for(ctx.thread);
         let pos = ring.reader_pos(slave);
         let (record, waited_publish) = ring.get_blocking(pos, &self.waiter);
-        let waited_clock = self.slave_walls[slave].wait_for(
-            record.clock as usize,
-            record.time,
-            &self.waiter,
-        );
+        let waited_clock =
+            self.slave_walls[slave].wait_for(record.clock as usize, record.time, &self.waiter);
         if waited_publish + waited_clock > 0 {
             self.stats.count_slave_stall();
-            self.stats.add_spin_iterations(waited_publish + waited_clock);
+            self.stats
+                .add_spin_iterations(waited_publish + waited_clock);
         }
         self.stats.count_replay();
     }
@@ -231,8 +231,12 @@ mod tests {
         let d = Arc::clone(&done);
         let t = std::thread::spawn(move || {
             let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 1);
-            with_sync_op(a.as_ref(), &ctx, 0xBB00, || d.fetch_add(1, Ordering::SeqCst));
-            with_sync_op(a.as_ref(), &ctx, 0xBB00, || d.fetch_add(1, Ordering::SeqCst));
+            with_sync_op(a.as_ref(), &ctx, 0xBB00, || {
+                d.fetch_add(1, Ordering::SeqCst)
+            });
+            with_sync_op(a.as_ref(), &ctx, 0xBB00, || {
+                d.fetch_add(1, Ordering::SeqCst)
+            });
         });
         t.join().unwrap();
         assert_eq!(done.load(Ordering::SeqCst), 2);
@@ -260,7 +264,9 @@ mod tests {
         let o1 = Arc::clone(&order);
         let t1 = std::thread::spawn(move || {
             let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 1);
-            with_sync_op(a1.as_ref(), &ctx, 0xCC00, || o1.fetch_add(1, Ordering::SeqCst))
+            with_sync_op(a1.as_ref(), &ctx, 0xCC00, || {
+                o1.fetch_add(1, Ordering::SeqCst)
+            })
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(order.load(Ordering::SeqCst), 0, "slave thread 1 must stall");
@@ -269,7 +275,9 @@ mod tests {
         let o0 = Arc::clone(&order);
         let t0 = std::thread::spawn(move || {
             let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
-            with_sync_op(a0.as_ref(), &ctx, 0xCC00, || o0.fetch_add(1, Ordering::SeqCst))
+            with_sync_op(a0.as_ref(), &ctx, 0xCC00, || {
+                o0.fetch_add(1, Ordering::SeqCst)
+            })
         });
         assert_eq!(t0.join().unwrap(), 0);
         assert_eq!(t1.join().unwrap(), 1);
@@ -327,7 +335,11 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let ctx = SyncContext::new(VariantRole::Master, t);
                 for i in 0..per_thread {
-                    let addr = if i % 4 == 0 { 0xF000 } else { 0x1_0000 + (t as u64) * 64 };
+                    let addr = if i % 4 == 0 {
+                        0xF000
+                    } else {
+                        0x1_0000 + (t as u64) * 64
+                    };
                     with_sync_op(agent.as_ref(), &ctx, addr, || {
                         counter.fetch_add(1, Ordering::Relaxed);
                     });
@@ -344,7 +356,11 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, t);
                 for i in 0..per_thread {
-                    let addr = if i % 4 == 0 { 0xF100 } else { 0x2_0000 + (t as u64) * 64 };
+                    let addr = if i % 4 == 0 {
+                        0xF100
+                    } else {
+                        0x2_0000 + (t as u64) * 64
+                    };
                     with_sync_op(agent.as_ref(), &ctx, addr, || {});
                 }
             }));

@@ -139,7 +139,10 @@ impl AgentConfig {
 
     /// Sets the per-buffer capacity (builder style).  Must be a power of two.
     pub fn with_buffer_capacity(mut self, capacity: usize) -> Self {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         self.buffer_capacity = capacity;
         self
     }

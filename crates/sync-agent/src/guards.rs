@@ -153,9 +153,8 @@ mod tests {
         assert_eq!(t.bucket_for(0x1000), t.bucket_for(0x1004));
         // A variable in the next word may map elsewhere.
         let same = t.bucket_for(0x1000) == t.bucket_for(0x1008);
-        let different_somewhere = (0..64u64).any(|i| {
-            t.bucket_for(0x1000) != t.bucket_for(0x1000 + 8 * (i + 1))
-        });
+        let different_somewhere =
+            (0..64u64).any(|i| t.bucket_for(0x1000) != t.bucket_for(0x1000 + 8 * (i + 1)));
         assert!(different_somewhere || same);
     }
 

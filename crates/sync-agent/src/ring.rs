@@ -112,7 +112,10 @@ impl RecordRing {
     ///
     /// Panics if `capacity` is not a power of two or `readers` is zero.
     pub fn new(capacity: usize, readers: usize) -> Self {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         assert!(readers > 0, "need at least one reader");
         RecordRing {
             slots: (0..capacity).map(|_| Slot::new()).collect(),
@@ -169,7 +172,8 @@ impl RecordRing {
                 .is_ok()
             {
                 let slot = &self.slots[(pos % self.capacity) as usize];
-                slot.thread.store(u64::from(record.thread), Ordering::Relaxed);
+                slot.thread
+                    .store(u64::from(record.thread), Ordering::Relaxed);
                 slot.addr.store(record.addr, Ordering::Relaxed);
                 slot.clock.store(u64::from(record.clock), Ordering::Relaxed);
                 slot.time.store(record.time, Ordering::Relaxed);

@@ -1,0 +1,125 @@
+//! Master/2-slave smoke tests for every replication agent.
+//!
+//! Each test drives one agent with a master variant and two slave variants,
+//! two logical threads per variant, all running as real OS threads at once.
+//! The scenario mixes contended (shared-address) and private sync ops, the
+//! mixture that distinguishes the three ordering disciplines (§4.5 of the
+//! paper).  A bounded-time watchdog turns a replay deadlock — the classic
+//! failure mode of an ordering agent — into a test failure instead of a hung
+//! test binary.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mvee_sync_agent::agents::{build_agent, AgentKind};
+use mvee_sync_agent::context::{AgentConfig, SyncContext, VariantRole};
+use mvee_sync_agent::SyncAgent;
+
+/// Worker threads per variant.
+const THREADS: usize = 2;
+/// Sync ops each thread performs.
+const OPS_PER_THREAD: u64 = 300;
+/// Total variants: one master plus two slaves.
+const VARIANTS: usize = 3;
+/// How long the watchdog waits before declaring a deadlock.
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+/// The deterministic per-thread op sequence: alternates between one address
+/// shared by both threads (a contended lock) and a thread-private one, so the
+/// recorded order genuinely interleaves threads.
+fn op_address(thread: usize, op: u64) -> u64 {
+    if op.is_multiple_of(2) {
+        0x1000 // shared synchronization variable
+    } else {
+        0x2000 + (thread as u64) * 8 // thread-private variable
+    }
+}
+
+/// Runs the master and both slaves concurrently and returns the agent for
+/// stats inspection.  Panics via the watchdog if the run deadlocks.
+fn run_master_two_slaves(kind: AgentKind) -> Arc<Box<dyn SyncAgent>> {
+    let config = AgentConfig::default()
+        .with_variants(VARIANTS)
+        .with_threads(THREADS)
+        .with_buffer_capacity(1024);
+    let agent: Arc<Box<dyn SyncAgent>> = Arc::new(build_agent(kind, config));
+
+    let scenario_agent = Arc::clone(&agent);
+    let (done_tx, done_rx) = mpsc::channel();
+    let scenario = thread::spawn(move || {
+        let mut workers = Vec::new();
+        for variant in 0..VARIANTS {
+            for t in 0..THREADS {
+                let agent = Arc::clone(&scenario_agent);
+                workers.push(thread::spawn(move || {
+                    let ctx = SyncContext::new(VariantRole::from_variant_index(variant), t);
+                    for op in 0..OPS_PER_THREAD {
+                        let addr = op_address(t, op);
+                        agent.before_sync_op(&ctx, addr);
+                        agent.after_sync_op(&ctx, addr);
+                    }
+                }));
+            }
+        }
+        for worker in workers {
+            worker.join().expect("worker thread panicked");
+        }
+        let _ = done_tx.send(());
+    });
+
+    match done_rx.recv_timeout(WATCHDOG) {
+        Ok(()) => {
+            scenario.join().expect("scenario thread panicked");
+            agent
+        }
+        Err(_) => panic!(
+            "{:?} agent deadlocked: master/2-slave run did not finish within {WATCHDOG:?}",
+            kind
+        ),
+    }
+}
+
+fn assert_replication_invariants(kind: AgentKind) {
+    let agent = run_master_two_slaves(kind);
+    let stats = agent.stats();
+    let expected_recorded = (THREADS as u64) * OPS_PER_THREAD;
+    assert_eq!(
+        stats.ops_recorded, expected_recorded,
+        "{kind:?}: master must record every op exactly once"
+    );
+    assert!(
+        stats.ops_replayed >= stats.ops_recorded,
+        "{kind:?}: with two slaves, replayed ops ({}) must be at least the recorded ops ({})",
+        stats.ops_replayed,
+        stats.ops_recorded
+    );
+}
+
+#[test]
+fn total_order_agent_master_two_slaves_smoke() {
+    assert_replication_invariants(AgentKind::TotalOrder);
+}
+
+#[test]
+fn partial_order_agent_master_two_slaves_smoke() {
+    assert_replication_invariants(AgentKind::PartialOrder);
+}
+
+#[test]
+fn wall_of_clocks_agent_master_two_slaves_smoke() {
+    assert_replication_invariants(AgentKind::WallOfClocks);
+}
+
+#[test]
+fn null_agent_counts_ops_and_never_blocks() {
+    let agent = run_master_two_slaves(AgentKind::Null);
+    let stats = agent.stats();
+    let per_variant = (THREADS as u64) * OPS_PER_THREAD;
+    assert_eq!(stats.ops_recorded, per_variant);
+    // Two slave variants pass through the agent without any ordering; every
+    // slave op is still counted as replayed.
+    assert_eq!(stats.ops_replayed, 2 * per_variant);
+    assert_eq!(stats.slave_stalls, 0, "the null agent never stalls a slave");
+}

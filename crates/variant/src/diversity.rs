@@ -204,7 +204,10 @@ mod tests {
         for a in 0..4 {
             for b in 0..4 {
                 if a != b {
-                    assert!(!d.code_regions_overlap(a, b), "variants {a} and {b} overlap");
+                    assert!(
+                        !d.code_regions_overlap(a, b),
+                        "variants {a} and {b} overlap"
+                    );
                 }
             }
         }
@@ -221,7 +224,7 @@ mod tests {
         let d = DiversityProfile::full(99);
         for v in 1..8 {
             let f = d.instruction_factor_for(v);
-            assert!(f >= 0.95 && f <= 1.05, "factor {f} out of bounds");
+            assert!((0.95..=1.05).contains(&f), "factor {f} out of bounds");
         }
         // At least one variant differs from the master.
         assert!((1..8).any(|v| (d.instruction_factor_for(v) - 1.0).abs() > 1e-6));

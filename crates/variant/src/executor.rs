@@ -78,14 +78,7 @@ pub fn execute_thread(
     // program's initial thread does.
     if thread == 0 {
         for _ in 1..program.thread_count() {
-            if issue(
-                port,
-                thread,
-                &SyscallRequest::new(Sysno::Clone),
-                &mut state,
-            )
-            .is_err()
-            {
+            if issue(port, thread, &SyscallRequest::new(Sysno::Clone), &mut state).is_err() {
                 state.stats.killed = true;
                 return state.stats;
             }
@@ -331,7 +324,9 @@ fn run_syscall_spec(
                 payload.extend_from_slice(&tag.to_le_bytes());
             }
             payload.truncate(*len);
-            SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(&payload)
+            SyscallRequest::new(Sysno::Write)
+                .with_fd(1)
+                .with_payload(&payload)
         }
         SyscallSpec::BrkGrow { grow } => {
             if state.current_brk == 0 {
@@ -411,7 +406,10 @@ mod tests {
         p.add_thread(ThreadSpec::new(vec![
             Action::Compute(100),
             Action::LockAcquire(0),
-            Action::AtomicAdd { counter: 0, amount: 5 },
+            Action::AtomicAdd {
+                counter: 0,
+                amount: 5,
+            },
             Action::LockRelease(0),
             Action::PrintCounter(0),
         ]));
@@ -430,7 +428,9 @@ mod tests {
     fn file_io_round_trip() {
         let mut p = Program::new("io").with_file("/data.bin", b"0123456789");
         p.add_thread(ThreadSpec::new(vec![
-            Action::Syscall(SyscallSpec::OpenInput { path: "/data.bin".into() }),
+            Action::Syscall(SyscallSpec::OpenInput {
+                path: "/data.bin".into(),
+            }),
             Action::Syscall(SyscallSpec::ReadChunk { len: 4 }),
             Action::Syscall(SyscallSpec::ReadChunk { len: 4 }),
             Action::Syscall(SyscallSpec::CloseCurrent),
@@ -448,7 +448,10 @@ mod tests {
             times: 10,
             body: vec![
                 Action::LockAcquire(0),
-                Action::AtomicAdd { counter: 0, amount: 1 },
+                Action::AtomicAdd {
+                    counter: 0,
+                    amount: 1,
+                },
                 Action::LockRelease(0),
             ],
         }]));
@@ -467,14 +470,23 @@ mod tests {
                 times: 20,
                 body: vec![Action::QueuePush { queue: 0, value: 1 }],
             },
-            Action::BarrierWait { barrier: 0, participants: 3 },
+            Action::BarrierWait {
+                barrier: 0,
+                participants: 3,
+            },
         ]));
         for _ in 0..2 {
             p.add_thread(ThreadSpec::new(vec![
-                Action::BarrierWait { barrier: 0, participants: 3 },
+                Action::BarrierWait {
+                    barrier: 0,
+                    participants: 3,
+                },
                 Action::Repeat {
                     times: 10,
-                    body: vec![Action::QueuePop { queue: 0, print: false }],
+                    body: vec![Action::QueuePop {
+                        queue: 0,
+                        print: false,
+                    }],
                 },
             ]));
         }
@@ -490,8 +502,14 @@ mod tests {
         let mut p = Program::new("b").with_resources(0, 1, 0, 1);
         for _ in 0..4 {
             p.add_thread(ThreadSpec::new(vec![
-                Action::BarrierWait { barrier: 0, participants: 4 },
-                Action::AtomicAdd { counter: 0, amount: 1 },
+                Action::BarrierWait {
+                    barrier: 0,
+                    participants: 4,
+                },
+                Action::AtomicAdd {
+                    counter: 0,
+                    amount: 1,
+                },
             ]));
         }
         let (port, memory, _kernel) = native_setup(&p);

@@ -19,8 +19,7 @@ use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest};
 /// What a variant thread calls instead of the kernel.
 pub trait SyscallPort: Send + Sync {
     /// Issues a system call on behalf of logical thread `thread`.
-    fn syscall(&self, thread: usize, req: &SyscallRequest)
-        -> Result<SyscallOutcome, MonitorError>;
+    fn syscall(&self, thread: usize, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError>;
 
     /// Called immediately before a sync op on the variable at `addr`.
     fn before_sync_op(&self, thread: usize, addr: u64);
@@ -33,11 +32,7 @@ pub trait SyscallPort: Send + Sync {
 }
 
 impl SyscallPort for VariantGateway {
-    fn syscall(
-        &self,
-        thread: usize,
-        req: &SyscallRequest,
-    ) -> Result<SyscallOutcome, MonitorError> {
+    fn syscall(&self, thread: usize, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
         VariantGateway::syscall(self, thread, req)
     }
 
@@ -100,11 +95,7 @@ impl NativePort {
 }
 
 impl SyscallPort for NativePort {
-    fn syscall(
-        &self,
-        thread: usize,
-        req: &SyscallRequest,
-    ) -> Result<SyscallOutcome, MonitorError> {
+    fn syscall(&self, thread: usize, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
         self.syscalls.fetch_add(1, Ordering::Relaxed);
         Ok(self.kernel.execute(self.pid, thread as u64, req))
     }
@@ -152,7 +143,9 @@ mod tests {
         let port: &dyn SyscallPort = &gw;
         port.before_sync_op(0, 0x2000);
         port.after_sync_op(0, 0x2000);
-        let out = port.syscall(0, &SyscallRequest::new(Sysno::Gettid)).unwrap();
+        let out = port
+            .syscall(0, &SyscallRequest::new(Sysno::Gettid))
+            .unwrap();
         assert!(out.is_ok());
         assert_eq!(mvee.agent_stats().ops_recorded, 1);
         assert_eq!(mvee.monitor_stats().total_syscalls, 1);

@@ -217,7 +217,10 @@ impl Program {
 
     /// Estimated instruction count over all threads.
     pub fn instruction_estimate(&self) -> u64 {
-        self.threads.iter().map(ThreadSpec::instruction_estimate).sum()
+        self.threads
+            .iter()
+            .map(ThreadSpec::instruction_estimate)
+            .sum()
     }
 
     /// Counts the sync ops a single, uncontended execution would perform.
@@ -272,7 +275,10 @@ mod tests {
         p.add_thread(ThreadSpec::new(vec![
             Action::Compute(100),
             Action::LockAcquire(0),
-            Action::AtomicAdd { counter: 0, amount: 1 },
+            Action::AtomicAdd {
+                counter: 0,
+                amount: 1,
+            },
             Action::LockRelease(0),
             Action::Syscall(SyscallSpec::WriteOutput { len: 8, tag: 1 }),
         ]));

@@ -146,7 +146,10 @@ mod tests {
         assert!(run(1, vec![]).outputs_identical());
         // Slave outputs are empty because I/O is only executed by the master.
         assert!(run(1, vec![b"x".to_vec(), Vec::new()]).outputs_identical());
-        assert_eq!(run(1, vec![b"x".to_vec(), Vec::new()]).master_output(), b"x");
+        assert_eq!(
+            run(1, vec![b"x".to_vec(), Vec::new()]).master_output(),
+            b"x"
+        );
     }
 
     #[test]

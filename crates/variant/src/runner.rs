@@ -199,15 +199,24 @@ mod tests {
                 times: items,
                 body: vec![Action::QueuePush { queue: 0, value: 7 }],
             },
-            Action::BarrierWait { barrier: 0, participants: 3 },
+            Action::BarrierWait {
+                barrier: 0,
+                participants: 3,
+            },
         ]));
         for _ in 0..2 {
             p.add_thread(ThreadSpec::new(vec![
-                Action::BarrierWait { barrier: 0, participants: 3 },
+                Action::BarrierWait {
+                    barrier: 0,
+                    participants: 3,
+                },
                 Action::Repeat {
                     times: items / 2,
                     body: vec![
-                        Action::QueuePop { queue: 0, print: true },
+                        Action::QueuePop {
+                            queue: 0,
+                            print: true,
+                        },
                         Action::Compute(50),
                     ],
                 },
@@ -221,7 +230,9 @@ mod tests {
             .with_resources(1, 0, 0, 1)
             .with_file("/in.dat", b"abcdefghijklmnopqrstuvwxyz");
         p.add_thread(ThreadSpec::new(vec![
-            Action::Syscall(SyscallSpec::OpenInput { path: "/in.dat".into() }),
+            Action::Syscall(SyscallSpec::OpenInput {
+                path: "/in.dat".into(),
+            }),
             Action::Syscall(SyscallSpec::ReadChunk { len: 13 }),
             Action::Syscall(SyscallSpec::WriteOutput { len: 32, tag: 0xAB }),
             Action::Syscall(SyscallSpec::CloseCurrent),
@@ -229,7 +240,10 @@ mod tests {
                 times: 5,
                 body: vec![
                     Action::LockAcquire(0),
-                    Action::AtomicAdd { counter: 0, amount: 1 },
+                    Action::AtomicAdd {
+                        counter: 0,
+                        amount: 1,
+                    },
                     Action::LockRelease(0),
                 ],
             },
@@ -239,7 +253,10 @@ mod tests {
             times: 5,
             body: vec![
                 Action::LockAcquire(0),
-                Action::AtomicAdd { counter: 0, amount: 1 },
+                Action::AtomicAdd {
+                    counter: 0,
+                    amount: 1,
+                },
                 Action::LockRelease(0),
             ],
         }]));
@@ -266,11 +283,12 @@ mod tests {
 
     #[test]
     fn two_variant_wall_of_clocks_run_completes_without_divergence() {
-        let report = run_mvee(
-            &io_program(),
-            &RunConfig::new(2, AgentKind::WallOfClocks),
+        let report = run_mvee(&io_program(), &RunConfig::new(2, AgentKind::WallOfClocks));
+        assert!(
+            report.completed_cleanly(),
+            "divergence: {:?}",
+            report.divergence
         );
-        assert!(report.completed_cleanly(), "divergence: {:?}", report.divergence);
         assert!(report.outputs_identical());
         assert!(report.agent_stats.ops_recorded > 0);
         assert!(report.agent_stats.ops_replayed > 0);
@@ -296,10 +314,14 @@ mod tests {
 
     #[test]
     fn diversified_variants_still_agree() {
-        let config = RunConfig::new(2, AgentKind::WallOfClocks)
-            .with_diversity(DiversityProfile::full(1234));
+        let config =
+            RunConfig::new(2, AgentKind::WallOfClocks).with_diversity(DiversityProfile::full(1234));
         let report = run_mvee(&io_program(), &config);
-        assert!(report.completed_cleanly(), "divergence: {:?}", report.divergence);
+        assert!(
+            report.completed_cleanly(),
+            "divergence: {:?}",
+            report.divergence
+        );
         assert!(report.outputs_identical());
     }
 

@@ -69,31 +69,206 @@ pub struct BenchmarkSpec {
 
 /// Table 2 of the paper, converted to calls/second and ops/second.
 pub const CATALOG: &[BenchmarkSpec] = &[
-    BenchmarkSpec { name: "blackscholes", suite: Suite::Parsec, native_runtime_s: 80.83, syscalls_per_s: 2_550.0, sync_ops_per_s: 0.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "bodytrack", suite: Suite::Parsec, native_runtime_s: 60.06, syscalls_per_s: 8_590.0, sync_ops_per_s: 202_360.0, topology: Topology::TaskQueue },
-    BenchmarkSpec { name: "dedup", suite: Suite::Parsec, native_runtime_s: 18.29, syscalls_per_s: 134_270.0, sync_ops_per_s: 1_052_450.0, topology: Topology::Pipeline },
-    BenchmarkSpec { name: "facesim", suite: Suite::Parsec, native_runtime_s: 142.52, syscalls_per_s: 4_140.0, sync_ops_per_s: 288_750.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "ferret", suite: Suite::Parsec, native_runtime_s: 103.79, syscalls_per_s: 2_290.0, sync_ops_per_s: 225_100.0, topology: Topology::Pipeline },
-    BenchmarkSpec { name: "fluidanimate", suite: Suite::Parsec, native_runtime_s: 93.19, syscalls_per_s: 450.0, sync_ops_per_s: 12_746_590.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "freqmine", suite: Suite::Parsec, native_runtime_s: 168.66, syscalls_per_s: 350.0, sync_ops_per_s: 240.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "raytrace", suite: Suite::Parsec, native_runtime_s: 147.54, syscalls_per_s: 780.0, sync_ops_per_s: 88_330.0, topology: Topology::TaskQueue },
-    BenchmarkSpec { name: "streamcluster", suite: Suite::Parsec, native_runtime_s: 136.05, syscalls_per_s: 5_630.0, sync_ops_per_s: 18_780.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "swaptions", suite: Suite::Parsec, native_runtime_s: 86.68, syscalls_per_s: 10.0, sync_ops_per_s: 4_585_650.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "vips", suite: Suite::Parsec, native_runtime_s: 37.09, syscalls_per_s: 15_760.0, sync_ops_per_s: 428_690.0, topology: Topology::Pipeline },
-    BenchmarkSpec { name: "x264", suite: Suite::Parsec, native_runtime_s: 34.73, syscalls_per_s: 500.0, sync_ops_per_s: 15_980.0, topology: Topology::Pipeline },
-    BenchmarkSpec { name: "barnes", suite: Suite::Splash2x, native_runtime_s: 61.15, syscalls_per_s: 19_610.0, sync_ops_per_s: 5_115_990.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "fft", suite: Suite::Splash2x, native_runtime_s: 40.26, syscalls_per_s: 10.0, sync_ops_per_s: 1_640.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "fmm", suite: Suite::Splash2x, native_runtime_s: 42.68, syscalls_per_s: 910.0, sync_ops_per_s: 5_215_010.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "lu_cb", suite: Suite::Splash2x, native_runtime_s: 51.16, syscalls_per_s: 80.0, sync_ops_per_s: 230.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "lu_ncb", suite: Suite::Splash2x, native_runtime_s: 73.55, syscalls_per_s: 50.0, sync_ops_per_s: 160.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "ocean_cp", suite: Suite::Splash2x, native_runtime_s: 39.39, syscalls_per_s: 1_210.0, sync_ops_per_s: 5_050.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "ocean_ncp", suite: Suite::Splash2x, native_runtime_s: 41.68, syscalls_per_s: 1_080.0, sync_ops_per_s: 4_550.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "radiosity", suite: Suite::Splash2x, native_runtime_s: 45.56, syscalls_per_s: 33_420.0, sync_ops_per_s: 18_252_680.0, topology: Topology::TaskQueue },
-    BenchmarkSpec { name: "radix", suite: Suite::Splash2x, native_runtime_s: 18.22, syscalls_per_s: 20.0, sync_ops_per_s: 40.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "raytrace_splash", suite: Suite::Splash2x, native_runtime_s: 52.52, syscalls_per_s: 6_630.0, sync_ops_per_s: 536_790.0, topology: Topology::TaskQueue },
-    BenchmarkSpec { name: "volrend", suite: Suite::Splash2x, native_runtime_s: 52.02, syscalls_per_s: 15_860.0, sync_ops_per_s: 1_071_250.0, topology: Topology::TaskQueue },
-    BenchmarkSpec { name: "water_nsquared", suite: Suite::Splash2x, native_runtime_s: 182.80, syscalls_per_s: 880.0, sync_ops_per_s: 8_610.0, topology: Topology::DataParallel },
-    BenchmarkSpec { name: "water_spatial", suite: Suite::Splash2x, native_runtime_s: 59.84, syscalls_per_s: 148_270.0, sync_ops_per_s: 9_630.0, topology: Topology::DataParallel },
+    BenchmarkSpec {
+        name: "blackscholes",
+        suite: Suite::Parsec,
+        native_runtime_s: 80.83,
+        syscalls_per_s: 2_550.0,
+        sync_ops_per_s: 0.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "bodytrack",
+        suite: Suite::Parsec,
+        native_runtime_s: 60.06,
+        syscalls_per_s: 8_590.0,
+        sync_ops_per_s: 202_360.0,
+        topology: Topology::TaskQueue,
+    },
+    BenchmarkSpec {
+        name: "dedup",
+        suite: Suite::Parsec,
+        native_runtime_s: 18.29,
+        syscalls_per_s: 134_270.0,
+        sync_ops_per_s: 1_052_450.0,
+        topology: Topology::Pipeline,
+    },
+    BenchmarkSpec {
+        name: "facesim",
+        suite: Suite::Parsec,
+        native_runtime_s: 142.52,
+        syscalls_per_s: 4_140.0,
+        sync_ops_per_s: 288_750.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "ferret",
+        suite: Suite::Parsec,
+        native_runtime_s: 103.79,
+        syscalls_per_s: 2_290.0,
+        sync_ops_per_s: 225_100.0,
+        topology: Topology::Pipeline,
+    },
+    BenchmarkSpec {
+        name: "fluidanimate",
+        suite: Suite::Parsec,
+        native_runtime_s: 93.19,
+        syscalls_per_s: 450.0,
+        sync_ops_per_s: 12_746_590.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "freqmine",
+        suite: Suite::Parsec,
+        native_runtime_s: 168.66,
+        syscalls_per_s: 350.0,
+        sync_ops_per_s: 240.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "raytrace",
+        suite: Suite::Parsec,
+        native_runtime_s: 147.54,
+        syscalls_per_s: 780.0,
+        sync_ops_per_s: 88_330.0,
+        topology: Topology::TaskQueue,
+    },
+    BenchmarkSpec {
+        name: "streamcluster",
+        suite: Suite::Parsec,
+        native_runtime_s: 136.05,
+        syscalls_per_s: 5_630.0,
+        sync_ops_per_s: 18_780.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "swaptions",
+        suite: Suite::Parsec,
+        native_runtime_s: 86.68,
+        syscalls_per_s: 10.0,
+        sync_ops_per_s: 4_585_650.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "vips",
+        suite: Suite::Parsec,
+        native_runtime_s: 37.09,
+        syscalls_per_s: 15_760.0,
+        sync_ops_per_s: 428_690.0,
+        topology: Topology::Pipeline,
+    },
+    BenchmarkSpec {
+        name: "x264",
+        suite: Suite::Parsec,
+        native_runtime_s: 34.73,
+        syscalls_per_s: 500.0,
+        sync_ops_per_s: 15_980.0,
+        topology: Topology::Pipeline,
+    },
+    BenchmarkSpec {
+        name: "barnes",
+        suite: Suite::Splash2x,
+        native_runtime_s: 61.15,
+        syscalls_per_s: 19_610.0,
+        sync_ops_per_s: 5_115_990.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "fft",
+        suite: Suite::Splash2x,
+        native_runtime_s: 40.26,
+        syscalls_per_s: 10.0,
+        sync_ops_per_s: 1_640.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "fmm",
+        suite: Suite::Splash2x,
+        native_runtime_s: 42.68,
+        syscalls_per_s: 910.0,
+        sync_ops_per_s: 5_215_010.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "lu_cb",
+        suite: Suite::Splash2x,
+        native_runtime_s: 51.16,
+        syscalls_per_s: 80.0,
+        sync_ops_per_s: 230.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "lu_ncb",
+        suite: Suite::Splash2x,
+        native_runtime_s: 73.55,
+        syscalls_per_s: 50.0,
+        sync_ops_per_s: 160.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "ocean_cp",
+        suite: Suite::Splash2x,
+        native_runtime_s: 39.39,
+        syscalls_per_s: 1_210.0,
+        sync_ops_per_s: 5_050.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "ocean_ncp",
+        suite: Suite::Splash2x,
+        native_runtime_s: 41.68,
+        syscalls_per_s: 1_080.0,
+        sync_ops_per_s: 4_550.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "radiosity",
+        suite: Suite::Splash2x,
+        native_runtime_s: 45.56,
+        syscalls_per_s: 33_420.0,
+        sync_ops_per_s: 18_252_680.0,
+        topology: Topology::TaskQueue,
+    },
+    BenchmarkSpec {
+        name: "radix",
+        suite: Suite::Splash2x,
+        native_runtime_s: 18.22,
+        syscalls_per_s: 20.0,
+        sync_ops_per_s: 40.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "raytrace_splash",
+        suite: Suite::Splash2x,
+        native_runtime_s: 52.52,
+        syscalls_per_s: 6_630.0,
+        sync_ops_per_s: 536_790.0,
+        topology: Topology::TaskQueue,
+    },
+    BenchmarkSpec {
+        name: "volrend",
+        suite: Suite::Splash2x,
+        native_runtime_s: 52.02,
+        syscalls_per_s: 15_860.0,
+        sync_ops_per_s: 1_071_250.0,
+        topology: Topology::TaskQueue,
+    },
+    BenchmarkSpec {
+        name: "water_nsquared",
+        suite: Suite::Splash2x,
+        native_runtime_s: 182.80,
+        syscalls_per_s: 880.0,
+        sync_ops_per_s: 8_610.0,
+        topology: Topology::DataParallel,
+    },
+    BenchmarkSpec {
+        name: "water_spatial",
+        suite: Suite::Splash2x,
+        native_runtime_s: 59.84,
+        syscalls_per_s: 148_270.0,
+        sync_ops_per_s: 9_630.0,
+        topology: Topology::DataParallel,
+    },
 ];
 
 /// Number of worker threads the paper uses for every benchmark.
@@ -133,15 +308,27 @@ impl BenchmarkSpec {
         let total_sync_ops = (self.total_sync_ops() * scale) as u64;
         let total_compute = (duration_s * COMPUTE_UNITS_PER_SECOND) as u64;
         match self.topology {
-            Topology::DataParallel => {
-                data_parallel_program(self.name, threads, total_compute, total_sync_ops, total_syscalls)
-            }
-            Topology::Pipeline => {
-                pipeline_program(self.name, threads, total_compute, total_sync_ops, total_syscalls)
-            }
-            Topology::TaskQueue => {
-                task_queue_program(self.name, threads, total_compute, total_sync_ops, total_syscalls)
-            }
+            Topology::DataParallel => data_parallel_program(
+                self.name,
+                threads,
+                total_compute,
+                total_sync_ops,
+                total_syscalls,
+            ),
+            Topology::Pipeline => pipeline_program(
+                self.name,
+                threads,
+                total_compute,
+                total_sync_ops,
+                total_syscalls,
+            ),
+            Topology::TaskQueue => task_queue_program(
+                self.name,
+                threads,
+                total_compute,
+                total_sync_ops,
+                total_syscalls,
+            ),
         }
     }
 
@@ -170,7 +357,7 @@ fn data_parallel_program(
     // Each loop iteration performs: acquire+release of a (mostly private)
     // lock (2 ops) + one atomic add (1 op) = 3 sync ops.
     let sync_per_thread = sync_ops / threads as u64;
-    let iterations = (sync_per_thread / 3).max(1).min(100_000);
+    let iterations = (sync_per_thread / 3).clamp(1, 100_000);
     let compute_per_iter = compute_per_iter * iters_per_thread / iterations.max(1);
     let syscall_period = (iterations / (syscalls / threads as u64).max(1)).max(1);
 
@@ -180,7 +367,10 @@ fn data_parallel_program(
         let mut body = vec![
             Action::Compute(compute_per_iter.max(1)),
             Action::LockAcquire(if t % 4 == 0 { shared_lock } else { own_lock }),
-            Action::AtomicAdd { counter: t as u32, amount: 1 },
+            Action::AtomicAdd {
+                counter: t as u32,
+                amount: 1,
+            },
             Action::LockRelease(if t % 4 == 0 { shared_lock } else { own_lock }),
         ];
         if syscall_period <= iterations {
@@ -198,7 +388,10 @@ fn data_parallel_program(
             barrier: 0,
             participants: threads as u32,
         });
-        actions.push(Action::Syscall(SyscallSpec::WriteOutput { len: 64, tag: t as u64 }));
+        actions.push(Action::Syscall(SyscallSpec::WriteOutput {
+            len: 64,
+            tag: t as u64,
+        }));
         p.add_thread(ThreadSpec::new(actions));
     }
     p
@@ -239,7 +432,10 @@ fn pipeline_program(
             Action::QueuePush { queue: 0, value: 1 },
         ],
     });
-    producer.push(Action::BarrierWait { barrier: 0, participants: stages as u32 });
+    producer.push(Action::BarrierWait {
+        barrier: 0,
+        participants: stages as u32,
+    });
     p.add_thread(ThreadSpec::new(producer));
 
     // Interior stages.
@@ -250,12 +446,21 @@ fn pipeline_program(
             Action::Repeat {
                 times: items,
                 body: vec![
-                    Action::QueuePop { queue: input_queue, print: false },
+                    Action::QueuePop {
+                        queue: input_queue,
+                        print: false,
+                    },
                     Action::Compute(compute_per_item),
-                    Action::QueuePush { queue: output_queue, value: 1 },
+                    Action::QueuePush {
+                        queue: output_queue,
+                        value: 1,
+                    },
                 ],
             },
-            Action::BarrierWait { barrier: 0, participants: stages as u32 },
+            Action::BarrierWait {
+                barrier: 0,
+                participants: stages as u32,
+            },
         ]));
     }
 
@@ -268,15 +473,24 @@ fn pipeline_program(
                 Action::Repeat {
                     times: write_period,
                     body: vec![
-                        Action::QueuePop { queue: last_queue, print: false },
+                        Action::QueuePop {
+                            queue: last_queue,
+                            print: false,
+                        },
                         Action::Compute(compute_per_item),
-                        Action::AtomicAdd { counter: 0, amount: 1 },
+                        Action::AtomicAdd {
+                            counter: 0,
+                            amount: 1,
+                        },
                     ],
                 },
                 Action::Syscall(SyscallSpec::WriteOutput { len: 256, tag: 99 }),
             ],
         },
-        Action::BarrierWait { barrier: 0, participants: stages as u32 },
+        Action::BarrierWait {
+            barrier: 0,
+            participants: stages as u32,
+        },
     ]));
     p
 }
@@ -304,16 +518,33 @@ fn task_queue_program(
         times: tasks,
         body: vec![Action::QueuePush { queue: 0, value: 3 }],
     }];
-    seed.push(Action::BarrierWait { barrier: 0, participants: threads as u32 });
-    seed.push(worker_loop(0, tasks_per_thread, compute_per_task, print_period));
-    seed.push(Action::Syscall(SyscallSpec::WriteOutput { len: 32, tag: 0 }));
+    seed.push(Action::BarrierWait {
+        barrier: 0,
+        participants: threads as u32,
+    });
+    seed.push(worker_loop(
+        0,
+        tasks_per_thread,
+        compute_per_task,
+        print_period,
+    ));
+    seed.push(Action::Syscall(SyscallSpec::WriteOutput {
+        len: 32,
+        tag: 0,
+    }));
     p.add_thread(ThreadSpec::new(seed));
 
     for t in 1..threads {
         p.add_thread(ThreadSpec::new(vec![
-            Action::BarrierWait { barrier: 0, participants: threads as u32 },
+            Action::BarrierWait {
+                barrier: 0,
+                participants: threads as u32,
+            },
             worker_loop(t as u32, tasks_per_thread, compute_per_task, print_period),
-            Action::Syscall(SyscallSpec::WriteOutput { len: 32, tag: t as u64 }),
+            Action::Syscall(SyscallSpec::WriteOutput {
+                len: 32,
+                tag: t as u64,
+            }),
         ]));
     }
     p
@@ -323,7 +554,10 @@ fn worker_loop(counter: u32, tasks: u64, compute_per_task: u64, print_period: u6
     Action::Repeat {
         times: tasks.max(1),
         body: vec![
-            Action::QueuePop { queue: 0, print: false },
+            Action::QueuePop {
+                queue: 0,
+                print: false,
+            },
             Action::Compute(compute_per_task),
             Action::AtomicAdd { counter, amount: 1 },
             Action::Repeat {
@@ -337,8 +571,8 @@ fn worker_loop(counter: u32, tasks: u64, compute_per_task: u64, print_period: u6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvee_variant::runner::{run_mvee, run_native, RunConfig};
     use mvee_sync_agent::agents::AgentKind;
+    use mvee_variant::runner::{run_mvee, run_native, RunConfig};
 
     #[test]
     fn catalog_matches_the_papers_benchmark_list() {
@@ -348,7 +582,10 @@ mod tests {
             12
         );
         assert_eq!(
-            CATALOG.iter().filter(|b| b.suite == Suite::Splash2x).count(),
+            CATALOG
+                .iter()
+                .filter(|b| b.suite == Suite::Splash2x)
+                .count(),
             13
         );
         // canneal and cholesky are excluded, as in the paper.
@@ -389,7 +626,9 @@ mod tests {
 
     #[test]
     fn high_sync_rate_benchmarks_generate_more_sync_ops() {
-        let radiosity = BenchmarkSpec::by_name("radiosity").unwrap().paper_program(1e-5);
+        let radiosity = BenchmarkSpec::by_name("radiosity")
+            .unwrap()
+            .paper_program(1e-5);
         let fft = BenchmarkSpec::by_name("fft").unwrap().paper_program(1e-5);
         assert!(radiosity.estimated_sync_ops() > 10 * fft.estimated_sync_ops().max(1));
     }
@@ -407,7 +646,11 @@ mod tests {
         let spec = BenchmarkSpec::by_name("dedup").unwrap();
         let program = spec.paper_program(4e-6);
         let report = run_mvee(&program, &RunConfig::new(2, AgentKind::WallOfClocks));
-        assert!(report.completed_cleanly(), "divergence: {:?}", report.divergence);
+        assert!(
+            report.completed_cleanly(),
+            "divergence: {:?}",
+            report.divergence
+        );
     }
 
     #[test]
@@ -415,7 +658,11 @@ mod tests {
         let spec = BenchmarkSpec::by_name("radiosity").unwrap();
         let program = spec.paper_program(2e-6);
         let report = run_mvee(&program, &RunConfig::new(2, AgentKind::WallOfClocks));
-        assert!(report.completed_cleanly(), "divergence: {:?}", report.divergence);
+        assert!(
+            report.completed_cleanly(),
+            "divergence: {:?}",
+            report.divergence
+        );
         assert!(report.agent_stats.ops_recorded > 100);
     }
 

@@ -236,7 +236,9 @@ pub fn run_trylock_channel(bits: &[bool]) -> CovertChannelReport {
         for _round in 0..rounds {
             let addr = addr_for(1);
             agent_b.before_sync_op(&ctx, addr);
-            let acquired = mutex_b.compare_exchange(0, 1, AO::SeqCst, AO::SeqCst).is_ok();
+            let acquired = mutex_b
+                .compare_exchange(0, 1, AO::SeqCst, AO::SeqCst)
+                .is_ok();
             agent_b.after_sync_op(&ctx, addr);
             if acquired {
                 agent_b.before_sync_op(&ctx, addr);
@@ -277,7 +279,11 @@ pub fn exchange_pointers(master_secret: u64, slave_secret: u64) -> (u64, u64, bo
     let second = run_timing_channel(&to_bits(slave_secret));
     let slave_learned = from_bits(&first.received);
     let master_learned = from_bits(&second.received);
-    (master_learned, slave_learned, first.diverged || second.diverged)
+    (
+        master_learned,
+        slave_learned,
+        first.diverged || second.diverged,
+    )
 }
 
 fn le_u64(payload: &[u8]) -> u64 {
@@ -295,7 +301,11 @@ mod tests {
     fn timing_channel_transfers_bits_without_divergence() {
         let bits = vec![true, false, true, true, false, false, true, false];
         let report = run_timing_channel(&bits);
-        assert!(report.transfer_is_exact(), "received: {:?}", report.received);
+        assert!(
+            report.transfer_is_exact(),
+            "received: {:?}",
+            report.received
+        );
         assert!(!report.diverged, "the monitor must not notice the channel");
         assert_eq!(report.accuracy(), 1.0);
     }
@@ -304,7 +314,11 @@ mod tests {
     fn trylock_channel_transfers_bits_without_divergence() {
         let bits = vec![false, true, true, false, true, false, false, true];
         let report = run_trylock_channel(&bits);
-        assert!(report.transfer_is_exact(), "received: {:?}", report.received);
+        assert!(
+            report.transfer_is_exact(),
+            "received: {:?}",
+            report.received
+        );
         assert!(!report.diverged);
     }
 

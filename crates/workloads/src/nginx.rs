@@ -191,8 +191,10 @@ pub fn run_nginx_experiment(config: &NginxServerConfig, attack: bool) -> NginxRe
     };
 
     let secs = duration.as_secs_f64().max(1e-9);
-    let link_cost_s =
-        config.requests as f64 * 2.0 * config.link.transfer_time_ns(config.page_bytes) as f64 * 1e-9;
+    let link_cost_s = config.requests as f64
+        * 2.0
+        * config.link.transfer_time_ns(config.page_bytes) as f64
+        * 1e-9;
     NginxReport {
         completed_requests: completed,
         duration,
@@ -223,7 +225,14 @@ fn run_server_variant(
         let gateway = gateway.clone();
         let cfg = *config;
         handles.push(std::thread::spawn(move || {
-            worker_loop(&gateway, worker, &state, &cfg, code_base, expected_connections)
+            worker_loop(
+                &gateway,
+                worker,
+                &state,
+                &cfg,
+                code_base,
+                expected_connections,
+            )
         }));
     }
 
@@ -294,22 +303,21 @@ impl ServerState {
 
     /// Acquires nginx's custom spinlock.  Each CAS attempt is a sync op, but
     /// only instrumented when `instrument` is true (the §5.5 experiment).
-    fn custom_lock_acquire(
-        &self,
-        gateway: &VariantGateway,
-        thread: usize,
-        instrument: bool,
-    ) {
+    fn custom_lock_acquire(&self, gateway: &VariantGateway, thread: usize, instrument: bool) {
         loop {
             if instrument {
-                gateway.agent().before_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
+                gateway
+                    .agent()
+                    .before_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
             }
             let acquired = self
                 .custom_lock
                 .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok();
             if instrument {
-                gateway.agent().after_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
+                gateway
+                    .agent()
+                    .after_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
             }
             if acquired {
                 return;
@@ -320,11 +328,15 @@ impl ServerState {
 
     fn custom_lock_release(&self, gateway: &VariantGateway, thread: usize, instrument: bool) {
         if instrument {
-            gateway.agent().before_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
+            gateway
+                .agent()
+                .before_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
         }
         self.custom_lock.store(0, Ordering::Release);
         if instrument {
-            gateway.agent().after_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
+            gateway
+                .agent()
+                .after_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
         }
     }
 
@@ -332,12 +344,16 @@ impl ServerState {
     /// had already covered pthread primitives before tackling nginx).
     fn stats_lock_acquire(&self, gateway: &VariantGateway, thread: usize) {
         loop {
-            gateway.agent().before_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
+            gateway
+                .agent()
+                .before_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
             let acquired = self
                 .stats_lock
                 .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok();
-            gateway.agent().after_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
+            gateway
+                .agent()
+                .after_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
             if acquired {
                 return;
             }
@@ -346,9 +362,13 @@ impl ServerState {
     }
 
     fn stats_lock_release(&self, gateway: &VariantGateway, thread: usize) {
-        gateway.agent().before_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
+        gateway
+            .agent()
+            .before_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
         self.stats_lock.store(0, Ordering::Release);
-        gateway.agent().after_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
+        gateway
+            .agent()
+            .after_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
     }
 }
 
@@ -434,7 +454,9 @@ fn handle_request(
     let request = loop {
         let recv = gateway.syscall(
             thread,
-            &SyscallRequest::new(Sysno::Recv).with_fd(conn_fd).with_int(1024),
+            &SyscallRequest::new(Sysno::Recv)
+                .with_fd(conn_fd)
+                .with_int(1024),
         )?;
         match recv.result {
             Ok(n) if n > 0 => break recv.payload,
@@ -515,7 +537,9 @@ fn handle_request(
     // Rewind the shared page FD for the next request.
     gateway.syscall(
         thread,
-        &SyscallRequest::new(Sysno::Lseek).with_fd(state.page_fd).with_int(0),
+        &SyscallRequest::new(Sysno::Lseek)
+            .with_fd(state.page_fd)
+            .with_int(0),
     )?;
     gateway.syscall(thread, &SyscallRequest::new(Sysno::Close).with_fd(conn_fd))?;
     Ok(())
@@ -604,7 +628,9 @@ fn send_one_request(
         .execute(
             pid,
             0,
-            &SyscallRequest::new(Sysno::Send).with_fd(fd).with_payload(payload),
+            &SyscallRequest::new(Sysno::Send)
+                .with_fd(fd)
+                .with_payload(payload),
         )
         .result
         .ok()?;
@@ -613,7 +639,9 @@ fn send_one_request(
         let recv = kernel.execute(
             pid,
             0,
-            &SyscallRequest::new(Sysno::Recv).with_fd(fd).with_int(64 * 1024),
+            &SyscallRequest::new(Sysno::Recv)
+                .with_fd(fd)
+                .with_int(64 * 1024),
         );
         match recv.result {
             Ok(n) if n > 0 => {
@@ -653,7 +681,11 @@ mod tests {
     #[test]
     fn two_variant_server_serves_requests_without_divergence() {
         let report = run_nginx_experiment(&quick_config(2), false);
-        assert_eq!(report.completed_requests, 8, "diverged: {}", report.diverged);
+        assert_eq!(
+            report.completed_requests, 8,
+            "diverged: {}",
+            report.diverged
+        );
         assert!(!report.diverged);
     }
 

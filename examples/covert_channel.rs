@@ -15,20 +15,38 @@ fn main() {
         .flat_map(|byte| (0..8).map(move |i| (byte >> i) & 1 == 1))
         .collect();
 
-    println!("sending {} bits through the gettimeofday timing channel...", bits.len());
+    println!(
+        "sending {} bits through the gettimeofday timing channel...",
+        bits.len()
+    );
     let timing = run_timing_channel(&bits);
-    println!("  accuracy: {:.0}%, divergence detected: {}", timing.accuracy() * 100.0, timing.diverged);
+    println!(
+        "  accuracy: {:.0}%, divergence detected: {}",
+        timing.accuracy() * 100.0,
+        timing.diverged
+    );
 
     println!("sending the same bits through the mutex-trylock channel...");
     let trylock = run_trylock_channel(&bits);
-    println!("  accuracy: {:.0}%, divergence detected: {}", trylock.accuracy() * 100.0, trylock.diverged);
+    println!(
+        "  accuracy: {:.0}%, divergence detected: {}",
+        trylock.accuracy() * 100.0,
+        trylock.diverged
+    );
 
     let decoded: Vec<u8> = trylock
         .received
         .chunks(8)
-        .map(|c| c.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << i)))
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << i))
+        })
         .collect();
-    println!("  decoded by the slave variant: {:?}", String::from_utf8_lossy(&decoded));
+    println!(
+        "  decoded by the slave variant: {:?}",
+        String::from_utf8_lossy(&decoded)
+    );
 
     println!("\nexchanging diversified pointer values between the variants...");
     let (master_learned, slave_learned, diverged) = exchange_pointers(0x7f1234, 0x7f9abc);

@@ -20,11 +20,19 @@ fn main() {
         ..Default::default()
     };
 
-    println!("serving {} requests with {} pool threads across {} variants...",
-        config.requests, config.pool_threads, config.variants);
+    println!(
+        "serving {} requests with {} pool threads across {} variants...",
+        config.requests, config.pool_threads, config.variants
+    );
     let normal = run_nginx_experiment(&config, false);
-    println!("  completed   : {}/{}", normal.completed_requests, config.requests);
-    println!("  throughput  : {:.0} requests/second", normal.throughput_rps);
+    println!(
+        "  completed   : {}/{}",
+        normal.completed_requests, config.requests
+    );
+    println!(
+        "  throughput  : {:.0} requests/second",
+        normal.throughput_rps
+    );
     println!("  divergence  : {}", normal.diverged);
     assert!(!normal.diverged, "benign traffic must not diverge");
 
@@ -34,7 +42,11 @@ fn main() {
     assert_eq!(attacked.attack, AttackOutcome::DetectedAndStopped);
 
     println!("\nand against a single unprotected server (no MVEE)...");
-    let single = NginxServerConfig { variants: 1, requests: 8, ..config };
+    let single = NginxServerConfig {
+        variants: 1,
+        requests: 8,
+        ..config
+    };
     let unprotected = run_nginx_experiment(&single, true);
     println!("  attack outcome: {:?}", unprotected.attack);
     assert_eq!(unprotected.attack, AttackOutcome::Compromised);

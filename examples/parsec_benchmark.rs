@@ -12,7 +12,9 @@ use mvee::variant::runner::{run_mvee, run_native, RunConfig};
 use mvee::workloads::catalog::{BenchmarkSpec, CATALOG};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "dedup".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "dedup".to_string());
     let spec = match BenchmarkSpec::by_name(&name) {
         Some(s) => s,
         None => {
@@ -34,10 +36,12 @@ fn main() {
         spec.syscalls_per_s,
         spec.sync_ops_per_s
     );
-    println!("synthetic program: {} threads, ~{} sync ops, ~{} syscalls\n",
+    println!(
+        "synthetic program: {} threads, ~{} sync ops, ~{} syscalls\n",
         program.thread_count(),
         program.estimated_sync_ops(),
-        program.estimated_syscalls());
+        program.estimated_syscalls()
+    );
 
     let native = run_native(&program);
     println!("native: {:?}", native.duration);

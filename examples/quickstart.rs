@@ -16,17 +16,25 @@ fn main() {
         .with_resources(1, 1, 0, 1)
         .with_file("/greeting.txt", b"hello, multi-variant world");
     program.add_thread(ThreadSpec::new(vec![
-        Action::Syscall(SyscallSpec::OpenInput { path: "/greeting.txt".into() }),
+        Action::Syscall(SyscallSpec::OpenInput {
+            path: "/greeting.txt".into(),
+        }),
         Action::Syscall(SyscallSpec::ReadChunk { len: 26 }),
         Action::Repeat {
             times: 100,
             body: vec![
                 Action::LockAcquire(0),
-                Action::AtomicAdd { counter: 0, amount: 1 },
+                Action::AtomicAdd {
+                    counter: 0,
+                    amount: 1,
+                },
                 Action::LockRelease(0),
             ],
         },
-        Action::BarrierWait { barrier: 0, participants: 2 },
+        Action::BarrierWait {
+            barrier: 0,
+            participants: 2,
+        },
         Action::PrintCounter(0),
     ]));
     program.add_thread(ThreadSpec::new(vec![
@@ -34,32 +42,56 @@ fn main() {
             times: 100,
             body: vec![
                 Action::LockAcquire(0),
-                Action::AtomicAdd { counter: 0, amount: 1 },
+                Action::AtomicAdd {
+                    counter: 0,
+                    amount: 1,
+                },
                 Action::LockRelease(0),
             ],
         },
-        Action::BarrierWait { barrier: 0, participants: 2 },
+        Action::BarrierWait {
+            barrier: 0,
+            participants: 2,
+        },
     ]));
 
     // Native run: one instance, no monitor.
     let native = run_native(&program);
     println!("native run      : {:?}", native.duration);
-    println!("native output   : {}", String::from_utf8_lossy(&native.output).trim());
+    println!(
+        "native output   : {}",
+        String::from_utf8_lossy(&native.output).trim()
+    );
 
     // Two diversified variants in lockstep under the wall-of-clocks agent.
     let config = RunConfig::new(2, AgentKind::WallOfClocks)
         .with_diversity(mvee::variant::diversity::DiversityProfile::full(7));
     let report = run_mvee(&program, &config);
-    println!("\nMVEE run        : {:?} ({} variants, {} agent)",
-        report.duration, report.variants, report.agent.name());
-    println!("master output   : {}", String::from_utf8_lossy(report.master_output()).trim());
+    println!(
+        "\nMVEE run        : {:?} ({} variants, {} agent)",
+        report.duration,
+        report.variants,
+        report.agent.name()
+    );
+    println!(
+        "master output   : {}",
+        String::from_utf8_lossy(report.master_output()).trim()
+    );
     println!("slowdown        : {:.2}x", report.slowdown_vs(&native));
     println!("divergence      : {:?}", report.divergence);
-    println!("sync ops        : {} recorded, {} replayed",
-        report.agent_stats.ops_recorded, report.agent_stats.ops_replayed);
-    println!("monitored calls : {} total, {} locksteped, {} replicated",
-        report.monitor.total_syscalls, report.monitor.lockstep_syscalls,
-        report.monitor.replicated_syscalls);
+    println!(
+        "sync ops        : {} recorded, {} replayed",
+        report.agent_stats.ops_recorded, report.agent_stats.ops_replayed
+    );
+    println!(
+        "monitored calls : {} total, {} locksteped, {} replicated",
+        report.monitor.total_syscalls,
+        report.monitor.lockstep_syscalls,
+        report.monitor.replicated_syscalls
+    );
 
-    assert!(report.completed_cleanly(), "the benign program must not diverge");
+    assert!(
+        report.completed_cleanly(),
+        "the benign program must not diverge"
+    );
 }

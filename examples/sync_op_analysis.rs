@@ -8,7 +8,9 @@
 
 use mvee::analysis::asm::Module;
 use mvee::analysis::instrument::{instrument_module, verify_instrumentation};
-use mvee::analysis::pointsto::{AndersenAnalysis, PointsToAnalysis, PointsToProgram, SteensgaardAnalysis};
+use mvee::analysis::pointsto::{
+    AndersenAnalysis, PointsToAnalysis, PointsToProgram, SteensgaardAnalysis,
+};
 use mvee::analysis::qualify::{QualificationModel, Qualifier};
 use mvee::analysis::stage2::identify_sync_ops;
 
@@ -46,7 +48,10 @@ fn main() {
     // Make the CAS operand's symbol a known sync variable for the alias query.
     let report = identify_sync_ops(&module, &bindings, Some(&andersen));
     let (i, ii, iii) = report.counts();
-    println!("stage 1+2: {} type (i), {} type (ii), {} type (iii) sync ops", i, ii, iii);
+    println!(
+        "stage 1+2: {} type (i), {} type (ii), {} type (iii) sync ops",
+        i, ii, iii
+    );
 
     // The _Atomic qualification workflow of §4.3.1.
     let mut model = QualificationModel::new();

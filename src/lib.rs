@@ -15,6 +15,36 @@
 //! * [`baselines`] — deterministic-multithreading and record/replay baselines.
 //! * [`workloads`] — synthetic PARSEC/SPLASH workloads, the nginx use case
 //!   and the covert-channel proofs of concept.
+//!
+//! # Quickstart
+//!
+//! Run a small two-thread program as two diversified variants in lockstep
+//! under the wall-of-clocks agent:
+//!
+//! ```
+//! use mvee::sync_agent::agents::AgentKind;
+//! use mvee::variant::diversity::DiversityProfile;
+//! use mvee::variant::program::{Action, Program, ThreadSpec};
+//! use mvee::variant::runner::{run_mvee, RunConfig};
+//!
+//! let mut program = Program::new("doc-quickstart").with_resources(1, 0, 0, 1);
+//! for _ in 0..2 {
+//!     program.add_thread(ThreadSpec::new(vec![Action::Repeat {
+//!         times: 25,
+//!         body: vec![
+//!             Action::LockAcquire(0),
+//!             Action::AtomicAdd { counter: 0, amount: 1 },
+//!             Action::LockRelease(0),
+//!         ],
+//!     }]));
+//! }
+//!
+//! let config = RunConfig::new(2, AgentKind::WallOfClocks)
+//!     .with_diversity(DiversityProfile::full(7));
+//! let report = run_mvee(&program, &config);
+//! assert!(report.completed_cleanly(), "{:?}", report.divergence);
+//! assert!(report.agent_stats.ops_replayed >= report.agent_stats.ops_recorded);
+//! ```
 
 pub use mvee_analysis as analysis;
 pub use mvee_baselines as baselines;

@@ -15,18 +15,30 @@ fn producer_consumer(items: u64) -> Program {
     p.add_thread(ThreadSpec::new(vec![
         Action::Repeat {
             times: items,
-            body: vec![Action::QueuePush { queue: 0, value: 11 }],
+            body: vec![Action::QueuePush {
+                queue: 0,
+                value: 11,
+            }],
         },
-        Action::BarrierWait { barrier: 0, participants: 3 },
+        Action::BarrierWait {
+            barrier: 0,
+            participants: 3,
+        },
         Action::Syscall(SyscallSpec::WriteOutput { len: 16, tag: 1 }),
     ]));
     for t in 0..2u64 {
         p.add_thread(ThreadSpec::new(vec![
-            Action::BarrierWait { barrier: 0, participants: 3 },
+            Action::BarrierWait {
+                barrier: 0,
+                participants: 3,
+            },
             Action::Repeat {
                 times: items / 2,
                 body: vec![
-                    Action::QueuePop { queue: 0, print: true },
+                    Action::QueuePop {
+                        queue: 0,
+                        print: true,
+                    },
                     Action::Compute(200 + t * 50),
                 ],
             },
@@ -121,7 +133,9 @@ fn a_compromised_variant_is_detected_as_divergence() {
     });
     let master_result = master.syscall(
         0,
-        &SyscallRequest::new(Sysno::Write).with_fd(1).with_payload(b"normal output"),
+        &SyscallRequest::new(Sysno::Write)
+            .with_fd(1)
+            .with_payload(b"normal output"),
     );
     let slave_result = slave_thread.join().unwrap();
     assert!(master_result.is_err() || slave_result.is_err());
@@ -141,7 +155,10 @@ fn uninstrumented_interaction_eventually_diverges_or_stays_benign_single_thread(
             times: 50,
             body: vec![
                 Action::LockAcquire(0),
-                Action::AtomicAdd { counter: 0, amount: 1 },
+                Action::AtomicAdd {
+                    counter: 0,
+                    amount: 1,
+                },
                 Action::LockRelease(0),
             ],
         },

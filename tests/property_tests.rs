@@ -2,15 +2,15 @@
 
 use proptest::prelude::*;
 
+use mvee::analysis::corpus::CorpusSpec;
+use mvee::analysis::stage2::identify_sync_ops_syntactic;
+use mvee::baselines::rr::RecPlayRecorder;
 use mvee::kernel::fd::{FdObject, FdTable};
 use mvee::kernel::syscall::{SyscallArg, SyscallRequest, Sysno};
 use mvee::sync_agent::clockwall::ClockWall;
 use mvee::sync_agent::context::{AgentConfig, SyncContext, VariantRole};
 use mvee::sync_agent::ring::{PushOutcome, RecordRing, SyncRecord};
 use mvee::sync_agent::{SyncAgent, WallOfClocksAgent};
-use mvee::analysis::corpus::CorpusSpec;
-use mvee::analysis::stage2::identify_sync_ops_syntactic;
-use mvee::baselines::rr::RecPlayRecorder;
 
 proptest! {
     /// FD allocation always returns the lowest free descriptor, so replaying

@@ -1,0 +1,279 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! The build container has no network access, so the real `proptest` cannot
+//! be fetched.  This crate implements the subset its users in this workspace
+//! rely on: the `proptest!` macro, integer-range and `any::<T>()` strategies,
+//! tuple and `collection::vec` combinators, and the `prop_assert*` /
+//! `prop_assume!` macros.  Each property runs 256 deterministic cases from a
+//! fixed-seed SplitMix64 generator.  Shrinking is not implemented — a failing
+//! case panics with the generated inputs' debug representation instead.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Deterministic SplitMix64 random number generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift reduction; bias is irrelevant for testing purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no shrinking: a strategy only knows how to
+/// produce a value from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of values this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                let offset = rng.below(span);
+                ((self.start as i128) + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy producing any value of `T` (full range for integers).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical full-range strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the full-range strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    /// Number of cases each property runs.
+    pub const CASES: u32 = 256;
+
+    /// Outcome of a single generated case.
+    pub enum CaseResult {
+        /// The case passed.
+        Pass,
+        /// `prop_assume!` rejected the inputs; the case does not count.
+        Reject,
+    }
+
+    /// Prints the generated inputs when a case panics, so a failure is
+    /// reproducible even without shrinking.
+    pub struct PanicPrinter {
+        /// Debug rendering of the case's generated inputs.
+        pub inputs: String,
+        /// Case index within the run.
+        pub case: u32,
+    }
+
+    impl Drop for PanicPrinter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest: failing case #{} with inputs: {}",
+                    self.case, self.inputs
+                );
+            }
+        }
+    }
+
+    /// FNV-1a hash of a test name, used as a per-test RNG seed.
+    pub const fn seed_from_name(name: &str) -> u64 {
+        let bytes = name.as_bytes();
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            i += 1;
+        }
+        hash
+    }
+}
+
+/// The `proptest::prelude` glob import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Strategy, TestRng,
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a `#[test]`
+/// that runs [`test_runner::CASES`] deterministic cases.  A failing assertion
+/// panics with the generated inputs so the case can be reproduced by reading
+/// the panic message (there is no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::new($crate::test_runner::seed_from_name(stringify!($name)));
+            for case in 0..$crate::test_runner::CASES {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let printer = $crate::test_runner::PanicPrinter {
+                    inputs: format!(
+                        concat!($(stringify!($arg), " = {:?}  "),+),
+                        $(&$arg),+
+                    ),
+                    case,
+                };
+                let result: $crate::test_runner::CaseResult = (|| {
+                    $body
+                    $crate::test_runner::CaseResult::Pass
+                })();
+                drop(printer);
+                match result {
+                    $crate::test_runner::CaseResult::Pass
+                    | $crate::test_runner::CaseResult::Reject => {}
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current case when its generated inputs are not interesting.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::CaseResult::Reject;
+        }
+    };
+}

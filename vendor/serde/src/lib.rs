@@ -1,0 +1,34 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build container has no network access, so the real `serde` cannot be
+//! fetched from a registry.  The workspace only uses serde as a *marker* —
+//! types carry `#[derive(Serialize, Deserialize)]` so they are ready for a
+//! real format crate, but nothing serializes at runtime.  This crate supplies
+//! the two trait names and (behind the `derive` feature) re-exports the no-op
+//! derive macros, mirroring the real crate's namespace layout so `use
+//! serde::{Serialize, Deserialize}` resolves both the traits and the derives.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

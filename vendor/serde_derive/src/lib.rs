@@ -1,0 +1,22 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no network access, so the real
+//! `serde_derive` cannot be fetched.  Nothing in the workspace serializes at
+//! runtime (there is no `serde_json` or other format crate); the derives only
+//! need to *exist* so that `#[derive(Serialize, Deserialize)]` compiles.  Both
+//! macros therefore accept the input (including `#[serde(...)]` attributes)
+//! and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
