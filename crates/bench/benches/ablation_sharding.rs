@@ -1,0 +1,64 @@
+//! Ablation: monitor rendezvous sharding under a many-variant load.
+//!
+//! Eight variants × eight logical threads hammer `LockstepTable::arrive`
+//! (the monitor's hot path) concurrently.  With `shards = 1` every
+//! rendezvous of every thread group funnels through one mutex+condvar — the
+//! original global-table design; with more shards, thread groups rendezvous
+//! on independent locks.  The acceptance bar for the sharding refactor is
+//! sharded ≥ unsharded throughput at 8 variants; `BASELINES.md` records the
+//! numbers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvee_core::lockstep::{ArrivalResult, LockstepTable};
+use mvee_kernel::syscall::{ComparisonKey, SyscallRequest, Sysno};
+
+const VARIANTS: usize = 8;
+const THREADS: usize = 8;
+const OPS: u64 = 64;
+
+fn rendezvous_key() -> ComparisonKey {
+    SyscallRequest::new(Sysno::Brk).with_int(0).comparison_key()
+}
+
+/// Runs `VARIANTS × THREADS` OS threads through `OPS` rendezvous each.
+fn hammer(shards: usize) {
+    let table = Arc::new(LockstepTable::with_shards(VARIANTS, shards));
+    let mut handles = Vec::with_capacity(VARIANTS * THREADS);
+    for variant in 0..VARIANTS {
+        for thread in 0..THREADS {
+            let table = Arc::clone(&table);
+            handles.push(std::thread::spawn(move || {
+                let cmp = rendezvous_key();
+                for seq in 0..OPS {
+                    let key = (thread, seq);
+                    let r = table.arrive(key, variant, cmp.clone(), Duration::from_secs(30));
+                    assert_eq!(r, ArrivalResult::Consistent, "bench rendezvous diverged");
+                    table.consume(key);
+                }
+            }));
+        }
+    }
+    for h in handles {
+        h.join().expect("bench thread panicked");
+    }
+    assert_eq!(table.live_slots(), 0);
+}
+
+fn bench_shard_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/sharding-8-variants");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8, 16] {
+        group.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter(|| hammer(shards));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_counts);
+criterion_main!(benches);

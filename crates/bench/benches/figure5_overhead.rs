@@ -29,5 +29,27 @@ fn bench_variant_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_variant_scaling);
+/// The many-variant scaling story: 8 and 16 variants under the sharded
+/// monitor vs the `shards = 1` global table, on the low-sync-rate `fft`
+/// workload (so the rendezvous path, not the agent, dominates).
+fn bench_many_variant_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5/woc-many-variant");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let spec = BenchmarkSpec::by_name("fft").expect("benchmark in catalog");
+    let program = spec.paper_program(SCALE);
+    for variants in [8usize, 16] {
+        for shards in [1usize, 8] {
+            let config = RunConfig::new(variants, AgentKind::WallOfClocks).with_shards(shards);
+            group.bench_function(
+                BenchmarkId::new(format!("{variants}-variants"), format!("{shards}-shards")),
+                |b| b.iter(|| run_mvee(&program, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variant_scaling, bench_many_variant_scaling);
 criterion_main!(benches);

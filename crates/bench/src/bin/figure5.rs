@@ -5,34 +5,31 @@
 //! per agent, segments for 2/3/4 variants); this binary prints the same
 //! series as a table, one row per (benchmark, agent).
 
-use mvee_bench::{format_row, measure, print_table_header, workload_scale};
+use mvee_bench::{format_row, measure, print_variant_table_header, variant_counts, workload_scale};
 use mvee_sync_agent::agents::AgentKind;
 use mvee_workloads::catalog::CATALOG;
 
 fn main() {
     let scale = workload_scale();
+    let variant_counts = variant_counts();
     println!("Figure 5 — relative overhead per benchmark, agent and variant count");
-    println!("(values are run time / native run time; scale = {scale:.1e})");
+    println!(
+        "(values are run time / native run time; scale = {scale:.1e}; \
+         set MVEE_BENCH_VARIANTS=2,8,16 for the many-variant sweep)"
+    );
 
-    let widths = [16, 16, 12, 12, 12, 10];
-    print_table_header(
+    let widths = print_variant_table_header(
         "Figure 5",
-        &[
-            "benchmark",
-            "agent",
-            "2 variants",
-            "3 variants",
-            "4 variants",
-            "clean",
-        ],
-        &widths,
+        &[("benchmark", 16), ("agent", 16)],
+        &variant_counts,
+        &[("clean", 10)],
     );
 
     for spec in CATALOG {
         for agent in AgentKind::replication_agents() {
             let mut cells = vec![spec.name.to_string(), agent.name().to_string()];
             let mut all_clean = true;
-            for variants in [2usize, 3, 4] {
+            for &variants in variant_counts.iter() {
                 let m = measure(spec, agent, variants, scale);
                 all_clean &= m.clean;
                 cells.push(format!("{:.2}x", m.slowdown));

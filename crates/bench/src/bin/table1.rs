@@ -7,28 +7,27 @@
 //! simulated substrate, but the *ordering* (WoC ≪ PO ≈ TO) and the growth
 //! with the variant count reproduce the paper's shape.
 
-use mvee_bench::{arithmetic_mean, format_row, measure, print_table_header, workload_scale};
+use mvee_bench::{
+    arithmetic_mean, format_row, measure, print_variant_table_header, variant_counts,
+    workload_scale,
+};
 use mvee_sync_agent::agents::AgentKind;
 use mvee_workloads::catalog::CATALOG;
 
 fn main() {
     let scale = workload_scale();
-    let variant_counts = [2usize, 3, 4];
+    let variant_counts = variant_counts();
     println!("Table 1 — aggregated average slowdowns per agent and variant count");
     println!(
-        "(scale = {scale:.1e}; paper: TO 2.76/2.83/2.87, PO 2.83/2.83/3.00, WoC 1.14/1.27/1.38)"
+        "(scale = {scale:.1e}; paper: TO 2.76/2.83/2.87, PO 2.83/2.83/3.00, WoC 1.14/1.27/1.38; \
+         set MVEE_BENCH_VARIANTS=2,8,16 for the many-variant sweep)"
     );
 
-    let widths = [20, 12, 12, 12];
-    print_table_header(
-        "Table 1",
-        &["agent", "2 variants", "3 variants", "4 variants"],
-        &widths,
-    );
+    let widths = print_variant_table_header("Table 1", &[("agent", 20)], &variant_counts, &[]);
 
     for agent in AgentKind::replication_agents() {
         let mut row = vec![agent.name().to_string()];
-        for &variants in &variant_counts {
+        for &variants in variant_counts.iter() {
             let mut slowdowns = Vec::new();
             for spec in CATALOG {
                 let m = measure(spec, agent, variants, scale);

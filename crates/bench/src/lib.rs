@@ -37,6 +37,25 @@ pub fn workload_scale() -> f64 {
         .unwrap_or(DEFAULT_SCALE)
 }
 
+/// The variant counts the paper's tables sweep (2–4).
+pub const DEFAULT_VARIANT_COUNTS: [usize; 3] = [2, 3, 4];
+
+/// Returns the variant counts to sweep, honouring `MVEE_BENCH_VARIANTS`
+/// (a comma-separated list such as `2,8,16` for the many-variant scaling
+/// runs recorded in `BASELINES.md`).  Counts outside 1..=16 are dropped.
+pub fn variant_counts() -> Vec<usize> {
+    std::env::var("MVEE_BENCH_VARIANTS")
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|n| (1..=16).contains(n))
+                .collect::<Vec<_>>()
+        })
+        .filter(|counts| !counts.is_empty())
+        .unwrap_or_else(|| DEFAULT_VARIANT_COUNTS.to_vec())
+}
+
 /// The result of measuring one benchmark under one configuration.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -123,6 +142,30 @@ pub fn format_row(cells: &[String], widths: &[usize]) -> String {
         .join("  ")
 }
 
+/// Prints the header of a table whose middle columns are one "`N` variants"
+/// column per swept variant count (the layout `table1` and `figure5` share),
+/// and returns the column widths for formatting the data rows.
+pub fn print_variant_table_header(
+    title: &str,
+    prefix: &[(&str, usize)],
+    counts: &[usize],
+    suffix: &[(&str, usize)],
+) -> Vec<usize> {
+    let mut columns: Vec<String> = prefix.iter().map(|(c, _)| c.to_string()).collect();
+    let mut widths: Vec<usize> = prefix.iter().map(|(_, w)| *w).collect();
+    for v in counts {
+        columns.push(format!("{v} variants"));
+        widths.push(12);
+    }
+    for (c, w) in suffix {
+        columns.push(c.to_string());
+        widths.push(*w);
+    }
+    let refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    print_table_header(title, &refs, &widths);
+    widths
+}
+
 /// Prints a header line and a separator for a table.
 pub fn print_table_header(title: &str, columns: &[&str], widths: &[usize]) {
     println!("\n=== {title} ===");
@@ -169,5 +212,13 @@ mod tests {
         // Not setting the variable in the test environment.
         let s = workload_scale();
         assert!(s > 0.0);
+    }
+
+    #[test]
+    fn default_variant_counts_match_the_paper() {
+        // Without the env override the sweep is the paper's 2–4 range.
+        if std::env::var("MVEE_BENCH_VARIANTS").is_err() {
+            assert_eq!(variant_counts(), vec![2, 3, 4]);
+        }
     }
 }

@@ -18,9 +18,18 @@
 //!   ([`lockstep`]), replication of I/O results from the master to the
 //!   slaves, and cross-thread ordering of ordered calls via the *syscall
 //!   ordering clock* ([`ordering`], §4.1 of the paper).
+//! * [`lockstep::LockstepTable`] — the rendezvous/replication table,
+//!   **sharded by logical thread index** so thread groups in different
+//!   shards never contend on the same lock, with a lock-free poison flag
+//!   that aborts every wait (rendezvous, replication *and* the injected
+//!   agent's replay, via the monitor's poison hook) when divergence is
+//!   detected.  [`MonitorConfig::shards`](monitor::MonitorConfig) sets the
+//!   partitioning; `shards = 1` reproduces the original global table for
+//!   ablations.
 //! * [`policy::MonitoringPolicy`] — which calls are locksteped (everything,
 //!   only security-sensitive calls, or nothing), matching the policy range
-//!   evaluated in §5.1.
+//!   evaluated in §5.1; [`policy::CallDisposition`] resolves a call's full
+//!   lockstep/replicate/order treatment in one step.
 //! * [`divergence`] — the comparison logic and the report produced when
 //!   variants disagree.
 //! * [`mvee::Mvee`] — the front end that wires a simulated kernel, a

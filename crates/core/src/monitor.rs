@@ -15,34 +15,21 @@ use parking_lot::Mutex;
 
 use mvee_kernel::kernel::Kernel;
 use mvee_kernel::process::Pid;
-use mvee_kernel::syscall::{SyscallClass, SyscallOutcome, SyscallRequest, Sysno};
+use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest, Sysno};
 
 use crate::divergence::{DivergenceKind, DivergenceReport};
-use crate::lockstep::{ArrivalResult, LockstepTable, SlotKey};
-use crate::ordering::SyscallOrderingClock;
+use crate::lockstep::{ArrivalResult, LockstepTable, SlotKey, DEFAULT_SHARDS};
+use crate::ordering::ShardedOrderingClock;
 use crate::policy::MonitoringPolicy;
 
 /// Spin-then-yield wait with a deadline; returns `false` on timeout.
 ///
 /// Used by the ordering clock and a few monitor-internal waits where a
-/// condition variable would be heavier than the expected wait time.
-pub fn wait_until_with_timeout(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
-    let deadline = std::time::Instant::now() + timeout;
-    let mut spins = 0u32;
-    loop {
-        if cond() {
-            return true;
-        }
-        if std::time::Instant::now() >= deadline {
-            return cond();
-        }
-        spins += 1;
-        if spins.is_multiple_of(64) {
-            std::thread::yield_now();
-        } else {
-            std::hint::spin_loop();
-        }
-    }
+/// condition variable would be heavier than the expected wait time.  Thin
+/// wrapper over the shared [`Waiter`](mvee_sync_agent::guards::Waiter)
+/// spin/yield helper so the monitor and the agents use one tested wait loop.
+pub fn wait_until_with_timeout(timeout: Duration, cond: impl FnMut() -> bool) -> bool {
+    mvee_sync_agent::guards::Waiter::default().wait_until_deadline(timeout, cond)
 }
 
 /// Monitor configuration.
@@ -57,6 +44,10 @@ pub struct MonitorConfig {
     pub lockstep_timeout: Duration,
     /// Maximum number of logical threads per variant.
     pub max_threads: usize,
+    /// Number of rendezvous/ordering shards the monitor state is partitioned
+    /// into (see [`crate::lockstep`]).  `1` reproduces the original global
+    /// table and global ordering clock.
+    pub shards: usize,
 }
 
 impl Default for MonitorConfig {
@@ -66,6 +57,7 @@ impl Default for MonitorConfig {
             policy: MonitoringPolicy::StrictLockstep,
             lockstep_timeout: Duration::from_secs(5),
             max_threads: 64,
+            shards: DEFAULT_SHARDS,
         }
     }
 }
@@ -118,6 +110,24 @@ struct StatCounters {
     self_aware_queries: AtomicU64,
 }
 
+/// Per (variant, thread) fast-path state, touched on every monitored call.
+///
+/// Holding the per-thread sequence counter and the thread's precomputed
+/// shard index together keeps the hot path to one cache line of thread-local
+/// monitor state: no shared counter is touched before the call has been
+/// classified.  The 64-byte alignment keeps neighbouring threads' `seq`
+/// counters off each other's cache lines (their `fetch_add`s would otherwise
+/// false-share — the exact contention this refactor removes elsewhere).
+#[derive(Debug)]
+#[repr(align(64))]
+struct ThreadState {
+    /// Next per-thread sequence number for monitored calls.
+    seq: AtomicU64,
+    /// The shard this thread's slots and ordering clock live in; identical
+    /// across variants because it depends only on the logical thread index.
+    shard: usize,
+}
+
 /// The MVEE monitor.
 pub struct Monitor {
     config: MonitorConfig,
@@ -125,14 +135,21 @@ pub struct Monitor {
     /// Kernel process backing each variant.
     pids: Vec<Pid>,
     lockstep: LockstepTable,
-    /// Per-variant syscall ordering clocks.  The master's clock hands out
-    /// timestamps; each slave's clock gates execution (§4.1).
-    ordering_clocks: Vec<SyscallOrderingClock>,
-    /// Per (variant, thread) sequence numbers for monitored calls.
-    sequences: Vec<AtomicU64>,
+    /// Per-variant sharded syscall ordering clocks.  The master's clocks hand
+    /// out timestamps; each slave's clocks gate execution (§4.1), one clock
+    /// per thread-group shard.
+    ordering_clocks: Vec<ShardedOrderingClock>,
+    /// Per (variant, thread) fast-path state.
+    threads: Vec<ThreadState>,
     stats: StatCounters,
     diverged: AtomicBool,
     divergence_report: Mutex<Option<DivergenceReport>>,
+    /// Called once when divergence is first recorded, after the lockstep
+    /// table has been poisoned.  The MVEE front end installs a hook that
+    /// poisons the synchronization agent, so threads blocked inside agent
+    /// waits (replay, full buffers) abort as promptly as the rendezvous
+    /// waiters do.
+    poison_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl Monitor {
@@ -149,21 +166,39 @@ impl Monitor {
             config.variants,
             "one kernel process per variant is required"
         );
+        let shards = config.shards.max(1);
         Monitor {
-            lockstep: LockstepTable::new(config.variants),
+            lockstep: LockstepTable::with_shards(config.variants, shards),
             ordering_clocks: (0..config.variants)
-                .map(|_| SyscallOrderingClock::new())
+                .map(|_| ShardedOrderingClock::new(shards))
                 .collect(),
-            sequences: (0..config.variants * config.max_threads)
-                .map(|_| AtomicU64::new(0))
+            threads: (0..config.variants * config.max_threads)
+                .map(|i| ThreadState {
+                    seq: AtomicU64::new(0),
+                    shard: (i % config.max_threads) % shards,
+                })
                 .collect(),
             stats: StatCounters::default(),
             diverged: AtomicBool::new(false),
             divergence_report: Mutex::new(None),
+            poison_hook: Mutex::new(None),
             config,
             kernel,
             pids,
         }
+    }
+
+    /// Installs a hook invoked (once) when divergence is recorded, after the
+    /// rendezvous table has been poisoned.  Used to propagate the shutdown to
+    /// components the monitor does not own, such as the synchronization
+    /// agent's blocking waits.
+    pub fn set_poison_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.poison_hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Number of rendezvous/ordering shards the monitor state is split into.
+    pub fn shard_count(&self) -> usize {
+        self.lockstep.shard_count()
     }
 
     /// The monitor configuration.
@@ -198,8 +233,8 @@ impl Monitor {
         }
     }
 
-    fn seq_slot(&self, variant: usize, thread: usize) -> &AtomicU64 {
-        &self.sequences[variant * self.config.max_threads + thread]
+    fn thread_state(&self, variant: usize, thread: usize) -> &ThreadState {
+        &self.threads[variant * self.config.max_threads + thread]
     }
 
     fn record_divergence(&self, report: DivergenceReport) -> MonitorError {
@@ -211,8 +246,12 @@ impl Monitor {
         drop(slot);
         self.diverged.store(true, Ordering::Release);
         // Wake every thread blocked in a rendezvous or replication wait so
-        // the whole MVEE shuts down promptly.
+        // the whole MVEE shuts down promptly, then let the front end poison
+        // the agent so replay waits abort too.
         self.lockstep.poison();
+        if let Some(hook) = &*self.poison_hook.lock() {
+            hook();
+        }
         MonitorError::Diverged(report)
     }
 
@@ -248,16 +287,14 @@ impl Monitor {
             return Ok(SyscallOutcome::ok(variant as i64));
         }
 
-        let seq = self
-            .seq_slot(variant, thread)
-            .fetch_add(1, Ordering::AcqRel);
+        let state = self.thread_state(variant, thread);
+        let seq = state.seq.fetch_add(1, Ordering::AcqRel);
+        let shard = state.shard;
         let key: SlotKey = (thread, seq);
 
-        let lockstep = self.config.policy.requires_lockstep(req.no);
-        let replicate = Self::is_replicated(req.no);
-        let ordered = !replicate && req.no.needs_ordering();
+        let disposition = self.config.policy.disposition(req.no);
 
-        if lockstep {
+        if disposition.lockstep {
             self.stats.lockstep_syscalls.fetch_add(1, Ordering::Relaxed);
             match self.lockstep.arrive(
                 key,
@@ -292,29 +329,21 @@ impl Monitor {
             }
         }
 
-        if replicate {
+        if disposition.replicate {
             self.stats
                 .replicated_syscalls
                 .fetch_add(1, Ordering::Relaxed);
             return self.run_replicated(variant, thread, seq, key, req);
         }
-        if ordered {
+        if disposition.ordered {
             self.stats.ordered_syscalls.fetch_add(1, Ordering::Relaxed);
-            return self.run_ordered(variant, thread, seq, key, req);
+            return self.run_ordered(variant, thread, seq, shard, key, req);
         }
         // Neither replicated nor ordered: the variant executes against its
         // own kernel process directly (sched_yield, gettid-style queries that
         // happen to differ, exit of a single thread, ...).
         self.lockstep.consume(key);
         Ok(self.kernel.execute(self.pids[variant], thread as u64, req))
-    }
-
-    /// Whether results for this call flow from the master to the slaves.
-    fn is_replicated(no: Sysno) -> bool {
-        matches!(
-            no.class(),
-            SyscallClass::Io | SyscallClass::ReadOnlyInfo | SyscallClass::BlockingSync
-        )
     }
 
     fn run_replicated(
@@ -362,13 +391,15 @@ impl Monitor {
         variant: usize,
         thread: usize,
         seq: u64,
+        shard: usize,
         key: SlotKey,
         req: &SyscallRequest,
     ) -> Result<SyscallOutcome, MonitorError> {
         if variant == 0 {
-            // Master: claim a timestamp, execute, publish the timestamp so the
-            // slaves can replay the cross-thread order.
-            let ts = self.ordering_clocks[0].claim_timestamp();
+            // Master: claim a timestamp on this thread group's shard clock,
+            // execute, publish the timestamp so the slaves can replay the
+            // cross-thread order within the shard.
+            let ts = self.ordering_clocks[0].clock(shard).claim_timestamp();
             let outcome = self.kernel.execute(self.pids[0], thread as u64, req);
             self.lockstep
                 .publish_outcome(key, outcome.clone(), Some(ts));
@@ -395,10 +426,17 @@ impl Monitor {
                 }
             };
             let ts = ts.unwrap_or(0);
-            if !self.ordering_clocks[variant].wait_for_turn(ts, self.config.lockstep_timeout) {
-                if self.has_diverged() {
-                    return Err(MonitorError::ShutDown);
-                }
+            let clock = self.ordering_clocks[variant].clock(shard);
+            // The wait also breaks on divergence: a poisoned MVEE must not
+            // keep slave threads spinning out their full lockstep timeout on
+            // a turn that will never come.
+            let turn_reached = wait_until_with_timeout(self.config.lockstep_timeout, || {
+                self.has_diverged() || clock.now() >= ts
+            });
+            if self.has_diverged() {
+                return Err(MonitorError::ShutDown);
+            }
+            if !turn_reached {
                 return Err(self.record_divergence(DivergenceReport {
                     kind: DivergenceKind::RendezvousTimeout {
                         arrived: vec![variant],
@@ -409,7 +447,7 @@ impl Monitor {
                 }));
             }
             let outcome = self.kernel.execute(self.pids[variant], thread as u64, req);
-            self.ordering_clocks[variant].advance();
+            clock.advance();
             self.lockstep.consume(key);
             Ok(outcome)
         }
@@ -423,7 +461,11 @@ mod tests {
     use mvee_kernel::vfs::OpenFlags;
     use std::sync::Arc;
 
-    fn make_monitor(variants: usize, policy: MonitoringPolicy) -> (Arc<Monitor>, Arc<Kernel>) {
+    fn make_monitor_sharded(
+        variants: usize,
+        policy: MonitoringPolicy,
+        shards: usize,
+    ) -> (Arc<Monitor>, Arc<Kernel>) {
         let kernel = Arc::new(Kernel::new_manual_clock());
         kernel.install_file("/input", b"some input data");
         let pids = (0..variants).map(|_| kernel.spawn_process()).collect();
@@ -432,11 +474,18 @@ mod tests {
             policy,
             lockstep_timeout: Duration::from_millis(500),
             max_threads: 8,
+            shards,
         };
         (
             Arc::new(Monitor::new(config, Arc::clone(&kernel), pids)),
             kernel,
         )
+    }
+
+    /// Single-shard monitor: the original global-table behaviour, used by the
+    /// tests whose scenarios rely on a global cross-thread order.
+    fn make_monitor(variants: usize, policy: MonitoringPolicy) -> (Arc<Monitor>, Arc<Kernel>) {
+        make_monitor_sharded(variants, policy, 1)
     }
 
     fn open_req(path: &str) -> SyscallRequest {
@@ -651,6 +700,135 @@ mod tests {
         assert_eq!(s.replicated_syscalls, 1);
         assert_eq!(s.ordered_syscalls, 1);
         assert_eq!(s.divergences, 0);
+    }
+
+    #[test]
+    fn default_config_is_sharded() {
+        let (monitor, _) = {
+            let kernel = Arc::new(Kernel::new_manual_clock());
+            let pids = (0..2).map(|_| kernel.spawn_process()).collect();
+            let config = MonitorConfig::default();
+            (
+                Arc::new(Monitor::new(config, Arc::clone(&kernel), pids)),
+                (),
+            )
+        };
+        assert_eq!(monitor.shard_count(), crate::lockstep::DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn sharded_monitor_replicates_across_thread_groups() {
+        // Threads 0 and 1 land in different shards (shards = 4); both must
+        // still see the master's replicated outcomes.
+        let (monitor, _) = make_monitor_sharded(2, MonitoringPolicy::StrictLockstep, 4);
+        for thread in 0..2usize {
+            let m = Arc::clone(&monitor);
+            let slave =
+                std::thread::spawn(move || m.syscall(1, thread, &open_req("/input")).unwrap());
+            let master = monitor.syscall(0, thread, &open_req("/input")).unwrap();
+            assert_eq!(master.result, slave.join().unwrap().result);
+        }
+        assert!(!monitor.has_diverged());
+    }
+
+    #[test]
+    fn divergence_in_one_shard_poisons_waiters_in_other_shards() {
+        // Thread 2's mismatch must promptly wake thread 0's rendezvous even
+        // though they wait on different shards.
+        let (monitor, _) = make_monitor_sharded(2, MonitoringPolicy::StrictLockstep, 4);
+        let m = Arc::clone(&monitor);
+        let stuck = std::thread::spawn(move || {
+            // Only variant 0 arrives on thread 0: blocks until poisoned.
+            m.syscall(0, 0, &open_req("/input"))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let m = Arc::clone(&monitor);
+        let slave = std::thread::spawn(move || {
+            m.syscall(1, 2, &SyscallRequest::new(Sysno::Mprotect).with_int(4096))
+        });
+        let master = monitor.syscall(
+            0,
+            2,
+            &SyscallRequest::new(Sysno::Write)
+                .with_fd(1)
+                .with_payload(b"ok"),
+        );
+        let slave = slave.join().unwrap();
+        assert!(master.is_err() || slave.is_err());
+        assert!(monitor.has_diverged());
+        // The cross-shard waiter aborts with ShutDown/Diverged well before
+        // its own 500 ms timeout would fire.
+        assert!(stuck.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn divergence_unblocks_ordered_turn_waiters_promptly() {
+        // A slave blocked on its ordering-clock turn must abort on divergence
+        // instead of spinning out the full (here: 10 s) lockstep timeout.
+        let kernel = Arc::new(Kernel::new_manual_clock());
+        kernel.install_file("/input", b"some input data");
+        let pids = (0..2).map(|_| kernel.spawn_process()).collect();
+        let config = MonitorConfig {
+            variants: 2,
+            // Ordered calls (brk) skip the rendezvous under this policy, so
+            // the master can record its cross-thread order alone; the
+            // security-sensitive calls below still compare and diverge.
+            policy: MonitoringPolicy::SecuritySensitiveOnly,
+            lockstep_timeout: Duration::from_secs(10),
+            max_threads: 8,
+            shards: 1,
+        };
+        let monitor = Arc::new(Monitor::new(config, Arc::clone(&kernel), pids));
+        let brk = |m: &Monitor, v: usize, t: usize| {
+            m.syscall(v, t, &SyscallRequest::new(Sysno::Brk).with_int(0))
+        };
+        // Master: thread 0 then thread 1 (timestamps 0 and 1).
+        brk(&monitor, 0, 0).unwrap();
+        brk(&monitor, 0, 1).unwrap();
+        // Slave thread 1 stalls on the ordering clock until slave thread 0
+        // runs — which it never will.
+        let m = Arc::clone(&monitor);
+        let stuck = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let r = brk(&m, 1, 1);
+            (r, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        // Divergence on an unrelated thread: both calls are
+        // security-sensitive, so they rendezvous and mismatch.
+        let m = Arc::clone(&monitor);
+        let slave = std::thread::spawn(move || {
+            m.syscall(1, 2, &SyscallRequest::new(Sysno::Mprotect).with_int(4096))
+        });
+        let master = monitor.syscall(0, 2, &open_req("/input"));
+        assert!(master.is_err() || slave.join().unwrap().is_err());
+        let (result, elapsed) = stuck.join().unwrap();
+        assert!(result.is_err());
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "ordered waiter took {elapsed:?} to notice the divergence"
+        );
+    }
+
+    #[test]
+    fn ordering_is_preserved_within_a_shard() {
+        // With 4 shards, threads 0 and 4 share shard 0: the slave's thread 4
+        // must wait for thread 0's earlier ordered call, exactly as in the
+        // unsharded design.
+        let (monitor, _) = make_monitor_sharded(2, MonitoringPolicy::NoComparison, 4);
+        let brk = |m: &Monitor, v: usize, t: usize| {
+            m.syscall(v, t, &SyscallRequest::new(Sysno::Brk).with_int(0))
+        };
+        brk(&monitor, 0, 0).unwrap();
+        brk(&monitor, 0, 4).unwrap();
+
+        let m = Arc::clone(&monitor);
+        let slave_t4 = std::thread::spawn(move || brk(&m, 1, 4));
+        std::thread::sleep(Duration::from_millis(50));
+        brk(&monitor, 1, 0).unwrap();
+        slave_t4.join().unwrap().unwrap();
+        assert!(!monitor.has_diverged());
+        assert_eq!(monitor.stats().ordered_syscalls, 4);
     }
 
     #[test]

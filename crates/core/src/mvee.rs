@@ -51,6 +51,7 @@ pub struct MveeBuilder {
     lockstep_timeout: Duration,
     layouts: Option<Vec<VariantLayout>>,
     manual_clock: bool,
+    shards: usize,
 }
 
 impl Default for MveeBuilder {
@@ -64,6 +65,7 @@ impl Default for MveeBuilder {
             lockstep_timeout: Duration::from_secs(5),
             layouts: None,
             manual_clock: false,
+            shards: crate::lockstep::DEFAULT_SHARDS,
         }
     }
 }
@@ -118,6 +120,18 @@ impl MveeBuilder {
         self
     }
 
+    /// Sets the number of rendezvous/ordering shards the monitor partitions
+    /// its hot-path state into.  `1` reproduces the original global table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one monitor shard");
+        self.shards = shards;
+        self
+    }
+
     /// Builds the MVEE: spawns one kernel process per variant, constructs the
     /// monitor and injects the synchronization agent.
     ///
@@ -147,6 +161,7 @@ impl MveeBuilder {
             policy: self.policy,
             lockstep_timeout: self.lockstep_timeout,
             max_threads: mvee_sync_agent::context::MAX_THREADS,
+            shards: self.shards,
         };
         let monitor = Arc::new(Monitor::new(
             monitor_config,
@@ -158,6 +173,13 @@ impl MveeBuilder {
             .with_variants(self.variants)
             .with_threads(self.threads.max(1));
         let agent: Arc<dyn SyncAgent> = Arc::from(build_agent(self.agent_kind, agent_config));
+        // Divergence must unblock agent waits (replay, full buffers) as
+        // promptly as it unblocks rendezvous waiters, or the shutdown can
+        // deadlock behind a recording that will never continue.
+        monitor.set_poison_hook({
+            let agent = Arc::clone(&agent);
+            move || agent.poison()
+        });
         Mvee {
             kernel,
             monitor,
@@ -325,6 +347,26 @@ mod tests {
         assert_eq!(mvee.pid_of(0), 0);
         assert_eq!(mvee.pid_of(2), 2);
         assert!(mvee.divergence().is_none());
+        assert_eq!(
+            mvee.monitor().shard_count(),
+            crate::lockstep::DEFAULT_SHARDS
+        );
+    }
+
+    #[test]
+    fn builder_shards_knob_reaches_the_monitor() {
+        let mvee = Mvee::builder()
+            .variants(2)
+            .shards(3)
+            .manual_clock(true)
+            .build();
+        assert_eq!(mvee.monitor().shard_count(), 3);
+        let unsharded = Mvee::builder()
+            .variants(2)
+            .shards(1)
+            .manual_clock(true)
+            .build();
+        assert_eq!(unsharded.monitor().shard_count(), 1);
     }
 
     #[test]
@@ -351,6 +393,24 @@ mod tests {
         let v = gw.sync_op(0, 0x1000, || 7);
         assert_eq!(v, 7);
         assert_eq!(mvee.agent_stats().ops_recorded, 1);
+    }
+
+    #[test]
+    fn divergence_poisons_the_injected_agent() {
+        let mvee = Mvee::builder()
+            .variants(2)
+            .manual_clock(true)
+            .lockstep_timeout(std::time::Duration::from_millis(50))
+            .build();
+        assert!(!mvee.agent().is_poisoned());
+        // Only variant 0 arrives at a locksteped call: rendezvous timeout,
+        // divergence, and the poison hook must reach the agent.
+        let r = mvee
+            .gateway(0)
+            .syscall(0, &SyscallRequest::new(Sysno::Write).with_payload(b"x"));
+        assert!(r.is_err());
+        assert!(mvee.divergence().is_some());
+        assert!(mvee.agent().is_poisoned());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The syscall ordering clock (§4.1 of the paper).
+//! The syscall ordering clock (§4.1 of the paper), sharded per thread group.
 //!
 //! ReMon orders related system calls across the threads of a variant with
 //! Lamport-style logical clocks: the monitor assigns the master variant's
@@ -11,12 +11,27 @@
 //! allocation, memory-management calls, ...) in every slave to match the
 //! master's order — which is exactly what makes FD numbers and allocator
 //! behaviour consistent across variants (§3.1).
+//!
+//! # Sharding
+//!
+//! A single clock per variant serializes *every* ordered call of that
+//! variant, even calls issued by threads that never interact — the same
+//! global-ordering bottleneck the paper's total-order agent suffers from.
+//! [`ShardedOrderingClock`] therefore keeps one [`SyscallOrderingClock`] per
+//! monitor shard: threads are assigned to shards by logical thread index
+//! (identically in every variant), ordered calls of threads in the same
+//! shard keep the full §4.1 cross-thread guarantee, and threads in different
+//! shards order independently.  Calls whose *results* must agree across all
+//! threads (FD allocation and other I/O) are replicated from the master
+//! rather than ordered, so relaxing cross-shard order never leaks divergent
+//! observable state.  `shards = 1` restores the original single-clock
+//! behaviour.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::monitor::wait_until_with_timeout;
 
-/// A per-variant syscall ordering clock.
+/// A per-variant, per-shard syscall ordering clock.
 #[derive(Debug, Default)]
 pub struct SyscallOrderingClock {
     time: AtomicU64,
@@ -49,6 +64,51 @@ impl SyscallOrderingClock {
     /// Slave side: marks the ordered call as finished, advancing the clock.
     pub fn advance(&self) -> u64 {
         self.time.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// One variant's wall of per-shard ordering clocks.
+///
+/// The shard for a call is derived from the issuing thread's logical index,
+/// which is assigned identically in every variant — so the master's claimed
+/// timestamp and the slave's wait always refer to the same shard clock.
+#[derive(Debug)]
+pub struct ShardedOrderingClock {
+    clocks: Box<[SyscallOrderingClock]>,
+}
+
+impl ShardedOrderingClock {
+    /// Creates `shards` independent clocks, all at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one ordering shard");
+        ShardedOrderingClock {
+            clocks: (0..shards).map(|_| SyscallOrderingClock::new()).collect(),
+        }
+    }
+
+    /// Number of shard clocks.
+    pub fn shard_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The shard a logical thread's ordered calls go through.
+    pub fn shard_of(&self, thread: usize) -> usize {
+        thread % self.clocks.len()
+    }
+
+    /// The clock backing `shard`.
+    pub fn clock(&self, shard: usize) -> &SyscallOrderingClock {
+        &self.clocks[shard]
+    }
+
+    /// Sum of all shard clocks — the total number of ordered calls this
+    /// variant has claimed/advanced through.
+    pub fn total_time(&self) -> u64 {
+        self.clocks.iter().map(|c| c.now()).sum()
     }
 }
 
@@ -111,5 +171,34 @@ mod tests {
         assert_eq!(thread_a.join().unwrap(), 0);
         assert_eq!(thread_b.join().unwrap(), 1);
         assert_eq!(clock.now(), 2);
+    }
+
+    #[test]
+    fn sharded_clock_maps_threads_to_stable_shards() {
+        let c = ShardedOrderingClock::new(4);
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.shard_of(0), 0);
+        assert_eq!(c.shard_of(5), 1);
+        assert_eq!(c.shard_of(4), c.shard_of(0));
+    }
+
+    #[test]
+    fn shard_clocks_tick_independently() {
+        let c = ShardedOrderingClock::new(2);
+        assert_eq!(c.clock(0).claim_timestamp(), 0);
+        assert_eq!(c.clock(0).claim_timestamp(), 1);
+        // Shard 1 is untouched by shard 0's claims.
+        assert_eq!(c.clock(1).claim_timestamp(), 0);
+        assert_eq!(c.total_time(), 3);
+    }
+
+    #[test]
+    fn single_shard_clock_restores_global_ordering() {
+        let c = ShardedOrderingClock::new(1);
+        for thread in 0..5usize {
+            assert_eq!(c.shard_of(thread), 0);
+        }
+        assert_eq!(c.clock(0).claim_timestamp(), 0);
+        assert_eq!(c.clock(0).claim_timestamp(), 1);
     }
 }

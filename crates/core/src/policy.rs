@@ -10,7 +10,25 @@
 
 use serde::{Deserialize, Serialize};
 
-use mvee_kernel::syscall::Sysno;
+use mvee_kernel::syscall::{SyscallClass, Sysno};
+
+/// How the monitor handles one monitored call: the policy-resolved
+/// combination of rendezvous, replication and ordering.
+///
+/// Exactly one of `replicate` and `ordered` can be set (replication already
+/// implies the master's execution order); `lockstep` composes with either.
+/// The monitor's hot path computes this once per call instead of re-deriving
+/// each property separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallDisposition {
+    /// The call requires a cross-variant rendezvous and comparison.
+    pub lockstep: bool,
+    /// The call's result flows from the master to the slaves.
+    pub replicate: bool,
+    /// The call executes in every variant but follows the master's
+    /// cross-thread order via the syscall ordering clock.
+    pub ordered: bool,
+}
 
 /// Which system calls the monitor compares in lockstep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -44,6 +62,23 @@ impl MonitoringPolicy {
             }
             MonitoringPolicy::SecuritySensitiveOnly => sysno.is_security_sensitive(),
             MonitoringPolicy::NoComparison => false,
+        }
+    }
+
+    /// Resolves how the monitor must handle `sysno` under this policy.
+    ///
+    /// Replication is policy-independent (I/O results always flow from the
+    /// master to the slaves, or the variants would receive inconsistent
+    /// inputs); the policy only decides the `lockstep` component.
+    pub fn disposition(self, sysno: Sysno) -> CallDisposition {
+        let replicate = matches!(
+            sysno.class(),
+            SyscallClass::Io | SyscallClass::ReadOnlyInfo | SyscallClass::BlockingSync
+        );
+        CallDisposition {
+            lockstep: self.requires_lockstep(sysno),
+            replicate,
+            ordered: !replicate && sysno.needs_ordering(),
         }
     }
 
@@ -121,6 +156,40 @@ mod tests {
         let p = MonitoringPolicy::NoComparison;
         for sysno in [Sysno::Open, Sysno::Write, Sysno::Mprotect, Sysno::ExitGroup] {
             assert!(!p.requires_lockstep(sysno));
+        }
+    }
+
+    #[test]
+    fn disposition_is_consistent_with_its_parts() {
+        for policy in MonitoringPolicy::all() {
+            for sysno in [
+                Sysno::Open,
+                Sysno::Read,
+                Sysno::Write,
+                Sysno::Brk,
+                Sysno::Mmap,
+                Sysno::Mprotect,
+                Sysno::Gettimeofday,
+                Sysno::SchedYield,
+                Sysno::FutexWait,
+            ] {
+                let d = policy.disposition(sysno);
+                assert_eq!(d.lockstep, policy.requires_lockstep(sysno), "{sysno:?}");
+                assert!(
+                    !(d.replicate && d.ordered),
+                    "{sysno:?}: replication already implies the master's order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replication_is_policy_independent() {
+        for policy in MonitoringPolicy::all() {
+            assert!(policy.disposition(Sysno::Read).replicate);
+            assert!(policy.disposition(Sysno::Gettimeofday).replicate);
+            assert!(!policy.disposition(Sysno::Brk).replicate);
+            assert!(policy.disposition(Sysno::Brk).ordered);
         }
     }
 

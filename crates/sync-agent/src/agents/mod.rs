@@ -56,6 +56,47 @@ impl AgentKind {
     }
 }
 
+/// The shared master-side "record an op under its ordering guard" loop.
+///
+/// Acquires the guard for `guard_idx`, builds the record (under the guard —
+/// the wall-of-clocks agent reads the clock's current time there) and tries
+/// to push it into `ring`.  On a full ring the guard is dropped while
+/// waiting for space — never hold the ordering guard while waiting for
+/// buffer space, or a master thread stalled on a full buffer blocks every
+/// other master thread sharing the guard while the slave that should drain
+/// the buffer may itself be waiting on one of those threads' ops: deadlock.
+///
+/// Returns `true` when the record was stored and `false` when the agent was
+/// poisoned while waiting for space (the record is dropped — the slaves
+/// that would replay it are shutting down).  In **both** cases the caller
+/// ends up holding the guard, so the paired `after_sync_op` release stays
+/// balanced.
+pub(crate) fn push_record_guarded(
+    guards: &crate::guards::GuardTable,
+    guard_idx: usize,
+    ring: &crate::ring::RecordRing,
+    waiter: &crate::guards::Waiter,
+    on_master_stall: impl Fn(),
+    is_poisoned: impl Fn() -> bool,
+    make_record: impl Fn() -> crate::ring::SyncRecord,
+) -> bool {
+    loop {
+        guards.acquire(guard_idx);
+        match ring.try_push(make_record()) {
+            crate::ring::PushOutcome::Stored(_) => return true,
+            crate::ring::PushOutcome::Full => {
+                guards.release(guard_idx);
+                on_master_stall();
+                waiter.wait_until(|| is_poisoned() || ring.has_space());
+                if is_poisoned() {
+                    guards.acquire(guard_idx);
+                    return false;
+                }
+            }
+        }
+    }
+}
+
 /// Constructs a boxed agent of the requested kind.
 pub fn build_agent(
     kind: AgentKind,

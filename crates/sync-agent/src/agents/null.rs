@@ -30,9 +30,9 @@ impl SyncAgent for NullAgent {
 
     fn before_sync_op(&self, ctx: &SyncContext, _addr: u64) {
         if ctx.role.is_master() {
-            self.stats.count_record();
+            self.stats.count_record(ctx.thread);
         } else {
-            self.stats.count_replay();
+            self.stats.count_replay(ctx.thread);
         }
     }
 

@@ -12,7 +12,7 @@
 //! identifies as the source of cache contention in `radiosity`,
 //! `fluidanimate`, `dedup` and friends.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::context::{AgentConfig, SyncContext, VariantRole, MAX_THREADS};
 use crate::guards::{GuardTable, Waiter};
@@ -55,6 +55,7 @@ pub struct PartialOrderAgent {
     waiter: Waiter,
     stats: SharedStats,
     slaves: Vec<SlaveState>,
+    poisoned: AtomicBool,
 }
 
 impl PartialOrderAgent {
@@ -69,6 +70,7 @@ impl PartialOrderAgent {
             slaves: (0..readers)
                 .map(|_| SlaveState::new(config.buffer_capacity))
                 .collect(),
+            poisoned: AtomicBool::new(false),
             config,
         }
     }
@@ -90,22 +92,16 @@ impl PartialOrderAgent {
 
     fn master_before(&self, ctx: &SyncContext, addr: u64) {
         let bucket = self.guards.bucket_for(addr);
-        let record = SyncRecord::simple(ctx.thread as u32, addr);
-        // Never hold the ordering guard while waiting for buffer space (see
-        // the wall-of-clocks agent for the deadlock this avoids).
-        loop {
-            self.guards.acquire(bucket);
-            match self.ring.try_push(record) {
-                crate::ring::PushOutcome::Stored(_) => {
-                    self.stats.count_record();
-                    return;
-                }
-                crate::ring::PushOutcome::Full => {
-                    self.guards.release(bucket);
-                    self.stats.count_master_stall();
-                    self.waiter.wait_until(|| self.ring.has_space());
-                }
-            }
+        if super::push_record_guarded(
+            &self.guards,
+            bucket,
+            &self.ring,
+            &self.waiter,
+            || self.stats.count_master_stall(ctx.thread),
+            || self.is_poisoned(),
+            || SyncRecord::simple(ctx.thread as u32, addr),
+        ) {
+            self.stats.count_record(ctx.thread);
         }
     }
 
@@ -162,37 +158,39 @@ impl PartialOrderAgent {
 
     fn slave_before(&self, ctx: &SyncContext, slave: usize) {
         let thread = ctx.thread as u32;
-        let mut spins = 0u64;
-        let mut stalled = false;
-        // spin_before_yield == 0 means "yield every iteration", matching the
-        // Waiter in guards.rs (and avoiding a modulo by zero).
-        let spin_budget = u64::from(self.config.spin_before_yield);
-        let (pos, _rec) = loop {
+        let mut found = None;
+        let spins = self.waiter.wait_until(|| {
+            if self.is_poisoned() {
+                return true;
+            }
             if let Some((pos, rec)) = self.find_own_record(slave, thread) {
                 if self.dependencies_met(slave, pos, rec.addr) {
-                    break (pos, rec);
+                    found = Some(pos);
+                    return true;
                 }
             }
-            stalled = true;
-            spins += 1;
-            if spin_budget == 0 || spins.is_multiple_of(spin_budget) {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            false
+        });
+        let Some(pos) = found else {
+            // Poisoned bail-out: nothing was claimed; `slave_after` observes
+            // `claimed == 0` and leaves the replay state untouched.
+            return;
         };
         self.slaves[slave].claimed[ctx.thread].store(pos + 1, Ordering::Release);
         self.slaves[slave].scan_from[ctx.thread].store(pos + 1, Ordering::Release);
-        if stalled {
-            self.stats.count_slave_stall();
-            self.stats.add_spin_iterations(spins);
+        if spins > 0 {
+            self.stats.count_slave_stall(ctx.thread);
+            self.stats.add_spin_iterations(ctx.thread, spins);
         }
-        self.stats.count_replay();
+        self.stats.count_replay(ctx.thread);
     }
 
     fn slave_after(&self, ctx: &SyncContext, slave: usize) {
         let claimed = self.slaves[slave].claimed[ctx.thread].swap(0, Ordering::AcqRel);
-        debug_assert!(claimed > 0, "after_sync_op without matching before_sync_op");
+        debug_assert!(
+            claimed > 0 || self.is_poisoned(),
+            "after_sync_op without matching before_sync_op"
+        );
         if claimed == 0 {
             return;
         }
@@ -235,6 +233,14 @@ impl SyncAgent for PartialOrderAgent {
 
     fn stats(&self) -> AgentStats {
         self.stats.snapshot()
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
     }
 }
 

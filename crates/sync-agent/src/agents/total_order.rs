@@ -12,6 +12,8 @@
 //! read-write sharing (cache-line ping-pong) the paper identifies as the
 //! scalability limit of this design.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::context::{AgentConfig, SyncContext, VariantRole};
 use crate::guards::{GuardTable, Waiter};
 use crate::ring::{RecordRing, SyncRecord};
@@ -28,6 +30,7 @@ pub struct TotalOrderAgent {
     guards: GuardTable,
     waiter: Waiter,
     stats: SharedStats,
+    poisoned: AtomicBool,
 }
 
 impl TotalOrderAgent {
@@ -39,6 +42,7 @@ impl TotalOrderAgent {
             guards: GuardTable::new(config.guard_buckets, config.spin_before_yield),
             waiter: Waiter::new(config.spin_before_yield),
             stats: SharedStats::new(),
+            poisoned: AtomicBool::new(false),
             config,
         }
     }
@@ -59,22 +63,16 @@ impl TotalOrderAgent {
 
     fn master_before(&self, ctx: &SyncContext, addr: u64) {
         let bucket = self.guards.bucket_for(addr);
-        let record = SyncRecord::simple(ctx.thread as u32, addr);
-        // Never hold the ordering guard while waiting for buffer space (see
-        // the wall-of-clocks agent for the deadlock this avoids).
-        loop {
-            self.guards.acquire(bucket);
-            match self.ring.try_push(record) {
-                crate::ring::PushOutcome::Stored(_) => {
-                    self.stats.count_record();
-                    return;
-                }
-                crate::ring::PushOutcome::Full => {
-                    self.guards.release(bucket);
-                    self.stats.count_master_stall();
-                    self.waiter.wait_until(|| self.ring.has_space());
-                }
-            }
+        if super::push_record_guarded(
+            &self.guards,
+            bucket,
+            &self.ring,
+            &self.waiter,
+            || self.stats.count_master_stall(ctx.thread),
+            || self.is_poisoned(),
+            || SyncRecord::simple(ctx.thread as u32, addr),
+        ) {
+            self.stats.count_record(ctx.thread);
         }
     }
 
@@ -82,34 +80,33 @@ impl TotalOrderAgent {
         self.guards.release(self.guards.bucket_for(addr));
     }
 
-    fn slave_before(&self, ctx: &SyncContext, slave: usize) {
-        let my_thread = ctx.thread as u32;
-        let mut spins = 0u64;
-        let mut stalled = false;
-        loop {
-            let pos = self.ring.reader_pos(slave);
-            match self.ring.get(pos) {
-                Some(rec) if rec.thread == my_thread => break,
-                _ => {
-                    stalled = true;
-                    spins += self.waiter.wait_until(|| {
-                        let pos_now = self.ring.reader_pos(slave);
-                        match self.ring.get(pos_now) {
-                            Some(rec) => rec.thread == my_thread,
-                            None => false,
-                        }
-                    });
-                }
-            }
-        }
-        if stalled {
-            self.stats.count_slave_stall();
-            self.stats.add_spin_iterations(spins);
-        }
-        self.stats.count_replay();
+    /// Whether the unconsumed head of the recording belongs to `thread`.
+    fn head_is_mine(&self, slave: usize, thread: u32) -> bool {
+        let pos = self.ring.reader_pos(slave);
+        matches!(self.ring.get(pos), Some(rec) if rec.thread == thread)
     }
 
-    fn slave_after(&self, slave: usize) {
+    fn slave_before(&self, ctx: &SyncContext, slave: usize) {
+        let my_thread = ctx.thread as u32;
+        let spins = self
+            .waiter
+            .wait_until(|| self.is_poisoned() || self.head_is_mine(slave, my_thread));
+        if !self.head_is_mine(slave, my_thread) {
+            // Poisoned bail-out: nothing was claimed; `slave_after` will see
+            // a foreign (or absent) head record and leave the cursor alone.
+            return;
+        }
+        if spins > 0 {
+            self.stats.count_slave_stall(ctx.thread);
+            self.stats.add_spin_iterations(ctx.thread, spins);
+        }
+        self.stats.count_replay(ctx.thread);
+    }
+
+    fn slave_after(&self, ctx: &SyncContext, slave: usize) {
+        if self.is_poisoned() && !self.head_is_mine(slave, ctx.thread as u32) {
+            return;
+        }
         self.ring.advance_reader(slave);
     }
 }
@@ -129,12 +126,20 @@ impl SyncAgent for TotalOrderAgent {
     fn after_sync_op(&self, ctx: &SyncContext, addr: u64) {
         match ctx.role {
             VariantRole::Master => self.master_after(ctx, addr),
-            VariantRole::Slave { index } => self.slave_after(index),
+            VariantRole::Slave { index } => self.slave_after(ctx, index),
         }
     }
 
     fn stats(&self) -> AgentStats {
         self.stats.snapshot()
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
     }
 }
 

@@ -22,6 +22,8 @@
 //! [`AgentStats::clock_collisions`](crate::stats::AgentStats) counter and the
 //! `ablation_clocks` benchmark quantify that effect.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::clockwall::ClockWall;
 use crate::context::{AgentConfig, SyncContext, VariantRole};
 use crate::guards::{GuardTable, Waiter};
@@ -46,6 +48,7 @@ pub struct WallOfClocksAgent {
     guards: GuardTable,
     waiter: Waiter,
     stats: SharedStats,
+    poisoned: AtomicBool,
 }
 
 impl WallOfClocksAgent {
@@ -64,6 +67,7 @@ impl WallOfClocksAgent {
             guards: GuardTable::new(config.clock_count, config.spin_before_yield),
             waiter: Waiter::new(config.spin_before_yield),
             stats: SharedStats::new(),
+            poisoned: AtomicBool::new(false),
             config,
         }
     }
@@ -90,29 +94,24 @@ impl WallOfClocksAgent {
     fn master_before(&self, ctx: &SyncContext, addr: u64) {
         let clock = self.master_wall.clock_for(addr);
         let ring = self.ring_for(ctx.thread);
-        // The clock guard must never be held while waiting for ring space:
-        // a master thread stalled on a full buffer would otherwise block every
-        // other master thread whose sync variables share the clock, and —
-        // because the slave that should drain the buffer may itself be
-        // waiting on one of those threads' ops — deadlock the whole MVEE.
-        loop {
-            self.guards.acquire(clock);
-            let time = self.master_wall.time(clock);
-            let record = SyncRecord::with_clock(ctx.thread as u32, addr, clock as u32, time);
-            match ring.try_push(record) {
-                crate::ring::PushOutcome::Stored(_) => {
-                    if self.master_wall.note_address(clock, addr) {
-                        self.stats.count_clock_collision();
-                    }
-                    self.stats.count_record();
-                    return;
-                }
-                crate::ring::PushOutcome::Full => {
-                    self.guards.release(clock);
-                    self.stats.count_master_stall();
-                    self.waiter.wait_until(|| ring.has_space());
-                }
+        // The record's time must be read under the clock guard, so the
+        // record is built inside the shared push loop's guarded section.
+        if super::push_record_guarded(
+            &self.guards,
+            clock,
+            ring,
+            &self.waiter,
+            || self.stats.count_master_stall(ctx.thread),
+            || self.is_poisoned(),
+            || {
+                let time = self.master_wall.time(clock);
+                SyncRecord::with_clock(ctx.thread as u32, addr, clock as u32, time)
+            },
+        ) {
+            if self.master_wall.note_address(clock, addr) {
+                self.stats.count_clock_collision(ctx.thread);
             }
+            self.stats.count_record(ctx.thread);
         }
     }
 
@@ -125,23 +124,39 @@ impl WallOfClocksAgent {
     fn slave_before(&self, ctx: &SyncContext, slave: usize) {
         let ring = self.ring_for(ctx.thread);
         let pos = ring.reader_pos(slave);
-        let (record, waited_publish) = ring.get_blocking(pos, &self.waiter);
-        let waited_clock =
-            self.slave_walls[slave].wait_for(record.clock as usize, record.time, &self.waiter);
+        let waited_publish = self
+            .waiter
+            .wait_until(|| self.is_poisoned() || ring.get(pos).is_some());
+        let Some(record) = ring.get(pos) else {
+            // Poisoned bail-out: the master stopped recording; `slave_after`
+            // sees the absent record and leaves the replay state untouched.
+            return;
+        };
+        let clock = record.clock as usize;
+        let waited_clock = self.waiter.wait_until(|| {
+            self.is_poisoned() || self.slave_walls[slave].time(clock) >= record.time
+        });
         if waited_publish + waited_clock > 0 {
-            self.stats.count_slave_stall();
+            self.stats.count_slave_stall(ctx.thread);
             self.stats
-                .add_spin_iterations(waited_publish + waited_clock);
+                .add_spin_iterations(ctx.thread, waited_publish + waited_clock);
         }
-        self.stats.count_replay();
+        self.stats.count_replay(ctx.thread);
     }
 
     fn slave_after(&self, ctx: &SyncContext, slave: usize) {
         let ring = self.ring_for(ctx.thread);
         let pos = ring.reader_pos(slave);
-        let record = ring
-            .get(pos)
-            .expect("after_sync_op called without a pending record");
+        let record = match ring.get(pos) {
+            Some(record) => record,
+            None => {
+                debug_assert!(
+                    self.is_poisoned(),
+                    "after_sync_op called without a pending record"
+                );
+                return;
+            }
+        };
         self.slave_walls[slave].tick(record.clock as usize);
         ring.advance_reader(slave);
     }
@@ -168,6 +183,14 @@ impl SyncAgent for WallOfClocksAgent {
 
     fn stats(&self) -> AgentStats {
         self.stats.snapshot()
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
     }
 }
 

@@ -100,6 +100,24 @@ pub trait SyncAgent: Send + Sync {
 
     /// Returns a snapshot of the agent's counters.
     fn stats(&self) -> stats::AgentStats;
+
+    /// Marks the agent as poisoned and releases every blocked wait.
+    ///
+    /// The monitor calls this when divergence has been detected: record and
+    /// replay cannot meaningfully continue (the master may already have
+    /// stopped recording, slaves may already have stopped draining), so any
+    /// thread blocked in [`before_sync_op`](Self::before_sync_op) — a replay
+    /// wait or a full-buffer wait — must return promptly instead of
+    /// deadlocking the shutdown.  After poisoning, the sync-op hooks degrade
+    /// to (near) no-ops; the variants are about to be torn down anyway.
+    ///
+    /// The default implementation does nothing (the null agent never blocks).
+    fn poison(&self) {}
+
+    /// Whether the agent has been poisoned.
+    fn is_poisoned(&self) -> bool {
+        false
+    }
 }
 
 /// Convenience wrapper that brackets a closure between

@@ -1,8 +1,24 @@
 //! Counters the agents maintain and the benchmark harness reads.
+//!
+//! [`SharedStats`] is striped into independent *lanes* of atomic counters.
+//! Every agent call updates the lane of the calling thread's lane index
+//! (`thread % lane_count`), so threads of different thread groups never
+//! ping-pong the same counter cache line — the same per-thread-group
+//! sharding discipline the monitor's rendezvous table uses.  [`snapshot`]
+//! sums all lanes into one [`AgentStats`]; [`lane_snapshot`] exposes a single
+//! lane for per-shard observation.
+//!
+//! [`snapshot`]: SharedStats::snapshot
+//! [`lane_snapshot`]: SharedStats::lane_snapshot
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
+
+/// Default number of counter lanes; matches the monitor's default shard
+/// count scaled up so a 16-variant × many-thread run still spreads its
+/// updates.
+pub const DEFAULT_STAT_LANES: usize = 16;
 
 /// A snapshot of an agent's counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,11 +57,22 @@ impl AgentStats {
             self.slave_stalls as f64 / self.ops_replayed as f64
         }
     }
+
+    fn add(&mut self, other: &AgentStats) {
+        self.ops_recorded += other.ops_recorded;
+        self.ops_replayed += other.ops_replayed;
+        self.slave_stalls += other.slave_stalls;
+        self.master_stalls += other.master_stalls;
+        self.slave_spin_iterations += other.slave_spin_iterations;
+        self.clock_collisions += other.clock_collisions;
+    }
 }
 
-/// Thread-safe counter block shared by an agent's threads.
+/// One stripe of counters, padded to a cache line so adjacent lanes never
+/// false-share (the whole point of the striping).
 #[derive(Debug, Default)]
-pub struct SharedStats {
+#[repr(align(64))]
+struct Lane {
     ops_recorded: AtomicU64,
     ops_replayed: AtomicU64,
     slave_stalls: AtomicU64,
@@ -54,44 +81,8 @@ pub struct SharedStats {
     clock_collisions: AtomicU64,
 }
 
-impl SharedStats {
-    /// Creates a zeroed counter block.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Counts one recorded op.
-    pub fn count_record(&self) {
-        self.ops_recorded.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Counts one replayed op.
-    pub fn count_replay(&self) {
-        self.ops_replayed.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Counts one slave stall (a wait that did not succeed immediately).
-    pub fn count_slave_stall(&self) {
-        self.slave_stalls.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Counts one master stall (buffer full).
-    pub fn count_master_stall(&self) {
-        self.master_stalls.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Adds `n` spin iterations to the slave spin counter.
-    pub fn add_spin_iterations(&self, n: u64) {
-        self.slave_spin_iterations.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Counts one hash collision between distinct addresses on one clock.
-    pub fn count_clock_collision(&self) {
-        self.clock_collisions.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Takes a consistent-enough snapshot of all counters.
-    pub fn snapshot(&self) -> AgentStats {
+impl Lane {
+    fn snapshot(&self) -> AgentStats {
         AgentStats {
             ops_recorded: self.ops_recorded.load(Ordering::Relaxed),
             ops_replayed: self.ops_replayed.load(Ordering::Relaxed),
@@ -103,6 +94,100 @@ impl SharedStats {
     }
 }
 
+/// Thread-safe, lane-striped counter block shared by an agent's threads.
+///
+/// Every count method takes the caller's `lane` hint — agents pass the
+/// logical thread index, which is mapped onto a lane by modulo.
+#[derive(Debug)]
+pub struct SharedStats {
+    lanes: Box<[Lane]>,
+}
+
+impl Default for SharedStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedStats {
+    /// Creates a counter block with [`DEFAULT_STAT_LANES`] lanes.
+    pub fn new() -> Self {
+        Self::with_lanes(DEFAULT_STAT_LANES)
+    }
+
+    /// Creates a counter block with `lanes` stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn with_lanes(lanes: usize) -> Self {
+        assert!(lanes > 0, "need at least one stat lane");
+        SharedStats {
+            lanes: (0..lanes).map(|_| Lane::default()).collect(),
+        }
+    }
+
+    /// Number of counter lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn lane(&self, lane: usize) -> &Lane {
+        &self.lanes[lane % self.lanes.len()]
+    }
+
+    /// Counts one recorded op.
+    pub fn count_record(&self, lane: usize) {
+        self.lane(lane).ops_recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one replayed op.
+    pub fn count_replay(&self, lane: usize) {
+        self.lane(lane).ops_replayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one slave stall (a wait that did not succeed immediately).
+    pub fn count_slave_stall(&self, lane: usize) {
+        self.lane(lane).slave_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one master stall (buffer full).
+    pub fn count_master_stall(&self, lane: usize) {
+        self.lane(lane)
+            .master_stalls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` spin iterations to the slave spin counter.
+    pub fn add_spin_iterations(&self, lane: usize, n: u64) {
+        self.lane(lane)
+            .slave_spin_iterations
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one hash collision between distinct addresses on one clock.
+    pub fn count_clock_collision(&self, lane: usize) {
+        self.lane(lane)
+            .clock_collisions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of one counter lane — the per-shard view
+    /// agents expose instead of a single global counter.
+    pub fn lane_snapshot(&self, lane: usize) -> AgentStats {
+        self.lane(lane).snapshot()
+    }
+
+    /// Takes a consistent-enough snapshot summed over all lanes.
+    pub fn snapshot(&self) -> AgentStats {
+        let mut total = AgentStats::default();
+        for lane in self.lanes.iter() {
+            total.add(&lane.snapshot());
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,13 +195,13 @@ mod tests {
     #[test]
     fn counters_accumulate_into_snapshot() {
         let s = SharedStats::new();
-        s.count_record();
-        s.count_record();
-        s.count_replay();
-        s.count_slave_stall();
-        s.count_master_stall();
-        s.add_spin_iterations(10);
-        s.count_clock_collision();
+        s.count_record(0);
+        s.count_record(0);
+        s.count_replay(1);
+        s.count_slave_stall(2);
+        s.count_master_stall(3);
+        s.add_spin_iterations(4, 10);
+        s.count_clock_collision(5);
         let snap = s.snapshot();
         assert_eq!(snap.ops_recorded, 2);
         assert_eq!(snap.ops_replayed, 1);
@@ -124,6 +209,19 @@ mod tests {
         assert_eq!(snap.master_stalls, 1);
         assert_eq!(snap.slave_spin_iterations, 10);
         assert_eq!(snap.clock_collisions, 1);
+    }
+
+    #[test]
+    fn lanes_isolate_updates_and_sum_globally() {
+        let s = SharedStats::with_lanes(4);
+        assert_eq!(s.lane_count(), 4);
+        s.count_record(0);
+        s.count_record(1);
+        s.count_record(5); // lane 5 % 4 == 1
+        assert_eq!(s.lane_snapshot(0).ops_recorded, 1);
+        assert_eq!(s.lane_snapshot(1).ops_recorded, 2);
+        assert_eq!(s.lane_snapshot(2).ops_recorded, 0);
+        assert_eq!(s.snapshot().ops_recorded, 3);
     }
 
     #[test]
@@ -153,5 +251,11 @@ mod tests {
             ..Default::default()
         };
         assert!((s.stall_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stat lane")]
+    fn zero_lanes_panics() {
+        let _ = SharedStats::with_lanes(0);
     }
 }

@@ -37,12 +37,18 @@ fn op_address(thread: usize, op: u64) -> u64 {
     }
 }
 
-/// Runs the master and both slaves concurrently and returns the agent for
-/// stats inspection.  Panics via the watchdog if the run deadlocks.
-fn run_master_two_slaves(kind: AgentKind) -> Arc<Box<dyn SyncAgent>> {
+/// Runs `variants` variants × `threads` threads concurrently through `ops`
+/// sync ops each and returns the agent for stats inspection.  Panics via the
+/// watchdog if the run deadlocks.
+fn run_scenario(
+    kind: AgentKind,
+    variants: usize,
+    threads: usize,
+    ops: u64,
+) -> Arc<Box<dyn SyncAgent>> {
     let config = AgentConfig::default()
-        .with_variants(VARIANTS)
-        .with_threads(THREADS)
+        .with_variants(variants)
+        .with_threads(threads)
         .with_buffer_capacity(1024);
     let agent: Arc<Box<dyn SyncAgent>> = Arc::new(build_agent(kind, config));
 
@@ -50,12 +56,12 @@ fn run_master_two_slaves(kind: AgentKind) -> Arc<Box<dyn SyncAgent>> {
     let (done_tx, done_rx) = mpsc::channel();
     let scenario = thread::spawn(move || {
         let mut workers = Vec::new();
-        for variant in 0..VARIANTS {
-            for t in 0..THREADS {
+        for variant in 0..variants {
+            for t in 0..threads {
                 let agent = Arc::clone(&scenario_agent);
                 workers.push(thread::spawn(move || {
                     let ctx = SyncContext::new(VariantRole::from_variant_index(variant), t);
-                    for op in 0..OPS_PER_THREAD {
+                    for op in 0..ops {
                         let addr = op_address(t, op);
                         agent.before_sync_op(&ctx, addr);
                         agent.after_sync_op(&ctx, addr);
@@ -75,10 +81,18 @@ fn run_master_two_slaves(kind: AgentKind) -> Arc<Box<dyn SyncAgent>> {
             agent
         }
         Err(_) => panic!(
-            "{:?} agent deadlocked: master/2-slave run did not finish within {WATCHDOG:?}",
-            kind
+            "{:?} agent deadlocked: {variants}-variant x {threads}-thread run \
+             did not finish within {WATCHDOG:?}; stats so far: {:?}",
+            kind,
+            agent.stats()
         ),
     }
+}
+
+/// Runs the master and both slaves concurrently and returns the agent for
+/// stats inspection.  Panics via the watchdog if the run deadlocks.
+fn run_master_two_slaves(kind: AgentKind) -> Arc<Box<dyn SyncAgent>> {
+    run_scenario(kind, VARIANTS, THREADS, OPS_PER_THREAD)
 }
 
 fn assert_replication_invariants(kind: AgentKind) {
@@ -110,6 +124,62 @@ fn partial_order_agent_master_two_slaves_smoke() {
 #[test]
 fn wall_of_clocks_agent_master_two_slaves_smoke() {
     assert_replication_invariants(AgentKind::WallOfClocks);
+}
+
+#[test]
+fn wall_of_clocks_eight_variants_sixteen_threads_smoke() {
+    // The many-variant (8-variant × 16-thread) configuration the monitor
+    // sharding refactor targets: one master, seven slaves, 128 OS threads.
+    const STRESS_VARIANTS: usize = 8;
+    const STRESS_THREADS: usize = 16;
+    const STRESS_OPS: u64 = 100;
+    let agent = run_scenario(
+        AgentKind::WallOfClocks,
+        STRESS_VARIANTS,
+        STRESS_THREADS,
+        STRESS_OPS,
+    );
+    let stats = agent.stats();
+    let expected_recorded = (STRESS_THREADS as u64) * STRESS_OPS;
+    assert_eq!(stats.ops_recorded, expected_recorded);
+    // Seven slaves each replay the full recording.
+    assert_eq!(
+        stats.ops_replayed,
+        (STRESS_VARIANTS as u64 - 1) * expected_recorded
+    );
+}
+
+#[test]
+fn poisoning_unblocks_a_stalled_slave_replay() {
+    // A slave thread blocked on a recording that will never continue (the
+    // master died after divergence) must return promptly once the agent is
+    // poisoned — the deadlock the monitor's poison hook exists to prevent.
+    for kind in [
+        AgentKind::TotalOrder,
+        AgentKind::PartialOrder,
+        AgentKind::WallOfClocks,
+    ] {
+        let config = AgentConfig::default().with_variants(2).with_threads(2);
+        let agent: Arc<Box<dyn SyncAgent>> = Arc::new(build_agent(kind, config));
+        let blocked = Arc::clone(&agent);
+        let (done_tx, done_rx) = mpsc::channel();
+        let slave = thread::spawn(move || {
+            let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
+            // Nothing was ever recorded: this blocks until poisoned.
+            blocked.before_sync_op(&ctx, 0x1000);
+            blocked.after_sync_op(&ctx, 0x1000);
+            let _ = done_tx.send(());
+        });
+        thread::sleep(Duration::from_millis(50));
+        agent.poison();
+        assert!(agent.is_poisoned(), "{kind:?}");
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap_or_else(|_| panic!("{kind:?}: poisoned slave stayed blocked"));
+        slave.join().expect("slave thread panicked");
+        // A poisoned bail-out replays nothing.
+        assert_eq!(agent.stats().ops_replayed, 0, "{kind:?}");
+    }
 }
 
 #[test]

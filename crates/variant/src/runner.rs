@@ -40,6 +40,9 @@ pub struct RunConfig {
     pub buffer_capacity: usize,
     /// Number of logical clocks for the wall-of-clocks agent.
     pub clock_count: usize,
+    /// Number of monitor rendezvous/ordering shards (1 = the original global
+    /// table, for ablations).
+    pub shards: usize,
 }
 
 impl Default for RunConfig {
@@ -52,6 +55,7 @@ impl Default for RunConfig {
             lockstep_timeout: Duration::from_secs(10),
             buffer_capacity: 1 << 16,
             clock_count: 512,
+            shards: mvee_core::lockstep::DEFAULT_SHARDS,
         }
     }
 }
@@ -75,6 +79,12 @@ impl RunConfig {
     /// Sets the monitoring policy (builder style).
     pub fn with_policy(mut self, policy: MonitoringPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the monitor shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -136,6 +146,7 @@ pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
         .agent_config(agent_config)
         .layouts(layouts)
         .lockstep_timeout(config.lockstep_timeout)
+        .shards(config.shards)
         .build();
 
     for (path, contents) in &program.files {
@@ -330,6 +341,20 @@ mod tests {
         let report = run_mvee(&io_program(), &RunConfig::new(3, AgentKind::WallOfClocks));
         assert!(report.completed_cleanly());
         assert!(report.agent_stats.ops_replayed >= 2 * report.agent_stats.ops_recorded);
+    }
+
+    #[test]
+    fn sharded_and_unsharded_monitors_both_run_cleanly() {
+        for shards in [1usize, 8] {
+            let config = RunConfig::new(2, AgentKind::WallOfClocks).with_shards(shards);
+            let report = run_mvee(&io_program(), &config);
+            assert!(
+                report.completed_cleanly(),
+                "shards={shards} diverged: {:?}",
+                report.divergence
+            );
+            assert!(report.outputs_identical(), "shards={shards}");
+        }
     }
 
     #[test]

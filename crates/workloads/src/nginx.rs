@@ -57,6 +57,14 @@ pub struct NginxServerConfig {
     pub agent: AgentKind,
     /// Diversity applied to the variants (ASLR + DCL in the paper).
     pub diversity: DiversityProfile,
+    /// Number of monitor rendezvous/ordering shards (1 = the original global
+    /// table, for ablations).
+    pub monitor_shards: usize,
+    /// Rendezvous/replication timeout before the monitor declares
+    /// divergence.  Many-variant, many-thread runs on few cores need more
+    /// headroom than the default, or scheduler-induced rendezvous delays are
+    /// misreported as divergence.
+    pub lockstep_timeout: Duration,
 }
 
 impl Default for NginxServerConfig {
@@ -70,6 +78,26 @@ impl Default for NginxServerConfig {
             link: LinkKind::Loopback,
             agent: AgentKind::WallOfClocks,
             diversity: DiversityProfile::full(2028),
+            monitor_shards: mvee_core::lockstep::DEFAULT_SHARDS,
+            lockstep_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl NginxServerConfig {
+    /// The many-thread, many-variant stress configuration: `variants`
+    /// diversified servers with `pool_threads` workers each, all hammering
+    /// the sharded monitor at once.  Scaled-down page and request counts keep
+    /// a 16-variant run inside a CI time budget while still exercising every
+    /// rendezvous shard.
+    pub fn stress(variants: usize, pool_threads: usize, requests: usize) -> Self {
+        NginxServerConfig {
+            variants,
+            pool_threads,
+            requests,
+            page_bytes: 1024,
+            lockstep_timeout: Duration::from_secs(15),
+            ..Default::default()
         }
     }
 }
@@ -128,7 +156,8 @@ pub fn run_nginx_experiment(config: &NginxServerConfig, attack: bool) -> NginxRe
                 .with_clock_count(1024),
         )
         .layouts(layouts)
-        .lockstep_timeout(Duration::from_secs(5))
+        .lockstep_timeout(config.lockstep_timeout)
+        .shards(config.monitor_shards)
         .build();
     mvee.kernel()
         .install_file(PAGE_PATH, &vec![b'x'; config.page_bytes]);

@@ -1,0 +1,123 @@
+//! Many-variant, many-thread stress smoke tests for the sharded monitor.
+//!
+//! These runs put 8–16 diversified nginx variants with large worker pools
+//! through the full rendezvous/replication path at once — the configuration
+//! the monitor sharding refactor exists for.  Each test runs under the same
+//! bounded-time watchdog pattern as the agent smoke tests, so a replay or
+//! rendezvous deadlock (the flaky ~400 s hang the ROADMAP tracks) becomes a
+//! prompt test failure with a description of the stuck configuration instead
+//! of a stalled workflow.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use mvee_workloads::nginx::{run_nginx_experiment, AttackOutcome, NginxReport, NginxServerConfig};
+
+/// How long the watchdog waits before declaring a deadlock.  Generous:
+/// passing runs take seconds; the watchdog only matters for a wedged run,
+/// where failing at four minutes still beats a 6-hour CI stall.
+const WATCHDOG: Duration = Duration::from_secs(240);
+
+/// Runs the experiment on a scenario thread and panics with a thread-dump
+/// style description of the configuration if it does not finish in time.
+fn run_with_watchdog(label: &str, config: NginxServerConfig, attack: bool) -> NginxReport {
+    let (done_tx, done_rx) = mpsc::channel();
+    let cfg = config;
+    let scenario = thread::spawn(move || {
+        let report = run_nginx_experiment(&cfg, attack);
+        let _ = done_tx.send(report);
+    });
+    match done_rx.recv_timeout(WATCHDOG) {
+        Ok(report) => {
+            scenario.join().expect("scenario thread panicked");
+            report
+        }
+        Err(_) => panic!(
+            "{label} deadlocked: nginx stress run ({} variants x {} pool threads, \
+             {} requests, {} monitor shards, agent {:?}) did not finish within {WATCHDOG:?}",
+            config.variants,
+            config.pool_threads,
+            config.requests,
+            config.monitor_shards,
+            config.agent,
+        ),
+    }
+}
+
+#[test]
+fn eight_variants_serve_without_divergence() {
+    // 8 diversified variants × 4 workers + listener = 40 server threads.
+    // (The 8-variant × 16-thread configuration lives in the agent smoke
+    // tests, and larger nginx pools in the timed CI stress job: under the
+    // full debug-build nginx sim their replay serialization needs more CPUs
+    // than the smallest CI boxes have, and a scheduler-starved rendezvous is
+    // indistinguishable from real divergence.)
+    let config = NginxServerConfig::stress(8, 4, 6);
+    let report = run_with_watchdog("8v x 4t", config, false);
+    assert_eq!(
+        report.completed_requests, 6,
+        "diverged: {}",
+        report.diverged
+    );
+    assert!(!report.diverged);
+    assert_eq!(report.attack, AttackOutcome::NotAttempted);
+}
+
+#[test]
+#[ignore = "heavy: run via the CI stress job or `cargo test -- --ignored` on a multi-core box"]
+fn eight_variants_sixteen_threads_serve_without_divergence() {
+    // The full many-thread configuration: 8 variants × 16 workers + listener
+    // = 136 server threads hammering every rendezvous shard.
+    let config = NginxServerConfig {
+        lockstep_timeout: Duration::from_secs(60),
+        ..NginxServerConfig::stress(8, 16, 6)
+    };
+    let report = run_with_watchdog("8v x 16t", config, false);
+    assert_eq!(
+        report.completed_requests, 6,
+        "diverged: {}",
+        report.diverged
+    );
+    assert!(!report.diverged);
+}
+
+#[test]
+fn eight_variants_detect_a_tailored_attack() {
+    // The security property must survive the sharded fast path: an exploit
+    // tailored to one of eight diversified variants is still caught.
+    let config = NginxServerConfig::stress(8, 4, 4);
+    let report = run_with_watchdog("8v attack", config, true);
+    assert_eq!(report.attack, AttackOutcome::DetectedAndStopped);
+    assert!(report.diverged);
+}
+
+#[test]
+fn sixteen_variants_smoke_with_a_small_pool() {
+    // MAX_VARIANTS: one master and fifteen slaves, the paper's upper bound.
+    let config = NginxServerConfig::stress(16, 2, 4);
+    let report = run_with_watchdog("16v x 2t", config, false);
+    assert_eq!(
+        report.completed_requests, 4,
+        "diverged: {}",
+        report.diverged
+    );
+    assert!(!report.diverged);
+}
+
+#[test]
+fn unsharded_monitor_still_handles_eight_variants() {
+    // The shards = 1 ablation configuration must stay correct (just slower):
+    // same workload, original global rendezvous table.
+    let config = NginxServerConfig {
+        monitor_shards: 1,
+        ..NginxServerConfig::stress(8, 4, 4)
+    };
+    let report = run_with_watchdog("8v unsharded", config, false);
+    assert_eq!(
+        report.completed_requests, 4,
+        "diverged: {}",
+        report.diverged
+    );
+    assert!(!report.diverged);
+}
