@@ -3,39 +3,51 @@
 //!
 //! The paper draws these as stacked bars (one stack per benchmark, one bar
 //! per agent, segments for 2/3/4 variants); this binary prints the same
-//! series as a table, one row per (benchmark, agent).
+//! series as a table, one row per (benchmark, agent) — or per (benchmark,
+//! agent, batch) when a comparison-batching sweep is requested via
+//! `MVEE_BENCH_BATCH`.
 
-use mvee_bench::{format_row, measure, print_variant_table_header, variant_counts, workload_scale};
+use mvee_bench::{
+    comparison_batches, format_row, measure_batched, print_variant_table_header, variant_counts,
+    workload_scale,
+};
 use mvee_sync_agent::agents::AgentKind;
 use mvee_workloads::catalog::CATALOG;
 
 fn main() {
     let scale = workload_scale();
     let variant_counts = variant_counts();
+    let batches = comparison_batches();
+    let sweep_batches = batches != [1];
     println!("Figure 5 — relative overhead per benchmark, agent and variant count");
     println!(
         "(values are run time / native run time; scale = {scale:.1e}; \
-         set MVEE_BENCH_VARIANTS=2,8,16 for the many-variant sweep)"
+         set MVEE_BENCH_VARIANTS=2,8,16 for the many-variant sweep, \
+         MVEE_BENCH_BATCH=1,8 for the comparison-batching sweep)"
     );
 
-    let widths = print_variant_table_header(
-        "Figure 5",
-        &[("benchmark", 16), ("agent", 16)],
-        &variant_counts,
-        &[("clean", 10)],
-    );
+    let mut prefix = vec![("benchmark", 16), ("agent", 16)];
+    if sweep_batches {
+        prefix.push(("batch", 7));
+    }
+    let widths = print_variant_table_header("Figure 5", &prefix, &variant_counts, &[("clean", 10)]);
 
     for spec in CATALOG {
         for agent in AgentKind::replication_agents() {
-            let mut cells = vec![spec.name.to_string(), agent.name().to_string()];
-            let mut all_clean = true;
-            for &variants in variant_counts.iter() {
-                let m = measure(spec, agent, variants, scale);
-                all_clean &= m.clean;
-                cells.push(format!("{:.2}x", m.slowdown));
+            for &batch in &batches {
+                let mut cells = vec![spec.name.to_string(), agent.name().to_string()];
+                if sweep_batches {
+                    cells.push(batch.to_string());
+                }
+                let mut all_clean = true;
+                for &variants in variant_counts.iter() {
+                    let m = measure_batched(spec, agent, variants, scale, batch);
+                    all_clean &= m.clean;
+                    cells.push(format!("{:.2}x", m.slowdown));
+                }
+                cells.push(if all_clean { "yes".into() } else { "NO".into() });
+                println!("{}", format_row(&cells, &widths));
             }
-            cells.push(if all_clean { "yes".into() } else { "NO".into() });
-            println!("{}", format_row(&cells, &widths));
         }
     }
 }

@@ -8,8 +8,8 @@
 //! with the variant count reproduce the paper's shape.
 
 use mvee_bench::{
-    arithmetic_mean, format_row, measure, print_variant_table_header, variant_counts,
-    workload_scale,
+    arithmetic_mean, comparison_batches, format_row, measure_batched, print_variant_table_header,
+    variant_counts, workload_scale,
 };
 use mvee_sync_agent::agents::AgentKind;
 use mvee_workloads::catalog::CATALOG;
@@ -17,33 +17,46 @@ use mvee_workloads::catalog::CATALOG;
 fn main() {
     let scale = workload_scale();
     let variant_counts = variant_counts();
+    let batches = comparison_batches();
+    let sweep_batches = batches != [1];
     println!("Table 1 — aggregated average slowdowns per agent and variant count");
     println!(
         "(scale = {scale:.1e}; paper: TO 2.76/2.83/2.87, PO 2.83/2.83/3.00, WoC 1.14/1.27/1.38; \
-         set MVEE_BENCH_VARIANTS=2,8,16 for the many-variant sweep)"
+         set MVEE_BENCH_VARIANTS=2,8,16 for the many-variant sweep, \
+         MVEE_BENCH_BATCH=1,8 for the comparison-batching sweep)"
     );
 
-    let widths = print_variant_table_header("Table 1", &[("agent", 20)], &variant_counts, &[]);
+    let mut prefix = vec![("agent", 20)];
+    if sweep_batches {
+        prefix.push(("batch", 7));
+    }
+    let widths = print_variant_table_header("Table 1", &prefix, &variant_counts, &[]);
 
     for agent in AgentKind::replication_agents() {
-        let mut row = vec![agent.name().to_string()];
-        for &variants in variant_counts.iter() {
-            let mut slowdowns = Vec::new();
-            for spec in CATALOG {
-                let m = measure(spec, agent, variants, scale);
-                if m.clean {
-                    slowdowns.push(m.slowdown);
-                } else {
-                    eprintln!(
-                        "warning: {} with {} variants under {} diverged",
-                        spec.name,
-                        variants,
-                        agent.name()
-                    );
-                }
+        for &batch in &batches {
+            let mut row = vec![agent.name().to_string()];
+            if sweep_batches {
+                row.push(batch.to_string());
             }
-            row.push(format!("{:.2}x", arithmetic_mean(&slowdowns)));
+            for &variants in variant_counts.iter() {
+                let mut slowdowns = Vec::new();
+                for spec in CATALOG {
+                    let m = measure_batched(spec, agent, variants, scale, batch);
+                    if m.clean {
+                        slowdowns.push(m.slowdown);
+                    } else {
+                        eprintln!(
+                            "warning: {} with {} variants under {} (batch {}) diverged",
+                            spec.name,
+                            variants,
+                            agent.name(),
+                            batch
+                        );
+                    }
+                }
+                row.push(format!("{:.2}x", arithmetic_mean(&slowdowns)));
+            }
+            println!("{}", format_row(&row, &widths));
         }
-        println!("{}", format_row(&row, &widths));
     }
 }

@@ -40,20 +40,36 @@ pub fn workload_scale() -> f64 {
 /// The variant counts the paper's tables sweep (2–4).
 pub const DEFAULT_VARIANT_COUNTS: [usize; 3] = [2, 3, 4];
 
-/// Returns the variant counts to sweep, honouring `MVEE_BENCH_VARIANTS`
-/// (a comma-separated list such as `2,8,16` for the many-variant scaling
-/// runs recorded in `BASELINES.md`).  Counts outside 1..=16 are dropped.
-pub fn variant_counts() -> Vec<usize> {
-    std::env::var("MVEE_BENCH_VARIANTS")
+/// Parses a comma-separated env list of positive integers, keeping the
+/// values `keep` accepts; `None` when the variable is unset or nothing
+/// survives.
+fn env_usize_list(var: &str, keep: impl Fn(&usize) -> bool) -> Option<Vec<usize>> {
+    std::env::var(var)
         .ok()
         .map(|raw| {
             raw.split(',')
                 .filter_map(|s| s.trim().parse::<usize>().ok())
-                .filter(|n| (1..=16).contains(n))
+                .filter(&keep)
                 .collect::<Vec<_>>()
         })
-        .filter(|counts| !counts.is_empty())
+        .filter(|values| !values.is_empty())
+}
+
+/// Returns the variant counts to sweep, honouring `MVEE_BENCH_VARIANTS`
+/// (a comma-separated list such as `2,8,16` for the many-variant scaling
+/// runs recorded in `BASELINES.md`).  Counts outside 1..=16 are dropped.
+pub fn variant_counts() -> Vec<usize> {
+    env_usize_list("MVEE_BENCH_VARIANTS", |n| (1..=16).contains(n))
         .unwrap_or_else(|| DEFAULT_VARIANT_COUNTS.to_vec())
+}
+
+/// Returns the comparison batch sizes to sweep, honouring
+/// `MVEE_BENCH_BATCH` (a comma-separated list such as `1,8,64`; values
+/// outside 1..=1024 are dropped).  Defaults to `[1]` — the unbatched
+/// monitor — so the paper-shaped tables stay untouched unless a batching
+/// sweep is requested.
+pub fn comparison_batches() -> Vec<usize> {
+    env_usize_list("MVEE_BENCH_BATCH", |n| (1..=1024).contains(n)).unwrap_or_else(|| vec![1])
 }
 
 /// The result of measuring one benchmark under one configuration.
@@ -82,9 +98,21 @@ pub struct Measurement {
 /// Runs `spec` natively and under the MVEE with the given agent and variant
 /// count, and returns the measurement.
 pub fn measure(spec: &BenchmarkSpec, agent: AgentKind, variants: usize, scale: f64) -> Measurement {
+    measure_batched(spec, agent, variants, scale, 1)
+}
+
+/// [`measure`] with an explicit comparison batch size (`1` = the unbatched
+/// per-call rendezvous), for the `MVEE_BENCH_BATCH` sweeps.
+pub fn measure_batched(
+    spec: &BenchmarkSpec,
+    agent: AgentKind,
+    variants: usize,
+    scale: f64,
+    batch: usize,
+) -> Measurement {
     let program = spec.paper_program(scale);
     let native = run_native(&program);
-    let config = RunConfig::new(variants, agent);
+    let config = RunConfig::new(variants, agent).with_batch(batch);
     let report = run_mvee(&program, &config);
     Measurement {
         benchmark: spec.name,
@@ -220,5 +248,20 @@ mod tests {
         if std::env::var("MVEE_BENCH_VARIANTS").is_err() {
             assert_eq!(variant_counts(), vec![2, 3, 4]);
         }
+    }
+
+    #[test]
+    fn default_batch_sweep_is_unbatched() {
+        if std::env::var("MVEE_BENCH_BATCH").is_err() {
+            assert_eq!(comparison_batches(), vec![1]);
+        }
+    }
+
+    #[test]
+    fn batched_measurement_is_clean_for_a_small_benchmark() {
+        let spec = BenchmarkSpec::by_name("fft").unwrap();
+        let m = measure_batched(spec, AgentKind::WallOfClocks, 2, 2e-6, 8);
+        assert!(m.clean, "fft under a batch-8 monitor must not diverge");
+        assert!(m.slowdown > 0.0);
     }
 }

@@ -35,15 +35,34 @@
 //! miss the wake-up — rather than serializing all shards behind a global
 //! poisoned mutex.
 //!
+//! # Batching
+//!
+//! The per-call rendezvous cost is one shard-lock acquisition plus one
+//! condvar round per compared call.  For syscall-dense phases the monitor
+//! amortizes that cost with [`LockstepTable::arrive_batch`]: a variant
+//! thread deposits a bounded block of pending ([`SlotKey`],
+//! [`ComparisonKey`]) pairs — a [`BatchArrival`] each — under a *single*
+//! shard-lock acquisition and resolves them as a unit.  Every key still gets
+//! its own [`ArrivalResult`], so a mismatch in the middle of a batch reports
+//! the exact offending slot, and the other keys of the batch resolve
+//! independently, exactly as a sequence of single [`LockstepTable::arrive`]
+//! calls would.  All keys of a batch must belong to one logical thread (and
+//! therefore one shard); this is what a per-thread deferred-comparison queue
+//! produces naturally.
+//!
 //! # Slot lifetime
 //!
 //! Slots are reclaimed once every variant has consumed them **and** no
-//! waiter still holds a reference.  Each blocked `arrive` registers in the
-//! slot's waiter refcount, so a slot can never vanish underneath a waiter
-//! that is about to re-inspect it; a late waiter always observes a clean
+//! waiter still holds a reference.  Each blocked `arrive` (and each
+//! unresolved key of an `arrive_batch`) registers in the slot's waiter
+//! refcount, so a slot can never vanish underneath a waiter that is about to
+//! re-inspect it; a late waiter always observes a clean
 //! `Consistent`/`Mismatch`/`Poisoned` result instead of panicking on a
-//! vanished slot.  The table's size stays bounded by the number of in-flight
-//! calls, not by the length of the execution.
+//! vanished slot.  Every registration is released **exactly once** — a key
+//! that resolves before its batch's deadline must not be released again on
+//! the timeout path — and the release site doubles as the reclaim check.
+//! The table's size stays bounded by the number of in-flight calls, not by
+//! the length of the execution.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,6 +83,24 @@ pub type SlotKey = (usize, u64);
 /// locks for the workloads in this repository (up to 16 variants × dozens of
 /// threads) without wasting memory on mostly-empty maps.
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// Upper bound on the number of keys one [`LockstepTable::arrive_batch`]
+/// call may deposit.
+///
+/// The bound keeps a single shard-lock hold (all deposits happen under one
+/// acquisition) and the per-wake-up resolution scan O(small); the monitor
+/// clamps its batch knob to this value.
+pub const MAX_BATCH: usize = 1024;
+
+/// One pending comparison of a batched rendezvous: the slot it belongs to
+/// and the key the depositing variant presents there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchArrival {
+    /// The monitored call's slot.
+    pub key: SlotKey,
+    /// The depositing variant's comparison key for that call.
+    pub cmp: ComparisonKey,
+}
 
 /// Result of a lockstep arrival.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,6 +252,44 @@ impl LockstepTable {
         self.poisoned.load(Ordering::SeqCst)
     }
 
+    /// The result a fully or partially arrived slot currently resolves to,
+    /// or `None` while the rendezvous is still incomplete and clean.
+    fn slot_result(&self, slot: &Slot) -> Option<ArrivalResult> {
+        if slot.mismatch {
+            let (idx, master, other) =
+                first_mismatch(&slot.keys).expect("mismatch flag implies a mismatch");
+            return Some(ArrivalResult::Mismatch(idx, master, other));
+        }
+        if slot.arrived() == self.variants {
+            return Some(match first_mismatch(&slot.keys) {
+                Some((idx, master, other)) => ArrivalResult::Mismatch(idx, master, other),
+                None => ArrivalResult::Consistent,
+            });
+        }
+        None
+    }
+
+    /// The variants that have arrived at `slot`, for a timeout report.
+    fn arrived_variants(slot: &Slot) -> Vec<usize> {
+        slot.keys
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| k.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Releases one waiter registration on `key` and reclaims the slot if it
+    /// is fully consumed and unreferenced.  Must be called exactly once per
+    /// registration (see the module docs on slot lifetime).
+    fn release_waiter(&self, slots: &mut MutexGuard<'_, HashMap<SlotKey, Slot>>, key: SlotKey) {
+        if let Some(slot) = slots.get_mut(&key) {
+            slot.waiters -= 1;
+            if slot.waiters == 0 && slot.consumed >= self.variants {
+                slots.remove(&key);
+            }
+        }
+    }
+
     /// Registers variant `variant`'s arrival at `key` with comparison key
     /// `cmp` and waits until every variant has arrived (lockstep).
     pub fn arrive(
@@ -229,14 +304,10 @@ impl LockstepTable {
         let mut slots = shard.slots.lock();
         let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
         slot.keys[variant] = Some(cmp);
-        if slot.arrived() == self.variants {
-            let result = match first_mismatch(&slot.keys) {
-                Some((idx, master, other)) => {
-                    slot.mismatch = true;
-                    ArrivalResult::Mismatch(idx, master, other)
-                }
-                None => ArrivalResult::Consistent,
-            };
+        if let Some(result) = self.slot_result(slot) {
+            if matches!(result, ArrivalResult::Mismatch(..)) {
+                slot.mismatch = true;
+            }
             shard.changed.notify_all();
             return result;
         }
@@ -247,18 +318,15 @@ impl LockstepTable {
         slot.waiters += 1;
         shard.changed.notify_all();
         let result = self.wait_for_rendezvous(shard, &mut slots, key, deadline);
-        if let Some(slot) = slots.get_mut(&key) {
-            slot.waiters -= 1;
-            if slot.waiters == 0 && slot.consumed >= self.variants {
-                slots.remove(&key);
-            }
-        }
+        // The registration is released exactly once, here, whatever path
+        // `wait_for_rendezvous` returned through.
+        self.release_waiter(&mut slots, key);
         result
     }
 
     /// The blocking half of [`arrive`](Self::arrive): waits until the slot
     /// resolves, the table is poisoned, or the deadline passes.  Called with
-    /// the slot's waiter refcount already taken.
+    /// the slot's waiter refcount already taken; the caller releases it.
     fn wait_for_rendezvous(
         &self,
         shard: &Shard,
@@ -277,33 +345,155 @@ impl LockstepTable {
                 // panicking.
                 return ArrivalResult::Consistent;
             };
-            if slot.mismatch {
-                let (idx, master, other) =
-                    first_mismatch(&slot.keys).expect("mismatch flag implies a mismatch");
-                return ArrivalResult::Mismatch(idx, master, other);
-            }
-            if slot.arrived() == self.variants {
-                if let Some((idx, master, other)) = first_mismatch(&slot.keys) {
-                    return ArrivalResult::Mismatch(idx, master, other);
-                }
-                return ArrivalResult::Consistent;
+            if let Some(result) = self.slot_result(slot) {
+                return result;
             }
             if shard.changed.wait_until(slots, deadline).timed_out() {
                 let Some(slot) = slots.get(&key) else {
                     return ArrivalResult::Consistent;
                 };
-                if slot.arrived() == self.variants || slot.mismatch {
-                    continue;
+                if let Some(result) = self.slot_result(slot) {
+                    return result;
                 }
-                let arrived = slot
-                    .keys
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, k)| k.as_ref().map(|_| i))
-                    .collect();
-                return ArrivalResult::Timeout(arrived);
+                return ArrivalResult::Timeout(Self::arrived_variants(slot));
             }
         }
+    }
+
+    /// Deposits a whole block of pending comparisons under a **single**
+    /// shard-lock acquisition and resolves them as a unit.
+    ///
+    /// Semantically equivalent to calling [`arrive`](Self::arrive) once per
+    /// element of `batch` (each key receives its own [`ArrivalResult`], and a
+    /// mismatch on one key does not disturb the verdicts of the others), but
+    /// the lock/condvar cost is paid once per batch instead of once per call
+    /// — the amortization the `ablation_batching` benchmark measures.  The
+    /// one semantic difference is the deadline: the whole batch shares one
+    /// `timeout` instead of each key restarting it, so keys a peer never
+    /// arrives at report [`ArrivalResult::Timeout`] after a single deadline.
+    ///
+    /// Returns one result per batch element, in batch order.  Keys that
+    /// resolve while later ones are still pending keep their verdicts; their
+    /// waiter registrations are released exactly once on exit, never again on
+    /// the timeout path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch exceeds [`MAX_BATCH`], spans more than one shard
+    /// (all keys must share one logical thread's shard — a per-thread
+    /// deferred-comparison queue guarantees this), or contains duplicate
+    /// keys.
+    pub fn arrive_batch(
+        &self,
+        variant: usize,
+        batch: &[BatchArrival],
+        timeout: Duration,
+    ) -> Vec<ArrivalResult> {
+        assert!(
+            batch.len() <= MAX_BATCH,
+            "batch of {} exceeds MAX_BATCH ({MAX_BATCH})",
+            batch.len()
+        );
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let shard_idx = self.shard_of(batch[0].key.0);
+        assert!(
+            batch.iter().all(|a| self.shard_of(a.key.0) == shard_idx),
+            "a batch must stay within one rendezvous shard"
+        );
+        // Hard assert, like the bound and shard checks above: the documented
+        // contract promises a panic, and a silent duplicate would overwrite
+        // the first deposit and double-register a waiter.  O(n²) on n ≤
+        // MAX_BATCH keys, paid once per flush, off the per-call hot path.
+        assert!(
+            (1..batch.len()).all(|i| batch[..i].iter().all(|a| a.key != batch[i].key)),
+            "a batch must not deposit the same slot twice"
+        );
+        let deadline = std::time::Instant::now() + timeout;
+        let shard = &self.shards[shard_idx];
+        let mut slots = shard.slots.lock();
+
+        // Deposit every key under the one lock hold.  Keys whose rendezvous
+        // completes right here resolve immediately; the rest register a
+        // waiter each so their slots survive the wait.
+        let mut results: Vec<Option<ArrivalResult>> = vec![None; batch.len()];
+        let mut holds_waiter = vec![false; batch.len()];
+        let mut unresolved = 0usize;
+        for (i, arrival) in batch.iter().enumerate() {
+            let slot = slots
+                .entry(arrival.key)
+                .or_insert_with(|| Slot::new(self.variants));
+            slot.keys[variant] = Some(arrival.cmp.clone());
+            if let Some(result) = self.slot_result(slot) {
+                if matches!(result, ArrivalResult::Mismatch(..)) {
+                    slot.mismatch = true;
+                }
+                results[i] = Some(result);
+            } else {
+                slot.waiters += 1;
+                holds_waiter[i] = true;
+                unresolved += 1;
+            }
+        }
+        shard.changed.notify_all();
+
+        while unresolved > 0 {
+            if self.is_poisoned() {
+                for r in results.iter_mut().filter(|r| r.is_none()) {
+                    *r = Some(ArrivalResult::Poisoned);
+                }
+                break;
+            }
+            // Resolve every key that completed since the last wake-up.
+            for (i, arrival) in batch.iter().enumerate() {
+                if results[i].is_some() {
+                    continue;
+                }
+                let resolved = match slots.get(&arrival.key) {
+                    // Defensive, as in `wait_for_rendezvous`: the waiter
+                    // refcount makes a vanished slot unreachable.
+                    None => Some(ArrivalResult::Consistent),
+                    Some(slot) => self.slot_result(slot),
+                };
+                if let Some(result) = resolved {
+                    results[i] = Some(result);
+                    unresolved -= 1;
+                }
+            }
+            if unresolved == 0 {
+                break;
+            }
+            if shard.changed.wait_until(&mut slots, deadline).timed_out() {
+                // Keys that completed right at the wire still resolve; the
+                // rest report which variants did arrive.
+                for (i, arrival) in batch.iter().enumerate() {
+                    if results[i].is_some() {
+                        continue;
+                    }
+                    results[i] = Some(match slots.get(&arrival.key) {
+                        None => ArrivalResult::Consistent,
+                        Some(slot) => self.slot_result(slot).unwrap_or_else(|| {
+                            ArrivalResult::Timeout(Self::arrived_variants(slot))
+                        }),
+                    });
+                }
+                break;
+            }
+        }
+
+        // Release every registration exactly once — including the ones whose
+        // keys resolved long before the deadline — and reclaim on the way
+        // out.  This is the single release site of the batch path.
+        for (i, arrival) in batch.iter().enumerate() {
+            if holds_waiter[i] {
+                self.release_waiter(&mut slots, arrival.key);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch key resolves before return"))
+            .collect()
     }
 
     /// Publishes the master's outcome (and, for ordered calls, the syscall
@@ -569,6 +759,205 @@ mod tests {
         // panicking, and reclaims the slot on its way out.
         assert_eq!(waiter.join().unwrap(), ArrivalResult::Timeout(vec![0]));
         assert_eq!(table.live_slots(), 0);
+    }
+
+    #[test]
+    fn empty_batch_resolves_to_nothing() {
+        let table = LockstepTable::new(2);
+        assert!(table
+            .arrive_batch(0, &[], Duration::from_millis(10))
+            .is_empty());
+        assert_eq!(table.live_slots(), 0);
+    }
+
+    #[test]
+    fn single_variant_batch_is_immediately_consistent() {
+        let table = LockstepTable::new(1);
+        let batch: Vec<BatchArrival> = (0..4u64)
+            .map(|seq| BatchArrival {
+                key: (0, seq),
+                cmp: cmp(Sysno::Brk, b""),
+            })
+            .collect();
+        let results = table.arrive_batch(0, &batch, Duration::from_millis(50));
+        assert_eq!(results, vec![ArrivalResult::Consistent; 4]);
+        for seq in 0..4u64 {
+            table.consume((0, seq));
+        }
+        assert_eq!(table.live_slots(), 0);
+    }
+
+    #[test]
+    fn two_variants_batch_rendezvous_and_agree() {
+        let table = Arc::new(LockstepTable::new(2));
+        let batch: Vec<BatchArrival> = (0..8u64)
+            .map(|seq| BatchArrival {
+                key: (0, seq),
+                cmp: cmp(Sysno::Brk, &[seq as u8]),
+            })
+            .collect();
+        let t2 = Arc::clone(&table);
+        let b2 = batch.clone();
+        let handle = std::thread::spawn(move || t2.arrive_batch(1, &b2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        let r0 = table.arrive_batch(0, &batch, Duration::from_secs(5));
+        let r1 = handle.join().unwrap();
+        assert_eq!(r0, vec![ArrivalResult::Consistent; 8]);
+        assert_eq!(r1, vec![ArrivalResult::Consistent; 8]);
+        for seq in 0..8u64 {
+            table.consume((0, seq));
+            table.consume((0, seq));
+        }
+        assert_eq!(table.live_slots(), 0);
+    }
+
+    #[test]
+    fn mid_batch_mismatch_reports_the_exact_slot_and_spares_the_rest() {
+        // Key 2 of 5 diverges; the batch must pin the mismatch to exactly
+        // that slot while the other four keys still resolve Consistent —
+        // identical to what five sequential `arrive` calls would report.
+        let table = Arc::new(LockstepTable::new(2));
+        let mk = |variant: usize| -> Vec<BatchArrival> {
+            (0..5u64)
+                .map(|seq| BatchArrival {
+                    key: (0, seq),
+                    cmp: if seq == 2 && variant == 1 {
+                        cmp(Sysno::Mprotect, b"evil")
+                    } else {
+                        cmp(Sysno::Brk, &[seq as u8])
+                    },
+                })
+                .collect()
+        };
+        let t2 = Arc::clone(&table);
+        let handle = std::thread::spawn(move || t2.arrive_batch(1, &mk(1), Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        let r0 = table.arrive_batch(0, &mk(0), Duration::from_secs(5));
+        let r1 = handle.join().unwrap();
+        for results in [&r0, &r1] {
+            for (seq, result) in results.iter().enumerate() {
+                if seq == 2 {
+                    assert!(
+                        matches!(result, ArrivalResult::Mismatch(1, _, _)),
+                        "key 2 must be the mismatch, got {result:?}"
+                    );
+                } else {
+                    assert_eq!(result, &ArrivalResult::Consistent, "key {seq}");
+                }
+            }
+        }
+        for seq in 0..5u64 {
+            table.consume((0, seq));
+            table.consume((0, seq));
+        }
+        assert_eq!(table.live_slots(), 0);
+    }
+
+    #[test]
+    fn poison_unblocks_a_batched_waiter() {
+        let table = Arc::new(LockstepTable::new(2));
+        let batch: Vec<BatchArrival> = (0..3u64)
+            .map(|seq| BatchArrival {
+                key: (0, seq),
+                cmp: cmp(Sysno::Brk, b""),
+            })
+            .collect();
+        let t2 = Arc::clone(&table);
+        let handle =
+            std::thread::spawn(move || t2.arrive_batch(0, &batch, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        table.poison();
+        assert_eq!(
+            handle.join().unwrap(),
+            vec![ArrivalResult::Poisoned; 3],
+            "poison must resolve every unresolved key of the batch"
+        );
+    }
+
+    #[test]
+    fn partial_batch_resolution_releases_each_waiter_exactly_once() {
+        // The waiter-refcount audit test: variant 1 arrives at only the
+        // first key of variant 0's three-key batch and then never again.
+        // The first key resolves long before the deadline, the other two
+        // time out — and every registration must be released exactly once:
+        // a double release would underflow (panic) or corrupt the refcount
+        // so the resolved slot either vanishes under variant 1 or leaks.
+        let table = Arc::new(LockstepTable::new(2));
+        let batch: Vec<BatchArrival> = (0..3u64)
+            .map(|seq| BatchArrival {
+                key: (7, seq),
+                cmp: cmp(Sysno::Brk, &[seq as u8]),
+            })
+            .collect();
+        let t2 = Arc::clone(&table);
+        let batcher =
+            std::thread::spawn(move || t2.arrive_batch(0, &batch, Duration::from_millis(400)));
+        std::thread::sleep(Duration::from_millis(50));
+        let r1 = table.arrive((7, 0), 1, cmp(Sysno::Brk, &[0]), Duration::from_secs(5));
+        assert_eq!(r1, ArrivalResult::Consistent);
+        let r0 = batcher.join().unwrap();
+        assert_eq!(
+            r0,
+            vec![
+                ArrivalResult::Consistent,
+                ArrivalResult::Timeout(vec![0]),
+                ArrivalResult::Timeout(vec![0]),
+            ]
+        );
+        // With the refcounts balanced, consuming every key from both sides
+        // reclaims everything; a leaked registration would pin a slot alive.
+        for seq in 0..3u64 {
+            table.consume((7, seq));
+            table.consume((7, seq));
+        }
+        assert_eq!(table.live_slots(), 0, "a waiter registration leaked");
+    }
+
+    #[test]
+    fn batch_interoperates_with_single_arrivals() {
+        // One variant batches while the other rendezvouses key by key; the
+        // two APIs must meet in the same slots.
+        let table = Arc::new(LockstepTable::new(2));
+        let batch: Vec<BatchArrival> = (0..6u64)
+            .map(|seq| BatchArrival {
+                key: (0, seq),
+                cmp: cmp(Sysno::Brk, &[seq as u8]),
+            })
+            .collect();
+        let t2 = Arc::clone(&table);
+        let handle = std::thread::spawn(move || t2.arrive_batch(0, &batch, Duration::from_secs(5)));
+        for seq in 0..6u64 {
+            let r = table.arrive(
+                (0, seq),
+                1,
+                cmp(Sysno::Brk, &[seq as u8]),
+                Duration::from_secs(5),
+            );
+            assert_eq!(r, ArrivalResult::Consistent);
+        }
+        assert_eq!(handle.join().unwrap(), vec![ArrivalResult::Consistent; 6]);
+        for seq in 0..6u64 {
+            table.consume((0, seq));
+            table.consume((0, seq));
+        }
+        assert_eq!(table.live_slots(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rendezvous shard")]
+    fn batch_spanning_shards_panics() {
+        let table = LockstepTable::with_shards(2, 4);
+        let batch = vec![
+            BatchArrival {
+                key: (0, 0),
+                cmp: cmp(Sysno::Brk, b""),
+            },
+            BatchArrival {
+                key: (1, 0),
+                cmp: cmp(Sysno::Brk, b""),
+            },
+        ];
+        let _ = table.arrive_batch(0, &batch, Duration::from_millis(10));
     }
 
     #[test]

@@ -7,6 +7,38 @@
 //! and the calling (variant, thread) pair, decides whether to compare,
 //! replicate, order or simply forward the call, and only then lets the
 //! variant proceed.
+//!
+//! # Batched comparisons
+//!
+//! With [`MonitorConfig::batch`] above 1, the monitor defers the comparisons
+//! of *compare-only* calls (see
+//! [`CallDisposition::defer_compare`](crate::policy::CallDisposition)) into a
+//! per-(variant, thread) queue instead of rendezvousing on every call.  The
+//! queue is flushed — deposited into the rendezvous table as one
+//! [`LockstepTable::arrive_batch`] block — when it reaches `batch` entries,
+//! before any synchronous monitored call (so comparisons never reorder
+//! against a replication point), at the agents' replication points (the
+//! front end installs a hook, see `MveeBuilder`), and dropped outright on
+//! divergence (the batched waiters are woken by the poison broadcast).
+//!
+//! Deferred comparisons live in a *disjoint* slot-key space (the sequence
+//! number's [`DEFERRED_SEQ_BIT`] is set) so a deferred comparison can never
+//! collide with the replication/ordering slot of the same call, whose
+//! lifetime is governed by the ordinary consume protocol.
+//!
+//! The trade-off is dMVX-style bounded-window detection: a divergent
+//! compare-only call may execute in its own variant's (simulated) address
+//! space up to `batch - 1` calls before the mismatch is reported, but never
+//! past a replication point — the flush-before-synchronous rule means no
+//! externally visible I/O happens while a deferred comparison is pending.
+//! `batch = 1` disables deferral and reproduces the per-call rendezvous
+//! exactly, which is what the `ablation_batching` benchmark compares
+//! against.  Deferral decisions are a pure function of the call stream
+//! (policy disposition plus the batch counter), so non-divergent variants
+//! always flush at the same per-thread call positions and their batches
+//! meet; a variant whose *structure* diverges (it defers where the others
+//! rendezvous synchronously) is caught by the rendezvous timeout instead of
+//! a key mismatch.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
@@ -18,9 +50,21 @@ use mvee_kernel::process::Pid;
 use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest, Sysno};
 
 use crate::divergence::{DivergenceKind, DivergenceReport};
-use crate::lockstep::{ArrivalResult, LockstepTable, SlotKey, DEFAULT_SHARDS};
+use crate::lockstep::{
+    ArrivalResult, BatchArrival, LockstepTable, SlotKey, DEFAULT_SHARDS, MAX_BATCH,
+};
 use crate::ordering::ShardedOrderingClock;
 use crate::policy::MonitoringPolicy;
+
+/// Set on the sequence number of a deferred comparison's slot key.
+///
+/// Keeps the deferred-comparison slots in a key space disjoint from the
+/// replication/ordering slots of the same calls: the latter are consumed by
+/// the execution machinery while the comparison is still pending, and a
+/// shared slot could be reclaimed (or resurrected empty) between the two
+/// uses.  The bit is stripped again when a batched mismatch is reported, so
+/// divergence reports always carry the original per-thread sequence number.
+pub const DEFERRED_SEQ_BIT: u64 = 1 << 63;
 
 /// Spin-then-yield wait with a deadline; returns `false` on timeout.
 ///
@@ -48,6 +92,11 @@ pub struct MonitorConfig {
     /// into (see [`crate::lockstep`]).  `1` reproduces the original global
     /// table and global ordering clock.
     pub shards: usize,
+    /// How many deferred comparisons a variant thread may accumulate before
+    /// its batch is flushed to the rendezvous table (see the module docs).
+    /// `1` disables deferral and reproduces the per-call rendezvous exactly;
+    /// values above [`MAX_BATCH`] are clamped.
+    pub batch: usize,
 }
 
 impl Default for MonitorConfig {
@@ -58,6 +107,7 @@ impl Default for MonitorConfig {
             lockstep_timeout: Duration::from_secs(5),
             max_threads: 64,
             shards: DEFAULT_SHARDS,
+            batch: 1,
         }
     }
 }
@@ -98,6 +148,11 @@ pub struct MonitorStats {
     pub divergences: u64,
     /// `mvee_self_aware` queries answered.
     pub self_aware_queries: u64,
+    /// Compared calls whose comparison was deferred into a batch (a subset
+    /// of `lockstep_syscalls`).
+    pub batched_comparisons: u64,
+    /// Batches flushed to the rendezvous table.
+    pub batch_flushes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -108,6 +163,8 @@ struct StatCounters {
     ordered_syscalls: AtomicU64,
     divergences: AtomicU64,
     self_aware_queries: AtomicU64,
+    batched_comparisons: AtomicU64,
+    batch_flushes: AtomicU64,
 }
 
 /// Per (variant, thread) fast-path state, touched on every monitored call.
@@ -126,6 +183,12 @@ struct ThreadState {
     /// The shard this thread's slots and ordering clock live in; identical
     /// across variants because it depends only on the logical thread index.
     shard: usize,
+    /// Deferred comparisons awaiting the next batch flush.  In steady state
+    /// only this (variant, thread)'s own calls — and the agent's
+    /// replication-point hook, which runs on the same OS thread — touch the
+    /// queue, so the mutex is uncontended; the lock only arbitrates against
+    /// the divergence path dropping every queue.
+    pending: Mutex<Vec<BatchArrival>>,
 }
 
 /// The MVEE monitor.
@@ -159,13 +222,14 @@ impl Monitor {
     /// # Panics
     ///
     /// Panics if `pids.len() != config.variants` or if `config.variants == 0`.
-    pub fn new(config: MonitorConfig, kernel: std::sync::Arc<Kernel>, pids: Vec<Pid>) -> Self {
+    pub fn new(mut config: MonitorConfig, kernel: std::sync::Arc<Kernel>, pids: Vec<Pid>) -> Self {
         assert!(config.variants > 0, "need at least one variant");
         assert_eq!(
             pids.len(),
             config.variants,
             "one kernel process per variant is required"
         );
+        config.batch = config.batch.clamp(1, MAX_BATCH);
         let shards = config.shards.max(1);
         Monitor {
             lockstep: LockstepTable::with_shards(config.variants, shards),
@@ -176,6 +240,7 @@ impl Monitor {
                 .map(|i| ThreadState {
                     seq: AtomicU64::new(0),
                     shard: (i % config.max_threads) % shards,
+                    pending: Mutex::new(Vec::new()),
                 })
                 .collect(),
             stats: StatCounters::default(),
@@ -199,6 +264,12 @@ impl Monitor {
     /// Number of rendezvous/ordering shards the monitor state is split into.
     pub fn shard_count(&self) -> usize {
         self.lockstep.shard_count()
+    }
+
+    /// Total deferred comparisons currently pending across every (variant,
+    /// thread) queue; tests use this to verify flush and abandon behaviour.
+    pub fn live_deferred(&self) -> usize {
+        self.threads.iter().map(|t| t.pending.lock().len()).sum()
     }
 
     /// The monitor configuration.
@@ -230,6 +301,8 @@ impl Monitor {
             ordered_syscalls: self.stats.ordered_syscalls.load(Ordering::Relaxed),
             divergences: self.stats.divergences.load(Ordering::Relaxed),
             self_aware_queries: self.stats.self_aware_queries.load(Ordering::Relaxed),
+            batched_comparisons: self.stats.batched_comparisons.load(Ordering::Relaxed),
+            batch_flushes: self.stats.batch_flushes.load(Ordering::Relaxed),
         }
     }
 
@@ -246,13 +319,95 @@ impl Monitor {
         drop(slot);
         self.diverged.store(true, Ordering::Release);
         // Wake every thread blocked in a rendezvous or replication wait so
-        // the whole MVEE shuts down promptly, then let the front end poison
-        // the agent so replay waits abort too.
+        // the whole MVEE shuts down promptly (this also resolves every
+        // batched waiter), drop the deferred comparisons that will never be
+        // flushed, then let the front end poison the agent so replay waits
+        // abort too.
         self.lockstep.poison();
+        self.abandon_deferred();
         if let Some(hook) = &*self.poison_hook.lock() {
             hook();
         }
         MonitorError::Diverged(report)
+    }
+
+    /// Drops every thread's deferred comparisons without resolving them.
+    ///
+    /// Called on divergence/poison: the table is (about to be) poisoned, so
+    /// the deposits would only come back [`ArrivalResult::Poisoned`], and
+    /// the variants are shutting down anyway.  Peers already blocked in a
+    /// batch flush are woken by the poison broadcast.
+    pub fn abandon_deferred(&self) {
+        for state in self.threads.iter() {
+            state.pending.lock().clear();
+        }
+    }
+
+    /// Flushes (variant, thread)'s deferred comparisons, if any: deposits
+    /// them as one [`LockstepTable::arrive_batch`] block, consumes the batch
+    /// slots, and turns the first non-consistent per-key result into the
+    /// divergence it proves.
+    ///
+    /// Called from the syscall gateway (batch full, or a synchronous call
+    /// needs the comparisons resolved first) and from the agents'
+    /// replication-point hook.
+    pub fn flush_deferred(&self, variant: usize, thread: usize) -> Result<(), MonitorError> {
+        let state = self.thread_state(variant, thread);
+        let batch = {
+            let mut pending = state.pending.lock();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            std::mem::take(&mut *pending)
+        };
+        self.stats.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        let results = self
+            .lockstep
+            .arrive_batch(variant, &batch, self.config.lockstep_timeout);
+        let mut failure = None;
+        for (arrival, result) in batch.iter().zip(results) {
+            // Consume every batch slot — even past a mismatch — so the
+            // surviving slots are reclaimed rather than leaked.
+            self.lockstep.consume(arrival.key);
+            if failure.is_some() {
+                continue;
+            }
+            let sequence = arrival.key.1 & !DEFERRED_SEQ_BIT;
+            failure = match result {
+                ArrivalResult::Consistent => None,
+                ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => {
+                    Some(self.record_divergence(DivergenceReport {
+                        kind: DivergenceKind::SyscallMismatch {
+                            master: master_key.no,
+                            variant: bad_key.no,
+                        },
+                        thread,
+                        sequence,
+                        variant: bad_variant,
+                    }))
+                }
+                ArrivalResult::Timeout(arrived) => {
+                    if self.has_diverged() {
+                        Some(MonitorError::ShutDown)
+                    } else {
+                        let missing = (0..self.config.variants)
+                            .find(|v| !arrived.contains(v))
+                            .unwrap_or(0);
+                        Some(self.record_divergence(DivergenceReport {
+                            kind: DivergenceKind::RendezvousTimeout { arrived },
+                            thread,
+                            sequence,
+                            variant: missing,
+                        }))
+                    }
+                }
+                ArrivalResult::Poisoned => Some(MonitorError::ShutDown),
+            };
+        }
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
     }
 
     /// The single entry point: thread `thread` of variant `variant` issues
@@ -293,39 +448,79 @@ impl Monitor {
         let key: SlotKey = (thread, seq);
 
         let disposition = self.config.policy.disposition(req.no);
+        let defer = self.config.batch > 1 && disposition.defer_compare;
+
+        // Any synchronous interaction point resolves the deferred
+        // comparisons first, so comparisons stay in per-thread program order
+        // and no replicated result is handed out while a comparison from an
+        // earlier call is still pending.
+        if !defer && (disposition.lockstep || disposition.replicate || disposition.ordered) {
+            self.flush_deferred(variant, thread)?;
+        }
 
         if disposition.lockstep {
             self.stats.lockstep_syscalls.fetch_add(1, Ordering::Relaxed);
-            match self.lockstep.arrive(
-                key,
-                variant,
-                req.comparison_key(),
-                self.config.lockstep_timeout,
-            ) {
-                ArrivalResult::Consistent => {}
-                ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => {
-                    return Err(self.record_divergence(DivergenceReport {
-                        kind: DivergenceKind::SyscallMismatch {
-                            master: master_key.no,
-                            variant: bad_key.no,
-                        },
-                        thread,
-                        sequence: seq,
-                        variant: bad_variant,
-                    }));
+            if defer {
+                self.stats
+                    .batched_comparisons
+                    .fetch_add(1, Ordering::Relaxed);
+                let full = {
+                    let mut pending = state.pending.lock();
+                    pending.push(BatchArrival {
+                        key: (thread, seq | DEFERRED_SEQ_BIT),
+                        cmp: req.comparison_key(),
+                    });
+                    pending.len() >= self.config.batch
+                };
+                // Close the race with a concurrent divergence: the entry
+                // check above can pass just before another thread records
+                // divergence and `abandon_deferred` clears the queues, and a
+                // push landing after that would neither be flushed (every
+                // later call returns `ShutDown` at the top) nor dropped —
+                // leaking the entry and letting a never-compared call return
+                // `Ok`.  `diverged` is stored before the queues are cleared,
+                // so seeing it clean here means our push is visible to the
+                // abandon, and seeing it set means we must clean up
+                // ourselves.
+                if self.has_diverged() {
+                    state.pending.lock().clear();
+                    return Err(MonitorError::ShutDown);
                 }
-                ArrivalResult::Timeout(arrived) => {
-                    let missing = (0..self.config.variants)
-                        .find(|v| !arrived.contains(v))
-                        .unwrap_or(0);
-                    return Err(self.record_divergence(DivergenceReport {
-                        kind: DivergenceKind::RendezvousTimeout { arrived },
-                        thread,
-                        sequence: seq,
-                        variant: missing,
-                    }));
+                if full {
+                    self.flush_deferred(variant, thread)?;
                 }
-                ArrivalResult::Poisoned => return Err(MonitorError::ShutDown),
+            } else {
+                match self.lockstep.arrive(
+                    key,
+                    variant,
+                    req.comparison_key(),
+                    self.config.lockstep_timeout,
+                ) {
+                    ArrivalResult::Consistent => {}
+                    ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => {
+                        return Err(self.record_divergence(DivergenceReport {
+                            kind: DivergenceKind::SyscallMismatch {
+                                master: master_key.no,
+                                variant: bad_key.no,
+                            },
+                            thread,
+                            sequence: seq,
+                            variant: bad_variant,
+                        }));
+                    }
+                    ArrivalResult::Timeout(arrived) => {
+                        let missing = (0..self.config.variants)
+                            .find(|v| !arrived.contains(v))
+                            .unwrap_or(0);
+                        return Err(self.record_divergence(DivergenceReport {
+                            kind: DivergenceKind::RendezvousTimeout { arrived },
+                            thread,
+                            sequence: seq,
+                            variant: missing,
+                        }));
+                    }
+                    ArrivalResult::Poisoned => return Err(MonitorError::ShutDown),
+                }
             }
         }
 
@@ -461,10 +656,11 @@ mod tests {
     use mvee_kernel::vfs::OpenFlags;
     use std::sync::Arc;
 
-    fn make_monitor_sharded(
+    fn make_monitor_config(
         variants: usize,
         policy: MonitoringPolicy,
         shards: usize,
+        batch: usize,
     ) -> (Arc<Monitor>, Arc<Kernel>) {
         let kernel = Arc::new(Kernel::new_manual_clock());
         kernel.install_file("/input", b"some input data");
@@ -475,11 +671,20 @@ mod tests {
             lockstep_timeout: Duration::from_millis(500),
             max_threads: 8,
             shards,
+            batch,
         };
         (
             Arc::new(Monitor::new(config, Arc::clone(&kernel), pids)),
             kernel,
         )
+    }
+
+    fn make_monitor_sharded(
+        variants: usize,
+        policy: MonitoringPolicy,
+        shards: usize,
+    ) -> (Arc<Monitor>, Arc<Kernel>) {
+        make_monitor_config(variants, policy, shards, 1)
     }
 
     /// Single-shard monitor: the original global-table behaviour, used by the
@@ -777,6 +982,7 @@ mod tests {
             lockstep_timeout: Duration::from_secs(10),
             max_threads: 8,
             shards: 1,
+            batch: 1,
         };
         let monitor = Arc::new(Monitor::new(config, Arc::clone(&kernel), pids));
         let brk = |m: &Monitor, v: usize, t: usize| {
@@ -829,6 +1035,157 @@ mod tests {
         slave_t4.join().unwrap().unwrap();
         assert!(!monitor.has_diverged());
         assert_eq!(monitor.stats().ordered_syscalls, 4);
+    }
+
+    /// Drives `ops` brk calls on thread 0 of every variant (one OS thread
+    /// per variant) and returns the monitor for inspection.
+    fn run_brk_stream(monitor: &Arc<Monitor>, variants: usize, ops: u64) {
+        let mut handles = Vec::new();
+        for variant in 0..variants {
+            let m = Arc::clone(monitor);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ops {
+                    m.syscall(variant, 0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn batched_brk_stream_is_clean_and_actually_batches() {
+        let (monitor, _) = make_monitor_config(2, MonitoringPolicy::StrictLockstep, 4, 8);
+        run_brk_stream(&monitor, 2, 32);
+        assert!(!monitor.has_diverged());
+        let s = monitor.stats();
+        assert_eq!(s.lockstep_syscalls, 64);
+        assert_eq!(s.batched_comparisons, 64);
+        // 32 deferrable calls per variant at batch 8: four full flushes each.
+        assert_eq!(s.batch_flushes, 8);
+        assert_eq!(monitor.live_deferred(), 0);
+    }
+
+    #[test]
+    fn batch_one_defers_nothing() {
+        let (monitor, _) = make_monitor_config(2, MonitoringPolicy::StrictLockstep, 4, 1);
+        run_brk_stream(&monitor, 2, 8);
+        let s = monitor.stats();
+        assert_eq!(s.batched_comparisons, 0);
+        assert_eq!(s.batch_flushes, 0);
+        assert_eq!(s.lockstep_syscalls, 16);
+    }
+
+    #[test]
+    fn batched_and_unbatched_runs_agree_on_clean_verdicts() {
+        for batch in [1usize, 2, 8] {
+            let (monitor, _) = make_monitor_config(2, MonitoringPolicy::StrictLockstep, 4, batch);
+            run_brk_stream(&monitor, 2, 16);
+            assert!(!monitor.has_diverged(), "batch={batch}");
+            let s = monitor.stats();
+            assert_eq!(s.lockstep_syscalls, 32, "batch={batch}");
+            assert_eq!(s.ordered_syscalls, 32, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn mid_batch_mismatch_reports_the_original_sequence_number() {
+        // Both variants defer three mprotect comparisons; the slave's second
+        // one carries different (compared) arguments.  The flush — forced by
+        // a synchronous write — must blame exactly call #1, with the
+        // deferred-keyspace bit stripped from the reported sequence.
+        let (monitor, _) = make_monitor_config(2, MonitoringPolicy::StrictLockstep, 4, 8);
+        let mprotect = |len: i64| {
+            SyscallRequest::new(Sysno::Mprotect)
+                .with_arg(SyscallArg::Pointer(0x7000_0000))
+                .with_int(len)
+        };
+        let write = SyscallRequest::new(Sysno::Write)
+            .with_fd(1)
+            .with_payload(b"flush");
+        let m = Arc::clone(&monitor);
+        let w = write.clone();
+        let slave = std::thread::spawn(move || {
+            for len in [4096i64, 8192, 4096] {
+                m.syscall(1, 0, &mprotect(len))?;
+            }
+            m.syscall(1, 0, &w)
+        });
+        let master = (|| {
+            for _ in 0..3 {
+                monitor.syscall(0, 0, &mprotect(4096))?;
+            }
+            monitor.syscall(0, 0, &write)
+        })();
+        let slave = slave.join().unwrap();
+        assert!(master.is_err() || slave.is_err());
+        assert!(monitor.has_diverged());
+        let report = monitor.divergence().unwrap();
+        assert!(matches!(
+            report.kind,
+            DivergenceKind::SyscallMismatch { .. }
+        ));
+        assert_eq!(report.sequence, 1, "must blame the exact mid-batch slot");
+        assert_eq!(report.variant, 1);
+        assert!(
+            report.sequence & crate::monitor::DEFERRED_SEQ_BIT == 0,
+            "reported sequence must be in the original key space"
+        );
+    }
+
+    #[test]
+    fn synchronous_call_flushes_a_partial_batch() {
+        // Two deferred brks (batch 8, never full) must still be compared
+        // before the variants' next replicated call completes.
+        let (monitor, _) = make_monitor_config(2, MonitoringPolicy::StrictLockstep, 4, 8);
+        let mut handles = Vec::new();
+        for variant in 0..2 {
+            let m = Arc::clone(&monitor);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2 {
+                    m.syscall(variant, 0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+                        .unwrap();
+                }
+                m.syscall(variant, 0, &open_req("/input")).unwrap()
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = monitor.stats();
+        assert_eq!(s.batched_comparisons, 4);
+        assert_eq!(s.batch_flushes, 2, "one flush per variant at the open");
+        assert_eq!(monitor.live_deferred(), 0);
+        assert!(!monitor.has_diverged());
+    }
+
+    #[test]
+    fn divergence_abandons_deferred_comparisons() {
+        let (monitor, _) = make_monitor_config(2, MonitoringPolicy::StrictLockstep, 4, 8);
+        // Variant 0 defers one brk comparison, then only variant 0 arrives
+        // at a synchronous open: rendezvous timeout, divergence.
+        monitor
+            .syscall(0, 0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+            .unwrap();
+        assert_eq!(monitor.live_deferred(), 1);
+        let r = monitor.syscall(0, 0, &open_req("/input"));
+        assert!(r.is_err());
+        assert!(monitor.has_diverged());
+        assert_eq!(
+            monitor.live_deferred(),
+            0,
+            "divergence must drop pending batches"
+        );
+    }
+
+    #[test]
+    fn oversized_batch_knob_is_clamped() {
+        let (monitor, _) = make_monitor_config(1, MonitoringPolicy::StrictLockstep, 1, usize::MAX);
+        assert_eq!(monitor.config().batch, crate::lockstep::MAX_BATCH);
+        let (unbatched, _) = make_monitor_config(1, MonitoringPolicy::StrictLockstep, 1, 0);
+        assert_eq!(unbatched.config().batch, 1);
     }
 
     #[test]

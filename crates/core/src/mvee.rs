@@ -52,6 +52,7 @@ pub struct MveeBuilder {
     layouts: Option<Vec<VariantLayout>>,
     manual_clock: bool,
     shards: usize,
+    batch: usize,
 }
 
 impl Default for MveeBuilder {
@@ -66,6 +67,7 @@ impl Default for MveeBuilder {
             layouts: None,
             manual_clock: false,
             shards: crate::lockstep::DEFAULT_SHARDS,
+            batch: 1,
         }
     }
 }
@@ -132,6 +134,20 @@ impl MveeBuilder {
         self
     }
 
+    /// Sets the monitor's comparison batch size (see
+    /// [`MonitorConfig::batch`]): how many deferred comparisons a variant
+    /// thread may accumulate per rendezvous-table flush.  `1` (the default)
+    /// disables deferral and reproduces the per-call rendezvous exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "need a comparison batch of at least one");
+        self.batch = batch;
+        self
+    }
+
     /// Builds the MVEE: spawns one kernel process per variant, constructs the
     /// monitor and injects the synchronization agent.
     ///
@@ -162,6 +178,7 @@ impl MveeBuilder {
             lockstep_timeout: self.lockstep_timeout,
             max_threads: mvee_sync_agent::context::MAX_THREADS,
             shards: self.shards,
+            batch: self.batch,
         };
         let monitor = Arc::new(Monitor::new(
             monitor_config,
@@ -180,6 +197,29 @@ impl MveeBuilder {
             let agent = Arc::clone(&agent);
             move || agent.poison()
         });
+        // With batched comparisons on, the agent's replication points become
+        // flush points: a sync op must not record or replay while the
+        // calling thread still has unresolved comparisons queued, and a
+        // poisoned agent abandons whatever is left.  The hook holds the
+        // monitor weakly — the monitor already holds the agent through the
+        // poison hook, and a strong reference back would leak the pair.
+        if self.batch > 1 {
+            let weak_monitor = Arc::downgrade(&monitor);
+            agent.set_replication_hook(Arc::new(move |event| {
+                let Some(monitor) = weak_monitor.upgrade() else {
+                    return;
+                };
+                match event {
+                    mvee_sync_agent::ReplicationEvent::SyncOp(ctx) => {
+                        // A flush failure has already recorded the
+                        // divergence and poisoned table + agent; the thread
+                        // learns about it at its next monitored call.
+                        let _ = monitor.flush_deferred(ctx.role.variant_index(), ctx.thread);
+                    }
+                    mvee_sync_agent::ReplicationEvent::Poisoned => monitor.abandon_deferred(),
+                }
+            }));
+        }
         Mvee {
             kernel,
             monitor,
@@ -367,6 +407,70 @@ mod tests {
             .manual_clock(true)
             .build();
         assert_eq!(unsharded.monitor().shard_count(), 1);
+    }
+
+    #[test]
+    fn builder_batch_knob_reaches_the_monitor() {
+        let mvee = Mvee::builder()
+            .variants(2)
+            .batch(8)
+            .manual_clock(true)
+            .build();
+        assert_eq!(mvee.monitor().config().batch, 8);
+        let unbatched = Mvee::builder().variants(2).manual_clock(true).build();
+        assert_eq!(unbatched.monitor().config().batch, 1);
+    }
+
+    #[test]
+    fn sync_op_flushes_deferred_comparisons() {
+        // Each variant defers two brk comparisons (batch 8, never full);
+        // reaching the agent's replication point must flush them.
+        let mvee = Mvee::builder()
+            .variants(2)
+            .batch(8)
+            .manual_clock(true)
+            .build();
+        let mut handles = Vec::new();
+        for v in 0..2 {
+            let gw = mvee.gateway(v);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2 {
+                    gw.syscall(0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+                        .unwrap();
+                }
+                gw.sync_op(0, 0x1000, || ());
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = mvee.monitor_stats();
+        assert_eq!(stats.batched_comparisons, 4);
+        assert_eq!(
+            stats.batch_flushes, 2,
+            "one flush per variant at the sync op"
+        );
+        assert_eq!(mvee.monitor().live_deferred(), 0);
+        assert!(!mvee.monitor().has_diverged());
+    }
+
+    #[test]
+    fn agent_poison_abandons_deferred_comparisons() {
+        let mvee = Mvee::builder()
+            .variants(2)
+            .batch(8)
+            .manual_clock(true)
+            .build();
+        mvee.gateway(0)
+            .syscall(0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+            .unwrap();
+        assert_eq!(mvee.monitor().live_deferred(), 1);
+        mvee.agent().poison();
+        assert_eq!(
+            mvee.monitor().live_deferred(),
+            0,
+            "poisoning the agent must drop pending batches"
+        );
     }
 
     #[test]

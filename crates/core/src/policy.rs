@@ -28,6 +28,23 @@ pub struct CallDisposition {
     /// The call executes in every variant but follows the master's
     /// cross-thread order via the syscall ordering clock.
     pub ordered: bool,
+    /// The comparison may be *deferred* into the monitor's per-thread batch
+    /// and resolved at the next flush point (batch full, next synchronous
+    /// monitored call, or an agent replication point) instead of blocking
+    /// the caller right now.
+    ///
+    /// Only compare-only calls qualify: address-space calls execute against
+    /// each variant's own address space, so nothing but the comparison
+    /// couples the variants and the caller can proceed the moment its own
+    /// kernel has answered.  Calls whose results are replicated (I/O,
+    /// read-only info, blocking sync) must still rendezvous synchronously —
+    /// the caller cannot proceed without the master's outcome — and
+    /// process-lifecycle calls stay synchronous so a thread can never exit
+    /// with an unflushed batch behind it.  Deferral trades a bounded
+    /// detection window (at most `MonitorConfig::batch` calls, never past a
+    /// replication point) for one shard-lock acquisition per batch instead
+    /// of per call.
+    pub defer_compare: bool,
 }
 
 /// Which system calls the monitor compares in lockstep.
@@ -75,10 +92,16 @@ impl MonitoringPolicy {
             sysno.class(),
             SyscallClass::Io | SyscallClass::ReadOnlyInfo | SyscallClass::BlockingSync
         );
+        let lockstep = self.requires_lockstep(sysno);
         CallDisposition {
-            lockstep: self.requires_lockstep(sysno),
+            lockstep,
             replicate,
             ordered: !replicate && sysno.needs_ordering(),
+            // `!replicate` is implied by the address-space class but spelled
+            // out because it is the load-bearing half of the invariant:
+            // deferral must never cover a call whose outcome the caller
+            // still has to wait for.
+            defer_compare: lockstep && !replicate && sysno.class() == SyscallClass::AddressSpace,
         }
     }
 
@@ -179,6 +202,70 @@ mod tests {
                     !(d.replicate && d.ordered),
                     "{sysno:?}: replication already implies the master's order"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn only_compared_address_space_calls_may_defer() {
+        let strict = MonitoringPolicy::StrictLockstep;
+        // Address-space calls are compare-only: deferrable.
+        for sysno in [Sysno::Brk, Sysno::Mmap, Sysno::Mprotect, Sysno::Munmap] {
+            assert!(strict.disposition(sysno).defer_compare, "{sysno:?}");
+        }
+        // Replicated results must rendezvous synchronously.
+        for sysno in [Sysno::Open, Sysno::Write, Sysno::Read, Sysno::Gettimeofday] {
+            assert!(!strict.disposition(sysno).defer_compare, "{sysno:?}");
+        }
+        // Process-lifecycle calls stay synchronous so exits flush batches.
+        for sysno in [Sysno::Clone, Sysno::Exit, Sysno::ExitGroup] {
+            assert!(!strict.disposition(sysno).defer_compare, "{sysno:?}");
+        }
+        // A call the policy does not compare has nothing to defer.
+        assert!(
+            !MonitoringPolicy::SecuritySensitiveOnly
+                .disposition(Sysno::Brk)
+                .defer_compare
+        );
+        assert!(
+            MonitoringPolicy::SecuritySensitiveOnly
+                .disposition(Sysno::Mprotect)
+                .defer_compare
+        );
+        for sysno in [Sysno::Brk, Sysno::Mmap, Sysno::Mprotect] {
+            assert!(
+                !MonitoringPolicy::NoComparison
+                    .disposition(sysno)
+                    .defer_compare
+            );
+        }
+    }
+
+    #[test]
+    fn deferral_implies_a_compared_unreplicated_call() {
+        for policy in MonitoringPolicy::all() {
+            for sysno in [
+                Sysno::Open,
+                Sysno::Read,
+                Sysno::Write,
+                Sysno::Brk,
+                Sysno::Mmap,
+                Sysno::Mprotect,
+                Sysno::Madvise,
+                Sysno::Gettimeofday,
+                Sysno::SchedYield,
+                Sysno::FutexWait,
+                Sysno::Clone,
+                Sysno::ExitGroup,
+            ] {
+                let d = policy.disposition(sysno);
+                if d.defer_compare {
+                    assert!(d.lockstep, "{sysno:?}: deferral without a comparison");
+                    assert!(
+                        !d.replicate,
+                        "{sysno:?}: deferral would starve a replicated result"
+                    );
+                }
             }
         }
     }

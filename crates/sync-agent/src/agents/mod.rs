@@ -56,6 +56,56 @@ impl AgentKind {
     }
 }
 
+/// One-shot storage for an agent's [`ReplicationHook`](crate::ReplicationHook).
+///
+/// Installed once by the MVEE front end, fired lock-free afterwards (an
+/// uninstalled cell is a single atomic load on the sync-op hot path).  Every
+/// agent embeds one and fires it at the top of `before_sync_op` — before any
+/// guard is taken, so a blocking hook (a comparison flush is a rendezvous)
+/// can never deadlock against the agent's own ordering guards — and from
+/// `poison`.
+pub(crate) struct HookCell(std::sync::OnceLock<crate::ReplicationHook>);
+
+impl HookCell {
+    pub(crate) fn new() -> Self {
+        HookCell(std::sync::OnceLock::new())
+    }
+
+    /// Stores the hook; later installs are ignored.
+    pub(crate) fn install(&self, hook: crate::ReplicationHook) {
+        let _ = self.0.set(hook);
+    }
+
+    /// Fires the replication-point event for `ctx`'s thread.
+    #[inline]
+    pub(crate) fn sync_op(&self, ctx: &crate::context::SyncContext) {
+        if let Some(hook) = self.0.get() {
+            hook(crate::ReplicationEvent::SyncOp(ctx));
+        }
+    }
+
+    /// Fires the poison event.
+    pub(crate) fn poisoned(&self) {
+        if let Some(hook) = self.0.get() {
+            hook(crate::ReplicationEvent::Poisoned);
+        }
+    }
+}
+
+impl Default for HookCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for HookCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("HookCell")
+            .field(&self.0.get().map(|_| "installed"))
+            .finish()
+    }
+}
+
 /// The shared master-side "record an op under its ordering guard" loop.
 ///
 /// Acquires the guard for `guard_idx`, builds the record (under the guard —

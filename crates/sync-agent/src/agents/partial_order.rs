@@ -56,6 +56,7 @@ pub struct PartialOrderAgent {
     stats: SharedStats,
     slaves: Vec<SlaveState>,
     poisoned: AtomicBool,
+    hook: super::HookCell,
 }
 
 impl PartialOrderAgent {
@@ -71,6 +72,7 @@ impl PartialOrderAgent {
                 .map(|_| SlaveState::new(config.buffer_capacity))
                 .collect(),
             poisoned: AtomicBool::new(false),
+            hook: super::HookCell::new(),
             config,
         }
     }
@@ -218,6 +220,8 @@ impl SyncAgent for PartialOrderAgent {
     }
 
     fn before_sync_op(&self, ctx: &SyncContext, addr: u64) {
+        // Replication point: flush deferred work before any guard is taken.
+        self.hook.sync_op(ctx);
         match ctx.role {
             VariantRole::Master => self.master_before(ctx, addr),
             VariantRole::Slave { index } => self.slave_before(ctx, index),
@@ -237,10 +241,15 @@ impl SyncAgent for PartialOrderAgent {
 
     fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
+        self.hook.poisoned();
     }
 
     fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn set_replication_hook(&self, hook: crate::ReplicationHook) {
+        self.hook.install(hook);
     }
 }
 

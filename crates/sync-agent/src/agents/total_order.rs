@@ -31,6 +31,7 @@ pub struct TotalOrderAgent {
     waiter: Waiter,
     stats: SharedStats,
     poisoned: AtomicBool,
+    hook: super::HookCell,
 }
 
 impl TotalOrderAgent {
@@ -43,6 +44,7 @@ impl TotalOrderAgent {
             waiter: Waiter::new(config.spin_before_yield),
             stats: SharedStats::new(),
             poisoned: AtomicBool::new(false),
+            hook: super::HookCell::new(),
             config,
         }
     }
@@ -117,6 +119,8 @@ impl SyncAgent for TotalOrderAgent {
     }
 
     fn before_sync_op(&self, ctx: &SyncContext, addr: u64) {
+        // Replication point: flush deferred work before any guard is taken.
+        self.hook.sync_op(ctx);
         match ctx.role {
             VariantRole::Master => self.master_before(ctx, addr),
             VariantRole::Slave { index } => self.slave_before(ctx, index),
@@ -136,10 +140,15 @@ impl SyncAgent for TotalOrderAgent {
 
     fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
+        self.hook.poisoned();
     }
 
     fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn set_replication_hook(&self, hook: crate::ReplicationHook) {
+        self.hook.install(hook);
     }
 }
 

@@ -48,6 +48,15 @@ impl VariantRole {
             VariantRole::Slave { index: index - 1 }
         }
     }
+
+    /// The inverse of [`from_variant_index`](Self::from_variant_index): the
+    /// variant index this role plays (master = 0, slave `k` = `k + 1`).
+    pub fn variant_index(self) -> usize {
+        match self {
+            VariantRole::Master => 0,
+            VariantRole::Slave { index } => index + 1,
+        }
+    }
 }
 
 /// Per-thread context handed to the agent on every call.
@@ -189,6 +198,13 @@ mod tests {
         assert!(VariantRole::Master.is_master());
         assert_eq!(VariantRole::Master.slave_index(), None);
         assert_eq!(VariantRole::Slave { index: 2 }.slave_index(), Some(2));
+    }
+
+    #[test]
+    fn variant_index_round_trips() {
+        for i in 0..MAX_VARIANTS {
+            assert_eq!(VariantRole::from_variant_index(i).variant_index(), i);
+        }
     }
 
     #[test]

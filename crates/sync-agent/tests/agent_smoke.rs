@@ -193,3 +193,173 @@ fn null_agent_counts_ops_and_never_blocks() {
     assert_eq!(stats.ops_replayed, 2 * per_variant);
     assert_eq!(stats.slave_stalls, 0, "the null agent never stalls a slave");
 }
+
+/// Batched (batch ≥ 2) configurations of the post-divergence deadlock
+/// scenario: the full monitor + agent pair, with deferred comparisons in
+/// flight when the MVEE dies.  Divergence must poison the rendezvous table
+/// *and* the agent, so that threads blocked in a batch flush and threads
+/// blocked in a replay wait both return within the watchdog window.
+mod batched_shutdown {
+    use super::*;
+    use mvee_core::mvee::Mvee;
+    use mvee_kernel::syscall::{SyscallArg, SyscallRequest, Sysno};
+
+    /// Watchdog for the batched shutdown scenarios: generous against
+    /// scheduler noise, tiny against the 400 s CI stalls it guards.
+    const BATCH_WATCHDOG: Duration = Duration::from_secs(20);
+
+    fn mprotect(len: i64) -> SyscallRequest {
+        SyscallRequest::new(Sysno::Mprotect)
+            .with_arg(SyscallArg::Pointer(0x7a00_0000))
+            .with_int(len)
+    }
+
+    fn batched_mvee(batch: usize, timeout: Duration) -> Arc<Mvee> {
+        Arc::new(
+            Mvee::builder()
+                .variants(2)
+                .threads(2)
+                .agent(AgentKind::WallOfClocks)
+                .batch(batch)
+                .lockstep_timeout(timeout)
+                .manual_clock(true)
+                .build(),
+        )
+    }
+
+    /// Runs `f` on a scenario thread and panics if it outlives the watchdog.
+    fn with_watchdog<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+        let (done_tx, done_rx) = mpsc::channel();
+        let scenario = thread::spawn(move || {
+            let _ = done_tx.send(f());
+        });
+        match done_rx.recv_timeout(BATCH_WATCHDOG) {
+            Ok(value) => {
+                scenario.join().expect("scenario thread panicked");
+                value
+            }
+            Err(_) => panic!("{label}: batched shutdown scenario deadlocked ({BATCH_WATCHDOG:?})"),
+        }
+    }
+
+    #[test]
+    fn divergence_mid_batch_poisons_and_unblocks_batched_waiters() {
+        for batch in [2usize, 8] {
+            let mvee = batched_mvee(batch, Duration::from_secs(10));
+            let label = format!("mid-batch divergence, batch={batch}");
+            let m = Arc::clone(&mvee);
+            let (master_r, slave_r) = with_watchdog(&label, move || {
+                // Both variants defer mprotect comparisons; the slave's
+                // second one carries different compared arguments.  A
+                // synchronous write forces both flushes: the mismatch lands
+                // mid-batch and must shut the whole MVEE down promptly —
+                // neither side may sit out its (here: 10 s) lockstep
+                // timeout, let alone the watchdog.
+                let mm = Arc::clone(&m);
+                let slave = thread::spawn(move || {
+                    let gw = mm.gateway(1);
+                    for len in [4096i64, 666, 4096] {
+                        gw.syscall(0, &mprotect(len))?;
+                    }
+                    gw.syscall(
+                        0,
+                        &SyscallRequest::new(Sysno::Write)
+                            .with_fd(1)
+                            .with_payload(b"x"),
+                    )
+                });
+                let gw = m.gateway(0);
+                let master = (|| {
+                    for _ in 0..3 {
+                        gw.syscall(0, &mprotect(4096))?;
+                    }
+                    gw.syscall(
+                        0,
+                        &SyscallRequest::new(Sysno::Write)
+                            .with_fd(1)
+                            .with_payload(b"x"),
+                    )
+                })();
+                (master, slave.join().unwrap())
+            });
+            assert!(
+                master_r.is_err() || slave_r.is_err(),
+                "batch={batch}: the mismatch must surface"
+            );
+            assert!(mvee.monitor().has_diverged(), "batch={batch}");
+            assert!(
+                mvee.agent().is_poisoned(),
+                "batch={batch}: divergence must poison the agent"
+            );
+            assert_eq!(
+                mvee.monitor().live_deferred(),
+                0,
+                "batch={batch}: pending comparisons must be abandoned"
+            );
+            let report = mvee.divergence().expect("divergence report");
+            assert_eq!(
+                report.sequence, 1,
+                "batch={batch}: must blame the exact slot"
+            );
+        }
+    }
+
+    #[test]
+    fn exit_mid_batch_poisons_and_unblocks_batched_waiters_and_replay() {
+        for batch in [2usize, 8] {
+            // Short lockstep timeout: the "exited" peer is detected by the
+            // rendezvous deadline, well inside the watchdog window.
+            let mvee = batched_mvee(batch, Duration::from_millis(400));
+            let label = format!("mid-batch exit, batch={batch}");
+
+            // A slave thread blocks in a replay wait for a recording that
+            // will never continue — the deadlock the poison hook prevents.
+            let (replay_tx, replay_rx) = mpsc::channel();
+            let blocked = Arc::clone(mvee.agent());
+            let replay = thread::spawn(move || {
+                let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, 1);
+                blocked.before_sync_op(&ctx, 0x1000);
+                blocked.after_sync_op(&ctx, 0x1000);
+                let _ = replay_tx.send(());
+            });
+
+            let m = Arc::clone(&mvee);
+            let master = with_watchdog(&label, move || {
+                // The slave variant "exits mid-batch": it defers one
+                // comparison and then its thread is gone, never flushing.
+                // It runs concurrently with the master (its ordered call
+                // needs the master's published outcome to proceed).
+                let mm = Arc::clone(&m);
+                let slave = thread::spawn(move || {
+                    let _ = mm.gateway(1).syscall(0, &mprotect(4096));
+                });
+                // The master fills and flushes a batch; the flush blocks on
+                // the vanished peer, times out, and must convert into a
+                // divergence instead of a hang.
+                let gw = m.gateway(0);
+                let result = (|| {
+                    for _ in 0..2 {
+                        gw.syscall(0, &mprotect(4096))?;
+                    }
+                    gw.syscall(
+                        0,
+                        &SyscallRequest::new(Sysno::Write)
+                            .with_fd(1)
+                            .with_payload(b"x"),
+                    )
+                })();
+                slave.join().expect("slave thread panicked");
+                result
+            });
+            assert!(master.is_err(), "batch={batch}: the flush must fail");
+            assert!(mvee.monitor().has_diverged(), "batch={batch}");
+            assert!(mvee.agent().is_poisoned(), "batch={batch}");
+            // The poison must also release the replay-blocked slave thread.
+            replay_rx
+                .recv_timeout(BATCH_WATCHDOG)
+                .unwrap_or_else(|_| panic!("batch={batch}: poisoned replay stayed blocked"));
+            replay.join().expect("replay thread panicked");
+            assert_eq!(mvee.monitor().live_deferred(), 0, "batch={batch}");
+        }
+    }
+}

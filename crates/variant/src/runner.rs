@@ -43,6 +43,10 @@ pub struct RunConfig {
     /// Number of monitor rendezvous/ordering shards (1 = the original global
     /// table, for ablations).
     pub shards: usize,
+    /// Comparison batch size: how many deferred comparisons a variant thread
+    /// may accumulate per rendezvous flush (1 = the unbatched per-call
+    /// rendezvous, for ablations).
+    pub batch: usize,
 }
 
 impl Default for RunConfig {
@@ -56,6 +60,7 @@ impl Default for RunConfig {
             buffer_capacity: 1 << 16,
             clock_count: 512,
             shards: mvee_core::lockstep::DEFAULT_SHARDS,
+            batch: 1,
         }
     }
 }
@@ -85,6 +90,12 @@ impl RunConfig {
     /// Sets the monitor shard count (builder style).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the comparison batch size (builder style).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
         self
     }
 }
@@ -147,6 +158,7 @@ pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
         .layouts(layouts)
         .lockstep_timeout(config.lockstep_timeout)
         .shards(config.shards)
+        .batch(config.batch)
         .build();
 
     for (path, contents) in &program.files {
@@ -354,6 +366,64 @@ mod tests {
                 report.divergence
             );
             assert!(report.outputs_identical(), "shards={shards}");
+        }
+    }
+
+    /// A brk-dense program: the address-space calls are exactly the class
+    /// whose comparisons the batched monitor defers.  Only thread 0 grows
+    /// the (process-shared) break, so the compared brk targets are
+    /// deterministic; thread 1 supplies sync-op traffic so the agent's
+    /// replication-point flush hook fires too.
+    fn brk_program() -> Program {
+        let mut p = Program::new("brk-test").with_resources(1, 0, 0, 1);
+        p.add_thread(ThreadSpec::new(vec![
+            Action::Repeat {
+                times: 12,
+                body: vec![
+                    Action::Syscall(SyscallSpec::BrkGrow { grow: 4096 }),
+                    Action::LockAcquire(0),
+                    Action::AtomicAdd {
+                        counter: 0,
+                        amount: 1,
+                    },
+                    Action::LockRelease(0),
+                ],
+            },
+            Action::Syscall(SyscallSpec::WriteOutput { len: 16, tag: 7 }),
+        ]));
+        p.add_thread(ThreadSpec::new(vec![Action::Repeat {
+            times: 12,
+            body: vec![
+                Action::LockAcquire(0),
+                Action::AtomicAdd {
+                    counter: 0,
+                    amount: 1,
+                },
+                Action::LockRelease(0),
+            ],
+        }]));
+        p
+    }
+
+    #[test]
+    fn batched_and_unbatched_monitors_both_run_cleanly() {
+        for batch in [1usize, 4, 64] {
+            let config = RunConfig::new(2, AgentKind::WallOfClocks).with_batch(batch);
+            let report = run_mvee(&brk_program(), &config);
+            assert!(
+                report.completed_cleanly(),
+                "batch={batch} diverged: {:?}",
+                report.divergence
+            );
+            assert!(report.outputs_identical(), "batch={batch}");
+            if batch > 1 {
+                assert!(
+                    report.monitor.batched_comparisons > 0,
+                    "batch={batch} never deferred a comparison"
+                );
+            } else {
+                assert_eq!(report.monitor.batched_comparisons, 0);
+            }
         }
     }
 

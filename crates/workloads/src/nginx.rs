@@ -60,6 +60,11 @@ pub struct NginxServerConfig {
     /// Number of monitor rendezvous/ordering shards (1 = the original global
     /// table, for ablations).
     pub monitor_shards: usize,
+    /// Comparison batch size (1 = unbatched per-call rendezvous).  The
+    /// serving path is I/O-only, so batching changes nothing on a clean run;
+    /// the knob exists so the stress/attack tests can pin the batched
+    /// monitor's behaviour under the full server load.
+    pub comparison_batch: usize,
     /// Rendezvous/replication timeout before the monitor declares
     /// divergence.  Many-variant, many-thread runs on few cores need more
     /// headroom than the default, or scheduler-induced rendezvous delays are
@@ -79,6 +84,7 @@ impl Default for NginxServerConfig {
             agent: AgentKind::WallOfClocks,
             diversity: DiversityProfile::full(2028),
             monitor_shards: mvee_core::lockstep::DEFAULT_SHARDS,
+            comparison_batch: 1,
             lockstep_timeout: Duration::from_secs(5),
         }
     }
@@ -158,6 +164,7 @@ pub fn run_nginx_experiment(config: &NginxServerConfig, attack: bool) -> NginxRe
         .layouts(layouts)
         .lockstep_timeout(config.lockstep_timeout)
         .shards(config.monitor_shards)
+        .batch(config.comparison_batch)
         .build();
     mvee.kernel()
         .install_file(PAGE_PATH, &vec![b'x'; config.page_bytes]);
