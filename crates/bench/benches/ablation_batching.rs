@@ -96,6 +96,7 @@ fn hammer_monitor(batch: usize) {
         max_threads: THREADS,
         shards: THREADS,
         batch,
+        ..MonitorConfig::default()
     };
     let monitor = Arc::new(Monitor::new(config, kernel, pids));
     let mut handles = Vec::with_capacity(VARIANTS * THREADS);

@@ -12,7 +12,7 @@ use mvee_bench::{
     workload_scale,
 };
 use mvee_sync_agent::agents::AgentKind;
-use mvee_workloads::catalog::CATALOG;
+use mvee_workloads::catalog::sweep_catalog;
 
 fn main() {
     let scale = workload_scale();
@@ -32,7 +32,7 @@ fn main() {
     }
     let widths = print_variant_table_header("Figure 5", &prefix, &variant_counts, &[("clean", 10)]);
 
-    for spec in CATALOG {
+    for spec in sweep_catalog() {
         for agent in AgentKind::replication_agents() {
             for &batch in &batches {
                 let mut cells = vec![spec.name.to_string(), agent.name().to_string()];

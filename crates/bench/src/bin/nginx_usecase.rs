@@ -22,7 +22,7 @@ fn main() {
     };
 
     // 1. Uninstrumented custom primitives: expect divergence.
-    let mut uninstrumented = base;
+    let mut uninstrumented = base.clone();
     uninstrumented.instrument_custom_sync = false;
     uninstrumented.requests = 16;
     let r = run_nginx_experiment(&uninstrumented, false);
@@ -33,12 +33,12 @@ fn main() {
 
     // 2. Instrumented server: native vs MVEE, loopback vs network.
     for link in [LinkKind::GigabitNetwork, LinkKind::Loopback] {
-        let mut native_cfg = base;
+        let mut native_cfg = base.clone();
         native_cfg.variants = 1;
         native_cfg.link = link;
         let native = run_nginx_experiment(&native_cfg, false);
 
-        let mut mvee_cfg = base;
+        let mut mvee_cfg = base.clone();
         mvee_cfg.link = link;
         let mvee = run_nginx_experiment(&mvee_cfg, false);
 
@@ -55,7 +55,7 @@ fn main() {
     }
 
     // 3. The attack.
-    let mut single = base;
+    let mut single = base.clone();
     single.variants = 1;
     single.requests = 16;
     let unprotected = run_nginx_experiment(&single, true);
@@ -65,7 +65,7 @@ fn main() {
     );
     assert_eq!(unprotected.attack, AttackOutcome::Compromised);
 
-    let mut protected = base;
+    let mut protected = base.clone();
     protected.requests = 16;
     let detected = run_nginx_experiment(&protected, true);
     println!(

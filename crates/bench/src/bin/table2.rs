@@ -35,6 +35,7 @@ fn main() {
         let suite = match spec.suite {
             Suite::Parsec => "PARSEC",
             Suite::Splash2x => "SPLASH-2x",
+            Suite::Synthetic => "synthetic",
         };
         println!(
             "{}",

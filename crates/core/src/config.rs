@@ -1,0 +1,297 @@
+//! The one shared MVEE configuration surface.
+//!
+//! Before this module existed the same tuning knobs (shard count, comparison
+//! batch, policy, agent) were triplicated across `MveeBuilder`,
+//! `mvee_variant::runner::RunConfig` and
+//! `mvee_workloads::nginx::NginxServerConfig`, and drifted independently.
+//! [`MveeConfig`] is now the single struct all three embed; every front end
+//! forwards it verbatim to [`MveeBuilder::config`](crate::mvee::MveeBuilder).
+//!
+//! It also carries the [`Placement`] policy: how logical threads are bound
+//! to monitor shards (and, optionally, CPU cores).  Placement is resolved
+//! once, at [`ThreadPort`](crate::port::ThreadPort) acquisition time, not on
+//! every call — the port caches its shard binding.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mvee_sync_agent::agents::AgentKind;
+use mvee_sync_agent::context::AgentConfig;
+
+use crate::lockstep::DEFAULT_SHARDS;
+use crate::policy::MonitoringPolicy;
+
+/// How logical threads are bound to monitor shards (and CPU cores).
+///
+/// The monitor partitions its rendezvous table, ordering clocks and stat
+/// lanes into [`MveeConfig::shards`] shards.  `Placement` decides which
+/// shard a logical thread's state lives in.  The binding is a pure function
+/// of the logical thread index and the configuration, so it is identical in
+/// every variant — which is what keeps the master's and the slaves' shard
+/// clocks referring to the same state.
+///
+/// On multi-socket hardware the point of `Grouped`/`Pinned` is locality: a
+/// thread group whose threads share a shard (and whose cores share a socket)
+/// keeps its rendezvous lock and stat lane on that socket instead of
+/// bouncing cache lines across the interconnect.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// `thread % shards` — the historical binding: neighbouring threads land
+    /// in different shards, spreading contention evenly.
+    #[default]
+    RoundRobin,
+    /// Contiguous blocks of threads share a shard
+    /// (`thread * shards / max_threads`): thread groups that are spawned
+    /// together — and typically scheduled together — stay on one shard.
+    Grouped,
+    /// Explicit per-thread core map: logical thread `t` is pinned to core
+    /// `cores[t % cores.len()]` and its monitor state lives in shard
+    /// `core % shards`, so threads pinned to one core (or socket, with a
+    /// suitable map) share a shard.  The runner issues a (simulated)
+    /// `sched_setaffinity` for each thread at start-up; see
+    /// `mvee_variant::runner`.
+    Pinned(Arc<[usize]>),
+}
+
+impl Placement {
+    /// Builds a [`Placement::Pinned`] from a core map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    pub fn pinned(cores: impl Into<Vec<usize>>) -> Self {
+        let cores = cores.into();
+        assert!(!cores.is_empty(), "a pinned placement needs a core map");
+        Placement::Pinned(cores.into())
+    }
+
+    /// The shard logical thread `thread` is bound to, given the monitor's
+    /// `max_threads` and `shards` configuration.  Always below `shards`.
+    pub fn shard_for(&self, thread: usize, max_threads: usize, shards: usize) -> usize {
+        let shards = shards.max(1);
+        match self {
+            Placement::RoundRobin => thread % shards,
+            Placement::Grouped => {
+                let max_threads = max_threads.max(1);
+                ((thread % max_threads) * shards / max_threads).min(shards - 1)
+            }
+            Placement::Pinned(cores) => cores[thread % cores.len()] % shards,
+        }
+    }
+
+    /// The CPU core thread `thread` should be pinned to, if this placement
+    /// prescribes one (`Pinned` only).
+    pub fn core_for(&self, thread: usize) -> Option<usize> {
+        match self {
+            Placement::Pinned(cores) => Some(cores[thread % cores.len()]),
+            _ => None,
+        }
+    }
+
+    /// Short name used in benchmark tables and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::Grouped => "grouped",
+            Placement::Pinned(_) => "pinned",
+        }
+    }
+}
+
+/// The shared MVEE tuning knobs: one struct, consumed by every front end.
+///
+/// `MveeBuilder`, `RunConfig` and `NginxServerConfig` all embed an
+/// `MveeConfig` instead of re-declaring these fields.  The defaults
+/// reproduce the behaviour of the unconfigured monitor: strict lockstep,
+/// wall-of-clocks agent, [`DEFAULT_SHARDS`] shards, no comparison batching,
+/// round-robin shard placement.
+#[derive(Debug, Clone)]
+pub struct MveeConfig {
+    /// Which system calls are locksteped.
+    pub policy: MonitoringPolicy,
+    /// The synchronization agent to inject.
+    pub agent: AgentKind,
+    /// Agent sizing knobs (buffer capacity, clock count, ...).  The variant
+    /// and thread counts are overridden by the front end at build time.
+    pub agent_config: AgentConfig,
+    /// Number of rendezvous/ordering/stat shards the monitor partitions its
+    /// hot-path state into.  `1` reproduces the original global table.
+    pub shards: usize,
+    /// Comparison batch size: how many deferred comparisons a variant thread
+    /// may accumulate per rendezvous flush.  `1` disables deferral and
+    /// reproduces the per-call rendezvous exactly.
+    pub batch: usize,
+    /// How logical threads are bound to monitor shards (and cores).
+    pub placement: Placement,
+    /// How long a rendezvous or replication wait may take before the monitor
+    /// declares divergence.
+    pub lockstep_timeout: Duration,
+}
+
+impl Default for MveeConfig {
+    fn default() -> Self {
+        MveeConfig {
+            policy: MonitoringPolicy::StrictLockstep,
+            agent: AgentKind::WallOfClocks,
+            agent_config: AgentConfig::default(),
+            shards: DEFAULT_SHARDS,
+            batch: 1,
+            placement: Placement::RoundRobin,
+            lockstep_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl MveeConfig {
+    /// Sets the monitoring policy (builder style).
+    pub fn with_policy(mut self, policy: MonitoringPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Selects the synchronization agent (builder style).
+    pub fn with_agent(mut self, agent: AgentKind) -> Self {
+        self.agent = agent;
+        self
+    }
+
+    /// Overrides the agent sizing knobs (builder style).
+    pub fn with_agent_config(mut self, agent_config: AgentConfig) -> Self {
+        self.agent_config = agent_config;
+        self
+    }
+
+    /// Sets the monitor shard count (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one monitor shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the comparison batch size (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "need a comparison batch of at least one");
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the shard/core placement policy (builder style).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the rendezvous / replication timeout (builder style).
+    pub fn with_lockstep_timeout(mut self, timeout: Duration) -> Self {
+        self.lockstep_timeout = timeout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_matches_the_historical_binding() {
+        let p = Placement::RoundRobin;
+        for thread in 0..64 {
+            assert_eq!(p.shard_for(thread, 64, 8), thread % 8);
+        }
+        assert_eq!(p.core_for(3), None);
+    }
+
+    #[test]
+    fn grouped_keeps_contiguous_threads_on_one_shard() {
+        let p = Placement::Grouped;
+        // 64 threads over 8 shards: blocks of 8.
+        for thread in 0..64 {
+            assert_eq!(p.shard_for(thread, 64, 8), thread / 8);
+        }
+        // Shard index stays in range even for ragged divisions.
+        for thread in 0..64 {
+            assert!(p.shard_for(thread, 64, 7) < 7);
+        }
+        assert_eq!(p.core_for(0), None);
+    }
+
+    #[test]
+    fn pinned_binds_shards_through_the_core_map() {
+        let p = Placement::pinned(vec![0, 0, 1, 1]);
+        assert_eq!(p.core_for(0), Some(0));
+        assert_eq!(p.core_for(2), Some(1));
+        assert_eq!(p.core_for(4), Some(0), "map wraps around");
+        // Threads sharing a core share a shard.
+        assert_eq!(p.shard_for(0, 64, 8), p.shard_for(1, 64, 8));
+        assert_eq!(p.shard_for(2, 64, 8), p.shard_for(3, 64, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "core map")]
+    fn empty_core_map_panics() {
+        let _ = Placement::pinned(Vec::new());
+    }
+
+    #[test]
+    fn placements_always_stay_in_shard_range() {
+        for placement in [
+            Placement::RoundRobin,
+            Placement::Grouped,
+            Placement::pinned(vec![5, 17, 2]),
+        ] {
+            for shards in 1..10 {
+                for thread in 0..70 {
+                    assert!(placement.shard_for(thread, 64, shards) < shards);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_matches_the_historical_defaults() {
+        let c = MveeConfig::default();
+        assert_eq!(c.policy, MonitoringPolicy::StrictLockstep);
+        assert_eq!(c.agent, AgentKind::WallOfClocks);
+        assert_eq!(c.shards, DEFAULT_SHARDS);
+        assert_eq!(c.batch, 1);
+        assert_eq!(c.placement, Placement::RoundRobin);
+        assert_eq!(c.lockstep_timeout, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn config_builders_apply() {
+        let c = MveeConfig::default()
+            .with_policy(MonitoringPolicy::NoComparison)
+            .with_agent(AgentKind::TotalOrder)
+            .with_shards(3)
+            .with_batch(16)
+            .with_placement(Placement::Grouped)
+            .with_lockstep_timeout(Duration::from_millis(250));
+        assert_eq!(c.policy, MonitoringPolicy::NoComparison);
+        assert_eq!(c.agent, AgentKind::TotalOrder);
+        assert_eq!(c.shards, 3);
+        assert_eq!(c.batch, 16);
+        assert_eq!(c.placement, Placement::Grouped);
+        assert_eq!(c.lockstep_timeout, Duration::from_millis(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one monitor shard")]
+    fn zero_shards_panics() {
+        let _ = MveeConfig::default().with_shards(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_batch_panics() {
+        let _ = MveeConfig::default().with_batch(0);
+    }
+}

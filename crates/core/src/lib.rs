@@ -35,6 +35,13 @@
 //! * [`mvee::Mvee`] — the front end that wires a simulated kernel, a
 //!   synchronization agent and a monitor together and hands out per-variant
 //!   gateways.
+//! * [`port::ThreadPort`] — the per-(variant, thread) syscall handle:
+//!   acquired once, it caches the thread's shard binding (resolved through
+//!   the [`config::Placement`] policy), sequence counter, agent context and
+//!   deferred-comparison queue, turning thread identity into a type instead
+//!   of a per-call `(variant, thread)` convention.
+//! * [`config::MveeConfig`] — the one shared tuning block (policy, agent,
+//!   shards, batch, placement, timeout) every front end embeds.
 //!
 //! The crate deliberately knows nothing about *how* variants execute; the
 //! `mvee-variant` crate drives real OS threads through the gateway.
@@ -42,15 +49,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod divergence;
 pub mod lockstep;
 pub mod monitor;
 pub mod mvee;
 pub mod ordering;
 pub mod policy;
+pub mod port;
 
+pub use config::{MveeConfig, Placement};
 pub use divergence::{DivergenceKind, DivergenceReport};
 pub use monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
 pub use mvee::{Mvee, MveeBuilder, VariantGateway};
 pub use ordering::SyscallOrderingClock;
 pub use policy::MonitoringPolicy;
+pub use port::ThreadPort;

@@ -167,6 +167,10 @@ impl Shard {
 pub struct LockstepTable {
     variants: usize,
     shards: Box<[Shard]>,
+    /// Optional thread→shard binding map (indexed `thread % len`), supplied
+    /// by the monitor when a non-round-robin placement policy is configured.
+    /// `None` keeps the historical `thread % shards` binding.
+    placement_map: Option<Box<[usize]>>,
     poisoned: AtomicBool,
 }
 
@@ -194,8 +198,30 @@ impl LockstepTable {
         LockstepTable {
             variants,
             shards: (0..shards).map(|_| Shard::new()).collect(),
+            placement_map: None,
             poisoned: AtomicBool::new(false),
         }
+    }
+
+    /// [`with_shards`](Self::with_shards) plus an explicit thread→shard
+    /// binding map: thread `t`'s slots live in shard `map[t % map.len()]`.
+    /// The monitor derives the map from its
+    /// [`Placement`](crate::config::Placement) policy so the rendezvous
+    /// lock, the ordering clock and the stat lane of a thread all share one
+    /// shard binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty or names a shard `>= shards`.
+    pub fn with_placement_map(variants: usize, shards: usize, map: Vec<usize>) -> Self {
+        assert!(!map.is_empty(), "placement map must not be empty");
+        assert!(
+            map.iter().all(|&s| s < shards),
+            "placement map names a shard out of range"
+        );
+        let mut table = Self::with_shards(variants, shards);
+        table.placement_map = Some(map.into_boxed_slice());
+        table
     }
 
     /// Number of variants this table coordinates.
@@ -208,9 +234,13 @@ impl LockstepTable {
         self.shards.len()
     }
 
-    /// The shard index a logical thread's slots live in.
+    /// The shard index a logical thread's slots live in: the placement map
+    /// if one was supplied, `thread % shards` otherwise.
     pub fn shard_of(&self, thread: usize) -> usize {
-        thread % self.shards.len()
+        match &self.placement_map {
+            Some(map) => map[thread % map.len()],
+            None => thread % self.shards.len(),
+        }
     }
 
     fn shard(&self, key: SlotKey) -> &Shard {

@@ -48,13 +48,15 @@ use parking_lot::Mutex;
 use mvee_kernel::kernel::Kernel;
 use mvee_kernel::process::Pid;
 use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest, Sysno};
+use mvee_sync_agent::guards::Waiter;
 
+use crate::config::Placement;
 use crate::divergence::{DivergenceKind, DivergenceReport};
 use crate::lockstep::{
     ArrivalResult, BatchArrival, LockstepTable, SlotKey, DEFAULT_SHARDS, MAX_BATCH,
 };
 use crate::ordering::ShardedOrderingClock;
-use crate::policy::MonitoringPolicy;
+use crate::policy::{CallDisposition, MonitoringPolicy};
 
 /// Set on the sequence number of a deferred comparison's slot key.
 ///
@@ -66,18 +68,8 @@ use crate::policy::MonitoringPolicy;
 /// divergence reports always carry the original per-thread sequence number.
 pub const DEFERRED_SEQ_BIT: u64 = 1 << 63;
 
-/// Spin-then-yield wait with a deadline; returns `false` on timeout.
-///
-/// Used by the ordering clock and a few monitor-internal waits where a
-/// condition variable would be heavier than the expected wait time.  Thin
-/// wrapper over the shared [`Waiter`](mvee_sync_agent::guards::Waiter)
-/// spin/yield helper so the monitor and the agents use one tested wait loop.
-pub fn wait_until_with_timeout(timeout: Duration, cond: impl FnMut() -> bool) -> bool {
-    mvee_sync_agent::guards::Waiter::default().wait_until_deadline(timeout, cond)
-}
-
 /// Monitor configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MonitorConfig {
     /// Number of variants under monitoring.
     pub variants: usize,
@@ -97,6 +89,10 @@ pub struct MonitorConfig {
     /// `1` disables deferral and reproduces the per-call rendezvous exactly;
     /// values above [`MAX_BATCH`] are clamped.
     pub batch: usize,
+    /// How logical threads are bound to shards (see
+    /// [`Placement`](crate::config::Placement)).  [`Placement::RoundRobin`]
+    /// reproduces the historical `thread % shards` binding.
+    pub placement: Placement,
 }
 
 impl Default for MonitorConfig {
@@ -108,6 +104,7 @@ impl Default for MonitorConfig {
             max_threads: 64,
             shards: DEFAULT_SHARDS,
             batch: 1,
+            placement: Placement::RoundRobin,
         }
     }
 }
@@ -155,8 +152,14 @@ pub struct MonitorStats {
     pub batch_flushes: u64,
 }
 
+/// One stripe of monitor counters, padded to a cache line so lanes of
+/// different shards never false-share.  The monitor keeps one lane per
+/// shard; every counting site passes the calling thread's (cached) shard
+/// index as its lane, the same striping discipline the agents'
+/// `SharedStats` uses.
 #[derive(Debug, Default)]
-struct StatCounters {
+#[repr(align(64))]
+struct StatLane {
     total_syscalls: AtomicU64,
     lockstep_syscalls: AtomicU64,
     replicated_syscalls: AtomicU64,
@@ -165,6 +168,34 @@ struct StatCounters {
     self_aware_queries: AtomicU64,
     batched_comparisons: AtomicU64,
     batch_flushes: AtomicU64,
+}
+
+impl StatLane {
+    fn snapshot(&self) -> MonitorStats {
+        MonitorStats {
+            total_syscalls: self.total_syscalls.load(Ordering::Relaxed),
+            lockstep_syscalls: self.lockstep_syscalls.load(Ordering::Relaxed),
+            replicated_syscalls: self.replicated_syscalls.load(Ordering::Relaxed),
+            ordered_syscalls: self.ordered_syscalls.load(Ordering::Relaxed),
+            divergences: self.divergences.load(Ordering::Relaxed),
+            self_aware_queries: self.self_aware_queries.load(Ordering::Relaxed),
+            batched_comparisons: self.batched_comparisons.load(Ordering::Relaxed),
+            batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MonitorStats {
+    fn add(&mut self, other: &MonitorStats) {
+        self.total_syscalls += other.total_syscalls;
+        self.lockstep_syscalls += other.lockstep_syscalls;
+        self.replicated_syscalls += other.replicated_syscalls;
+        self.ordered_syscalls += other.ordered_syscalls;
+        self.divergences += other.divergences;
+        self.self_aware_queries += other.self_aware_queries;
+        self.batched_comparisons += other.batched_comparisons;
+        self.batch_flushes += other.batch_flushes;
+    }
 }
 
 /// Per (variant, thread) fast-path state, touched on every monitored call.
@@ -181,13 +212,21 @@ struct ThreadState {
     /// Next per-thread sequence number for monitored calls.
     seq: AtomicU64,
     /// The shard this thread's slots and ordering clock live in; identical
-    /// across variants because it depends only on the logical thread index.
+    /// across variants because it depends only on the logical thread index
+    /// and the (shared) placement policy.
     shard: usize,
+    /// Whether a [`ThreadPort`](crate::port::ThreadPort) currently owns this
+    /// (variant, thread)'s gateway state.  At most one port may be live at a
+    /// time — the port keeps the sequence counter and deferred queue in
+    /// thread-local storage, and a second writer would corrupt the key
+    /// stream.  The flag also hands the counter back on port drop.
+    port_live: AtomicBool,
     /// Deferred comparisons awaiting the next batch flush.  In steady state
     /// only this (variant, thread)'s own calls — and the agent's
     /// replication-point hook, which runs on the same OS thread — touch the
     /// queue, so the mutex is uncontended; the lock only arbitrates against
-    /// the divergence path dropping every queue.
+    /// the divergence path dropping every queue.  A live `ThreadPort`
+    /// bypasses this queue entirely: the port owns its batch locally.
     pending: Mutex<Vec<BatchArrival>>,
 }
 
@@ -204,7 +243,8 @@ pub struct Monitor {
     ordering_clocks: Vec<ShardedOrderingClock>,
     /// Per (variant, thread) fast-path state.
     threads: Vec<ThreadState>,
-    stats: StatCounters,
+    /// Per-shard counter lanes (see [`StatLane`]).
+    stats: Box<[StatLane]>,
     diverged: AtomicBool,
     divergence_report: Mutex<Option<DivergenceReport>>,
     /// Called once when divergence is first recorded, after the lockstep
@@ -231,19 +271,31 @@ impl Monitor {
         );
         config.batch = config.batch.clamp(1, MAX_BATCH);
         let shards = config.shards.max(1);
+        // One thread→shard binding, derived from the placement policy once
+        // and shared by the rendezvous table, the ordering clocks and the
+        // stat lanes — a thread's entire monitor footprint lives in one
+        // shard.
+        let placement_map: Vec<usize> = (0..config.max_threads)
+            .map(|t| config.placement.shard_for(t, config.max_threads, shards))
+            .collect();
         Monitor {
-            lockstep: LockstepTable::with_shards(config.variants, shards),
+            lockstep: LockstepTable::with_placement_map(config.variants, shards, placement_map),
             ordering_clocks: (0..config.variants)
                 .map(|_| ShardedOrderingClock::new(shards))
                 .collect(),
             threads: (0..config.variants * config.max_threads)
                 .map(|i| ThreadState {
                     seq: AtomicU64::new(0),
-                    shard: (i % config.max_threads) % shards,
+                    shard: config.placement.shard_for(
+                        i % config.max_threads,
+                        config.max_threads,
+                        shards,
+                    ),
+                    port_live: AtomicBool::new(false),
                     pending: Mutex::new(Vec::new()),
                 })
                 .collect(),
-            stats: StatCounters::default(),
+            stats: (0..shards).map(|_| StatLane::default()).collect(),
             diverged: AtomicBool::new(false),
             divergence_report: Mutex::new(None),
             poison_hook: Mutex::new(None),
@@ -292,26 +344,68 @@ impl Monitor {
         self.divergence_report.lock().clone()
     }
 
-    /// A snapshot of the monitor's counters.
+    /// A snapshot of the monitor's counters, summed over all stat lanes.
     pub fn stats(&self) -> MonitorStats {
-        MonitorStats {
-            total_syscalls: self.stats.total_syscalls.load(Ordering::Relaxed),
-            lockstep_syscalls: self.stats.lockstep_syscalls.load(Ordering::Relaxed),
-            replicated_syscalls: self.stats.replicated_syscalls.load(Ordering::Relaxed),
-            ordered_syscalls: self.stats.ordered_syscalls.load(Ordering::Relaxed),
-            divergences: self.stats.divergences.load(Ordering::Relaxed),
-            self_aware_queries: self.stats.self_aware_queries.load(Ordering::Relaxed),
-            batched_comparisons: self.stats.batched_comparisons.load(Ordering::Relaxed),
-            batch_flushes: self.stats.batch_flushes.load(Ordering::Relaxed),
+        let mut total = MonitorStats::default();
+        for lane in self.stats.iter() {
+            total.add(&lane.snapshot());
         }
+        total
+    }
+
+    /// A snapshot of one shard's counter lane — the per-shard view the
+    /// striped monitor stats expose, mirroring the agents' `lane_snapshot`.
+    pub fn lane_stats(&self, lane: usize) -> MonitorStats {
+        self.stats[lane % self.stats.len()].snapshot()
     }
 
     fn thread_state(&self, variant: usize, thread: usize) -> &ThreadState {
         &self.threads[variant * self.config.max_threads + thread]
     }
 
+    fn lane(&self, lane: usize) -> &StatLane {
+        &self.stats[lane % self.stats.len()]
+    }
+
+    /// Registers a [`ThreadPort`](crate::port::ThreadPort) as the owner of
+    /// (variant, thread)'s gateway state; returns the sequence number the
+    /// port continues from and the thread's resolved shard binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or if a live port already owns this
+    /// (variant, thread).
+    pub(crate) fn acquire_port(&self, variant: usize, thread: usize) -> (u64, usize) {
+        assert!(variant < self.config.variants, "unknown variant index");
+        assert!(
+            thread < self.config.max_threads,
+            "thread index out of range"
+        );
+        let state = self.thread_state(variant, thread);
+        assert!(
+            !state.port_live.swap(true, Ordering::AcqRel),
+            "a live ThreadPort already owns (variant {variant}, thread {thread})"
+        );
+        (state.seq.load(Ordering::Acquire), state.shard)
+    }
+
+    /// Hands a dropped port's sequence counter back so a later port (or the
+    /// legacy index-addressed path) continues the per-thread key stream.
+    pub(crate) fn release_port(&self, variant: usize, thread: usize, next_seq: u64) {
+        let state = self.thread_state(variant, thread);
+        state.seq.store(next_seq, Ordering::Release);
+        state.port_live.store(false, Ordering::Release);
+    }
+
     fn record_divergence(&self, report: DivergenceReport) -> MonitorError {
-        self.stats.divergences.fetch_add(1, Ordering::Relaxed);
+        // Count the divergence in the diverging thread's own lane (the shard
+        // binding depends only on the thread index, so variant 0's state is
+        // as good as any) so the per-shard `lane_stats` view attributes it
+        // correctly.
+        let lane = self
+            .thread_state(0, report.thread % self.config.max_threads)
+            .shard;
+        self.lane(lane).divergences.fetch_add(1, Ordering::Relaxed);
         let mut slot = self.divergence_report.lock();
         if slot.is_none() {
             *slot = Some(report.clone());
@@ -353,6 +447,14 @@ impl Monitor {
     /// replication-point hook.
     pub fn flush_deferred(&self, variant: usize, thread: usize) -> Result<(), MonitorError> {
         let state = self.thread_state(variant, thread);
+        // While a ThreadPort owns this (variant, thread) the monitor-side
+        // queue is unused — the port batches locally and flushes inline
+        // before its own sync ops — so the agents' replication hook (which
+        // still fires for every batched front end) must not pay a mutex
+        // acquisition here just to find the queue empty.
+        if state.port_live.load(Ordering::Acquire) {
+            return Ok(());
+        }
         let batch = {
             let mut pending = state.pending.lock();
             if pending.is_empty() {
@@ -360,10 +462,28 @@ impl Monitor {
             }
             std::mem::take(&mut *pending)
         };
-        self.stats.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        self.resolve_batch(variant, thread, state.shard, &batch)
+    }
+
+    /// Deposits a drained batch of deferred comparisons as one
+    /// [`LockstepTable::arrive_batch`] block, consumes the batch slots, and
+    /// turns the first non-consistent per-key result into the divergence it
+    /// proves.  Shared by [`flush_deferred`](Self::flush_deferred) (the
+    /// monitor-owned queues) and [`ThreadPort`](crate::port::ThreadPort)
+    /// (the port-local queues).
+    pub(crate) fn resolve_batch(
+        &self,
+        variant: usize,
+        thread: usize,
+        lane: usize,
+        batch: &[BatchArrival],
+    ) -> Result<(), MonitorError> {
+        self.lane(lane)
+            .batch_flushes
+            .fetch_add(1, Ordering::Relaxed);
         let results = self
             .lockstep
-            .arrive_batch(variant, &batch, self.config.lockstep_timeout);
+            .arrive_batch(variant, batch, self.config.lockstep_timeout);
         let mut failure = None;
         for (arrival, result) in batch.iter().zip(results) {
             // Consume every batch slot — even past a mismatch — so the
@@ -410,11 +530,135 @@ impl Monitor {
         }
     }
 
-    /// The single entry point: thread `thread` of variant `variant` issues
-    /// the system call described by `req`.
+    /// Shared gateway prologue: the divergence gate, the total-call counter
+    /// and the self-awareness pseudo call (§4.5, answered by the monitor and
+    /// not the kernel: 0 for the master, the variant index for slaves).
+    ///
+    /// Returns `Ok(Some(outcome))` when the call was answered without
+    /// consuming a sequence number, `Ok(None)` when the caller must carry on
+    /// with the full gateway path.
+    pub(crate) fn gate_and_count(
+        &self,
+        variant: usize,
+        lane: usize,
+        req: &SyscallRequest,
+    ) -> Result<Option<SyscallOutcome>, MonitorError> {
+        if self.has_diverged() {
+            return Err(MonitorError::ShutDown);
+        }
+        self.lane(lane)
+            .total_syscalls
+            .fetch_add(1, Ordering::Relaxed);
+        if req.no == Sysno::MveeSelfAware {
+            self.lane(lane)
+                .self_aware_queries
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(SyscallOutcome::ok(variant as i64)));
+        }
+        Ok(None)
+    }
+
+    pub(crate) fn count_lockstep(&self, lane: usize) {
+        self.lane(lane)
+            .lockstep_syscalls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_batched(&self, lane: usize) {
+        self.lane(lane)
+            .batched_comparisons
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The synchronous (unbatched) lockstep rendezvous for one call.
+    pub(crate) fn arrive_sync(
+        &self,
+        key: SlotKey,
+        variant: usize,
+        thread: usize,
+        seq: u64,
+        req: &SyscallRequest,
+    ) -> Result<(), MonitorError> {
+        match self.lockstep.arrive(
+            key,
+            variant,
+            req.comparison_key(),
+            self.config.lockstep_timeout,
+        ) {
+            ArrivalResult::Consistent => Ok(()),
+            ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => Err(self
+                .record_divergence(DivergenceReport {
+                    kind: DivergenceKind::SyscallMismatch {
+                        master: master_key.no,
+                        variant: bad_key.no,
+                    },
+                    thread,
+                    sequence: seq,
+                    variant: bad_variant,
+                })),
+            ArrivalResult::Timeout(arrived) => {
+                let missing = (0..self.config.variants)
+                    .find(|v| !arrived.contains(v))
+                    .unwrap_or(0);
+                Err(self.record_divergence(DivergenceReport {
+                    kind: DivergenceKind::RendezvousTimeout { arrived },
+                    thread,
+                    sequence: seq,
+                    variant: missing,
+                }))
+            }
+            ArrivalResult::Poisoned => Err(MonitorError::ShutDown),
+        }
+    }
+
+    /// The gateway tail after any lockstep comparison has been resolved:
+    /// replicate, order, or execute directly.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn dispatch_resolved(
+        &self,
+        variant: usize,
+        thread: usize,
+        seq: u64,
+        shard: usize,
+        key: SlotKey,
+        disposition: CallDisposition,
+        req: &SyscallRequest,
+    ) -> Result<SyscallOutcome, MonitorError> {
+        if disposition.replicate {
+            self.lane(shard)
+                .replicated_syscalls
+                .fetch_add(1, Ordering::Relaxed);
+            return self.run_replicated(variant, thread, seq, key, req);
+        }
+        if disposition.ordered {
+            self.lane(shard)
+                .ordered_syscalls
+                .fetch_add(1, Ordering::Relaxed);
+            return self.run_ordered(variant, thread, seq, shard, key, req);
+        }
+        // Neither replicated nor ordered: the variant executes against its
+        // own kernel process directly (sched_yield, gettid-style queries that
+        // happen to differ, exit of a single thread, ...).
+        self.lockstep.consume(key);
+        Ok(self.kernel.execute(self.pids[variant], thread as u64, req))
+    }
+
+    /// The legacy index-addressed entry point: thread `thread` of variant
+    /// `variant` issues the system call described by `req`.
     ///
     /// Returns the outcome the variant observes, or an error instructing the
     /// variant to terminate.
+    ///
+    /// This path re-resolves the `(variant, thread)` pair — bounds asserts,
+    /// `ThreadState` indexing, a shared sequence counter and a mutex-guarded
+    /// deferred queue — on **every** call.  New code should acquire a
+    /// [`ThreadPort`](crate::port::ThreadPort) once (via
+    /// `Mvee::thread_port` / `VariantGateway::thread`) and issue calls
+    /// through it; the port caches all of that state and owns its batch
+    /// queue locally.  This method remains public for the port/index
+    /// equivalence harness and the ablation benchmarks.  Do not interleave
+    /// it with a live `ThreadPort` for the same (variant, thread): the two
+    /// sequence counters would fork the rendezvous key stream.
     pub fn syscall(
         &self,
         variant: usize,
@@ -427,24 +671,13 @@ impl Monitor {
             "thread index out of range"
         );
 
-        if self.has_diverged() {
-            return Err(MonitorError::ShutDown);
-        }
-        self.stats.total_syscalls.fetch_add(1, Ordering::Relaxed);
-
-        // The self-awareness pseudo call (§4.5): answered by the monitor, not
-        // the kernel.  Returns 0 for the master and the 1-based slave index
-        // for slaves.
-        if req.no == Sysno::MveeSelfAware {
-            self.stats
-                .self_aware_queries
-                .fetch_add(1, Ordering::Relaxed);
-            return Ok(SyscallOutcome::ok(variant as i64));
-        }
-
         let state = self.thread_state(variant, thread);
-        let seq = state.seq.fetch_add(1, Ordering::AcqRel);
         let shard = state.shard;
+        if let Some(answered) = self.gate_and_count(variant, shard, req)? {
+            return Ok(answered);
+        }
+
+        let seq = state.seq.fetch_add(1, Ordering::AcqRel);
         let key: SlotKey = (thread, seq);
 
         let disposition = self.config.policy.disposition(req.no);
@@ -459,11 +692,9 @@ impl Monitor {
         }
 
         if disposition.lockstep {
-            self.stats.lockstep_syscalls.fetch_add(1, Ordering::Relaxed);
+            self.count_lockstep(shard);
             if defer {
-                self.stats
-                    .batched_comparisons
-                    .fetch_add(1, Ordering::Relaxed);
+                self.count_batched(shard);
                 let full = {
                     let mut pending = state.pending.lock();
                     pending.push(BatchArrival {
@@ -490,55 +721,11 @@ impl Monitor {
                     self.flush_deferred(variant, thread)?;
                 }
             } else {
-                match self.lockstep.arrive(
-                    key,
-                    variant,
-                    req.comparison_key(),
-                    self.config.lockstep_timeout,
-                ) {
-                    ArrivalResult::Consistent => {}
-                    ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => {
-                        return Err(self.record_divergence(DivergenceReport {
-                            kind: DivergenceKind::SyscallMismatch {
-                                master: master_key.no,
-                                variant: bad_key.no,
-                            },
-                            thread,
-                            sequence: seq,
-                            variant: bad_variant,
-                        }));
-                    }
-                    ArrivalResult::Timeout(arrived) => {
-                        let missing = (0..self.config.variants)
-                            .find(|v| !arrived.contains(v))
-                            .unwrap_or(0);
-                        return Err(self.record_divergence(DivergenceReport {
-                            kind: DivergenceKind::RendezvousTimeout { arrived },
-                            thread,
-                            sequence: seq,
-                            variant: missing,
-                        }));
-                    }
-                    ArrivalResult::Poisoned => return Err(MonitorError::ShutDown),
-                }
+                self.arrive_sync(key, variant, thread, seq, req)?;
             }
         }
 
-        if disposition.replicate {
-            self.stats
-                .replicated_syscalls
-                .fetch_add(1, Ordering::Relaxed);
-            return self.run_replicated(variant, thread, seq, key, req);
-        }
-        if disposition.ordered {
-            self.stats.ordered_syscalls.fetch_add(1, Ordering::Relaxed);
-            return self.run_ordered(variant, thread, seq, shard, key, req);
-        }
-        // Neither replicated nor ordered: the variant executes against its
-        // own kernel process directly (sched_yield, gettid-style queries that
-        // happen to differ, exit of a single thread, ...).
-        self.lockstep.consume(key);
-        Ok(self.kernel.execute(self.pids[variant], thread as u64, req))
+        self.dispatch_resolved(variant, thread, seq, shard, key, disposition, req)
     }
 
     fn run_replicated(
@@ -625,9 +812,10 @@ impl Monitor {
             // The wait also breaks on divergence: a poisoned MVEE must not
             // keep slave threads spinning out their full lockstep timeout on
             // a turn that will never come.
-            let turn_reached = wait_until_with_timeout(self.config.lockstep_timeout, || {
-                self.has_diverged() || clock.now() >= ts
-            });
+            let turn_reached = Waiter::default()
+                .wait_until_deadline(self.config.lockstep_timeout, || {
+                    self.has_diverged() || clock.now() >= ts
+                });
             if self.has_diverged() {
                 return Err(MonitorError::ShutDown);
             }
@@ -672,6 +860,7 @@ mod tests {
             max_threads: 8,
             shards,
             batch,
+            ..MonitorConfig::default()
         };
         (
             Arc::new(Monitor::new(config, Arc::clone(&kernel), pids)),
@@ -983,6 +1172,7 @@ mod tests {
             max_threads: 8,
             shards: 1,
             batch: 1,
+            ..MonitorConfig::default()
         };
         let monitor = Arc::new(Monitor::new(config, Arc::clone(&kernel), pids));
         let brk = |m: &Monitor, v: usize, t: usize| {

@@ -17,9 +17,11 @@ use mvee_sync_agent::agents::{build_agent, AgentKind};
 use mvee_sync_agent::context::{AgentConfig, SyncContext, VariantRole};
 use mvee_sync_agent::{AgentStats, SyncAgent};
 
+use crate::config::{MveeConfig, Placement};
 use crate::divergence::DivergenceReport;
 use crate::monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
 use crate::policy::MonitoringPolicy;
+use crate::port::ThreadPort;
 
 /// Per-variant address-space layout (ASLR / DCL diversity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,18 +43,19 @@ impl VariantLayout {
 }
 
 /// Builder for an [`Mvee`].
+///
+/// The tuning knobs (policy, agent, shards, batch, placement, timeout) all
+/// live in one shared [`MveeConfig`]; the builder's setters delegate into
+/// it, and [`MveeBuilder::config`] swaps the whole block in at once — which
+/// is how `RunConfig` and `NginxServerConfig` forward their embedded
+/// configuration.
 #[derive(Debug, Clone)]
 pub struct MveeBuilder {
     variants: usize,
     threads: usize,
-    policy: MonitoringPolicy,
-    agent_kind: AgentKind,
-    agent_config: AgentConfig,
-    lockstep_timeout: Duration,
+    config: MveeConfig,
     layouts: Option<Vec<VariantLayout>>,
     manual_clock: bool,
-    shards: usize,
-    batch: usize,
 }
 
 impl Default for MveeBuilder {
@@ -60,14 +63,9 @@ impl Default for MveeBuilder {
         MveeBuilder {
             variants: 2,
             threads: 4,
-            policy: MonitoringPolicy::StrictLockstep,
-            agent_kind: AgentKind::WallOfClocks,
-            agent_config: AgentConfig::default(),
-            lockstep_timeout: Duration::from_secs(5),
+            config: MveeConfig::default(),
             layouts: None,
             manual_clock: false,
-            shards: crate::lockstep::DEFAULT_SHARDS,
-            batch: 1,
         }
     }
 }
@@ -85,27 +83,33 @@ impl MveeBuilder {
         self
     }
 
+    /// Replaces the whole shared tuning block (see [`MveeConfig`]).
+    pub fn config(mut self, config: MveeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// Sets the monitoring policy.
     pub fn policy(mut self, policy: MonitoringPolicy) -> Self {
-        self.policy = policy;
+        self.config.policy = policy;
         self
     }
 
     /// Selects the synchronization agent.
     pub fn agent(mut self, kind: AgentKind) -> Self {
-        self.agent_kind = kind;
+        self.config.agent = kind;
         self
     }
 
     /// Overrides the agent configuration (buffer capacity, clock count, ...).
     pub fn agent_config(mut self, config: AgentConfig) -> Self {
-        self.agent_config = config;
+        self.config.agent_config = config;
         self
     }
 
     /// Sets the rendezvous / replication timeout.
     pub fn lockstep_timeout(mut self, timeout: Duration) -> Self {
-        self.lockstep_timeout = timeout;
+        self.config.lockstep_timeout = timeout;
         self
     }
 
@@ -129,8 +133,7 @@ impl MveeBuilder {
     ///
     /// Panics if `shards` is zero.
     pub fn shards(mut self, shards: usize) -> Self {
-        assert!(shards > 0, "need at least one monitor shard");
-        self.shards = shards;
+        self.config = self.config.with_shards(shards);
         self
     }
 
@@ -143,8 +146,14 @@ impl MveeBuilder {
     ///
     /// Panics if `batch` is zero.
     pub fn batch(mut self, batch: usize) -> Self {
-        assert!(batch > 0, "need a comparison batch of at least one");
-        self.batch = batch;
+        self.config = self.config.with_batch(batch);
+        self
+    }
+
+    /// Sets the shard/core [`Placement`] policy resolved at
+    /// [`ThreadPort`] acquisition time.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.config.placement = placement;
         self
     }
 
@@ -174,11 +183,12 @@ impl MveeBuilder {
             .collect();
         let monitor_config = MonitorConfig {
             variants: self.variants,
-            policy: self.policy,
-            lockstep_timeout: self.lockstep_timeout,
+            policy: self.config.policy,
+            lockstep_timeout: self.config.lockstep_timeout,
             max_threads: mvee_sync_agent::context::MAX_THREADS,
-            shards: self.shards,
-            batch: self.batch,
+            shards: self.config.shards,
+            batch: self.config.batch,
+            placement: self.config.placement.clone(),
         };
         let monitor = Arc::new(Monitor::new(
             monitor_config,
@@ -186,10 +196,11 @@ impl MveeBuilder {
             pids.clone(),
         ));
         let agent_config = self
+            .config
             .agent_config
             .with_variants(self.variants)
             .with_threads(self.threads.max(1));
-        let agent: Arc<dyn SyncAgent> = Arc::from(build_agent(self.agent_kind, agent_config));
+        let agent: Arc<dyn SyncAgent> = Arc::from(build_agent(self.config.agent, agent_config));
         // Divergence must unblock agent waits (replay, full buffers) as
         // promptly as it unblocks rendezvous waiters, or the shutdown can
         // deadlock behind a recording that will never continue.
@@ -203,7 +214,7 @@ impl MveeBuilder {
         // poisoned agent abandons whatever is left.  The hook holds the
         // monitor weakly — the monitor already holds the agent through the
         // poison hook, and a strong reference back would leak the pair.
-        if self.batch > 1 {
+        if self.config.batch > 1 {
             let weak_monitor = Arc::downgrade(&monitor);
             agent.set_replication_hook(Arc::new(move |event| {
                 let Some(monitor) = weak_monitor.upgrade() else {
@@ -224,7 +235,7 @@ impl MveeBuilder {
             kernel,
             monitor,
             agent,
-            agent_kind: self.agent_kind,
+            agent_kind: self.config.agent,
             pids,
             variants: self.variants,
             threads: self.threads,
@@ -300,7 +311,8 @@ impl Mvee {
     }
 
     /// Returns the gateway for variant `v`; the variant execution engine
-    /// hands one to every variant thread.
+    /// hands one to every variant's OS threads, each of which then acquires
+    /// its own [`ThreadPort`] via [`VariantGateway::thread`].
     pub fn gateway(&self, variant: usize) -> VariantGateway {
         assert!(variant < self.variants, "unknown variant index");
         VariantGateway {
@@ -308,6 +320,18 @@ impl Mvee {
             monitor: Arc::clone(&self.monitor),
             agent: Arc::clone(&self.agent),
         }
+    }
+
+    /// Acquires the [`ThreadPort`] for logical thread `thread` of variant
+    /// `variant` — the per-thread syscall handle the redesigned gateway is
+    /// built around.  Shorthand for `mvee.gateway(variant).thread(thread)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or if a live port already owns this
+    /// (variant, thread).
+    pub fn thread_port(&self, variant: usize, thread: usize) -> ThreadPort {
+        self.gateway(variant).thread(thread)
     }
 }
 
@@ -335,12 +359,41 @@ impl VariantGateway {
         self.variant == 0
     }
 
+    /// Acquires the [`ThreadPort`] for logical thread `thread`: the
+    /// per-thread handle every variant OS thread should issue its monitored
+    /// calls and sync ops through.  The port caches the thread's shard
+    /// binding (resolved via the configured
+    /// [`Placement`](crate::config::Placement)), sequence counter, agent
+    /// context and deferred-comparison queue; see
+    /// [`ThreadPort`](crate::port::ThreadPort).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range thread index or if a live port already
+    /// owns this (variant, thread).
+    pub fn thread(&self, thread: usize) -> ThreadPort {
+        ThreadPort::new(
+            Arc::clone(&self.monitor),
+            Arc::clone(&self.agent),
+            self.variant,
+            thread,
+        )
+    }
+
     /// Builds the sync context for logical thread `thread`.
     pub fn sync_context(&self, thread: usize) -> SyncContext {
         SyncContext::new(self.role(), thread)
     }
 
-    /// Issues a system call on behalf of `thread`.
+    /// Issues a system call on behalf of `thread` through the legacy
+    /// index-addressed path.
+    ///
+    /// Prefer acquiring a [`ThreadPort`] with [`thread`](Self::thread) and
+    /// calling [`ThreadPort::syscall`](crate::port::ThreadPort::syscall):
+    /// this method pays the per-call re-resolution cost the port design
+    /// removes.  It remains public for the port/index equivalence harness
+    /// and ablation benchmarks; do not mix it with a live port for the same
+    /// (variant, thread).
     pub fn syscall(
         &self,
         thread: usize,

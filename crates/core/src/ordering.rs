@@ -29,7 +29,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::monitor::wait_until_with_timeout;
+use mvee_sync_agent::guards::Waiter;
 
 /// A per-variant, per-shard syscall ordering clock.
 #[derive(Debug, Default)]
@@ -58,7 +58,8 @@ impl SyscallOrderingClock {
     /// `true`.  Returns `false` if `timeout` elapses first (which the caller
     /// escalates to a divergence).
     pub fn wait_for_turn(&self, timestamp: u64, timeout: std::time::Duration) -> bool {
-        wait_until_with_timeout(timeout, || self.time.load(Ordering::Acquire) >= timestamp)
+        Waiter::default()
+            .wait_until_deadline(timeout, || self.time.load(Ordering::Acquire) >= timestamp)
     }
 
     /// Slave side: marks the ordered call as finished, advancing the clock.

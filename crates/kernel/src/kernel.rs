@@ -153,6 +153,16 @@ impl Kernel {
             .unwrap_or(false)
     }
 
+    /// The CPU core thread `tid` of `pid` is pinned to, if a
+    /// `sched_setaffinity` call recorded one.
+    pub fn thread_affinity(&self, pid: Pid, tid: Tid) -> Option<u32> {
+        self.state
+            .lock()
+            .processes
+            .get(pid as usize)
+            .and_then(|p| p.affinity(tid))
+    }
+
     /// Total system calls issued by `pid`.
     pub fn process_syscall_count(&self, pid: Pid) -> u64 {
         self.state
@@ -237,6 +247,13 @@ impl Kernel {
             Sysno::Gettid => Ok(SyscallOutcome::ok(tid as i64 + 1000)),
             Sysno::SchedYield => Ok(SyscallOutcome::ok(0)),
             Sysno::Nanosleep => Ok(SyscallOutcome::ok(0)),
+            Sysno::SchedSetaffinity => {
+                let core = Self::arg_int(req, 0)?.max(0) as u32;
+                if let Some(p) = st.processes.get_mut(pid as usize) {
+                    p.set_affinity(tid, core);
+                }
+                Ok(SyscallOutcome::ok(0))
+            }
             Sysno::Getrandom => Self::sys_getrandom(st, req),
             Sysno::Fcntl | Sysno::Ioctl => Ok(SyscallOutcome::ok(0)),
             Sysno::Access => Self::sys_access(st, req),

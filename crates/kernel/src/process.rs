@@ -53,6 +53,11 @@ pub struct Process {
     pub mem: AddressSpace,
     /// Threads, indexed by tid.
     threads: Vec<Thread>,
+    /// Per-thread CPU-core assignments recorded by `sched_setaffinity`.
+    /// Keyed by tid rather than stored on [`Thread`] because the MVEE's
+    /// logical thread indices may issue calls before their `clone` arrives
+    /// at this kernel process.
+    affinity: std::collections::BTreeMap<Tid, u32>,
     /// Whether the whole process has exited (`exit_group`).
     exited: Option<i32>,
 }
@@ -74,6 +79,7 @@ impl Process {
                 state: ThreadState::Running,
                 syscall_count: 0,
             }],
+            affinity: std::collections::BTreeMap::new(),
             exited: None,
         }
     }
@@ -151,6 +157,16 @@ impl Process {
     /// Total system calls issued by all threads of this process.
     pub fn total_syscalls(&self) -> u64 {
         self.threads.iter().map(|t| t.syscall_count).sum()
+    }
+
+    /// Records that `tid` was pinned to CPU core `core`.
+    pub fn set_affinity(&mut self, tid: Tid, core: u32) {
+        self.affinity.insert(tid, core);
+    }
+
+    /// The CPU core `tid` is pinned to, if any.
+    pub fn affinity(&self, tid: Tid) -> Option<u32> {
+        self.affinity.get(&tid).copied()
     }
 }
 

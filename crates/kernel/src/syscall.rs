@@ -62,6 +62,10 @@ pub enum Sysno {
     Gettid,
     SchedYield,
     Nanosleep,
+    /// Pins the calling thread to a CPU core (the arg carries the core
+    /// index).  The simulated kernel records the assignment per (process,
+    /// thread); the MVEE runner issues it for `Placement::Pinned` runs.
+    SchedSetaffinity,
     Getrandom,
     Madvise,
     Fcntl,
@@ -119,7 +123,7 @@ impl Sysno {
             Clone | Exit | ExitGroup => SyscallClass::Process,
             Gettimeofday | ClockGettime | Getpid | Gettid | Getrandom => SyscallClass::ReadOnlyInfo,
             FutexWait | FutexWake => SyscallClass::BlockingSync,
-            SchedYield | Nanosleep => SyscallClass::SchedulerHint,
+            SchedYield | Nanosleep | SchedSetaffinity => SyscallClass::SchedulerHint,
             MveeSelfAware => SyscallClass::MveePrivate,
             Unknown(_) => SyscallClass::Unsupported,
         }
@@ -232,6 +236,7 @@ impl Sysno {
             Gettid => "gettid",
             SchedYield => "sched_yield",
             Nanosleep => "nanosleep",
+            SchedSetaffinity => "sched_setaffinity",
             Getrandom => "getrandom",
             Madvise => "madvise",
             Fcntl => "fcntl",

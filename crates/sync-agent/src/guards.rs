@@ -56,8 +56,8 @@ impl Waiter {
     /// Returns `true` when the condition held (including a last re-check at
     /// the deadline, so a condition that becomes true exactly at expiry is
     /// not reported as a timeout), `false` otherwise.  This is the single
-    /// deadline-bounded spin/yield loop shared by the monitor
-    /// (`wait_until_with_timeout`) and the agents.
+    /// deadline-bounded spin/yield loop shared by the monitor (the ordering
+    /// clock and the ordered-turn wait call it directly) and the agents.
     pub fn wait_until_deadline(
         &self,
         timeout: std::time::Duration,

@@ -257,24 +257,22 @@ mod batched_shutdown {
                 // timeout, let alone the watchdog.
                 let mm = Arc::clone(&m);
                 let slave = thread::spawn(move || {
-                    let gw = mm.gateway(1);
+                    let port = mm.thread_port(1, 0);
                     for len in [4096i64, 666, 4096] {
-                        gw.syscall(0, &mprotect(len))?;
+                        port.syscall(&mprotect(len))?;
                     }
-                    gw.syscall(
-                        0,
+                    port.syscall(
                         &SyscallRequest::new(Sysno::Write)
                             .with_fd(1)
                             .with_payload(b"x"),
                     )
                 });
-                let gw = m.gateway(0);
+                let port = m.thread_port(0, 0);
                 let master = (|| {
                     for _ in 0..3 {
-                        gw.syscall(0, &mprotect(4096))?;
+                        port.syscall(&mprotect(4096))?;
                     }
-                    gw.syscall(
-                        0,
+                    port.syscall(
                         &SyscallRequest::new(Sysno::Write)
                             .with_fd(1)
                             .with_payload(b"x"),
@@ -331,18 +329,17 @@ mod batched_shutdown {
                 // needs the master's published outcome to proceed).
                 let mm = Arc::clone(&m);
                 let slave = thread::spawn(move || {
-                    let _ = mm.gateway(1).syscall(0, &mprotect(4096));
+                    let _ = mm.thread_port(1, 0).syscall(&mprotect(4096));
                 });
                 // The master fills and flushes a batch; the flush blocks on
                 // the vanished peer, times out, and must convert into a
                 // divergence instead of a hang.
-                let gw = m.gateway(0);
+                let port = m.thread_port(0, 0);
                 let result = (|| {
                     for _ in 0..2 {
-                        gw.syscall(0, &mprotect(4096))?;
+                        port.syscall(&mprotect(4096))?;
                     }
-                    gw.syscall(
-                        0,
+                    port.syscall(
                         &SyscallRequest::new(Sysno::Write)
                             .with_fd(1)
                             .with_payload(b"x"),

@@ -1,13 +1,17 @@
 //! The action interpreter: executes one variant thread's action list.
 //!
 //! Every synchronization-variable access is bracketed with
-//! `before_sync_op` / `after_sync_op` on the port, exactly like the
+//! `before_sync_op` / `after_sync_op` on the thread's port, exactly like the
 //! compile-time instrumentation the paper inserts (Listing 3): lock
 //! acquisition is a loop of individually instrumented compare-and-swap
 //! attempts, lock release is an instrumented store, barriers are an
 //! instrumented increment followed by instrumented loads, and the accesses a
 //! task-queue performs under its lock are ordinary (uninstrumented) data
 //! accesses, as in a data-race-free program.
+//!
+//! The interpreter runs against a [`ThreadSyscallPort`]: the per-thread
+//! handle acquired once at thread start (see [`crate::port`]), so no call
+//! in the hot loop re-states the thread index.
 
 use std::sync::Arc;
 
@@ -15,7 +19,7 @@ use mvee_kernel::syscall::{SyscallArg, SyscallRequest, Sysno};
 use mvee_kernel::vfs::OpenFlags;
 
 use crate::memory::VariantMemory;
-use crate::port::SyscallPort;
+use crate::port::{SyscallPort, ThreadSyscallPort};
 use crate::program::{Action, Program, SyscallSpec};
 
 /// Statistics for one executed thread.
@@ -54,7 +58,8 @@ struct ThreadState {
 /// Signals that the MVEE shut the variant down mid-execution.
 struct Killed;
 
-/// Executes the actions of logical thread `thread` of `program`.
+/// Executes the actions of logical thread `thread` of `program` against its
+/// (already acquired) thread port.
 ///
 /// `instruction_factor` models diversity-induced instruction-count skew: the
 /// busy-work loops execute `factor` times as many iterations, and the
@@ -62,7 +67,7 @@ struct Killed;
 pub fn execute_thread(
     program: &Program,
     thread: usize,
-    port: &Arc<dyn SyscallPort>,
+    port: &dyn ThreadSyscallPort,
     memory: &Arc<VariantMemory>,
     instruction_factor: f64,
 ) -> ThreadRunStats {
@@ -78,7 +83,7 @@ pub fn execute_thread(
     // program's initial thread does.
     if thread == 0 {
         for _ in 1..program.thread_count() {
-            if issue(port, thread, &SyscallRequest::new(Sysno::Clone), &mut state).is_err() {
+            if issue(port, &SyscallRequest::new(Sysno::Clone), &mut state).is_err() {
                 state.stats.killed = true;
                 return state.stats;
             }
@@ -88,7 +93,6 @@ pub fn execute_thread(
     let result = run_actions(
         &spec.actions,
         program,
-        thread,
         port,
         memory,
         instruction_factor,
@@ -102,7 +106,6 @@ pub fn execute_thread(
     if thread == 0 {
         let _ = issue(
             port,
-            thread,
             &SyscallRequest::new(Sysno::ExitGroup).with_int(0),
             &mut state,
         );
@@ -110,9 +113,10 @@ pub fn execute_thread(
     state.stats
 }
 
-/// Convenience: runs every thread of `program` on its own OS thread and
-/// returns the merged statistics.  Used for native runs and tests; the MVEE
-/// runner spawns threads for all variants itself.
+/// Convenience: runs every thread of `program` on its own OS thread —
+/// acquiring each thread's port from the factory inside that OS thread —
+/// and returns the merged statistics.  Used for native runs and tests; the
+/// MVEE runner spawns threads for all variants itself.
 pub fn execute_all_threads(
     program: &Program,
     port: Arc<dyn SyscallPort>,
@@ -126,7 +130,8 @@ pub fn execute_all_threads(
         let port = Arc::clone(&port);
         let memory = Arc::clone(&memory);
         handles.push(std::thread::spawn(move || {
-            execute_thread(&program, t, &port, &memory, instruction_factor)
+            let thread_port = port.thread_port(t);
+            execute_thread(&program, t, &*thread_port, &memory, instruction_factor)
         }));
     }
     let mut total = ThreadRunStats::default();
@@ -136,28 +141,24 @@ pub fn execute_all_threads(
     total
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_actions(
     actions: &[Action],
     program: &Program,
-    thread: usize,
-    port: &Arc<dyn SyscallPort>,
+    port: &dyn ThreadSyscallPort,
     memory: &Arc<VariantMemory>,
     factor: f64,
     state: &mut ThreadState,
 ) -> Result<(), Killed> {
     for action in actions {
-        run_action(action, program, thread, port, memory, factor, state)?;
+        run_action(action, program, port, memory, factor, state)?;
     }
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_action(
     action: &Action,
     program: &Program,
-    thread: usize,
-    port: &Arc<dyn SyscallPort>,
+    port: &dyn ThreadSyscallPort,
     memory: &Arc<VariantMemory>,
     factor: f64,
     state: &mut ThreadState,
@@ -174,9 +175,9 @@ fn run_action(
         Action::LockAcquire(lock) => {
             let addr = memory.lock_addr(*lock);
             loop {
-                port.before_sync_op(thread, addr);
+                port.before_sync_op(addr);
                 let acquired = memory.lock_try_acquire(*lock);
-                port.after_sync_op(thread, addr);
+                port.after_sync_op(addr);
                 state.stats.sync_ops += 1;
                 state.stats.instructions += 8;
                 if acquired {
@@ -187,17 +188,17 @@ fn run_action(
         }
         Action::LockRelease(lock) => {
             let addr = memory.lock_addr(*lock);
-            port.before_sync_op(thread, addr);
+            port.before_sync_op(addr);
             memory.lock_release(*lock);
-            port.after_sync_op(thread, addr);
+            port.after_sync_op(addr);
             state.stats.sync_ops += 1;
             state.stats.instructions += 4;
         }
         Action::AtomicAdd { counter, amount } => {
             let addr = memory.counter_addr(*counter);
-            port.before_sync_op(thread, addr);
+            port.before_sync_op(addr);
             memory.counter_add(*counter, *amount);
-            port.after_sync_op(thread, addr);
+            port.after_sync_op(addr);
             state.stats.sync_ops += 1;
             state.stats.instructions += 4;
         }
@@ -206,15 +207,15 @@ fn run_action(
             participants,
         } => {
             let addr = memory.barrier_addr(*barrier);
-            port.before_sync_op(thread, addr);
+            port.before_sync_op(addr);
             let mut seen = memory.barrier_arrive(*barrier);
-            port.after_sync_op(thread, addr);
+            port.after_sync_op(addr);
             state.stats.sync_ops += 1;
             state.stats.instructions += 8;
             while seen < *participants {
-                port.before_sync_op(thread, addr);
+                port.before_sync_op(addr);
                 seen = memory.barrier_count(*barrier);
-                port.after_sync_op(thread, addr);
+                port.after_sync_op(addr);
                 state.stats.sync_ops += 1;
                 state.stats.instructions += 4;
                 if seen < *participants {
@@ -224,16 +225,16 @@ fn run_action(
         }
         Action::QueuePush { queue, value } => {
             let lock_addr = memory.queue_lock_addr(*queue);
-            acquire_raw(port, thread, memory, lock_addr, *queue, state);
+            acquire_raw(port, memory, lock_addr, *queue, state);
             memory.queue_push(*queue, *value);
-            release_raw(port, thread, memory, lock_addr, *queue, state);
+            release_raw(port, memory, lock_addr, *queue, state);
             state.stats.instructions += 24;
         }
         Action::QueuePop { queue, print } => {
             let lock_addr = memory.queue_lock_addr(*queue);
-            acquire_raw(port, thread, memory, lock_addr, *queue, state);
+            acquire_raw(port, memory, lock_addr, *queue, state);
             let popped = memory.queue_pop(*queue);
-            release_raw(port, thread, memory, lock_addr, *queue, state);
+            release_raw(port, memory, lock_addr, *queue, state);
             state.stats.instructions += 24;
             if *print {
                 let value = popped.map(|v| v as i64).unwrap_or(-1);
@@ -241,27 +242,27 @@ fn run_action(
                 let req = SyscallRequest::new(Sysno::Write)
                     .with_fd(1)
                     .with_payload(payload.as_bytes());
-                issue(port, thread, &req, state)?;
+                issue(port, &req, state)?;
             }
         }
         Action::PrintCounter(counter) => {
             let addr = memory.counter_addr(*counter);
-            port.before_sync_op(thread, addr);
+            port.before_sync_op(addr);
             let value = memory.counter_value(*counter);
-            port.after_sync_op(thread, addr);
+            port.after_sync_op(addr);
             state.stats.sync_ops += 1;
             let payload = format!("counter {} = {}\n", counter, value);
             let req = SyscallRequest::new(Sysno::Write)
                 .with_fd(1)
                 .with_payload(payload.as_bytes());
-            issue(port, thread, &req, state)?;
+            issue(port, &req, state)?;
         }
         Action::Syscall(spec) => {
-            run_syscall_spec(spec, thread, port, state)?;
+            run_syscall_spec(spec, port, state)?;
         }
         Action::Repeat { times, body } => {
             for _ in 0..*times {
-                run_actions(body, program, thread, port, memory, factor, state)?;
+                run_actions(body, program, port, memory, factor, state)?;
             }
         }
     }
@@ -270,17 +271,16 @@ fn run_action(
 
 /// Queue helper: acquire the queue lock with instrumented CAS attempts.
 fn acquire_raw(
-    port: &Arc<dyn SyscallPort>,
-    thread: usize,
+    port: &dyn ThreadSyscallPort,
     memory: &Arc<VariantMemory>,
     lock_addr: u64,
     queue: u32,
     state: &mut ThreadState,
 ) {
     loop {
-        port.before_sync_op(thread, lock_addr);
+        port.before_sync_op(lock_addr);
         let acquired = memory.lock_try_acquire_queue(queue);
-        port.after_sync_op(thread, lock_addr);
+        port.after_sync_op(lock_addr);
         state.stats.sync_ops += 1;
         if acquired {
             break;
@@ -291,23 +291,21 @@ fn acquire_raw(
 
 /// Queue helper: release the queue lock with an instrumented store.
 fn release_raw(
-    port: &Arc<dyn SyscallPort>,
-    thread: usize,
+    port: &dyn ThreadSyscallPort,
     memory: &Arc<VariantMemory>,
     lock_addr: u64,
     queue: u32,
     state: &mut ThreadState,
 ) {
-    port.before_sync_op(thread, lock_addr);
+    port.before_sync_op(lock_addr);
     memory.lock_release_queue(queue);
-    port.after_sync_op(thread, lock_addr);
+    port.after_sync_op(lock_addr);
     state.stats.sync_ops += 1;
 }
 
 fn run_syscall_spec(
     spec: &SyscallSpec,
-    thread: usize,
-    port: &Arc<dyn SyscallPort>,
+    port: &dyn ThreadSyscallPort,
     state: &mut ThreadState,
 ) -> Result<(), Killed> {
     let req = match spec {
@@ -332,7 +330,7 @@ fn run_syscall_spec(
             if state.current_brk == 0 {
                 // First use: query the current break.
                 let query = SyscallRequest::new(Sysno::Brk).with_int(0);
-                let out = issue(port, thread, &query, state)?;
+                let out = issue(port, &query, state)?;
                 state.current_brk = out.result.unwrap_or(0).max(0) as u64;
             }
             let target = state.current_brk + grow;
@@ -347,7 +345,7 @@ fn run_syscall_spec(
         SyscallSpec::Getpid => SyscallRequest::new(Sysno::Getpid),
         SyscallSpec::Raw(req) => req.clone(),
     };
-    let outcome = issue(port, thread, &req, state)?;
+    let outcome = issue(port, &req, state)?;
     if let SyscallSpec::OpenInput { .. } = spec {
         state.current_fd = outcome.result.unwrap_or(-1) as i32;
     }
@@ -355,14 +353,13 @@ fn run_syscall_spec(
 }
 
 fn issue(
-    port: &Arc<dyn SyscallPort>,
-    thread: usize,
+    port: &dyn ThreadSyscallPort,
     req: &SyscallRequest,
     state: &mut ThreadState,
 ) -> Result<mvee_kernel::syscall::SyscallOutcome, Killed> {
     state.stats.syscalls += 1;
     state.stats.instructions += 64;
-    match port.syscall(thread, req) {
+    match port.syscall(req) {
         Ok(outcome) => {
             if outcome.result.is_err() {
                 state.stats.syscall_errors += 1;
@@ -400,6 +397,17 @@ mod tests {
         (port, memory, kernel)
     }
 
+    fn run_one_thread(
+        program: &Program,
+        thread: usize,
+        port: &Arc<dyn SyscallPort>,
+        memory: &Arc<VariantMemory>,
+        factor: f64,
+    ) -> ThreadRunStats {
+        let thread_port = port.thread_port(thread);
+        execute_thread(program, thread, &*thread_port, memory, factor)
+    }
+
     #[test]
     fn single_thread_program_runs_and_counts() {
         let mut p = Program::new("t").with_resources(1, 0, 0, 1);
@@ -414,7 +422,7 @@ mod tests {
             Action::PrintCounter(0),
         ]));
         let (port, memory, kernel) = native_setup(&p);
-        let stats = execute_thread(&p, 0, &port, &memory, 1.0);
+        let stats = run_one_thread(&p, 0, &port, &memory, 1.0);
         assert!(!stats.killed);
         assert_eq!(stats.sync_ops, 4, "acquire + add + release + counter read");
         // PrintCounter write + exit_group.
@@ -436,7 +444,7 @@ mod tests {
             Action::Syscall(SyscallSpec::CloseCurrent),
         ]));
         let (port, memory, _kernel) = native_setup(&p);
-        let stats = execute_thread(&p, 0, &port, &memory, 1.0);
+        let stats = run_one_thread(&p, 0, &port, &memory, 1.0);
         assert_eq!(stats.syscall_errors, 0);
         assert_eq!(stats.syscalls, 4 + 1, "4 explicit + exit_group");
     }
@@ -456,7 +464,7 @@ mod tests {
             ],
         }]));
         let (port, memory, _kernel) = native_setup(&p);
-        let stats = execute_thread(&p, 0, &port, &memory, 1.0);
+        let stats = run_one_thread(&p, 0, &port, &memory, 1.0);
         assert_eq!(memory.counter_value(0), 10);
         assert_eq!(stats.sync_ops, 30);
     }
@@ -523,9 +531,9 @@ mod tests {
         let mut p = Program::new("f");
         p.add_thread(ThreadSpec::new(vec![Action::Compute(10_000)]));
         let (port, memory, _kernel) = native_setup(&p);
-        let base = execute_thread(&p, 0, &port, &memory, 1.0);
+        let base = run_one_thread(&p, 0, &port, &memory, 1.0);
         let (port2, memory2, _k2) = native_setup(&p);
-        let skewed = execute_thread(&p, 0, &port2, &memory2, 1.05);
+        let skewed = run_one_thread(&p, 0, &port2, &memory2, 1.05);
         assert!(skewed.instructions > base.instructions);
     }
 
@@ -536,7 +544,7 @@ mod tests {
         p.add_thread(ThreadSpec::new(vec![Action::Nop]));
         p.add_thread(ThreadSpec::new(vec![Action::Nop]));
         let (port, memory, _kernel) = native_setup(&p);
-        let stats = execute_thread(&p, 0, &port, &memory, 1.0);
+        let stats = run_one_thread(&p, 0, &port, &memory, 1.0);
         // Two clones (for threads 1 and 2) + exit_group.
         assert_eq!(stats.syscalls, 3);
     }

@@ -1,49 +1,96 @@
-//! The syscall/sync-op port a variant thread executes against.
+//! The syscall/sync-op ports a variant thread executes against.
 //!
-//! The executor is agnostic about whether it runs under the MVEE or natively:
-//! it only needs something that accepts system calls and sync-op brackets.
-//! [`SyscallPort`] is that abstraction; it is implemented by
-//! [`VariantGateway`](mvee_core::mvee::VariantGateway) (monitored execution)
-//! and by [`NativePort`] (direct execution against a private kernel, used for
-//! the "native" baselines of the evaluation).
+//! The executor is agnostic about whether it runs under the MVEE or
+//! natively: it only needs something that accepts system calls and sync-op
+//! brackets.  Since the thread-port gateway redesign that abstraction is
+//! split in two, mirroring the core API:
+//!
+//! * [`SyscallPort`] — the per-*variant* factory (`Send + Sync`, shared by
+//!   all of a variant's OS threads).  Implemented by
+//!   [`VariantGateway`](mvee_core::mvee::VariantGateway) (monitored
+//!   execution) and [`NativePort`] (direct execution against a private
+//!   kernel, the "native" baseline of the evaluation).
+//! * [`ThreadSyscallPort`] — the per-*thread* handle a factory yields once
+//!   per logical thread ([`SyscallPort::thread_port`]).  The MVEE
+//!   implementation is [`ThreadPort`](mvee_core::port::ThreadPort), which
+//!   caches its shard binding, sequence counter and agent context and owns
+//!   its deferred-comparison queue locally; the native implementation is
+//!   [`NativeThreadPort`].
+//!
+//! The executor acquires the thread handle once, at thread start, and every
+//! subsequent call goes through it without re-stating the thread index —
+//! thread identity is a type, not a per-call convention.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mvee_core::monitor::MonitorError;
 use mvee_core::mvee::VariantGateway;
+use mvee_core::port::ThreadPort;
 use mvee_kernel::kernel::Kernel;
 use mvee_kernel::process::Pid;
 use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest};
 
-/// What a variant thread calls instead of the kernel.
-pub trait SyscallPort: Send + Sync {
-    /// Issues a system call on behalf of logical thread `thread`.
-    fn syscall(&self, thread: usize, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError>;
+/// What one variant *thread* calls instead of the kernel.
+///
+/// Handles are `Send` (acquired by — or moved into — the OS thread that
+/// runs the logical thread) but deliberately not required to be `Sync`:
+/// the MVEE implementation owns unsynchronized per-thread state.
+pub trait ThreadSyscallPort: Send {
+    /// Issues a system call on behalf of this port's logical thread.
+    fn syscall(&self, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError>;
 
     /// Called immediately before a sync op on the variable at `addr`.
-    fn before_sync_op(&self, thread: usize, addr: u64);
+    fn before_sync_op(&self, addr: u64);
 
     /// Called immediately after the sync op on the variable at `addr`.
-    fn after_sync_op(&self, thread: usize, addr: u64);
+    fn after_sync_op(&self, addr: u64);
 
     /// The variant index this port belongs to (0 = master / native).
     fn variant_index(&self) -> usize;
+
+    /// The logical thread index this port is bound to.
+    fn thread_index(&self) -> usize;
+}
+
+/// The per-variant port factory every variant OS thread draws its
+/// [`ThreadSyscallPort`] from.
+pub trait SyscallPort: Send + Sync {
+    /// Acquires the handle for logical thread `thread`.
+    ///
+    /// Called once per (variant, thread), from the OS thread that will use
+    /// the handle.
+    fn thread_port(&self, thread: usize) -> Box<dyn ThreadSyscallPort>;
+
+    /// The variant index this factory belongs to (0 = master / native).
+    fn variant_index(&self) -> usize;
+}
+
+impl ThreadSyscallPort for ThreadPort {
+    fn syscall(&self, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
+        ThreadPort::syscall(self, req)
+    }
+
+    fn before_sync_op(&self, addr: u64) {
+        ThreadPort::before_sync_op(self, addr)
+    }
+
+    fn after_sync_op(&self, addr: u64) {
+        ThreadPort::after_sync_op(self, addr)
+    }
+
+    fn variant_index(&self) -> usize {
+        ThreadPort::variant_index(self)
+    }
+
+    fn thread_index(&self) -> usize {
+        ThreadPort::thread_index(self)
+    }
 }
 
 impl SyscallPort for VariantGateway {
-    fn syscall(&self, thread: usize, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
-        VariantGateway::syscall(self, thread, req)
-    }
-
-    fn before_sync_op(&self, thread: usize, addr: u64) {
-        let ctx = self.sync_context(thread);
-        self.agent().before_sync_op(&ctx, addr);
-    }
-
-    fn after_sync_op(&self, thread: usize, addr: u64) {
-        let ctx = self.sync_context(thread);
-        self.agent().after_sync_op(&ctx, addr);
+    fn thread_port(&self, thread: usize) -> Box<dyn ThreadSyscallPort> {
+        Box::new(self.thread(thread))
     }
 
     fn variant_index(&self) -> usize {
@@ -51,63 +98,98 @@ impl SyscallPort for VariantGateway {
     }
 }
 
-/// Direct, unmonitored execution against a private kernel process.
-///
-/// This is the "native execution" of the paper's evaluation: no monitor, no
-/// replication, no sync-op ordering — only the raw work of the program.
-pub struct NativePort {
+/// Shared state behind a [`NativePort`] and its thread handles.
+struct NativeShared {
     kernel: Arc<Kernel>,
     pid: Pid,
     sync_ops: AtomicU64,
     syscalls: AtomicU64,
 }
 
+/// Direct, unmonitored execution against a private kernel process.
+///
+/// This is the "native execution" of the paper's evaluation: no monitor, no
+/// replication, no sync-op ordering — only the raw work of the program.
+#[derive(Clone)]
+pub struct NativePort {
+    shared: Arc<NativeShared>,
+}
+
 impl NativePort {
     /// Creates a native port over an existing kernel process.
     pub fn new(kernel: Arc<Kernel>, pid: Pid) -> Self {
         NativePort {
-            kernel,
-            pid,
-            sync_ops: AtomicU64::new(0),
-            syscalls: AtomicU64::new(0),
+            shared: Arc::new(NativeShared {
+                kernel,
+                pid,
+                sync_ops: AtomicU64::new(0),
+                syscalls: AtomicU64::new(0),
+            }),
         }
     }
 
     /// Number of sync ops the program executed.
     pub fn sync_op_count(&self) -> u64 {
-        self.sync_ops.load(Ordering::Relaxed)
+        self.shared.sync_ops.load(Ordering::Relaxed)
     }
 
     /// Number of system calls the program executed.
     pub fn syscall_count(&self) -> u64 {
-        self.syscalls.load(Ordering::Relaxed)
+        self.shared.syscalls.load(Ordering::Relaxed)
     }
 
     /// The kernel backing this port.
     pub fn kernel(&self) -> &Arc<Kernel> {
-        &self.kernel
+        &self.shared.kernel
     }
 
     /// The kernel process id.
     pub fn pid(&self) -> Pid {
-        self.pid
+        self.shared.pid
     }
 }
 
 impl SyscallPort for NativePort {
-    fn syscall(&self, thread: usize, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
-        self.syscalls.fetch_add(1, Ordering::Relaxed);
-        Ok(self.kernel.execute(self.pid, thread as u64, req))
+    fn thread_port(&self, thread: usize) -> Box<dyn ThreadSyscallPort> {
+        Box::new(NativeThreadPort {
+            shared: Arc::clone(&self.shared),
+            thread,
+        })
     }
-
-    fn before_sync_op(&self, _thread: usize, _addr: u64) {
-        self.sync_ops.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn after_sync_op(&self, _thread: usize, _addr: u64) {}
 
     fn variant_index(&self) -> usize {
         0
+    }
+}
+
+/// One native thread's handle: executes directly against the kernel,
+/// counting into the factory's shared counters.
+pub struct NativeThreadPort {
+    shared: Arc<NativeShared>,
+    thread: usize,
+}
+
+impl ThreadSyscallPort for NativeThreadPort {
+    fn syscall(&self, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
+        self.shared.syscalls.fetch_add(1, Ordering::Relaxed);
+        Ok(self
+            .shared
+            .kernel
+            .execute(self.shared.pid, self.thread as u64, req))
+    }
+
+    fn before_sync_op(&self, _addr: u64) {
+        self.shared.sync_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn after_sync_op(&self, _addr: u64) {}
+
+    fn variant_index(&self) -> usize {
+        0
+    }
+
+    fn thread_index(&self) -> usize {
+        self.thread
     }
 }
 
@@ -120,17 +202,29 @@ mod tests {
     fn native_port_executes_directly_and_counts() {
         let kernel = Arc::new(Kernel::new_manual_clock());
         let pid = kernel.spawn_process();
-        let port = NativePort::new(Arc::clone(&kernel), pid);
-        let out = port
-            .syscall(0, &SyscallRequest::new(Sysno::Getpid))
-            .unwrap();
+        let factory = NativePort::new(Arc::clone(&kernel), pid);
+        let port = factory.thread_port(0);
+        let out = port.syscall(&SyscallRequest::new(Sysno::Getpid)).unwrap();
         assert!(out.is_ok());
-        port.before_sync_op(0, 0x1000);
-        port.after_sync_op(0, 0x1000);
-        assert_eq!(port.syscall_count(), 1);
-        assert_eq!(port.sync_op_count(), 1);
+        port.before_sync_op(0x1000);
+        port.after_sync_op(0x1000);
+        assert_eq!(factory.syscall_count(), 1);
+        assert_eq!(factory.sync_op_count(), 1);
         assert_eq!(port.variant_index(), 0);
-        assert_eq!(port.pid(), pid);
+        assert_eq!(port.thread_index(), 0);
+        assert_eq!(factory.pid(), pid);
+    }
+
+    #[test]
+    fn native_thread_ports_share_the_factory_counters() {
+        let kernel = Arc::new(Kernel::new_manual_clock());
+        let pid = kernel.spawn_process();
+        let factory = NativePort::new(Arc::clone(&kernel), pid);
+        for t in 0..3 {
+            let port = factory.thread_port(t);
+            port.syscall(&SyscallRequest::new(Sysno::Gettid)).unwrap();
+        }
+        assert_eq!(factory.syscall_count(), 3);
     }
 
     #[test]
@@ -140,15 +234,15 @@ mod tests {
             .manual_clock(true)
             .build();
         let gw = mvee.gateway(0);
-        let port: &dyn SyscallPort = &gw;
-        port.before_sync_op(0, 0x2000);
-        port.after_sync_op(0, 0x2000);
-        let out = port
-            .syscall(0, &SyscallRequest::new(Sysno::Gettid))
-            .unwrap();
+        let factory: &dyn SyscallPort = &gw;
+        let port = factory.thread_port(0);
+        port.before_sync_op(0x2000);
+        port.after_sync_op(0x2000);
+        let out = port.syscall(&SyscallRequest::new(Sysno::Gettid)).unwrap();
         assert!(out.is_ok());
         assert_eq!(mvee.agent_stats().ops_recorded, 1);
         assert_eq!(mvee.monitor_stats().total_syscalls, 1);
         assert_eq!(port.variant_index(), 0);
+        assert_eq!(port.thread_index(), 0);
     }
 }

@@ -3,64 +3,69 @@
 //! [`run_native`] measures the program by itself (the "native execution" the
 //! paper's Figure 5 normalizes against); [`run_mvee`] builds an
 //! [`Mvee`](mvee_core::mvee::Mvee) with the requested variant count, agent
-//! and policy, spawns one OS thread per (variant, logical thread) pair and
-//! lets all variants run concurrently, exactly as ReMon runs its variants
-//! side by side on the same machine.
+//! and policy, spawns one OS thread per (variant, logical thread) pair —
+//! each acquiring its [`ThreadPort`](mvee_core::port::ThreadPort) at thread
+//! start — and lets all variants run concurrently, exactly as ReMon runs
+//! its variants side by side on the same machine.
+//!
+//! # Core pinning
+//!
+//! With a [`Placement::Pinned`] policy the runner threads each thread's
+//! core assignment into the run: every (variant, thread) issues a
+//! `sched_setaffinity` through its port before executing the program, so
+//! the simulated kernel records the pinning the placement prescribes (on
+//! real hardware this is where the `sched_setaffinity(2)` call would go).
+//! The thread's monitor shard was already resolved from the same core map
+//! at port acquisition, keeping shard state and core on the same
+//! (simulated) socket.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mvee_core::config::{MveeConfig, Placement};
 use mvee_core::mvee::Mvee;
 use mvee_core::policy::MonitoringPolicy;
 use mvee_kernel::kernel::Kernel;
+use mvee_kernel::syscall::{SyscallRequest, Sysno};
 use mvee_sync_agent::agents::AgentKind;
 use mvee_sync_agent::context::AgentConfig;
 
 use crate::diversity::DiversityProfile;
 use crate::executor::{execute_thread, ThreadRunStats};
 use crate::memory::VariantMemory;
-use crate::port::{NativePort, SyscallPort};
+use crate::port::{NativePort, SyscallPort, ThreadSyscallPort};
 use crate::program::Program;
 use crate::report::{NativeReport, RunReport};
 
 /// Configuration of an MVEE run.
+///
+/// The shared tuning knobs (agent, policy, shards, batch, placement,
+/// timeout, agent sizing) live in the embedded [`MveeConfig`]; `RunConfig`
+/// only adds what is specific to driving a program: the variant count and
+/// the diversity profile.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Number of variants (including the master).
     pub variants: usize,
-    /// The synchronization agent to inject.
-    pub agent: AgentKind,
-    /// The monitoring policy.
-    pub policy: MonitoringPolicy,
     /// The diversity applied to the variants.
     pub diversity: DiversityProfile,
-    /// Rendezvous / replication timeout before divergence is declared.
-    pub lockstep_timeout: Duration,
-    /// Capacity of each sync buffer, in records.
-    pub buffer_capacity: usize,
-    /// Number of logical clocks for the wall-of-clocks agent.
-    pub clock_count: usize,
-    /// Number of monitor rendezvous/ordering shards (1 = the original global
-    /// table, for ablations).
-    pub shards: usize,
-    /// Comparison batch size: how many deferred comparisons a variant thread
-    /// may accumulate per rendezvous flush (1 = the unbatched per-call
-    /// rendezvous, for ablations).
-    pub batch: usize,
+    /// The shared MVEE tuning knobs, forwarded verbatim to
+    /// [`MveeBuilder::config`](mvee_core::mvee::MveeBuilder::config).
+    pub mvee: MveeConfig,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             variants: 2,
-            agent: AgentKind::WallOfClocks,
-            policy: MonitoringPolicy::StrictLockstep,
             diversity: DiversityProfile::none(),
-            lockstep_timeout: Duration::from_secs(10),
-            buffer_capacity: 1 << 16,
-            clock_count: 512,
-            shards: mvee_core::lockstep::DEFAULT_SHARDS,
-            batch: 1,
+            mvee: MveeConfig::default()
+                .with_agent_config(
+                    AgentConfig::default()
+                        .with_buffer_capacity(1 << 16)
+                        .with_clock_count(512),
+                )
+                .with_lockstep_timeout(Duration::from_secs(10)),
         }
     }
 }
@@ -68,11 +73,12 @@ impl Default for RunConfig {
 impl RunConfig {
     /// Convenience constructor: `variants` variants with `agent`.
     pub fn new(variants: usize, agent: AgentKind) -> Self {
-        RunConfig {
+        let mut config = RunConfig {
             variants,
-            agent,
             ..Default::default()
-        }
+        };
+        config.mvee.agent = agent;
+        config
     }
 
     /// Sets the diversity profile (builder style).
@@ -83,19 +89,25 @@ impl RunConfig {
 
     /// Sets the monitoring policy (builder style).
     pub fn with_policy(mut self, policy: MonitoringPolicy) -> Self {
-        self.policy = policy;
+        self.mvee.policy = policy;
         self
     }
 
     /// Sets the monitor shard count (builder style).
     pub fn with_shards(mut self, shards: usize) -> Self {
-        self.shards = shards;
+        self.mvee = self.mvee.with_shards(shards);
         self
     }
 
     /// Sets the comparison batch size (builder style).
     pub fn with_batch(mut self, batch: usize) -> Self {
-        self.batch = batch;
+        self.mvee = self.mvee.with_batch(batch);
+        self
+    }
+
+    /// Sets the shard/core placement policy (builder style).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.mvee.placement = placement;
         self
     }
 }
@@ -119,7 +131,8 @@ pub fn run_native(program: &Program) -> NativeReport {
         let port = Arc::clone(&port);
         let memory = Arc::clone(&memory);
         handles.push(std::thread::spawn(move || {
-            execute_thread(&program, t, &port, &memory, 1.0)
+            let thread_port = port.thread_port(t);
+            execute_thread(&program, t, &*thread_port, &memory, 1.0)
         }));
     }
     let mut threads = ThreadRunStats::default();
@@ -135,6 +148,18 @@ pub fn run_native(program: &Program) -> NativeReport {
     }
 }
 
+/// Issues the placement-prescribed `sched_setaffinity` for `thread`, if the
+/// placement pins cores.  Returns `false` when the MVEE shut down before
+/// the call went through.
+fn pin_thread(port: &dyn ThreadSyscallPort, placement: &Placement, thread: usize) -> bool {
+    match placement.core_for(thread) {
+        Some(core) => port
+            .syscall(&SyscallRequest::new(Sysno::SchedSetaffinity).with_int(core as i64))
+            .is_ok(),
+        None => true,
+    }
+}
+
 /// Runs `program` under the MVEE described by `config`.
 pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
     assert!(config.variants >= 1, "need at least one variant");
@@ -146,19 +171,11 @@ pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
     let layouts = (0..config.variants)
         .map(|v| config.diversity.layout_for(v))
         .collect();
-    let agent_config = AgentConfig::default()
-        .with_buffer_capacity(config.buffer_capacity)
-        .with_clock_count(config.clock_count);
     let mvee = Mvee::builder()
         .variants(config.variants)
         .threads(program.thread_count())
-        .policy(config.policy)
-        .agent(config.agent)
-        .agent_config(agent_config)
+        .config(config.mvee.clone())
         .layouts(layouts)
-        .lockstep_timeout(config.lockstep_timeout)
-        .shards(config.shards)
-        .batch(config.batch)
         .build();
 
     for (path, contents) in &program.files {
@@ -166,6 +183,7 @@ pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
     }
 
     let program_arc = Arc::new(program.clone());
+    let placement = config.mvee.placement.clone();
     let start = Instant::now();
     let mut handles = Vec::new();
     for v in 0..config.variants {
@@ -180,8 +198,16 @@ pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
             let program = Arc::clone(&program_arc);
             let port = Arc::clone(&port);
             let memory = Arc::clone(&memory);
+            let placement = placement.clone();
             handles.push(std::thread::spawn(move || {
-                execute_thread(&program, t, &port, &memory, factor)
+                let thread_port = port.thread_port(t);
+                if !pin_thread(&*thread_port, &placement, t) {
+                    return ThreadRunStats {
+                        killed: true,
+                        ..Default::default()
+                    };
+                }
+                execute_thread(&program, t, &*thread_port, &memory, factor)
             }));
         }
     }
@@ -198,7 +224,7 @@ pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
     RunReport {
         program: program.name.clone(),
         variants: config.variants,
-        agent: config.agent,
+        agent: config.mvee.agent,
         duration,
         threads,
         monitor: mvee.monitor_stats(),
@@ -366,6 +392,48 @@ mod tests {
                 report.divergence
             );
             assert!(report.outputs_identical(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn every_placement_runs_cleanly() {
+        for placement in [
+            Placement::RoundRobin,
+            Placement::Grouped,
+            Placement::pinned(vec![0, 0, 1, 1]),
+        ] {
+            let config =
+                RunConfig::new(2, AgentKind::WallOfClocks).with_placement(placement.clone());
+            let report = run_mvee(&io_program(), &config);
+            assert!(
+                report.completed_cleanly(),
+                "{} diverged: {:?}",
+                placement.name(),
+                report.divergence
+            );
+            assert!(report.outputs_identical(), "{}", placement.name());
+        }
+    }
+
+    #[test]
+    fn pinned_placement_records_affinity_in_every_variant() {
+        let config = RunConfig::new(2, AgentKind::WallOfClocks)
+            .with_placement(Placement::pinned(vec![3, 5]));
+        let report = run_mvee(&io_program(), &config);
+        assert!(report.completed_cleanly(), "{:?}", report.divergence);
+        // Re-run the scenario with an inspectable kernel: drive the pin call
+        // through a port directly.
+        let mvee = Mvee::builder()
+            .variants(2)
+            .policy(MonitoringPolicy::NoComparison)
+            .placement(Placement::pinned(vec![3, 5]))
+            .manual_clock(true)
+            .build();
+        for v in 0..2 {
+            let port = mvee.thread_port(v, 1);
+            port.syscall(&SyscallRequest::new(Sysno::SchedSetaffinity).with_int(5))
+                .unwrap();
+            assert_eq!(mvee.kernel().thread_affinity(mvee.pid_of(v), 1), Some(5));
         }
     }
 

@@ -24,6 +24,10 @@ pub enum Suite {
     Parsec,
     /// SPLASH-2x.
     Splash2x,
+    /// Synthetic additions beyond the paper's Table 2 (the allocator-churn
+    /// workloads of [`CHURN_CATALOG`]); kept out of [`CATALOG`] so the
+    /// paper-shaped aggregates stay comparable.
+    Synthetic,
 }
 
 impl Suite {
@@ -32,6 +36,7 @@ impl Suite {
         match self {
             Suite::Parsec => "PARSEC 2.1",
             Suite::Splash2x => "SPLASH-2x",
+            Suite::Synthetic => "synthetic",
         }
     }
 }
@@ -48,6 +53,13 @@ pub enum Topology {
     /// A central task queue all workers contend on
     /// (radiosity, raytrace, bodytrack).
     TaskQueue,
+    /// Allocator churn: the syscall stream is dominated by address-space
+    /// calls — thread 0 grows the (process-shared) break, workers map
+    /// anonymous memory — the compare-only class whose comparisons the
+    /// batched monitor defers.  Not a paper topology; added so the
+    /// `MVEE_BENCH_BATCH` sweep moves on the paper-shaped tables instead of
+    /// only on `ablation_batching`.
+    AllocatorChurn,
 }
 
 /// One benchmark of Table 2.
@@ -271,6 +283,41 @@ pub const CATALOG: &[BenchmarkSpec] = &[
     },
 ];
 
+/// Allocator-churn (brk/mmap-dense) workloads beyond the paper's Table 2.
+///
+/// The PARSEC/SPLASH catalog is I/O- and sync-op-dominated: almost nothing
+/// in it issues the compare-only address-space calls the batched monitor
+/// defers, so a comparison-batching sweep over [`CATALOG`] is flat by
+/// construction.  These two synthetic specs put the monitor's deferred-
+/// comparison path on the paper-shaped tables: `memchurn` models a
+/// glibc-malloc-style mixed brk/mmap allocator under load, `mmapstorm` a
+/// mmap-per-allocation arena (jemalloc-style chunk churn).  `table1` and
+/// `figure5` sweep them alongside the paper catalog.
+pub const CHURN_CATALOG: &[BenchmarkSpec] = &[
+    BenchmarkSpec {
+        name: "memchurn",
+        suite: Suite::Synthetic,
+        native_runtime_s: 20.0,
+        syscalls_per_s: 180_000.0,
+        sync_ops_per_s: 60_000.0,
+        topology: Topology::AllocatorChurn,
+    },
+    BenchmarkSpec {
+        name: "mmapstorm",
+        suite: Suite::Synthetic,
+        native_runtime_s: 12.0,
+        syscalls_per_s: 260_000.0,
+        sync_ops_per_s: 9_000.0,
+        topology: Topology::AllocatorChurn,
+    },
+];
+
+/// The full benchmark sweep the `table1`/`figure5` binaries run: the
+/// paper's Table 2 catalog plus the allocator-churn additions.
+pub fn sweep_catalog() -> impl Iterator<Item = &'static BenchmarkSpec> {
+    CATALOG.iter().chain(CHURN_CATALOG.iter())
+}
+
 /// Number of worker threads the paper uses for every benchmark.
 pub const PAPER_WORKER_THREADS: usize = 4;
 
@@ -281,9 +328,10 @@ pub const PAPER_WORKER_THREADS: usize = 4;
 pub const COMPUTE_UNITS_PER_SECOND: f64 = 4.0e8;
 
 impl BenchmarkSpec {
-    /// Looks a benchmark up by name.
+    /// Looks a benchmark up by name, in the paper catalog and the
+    /// allocator-churn additions.
     pub fn by_name(name: &str) -> Option<&'static BenchmarkSpec> {
-        CATALOG.iter().find(|b| b.name == name)
+        sweep_catalog().find(|b| b.name == name)
     }
 
     /// Total system calls over the (unscaled) native run.
@@ -323,6 +371,13 @@ impl BenchmarkSpec {
                 total_syscalls,
             ),
             Topology::TaskQueue => task_queue_program(
+                self.name,
+                threads,
+                total_compute,
+                total_sync_ops,
+                total_syscalls,
+            ),
+            Topology::AllocatorChurn => allocator_churn_program(
                 self.name,
                 threads,
                 total_compute,
@@ -550,6 +605,78 @@ fn task_queue_program(
     p
 }
 
+/// Allocator-churn topology: the syscall stream is dominated by
+/// address-space calls.  Thread 0 is the "sbrk arena": it grows the
+/// process-shared break in fixed steps (only one thread may move the break,
+/// or the compared targets would depend on the interleaving).  Every other
+/// thread is an "mmap arena": a loop of fixed-size anonymous mappings.
+/// A shared progress counter under a lock supplies enough sync-op traffic
+/// that the agents' replication points (batch flush points) fire, and a
+/// final barrier + small write gives the run an I/O tail.
+fn allocator_churn_program(
+    name: &str,
+    threads: usize,
+    compute: u64,
+    sync_ops: u64,
+    syscalls: u64,
+) -> Program {
+    let threads = threads.max(2);
+    let mut p = Program::new(name).with_resources(1, 1, 0, 1);
+    // Nearly every syscall is an address-space call; split them evenly.
+    let alloc_calls_per_thread = (syscalls / threads as u64).clamp(8, 60_000);
+    let compute_per_call = (compute / threads as u64 / alloc_calls_per_thread).max(1);
+    // Each sync round is a lock/add/unlock triple (3 sync ops), interleaved
+    // on a fixed per-thread schedule: one round per chunk of `sync_period`
+    // allocations.  The schedule is a pure function of the spec, so every
+    // variant reaches its replication points at the same call positions.
+    let sync_rounds = (sync_ops / threads as u64 / 3).clamp(1, alloc_calls_per_thread);
+    let sync_period = (alloc_calls_per_thread / sync_rounds).max(1);
+    let chunks = alloc_calls_per_thread / sync_period;
+
+    for t in 0..threads {
+        let alloc = || {
+            if t == 0 {
+                Action::Syscall(SyscallSpec::BrkGrow { grow: 4096 })
+            } else {
+                Action::Syscall(SyscallSpec::MmapAnon { len: 16 * 1024 })
+            }
+        };
+        let mut actions = vec![Action::Repeat {
+            times: chunks,
+            body: vec![
+                Action::Repeat {
+                    times: sync_period,
+                    body: vec![alloc(), Action::Compute(compute_per_call)],
+                },
+                Action::LockAcquire(0),
+                Action::AtomicAdd {
+                    counter: 0,
+                    amount: 1,
+                },
+                Action::LockRelease(0),
+            ],
+        }];
+        // Rounding remainder, so the allocation count tracks the spec.
+        let remainder = alloc_calls_per_thread - chunks * sync_period;
+        if remainder > 0 {
+            actions.push(Action::Repeat {
+                times: remainder,
+                body: vec![alloc(), Action::Compute(compute_per_call)],
+            });
+        }
+        actions.push(Action::BarrierWait {
+            barrier: 0,
+            participants: threads as u32,
+        });
+        actions.push(Action::Syscall(SyscallSpec::WriteOutput {
+            len: 32,
+            tag: t as u64,
+        }));
+        p.add_thread(ThreadSpec::new(actions));
+    }
+    p
+}
+
 fn worker_loop(counter: u32, tasks: u64, compute_per_task: u64, print_period: u64) -> Action {
     Action::Repeat {
         times: tasks.max(1),
@@ -670,5 +797,58 @@ mod tests {
     fn suite_labels() {
         assert_eq!(Suite::Parsec.label(), "PARSEC 2.1");
         assert_eq!(Suite::Splash2x.label(), "SPLASH-2x");
+        assert_eq!(Suite::Synthetic.label(), "synthetic");
+    }
+
+    #[test]
+    fn churn_catalog_stays_out_of_the_paper_catalog() {
+        assert_eq!(CHURN_CATALOG.len(), 2);
+        assert!(CATALOG.iter().all(|b| b.suite != Suite::Synthetic));
+        assert_eq!(sweep_catalog().count(), CATALOG.len() + CHURN_CATALOG.len());
+        // by_name finds both worlds.
+        assert!(BenchmarkSpec::by_name("memchurn").is_some());
+        assert!(BenchmarkSpec::by_name("dedup").is_some());
+    }
+
+    #[test]
+    fn churn_programs_expand_and_run_natively() {
+        for spec in CHURN_CATALOG {
+            let program = spec.paper_program(2e-6);
+            assert!(program.thread_count() >= 2, "{}", spec.name);
+            let report = run_native(&program);
+            assert!(!report.threads.killed, "{}", spec.name);
+            assert!(
+                report.threads.syscalls > 20,
+                "{} must be syscall-dense",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn allocator_churn_defers_comparisons_under_a_batched_monitor() {
+        let spec = BenchmarkSpec::by_name("memchurn").unwrap();
+        let program = spec.paper_program(1e-6);
+        let unbatched = run_mvee(&program, &RunConfig::new(2, AgentKind::WallOfClocks));
+        assert!(
+            unbatched.completed_cleanly(),
+            "unbatched diverged: {:?}",
+            unbatched.divergence
+        );
+        assert_eq!(unbatched.monitor.batched_comparisons, 0);
+        let batched = run_mvee(
+            &program,
+            &RunConfig::new(2, AgentKind::WallOfClocks).with_batch(8),
+        );
+        assert!(
+            batched.completed_cleanly(),
+            "batched diverged: {:?}",
+            batched.divergence
+        );
+        assert!(
+            batched.monitor.batched_comparisons > 0,
+            "an allocator-churn workload must exercise the deferred path"
+        );
+        assert!(batched.monitor.batch_flushes > 0);
     }
 }

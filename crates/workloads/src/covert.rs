@@ -86,8 +86,9 @@ pub fn run_timing_channel(bits: &[bool]) -> CovertChannelReport {
         .build();
     let kernel = Arc::clone(mvee.kernel());
 
-    let master = mvee.gateway(0);
-    let slave = mvee.gateway(1);
+    // Each colluding variant's single thread acquires its port once.
+    let master = mvee.thread_port(0, 0);
+    let slave = mvee.thread_port(1, 0);
     let bits_master = bits.to_vec();
     let bit_count = bits.len();
 
@@ -97,14 +98,14 @@ pub fn run_timing_channel(bits: &[bool]) -> CovertChannelReport {
     let master_handle = std::thread::spawn(move || {
         let mut sent = Vec::new();
         for &bit in &bits_master {
-            let _ = master.syscall(0, &SyscallRequest::new(Sysno::Gettimeofday));
+            let _ = master.syscall(&SyscallRequest::new(Sysno::Gettimeofday));
             if bit {
                 // Data-dependent computation; on real hardware this burns
                 // wall-clock time, here it advances the virtual clock.
                 kernel.clock().advance(TIMING_DELAY_NS);
             }
             kernel.clock().advance(1_000);
-            let _ = master.syscall(0, &SyscallRequest::new(Sysno::Gettimeofday));
+            let _ = master.syscall(&SyscallRequest::new(Sysno::Gettimeofday));
             sent.push(bit);
         }
         sent
@@ -115,11 +116,11 @@ pub fn run_timing_channel(bits: &[bool]) -> CovertChannelReport {
         let mut received = Vec::new();
         for _ in 0..bit_count {
             let first = slave
-                .syscall(0, &SyscallRequest::new(Sysno::Gettimeofday))
+                .syscall(&SyscallRequest::new(Sysno::Gettimeofday))
                 .map(|o| le_u64(&o.payload))
                 .unwrap_or(0);
             let second = slave
-                .syscall(0, &SyscallRequest::new(Sysno::Gettimeofday))
+                .syscall(&SyscallRequest::new(Sysno::Gettimeofday))
                 .map(|o| le_u64(&o.payload))
                 .unwrap_or(0);
             received.push(second.saturating_sub(first) > TIMING_THRESHOLD_NS);

@@ -11,7 +11,8 @@
 //! This module reproduces the whole pipeline against the simulated kernel:
 //!
 //! * [`NginxServerConfig`] describes the server (pool size, page size,
-//!   whether the custom sync primitives are instrumented).
+//!   whether the custom sync primitives are instrumented) and embeds the
+//!   shared [`MveeConfig`] tuning block (agent, shards, batch, placement).
 //! * [`run_nginx_experiment`] runs the server inside an
 //!   [`Mvee`](mvee_core::mvee::Mvee) (or natively) while a load generator
 //!   modelled on `wrk` issues requests from outside the MVEE, and reports
@@ -20,23 +21,27 @@
 //!   code-reuse attack: the payload carries a concrete gadget address; only
 //!   the variant whose (diversified) code layout matches executes the
 //!   malicious `mprotect`, so with ≥2 variants the monitor sees divergence.
+//!
+//! Every server thread — the listener and each pool worker — acquires its
+//! [`ThreadPort`] once at start-up and issues all of its monitored calls and
+//! sync-op brackets through it, the thread-port gateway discipline.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mvee_core::config::MveeConfig;
 use mvee_core::monitor::MonitorError;
 use mvee_core::mvee::{Mvee, VariantGateway};
-use mvee_core::policy::MonitoringPolicy;
+use mvee_core::port::ThreadPort;
 use mvee_kernel::net::LinkKind;
 use mvee_kernel::syscall::{SyscallArg, SyscallOutcome, SyscallRequest, Sysno};
 use mvee_kernel::vfs::OpenFlags;
-use mvee_sync_agent::agents::AgentKind;
 use mvee_sync_agent::context::AgentConfig;
 use mvee_variant::diversity::DiversityProfile;
 
 /// Server configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NginxServerConfig {
     /// Number of variants (1 = no MVEE protection, just the plain server).
     pub variants: usize,
@@ -53,23 +58,11 @@ pub struct NginxServerConfig {
     pub instrument_custom_sync: bool,
     /// The link the clients connect over.
     pub link: LinkKind,
-    /// Synchronization agent to inject.
-    pub agent: AgentKind,
     /// Diversity applied to the variants (ASLR + DCL in the paper).
     pub diversity: DiversityProfile,
-    /// Number of monitor rendezvous/ordering shards (1 = the original global
-    /// table, for ablations).
-    pub monitor_shards: usize,
-    /// Comparison batch size (1 = unbatched per-call rendezvous).  The
-    /// serving path is I/O-only, so batching changes nothing on a clean run;
-    /// the knob exists so the stress/attack tests can pin the batched
-    /// monitor's behaviour under the full server load.
-    pub comparison_batch: usize,
-    /// Rendezvous/replication timeout before the monitor declares
-    /// divergence.  Many-variant, many-thread runs on few cores need more
-    /// headroom than the default, or scheduler-induced rendezvous delays are
-    /// misreported as divergence.
-    pub lockstep_timeout: Duration,
+    /// The shared MVEE tuning knobs (agent, shards, batch, placement,
+    /// timeout), forwarded verbatim to the builder.
+    pub mvee: MveeConfig,
 }
 
 impl Default for NginxServerConfig {
@@ -81,11 +74,12 @@ impl Default for NginxServerConfig {
             requests: 64,
             instrument_custom_sync: true,
             link: LinkKind::Loopback,
-            agent: AgentKind::WallOfClocks,
             diversity: DiversityProfile::full(2028),
-            monitor_shards: mvee_core::lockstep::DEFAULT_SHARDS,
-            comparison_batch: 1,
-            lockstep_timeout: Duration::from_secs(5),
+            mvee: MveeConfig::default().with_agent_config(
+                AgentConfig::default()
+                    .with_buffer_capacity(1 << 15)
+                    .with_clock_count(1024),
+            ),
         }
     }
 }
@@ -97,13 +91,14 @@ impl NginxServerConfig {
     /// a 16-variant run inside a CI time budget while still exercising every
     /// rendezvous shard.
     pub fn stress(variants: usize, pool_threads: usize, requests: usize) -> Self {
+        let base = NginxServerConfig::default();
         NginxServerConfig {
             variants,
             pool_threads,
             requests,
             page_bytes: 1024,
-            lockstep_timeout: Duration::from_secs(15),
-            ..Default::default()
+            mvee: base.mvee.with_lockstep_timeout(Duration::from_secs(15)),
+            ..base
         }
     }
 }
@@ -154,17 +149,8 @@ pub fn run_nginx_experiment(config: &NginxServerConfig, attack: bool) -> NginxRe
     let mvee = Mvee::builder()
         .variants(config.variants)
         .threads(config.pool_threads + 1)
-        .policy(MonitoringPolicy::StrictLockstep)
-        .agent(config.agent)
-        .agent_config(
-            AgentConfig::default()
-                .with_buffer_capacity(1 << 15)
-                .with_clock_count(1024),
-        )
+        .config(config.mvee.clone())
         .layouts(layouts)
-        .lockstep_timeout(config.lockstep_timeout)
-        .shards(config.monitor_shards)
-        .batch(config.comparison_batch)
         .build();
     mvee.kernel()
         .install_file(PAGE_PATH, &vec![b'x'; config.page_bytes]);
@@ -179,7 +165,7 @@ pub fn run_nginx_experiment(config: &NginxServerConfig, attack: bool) -> NginxRe
     let mut server_handles = Vec::new();
     for v in 0..config.variants {
         let gateway = mvee.gateway(v);
-        let cfg = *config;
+        let cfg = config.clone();
         let code_base = config.diversity.code_base_for(v);
         server_handles.push(std::thread::spawn(move || {
             run_server_variant(gateway, &cfg, code_base, expected_connections)
@@ -246,34 +232,32 @@ pub fn run_nginx_experiment(config: &NginxServerConfig, attack: bool) -> NginxRe
 /// The listener accepts connections and pushes the connection FD into a
 /// work queue protected by nginx's *custom* spinlock (instrumented or not,
 /// per the configuration); pool threads pop FDs, read the request, update
-/// shared statistics under a pthread-style lock, and send the page.
+/// shared statistics under a pthread-style lock, and send the page.  Each
+/// thread acquires its [`ThreadPort`] once and drives everything through it.
 fn run_server_variant(
     gateway: VariantGateway,
     config: &NginxServerConfig,
     code_base: u64,
     expected_connections: usize,
 ) -> Result<(), MonitorError> {
-    let state = Arc::new(ServerState::new(&gateway, config)?);
+    // The listener runs on logical thread 0 of this OS thread; its port also
+    // performs the one-time server set-up calls.
+    let listener_port = gateway.thread(0);
+    let state = Arc::new(ServerState::new(&listener_port)?);
 
     let mut handles = Vec::new();
     for worker in 1..=config.pool_threads {
         let state = Arc::clone(&state);
         let gateway = gateway.clone();
-        let cfg = *config;
+        let cfg = config.clone();
         handles.push(std::thread::spawn(move || {
-            worker_loop(
-                &gateway,
-                worker,
-                &state,
-                &cfg,
-                code_base,
-                expected_connections,
-            )
+            let port = gateway.thread(worker);
+            worker_loop(&port, &state, &cfg, code_base, expected_connections)
         }));
     }
 
     // Listener loop on thread 0.
-    let result = listener_loop(&gateway, &state, config, expected_connections);
+    let result = listener_loop(&listener_port, &state, config, expected_connections);
     for h in handles {
         let _ = h.join();
     }
@@ -305,25 +289,23 @@ struct ServerState {
 }
 
 impl ServerState {
-    fn new(gateway: &VariantGateway, _config: &NginxServerConfig) -> Result<Self, MonitorError> {
+    fn new(port: &ThreadPort) -> Result<Self, MonitorError> {
         // socket / bind / listen / open the page.
-        let sock = gateway.syscall(0, &SyscallRequest::new(Sysno::Socket))?;
+        let sock = port.syscall(&SyscallRequest::new(Sysno::Socket))?;
         let listen_fd = sock.result.unwrap_or(-1) as i32;
-        gateway.syscall(
-            0,
+        port.syscall(
             &SyscallRequest::new(Sysno::Bind)
                 .with_fd(listen_fd)
                 .with_int(i64::from(NGINX_PORT)),
         )?;
-        gateway.syscall(0, &SyscallRequest::new(Sysno::Listen).with_fd(listen_fd))?;
-        let page = gateway.syscall(
-            0,
+        port.syscall(&SyscallRequest::new(Sysno::Listen).with_fd(listen_fd))?;
+        let page = port.syscall(
             &SyscallRequest::new(Sysno::Open)
                 .with_path(PAGE_PATH)
                 .with_arg(SyscallArg::Flags(OpenFlags::READ.bits())),
         )?;
         let page_fd = page.result.unwrap_or(-1) as i32;
-        let base = 0x7f80_0000_0000u64 + (gateway.variant_index() as u64) * 0x100_0000;
+        let base = 0x7f80_0000_0000u64 + (port.variant_index() as u64) * 0x100_0000;
         Ok(ServerState {
             listen_fd,
             page_fd,
@@ -339,21 +321,17 @@ impl ServerState {
 
     /// Acquires nginx's custom spinlock.  Each CAS attempt is a sync op, but
     /// only instrumented when `instrument` is true (the §5.5 experiment).
-    fn custom_lock_acquire(&self, gateway: &VariantGateway, thread: usize, instrument: bool) {
+    fn custom_lock_acquire(&self, port: &ThreadPort, instrument: bool) {
         loop {
             if instrument {
-                gateway
-                    .agent()
-                    .before_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
+                port.before_sync_op(self.custom_lock_addr);
             }
             let acquired = self
                 .custom_lock
                 .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok();
             if instrument {
-                gateway
-                    .agent()
-                    .after_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
+                port.after_sync_op(self.custom_lock_addr);
             }
             if acquired {
                 return;
@@ -362,34 +340,26 @@ impl ServerState {
         }
     }
 
-    fn custom_lock_release(&self, gateway: &VariantGateway, thread: usize, instrument: bool) {
+    fn custom_lock_release(&self, port: &ThreadPort, instrument: bool) {
         if instrument {
-            gateway
-                .agent()
-                .before_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
+            port.before_sync_op(self.custom_lock_addr);
         }
         self.custom_lock.store(0, Ordering::Release);
         if instrument {
-            gateway
-                .agent()
-                .after_sync_op(&gateway.sync_context(thread), self.custom_lock_addr);
+            port.after_sync_op(self.custom_lock_addr);
         }
     }
 
     /// The pthread-style statistics lock is always instrumented (the paper
     /// had already covered pthread primitives before tackling nginx).
-    fn stats_lock_acquire(&self, gateway: &VariantGateway, thread: usize) {
+    fn stats_lock_acquire(&self, port: &ThreadPort) {
         loop {
-            gateway
-                .agent()
-                .before_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
+            port.before_sync_op(self.stats_lock_addr);
             let acquired = self
                 .stats_lock
                 .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok();
-            gateway
-                .agent()
-                .after_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
+            port.after_sync_op(self.stats_lock_addr);
             if acquired {
                 return;
             }
@@ -397,38 +367,31 @@ impl ServerState {
         }
     }
 
-    fn stats_lock_release(&self, gateway: &VariantGateway, thread: usize) {
-        gateway
-            .agent()
-            .before_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
+    fn stats_lock_release(&self, port: &ThreadPort) {
+        port.before_sync_op(self.stats_lock_addr);
         self.stats_lock.store(0, Ordering::Release);
-        gateway
-            .agent()
-            .after_sync_op(&gateway.sync_context(thread), self.stats_lock_addr);
+        port.after_sync_op(self.stats_lock_addr);
     }
 }
 
 fn listener_loop(
-    gateway: &VariantGateway,
+    port: &ThreadPort,
     state: &Arc<ServerState>,
     config: &NginxServerConfig,
     expected_connections: usize,
 ) -> Result<(), MonitorError> {
     let mut accepted = 0usize;
     while accepted < expected_connections {
-        if gateway.is_shut_down() {
+        if port.is_shut_down() {
             return Err(MonitorError::ShutDown);
         }
-        let accept = gateway.syscall(
-            0,
-            &SyscallRequest::new(Sysno::Accept).with_fd(state.listen_fd),
-        )?;
+        let accept = port.syscall(&SyscallRequest::new(Sysno::Accept).with_fd(state.listen_fd))?;
         match accept.result {
             Ok(conn_fd) => {
                 accepted += 1;
-                state.custom_lock_acquire(gateway, 0, config.instrument_custom_sync);
+                state.custom_lock_acquire(port, config.instrument_custom_sync);
                 state.queue.lock().push_back(conn_fd as i32);
-                state.custom_lock_release(gateway, 0, config.instrument_custom_sync);
+                state.custom_lock_release(port, config.instrument_custom_sync);
             }
             Err(_) => {
                 // Backlog empty.  The retry count is consistent across
@@ -443,24 +406,23 @@ fn listener_loop(
 }
 
 fn worker_loop(
-    gateway: &VariantGateway,
-    thread: usize,
+    port: &ThreadPort,
     state: &Arc<ServerState>,
     config: &NginxServerConfig,
     code_base: u64,
     expected_connections: usize,
 ) -> Result<(), MonitorError> {
     loop {
-        if gateway.is_shut_down() {
+        if port.is_shut_down() {
             return Err(MonitorError::ShutDown);
         }
-        state.custom_lock_acquire(gateway, thread, config.instrument_custom_sync);
+        state.custom_lock_acquire(port, config.instrument_custom_sync);
         let conn = state.queue.lock().pop_front();
         if conn.is_some() {
             state.processed.fetch_add(1, Ordering::Relaxed);
         }
         let processed = state.processed.load(Ordering::Relaxed);
-        state.custom_lock_release(gateway, thread, config.instrument_custom_sync);
+        state.custom_lock_release(port, config.instrument_custom_sync);
         let conn_fd = match conn {
             Some(fd) => fd,
             None => {
@@ -474,13 +436,12 @@ fn worker_loop(
                 continue;
             }
         };
-        handle_request(gateway, thread, state, config, code_base, conn_fd)?;
+        handle_request(port, state, config, code_base, conn_fd)?;
     }
 }
 
 fn handle_request(
-    gateway: &VariantGateway,
-    thread: usize,
+    port: &ThreadPort,
     state: &Arc<ServerState>,
     config: &NginxServerConfig,
     code_base: u64,
@@ -488,8 +449,7 @@ fn handle_request(
 ) -> Result<(), MonitorError> {
     // Read the request (replicated from the master).
     let request = loop {
-        let recv = gateway.syscall(
-            thread,
+        let recv = port.syscall(
             &SyscallRequest::new(Sysno::Recv)
                 .with_fd(conn_fd)
                 .with_int(1024),
@@ -512,72 +472,65 @@ fn handle_request(
         // address ends up executing the malicious mprotect; the others hit
         // an invalid address and issue their normal error response.
         if gadget >= code_base && gadget < code_base + (64 << 20) {
-            let mmap = gateway.syscall(
-                thread,
+            let mmap = port.syscall(
                 &SyscallRequest::new(Sysno::Mmap)
                     .with_int(4096)
                     .with_arg(SyscallArg::Flags(3)),
             )?;
             let addr = mmap.result.unwrap_or(0).max(0) as u64;
-            gateway.syscall(
-                thread,
+            port.syscall(
                 &SyscallRequest::new(Sysno::Mprotect)
                     .with_arg(SyscallArg::Pointer(addr))
                     .with_int(4096)
                     .with_arg(SyscallArg::Flags(7)),
             )?;
             // If we are still alive the exploit proceeds to exfiltrate.
-            gateway.syscall(
-                thread,
+            port.syscall(
                 &SyscallRequest::new(Sysno::Send)
                     .with_fd(conn_fd)
                     .with_payload(b"pwned"),
             )?;
         } else {
-            gateway.syscall(
-                thread,
+            port.syscall(
                 &SyscallRequest::new(Sysno::Send)
                     .with_fd(conn_fd)
                     .with_payload(b"HTTP/1.1 400 Bad Request\r\n\r\n"),
             )?;
         }
-        let _ = gateway.syscall(thread, &SyscallRequest::new(Sysno::Close).with_fd(conn_fd));
+        let _ = port.syscall(&SyscallRequest::new(Sysno::Close).with_fd(conn_fd));
         return Ok(());
     }
 
     // Normal request: update statistics under the pthread-style lock, then
     // send the header and the page body.
-    state.stats_lock_acquire(gateway, thread);
+    state.stats_lock_acquire(port);
     state
         .bytes_served
         .fetch_add(config.page_bytes as u64, Ordering::Relaxed);
-    state.stats_lock_release(gateway, thread);
+    state.stats_lock_release(port);
 
     let header = format!(
         "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n",
         config.page_bytes
     );
-    gateway.syscall(
-        thread,
+    port.syscall(
         &SyscallRequest::new(Sysno::Send)
             .with_fd(conn_fd)
             .with_payload(header.as_bytes()),
     )?;
-    gateway.syscall(
-        thread,
+    port.syscall(
         &SyscallRequest::new(Sysno::Sendfile)
             .with_fd(conn_fd)
             .with_fd(state.page_fd)
             .with_int(config.page_bytes as i64),
     )?;
     // Rewind the shared page FD for the next request.
-    gateway.syscall(
-        thread,
+    port.syscall(
         &SyscallRequest::new(Sysno::Lseek)
             .with_fd(state.page_fd)
             .with_int(0),
     )?;
-    gateway.syscall(thread, &SyscallRequest::new(Sysno::Close).with_fd(conn_fd))?;
+    port.syscall(&SyscallRequest::new(Sysno::Close).with_fd(conn_fd))?;
     Ok(())
 }
 
@@ -748,6 +701,21 @@ mod tests {
             Some(0xdead_beef)
         );
         assert_eq!(parse_attack_gadget("GET / HTTP/1.1"), None);
+    }
+
+    #[test]
+    fn grouped_placement_serves_requests_without_divergence() {
+        let mut config = quick_config(2);
+        config.mvee = config
+            .mvee
+            .with_placement(mvee_core::config::Placement::Grouped);
+        let report = run_nginx_experiment(&config, false);
+        assert_eq!(
+            report.completed_requests, 8,
+            "diverged: {}",
+            report.diverged
+        );
+        assert!(!report.diverged);
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn available_cores() -> usize {
 /// style description of the configuration if it does not finish in time.
 fn run_with_watchdog(label: &str, config: NginxServerConfig, attack: bool) -> NginxReport {
     let (done_tx, done_rx) = mpsc::channel();
-    let cfg = config;
+    let cfg = config.clone();
     let scenario = thread::spawn(move || {
         let report = run_nginx_experiment(&cfg, attack);
         let _ = done_tx.send(report);
@@ -49,8 +49,8 @@ fn run_with_watchdog(label: &str, config: NginxServerConfig, attack: bool) -> Ng
             config.variants,
             config.pool_threads,
             config.requests,
-            config.monitor_shards,
-            config.agent,
+            config.mvee.shards,
+            config.mvee.agent,
         ),
     }
 }
@@ -97,9 +97,13 @@ fn eight_variants_sixteen_threads_serve_without_divergence() {
         eprintln!("skipping 8v x 16t nginx stress in a debug build: run with --release");
         return;
     }
+    let base = NginxServerConfig::stress(8, 16, 6);
     let config = NginxServerConfig {
-        lockstep_timeout: Duration::from_secs(60),
-        ..NginxServerConfig::stress(8, 16, 6)
+        mvee: base
+            .mvee
+            .clone()
+            .with_lockstep_timeout(Duration::from_secs(60)),
+        ..base
     };
     let report = run_with_watchdog("8v x 16t", config, false);
     assert_eq!(
@@ -142,9 +146,10 @@ fn batched_monitor_still_serves_eight_variants() {
     // The batched configuration must not perturb a clean serving run: the
     // nginx path is I/O-only (every call rendezvouses synchronously), so a
     // batch=8 monitor has to behave identically under full server load.
+    let base = NginxServerConfig::stress(8, 4, 6);
     let config = NginxServerConfig {
-        comparison_batch: 8,
-        ..NginxServerConfig::stress(8, 4, 6)
+        mvee: base.mvee.clone().with_batch(8),
+        ..base
     };
     let report = run_with_watchdog("8v batched", config, false);
     assert_eq!(
@@ -163,10 +168,14 @@ fn batched_monitor_still_detects_a_tailored_attack() {
     // rendezvous deadline (a bounded detection window) rather than an
     // instant key mismatch — but it must still be caught, and the shutdown
     // must still beat the watchdog.
+    let base = NginxServerConfig::stress(8, 4, 4);
     let config = NginxServerConfig {
-        comparison_batch: 8,
-        lockstep_timeout: Duration::from_secs(8),
-        ..NginxServerConfig::stress(8, 4, 4)
+        mvee: base
+            .mvee
+            .clone()
+            .with_batch(8)
+            .with_lockstep_timeout(Duration::from_secs(8)),
+        ..base
     };
     let report = run_with_watchdog("8v batched attack", config, true);
     assert_eq!(report.attack, AttackOutcome::DetectedAndStopped);
@@ -177,9 +186,10 @@ fn batched_monitor_still_detects_a_tailored_attack() {
 fn unsharded_monitor_still_handles_eight_variants() {
     // The shards = 1 ablation configuration must stay correct (just slower):
     // same workload, original global rendezvous table.
+    let base = NginxServerConfig::stress(8, 4, 4);
     let config = NginxServerConfig {
-        monitor_shards: 1,
-        ..NginxServerConfig::stress(8, 4, 4)
+        mvee: base.mvee.clone().with_shards(1),
+        ..base
     };
     let report = run_with_watchdog("8v unsharded", config, false);
     assert_eq!(

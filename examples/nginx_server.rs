@@ -11,7 +11,7 @@ use mvee::kernel::net::LinkKind;
 use mvee::workloads::nginx::{run_nginx_experiment, AttackOutcome, NginxServerConfig};
 
 fn main() {
-    let config = NginxServerConfig {
+    let mut config = NginxServerConfig {
         variants: 2,
         pool_threads: 4,
         page_bytes: 4096,
@@ -19,6 +19,9 @@ fn main() {
         link: LinkKind::Loopback,
         ..Default::default()
     };
+    // The monitor knobs live in the shared MveeConfig block: shards, batch
+    // and placement are set here exactly as for MveeBuilder or RunConfig.
+    config.mvee = config.mvee.with_batch(8);
 
     println!(
         "serving {} requests with {} pool threads across {} variants...",

@@ -1,10 +1,13 @@
 //! Quickstart: run a small multi-threaded program under the MVEE with the
-//! wall-of-clocks agent and inspect what the monitor and the agent saw.
+//! wall-of-clocks agent and inspect what the monitor and the agent saw —
+//! then drive the monitor by hand through the `ThreadPort` API.
 //!
 //! ```bash
 //! cargo run --example quickstart
 //! ```
 
+use mvee::core::mvee::Mvee;
+use mvee::kernel::syscall::{SyscallRequest, Sysno};
 use mvee::sync_agent::agents::AgentKind;
 use mvee::variant::program::{Action, Program, SyscallSpec, ThreadSpec};
 use mvee::variant::runner::{run_mvee, run_native, RunConfig};
@@ -93,5 +96,28 @@ fn main() {
     assert!(
         report.completed_cleanly(),
         "the benign program must not diverge"
+    );
+
+    // The same gateway, by hand: each variant thread acquires its ThreadPort
+    // once (`gateway.thread(t)` / `mvee.thread_port(v, t)`) and issues every
+    // monitored call through it — no per-call (variant, thread) indices.
+    let mvee = Mvee::builder().variants(2).manual_clock(true).build();
+    let mut handles = Vec::new();
+    for v in 0..2 {
+        let port = mvee.thread_port(v, 0);
+        handles.push(std::thread::spawn(move || {
+            port.syscall(&SyscallRequest::new(Sysno::Brk).with_int(0))
+                .expect("brk under lockstep");
+            port.sync_op(0x1000, || ())
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    println!(
+        "\nport demo       : {} monitored calls, {} in lockstep, clean: {}",
+        mvee.monitor_stats().total_syscalls,
+        mvee.monitor_stats().lockstep_syscalls,
+        !mvee.monitor().has_diverged()
     );
 }

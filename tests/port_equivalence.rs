@@ -1,0 +1,266 @@
+//! Property tests: the [`ThreadPort`] gateway path is observably equivalent
+//! to the legacy index-addressed `VariantGateway::syscall` path.
+//!
+//! For randomized per-thread call plans, batch sizes ∈ {1, 8} and all three
+//! [`Placement`] policies, a run that drives every (variant, thread) through
+//! its own `ThreadPort` must produce exactly the same observable behaviour
+//! as a run that issues the same calls through the legacy
+//! `gateway.syscall(thread, req)` convention: the same per-call outcomes,
+//! the same clean/diverged verdict, the same first-mismatch slot and blamed
+//! variant, and the same monitor statistics — even though real OS threads
+//! race through the monitor in both runs.
+//!
+//! The deterministic companions pin the divergence-report equivalence for an
+//! injected mid-batch mismatch and for a rendezvous timeout.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mvee::core::config::Placement;
+use mvee::core::monitor::MonitorStats;
+use mvee::core::mvee::Mvee;
+use mvee::core::DivergenceReport;
+use mvee::kernel::syscall::{SyscallRequest, Sysno};
+use mvee::sync_agent::agents::AgentKind;
+
+/// The two gateway paths under comparison.
+#[derive(Clone, Copy, PartialEq)]
+enum Path {
+    /// Legacy: `gateway.syscall(thread, req)` on every call.
+    Index,
+    /// Redesigned: one `ThreadPort` per (variant, thread).
+    Port,
+}
+
+/// The call an op tag stands for.  All tags are benign (identical across
+/// variants); the divergence scenarios inject their mismatch explicitly.
+fn req_for(tag: u8) -> SyscallRequest {
+    match tag % 5 {
+        // Deferrable compare-only address-space calls.
+        0 => SyscallRequest::new(Sysno::Brk).with_int(0),
+        1 => SyscallRequest::new(Sysno::Mmap).with_int(8192),
+        2 => SyscallRequest::new(Sysno::Mprotect).with_int(4096),
+        // A replicated call: a synchronous flush point.
+        3 => SyscallRequest::new(Sysno::Gettimeofday),
+        // Neither compared nor replicated nor ordered.
+        _ => SyscallRequest::new(Sysno::SchedYield),
+    }
+}
+
+fn build_mvee(variants: usize, threads: usize, batch: usize, placement: &Placement) -> Mvee {
+    Mvee::builder()
+        .variants(variants)
+        .threads(threads.max(1))
+        .agent(AgentKind::Null)
+        .batch(batch)
+        .placement(placement.clone())
+        .shards(4)
+        .lockstep_timeout(std::time::Duration::from_secs(10))
+        .manual_clock(true)
+        .build()
+}
+
+/// Runs `plan` (one op-tag vector per logical thread, identical in every
+/// variant) through a fresh MVEE on real OS threads, via the chosen path.
+/// Returns the per-(variant, thread) success counts, the monitor stats and
+/// the divergence report, if any.
+fn run_plan(
+    path: Path,
+    variants: usize,
+    batch: usize,
+    placement: &Placement,
+    plan: &[Vec<u8>],
+) -> (Vec<u64>, MonitorStats, Option<DivergenceReport>) {
+    let mvee = Arc::new(build_mvee(variants, plan.len(), batch, placement));
+    let plan = Arc::new(plan.to_vec());
+    let mut handles = Vec::new();
+    for variant in 0..variants {
+        for thread in 0..plan.len() {
+            let mvee = Arc::clone(&mvee);
+            let plan = Arc::clone(&plan);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0u64;
+                match path {
+                    Path::Index => {
+                        let gateway = mvee.gateway(variant);
+                        for &tag in &plan[thread] {
+                            if gateway.syscall(thread, &req_for(tag)).is_ok() {
+                                ok += 1;
+                            }
+                        }
+                    }
+                    Path::Port => {
+                        let port = mvee.thread_port(variant, thread);
+                        for &tag in &plan[thread] {
+                            if port.syscall(&req_for(tag)).is_ok() {
+                                ok += 1;
+                            }
+                        }
+                    }
+                }
+                ((variant, thread), ok)
+            }));
+        }
+    }
+    let mut collected: Vec<((usize, usize), u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("plan thread panicked"))
+        .collect();
+    collected.sort_by_key(|(id, _)| *id);
+    let oks = collected.into_iter().map(|(_, ok)| ok).collect();
+    (oks, mvee.monitor_stats(), mvee.divergence())
+}
+
+proptest! {
+    /// Clean plans: both paths succeed on every call and agree on every
+    /// monitor counter, with the batch size (∈ {1, 8}) and placement policy
+    /// part of the generated case.
+    #[test]
+    fn port_path_matches_index_path_on_clean_plans(
+        plan in proptest::collection::vec(proptest::collection::vec(0u8..5, 1..10), 1..3),
+        variants in 2usize..4,
+        batch_sel in 0usize..2,
+        placement_sel in 0usize..3,
+    ) {
+        let batch = [1usize, 8][batch_sel];
+        let placement = [
+            Placement::RoundRobin,
+            Placement::Grouped,
+            Placement::pinned(vec![0, 2, 1]),
+        ][placement_sel].clone();
+        let (index_ok, index_stats, index_div) =
+            run_plan(Path::Index, variants, batch, &placement, &plan);
+        let (port_ok, port_stats, port_div) =
+            run_plan(Path::Port, variants, batch, &placement, &plan);
+        prop_assert!(index_div.is_none(), "index path diverged: {index_div:?}");
+        prop_assert!(port_div.is_none(), "port path diverged: {port_div:?}");
+        prop_assert_eq!(&index_ok, &port_ok,
+            "per-thread outcomes differ (batch={}, {})", batch, placement.name());
+        prop_assert_eq!(index_stats, port_stats,
+            "monitor stats differ (batch={}, {})", batch, placement.name());
+    }
+}
+
+/// The injected-mismatch scenario: one thread, two variants, a mid-batch
+/// divergent mprotect followed by a synchronous write that forces the flush.
+/// Both paths must blame exactly the same (thread, sequence, variant).
+#[test]
+fn port_and_index_paths_report_identical_mismatch_verdicts() {
+    let mprotect = |len: i64| SyscallRequest::new(Sysno::Mprotect).with_int(len);
+    let write = || {
+        SyscallRequest::new(Sysno::Write)
+            .with_fd(1)
+            .with_payload(b"flush")
+    };
+    for batch in [1usize, 8] {
+        for placement in [
+            Placement::RoundRobin,
+            Placement::Grouped,
+            Placement::pinned(vec![1]),
+        ] {
+            let mut reports = Vec::new();
+            for path in [Path::Index, Path::Port] {
+                let mvee = Arc::new(build_mvee(2, 1, batch, &placement));
+                let m = Arc::clone(&mvee);
+                let slave = std::thread::spawn(move || match path {
+                    Path::Index => {
+                        let gw = m.gateway(1);
+                        for len in [4096i64, 666, 4096] {
+                            gw.syscall(0, &mprotect(len))?;
+                        }
+                        gw.syscall(0, &write())
+                    }
+                    Path::Port => {
+                        let port = m.thread_port(1, 0);
+                        for len in [4096i64, 666, 4096] {
+                            port.syscall(&mprotect(len))?;
+                        }
+                        port.syscall(&write())
+                    }
+                });
+                let master = {
+                    let run = |issue: &dyn Fn(
+                        &SyscallRequest,
+                    )
+                        -> Result<(), mvee::core::MonitorError>| {
+                        for _ in 0..3 {
+                            issue(&mprotect(4096))?;
+                        }
+                        issue(&write())
+                    };
+                    match path {
+                        Path::Index => {
+                            let gw = mvee.gateway(0);
+                            run(&|req| gw.syscall(0, req).map(|_| ()))
+                        }
+                        Path::Port => {
+                            let port = mvee.thread_port(0, 0);
+                            run(&|req| port.syscall(req).map(|_| ()))
+                        }
+                    }
+                };
+                let slave = slave.join().unwrap();
+                assert!(master.is_err() || slave.is_err());
+                let report = mvee.divergence().expect("divergence report");
+                reports.push(report);
+            }
+            let (index, port) = (&reports[0], &reports[1]);
+            assert_eq!(
+                index.sequence,
+                port.sequence,
+                "batch={batch} {}: first-mismatch slot differs",
+                placement.name()
+            );
+            assert_eq!(index.thread, port.thread);
+            assert_eq!(index.variant, port.variant, "blamed variant differs");
+            assert_eq!(
+                std::mem::discriminant(&index.kind),
+                std::mem::discriminant(&port.kind),
+                "divergence kind differs"
+            );
+            assert_eq!(index.sequence, 1, "must blame the exact mid-batch slot");
+            assert_eq!(index.variant, 1);
+        }
+    }
+}
+
+/// The rendezvous-timeout scenario: only the master arrives at a compared
+/// call.  Both paths must report the same timeout verdict.
+#[test]
+fn port_and_index_paths_report_identical_timeout_verdicts() {
+    let open = SyscallRequest::new(Sysno::Open).with_path("/missing");
+    let mut reports = Vec::new();
+    for path in [Path::Index, Path::Port] {
+        let mvee = Mvee::builder()
+            .variants(2)
+            .threads(1)
+            .agent(AgentKind::Null)
+            .lockstep_timeout(std::time::Duration::from_millis(150))
+            .manual_clock(true)
+            .build();
+        let result = match path {
+            Path::Index => mvee.gateway(0).syscall(0, &open),
+            Path::Port => mvee.thread_port(0, 0).syscall(&open),
+        };
+        assert!(result.is_err());
+        reports.push(mvee.divergence().expect("divergence report"));
+    }
+    let (index, port) = (&reports[0], &reports[1]);
+    assert_eq!(index.sequence, port.sequence);
+    assert_eq!(index.thread, port.thread);
+    assert_eq!(index.variant, port.variant);
+    assert_eq!(
+        std::mem::discriminant(&index.kind),
+        std::mem::discriminant(&port.kind)
+    );
+}
+
+/// The `Send` half of the port's threading contract, checked at compile
+/// time from outside the defining crate (the `!Sync` half is a
+/// `compile_fail` doctest on `mvee_core::port`).
+#[test]
+fn thread_port_is_send_across_crates() {
+    fn assert_send<T: Send>() {}
+    assert_send::<mvee::core::port::ThreadPort>();
+}
