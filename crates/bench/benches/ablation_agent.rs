@@ -1,0 +1,74 @@
+//! Ablation: the agents' wait discipline under contention.
+//!
+//! Sweeps the `lockheavy` workload — a run that spends essentially all of
+//! its time inside the agents' record/replay waits — across
+//! wait strategy (legacy spin/yield vs the adaptive spin → yield → park
+//! escalation) × agent kind × worker-thread count.  On an oversubscribed
+//! box (threads × variants > cores — always true on the 1-vCPU CI runner)
+//! the spinning slaves of the legacy strategy burn the time slices the
+//! recorded-order thread needs, which is exactly the pathology the adaptive
+//! waiter removes by parking on the ring/clock event counts.
+//!
+//! `MVEE_BENCH_VARIANTS` (default `2,8`) and `MVEE_BENCH_SCALE` tune the
+//! sweep; the before/after numbers at 2/8/16 variants live in
+//! `BASELINES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvee_bench::workload_scale;
+use mvee_sync_agent::agents::AgentKind;
+use mvee_sync_agent::guards::WaitStrategy;
+use mvee_variant::runner::{run_mvee, RunConfig};
+use mvee_workloads::catalog::BenchmarkSpec;
+use std::time::Duration;
+
+/// Worker-thread counts: 2 (mild contention) and 8 (threads > cores on
+/// every box this runs on).
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+fn variant_counts() -> Vec<usize> {
+    let counts = mvee_bench::variant_counts();
+    // The default table sweep (2,3,4) is shaped for the paper tables; this
+    // ablation defaults to the scaling pair used in BASELINES.md.
+    if std::env::var("MVEE_BENCH_VARIANTS").is_err() {
+        return vec![2, 8];
+    }
+    counts
+}
+
+fn bench_wait_strategies(c: &mut Criterion) {
+    let spec = BenchmarkSpec::by_name("lockheavy").expect("lockheavy in catalog");
+    let scale = workload_scale();
+    let mut group = c.benchmark_group("ablation/agent-wait");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+    for variants in variant_counts() {
+        for threads in THREAD_COUNTS {
+            let program = spec.program(threads, scale);
+            for kind in AgentKind::replication_agents() {
+                for wait in WaitStrategy::all() {
+                    let id = BenchmarkId::new(
+                        format!("{}v/{}t/{}", variants, threads, kind.name()),
+                        wait.name(),
+                    );
+                    group.bench_function(id, |b| {
+                        b.iter(|| {
+                            let config = RunConfig::new(variants, kind).with_wait_strategy(wait);
+                            let report = run_mvee(&program, &config);
+                            assert!(
+                                report.completed_cleanly(),
+                                "{kind:?}/{wait:?} diverged: {:?}",
+                                report.divergence
+                            );
+                            report.agent_stats.ops_replayed
+                        });
+                    });
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wait_strategies);
+criterion_main!(benches);

@@ -6,8 +6,9 @@
 //! synthetic programs actually achieve when run natively.
 
 use mvee_bench::{format_row, print_table_header, workload_scale};
-use mvee_variant::runner::run_native;
-use mvee_workloads::catalog::{Suite, CATALOG};
+use mvee_sync_agent::agents::AgentKind;
+use mvee_variant::runner::{run_mvee, run_native, RunConfig};
+use mvee_workloads::catalog::{BenchmarkSpec, Suite, CATALOG};
 
 fn main() {
     let scale = workload_scale();
@@ -54,4 +55,47 @@ fn main() {
         );
     }
     println!("\n(sc/s = system calls per second, sy/s = sync ops per second)");
+
+    print_stall_taxonomy(scale);
+}
+
+/// The agent-time attribution table: where slave wait time went (spins,
+/// yields, parks), how often producers rescanned the reader cursors, and
+/// how often masters stalled on a full buffer — per agent, on the
+/// contention-heavy `lockheavy` workload.  This is the taxonomy
+/// `AgentStats` carries since the adaptive-waiter redesign; per-thread-group
+/// attribution is available through `SyncAgent::lane_stats`.
+fn print_stall_taxonomy(scale: f64) {
+    let spec = BenchmarkSpec::by_name("lockheavy").expect("lockheavy in catalog");
+    println!("\nAgent stall taxonomy — lockheavy, 2 variants, 4 threads");
+    let widths = [16, 10, 10, 12, 10, 10, 10, 10];
+    print_table_header(
+        "Stalls",
+        &[
+            "agent", "recorded", "replayed", "spins", "yields", "parks", "rescans", "m-stalls",
+        ],
+        &widths,
+    );
+    for kind in AgentKind::replication_agents() {
+        let program = spec.program(4, scale);
+        let report = run_mvee(&program, &RunConfig::new(2, kind));
+        let s = report.agent_stats;
+        println!(
+            "{}",
+            format_row(
+                &[
+                    kind.name().to_string(),
+                    s.ops_recorded.to_string(),
+                    s.ops_replayed.to_string(),
+                    s.slave_spin_iterations.to_string(),
+                    s.slave_yields.to_string(),
+                    s.slave_parks.to_string(),
+                    s.cursor_rescans.to_string(),
+                    s.master_stalls.to_string(),
+                ],
+                &widths,
+            )
+        );
+    }
+    println!("(spins/yields/parks = slave wait phases; rescans = producer min-cursor refreshes)");
 }

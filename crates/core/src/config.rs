@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use mvee_sync_agent::agents::AgentKind;
 use mvee_sync_agent::context::AgentConfig;
+use mvee_sync_agent::guards::WaitStrategy;
 
 use crate::lockstep::DEFAULT_SHARDS;
 use crate::policy::MonitoringPolicy;
@@ -41,8 +42,12 @@ pub enum Placement {
     #[default]
     RoundRobin,
     /// Contiguous blocks of threads share a shard
-    /// (`thread * shards / max_threads`): thread groups that are spawned
-    /// together — and typically scheduled together — stay on one shard.
+    /// (`thread * shards / threads`, scaled to the *actual* per-variant
+    /// thread count): thread groups that are spawned together — and
+    /// typically scheduled together — stay on one shard.  Scaling to the
+    /// workload's thread count (not the 64-slot table maximum) is what
+    /// keeps an 8-thread run spread over all shards instead of collapsing
+    /// into shard 0.
     Grouped,
     /// Explicit per-thread core map: logical thread `t` is pinned to core
     /// `cores[t % cores.len()]` and its monitor state lives in shard
@@ -65,15 +70,21 @@ impl Placement {
         Placement::Pinned(cores.into())
     }
 
-    /// The shard logical thread `thread` is bound to, given the monitor's
-    /// `max_threads` and `shards` configuration.  Always below `shards`.
-    pub fn shard_for(&self, thread: usize, max_threads: usize, shards: usize) -> usize {
+    /// The shard logical thread `thread` is bound to, given the workload's
+    /// per-variant thread count and the monitor's `shards` configuration.
+    /// Always below `shards`.
+    ///
+    /// `threads` must be the number of threads the workload actually uses —
+    /// not the monitor's table capacity — or `Grouped`'s blocks degenerate:
+    /// with 8 live threads scaled against a 64-slot table, every thread
+    /// lands in shard 0.
+    pub fn shard_for(&self, thread: usize, threads: usize, shards: usize) -> usize {
         let shards = shards.max(1);
         match self {
             Placement::RoundRobin => thread % shards,
             Placement::Grouped => {
-                let max_threads = max_threads.max(1);
-                ((thread % max_threads) * shards / max_threads).min(shards - 1)
+                let threads = threads.max(1);
+                ((thread % threads) * shards / threads).min(shards - 1)
             }
             Placement::Pinned(cores) => cores[thread % cores.len()] % shards,
         }
@@ -161,6 +172,15 @@ impl MveeConfig {
         self
     }
 
+    /// Sets how blocked agent threads wait (builder style): the adaptive
+    /// spin → yield → park escalation (default) or the legacy
+    /// [`WaitStrategy::SpinYield`] loop for ablation.  Shorthand for
+    /// editing the embedded [`AgentConfig`].
+    pub fn with_wait_strategy(mut self, wait: WaitStrategy) -> Self {
+        self.agent_config = self.agent_config.with_wait_strategy(wait);
+        self
+    }
+
     /// Sets the monitor shard count (builder style).
     ///
     /// # Panics
@@ -224,6 +244,24 @@ mod tests {
     }
 
     #[test]
+    fn grouped_scales_blocks_to_the_actual_thread_count() {
+        let p = Placement::Grouped;
+        // The 8-thread bench shape: with the block size scaled to the
+        // actual thread count, the 8 threads spread over all 8 shards
+        // instead of collapsing into shard 0 (the `max_threads`-scaled
+        // degenerate case this pins down).
+        let shards: Vec<usize> = (0..8).map(|t| p.shard_for(t, 8, 8)).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // 8 threads over 4 shards: contiguous pairs share a shard.
+        let shards: Vec<usize> = (0..8).map(|t| p.shard_for(t, 8, 4)).collect();
+        assert_eq!(shards, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        // 4 threads over 8 shards: every thread gets its own shard, all in
+        // range.
+        let shards: Vec<usize> = (0..4).map(|t| p.shard_for(t, 4, 8)).collect();
+        assert_eq!(shards, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
     fn pinned_binds_shards_through_the_core_map() {
         let p = Placement::pinned(vec![0, 0, 1, 1]);
         assert_eq!(p.core_for(0), Some(0));
@@ -274,13 +312,20 @@ mod tests {
             .with_shards(3)
             .with_batch(16)
             .with_placement(Placement::Grouped)
+            .with_wait_strategy(WaitStrategy::SpinYield)
             .with_lockstep_timeout(Duration::from_millis(250));
         assert_eq!(c.policy, MonitoringPolicy::NoComparison);
         assert_eq!(c.agent, AgentKind::TotalOrder);
         assert_eq!(c.shards, 3);
         assert_eq!(c.batch, 16);
         assert_eq!(c.placement, Placement::Grouped);
+        assert_eq!(c.agent_config.wait, WaitStrategy::SpinYield);
         assert_eq!(c.lockstep_timeout, Duration::from_millis(250));
+        // The default is the adaptive waiter.
+        assert_eq!(
+            MveeConfig::default().agent_config.wait,
+            WaitStrategy::Adaptive
+        );
     }
 
     #[test]

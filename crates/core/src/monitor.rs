@@ -80,6 +80,11 @@ pub struct MonitorConfig {
     pub lockstep_timeout: Duration,
     /// Maximum number of logical threads per variant.
     pub max_threads: usize,
+    /// Number of threads the workload actually uses (≤ `max_threads`).
+    /// [`Placement::Grouped`] scales its block size to this count: scaling
+    /// against the 64-slot table capacity instead would collapse an
+    /// 8-thread run into one shard.
+    pub workload_threads: usize,
     /// Number of rendezvous/ordering shards the monitor state is partitioned
     /// into (see [`crate::lockstep`]).  `1` reproduces the original global
     /// table and global ordering clock.
@@ -102,6 +107,7 @@ impl Default for MonitorConfig {
             policy: MonitoringPolicy::StrictLockstep,
             lockstep_timeout: Duration::from_secs(5),
             max_threads: 64,
+            workload_threads: 64,
             shards: DEFAULT_SHARDS,
             batch: 1,
             placement: Placement::RoundRobin,
@@ -274,27 +280,29 @@ impl Monitor {
         // One thread→shard binding, derived from the placement policy once
         // and shared by the rendezvous table, the ordering clocks and the
         // stat lanes — a thread's entire monitor footprint lives in one
-        // shard.
+        // shard.  Grouped blocks scale to the *workload's* thread count,
+        // not the table capacity.
+        let workload_threads = config.workload_threads.clamp(1, config.max_threads);
         let placement_map: Vec<usize> = (0..config.max_threads)
-            .map(|t| config.placement.shard_for(t, config.max_threads, shards))
+            .map(|t| config.placement.shard_for(t, workload_threads, shards))
+            .collect();
+        // Reuse the shared map for the per-thread state: the lockstep
+        // table's binding and `ThreadState::shard` must never
+        // desynchronize.
+        let threads = (0..config.variants * config.max_threads)
+            .map(|i| ThreadState {
+                seq: AtomicU64::new(0),
+                shard: placement_map[i % config.max_threads],
+                port_live: AtomicBool::new(false),
+                pending: Mutex::new(Vec::new()),
+            })
             .collect();
         Monitor {
             lockstep: LockstepTable::with_placement_map(config.variants, shards, placement_map),
             ordering_clocks: (0..config.variants)
                 .map(|_| ShardedOrderingClock::new(shards))
                 .collect(),
-            threads: (0..config.variants * config.max_threads)
-                .map(|i| ThreadState {
-                    seq: AtomicU64::new(0),
-                    shard: config.placement.shard_for(
-                        i % config.max_threads,
-                        config.max_threads,
-                        shards,
-                    ),
-                    port_live: AtomicBool::new(false),
-                    pending: Mutex::new(Vec::new()),
-                })
-                .collect(),
+            threads,
             stats: (0..shards).map(|_| StatLane::default()).collect(),
             diverged: AtomicBool::new(false),
             divergence_report: Mutex::new(None),

@@ -107,6 +107,14 @@ impl MveeBuilder {
         self
     }
 
+    /// Sets how blocked agent threads wait (adaptive spin → yield → park by
+    /// default; `WaitStrategy::SpinYield` restores the legacy fixed loop
+    /// for ablation runs).
+    pub fn wait_strategy(mut self, wait: mvee_sync_agent::guards::WaitStrategy) -> Self {
+        self.config = self.config.with_wait_strategy(wait);
+        self
+    }
+
     /// Sets the rendezvous / replication timeout.
     pub fn lockstep_timeout(mut self, timeout: Duration) -> Self {
         self.config.lockstep_timeout = timeout;
@@ -186,6 +194,7 @@ impl MveeBuilder {
             policy: self.config.policy,
             lockstep_timeout: self.config.lockstep_timeout,
             max_threads: mvee_sync_agent::context::MAX_THREADS,
+            workload_threads: self.threads.max(1),
             shards: self.config.shards,
             batch: self.config.batch,
             placement: self.config.placement.clone(),

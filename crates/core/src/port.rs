@@ -395,22 +395,26 @@ mod tests {
 
     #[test]
     fn port_shard_binding_follows_the_placement_policy() {
+        // Grouped blocks scale to the *workload's* 8 threads, not the
+        // 64-slot table capacity: blocks of two threads per shard.
         let mvee = Mvee::builder()
             .variants(1)
+            .threads(8)
             .shards(4)
             .placement(Placement::Grouped)
             .manual_clock(true)
             .build();
-        let max_threads = mvee.monitor().config().max_threads;
-        let group = max_threads / 4;
         let a = mvee.thread_port(0, 0);
         assert_eq!(a.shard(), 0);
         drop(a);
-        let b = mvee.thread_port(0, group - 1);
+        let b = mvee.thread_port(0, 1);
         assert_eq!(b.shard(), 0, "contiguous threads share a shard");
         drop(b);
-        let c = mvee.thread_port(0, group);
+        let c = mvee.thread_port(0, 2);
         assert_eq!(c.shard(), 1);
+        drop(c);
+        let d = mvee.thread_port(0, 7);
+        assert_eq!(d.shard(), 3, "the 8 threads cover all 4 shards");
     }
 
     #[test]

@@ -121,12 +121,17 @@ impl std::fmt::Debug for HookCell {
 /// that would replay it are shutting down).  In **both** cases the caller
 /// ends up holding the guard, so the paired `after_sync_op` release stays
 /// balanced.
+///
+/// The full-buffer wait parks on the ring's event count (under the adaptive
+/// strategy): every slave cursor advance posts it, and the agents post it
+/// from `poison`, so a parked master can never sleep through the wake-up it
+/// is waiting for.
 pub(crate) fn push_record_guarded(
     guards: &crate::guards::GuardTable,
     guard_idx: usize,
     ring: &crate::ring::RecordRing,
     waiter: &crate::guards::Waiter,
-    on_master_stall: impl Fn(),
+    on_master_stall: impl Fn(crate::guards::WaitTally),
     is_poisoned: impl Fn() -> bool,
     make_record: impl Fn() -> crate::ring::SyncRecord,
 ) -> bool {
@@ -136,8 +141,9 @@ pub(crate) fn push_record_guarded(
             crate::ring::PushOutcome::Stored(_) => return true,
             crate::ring::PushOutcome::Full => {
                 guards.release(guard_idx);
-                on_master_stall();
-                waiter.wait_until(|| is_poisoned() || ring.has_space());
+                let tally =
+                    waiter.wait_until_event(ring.events(), || is_poisoned() || ring.has_space());
+                on_master_stall(tally);
                 if is_poisoned() {
                     guards.acquire(guard_idx);
                     return false;

@@ -28,11 +28,20 @@ struct SlaveState {
     /// `completed[pos % capacity] == pos + 1` once this slave finished the op
     /// recorded at `pos`.
     completed: Vec<AtomicU64>,
+    /// The skip index's claimed bitmap: `claimed_map[pos % capacity] ==
+    /// pos + 1` once *some* thread of this slave has claimed the record at
+    /// `pos` for replay.  Lets a thread scanning for its own next record
+    /// skip a claimed slot on one load instead of re-reading the record and
+    /// its completion state — claimed records can never be the scanner's
+    /// (only thread `t` claims thread-`t` records, and `t` never scans while
+    /// it holds a claim).
+    claimed_map: Vec<AtomicU64>,
     /// Per-thread position of the op claimed between `before` and `after`,
     /// stored as `pos + 1` (0 = none).
     claimed: Vec<AtomicU64>,
-    /// Per-thread scan cursor: the position after this thread's most recently
-    /// claimed record.
+    /// The skip index's per-thread resume position: the position after this
+    /// thread's most recently claimed record — its scan for the next own
+    /// record restarts here, never from the frontier.
     scan_from: Vec<AtomicU64>,
 }
 
@@ -40,6 +49,7 @@ impl SlaveState {
     fn new(capacity: usize) -> Self {
         SlaveState {
             completed: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            claimed_map: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             claimed: (0..MAX_THREADS).map(|_| AtomicU64::new(0)).collect(),
             scan_from: (0..MAX_THREADS).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -63,10 +73,11 @@ impl PartialOrderAgent {
     /// Creates a partial-order agent for `config.variants` variants.
     pub fn new(config: AgentConfig) -> Self {
         let readers = config.slave_count().max(1);
+        let waiter = config.waiter();
         PartialOrderAgent {
             ring: RecordRing::new(config.buffer_capacity, readers),
-            guards: GuardTable::new(config.guard_buckets, config.spin_before_yield),
-            waiter: Waiter::new(config.spin_before_yield),
+            guards: GuardTable::with_waiter(config.guard_buckets, waiter),
+            waiter,
             stats: SharedStats::new(),
             slaves: (0..readers)
                 .map(|_| SlaveState::new(config.buffer_capacity))
@@ -99,7 +110,7 @@ impl PartialOrderAgent {
             bucket,
             &self.ring,
             &self.waiter,
-            || self.stats.count_master_stall(ctx.thread),
+            |tally| self.stats.count_master_wait(ctx.thread, tally),
             || self.is_poisoned(),
             || SyncRecord::simple(ctx.thread as u32, addr),
         ) {
@@ -117,9 +128,16 @@ impl PartialOrderAgent {
         self.slaves[slave].completed[slot].load(Ordering::Acquire) == pos + 1
     }
 
+    /// Whether some thread of this slave has claimed the record at `pos`.
+    fn is_claimed(&self, slave: usize, pos: u64) -> bool {
+        let slot = (pos % self.capacity()) as usize;
+        self.slaves[slave].claimed_map[slot].load(Ordering::Acquire) == pos + 1
+    }
+
     /// Finds the next record belonging to `thread`, scanning forward from the
-    /// thread's scan cursor.  Returns `None` when it has not been published
-    /// yet or lies outside the look-ahead window.
+    /// thread's resume position (the skip index: never from the frontier).
+    /// Returns `None` when it has not been published yet or lies outside the
+    /// look-ahead window.
     fn find_own_record(&self, slave: usize, thread: u32) -> Option<(u64, SyncRecord)> {
         let frontier = self.ring.reader_pos(slave);
         let window_end = frontier + self.config.lookahead_window as u64;
@@ -129,6 +147,14 @@ impl PartialOrderAgent {
         let published = self.ring.write_pos();
         let mut pos = start;
         while pos < published && pos < window_end {
+            // Skip-index fast path: a claimed record belongs to another
+            // thread (a thread never scans while holding its own claim), so
+            // one bitmap load replaces reading the record and its
+            // completion slot.
+            if self.is_claimed(slave, pos) {
+                pos += 1;
+                continue;
+            }
             match self.ring.get(pos) {
                 Some(rec) if rec.thread == thread && !self.is_completed(slave, pos) => {
                     return Some((pos, rec));
@@ -140,50 +166,83 @@ impl PartialOrderAgent {
         None
     }
 
-    /// Whether every earlier op on the same 64-bit word has completed.
-    fn dependencies_met(&self, slave: usize, pos: u64, addr: u64) -> bool {
-        let key = Self::dependency_key(addr);
-        let frontier = self.ring.reader_pos(slave);
-        let mut q = frontier;
-        while q < pos {
-            if !self.is_completed(slave, q) {
-                match self.ring.get(q) {
-                    Some(rec) if Self::dependency_key(rec.addr) == key => return false,
-                    Some(_) => {}
-                    None => return false,
-                }
-            }
-            q += 1;
+    /// Whether the record at `q` still blocks an op on `key`: it is not yet
+    /// completed and either touches the same 64-bit word or is not yet
+    /// published (so its word is unknown).  A record never changes once
+    /// published and completion is sticky, so a `false` verdict is final —
+    /// which is what lets the dependency scan resume instead of rescanning.
+    fn blocks(&self, slave: usize, q: u64, key: u64) -> bool {
+        if self.is_completed(slave, q) {
+            return false;
         }
-        true
+        match self.ring.get(q) {
+            Some(rec) => Self::dependency_key(rec.addr) == key,
+            None => true,
+        }
     }
 
     fn slave_before(&self, ctx: &SyncContext, slave: usize) {
         let thread = ctx.thread as u32;
-        let mut found = None;
-        let spins = self.waiter.wait_until(|| {
+        // The wait's local skip state: the record we found for ourselves,
+        // the first position that still blocks it, and how far the
+        // dependency scan has verified.  Each poll resumes where the last
+        // one stopped — typically re-checking a single blocker slot —
+        // instead of rescanning the whole window from the frontier.
+        let mut found: Option<(u64, u64)> = None; // (pos, dependency key)
+        let mut blocker: Option<u64> = None;
+        let mut dep_checked_to = 0u64;
+        let mut claimed = None;
+        let tally = self.waiter.wait_until_event(self.ring.events(), || {
             if self.is_poisoned() {
                 return true;
             }
-            if let Some((pos, rec)) = self.find_own_record(slave, thread) {
-                if self.dependencies_met(slave, pos, rec.addr) {
-                    found = Some(pos);
-                    return true;
+            let (pos, key) = match found {
+                Some(f) => f,
+                None => match self.find_own_record(slave, thread) {
+                    Some((pos, rec)) => {
+                        let key = Self::dependency_key(rec.addr);
+                        found = Some((pos, key));
+                        dep_checked_to = self.ring.reader_pos(slave);
+                        (pos, key)
+                    }
+                    None => return false,
+                },
+            };
+            if let Some(b) = blocker {
+                if self.blocks(slave, b, key) {
+                    return false;
                 }
+                // The blocker resolved (completed, or published as
+                // non-dependent); it has now been evaluated for good.
+                blocker = None;
+                dep_checked_to = b + 1;
             }
-            false
+            // Resume the dependency scan.  Positions below the frontier are
+            // complete by definition, and positions below `dep_checked_to`
+            // were already verified non-blocking (both verdicts are final).
+            let mut q = dep_checked_to.max(self.ring.reader_pos(slave));
+            while q < pos {
+                if self.blocks(slave, q, key) {
+                    blocker = Some(q);
+                    dep_checked_to = q;
+                    return false;
+                }
+                q += 1;
+            }
+            claimed = Some(pos);
+            true
         });
-        let Some(pos) = found else {
+        let Some(pos) = claimed else {
             // Poisoned bail-out: nothing was claimed; `slave_after` observes
             // `claimed == 0` and leaves the replay state untouched.
             return;
         };
-        self.slaves[slave].claimed[ctx.thread].store(pos + 1, Ordering::Release);
-        self.slaves[slave].scan_from[ctx.thread].store(pos + 1, Ordering::Release);
-        if spins > 0 {
-            self.stats.count_slave_stall(ctx.thread);
-            self.stats.add_spin_iterations(ctx.thread, spins);
-        }
+        let state = &self.slaves[slave];
+        let slot = (pos % self.capacity()) as usize;
+        state.claimed_map[slot].store(pos + 1, Ordering::Release);
+        state.claimed[ctx.thread].store(pos + 1, Ordering::Release);
+        state.scan_from[ctx.thread].store(pos + 1, Ordering::Release);
+        self.stats.count_slave_wait(ctx.thread, tally);
         self.stats.count_replay(ctx.thread);
     }
 
@@ -211,6 +270,10 @@ impl PartialOrderAgent {
                 continue;
             }
         }
+        // A completion that did not move the frontier can still unblock a
+        // dependency waiter parked on the ring; post the event count
+        // explicitly (frontier advances already post it).
+        self.ring.events().notify();
     }
 }
 
@@ -236,11 +299,20 @@ impl SyncAgent for PartialOrderAgent {
     }
 
     fn stats(&self) -> AgentStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        stats.cursor_rescans = self.ring.rescans();
+        stats
+    }
+
+    fn lane_stats(&self, lane: usize) -> AgentStats {
+        self.stats.lane_snapshot(lane)
     }
 
     fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
+        // Unpark masters waiting on buffer space and slaves parked in the
+        // look-ahead wait.
+        self.ring.events().notify_all();
         self.hook.poisoned();
     }
 

@@ -38,10 +38,11 @@ impl TotalOrderAgent {
     /// Creates a total-order agent for `config.variants` variants.
     pub fn new(config: AgentConfig) -> Self {
         let readers = config.slave_count().max(1);
+        let waiter = config.waiter();
         TotalOrderAgent {
             ring: RecordRing::new(config.buffer_capacity, readers),
-            guards: GuardTable::new(config.guard_buckets, config.spin_before_yield),
-            waiter: Waiter::new(config.spin_before_yield),
+            guards: GuardTable::with_waiter(config.guard_buckets, waiter),
+            waiter,
             stats: SharedStats::new(),
             poisoned: AtomicBool::new(false),
             hook: super::HookCell::new(),
@@ -70,7 +71,7 @@ impl TotalOrderAgent {
             bucket,
             &self.ring,
             &self.waiter,
-            || self.stats.count_master_stall(ctx.thread),
+            |tally| self.stats.count_master_wait(ctx.thread, tally),
             || self.is_poisoned(),
             || SyncRecord::simple(ctx.thread as u32, addr),
         ) {
@@ -90,18 +91,17 @@ impl TotalOrderAgent {
 
     fn slave_before(&self, ctx: &SyncContext, slave: usize) {
         let my_thread = ctx.thread as u32;
-        let spins = self
-            .waiter
-            .wait_until(|| self.is_poisoned() || self.head_is_mine(slave, my_thread));
+        // The head moves on a master push or another slave thread's reader
+        // advance; both post the ring's event count.
+        let tally = self.waiter.wait_until_event(self.ring.events(), || {
+            self.is_poisoned() || self.head_is_mine(slave, my_thread)
+        });
         if !self.head_is_mine(slave, my_thread) {
             // Poisoned bail-out: nothing was claimed; `slave_after` will see
             // a foreign (or absent) head record and leave the cursor alone.
             return;
         }
-        if spins > 0 {
-            self.stats.count_slave_stall(ctx.thread);
-            self.stats.add_spin_iterations(ctx.thread, spins);
-        }
+        self.stats.count_slave_wait(ctx.thread, tally);
         self.stats.count_replay(ctx.thread);
     }
 
@@ -135,11 +135,20 @@ impl SyncAgent for TotalOrderAgent {
     }
 
     fn stats(&self) -> AgentStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        stats.cursor_rescans = self.ring.rescans();
+        stats
+    }
+
+    fn lane_stats(&self, lane: usize) -> AgentStats {
+        self.stats.lane_snapshot(lane)
     }
 
     fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
+        // Unpark masters waiting on buffer space and slaves waiting for
+        // their turn at the head.
+        self.ring.events().notify_all();
         self.hook.poisoned();
     }
 

@@ -54,19 +54,34 @@ pub struct WallOfClocksAgent {
 
 impl WallOfClocksAgent {
     /// Creates a wall-of-clocks agent for `config.variants` variants.
+    ///
+    /// Each of the `config.threads` rings has exactly one producer — master
+    /// thread `t` writes only to ring `t` (§4.5) — so all rings take the
+    /// CAS-free single-producer fast path, **except** the last one:
+    /// [`ring_for`](Self::ring_for) clamps out-of-range thread indices onto
+    /// it, so a misconfigured run (more live threads than
+    /// `config.threads`) funnels several producers into that ring and it
+    /// must stay multi-producer-safe.
     pub fn new(config: AgentConfig) -> Self {
         let readers = config.slave_count().max(1);
+        let waiter = config.waiter();
         WallOfClocksAgent {
             rings: (0..config.threads)
-                .map(|_| RecordRing::new(config.buffer_capacity, readers))
+                .map(|t| {
+                    if t + 1 == config.threads {
+                        RecordRing::new(config.buffer_capacity, readers)
+                    } else {
+                        RecordRing::new_spsc(config.buffer_capacity, readers)
+                    }
+                })
                 .collect(),
             master_wall: ClockWall::new(config.clock_count),
             slave_walls: (0..readers)
                 .map(|_| ClockWall::new(config.clock_count))
                 .collect(),
             // One guard per clock so the guard index equals the clock index.
-            guards: GuardTable::new(config.clock_count, config.spin_before_yield),
-            waiter: Waiter::new(config.spin_before_yield),
+            guards: GuardTable::with_waiter(config.clock_count, waiter),
+            waiter,
             stats: SharedStats::new(),
             poisoned: AtomicBool::new(false),
             hook: super::HookCell::new(),
@@ -103,7 +118,7 @@ impl WallOfClocksAgent {
             clock,
             ring,
             &self.waiter,
-            || self.stats.count_master_stall(ctx.thread),
+            |tally| self.stats.count_master_wait(ctx.thread, tally),
             || self.is_poisoned(),
             || {
                 let time = self.master_wall.time(clock);
@@ -126,23 +141,26 @@ impl WallOfClocksAgent {
     fn slave_before(&self, ctx: &SyncContext, slave: usize) {
         let ring = self.ring_for(ctx.thread);
         let pos = ring.reader_pos(slave);
-        let waited_publish = self
-            .waiter
-            .wait_until(|| self.is_poisoned() || ring.get(pos).is_some());
+        // Wait 1: the master publishes the record (ring pushes post the
+        // ring's event count).
+        let waited_publish = self.waiter.wait_until_event(ring.events(), || {
+            self.is_poisoned() || ring.get(pos).is_some()
+        });
         let Some(record) = ring.get(pos) else {
             // Poisoned bail-out: the master stopped recording; `slave_after`
             // sees the absent record and leaves the replay state untouched.
             return;
         };
         let clock = record.clock as usize;
-        let waited_clock = self.waiter.wait_until(|| {
-            self.is_poisoned() || self.slave_walls[slave].time(clock) >= record.time
+        // Wait 2: this variant's clock copy reaches the recorded time
+        // (slave ticks post the wall's event count).
+        let wall = &self.slave_walls[slave];
+        let waited_clock = self.waiter.wait_until_event(wall.events(), || {
+            self.is_poisoned() || wall.time(clock) >= record.time
         });
-        if waited_publish + waited_clock > 0 {
-            self.stats.count_slave_stall(ctx.thread);
-            self.stats
-                .add_spin_iterations(ctx.thread, waited_publish + waited_clock);
-        }
+        let mut tally = waited_publish;
+        tally.merge(waited_clock);
+        self.stats.count_slave_wait(ctx.thread, tally);
         self.stats.count_replay(ctx.thread);
     }
 
@@ -186,11 +204,26 @@ impl SyncAgent for WallOfClocksAgent {
     }
 
     fn stats(&self) -> AgentStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        stats.cursor_rescans = self.rings.iter().map(RecordRing::rescans).sum();
+        stats
+    }
+
+    fn lane_stats(&self, lane: usize) -> AgentStats {
+        self.stats.lane_snapshot(lane)
     }
 
     fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
+        // Unpark every adaptively parked waiter (masters on full rings,
+        // slaves on publication or clock waits) so the bail-out conditions
+        // are re-checked promptly.
+        for ring in &self.rings {
+            ring.events().notify_all();
+        }
+        for wall in &self.slave_walls {
+            wall.events().notify_all();
+        }
         self.hook.poisoned();
     }
 
@@ -314,6 +347,17 @@ mod tests {
         assert_eq!(t0.join().unwrap(), 0);
         assert_eq!(t1.join().unwrap(), 1);
         assert!(agent.stats().slave_stalls >= 1);
+    }
+
+    #[test]
+    fn per_thread_rings_take_the_spsc_fast_path() {
+        // Every master thread's private ring is single-producer; only the
+        // last ring (the clamp sink for out-of-range thread indices) stays
+        // multi-producer-safe.
+        let agent = WallOfClocksAgent::new(config().with_threads(4));
+        assert_eq!(agent.rings.len(), 4);
+        assert!(agent.rings[..3].iter().all(|r| r.is_spsc()));
+        assert!(!agent.rings[3].is_spsc());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::guards::{fnv1a_u64, Waiter};
+use crate::guards::{fnv1a_u64, EventCount, Waiter};
 
 /// A fixed array of logical clocks.
 #[derive(Debug)]
@@ -25,6 +25,10 @@ pub struct ClockWall {
     /// Last address observed on each clock, used to count collisions
     /// (two *different* addresses mapping to the same clock).
     last_addr: Vec<AtomicU64>,
+    /// Parking target for threads waiting on a clock time; posted on every
+    /// tick.  Shared by all clocks of the wall: wakes are rare (only parked
+    /// waiters pay), while a per-clock condvar would bloat the wall.
+    events: EventCount,
 }
 
 impl ClockWall {
@@ -38,7 +42,14 @@ impl ClockWall {
         ClockWall {
             clocks: (0..count).map(|_| AtomicU64::new(0)).collect(),
             last_addr: (0..count).map(|_| AtomicU64::new(0)).collect(),
+            events: EventCount::new(),
         }
+    }
+
+    /// The wall's parking target: posted on every tick (and by the agents
+    /// on poison).
+    pub fn events(&self) -> &EventCount {
+        &self.events
     }
 
     /// Number of clocks.
@@ -69,13 +80,19 @@ impl ClockWall {
 
     /// Advances clock `id` by one tick and returns the *previous* time.
     pub fn tick(&self, id: usize) -> u64 {
-        self.clocks[id].fetch_add(1, Ordering::AcqRel)
+        let prev = self.clocks[id].fetch_add(1, Ordering::AcqRel);
+        self.events.notify();
+        prev
     }
 
     /// Blocks until clock `id` reaches at least `time`; returns the number of
     /// wait iterations.
     pub fn wait_for(&self, id: usize, time: u64, waiter: &Waiter) -> u64 {
-        waiter.wait_until(|| self.clocks[id].load(Ordering::Acquire) >= time)
+        waiter
+            .wait_until_event(&self.events, || {
+                self.clocks[id].load(Ordering::Acquire) >= time
+            })
+            .total()
     }
 
     /// Records that `addr` was just assigned to clock `id`; returns `true`

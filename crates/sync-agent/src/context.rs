@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::guards::{WaitStrategy, Waiter};
+
 /// Maximum number of logical threads an agent supports.
 ///
 /// The paper's agents may not allocate dynamically (§3.3), so per-thread
@@ -109,6 +111,9 @@ pub struct AgentConfig {
     /// How many spin iterations a waiting thread performs before yielding to
     /// the OS scheduler.
     pub spin_before_yield: u32,
+    /// How blocked agent threads wait: the legacy fixed spin/yield loop or
+    /// the adaptive spin → yield → park escalation (the default).
+    pub wait: WaitStrategy,
 }
 
 impl Default for AgentConfig {
@@ -121,6 +126,7 @@ impl Default for AgentConfig {
             guard_buckets: 512,
             lookahead_window: 256,
             spin_before_yield: 64,
+            wait: WaitStrategy::Adaptive,
         }
     }
 }
@@ -168,6 +174,19 @@ impl AgentConfig {
         assert!(window > 0, "window must be positive");
         self.lookahead_window = window;
         self
+    }
+
+    /// Sets the wait strategy blocked threads use (builder style).
+    /// [`WaitStrategy::SpinYield`] restores the pre-adaptive behaviour for
+    /// ablation runs.
+    pub fn with_wait_strategy(mut self, wait: WaitStrategy) -> Self {
+        self.wait = wait;
+        self
+    }
+
+    /// The waiter this configuration prescribes.
+    pub fn waiter(&self) -> Waiter {
+        Waiter::with_strategy(self.spin_before_yield, self.wait)
     }
 
     /// Number of slave variants.
@@ -223,13 +242,25 @@ mod tests {
             .with_threads(8)
             .with_buffer_capacity(1024)
             .with_clock_count(64)
-            .with_lookahead_window(32);
+            .with_lookahead_window(32)
+            .with_wait_strategy(WaitStrategy::SpinYield);
         assert_eq!(c.variants, 4);
         assert_eq!(c.slave_count(), 3);
         assert_eq!(c.threads, 8);
         assert_eq!(c.buffer_capacity, 1024);
         assert_eq!(c.clock_count, 64);
         assert_eq!(c.lookahead_window, 32);
+        assert_eq!(c.wait, WaitStrategy::SpinYield);
+        assert_eq!(c.waiter().strategy(), WaitStrategy::SpinYield);
+    }
+
+    #[test]
+    fn default_wait_strategy_is_adaptive() {
+        assert_eq!(AgentConfig::default().wait, WaitStrategy::Adaptive);
+        assert_eq!(
+            AgentConfig::default().waiter().strategy(),
+            WaitStrategy::Adaptive
+        );
     }
 
     #[test]

@@ -1,40 +1,246 @@
-//! Spin guards and waiting primitives used by the agents.
+//! Spin guards, event counts and the adaptive waiting primitives used by the
+//! agents.
 //!
 //! Two constraints shape this module.  First, the agents may not allocate
 //! dynamically (§3.3 of the paper), so all guard state is a fixed-size array
 //! sized at construction.  Second, the guards protect extremely short
 //! critical sections (recording one sync op and executing one atomic
-//! instruction), so they are spin locks with a bounded spin before yielding
-//! to the OS scheduler — the same trade-off a futex-free, in-variant agent
-//! has to make.
+//! instruction), so waiting starts as a bounded spin — but a fixed
+//! spin/yield loop collapses under oversubscription (more runnable threads
+//! than cores): every spinning slave burns the time slice the thread it is
+//! waiting for needs.  The adaptive [`Waiter`] therefore escalates
+//! spin → exponential-backoff yield → park on an [`EventCount`] condvar,
+//! while [`WaitStrategy::SpinYield`] preserves the original fixed loop for
+//! ablation.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
-/// A bounded spinner: spins `spin_before_yield` iterations, then yields.
+use serde::{Deserialize, Serialize};
+
+/// How a blocked agent thread waits for its wake-up condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WaitStrategy {
+    /// The original wait discipline: spin `spin_before_yield` iterations,
+    /// then `yield_now`, forever — never parks.  Cheap when the wait is
+    /// short and the waited-on thread runs on another core; pathological
+    /// when threads > cores.  (The surrounding event-count *notifications*
+    /// are posted either way, so this is the old waiting behaviour on the
+    /// new ring, not a bit-for-bit revert of the hot path.)
+    SpinYield,
+    /// Three phases: bounded spin, exponential-backoff yield, then park on
+    /// the wait target's [`EventCount`] until a cursor advance (or poison)
+    /// notifies it.  The default.
+    #[default]
+    Adaptive,
+}
+
+impl WaitStrategy {
+    /// Short name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitStrategy::SpinYield => "spin-yield",
+            WaitStrategy::Adaptive => "adaptive",
+        }
+    }
+
+    /// Both strategies, in ablation order (legacy first).
+    pub fn all() -> [WaitStrategy; 2] {
+        [WaitStrategy::SpinYield, WaitStrategy::Adaptive]
+    }
+}
+
+/// Yields performed (with exponential backoff) before the first park.
 ///
-/// Returns the number of iterations spent waiting so callers can feed the
-/// agent statistics.
+/// Parking is only worth its condvar round-trip for *long* waits (a peer
+/// descheduled or far behind); short replay waits resolve within a few
+/// yields even on an oversubscribed core.  The budget is sized so the yield
+/// phase lasts roughly a scheduling quantum before the waiter gives the
+/// core up for good.
+const YIELDS_BEFORE_PARK: u32 = 64;
+
+/// Upper bound on one parking episode.  Parked threads are woken explicitly
+/// by [`EventCount::notify`] on every cursor advance and on poison; the
+/// timeout is a belt-and-braces backstop so that even a lost wake-up (or a
+/// waiter whose condition depends on state with no notifier) degrades to a
+/// 1 ms poll instead of a deadlock.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// A condvar-backed event count: the parking target of the adaptive waiter.
+///
+/// The fast path costs the *notifier* one seq-cst fence plus one load when
+/// nobody is parked (the same unlock-side cost `parking_lot`'s word lock
+/// pays) — cheap enough to call on every ring-cursor advance and clock
+/// tick, and paid identically under both wait strategies, so the
+/// `ablation_agent` comparison isolates the wait *discipline*, not the
+/// notification accounting.  Waiters register (`waiters`), re-check their
+/// condition, and only then block, the classic futex-style handshake:
+/// either the notifier observes the registration and wakes, or the
+/// waiter's re-check observes the notifier's state change.  Both sides are
+/// ordered by seq-cst fences.
+#[derive(Debug, Default)]
+pub struct EventCount {
+    /// Bumped on every delivered notification; waiters snapshot it before
+    /// the final condition check so a wake between check and park is caught.
+    epoch: AtomicU64,
+    /// Number of threads registered to park (about to block or blocked).
+    waiters: AtomicU64,
+    lock: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl EventCount {
+    /// Creates an event count with no waiters.
+    pub fn new() -> Self {
+        EventCount::default()
+    }
+
+    /// Whether any thread is currently registered to park.
+    pub fn has_waiters(&self) -> bool {
+        self.waiters.load(Ordering::SeqCst) > 0
+    }
+
+    /// Wakes every parked waiter if there are any.  The no-waiter fast path
+    /// is one atomic load; hot paths (cursor advances, clock ticks) call
+    /// this unconditionally.
+    #[inline]
+    pub fn notify(&self) {
+        // Pairs with the seq-cst fence in `park` (after the waiter
+        // registers): either this load sees the registration, or the
+        // waiter's post-fence condition re-check sees the state change the
+        // caller made before notifying.
+        fence(Ordering::SeqCst);
+        if self.waiters.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        self.notify_slow();
+    }
+
+    /// Unconditional wake of every parked waiter (poison/shutdown path).
+    pub fn notify_all(&self) {
+        self.notify_slow();
+    }
+
+    #[cold]
+    fn notify_slow(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // Acquiring the lock orders this notification after any waiter that
+        // already re-checked its epoch under the lock but has not yet
+        // blocked: such a waiter is in the condvar queue by the time the
+        // lock is free, so `notify_all` cannot miss it.
+        drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
+        self.condvar.notify_all();
+    }
+
+    /// One parking episode: blocks until notified, `PARK_TIMEOUT` elapses,
+    /// or `cond` already holds.  Returns `true` when `cond` held on entry
+    /// (no park happened).
+    fn park(&self, cond: &mut impl FnMut() -> bool) -> bool {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        // Pairs with the fence in `notify`; see there.
+        fence(Ordering::SeqCst);
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        if cond() {
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+            return true;
+        }
+        {
+            let guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            // A notification delivered between the condition check and the
+            // lock acquisition bumped the epoch; skip the block and
+            // re-evaluate.
+            if self.epoch.load(Ordering::SeqCst) == epoch {
+                let _ = self
+                    .condvar
+                    .wait_timeout(guard, PARK_TIMEOUT)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        false
+    }
+}
+
+/// Where the iterations of one wait went: the stall taxonomy the agents
+/// surface through [`AgentStats`](crate::stats::AgentStats).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTally {
+    /// Busy-spin iterations (`spin_loop` hint).
+    pub spins: u64,
+    /// `yield_now` calls.
+    pub yields: u64,
+    /// Parking episodes on an [`EventCount`].
+    pub parks: u64,
+}
+
+impl WaitTally {
+    /// Total wait iterations of any kind.
+    pub fn total(&self) -> u64 {
+        self.spins + self.yields + self.parks
+    }
+
+    /// Folds another tally into this one (a wait made of several phases,
+    /// e.g. the wall-of-clocks publish wait followed by its clock wait).
+    pub fn merge(&mut self, other: WaitTally) {
+        self.spins += other.spins;
+        self.yields += other.yields;
+        self.parks += other.parks;
+    }
+
+    /// Whether the wait did not succeed immediately.
+    pub fn stalled(&self) -> bool {
+        self.total() > 0
+    }
+}
+
+/// A bounded waiter: spin, yield, and (adaptively) park.
+///
+/// Returns iteration tallies so callers can feed the agent statistics.
 #[derive(Debug, Clone, Copy)]
 pub struct Waiter {
     spin_before_yield: u32,
+    strategy: WaitStrategy,
 }
 
 impl Default for Waiter {
-    /// The default spin budget (64 iterations per yield) used by the monitor
-    /// wait paths and the agent configuration default.
+    /// The default spin budget (64 iterations per yield) with the legacy
+    /// spin/yield discipline, used by the monitor wait paths (which have no
+    /// event count to park on).
     fn default() -> Self {
         Waiter::new(64)
     }
 }
 
 impl Waiter {
-    /// Creates a waiter with the given spin budget per yield.
+    /// Creates a legacy spin/yield waiter with the given spin budget per
+    /// yield.  Existing callers (the monitor, guard-free waits) keep the
+    /// pre-adaptive behaviour.
     pub fn new(spin_before_yield: u32) -> Self {
-        Waiter { spin_before_yield }
+        Waiter {
+            spin_before_yield,
+            strategy: WaitStrategy::SpinYield,
+        }
+    }
+
+    /// Creates a waiter with an explicit strategy; agents build theirs from
+    /// [`AgentConfig`](crate::context::AgentConfig) this way.
+    pub fn with_strategy(spin_before_yield: u32, strategy: WaitStrategy) -> Self {
+        Waiter {
+            spin_before_yield,
+            strategy,
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> WaitStrategy {
+        self.strategy
     }
 
     /// Spins until `cond` returns `true`; returns the number of wait
-    /// iterations (0 means the condition held immediately).
+    /// iterations (0 means the condition held immediately).  Pure
+    /// spin/yield regardless of strategy — for waits with no event count to
+    /// park on.
     pub fn wait_until(&self, mut cond: impl FnMut() -> bool) -> u64 {
         let mut iterations = 0u64;
         let mut since_yield = 0u32;
@@ -49,6 +255,83 @@ impl Waiter {
             }
         }
         iterations
+    }
+
+    /// Waits until `cond` returns `true`, escalating through the
+    /// strategy's phases; wake-ups arrive through `events`.
+    ///
+    /// * [`WaitStrategy::SpinYield`]: identical to [`wait_until`] (all
+    ///   iterations are reported as spins or yields) — the `batch = 1`-style
+    ///   ablation baseline.
+    /// * [`WaitStrategy::Adaptive`]: spins `spin_before_yield` iterations,
+    ///   yields with exponential backoff (1, 2, 4, … consecutive yields up
+    ///   to [`YIELDS_BEFORE_PARK`] total), then parks on `events` until a
+    ///   notification (every ring-cursor advance, clock tick and poison
+    ///   notifies) re-checks the condition.
+    ///
+    /// [`wait_until`]: Self::wait_until
+    pub fn wait_until_event(
+        &self,
+        events: &EventCount,
+        mut cond: impl FnMut() -> bool,
+    ) -> WaitTally {
+        let mut tally = WaitTally::default();
+        if cond() {
+            return tally;
+        }
+        match self.strategy {
+            WaitStrategy::SpinYield => {
+                let mut since_yield = 0u32;
+                loop {
+                    since_yield += 1;
+                    if since_yield >= self.spin_before_yield.max(1) {
+                        std::thread::yield_now();
+                        tally.yields += 1;
+                        since_yield = 0;
+                    } else {
+                        std::hint::spin_loop();
+                        tally.spins += 1;
+                    }
+                    if cond() {
+                        return tally;
+                    }
+                }
+            }
+            WaitStrategy::Adaptive => {
+                // Phase 1: bounded spin.
+                for _ in 0..self.spin_before_yield {
+                    std::hint::spin_loop();
+                    tally.spins += 1;
+                    if cond() {
+                        return tally;
+                    }
+                }
+                // Phase 2: exponential-backoff yield (1, 2, 4, … consecutive
+                // yields per round, the final round truncated to the budget).
+                let mut burst = 1u32;
+                while tally.yields < u64::from(YIELDS_BEFORE_PARK) {
+                    let remaining = u64::from(YIELDS_BEFORE_PARK) - tally.yields;
+                    for _ in 0..u64::from(burst).min(remaining) {
+                        std::thread::yield_now();
+                        tally.yields += 1;
+                        if cond() {
+                            return tally;
+                        }
+                    }
+                    burst = burst.saturating_mul(2);
+                }
+                // Phase 3: park until notified (or the backstop timeout).
+                loop {
+                    if events.park(&mut cond) {
+                        return tally;
+                    }
+                    tally.parks += 1;
+                    if cond() {
+                        return tally;
+                    }
+                }
+            }
+        }
     }
 
     /// Spins until `cond` returns `true` or `timeout` elapses.
@@ -91,23 +374,41 @@ impl Waiter {
 /// same bucket are falsely serialized — the exact phenomenon the paper
 /// accepts for its clock wall ("the WoC agent is bound to assign some
 /// non-conflicting memory locations to the same logical clock", §4.5).
+///
+/// Acquisition is test-and-test-and-set: contended waiters poll with a
+/// relaxed load and only attempt the compare-exchange once the guard looks
+/// free, so a contended bucket's cache line stays shared instead of
+/// ping-ponging between writers.  Under the adaptive strategy a waiter that
+/// spins out parks on the table's [`EventCount`]; `release` posts it.
 #[derive(Debug)]
 pub struct GuardTable {
     guards: Vec<AtomicBool>,
     waiter: Waiter,
+    events: EventCount,
 }
 
 impl GuardTable {
-    /// Creates a table with `buckets` guards.
+    /// Creates a table with `buckets` guards and the legacy spin/yield
+    /// waiter.
     ///
     /// # Panics
     ///
     /// Panics if `buckets` is zero.
     pub fn new(buckets: usize, spin_before_yield: u32) -> Self {
+        Self::with_waiter(buckets, Waiter::new(spin_before_yield))
+    }
+
+    /// Creates a table with `buckets` guards waiting with `waiter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn with_waiter(buckets: usize, waiter: Waiter) -> Self {
         assert!(buckets > 0, "guard table needs at least one bucket");
         GuardTable {
             guards: (0..buckets).map(|_| AtomicBool::new(false)).collect(),
-            waiter: Waiter::new(spin_before_yield),
+            waiter,
+            events: EventCount::new(),
         }
     }
 
@@ -126,15 +427,28 @@ impl GuardTable {
         (fnv1a_u64(aligned) % self.guards.len() as u64) as usize
     }
 
-    /// Acquires the guard for `bucket`, spinning until it is free.
+    /// Acquires the guard for `bucket`, waiting until it is free.
     /// Returns the number of wait iterations.
     pub fn acquire(&self, bucket: usize) -> u64 {
         let guard = &self.guards[bucket];
-        self.waiter.wait_until(|| {
-            guard
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-        })
+        // Uncontended fast path: one compare-exchange.
+        if guard
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return 0;
+        }
+        self.waiter
+            .wait_until_event(&self.events, || {
+                // Test-and-test-and-set: read-only poll until the guard
+                // looks free, then try to claim it.
+                !guard.load(Ordering::Relaxed)
+                    && guard
+                        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+            })
+            .total()
+            + 1
     }
 
     /// Releases the guard for `bucket`.
@@ -146,6 +460,7 @@ impl GuardTable {
     pub fn release(&self, bucket: usize) {
         let was = self.guards[bucket].swap(false, Ordering::Release);
         debug_assert!(was, "released a guard that was not held");
+        self.events.notify();
     }
 }
 
@@ -220,6 +535,91 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_wait_escalates_to_parking_and_wakes_on_notify() {
+        let events = Arc::new(EventCount::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (e2, f2) = (Arc::clone(&events), Arc::clone(&flag));
+        let handle = std::thread::spawn(move || {
+            let w = Waiter::with_strategy(4, WaitStrategy::Adaptive);
+            w.wait_until_event(&e2, || f2.load(Ordering::SeqCst))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        flag.store(true, Ordering::SeqCst);
+        events.notify_all();
+        let tally = handle.join().unwrap();
+        assert!(tally.stalled());
+        assert!(
+            tally.parks > 0,
+            "a 30 ms wait must have escalated past spinning: {tally:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_wait_returns_immediately_on_a_true_condition() {
+        let events = EventCount::new();
+        let w = Waiter::with_strategy(8, WaitStrategy::Adaptive);
+        let tally = w.wait_until_event(&events, || true);
+        assert_eq!(tally, WaitTally::default());
+        assert!(!tally.stalled());
+    }
+
+    #[test]
+    fn spin_yield_strategy_never_parks() {
+        let events = EventCount::new();
+        let w = Waiter::with_strategy(2, WaitStrategy::SpinYield);
+        let mut calls = 0;
+        let tally = w.wait_until_event(&events, || {
+            calls += 1;
+            calls > 50
+        });
+        assert_eq!(tally.parks, 0);
+        assert!(tally.spins + tally.yields >= 49);
+    }
+
+    #[test]
+    fn notify_without_waiters_is_cheap_and_safe() {
+        let events = EventCount::new();
+        assert!(!events.has_waiters());
+        events.notify();
+        events.notify_all();
+    }
+
+    #[test]
+    fn park_timeout_backstops_a_lost_wakeup() {
+        // No notifier at all: the flag flips silently.  The park timeout
+        // must still observe it promptly.
+        let events = Arc::new(EventCount::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (e2, f2) = (Arc::clone(&events), Arc::clone(&flag));
+        let handle = std::thread::spawn(move || {
+            let w = Waiter::with_strategy(1, WaitStrategy::Adaptive);
+            w.wait_until_event(&e2, || f2.load(Ordering::SeqCst))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::SeqCst);
+        let tally = handle.join().unwrap();
+        assert!(tally.parks > 0);
+    }
+
+    #[test]
+    fn wait_tally_totals() {
+        let t = WaitTally {
+            spins: 3,
+            yields: 2,
+            parks: 1,
+        };
+        assert_eq!(t.total(), 6);
+        assert!(t.stalled());
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(WaitStrategy::SpinYield.name(), "spin-yield");
+        assert_eq!(WaitStrategy::Adaptive.name(), "adaptive");
+        assert_eq!(WaitStrategy::default(), WaitStrategy::Adaptive);
+    }
+
+    #[test]
     fn bucket_for_aligns_to_eight_bytes() {
         let t = GuardTable::new(64, 8);
         // Two "adjacent 32-bit sync variables" in the same 64-bit word must
@@ -255,6 +655,33 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn adaptive_guard_acquire_is_exclusive_under_contention() {
+        let t = Arc::new(GuardTable::with_waiter(
+            4,
+            Waiter::with_strategy(4, WaitStrategy::Adaptive),
+        ));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = Arc::clone(&t);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let b = t.bucket_for(0x2000);
+                    t.acquire(b);
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    t.release(b);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
     }
 
     #[test]

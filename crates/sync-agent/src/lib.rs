@@ -124,6 +124,17 @@ pub trait SyncAgent: Send + Sync {
     /// Returns a snapshot of the agent's counters.
     fn stats(&self) -> stats::AgentStats;
 
+    /// Returns one stripe of the agent's lane-striped counters (the
+    /// per-thread-group view, mirroring the monitor's `lane_stats`), so the
+    /// stall taxonomy — spins vs yields vs parks — can be attributed to a
+    /// thread group instead of only globally.  Ring-level counters
+    /// (`cursor_rescans`) are not striped and appear only in the aggregate
+    /// [`stats`](Self::stats).  The default implementation returns the
+    /// aggregate snapshot (the null agent has a single conceptual lane).
+    fn lane_stats(&self, _lane: usize) -> stats::AgentStats {
+        self.stats()
+    }
+
     /// Marks the agent as poisoned and releases every blocked wait.
     ///
     /// The monitor calls this when divergence has been detected: record and

@@ -6,21 +6,41 @@
 //! by all master threads; the wall-of-clocks agent uses one buffer per master
 //! thread so that each buffer has a single producer (§4.5).
 //!
-//! [`RecordRing`] covers both shapes: it is a bounded, multi-producer ring
-//! with one *read cursor per slave variant*.  A slot may only be reused once
-//! every slave's cursor has moved past it, which is how the master is slowed
-//! down (back-pressure) when a slave lags more than one buffer behind.
+//! [`RecordRing`] covers both shapes: it is a bounded ring with one *read
+//! cursor per slave variant*.  A slot may only be reused once every slave's
+//! cursor has moved past it, which is how the master is slowed down
+//! (back-pressure) when a slave lags more than one buffer behind.
+//!
+//! # Hot-path layout
+//!
+//! Three contention sources are engineered out of the push path:
+//!
+//! * **Cached minimum reader cursor** — the full-check used to cost an
+//!   O(readers) `Acquire` scan of every slave cursor on *every* push.  The
+//!   producer side now keeps a cached lower bound of the slowest reader
+//!   (LMAX-style gating sequence) and only rescans when the cached value
+//!   would block the push; [`rescans`](RecordRing::rescans) counts how often
+//!   that happens.
+//! * **SPSC fast path** — [`new_spsc`](RecordRing::new_spsc) marks a ring
+//!   single-producer (the wall-of-clocks one-ring-per-master-thread shape),
+//!   and its push is a plain load + plain store: no compare-exchange at all.
+//! * **False-sharing control** — slots are cache-line-aligned
+//!   (`#[repr(align(64))]`), and the write cursor, the cached minimum and
+//!   every reader cursor live on their own cache line, so a producer
+//!   publishing and a slave consuming never dirty each other's lines.
 //!
 //! The implementation uses only safe atomics; each slot carries a sequence
 //! number that is published with `Release` ordering after the record fields
 //! are written, and readers check it with `Acquire` before trusting the
 //! fields (the usual Lamport/Vyukov bounded-queue publication scheme).
+//! Every cursor advance posts the ring's [`EventCount`] so adaptively
+//! parked waiters (see [`Waiter`]) are woken promptly.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
-use crate::guards::Waiter;
+use crate::guards::{EventCount, Waiter};
 
 /// One recorded synchronization operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,8 +83,11 @@ impl SyncRecord {
 }
 
 /// A slot of the ring.  `seq == position + 1` marks the record as published
-/// for the generation that starts at `position`.
+/// for the generation that starts at `position`.  One cache line per slot:
+/// a slave polling slot `n`'s sequence must not stall the producer writing
+/// slot `n + 1`.
 #[derive(Debug)]
+#[repr(align(64))]
 struct Slot {
     seq: AtomicU64,
     thread: AtomicU64,
@@ -85,6 +108,12 @@ impl Slot {
     }
 }
 
+/// A cursor on its own cache line, so the producer's write cursor, the
+/// cached minimum and each slave's read cursor never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedCursor(AtomicU64);
+
 /// Outcome of a non-blocking push attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushOutcome {
@@ -95,23 +124,52 @@ pub enum PushOutcome {
     Full,
 }
 
-/// A bounded multi-producer ring with one read cursor per slave variant.
+/// A bounded ring with one read cursor per slave variant.
 #[derive(Debug)]
 pub struct RecordRing {
     slots: Vec<Slot>,
     capacity: u64,
-    write_cursor: AtomicU64,
-    reader_cursors: Vec<AtomicU64>,
+    /// Single-producer mode: push is plain load + store, no CAS.
+    spsc: bool,
+    write_cursor: PaddedCursor,
+    /// Producer-side lower bound on the slowest reader's position.  Only
+    /// refreshed (by rescanning every reader cursor) when the cached value
+    /// would make the push block — the LMAX "gating sequence" trick that
+    /// turns the per-push O(readers) scan into amortized O(1).
+    cached_min_reader: PaddedCursor,
+    /// How often the cache had to be refreshed from the real cursors.
+    rescans: PaddedCursor,
+    reader_cursors: Vec<PaddedCursor>,
+    /// Parking target for every thread waiting on this ring (producers on
+    /// space, consumers on publication or cursor movement); posted on every
+    /// cursor advance.
+    events: EventCount,
 }
 
 impl RecordRing {
-    /// Creates a ring with `capacity` slots (must be a power of two) and
-    /// `readers` independent read cursors.
+    /// Creates a multi-producer ring with `capacity` slots (must be a power
+    /// of two) and `readers` independent read cursors.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is not a power of two or `readers` is zero.
     pub fn new(capacity: usize, readers: usize) -> Self {
+        Self::build(capacity, readers, false)
+    }
+
+    /// Creates a *single-producer* ring: [`try_push`](Self::try_push) is a
+    /// plain load + store with no compare-exchange.  The caller guarantees
+    /// at most one thread ever pushes (the wall-of-clocks agent's
+    /// one-ring-per-master-thread shape, §4.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two or `readers` is zero.
+    pub fn new_spsc(capacity: usize, readers: usize) -> Self {
+        Self::build(capacity, readers, true)
+    }
+
+    fn build(capacity: usize, readers: usize, spsc: bool) -> Self {
         assert!(
             capacity.is_power_of_two(),
             "capacity must be a power of two"
@@ -120,8 +178,12 @@ impl RecordRing {
         RecordRing {
             slots: (0..capacity).map(|_| Slot::new()).collect(),
             capacity: capacity as u64,
-            write_cursor: AtomicU64::new(0),
-            reader_cursors: (0..readers).map(|_| AtomicU64::new(0)).collect(),
+            spsc,
+            write_cursor: PaddedCursor::default(),
+            cached_min_reader: PaddedCursor::default(),
+            rescans: PaddedCursor::default(),
+            reader_cursors: (0..readers).map(|_| PaddedCursor::default()).collect(),
+            events: EventCount::new(),
         }
     }
 
@@ -135,21 +197,39 @@ impl RecordRing {
         self.reader_cursors.len()
     }
 
+    /// Whether this ring runs the single-producer fast path.
+    pub fn is_spsc(&self) -> bool {
+        self.spsc
+    }
+
+    /// The ring's parking target: posted on every cursor advance, and by
+    /// the agents on poison so parked waiters re-check their bail-out
+    /// condition.
+    pub fn events(&self) -> &EventCount {
+        &self.events
+    }
+
+    /// How often a push had to refresh the cached minimum reader cursor by
+    /// rescanning every reader (the producer-side stall taxonomy).
+    pub fn rescans(&self) -> u64 {
+        self.rescans.0.load(Ordering::Relaxed)
+    }
+
     /// Position the next pushed record will receive.
     pub fn write_pos(&self) -> u64 {
-        self.write_cursor.load(Ordering::Acquire)
+        self.write_cursor.0.load(Ordering::Acquire)
     }
 
     /// Current position of reader `reader`.
     pub fn reader_pos(&self, reader: usize) -> u64 {
-        self.reader_cursors[reader].load(Ordering::Acquire)
+        self.reader_cursors[reader].0.load(Ordering::Acquire)
     }
 
     /// The slowest reader's position; slots below it may be reused.
     pub fn min_reader_pos(&self) -> u64 {
         self.reader_cursors
             .iter()
-            .map(|c| c.load(Ordering::Acquire))
+            .map(|c| c.0.load(Ordering::Acquire))
             .min()
             .unwrap_or(0)
     }
@@ -159,42 +239,78 @@ impl RecordRing {
         self.write_pos() - self.min_reader_pos() < self.capacity
     }
 
+    /// Whether the slot at `pos` is free, consulting the cached minimum
+    /// reader first and rescanning the real cursors only when the cache
+    /// would block.  The cache is a lower bound (reader cursors only ever
+    /// advance), so a "free" verdict from the cache is always safe.
+    #[inline]
+    fn free_for(&self, pos: u64) -> bool {
+        if pos.wrapping_sub(self.cached_min_reader.0.load(Ordering::Relaxed)) < self.capacity {
+            return true;
+        }
+        let min = self.min_reader_pos();
+        self.rescans.0.fetch_add(1, Ordering::Relaxed);
+        // `fetch_max` keeps the cache monotone when racing producers
+        // publish rescan results out of order.
+        self.cached_min_reader.0.fetch_max(min, Ordering::Relaxed);
+        pos.wrapping_sub(min) < self.capacity
+    }
+
     /// Attempts to append `record` without blocking.
     pub fn try_push(&self, record: SyncRecord) -> PushOutcome {
+        if self.spsc {
+            // Single producer: nobody else moves the write cursor, so a
+            // relaxed load and a release store replace the CAS loop.
+            let pos = self.write_cursor.0.load(Ordering::Relaxed);
+            if !self.free_for(pos) {
+                return PushOutcome::Full;
+            }
+            self.publish(pos, record);
+            self.write_cursor.0.store(pos + 1, Ordering::Release);
+            self.events.notify();
+            return PushOutcome::Stored(pos);
+        }
         loop {
-            let pos = self.write_cursor.load(Ordering::Acquire);
-            if pos - self.min_reader_pos() >= self.capacity {
+            let pos = self.write_cursor.0.load(Ordering::Acquire);
+            if !self.free_for(pos) {
                 return PushOutcome::Full;
             }
             if self
                 .write_cursor
+                .0
                 .compare_exchange_weak(pos, pos + 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                let slot = &self.slots[(pos % self.capacity) as usize];
-                slot.thread
-                    .store(u64::from(record.thread), Ordering::Relaxed);
-                slot.addr.store(record.addr, Ordering::Relaxed);
-                slot.clock.store(u64::from(record.clock), Ordering::Relaxed);
-                slot.time.store(record.time, Ordering::Relaxed);
-                slot.seq.store(pos + 1, Ordering::Release);
+                self.publish(pos, record);
+                self.events.notify();
                 return PushOutcome::Stored(pos);
             }
         }
     }
 
-    /// Appends `record`, spinning (with the supplied waiter) while the ring
-    /// is full.  Returns the position and the number of wait iterations.
+    #[inline]
+    fn publish(&self, pos: u64, record: SyncRecord) {
+        let slot = &self.slots[(pos % self.capacity) as usize];
+        slot.thread
+            .store(u64::from(record.thread), Ordering::Relaxed);
+        slot.addr.store(record.addr, Ordering::Relaxed);
+        slot.clock.store(u64::from(record.clock), Ordering::Relaxed);
+        slot.time.store(record.time, Ordering::Relaxed);
+        slot.seq.store(pos + 1, Ordering::Release);
+    }
+
+    /// Appends `record`, waiting (with the supplied waiter, parked on the
+    /// ring's event count) while the ring is full.  Returns the position and
+    /// the number of wait iterations.
     pub fn push_blocking(&self, record: SyncRecord, waiter: &Waiter) -> (u64, u64) {
         let mut stalls = 0u64;
         loop {
             match self.try_push(record) {
                 PushOutcome::Stored(pos) => return (pos, stalls),
                 PushOutcome::Full => {
-                    stalls += waiter.wait_until(|| {
-                        self.write_cursor.load(Ordering::Acquire) - self.min_reader_pos()
-                            < self.capacity
-                    });
+                    stalls += waiter
+                        .wait_until_event(&self.events, || self.has_space())
+                        .total();
                     // Retry the push; another producer may have raced us.
                     stalls += 1;
                 }
@@ -224,13 +340,17 @@ impl RecordRing {
             if let Some(r) = self.get(pos) {
                 return (r, waited);
             }
-            waited += waiter.wait_until(|| self.get(pos).is_some()) + 1;
+            waited += waiter
+                .wait_until_event(&self.events, || self.get(pos).is_some())
+                .total()
+                + 1;
         }
     }
 
     /// Advances reader `reader` by one position.
     pub fn advance_reader(&self, reader: usize) {
-        self.reader_cursors[reader].fetch_add(1, Ordering::AcqRel);
+        self.reader_cursors[reader].0.fetch_add(1, Ordering::AcqRel);
+        self.events.notify();
     }
 
     /// Atomically advances reader `reader` from `from` to `from + 1`.
@@ -239,15 +359,35 @@ impl RecordRing {
     /// partial-order agent uses this when several slave threads race to move
     /// the completion frontier forward.
     pub fn try_advance_reader(&self, reader: usize, from: u64) -> bool {
-        self.reader_cursors[reader]
+        let advanced = self.reader_cursors[reader]
+            .0
             .compare_exchange(from, from + 1, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+            .is_ok();
+        if advanced {
+            self.events.notify();
+        }
+        advanced
     }
 
-    /// Sets reader `reader` to an absolute position (used by the
-    /// partial-order agent when its completion frontier jumps forward).
+    /// Sets reader `reader` to an absolute position (a completion frontier
+    /// jumping forward).
+    ///
+    /// The position must not be behind the cursor's current value: the
+    /// producer-side cached minimum is a monotone lower bound refreshed
+    /// with `fetch_max`, so a cursor moving *backward* would let the
+    /// producer overwrite records the retreated reader has not consumed.
+    /// The store is a `fetch_max`, making a backward set a no-op (asserted
+    /// in debug builds).
     pub fn set_reader_pos(&self, reader: usize, pos: u64) {
-        self.reader_cursors[reader].store(pos, Ordering::Release);
+        let prev = self.reader_cursors[reader]
+            .0
+            .fetch_max(pos, Ordering::AcqRel);
+        debug_assert!(
+            prev <= pos,
+            "reader cursor moved backward ({prev} -> {pos}); the cached \
+             minimum reader cursor would over-report free slots"
+        );
+        self.events.notify();
     }
 
     /// Number of records published but not yet consumed by reader `reader`.
@@ -265,101 +405,157 @@ mod tests {
         Waiter::new(16)
     }
 
+    /// Every test body runs against both ring flavours where the scenario
+    /// is single-producer-safe.
+    fn both_rings(capacity: usize, readers: usize) -> [RecordRing; 2] {
+        [
+            RecordRing::new(capacity, readers),
+            RecordRing::new_spsc(capacity, readers),
+        ]
+    }
+
     #[test]
     fn push_and_get_roundtrip() {
-        let ring = RecordRing::new(8, 1);
-        let rec = SyncRecord::with_clock(3, 0xdead, 7, 99);
-        assert_eq!(ring.try_push(rec), PushOutcome::Stored(0));
-        assert_eq!(ring.get(0), Some(rec));
-        assert_eq!(ring.get(1), None);
+        for ring in both_rings(8, 1) {
+            let rec = SyncRecord::with_clock(3, 0xdead, 7, 99);
+            assert_eq!(ring.try_push(rec), PushOutcome::Stored(0));
+            assert_eq!(ring.get(0), Some(rec));
+            assert_eq!(ring.get(1), None);
+        }
     }
 
     #[test]
     fn records_are_fifo_per_position() {
-        let ring = RecordRing::new(8, 1);
-        for i in 0..8u64 {
-            ring.try_push(SyncRecord::simple(i as u32, i * 16));
-        }
-        for i in 0..8u64 {
-            assert_eq!(ring.get(i).unwrap().thread, i as u32);
+        for ring in both_rings(8, 1) {
+            for i in 0..8u64 {
+                ring.try_push(SyncRecord::simple(i as u32, i * 16));
+            }
+            for i in 0..8u64 {
+                assert_eq!(ring.get(i).unwrap().thread, i as u32);
+            }
         }
     }
 
     #[test]
     fn ring_reports_full_until_readers_advance() {
-        let ring = RecordRing::new(4, 2);
-        for i in 0..4 {
+        for ring in both_rings(4, 2) {
+            for i in 0..4 {
+                assert!(matches!(
+                    ring.try_push(SyncRecord::simple(0, i)),
+                    PushOutcome::Stored(_)
+                ));
+            }
+            assert_eq!(ring.try_push(SyncRecord::simple(0, 99)), PushOutcome::Full);
+            // One reader advancing is not enough; the slowest reader gates reuse.
+            ring.advance_reader(0);
+            assert_eq!(ring.try_push(SyncRecord::simple(0, 99)), PushOutcome::Full);
+            ring.advance_reader(1);
+            assert!(matches!(
+                ring.try_push(SyncRecord::simple(0, 99)),
+                PushOutcome::Stored(4)
+            ));
+        }
+    }
+
+    #[test]
+    fn wraparound_overwrites_consumed_slots_only() {
+        for ring in both_rings(4, 1) {
+            for i in 0..4 {
+                ring.try_push(SyncRecord::simple(1, i));
+            }
+            for _ in 0..4 {
+                ring.advance_reader(0);
+            }
+            for i in 4..8 {
+                assert!(matches!(
+                    ring.try_push(SyncRecord::simple(2, i)),
+                    PushOutcome::Stored(_)
+                ));
+            }
+            // Old positions are no longer published under their old sequence.
+            assert_eq!(ring.get(0), None);
+            assert_eq!(ring.get(5).unwrap().thread, 2);
+        }
+    }
+
+    #[test]
+    fn backlog_tracks_unconsumed_records() {
+        for ring in both_rings(8, 1) {
+            ring.try_push(SyncRecord::simple(0, 1));
+            ring.try_push(SyncRecord::simple(0, 2));
+            assert_eq!(ring.backlog(0), 2);
+            ring.advance_reader(0);
+            assert_eq!(ring.backlog(0), 1);
+        }
+    }
+
+    #[test]
+    fn cached_min_cursor_avoids_rescans_until_the_ring_looks_full() {
+        let ring = RecordRing::new_spsc(8, 2);
+        for i in 0..8 {
+            ring.try_push(SyncRecord::simple(0, i));
+        }
+        // Eight unblocked pushes: the cache (0) never had to be refreshed.
+        assert_eq!(ring.rescans(), 0);
+        // A blocked push rescans once (and stays blocked).
+        assert_eq!(ring.try_push(SyncRecord::simple(0, 8)), PushOutcome::Full);
+        assert_eq!(ring.rescans(), 1);
+        // Readers advance; the next push rescans once more, refreshes the
+        // cache and succeeds...
+        for _ in 0..4 {
+            ring.advance_reader(0);
+            ring.advance_reader(1);
+        }
+        assert!(matches!(
+            ring.try_push(SyncRecord::simple(0, 8)),
+            PushOutcome::Stored(8)
+        ));
+        assert_eq!(ring.rescans(), 2);
+        // ...and the refreshed cache covers the following pushes scan-free.
+        for i in 9..12 {
             assert!(matches!(
                 ring.try_push(SyncRecord::simple(0, i)),
                 PushOutcome::Stored(_)
             ));
         }
-        assert_eq!(ring.try_push(SyncRecord::simple(0, 99)), PushOutcome::Full);
-        // One reader advancing is not enough; the slowest reader gates reuse.
-        ring.advance_reader(0);
-        assert_eq!(ring.try_push(SyncRecord::simple(0, 99)), PushOutcome::Full);
-        ring.advance_reader(1);
-        assert!(matches!(
-            ring.try_push(SyncRecord::simple(0, 99)),
-            PushOutcome::Stored(4)
-        ));
+        assert_eq!(ring.rescans(), 2);
     }
 
     #[test]
-    fn wraparound_overwrites_consumed_slots_only() {
-        let ring = RecordRing::new(4, 1);
-        for i in 0..4 {
-            ring.try_push(SyncRecord::simple(1, i));
-        }
-        for _ in 0..4 {
-            ring.advance_reader(0);
-        }
-        for i in 4..8 {
-            assert!(matches!(
-                ring.try_push(SyncRecord::simple(2, i)),
-                PushOutcome::Stored(_)
-            ));
-        }
-        // Old positions are no longer published under their old sequence.
-        assert_eq!(ring.get(0), None);
-        assert_eq!(ring.get(5).unwrap().thread, 2);
-    }
-
-    #[test]
-    fn backlog_tracks_unconsumed_records() {
-        let ring = RecordRing::new(8, 1);
-        ring.try_push(SyncRecord::simple(0, 1));
-        ring.try_push(SyncRecord::simple(0, 2));
-        assert_eq!(ring.backlog(0), 2);
-        ring.advance_reader(0);
-        assert_eq!(ring.backlog(0), 1);
+    fn spsc_flag_is_reported() {
+        assert!(!RecordRing::new(4, 1).is_spsc());
+        assert!(RecordRing::new_spsc(4, 1).is_spsc());
     }
 
     #[test]
     fn get_blocking_waits_for_publication() {
-        let ring = Arc::new(RecordRing::new(8, 1));
-        let r2 = Arc::clone(&ring);
-        let handle = std::thread::spawn(move || r2.get_blocking(0, &waiter()).0);
-        std::thread::sleep(std::time::Duration::from_millis(10));
-        ring.try_push(SyncRecord::simple(5, 0x42));
-        let rec = handle.join().unwrap();
-        assert_eq!(rec.thread, 5);
-        assert_eq!(rec.addr, 0x42);
+        for (i, ring) in both_rings(8, 1).into_iter().enumerate() {
+            let ring = Arc::new(ring);
+            let r2 = Arc::clone(&ring);
+            let handle = std::thread::spawn(move || r2.get_blocking(0, &waiter()).0);
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            ring.try_push(SyncRecord::simple(5, 0x42 + i as u64));
+            let rec = handle.join().unwrap();
+            assert_eq!(rec.thread, 5);
+            assert_eq!(rec.addr, 0x42 + i as u64);
+        }
     }
 
     #[test]
     fn push_blocking_waits_for_reader() {
-        let ring = Arc::new(RecordRing::new(2, 1));
-        ring.try_push(SyncRecord::simple(0, 0));
-        ring.try_push(SyncRecord::simple(0, 1));
-        let r2 = Arc::clone(&ring);
-        let handle = std::thread::spawn(move || {
-            let (pos, _stalls) = r2.push_blocking(SyncRecord::simple(0, 2), &waiter());
-            pos
-        });
-        std::thread::sleep(std::time::Duration::from_millis(10));
-        ring.advance_reader(0);
-        assert_eq!(handle.join().unwrap(), 2);
+        for ring in both_rings(2, 1) {
+            let ring = Arc::new(ring);
+            ring.try_push(SyncRecord::simple(0, 0));
+            ring.try_push(SyncRecord::simple(0, 1));
+            let r2 = Arc::clone(&ring);
+            let handle = std::thread::spawn(move || {
+                let (pos, _stalls) = r2.push_blocking(SyncRecord::simple(0, 2), &waiter());
+                pos
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            ring.advance_reader(0);
+            assert_eq!(handle.join().unwrap(), 2);
+        }
     }
 
     #[test]
@@ -392,6 +588,36 @@ mod tests {
     }
 
     #[test]
+    fn spsc_producer_with_lagging_consumer_round_trips() {
+        // One producer, one consumer, a tiny ring: the producer is forced
+        // through the full/rescan path repeatedly while the consumer drains.
+        let ring = Arc::new(RecordRing::new_spsc(4, 1));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    ring.push_blocking(SyncRecord::simple(0, i), &waiter());
+                }
+            })
+        };
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                for pos in 0..500u64 {
+                    let (rec, _) = ring.get_blocking(pos, &waiter());
+                    sum += rec.addr;
+                    ring.advance_reader(0);
+                }
+                sum
+            })
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), (0..500).sum::<u64>());
+        assert!(ring.rescans() > 0, "a 4-slot ring must have rescanned");
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_capacity_panics() {
         let _ = RecordRing::new(3, 1);
@@ -400,6 +626,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one reader")]
     fn zero_readers_panics() {
-        let _ = RecordRing::new(4, 0);
+        let _ = RecordRing::new_spsc(4, 0);
     }
 }

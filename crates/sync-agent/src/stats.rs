@@ -15,6 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
+use crate::guards::WaitTally;
+
 /// Default number of counter lanes; matches the monitor's default shard
 /// count scaled up so a 16-variant × many-thread run still spreads its
 /// updates.
@@ -33,6 +35,21 @@ pub struct AgentStats {
     pub master_stalls: u64,
     /// Total spin-wait iterations executed by slaves while stalled.
     pub slave_spin_iterations: u64,
+    /// `yield_now` calls executed by slaves while stalled (the adaptive
+    /// waiter's second phase; the legacy strategy also reports its yields
+    /// here).
+    pub slave_yields: u64,
+    /// Parking episodes (condvar blocks) of stalled slaves — the adaptive
+    /// waiter's third phase.  Zero under [`WaitStrategy::SpinYield`].
+    ///
+    /// [`WaitStrategy::SpinYield`]: crate::guards::WaitStrategy::SpinYield
+    pub slave_parks: u64,
+    /// Parking episodes of master threads stalled on a full sync buffer.
+    pub master_parks: u64,
+    /// Times a producer had to refresh its cached minimum-reader cursor by
+    /// rescanning every slave cursor (see
+    /// [`RecordRing::rescans`](crate::ring::RecordRing::rescans)).
+    pub cursor_rescans: u64,
     /// Times two distinct sync-variable addresses hashed onto the same
     /// logical clock (wall-of-clocks only): false serialization.
     pub clock_collisions: u64,
@@ -58,12 +75,23 @@ impl AgentStats {
         }
     }
 
+    /// Total wait iterations of any kind (spin + yield + park) executed by
+    /// slaves — the denominator-free "where did the stall time go" figure
+    /// the taxonomy splits.
+    pub fn slave_wait_iterations(&self) -> u64 {
+        self.slave_spin_iterations + self.slave_yields + self.slave_parks
+    }
+
     fn add(&mut self, other: &AgentStats) {
         self.ops_recorded += other.ops_recorded;
         self.ops_replayed += other.ops_replayed;
         self.slave_stalls += other.slave_stalls;
         self.master_stalls += other.master_stalls;
         self.slave_spin_iterations += other.slave_spin_iterations;
+        self.slave_yields += other.slave_yields;
+        self.slave_parks += other.slave_parks;
+        self.master_parks += other.master_parks;
+        self.cursor_rescans += other.cursor_rescans;
         self.clock_collisions += other.clock_collisions;
     }
 }
@@ -78,6 +106,9 @@ struct Lane {
     slave_stalls: AtomicU64,
     master_stalls: AtomicU64,
     slave_spin_iterations: AtomicU64,
+    slave_yields: AtomicU64,
+    slave_parks: AtomicU64,
+    master_parks: AtomicU64,
     clock_collisions: AtomicU64,
 }
 
@@ -89,6 +120,12 @@ impl Lane {
             slave_stalls: self.slave_stalls.load(Ordering::Relaxed),
             master_stalls: self.master_stalls.load(Ordering::Relaxed),
             slave_spin_iterations: self.slave_spin_iterations.load(Ordering::Relaxed),
+            slave_yields: self.slave_yields.load(Ordering::Relaxed),
+            slave_parks: self.slave_parks.load(Ordering::Relaxed),
+            master_parks: self.master_parks.load(Ordering::Relaxed),
+            // Rescans live in the rings, not the lanes; the owning agent
+            // adds them into its own snapshot.
+            cursor_rescans: 0,
             clock_collisions: self.clock_collisions.load(Ordering::Relaxed),
         }
     }
@@ -165,6 +202,35 @@ impl SharedStats {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Folds a slave-side [`WaitTally`] into the stall taxonomy and, when
+    /// the wait did not succeed immediately, counts one slave stall.
+    pub fn count_slave_wait(&self, lane: usize, tally: WaitTally) {
+        if !tally.stalled() {
+            return;
+        }
+        let lane = self.lane(lane);
+        lane.slave_stalls.fetch_add(1, Ordering::Relaxed);
+        if tally.spins > 0 {
+            lane.slave_spin_iterations
+                .fetch_add(tally.spins, Ordering::Relaxed);
+        }
+        if tally.yields > 0 {
+            lane.slave_yields.fetch_add(tally.yields, Ordering::Relaxed);
+        }
+        if tally.parks > 0 {
+            lane.slave_parks.fetch_add(tally.parks, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one master stall (buffer full) with its parking episodes.
+    pub fn count_master_wait(&self, lane: usize, tally: WaitTally) {
+        let lane = self.lane(lane);
+        lane.master_stalls.fetch_add(1, Ordering::Relaxed);
+        if tally.parks > 0 {
+            lane.master_parks.fetch_add(tally.parks, Ordering::Relaxed);
+        }
+    }
+
     /// Counts one hash collision between distinct addresses on one clock.
     pub fn count_clock_collision(&self, lane: usize) {
         self.lane(lane)
@@ -222,6 +288,37 @@ mod tests {
         assert_eq!(s.lane_snapshot(1).ops_recorded, 2);
         assert_eq!(s.lane_snapshot(2).ops_recorded, 0);
         assert_eq!(s.snapshot().ops_recorded, 3);
+    }
+
+    #[test]
+    fn wait_tallies_feed_the_stall_taxonomy() {
+        let s = SharedStats::with_lanes(2);
+        s.count_slave_wait(
+            0,
+            WaitTally {
+                spins: 10,
+                yields: 3,
+                parks: 2,
+            },
+        );
+        // An immediate wait counts nothing, not even a stall.
+        s.count_slave_wait(0, WaitTally::default());
+        s.count_master_wait(
+            1,
+            WaitTally {
+                spins: 5,
+                yields: 0,
+                parks: 4,
+            },
+        );
+        let snap = s.snapshot();
+        assert_eq!(snap.slave_stalls, 1);
+        assert_eq!(snap.slave_spin_iterations, 10);
+        assert_eq!(snap.slave_yields, 3);
+        assert_eq!(snap.slave_parks, 2);
+        assert_eq!(snap.master_stalls, 1);
+        assert_eq!(snap.master_parks, 4);
+        assert_eq!(snap.slave_wait_iterations(), 15);
     }
 
     #[test]

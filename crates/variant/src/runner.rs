@@ -110,6 +110,14 @@ impl RunConfig {
         self.mvee.placement = placement;
         self
     }
+
+    /// Sets how blocked agent threads wait (builder style):
+    /// `WaitStrategy::SpinYield` restores the legacy fixed spin/yield loop,
+    /// the ablation baseline of the adaptive default.
+    pub fn with_wait_strategy(mut self, wait: mvee_sync_agent::guards::WaitStrategy) -> Self {
+        self.mvee = self.mvee.with_wait_strategy(wait);
+        self
+    }
 }
 
 /// Runs `program` natively (one instance, no monitor, no replication) and

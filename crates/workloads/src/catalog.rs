@@ -60,6 +60,12 @@ pub enum Topology {
     /// `MVEE_BENCH_BATCH` sweep moves on the paper-shaped tables instead of
     /// only on `ablation_batching`.
     AllocatorChurn,
+    /// Lock-heavy contention: every thread hammers a *small shared* set of
+    /// locks with almost no compute between acquisitions, so nearly all
+    /// run time is spent inside the agents' record/replay waits.  Not a
+    /// paper topology; added so the `ablation_agent` wait-strategy sweep
+    /// measures the agent hot path instead of the workload around it.
+    LockHeavy,
 }
 
 /// One benchmark of Table 2.
@@ -312,6 +318,25 @@ pub const CHURN_CATALOG: &[BenchmarkSpec] = &[
     },
 ];
 
+/// Contention-heavy workloads beyond the paper's Table 2.
+///
+/// `lockheavy` spends essentially all of its time in sync ops on a handful
+/// of *shared* locks: every acquisition is a record (master) or an ordered
+/// replay wait (slave), which makes it the workload where the agents' wait
+/// discipline — spin/yield vs the adaptive spin → yield → park escalation —
+/// dominates end-to-end time.  The `ablation_agent` benchmark sweeps it
+/// across wait strategies, agent kinds and thread counts; like the churn
+/// catalog it stays out of [`CATALOG`] so the paper-shaped aggregates
+/// remain comparable.
+pub const CONTENTION_CATALOG: &[BenchmarkSpec] = &[BenchmarkSpec {
+    name: "lockheavy",
+    suite: Suite::Synthetic,
+    native_runtime_s: 15.0,
+    syscalls_per_s: 1_200.0,
+    sync_ops_per_s: 6_000_000.0,
+    topology: Topology::LockHeavy,
+}];
+
 /// The full benchmark sweep the `table1`/`figure5` binaries run: the
 /// paper's Table 2 catalog plus the allocator-churn additions.
 pub fn sweep_catalog() -> impl Iterator<Item = &'static BenchmarkSpec> {
@@ -328,10 +353,12 @@ pub const PAPER_WORKER_THREADS: usize = 4;
 pub const COMPUTE_UNITS_PER_SECOND: f64 = 4.0e8;
 
 impl BenchmarkSpec {
-    /// Looks a benchmark up by name, in the paper catalog and the
-    /// allocator-churn additions.
+    /// Looks a benchmark up by name, in the paper catalog, the
+    /// allocator-churn additions and the contention additions.
     pub fn by_name(name: &str) -> Option<&'static BenchmarkSpec> {
-        sweep_catalog().find(|b| b.name == name)
+        sweep_catalog()
+            .chain(CONTENTION_CATALOG.iter())
+            .find(|b| b.name == name)
     }
 
     /// Total system calls over the (unscaled) native run.
@@ -378,6 +405,13 @@ impl BenchmarkSpec {
                 total_syscalls,
             ),
             Topology::AllocatorChurn => allocator_churn_program(
+                self.name,
+                threads,
+                total_compute,
+                total_sync_ops,
+                total_syscalls,
+            ),
+            Topology::LockHeavy => lock_heavy_program(
                 self.name,
                 threads,
                 total_compute,
@@ -677,6 +711,72 @@ fn allocator_churn_program(
     p
 }
 
+/// Lock-heavy topology: every thread loops over a tiny set of *shared*
+/// locks (far fewer locks than threads) with a single atomic add and almost
+/// no compute inside each critical section.  Thread `t` starts on lock
+/// `t % locks` and walks the set round-robin, so every lock is contended by
+/// every thread and the recorded order genuinely interleaves threads.
+/// A few `gettimeofday` calls give the monitor a heartbeat without turning
+/// the run I/O-bound, and a final barrier + write gives it a verifiable
+/// tail.
+fn lock_heavy_program(
+    name: &str,
+    threads: usize,
+    compute: u64,
+    sync_ops: u64,
+    syscalls: u64,
+) -> Program {
+    let threads = threads.max(2);
+    // Deliberately fewer locks than threads: contention is the point.
+    let locks = ((threads / 2).max(2)) as u32;
+    let mut p = Program::new(name).with_resources(locks, 1, 0, threads as u32);
+    // Each iteration is lock + add + unlock = 3 sync ops.
+    let iterations = (sync_ops / threads as u64 / 3).clamp(8, 120_000);
+    // The spec's syscall rate is a trickle next to its sync-op rate; a
+    // small fixed heartbeat before the barrier keeps the run sync-op
+    // dominated at every scale.
+    let heartbeats = (syscalls / threads as u64).clamp(1, 4);
+    let walk_len = u64::from(locks).min(4);
+    // One Compute action per `walk_len`-iteration Repeat body, so the
+    // per-body amount is scaled by the body count, not the iteration count.
+    let bodies = (iterations / walk_len).max(1);
+    let compute_per_iter = (compute / threads as u64 / bodies).max(1);
+
+    for t in 0..threads {
+        let mut body = vec![Action::Compute(compute_per_iter)];
+        // Walk the shared lock set round-robin, offset per thread so
+        // acquisitions interleave instead of convoying behind lock 0.
+        for step in 0..walk_len {
+            let lock = (t as u64 + step) % u64::from(locks);
+            body.push(Action::LockAcquire(lock as u32));
+            body.push(Action::AtomicAdd {
+                counter: t as u32,
+                amount: 1,
+            });
+            body.push(Action::LockRelease(lock as u32));
+        }
+        p.add_thread(ThreadSpec::new(vec![
+            Action::Repeat {
+                times: bodies,
+                body,
+            },
+            Action::Repeat {
+                times: heartbeats,
+                body: vec![Action::Syscall(SyscallSpec::Gettimeofday)],
+            },
+            Action::BarrierWait {
+                barrier: 0,
+                participants: threads as u32,
+            },
+            Action::Syscall(SyscallSpec::WriteOutput {
+                len: 32,
+                tag: t as u64,
+            }),
+        ]));
+    }
+    p
+}
+
 fn worker_loop(counter: u32, tasks: u64, compute_per_task: u64, print_period: u64) -> Action {
     Action::Repeat {
         times: tasks.max(1),
@@ -822,6 +922,39 @@ mod tests {
                 "{} must be syscall-dense",
                 spec.name
             );
+        }
+    }
+
+    #[test]
+    fn lockheavy_is_contended_and_sync_dominated() {
+        let spec = BenchmarkSpec::by_name("lockheavy").unwrap();
+        assert_eq!(spec.topology, Topology::LockHeavy);
+        // Stays out of the paper-shaped sweep.
+        assert!(sweep_catalog().all(|b| b.name != "lockheavy"));
+        let program = spec.program(4, 1e-5);
+        assert!(program.thread_count() >= 2);
+        let report = run_native(&program);
+        assert!(!report.threads.killed);
+        assert!(
+            report.threads.sync_ops > 10 * report.threads.syscalls.max(1),
+            "lockheavy must be sync-op-dominated: {} sync ops vs {} syscalls",
+            report.threads.sync_ops,
+            report.threads.syscalls
+        );
+    }
+
+    #[test]
+    fn lockheavy_completes_under_every_replication_agent() {
+        let spec = BenchmarkSpec::by_name("lockheavy").unwrap();
+        let program = spec.program(4, 2e-7);
+        for kind in AgentKind::replication_agents() {
+            let report = run_mvee(&program, &RunConfig::new(2, kind));
+            assert!(
+                report.completed_cleanly(),
+                "{kind:?} diverged: {:?}",
+                report.divergence
+            );
+            assert!(report.agent_stats.ops_recorded > 0, "{kind:?}");
         }
     }
 

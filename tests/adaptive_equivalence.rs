@@ -1,0 +1,268 @@
+//! Property tests: the adaptive wait strategy (spin → yield → park) is
+//! observationally equivalent to the legacy spin/yield strategy.
+//!
+//! The waiter only changes *how* blocked agent threads burn time, never what
+//! they observe, so for randomized mixed plans of monitored syscalls and
+//! replicated sync ops a run under [`WaitStrategy::Adaptive`] must produce
+//! exactly the same per-thread outcomes, record/replay counts, monitor
+//! counters and divergence verdicts — including the first-mismatch slot and
+//! blamed variant — as a run under [`WaitStrategy::SpinYield`].  The
+//! deterministic companions pin the injected-mismatch verdict for every
+//! agent kind and prove that an MVEE with slaves *parked* deep in a replay
+//! wait still shuts down cleanly when divergence poisons the agent.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use mvee::core::mvee::Mvee;
+use mvee::core::DivergenceReport;
+use mvee::kernel::syscall::{SyscallRequest, Sysno};
+use mvee::sync_agent::agents::AgentKind;
+use mvee::sync_agent::guards::WaitStrategy;
+use mvee::sync_agent::AgentStats;
+
+/// Watchdog for the parked-shutdown scenario.
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+fn build_mvee(variants: usize, threads: usize, kind: AgentKind, wait: WaitStrategy) -> Mvee {
+    Mvee::builder()
+        .variants(variants)
+        .threads(threads.max(1))
+        .agent(kind)
+        .agent_config(
+            mvee::sync_agent::AgentConfig::default()
+                .with_buffer_capacity(256)
+                .with_wait_strategy(wait),
+        )
+        .lockstep_timeout(Duration::from_secs(15))
+        .manual_clock(true)
+        .build()
+}
+
+/// The action an op tag stands for: an even tag is a benign monitored
+/// syscall, an odd tag a replicated sync op (shared or thread-private
+/// variable).  Identical across variants, so clean plans stay clean.
+fn run_tag(port: &mvee::core::port::ThreadPort, thread: usize, i: usize, tag: u8) -> bool {
+    match tag % 4 {
+        0 => port
+            .syscall(&SyscallRequest::new(Sysno::Gettimeofday))
+            .is_ok(),
+        2 => port
+            .syscall(&SyscallRequest::new(Sysno::SchedYield))
+            .is_ok(),
+        1 => {
+            // Contended: all threads share this variable.
+            port.sync_op(0xC000, || ());
+            true
+        }
+        _ => {
+            // Thread-private variable; position-salted so the recorded
+            // stream genuinely interleaves.
+            port.sync_op(0x1_0000 + (thread as u64) * 64 + (i as u64 % 2) * 8, || ());
+            true
+        }
+    }
+}
+
+/// Runs `plan` (one op-tag vector per logical thread, identical in every
+/// variant) through a fresh MVEE on real OS threads.  Returns per-(variant,
+/// thread) success counts, the agent counters and the divergence report.
+fn run_plan(
+    wait: WaitStrategy,
+    kind: AgentKind,
+    variants: usize,
+    plan: &[Vec<u8>],
+) -> (Vec<u64>, AgentStats, Option<DivergenceReport>) {
+    let mvee = Arc::new(build_mvee(variants, plan.len(), kind, wait));
+    let plan = Arc::new(plan.to_vec());
+    let mut handles = Vec::new();
+    for variant in 0..variants {
+        for thread in 0..plan.len() {
+            let mvee = Arc::clone(&mvee);
+            let plan = Arc::clone(&plan);
+            handles.push(std::thread::spawn(move || {
+                let port = mvee.thread_port(variant, thread);
+                let mut ok = 0u64;
+                for (i, &tag) in plan[thread].iter().enumerate() {
+                    if run_tag(&port, thread, i, tag) {
+                        ok += 1;
+                    }
+                }
+                ((variant, thread), ok)
+            }));
+        }
+    }
+    let mut collected: Vec<((usize, usize), u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("plan thread panicked"))
+        .collect();
+    collected.sort_by_key(|(id, _)| *id);
+    let oks = collected.into_iter().map(|(_, ok)| ok).collect();
+    (oks, mvee.agent_stats(), mvee.divergence())
+}
+
+proptest! {
+    /// Clean plans: both strategies succeed on every call, agree on every
+    /// per-thread outcome and on the record/replay ledger, and neither
+    /// manufactures a divergence.
+    #[test]
+    fn adaptive_matches_spin_yield_on_clean_plans(
+        plan in proptest::collection::vec(proptest::collection::vec(0u8..4, 1..8), 1..3),
+        variants in 2usize..4,
+        kind_sel in 0usize..3,
+    ) {
+        let kind = AgentKind::replication_agents()[kind_sel];
+        let (legacy_ok, legacy_stats, legacy_div) =
+            run_plan(WaitStrategy::SpinYield, kind, variants, &plan);
+        let (adaptive_ok, adaptive_stats, adaptive_div) =
+            run_plan(WaitStrategy::Adaptive, kind, variants, &plan);
+        prop_assert!(legacy_div.is_none(), "spin-yield diverged: {legacy_div:?}");
+        prop_assert!(adaptive_div.is_none(), "adaptive diverged: {adaptive_div:?}");
+        prop_assert_eq!(&legacy_ok, &adaptive_ok, "{:?}: outcomes differ", kind);
+        // The replication ledger is strategy-independent; the stall
+        // taxonomy (spins vs parks) legitimately differs.
+        prop_assert_eq!(legacy_stats.ops_recorded, adaptive_stats.ops_recorded);
+        prop_assert_eq!(legacy_stats.ops_replayed, adaptive_stats.ops_replayed);
+    }
+}
+
+/// Injected mismatch: the last variant presents a divergent payload at a
+/// fixed mid-plan position.  Both strategies must blame exactly the same
+/// (thread, sequence, variant) for every agent kind.
+#[test]
+fn adaptive_and_spin_yield_report_identical_mismatch_verdicts() {
+    for kind in AgentKind::replication_agents() {
+        let mut reports = Vec::new();
+        for wait in WaitStrategy::all() {
+            let mvee = Arc::new(build_mvee(2, 1, kind, wait));
+            let slave = {
+                let mvee = Arc::clone(&mvee);
+                std::thread::spawn(move || {
+                    let port = mvee.thread_port(1, 0);
+                    port.sync_op(0xA000, || ());
+                    let mut r = port.syscall(
+                        &SyscallRequest::new(Sysno::Write)
+                            .with_fd(1)
+                            .with_payload(b"agree"),
+                    );
+                    if r.is_ok() {
+                        r = port.syscall(
+                            &SyscallRequest::new(Sysno::Write)
+                                .with_fd(1)
+                                .with_payload(b"DIVERGENT"),
+                        );
+                    }
+                    r
+                })
+            };
+            let master = {
+                let port = mvee.thread_port(0, 0);
+                port.sync_op(0xA000, || ());
+                let mut r = port.syscall(
+                    &SyscallRequest::new(Sysno::Write)
+                        .with_fd(1)
+                        .with_payload(b"agree"),
+                );
+                if r.is_ok() {
+                    r = port.syscall(
+                        &SyscallRequest::new(Sysno::Write)
+                            .with_fd(1)
+                            .with_payload(b"expected"),
+                    );
+                }
+                r
+            };
+            let slave = slave.join().unwrap();
+            assert!(
+                master.is_err() || slave.is_err(),
+                "{kind:?}/{wait:?}: the divergent write must fail"
+            );
+            reports.push(mvee.divergence().expect("divergence report"));
+        }
+        let (legacy, adaptive) = (&reports[0], &reports[1]);
+        assert_eq!(
+            legacy.sequence, adaptive.sequence,
+            "{kind:?}: first-mismatch slot differs"
+        );
+        assert_eq!(legacy.thread, adaptive.thread, "{kind:?}");
+        assert_eq!(
+            legacy.variant, adaptive.variant,
+            "{kind:?}: blamed variant differs"
+        );
+        assert_eq!(
+            std::mem::discriminant(&legacy.kind),
+            std::mem::discriminant(&adaptive.kind),
+            "{kind:?}: divergence kind differs"
+        );
+    }
+}
+
+/// Clean shutdown from a parked state: slave threads are parked deep in a
+/// replay wait (their master counterparts never record), divergence strikes
+/// on an unrelated thread, and the poison → unpark chain must release every
+/// parked slave within the watchdog — under both strategies, with the same
+/// verdict.
+#[test]
+fn divergence_unparks_waiting_slaves_for_clean_shutdown() {
+    for kind in AgentKind::replication_agents() {
+        let mut reports = Vec::new();
+        for wait in WaitStrategy::all() {
+            let mvee = Arc::new(build_mvee(2, 2, kind, wait));
+            let (done_tx, done_rx) = mpsc::channel();
+            // Thread 1 of the slave variant: replays an op thread 1 of the
+            // master never records — it can only return via poison.
+            let parked = {
+                let mvee = Arc::clone(&mvee);
+                let done_tx = done_tx.clone();
+                std::thread::spawn(move || {
+                    let port = mvee.thread_port(1, 1);
+                    port.sync_op(0xBEEF, || ());
+                    let _ = done_tx.send(());
+                })
+            };
+            // Let the slave reach its parked state.
+            std::thread::sleep(Duration::from_millis(50));
+            // Thread 0: both variants arrive at a compared write, but the
+            // slave's payload diverges — divergence, then poison.
+            let slave_w = {
+                let mvee = Arc::clone(&mvee);
+                std::thread::spawn(move || {
+                    let port = mvee.thread_port(1, 0);
+                    port.syscall(
+                        &SyscallRequest::new(Sysno::Write)
+                            .with_fd(1)
+                            .with_payload(b"BAD"),
+                    )
+                })
+            };
+            let master_r = mvee.thread_port(0, 0).syscall(
+                &SyscallRequest::new(Sysno::Write)
+                    .with_fd(1)
+                    .with_payload(b"GOOD"),
+            );
+            let slave_r = slave_w.join().unwrap();
+            assert!(master_r.is_err() || slave_r.is_err(), "{kind:?}/{wait:?}");
+            match done_rx.recv_timeout(WATCHDOG) {
+                Ok(()) => parked.join().expect("parked slave panicked"),
+                Err(_) => panic!(
+                    "{kind:?}/{wait:?}: parked slave missed the poison wake-up \
+                     ({WATCHDOG:?} watchdog); stats: {:?}",
+                    mvee.agent_stats()
+                ),
+            }
+            assert!(mvee.agent().is_poisoned(), "{kind:?}/{wait:?}");
+            reports.push(mvee.divergence().expect("divergence report"));
+        }
+        let (legacy, adaptive) = (&reports[0], &reports[1]);
+        assert_eq!(legacy.thread, adaptive.thread, "{kind:?}");
+        assert_eq!(legacy.variant, adaptive.variant, "{kind:?}");
+        assert_eq!(
+            std::mem::discriminant(&legacy.kind),
+            std::mem::discriminant(&adaptive.kind),
+            "{kind:?}"
+        );
+    }
+}
