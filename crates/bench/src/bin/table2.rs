@@ -59,20 +59,22 @@ fn main() {
     print_stall_taxonomy(scale);
 }
 
-/// The agent-time attribution table: where slave wait time went (spins,
-/// yields, parks), how often producers rescanned the reader cursors, and
-/// how often masters stalled on a full buffer — per agent, on the
-/// contention-heavy `lockheavy` workload.  This is the taxonomy
-/// `AgentStats` carries since the adaptive-waiter redesign; per-thread-group
-/// attribution is available through `SyncAgent::lane_stats`.
+/// The agent-time attribution table: where slave and master wait time went
+/// (spins, yields, parks on each side), how often producers rescanned the
+/// reader cursors, and how often masters stalled on a full buffer — per
+/// agent, on the contention-heavy `lockheavy` workload.  This is the
+/// taxonomy `AgentStats` carries since the adaptive-waiter redesign;
+/// per-thread-group attribution is available through
+/// `SyncAgent::lane_stats`.
 fn print_stall_taxonomy(scale: f64) {
     let spec = BenchmarkSpec::by_name("lockheavy").expect("lockheavy in catalog");
     println!("\nAgent stall taxonomy — lockheavy, 2 variants, 4 threads");
-    let widths = [16, 10, 10, 12, 10, 10, 10, 10];
+    let widths = [16, 10, 10, 12, 10, 10, 10, 10, 10, 10, 10];
     print_table_header(
         "Stalls",
         &[
             "agent", "recorded", "replayed", "spins", "yields", "parks", "rescans", "m-stalls",
+            "m-spins", "m-yields", "m-parks",
         ],
         &widths,
     );
@@ -92,10 +94,15 @@ fn print_stall_taxonomy(scale: f64) {
                     s.slave_parks.to_string(),
                     s.cursor_rescans.to_string(),
                     s.master_stalls.to_string(),
+                    s.master_spin_iterations.to_string(),
+                    s.master_yields.to_string(),
+                    s.master_parks.to_string(),
                 ],
                 &widths,
             )
         );
     }
-    println!("(spins/yields/parks = slave wait phases; rescans = producer min-cursor refreshes)");
+    println!(
+        "(spins/yields/parks = slave wait phases, m-* = master full-buffer wait phases; rescans = producer min-cursor refreshes)"
+    );
 }

@@ -171,6 +171,13 @@ impl PartialOrderAgent {
     /// published (so its word is unknown).  A record never changes once
     /// published and completion is sticky, so a `false` verdict is final —
     /// which is what lets the dependency scan resume instead of rescanning.
+    ///
+    /// Only valid for `q` at or ahead of the completion frontier: both the
+    /// completion slot and the ring slot are generation-tagged
+    /// (`value == q + 1`), so once the ring wraps past a below-frontier `q`
+    /// its slots are recycled to a later generation and this would report
+    /// "blocked" forever.  Re-checks of a *cached* position must go through
+    /// [`still_blocks`](Self::still_blocks).
     fn blocks(&self, slave: usize, q: u64, key: u64) -> bool {
         if self.is_completed(slave, q) {
             return false;
@@ -179,6 +186,18 @@ impl PartialOrderAgent {
             Some(rec) => Self::dependency_key(rec.addr) == key,
             None => true,
         }
+    }
+
+    /// Re-evaluates a blocker position cached across waiter polls.
+    ///
+    /// Unlike [`blocks`](Self::blocks) this is safe for a stale `b`: a
+    /// position below the completion frontier is complete by definition
+    /// (the frontier only advances over completed records), even when the
+    /// ring has since wrapped and recycled `b`'s completion and record
+    /// slots to a later generation — the case where the exact-generation
+    /// checks in `blocks` would never resolve the blocker.
+    fn still_blocks(&self, slave: usize, b: u64, key: u64) -> bool {
+        b >= self.ring.reader_pos(slave) && self.blocks(slave, b, key)
     }
 
     fn slave_before(&self, ctx: &SyncContext, slave: usize) {
@@ -209,13 +228,14 @@ impl PartialOrderAgent {
                 },
             };
             if let Some(b) = blocker {
-                if self.blocks(slave, b, key) {
+                if self.still_blocks(slave, b, key) {
                     return false;
                 }
-                // The blocker resolved (completed, or published as
+                // The blocker resolved (completed — possibly observed only
+                // through the frontier having passed it — or published as
                 // non-dependent); it has now been evaluated for good.
                 blocker = None;
-                dep_checked_to = b + 1;
+                dep_checked_to = dep_checked_to.max(b + 1);
             }
             // Resume the dependency scan.  Positions below the frontier are
             // complete by definition, and positions below `dep_checked_to`
@@ -443,6 +463,142 @@ mod tests {
             with_sync_op(&agent, &slave, 0x100 + i * 8, || {});
         }
         assert_eq!(agent.ring.reader_pos(0), 5);
+    }
+
+    #[test]
+    fn cached_blocker_resolves_after_its_slot_is_recycled() {
+        // Deterministic regression test for the stale-blocker hang: a
+        // waiter for the op at position 1 caches position 0 (same word) as
+        // its blocker.  Position 0 then completes, the frontier passes it,
+        // the master wraps the 8-slot ring, and the record recycled into
+        // slot 0 (position 8) is replayed — recycling both the ring slot
+        // *and* the completion slot to generation 8.  That is exactly the
+        // state a waiter that slept through the frontier advance (a park
+        // lasts up to 1 ms) re-checks against: `blocks` can no longer
+        // recognise position 0 as complete (both slots are
+        // generation-tagged), so the cached re-check must resolve the
+        // blocker via the frontier instead of stalling forever.
+        let cfg = AgentConfig::default()
+            .with_variants(2)
+            .with_threads(2)
+            .with_buffer_capacity(8)
+            .with_lookahead_window(8);
+        let agent = PartialOrderAgent::new(cfg);
+        let hot = 0xF000u64;
+        let key = PartialOrderAgent::dependency_key(hot);
+
+        // Master: thread 0 then thread 1 touch the hot word.
+        let m0 = SyncContext::new(VariantRole::Master, 0);
+        let m1 = SyncContext::new(VariantRole::Master, 1);
+        with_sync_op(&agent, &m0, hot, || {});
+        with_sync_op(&agent, &m1, hot, || {});
+        // A slave waiter for position 1 would now cache position 0 as its
+        // blocker.
+        assert!(agent.still_blocks(0, 0, key));
+
+        // Slave thread 0 replays position 0; the frontier passes it.
+        let s0 = SyncContext::new(VariantRole::Slave { index: 0 }, 0);
+        with_sync_op(&agent, &s0, hot, || {});
+        assert_eq!(agent.ring.reader_pos(0), 1);
+
+        // Master thread 0 records 7 more (independent) ops, filling
+        // positions 2..=8, and slave thread 0 replays them — position 1 is
+        // not a dependency of any of them, so they complete around it.
+        // Completing position 8 overwrites completion slot 0 with
+        // generation 8, and the push of position 8 recycled ring slot 0.
+        for i in 0..7u64 {
+            with_sync_op(&agent, &m0, 0x2_0000 + i * 8, || {});
+            with_sync_op(&agent, &s0, 0x2_0000 + i * 8, || {});
+        }
+        assert_eq!(agent.ring.write_pos(), 9);
+        assert!(
+            agent.ring.get(0).is_none(),
+            "ring slot 0 must have been recycled for the scenario to be real"
+        );
+        assert!(
+            !agent.is_completed(0, 0),
+            "completion slot 0 must have been recycled for the scenario to be real"
+        );
+
+        // The raw exact-generation check can no longer tell position 0 is
+        // complete; the frontier-aware re-check used for cached blockers
+        // must.
+        assert!(agent.blocks(0, 0, key), "blocks() cannot see the wrap");
+        assert!(
+            !agent.still_blocks(0, 0, key),
+            "a blocker below the frontier is complete by definition"
+        );
+    }
+
+    #[test]
+    fn dependency_waiters_survive_ring_wrap() {
+        // Regression test: a waiter caches its blocker position across
+        // polls.  With a tiny ring the blocker completes, the frontier
+        // passes it and the slot is recycled to a later generation while
+        // the waiter is between polls (parked for up to 1 ms); the re-check
+        // must then treat the below-frontier blocker as resolved instead of
+        // reading the recycled slot's exact-generation state and stalling
+        // forever.  Master and slave run concurrently so the ring wraps
+        // continuously; every thread regularly touches one hot word (so
+        // waiters cache blockers) but also streams independent ops (so
+        // other threads race ahead and wrap the ring over a cached
+        // blocker's slot).  Thread count exceeds typical core counts so
+        // parked waiters really do sleep through frontier advances.
+        let threads = 8usize;
+        let per_thread = 300u64;
+        let cfg = AgentConfig::default()
+            .with_variants(2)
+            .with_threads(threads)
+            .with_buffer_capacity(8)
+            .with_lookahead_window(8);
+        let agent = Arc::new(PartialOrderAgent::new(cfg));
+        let addr_for = |t: usize, i: u64| {
+            if i.is_multiple_of(3) {
+                0xF000u64
+            } else {
+                0x1_0000 + (t as u64) * 64 + (i % 3) * 8
+            }
+        };
+
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let agent = Arc::clone(&agent);
+            handles.push(std::thread::spawn(move || {
+                let ctx = SyncContext::new(VariantRole::Master, t);
+                for i in 0..per_thread {
+                    with_sync_op(agent.as_ref(), &ctx, addr_for(t, i), || {});
+                }
+            }));
+        }
+        for t in 0..threads {
+            let agent = Arc::clone(&agent);
+            handles.push(std::thread::spawn(move || {
+                let ctx = SyncContext::new(VariantRole::Slave { index: 0 }, t);
+                for i in 0..per_thread {
+                    with_sync_op(agent.as_ref(), &ctx, addr_for(t, i), || {});
+                }
+            }));
+        }
+        // Watchdog: the pre-fix failure mode is a permanent stall, so turn
+        // "a waiter never resolves its recycled blocker" into a test
+        // failure instead of a hung test run.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let joiner = std::thread::spawn(move || {
+            for h in handles {
+                h.join().unwrap();
+            }
+            let _ = tx.send(());
+        });
+        if rx.recv_timeout(std::time::Duration::from_secs(60)).is_err() {
+            agent.poison();
+            panic!("dependency waiter stalled: blocker slot recycled by a ring wrap");
+        }
+        joiner.join().unwrap();
+        let total = threads as u64 * per_thread;
+        let s = agent.stats();
+        assert_eq!(s.ops_recorded, total);
+        assert_eq!(s.ops_replayed, total);
+        assert_eq!(agent.ring.reader_pos(0), total);
     }
 
     #[test]

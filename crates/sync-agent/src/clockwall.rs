@@ -16,7 +16,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::guards::{fnv1a_u64, EventCount, Waiter};
+use crate::guards::{fnv1a_u64, EventCount};
 
 /// A fixed array of logical clocks.
 #[derive(Debug)]
@@ -83,16 +83,6 @@ impl ClockWall {
         let prev = self.clocks[id].fetch_add(1, Ordering::AcqRel);
         self.events.notify();
         prev
-    }
-
-    /// Blocks until clock `id` reaches at least `time`; returns the number of
-    /// wait iterations.
-    pub fn wait_for(&self, id: usize, time: u64, waiter: &Waiter) -> u64 {
-        waiter
-            .wait_until_event(&self.events, || {
-                self.clocks[id].load(Ordering::Acquire) >= time
-            })
-            .total()
     }
 
     /// Records that `addr` was just assigned to clock `id`; returns `true`
@@ -164,11 +154,13 @@ mod tests {
 
     #[test]
     fn wait_for_blocks_until_tick() {
+        // A waiter parked on the wall's event count (the way the WoC
+        // agent's slave clock wait uses it) is released by ticks.
         let wall = Arc::new(ClockWall::new(4));
         let w2 = Arc::clone(&wall);
         let handle = std::thread::spawn(move || {
-            let waiter = Waiter::new(16);
-            w2.wait_for(2, 3, &waiter)
+            let waiter = crate::guards::Waiter::new(16);
+            waiter.wait_until_event(w2.events(), || w2.time(2) >= 3)
         });
         std::thread::sleep(std::time::Duration::from_millis(5));
         wall.tick(2);

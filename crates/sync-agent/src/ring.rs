@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
-use crate::guards::{EventCount, Waiter};
+use crate::guards::{EventCount, WaitTally, Waiter};
 
 /// One recorded synchronization operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -301,18 +301,17 @@ impl RecordRing {
 
     /// Appends `record`, waiting (with the supplied waiter, parked on the
     /// ring's event count) while the ring is full.  Returns the position and
-    /// the number of wait iterations.
-    pub fn push_blocking(&self, record: SyncRecord, waiter: &Waiter) -> (u64, u64) {
-        let mut stalls = 0u64;
+    /// the accumulated wait tally, with spins, yields and parks reported
+    /// separately (they are not time-commensurable; see
+    /// [`WaitTally::total`]).
+    pub fn push_blocking(&self, record: SyncRecord, waiter: &Waiter) -> (u64, WaitTally) {
+        let mut tally = WaitTally::default();
         loop {
             match self.try_push(record) {
-                PushOutcome::Stored(pos) => return (pos, stalls),
+                PushOutcome::Stored(pos) => return (pos, tally),
                 PushOutcome::Full => {
-                    stalls += waiter
-                        .wait_until_event(&self.events, || self.has_space())
-                        .total();
+                    tally.merge(waiter.wait_until_event(&self.events, || self.has_space()));
                     // Retry the push; another producer may have raced us.
-                    stalls += 1;
                 }
             }
         }
@@ -333,17 +332,15 @@ impl RecordRing {
     }
 
     /// Blocks until the record at `pos` is published, then returns it along
-    /// with the number of wait iterations.
-    pub fn get_blocking(&self, pos: u64, waiter: &Waiter) -> (SyncRecord, u64) {
-        let mut waited = 0;
+    /// with the accumulated wait tally (spin/yield/park split, as for
+    /// [`push_blocking`](Self::push_blocking)).
+    pub fn get_blocking(&self, pos: u64, waiter: &Waiter) -> (SyncRecord, WaitTally) {
+        let mut tally = WaitTally::default();
         loop {
             if let Some(r) = self.get(pos) {
-                return (r, waited);
+                return (r, tally);
             }
-            waited += waiter
-                .wait_until_event(&self.events, || self.get(pos).is_some())
-                .total()
-                + 1;
+            tally.merge(waiter.wait_until_event(&self.events, || self.get(pos).is_some()));
         }
     }
 
@@ -367,27 +364,6 @@ impl RecordRing {
             self.events.notify();
         }
         advanced
-    }
-
-    /// Sets reader `reader` to an absolute position (a completion frontier
-    /// jumping forward).
-    ///
-    /// The position must not be behind the cursor's current value: the
-    /// producer-side cached minimum is a monotone lower bound refreshed
-    /// with `fetch_max`, so a cursor moving *backward* would let the
-    /// producer overwrite records the retreated reader has not consumed.
-    /// The store is a `fetch_max`, making a backward set a no-op (asserted
-    /// in debug builds).
-    pub fn set_reader_pos(&self, reader: usize, pos: u64) {
-        let prev = self.reader_cursors[reader]
-            .0
-            .fetch_max(pos, Ordering::AcqRel);
-        debug_assert!(
-            prev <= pos,
-            "reader cursor moved backward ({prev} -> {pos}); the cached \
-             minimum reader cursor would over-report free slots"
-        );
-        self.events.notify();
     }
 
     /// Number of records published but not yet consumed by reader `reader`.

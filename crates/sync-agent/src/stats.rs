@@ -44,6 +44,12 @@ pub struct AgentStats {
     ///
     /// [`WaitStrategy::SpinYield`]: crate::guards::WaitStrategy::SpinYield
     pub slave_parks: u64,
+    /// Spin-wait iterations of master threads stalled on a full sync buffer.
+    #[serde(default)]
+    pub master_spin_iterations: u64,
+    /// `yield_now` calls of master threads stalled on a full sync buffer.
+    #[serde(default)]
+    pub master_yields: u64,
     /// Parking episodes of master threads stalled on a full sync buffer.
     pub master_parks: u64,
     /// Times a producer had to refresh its cached minimum-reader cursor by
@@ -76,8 +82,9 @@ impl AgentStats {
     }
 
     /// Total wait iterations of any kind (spin + yield + park) executed by
-    /// slaves — the denominator-free "where did the stall time go" figure
-    /// the taxonomy splits.
+    /// slaves.  The components are not time-commensurable (a park lasts up
+    /// to 1 ms, a spin nanoseconds), so this sum is an episode count only —
+    /// strategy comparisons must read the three component fields.
     pub fn slave_wait_iterations(&self) -> u64 {
         self.slave_spin_iterations + self.slave_yields + self.slave_parks
     }
@@ -90,6 +97,8 @@ impl AgentStats {
         self.slave_spin_iterations += other.slave_spin_iterations;
         self.slave_yields += other.slave_yields;
         self.slave_parks += other.slave_parks;
+        self.master_spin_iterations += other.master_spin_iterations;
+        self.master_yields += other.master_yields;
         self.master_parks += other.master_parks;
         self.cursor_rescans += other.cursor_rescans;
         self.clock_collisions += other.clock_collisions;
@@ -108,6 +117,8 @@ struct Lane {
     slave_spin_iterations: AtomicU64,
     slave_yields: AtomicU64,
     slave_parks: AtomicU64,
+    master_spin_iterations: AtomicU64,
+    master_yields: AtomicU64,
     master_parks: AtomicU64,
     clock_collisions: AtomicU64,
 }
@@ -122,6 +133,8 @@ impl Lane {
             slave_spin_iterations: self.slave_spin_iterations.load(Ordering::Relaxed),
             slave_yields: self.slave_yields.load(Ordering::Relaxed),
             slave_parks: self.slave_parks.load(Ordering::Relaxed),
+            master_spin_iterations: self.master_spin_iterations.load(Ordering::Relaxed),
+            master_yields: self.master_yields.load(Ordering::Relaxed),
             master_parks: self.master_parks.load(Ordering::Relaxed),
             // Rescans live in the rings, not the lanes; the owning agent
             // adds them into its own snapshot.
@@ -222,10 +235,19 @@ impl SharedStats {
         }
     }
 
-    /// Counts one master stall (buffer full) with its parking episodes.
+    /// Counts one master stall (buffer full) and folds its [`WaitTally`]
+    /// into the master side of the stall taxonomy — the same
+    /// spin/yield/park split the slave side gets.
     pub fn count_master_wait(&self, lane: usize, tally: WaitTally) {
         let lane = self.lane(lane);
         lane.master_stalls.fetch_add(1, Ordering::Relaxed);
+        if tally.spins > 0 {
+            lane.master_spin_iterations
+                .fetch_add(tally.spins, Ordering::Relaxed);
+        }
+        if tally.yields > 0 {
+            lane.master_yields.fetch_add(tally.yields, Ordering::Relaxed);
+        }
         if tally.parks > 0 {
             lane.master_parks.fetch_add(tally.parks, Ordering::Relaxed);
         }
@@ -317,6 +339,8 @@ mod tests {
         assert_eq!(snap.slave_yields, 3);
         assert_eq!(snap.slave_parks, 2);
         assert_eq!(snap.master_stalls, 1);
+        assert_eq!(snap.master_spin_iterations, 5);
+        assert_eq!(snap.master_yields, 0);
         assert_eq!(snap.master_parks, 4);
         assert_eq!(snap.slave_wait_iterations(), 15);
     }
