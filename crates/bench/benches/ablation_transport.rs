@@ -1,0 +1,261 @@
+//! Ablation: the variant↔monitor transport — synchronous ports vs the
+//! asynchronous submission/completion rings.
+//!
+//! Every (variant, thread) pair drives the same deferrable-heavy call
+//! stream (brk/mmap/mprotect with a periodic replicated `gettimeofday`)
+//! through either a synchronous [`ThreadPort`] — each call blocks inline in
+//! the monitor pipeline — or an [`AsyncThreadPort`] — compare-only calls
+//! are deposited into the port's submission ring and their verdicts reaped
+//! in blocks while the gateway worker runs the identical pipeline in the
+//! background.  The replicated call pins both transports to the same
+//! synchronization points, so the delta isolates what the rings buy on the
+//! stretches in between.
+//!
+//! Besides the criterion groups, the harness measures one calibrated pass
+//! per (variants × transport) cell and writes the machine-readable
+//! `BENCH_transport.json` at the repository root (override the path with
+//! `MVEE_BENCH_JSON`); `BASELINES.md` records the same numbers.
+//! `MVEE_BENCH_VARIANTS` (default `2,8`) tunes the sweep.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mvee_core::async_port::SubmitOutcome;
+use mvee_core::config::Transport;
+use mvee_core::mvee::Mvee;
+use mvee_kernel::syscall::{SyscallRequest, Sysno};
+use mvee_sync_agent::agents::AgentKind;
+
+const THREADS: usize = 4;
+const OPS: u64 = 256;
+const BATCH: usize = 8;
+const RING_DEPTH: usize = 64;
+/// Reap pipelined verdicts in blocks of this many tickets.
+const REAP_BLOCK: usize = 32;
+
+fn variant_counts() -> Vec<usize> {
+    if std::env::var("MVEE_BENCH_VARIANTS").is_err() {
+        return vec![2, 8];
+    }
+    mvee_bench::variant_counts()
+}
+
+/// The benched stream: deferrable address-space calls with one replicated
+/// flush point every 32 calls.
+fn req_for(i: u64) -> SyscallRequest {
+    match i % 32 {
+        31 => SyscallRequest::new(Sysno::Gettimeofday),
+        n if n % 3 == 0 => SyscallRequest::new(Sysno::Brk).with_int(0),
+        n if n % 3 == 1 => SyscallRequest::new(Sysno::Mmap).with_int(8192),
+        _ => SyscallRequest::new(Sysno::Mprotect).with_int(4096),
+    }
+}
+
+fn build(variants: usize, transport: Transport) -> Mvee {
+    Mvee::builder()
+        .variants(variants)
+        .threads(THREADS)
+        .agent(AgentKind::Null)
+        .batch(BATCH)
+        .transport(transport)
+        .shards(THREADS)
+        .lockstep_timeout(Duration::from_secs(30))
+        .manual_clock(true)
+        .build()
+}
+
+/// One full run: `variants × THREADS` OS threads, `OPS` calls each, through
+/// the chosen transport.  Returns the total number of monitored calls.
+fn run(variants: usize, transport: Transport) -> u64 {
+    let mvee = Arc::new(build(variants, transport));
+    let mut handles = Vec::with_capacity(variants * THREADS);
+    for variant in 0..variants {
+        for thread in 0..THREADS {
+            let mvee = Arc::clone(&mvee);
+            handles.push(std::thread::spawn(move || match transport {
+                Transport::Sync => {
+                    let port = mvee.thread_port(variant, thread);
+                    for i in 0..OPS {
+                        port.syscall(&req_for(i)).expect("bench call diverged");
+                    }
+                }
+                Transport::AsyncRings { .. } => {
+                    let port = mvee.async_thread_port(variant, thread);
+                    let mut tickets = Vec::with_capacity(REAP_BLOCK);
+                    for i in 0..OPS {
+                        match port.submit(&req_for(i)) {
+                            SubmitOutcome::Completed(result) => {
+                                result.expect("bench call diverged");
+                            }
+                            SubmitOutcome::Ticket(ticket) => tickets.push(ticket),
+                        }
+                        if tickets.len() >= REAP_BLOCK {
+                            for ticket in tickets.drain(..) {
+                                port.reap(ticket).expect("bench call diverged");
+                            }
+                        }
+                    }
+                    for ticket in tickets {
+                        port.reap(ticket).expect("bench call diverged");
+                    }
+                }
+            }));
+        }
+    }
+    for h in handles {
+        h.join().expect("bench thread panicked");
+    }
+    assert!(!mvee.monitor().has_diverged());
+    mvee.monitor_stats().total_syscalls
+}
+
+/// Calls in the issue-latency stretch: a pure compare-only run that fits in
+/// the ring, so no submission ever waits for space.
+const ISSUE_OPS: u64 = 48;
+
+/// Measures *issue latency* on a pure compare-only stretch: the time from a
+/// call's start to control returning to the variant thread.  The stretch
+/// fits in the ring (`ISSUE_OPS < RING_DEPTH`), so on the async transport
+/// every call is a ring deposit and the thread runs straight through, while
+/// the sync transport pays its rendezvous barrier per comparison batch —
+/// the decoupling the rings buy, which a wall-clock number over a
+/// do-nothing-between-calls workload cannot show.  The pipelined verdicts
+/// are reaped after the timer stops.  Returns (calls, summed issue ns).
+fn run_issue_timed(variants: usize, transport: Transport) -> (u64, u128) {
+    let mvee = Arc::new(build(variants, transport));
+    let req = SyscallRequest::new(Sysno::Brk).with_int(0);
+    let mut handles = Vec::with_capacity(variants * THREADS);
+    for variant in 0..variants {
+        for thread in 0..THREADS {
+            let mvee = Arc::clone(&mvee);
+            let req = req.clone();
+            handles.push(std::thread::spawn(move || match transport {
+                Transport::Sync => {
+                    let port = mvee.thread_port(variant, thread);
+                    let started = Instant::now();
+                    for _ in 0..ISSUE_OPS {
+                        port.syscall(&req).expect("bench call diverged");
+                    }
+                    let issued = started.elapsed().as_nanos();
+                    port.flush().expect("tail flush diverged");
+                    issued
+                }
+                Transport::AsyncRings { .. } => {
+                    let port = mvee.async_thread_port(variant, thread);
+                    let mut tickets = Vec::with_capacity(ISSUE_OPS as usize);
+                    let started = Instant::now();
+                    for _ in 0..ISSUE_OPS {
+                        match port.submit(&req) {
+                            SubmitOutcome::Completed(result) => {
+                                result.expect("bench call diverged");
+                            }
+                            SubmitOutcome::Ticket(ticket) => tickets.push(ticket),
+                        }
+                    }
+                    let issued = started.elapsed().as_nanos();
+                    for ticket in tickets {
+                        port.reap(ticket).expect("bench call diverged");
+                    }
+                    issued
+                }
+            }));
+        }
+    }
+    let issue_ns: u128 = handles
+        .into_iter()
+        .map(|h| h.join().expect("bench thread panicked"))
+        .sum();
+    assert!(!mvee.monitor().has_diverged());
+    (mvee.monitor_stats().total_syscalls, issue_ns)
+}
+
+fn transports() -> [Transport; 2] {
+    [Transport::Sync, Transport::AsyncRings { depth: RING_DEPTH }]
+}
+
+/// One calibrated measurement cell: repeat the run until ~`budget` has
+/// elapsed (at least 3 runs).  Returns (wall ns per monitored call, issue
+/// ns per monitored call).
+fn measure_cell(variants: usize, transport: Transport, budget: Duration) -> (f64, f64) {
+    // Warm-up run, unmeasured.
+    run(variants, transport);
+    let started = Instant::now();
+    let mut calls = 0u64;
+    let mut runs = 0u32;
+    while runs < 3 || started.elapsed() < budget {
+        calls += run(variants, transport);
+        runs += 1;
+    }
+    let wall = started.elapsed().as_nanos() as f64 / calls as f64;
+    let mut issue_calls = 0u64;
+    let mut issue_ns = 0u128;
+    for _ in 0..runs.min(8) {
+        let (c, ns) = run_issue_timed(variants, transport);
+        issue_calls += c;
+        issue_ns += ns;
+    }
+    (wall, issue_ns as f64 / issue_calls as f64)
+}
+
+/// Writes the machine-readable ablation record.  The vendored serde stub is
+/// a no-op, so the JSON is formatted by hand.
+fn emit_json(cells: &[(usize, Transport, f64, f64)]) {
+    let results: Vec<String> = cells
+        .iter()
+        .map(|(variants, transport, wall, issue)| {
+            format!(
+                "    {{ \"variants\": {variants}, \"transport\": \"{}\", \"ns_per_call\": {wall:.1}, \"issue_ns_per_call\": {issue:.1} }}",
+                transport.name()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"ablation_transport\",\n  \"unit\": \"ns_per_call\",\n  \"config\": {{ \"threads\": {THREADS}, \"ops_per_thread\": {OPS}, \"issue_ops_per_thread\": {ISSUE_OPS}, \"batch\": {BATCH}, \"ring_depth\": {RING_DEPTH}, \"reap_block\": {REAP_BLOCK} }},\n  \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n")
+    );
+    let path = std::env::var("MVEE_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_transport.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("transport ablation record written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/transport");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for variants in variant_counts() {
+        for transport in transports() {
+            let id = BenchmarkId::new(format!("{variants}v/{THREADS}t"), transport.name());
+            group.bench_function(id, |b| {
+                b.iter(|| run(variants, transport));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transports);
+
+fn main() {
+    // The calibrated pass behind `BENCH_transport.json` runs first, so the
+    // record lands even if the criterion sweep is cut short.
+    let budget = if std::env::var("MVEE_BENCH_SCALE").is_ok() {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(800)
+    };
+    let mut cells = Vec::new();
+    for variants in variant_counts() {
+        for transport in transports() {
+            let (wall, issue) = measure_cell(variants, transport, budget);
+            cells.push((variants, transport, wall, issue));
+        }
+    }
+    emit_json(&cells);
+    benches();
+}

@@ -1,0 +1,588 @@
+//! The asynchronous syscall gateway: per-port submission/completion rings.
+//!
+//! The synchronous transport blocks a variant thread inside every
+//! rendezvous: [`ThreadPort::syscall`] walks the monitor pipeline — gate,
+//! lockstep arrival, replication/ordering — on the caller's own stack.
+//! dMVX-style deployments decouple variant progress from comparison
+//! instead: the variant deposits a descriptor of the call and runs ahead
+//! into work that does not depend on the verdict, while the monitor
+//! compares in the background.  [`AsyncThreadPort`] is that transport,
+//! shaped like a virtio split queue:
+//!
+//! * a **submission ring** the variant thread deposits [`Submission`]
+//!   descriptors into (call number, arguments, an implicit per-thread
+//!   sequence — the monitor side assigns rendezvous keys exactly as the
+//!   sync transport does, because the descriptors arrive in program
+//!   order);
+//! * a **completion ring** the monitor side posts verdicts to, which the
+//!   variant reaps in batches ([`AsyncThreadPort::reap`]).
+//!
+//! Both rings are [`DescRing`]s — the PR 5 SPSC ring discipline (sequence-
+//! published slots, separated cursors, [`EventCount`]-parked waiters)
+//! generalized to carry owned descriptors; see
+//! [`mvee_sync_agent::spsc`](mvee_sync_agent::spsc).
+//!
+//! # One gateway worker per port
+//!
+//! Each `AsyncThreadPort` owns a dedicated *gateway worker* thread on the
+//! monitor side.  The worker owns the port's inner [`ThreadPort`] and
+//! drains the submission ring's whole backlog in one pass, running every
+//! descriptor through the **identical** pipeline
+//! (`gate_and_count`/`arrive_sync`/`resolve_batch`/`dispatch_resolved`,
+//! via `ThreadPort::syscall`) — same rendezvous keys, same batching, same
+//! statistics lanes, same verdicts, by construction.  The per-port worker
+//! is not an accident of convenience: a shared drain thread multiplexing
+//! several logical threads' *blocking* rendezvous would deadlock, because
+//! cross-thread submission order legitimately differs between variants
+//! (the paper's premise) — a worker blocked in thread A's rendezvous for
+//! variant 0 may be the only thing that could deposit thread B's arrival,
+//! which variant 1's worker is blocked waiting for.  A *polling* monitor
+//! shard that multiplexes ports through non-blocking arrivals is the
+//! follow-on step (see ROADMAP) that this transport's rings enable.
+//!
+//! # When the variant still blocks
+//!
+//! Calls whose *outcome* couples the variants stay synchronous at the reap
+//! point, so verdicts are provably unchanged:
+//!
+//! * **replicated** calls (I/O, read-only info, blocking sync) — the caller
+//!   cannot proceed without the master's result;
+//! * **ordered** calls — the slave's execution waits for its cross-thread
+//!   turn;
+//! * synchronous **lockstep** calls and **process-lifecycle** calls — a
+//!   thread must never exit (or pass a comparison point) with unresolved
+//!   comparisons behind it.
+//!
+//! [`AsyncThreadPort::submit`] therefore answers with
+//! [`SubmitOutcome::Completed`] for those calls (it reaps inline), and
+//! only pipelines compare-only deferrable calls and uncompared local calls
+//! as [`SubmitOutcome::Ticket`].  Deadlock cannot arise from backpressure:
+//! a variant blocked on a full submission ring opportunistically drains
+//! its completion ring first, so the worker can always make progress.
+//!
+//! # Shutdown
+//!
+//! Every submitted ticket is answered — on divergence the worker's
+//! pipeline returns the error and the worker posts it as the completion —
+//! so a reaper parked on the completion ring always wakes with a verdict
+//! instead of hanging.  Dropping the port enqueues [`Submission::Close`]
+//! and joins the worker; the worker's inner `ThreadPort` drop then flushes
+//! any still-deferred comparisons and releases the (variant, thread)
+//! binding, so async ports re-acquire across workload phases exactly like
+//! sync ports.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest};
+use mvee_sync_agent::context::{SyncContext, VariantRole};
+use mvee_sync_agent::guards::{WaitStrategy, Waiter};
+use mvee_sync_agent::spsc::DescRing;
+use mvee_sync_agent::SyncAgent;
+
+use crate::monitor::{Monitor, MonitorError};
+use crate::port::ThreadPort;
+
+/// Spin budget for the ring waiters on both sides of the gateway, matching
+/// the agents' default before the adaptive escalation parks on the ring's
+/// event count.
+const RING_SPIN: u32 = 64;
+
+/// A completion ticket: identifies one submitted call on its port.
+/// Tickets are per-port and monotonically increasing.
+pub type Ticket = u64;
+
+/// One descriptor deposited into a port's submission ring.
+#[derive(Debug)]
+enum Submission {
+    /// A system call to run through the monitor pipeline.
+    Call {
+        /// The ticket the verdict will be posted under.
+        ticket: Ticket,
+        /// The call descriptor (number, normalized arguments, payload).
+        req: SyscallRequest,
+    },
+    /// A flush barrier: resolve every deferred comparison submitted so
+    /// far, then post the verdict.  Replication points submit one before
+    /// entering the agent.
+    Flush {
+        /// The ticket the barrier's verdict is posted under.
+        ticket: Ticket,
+    },
+    /// Shut the gateway worker down (sent by `Drop`).
+    Close,
+}
+
+/// One verdict posted to a port's completion ring.
+#[derive(Debug)]
+struct Completion {
+    ticket: Ticket,
+    result: Result<SyscallOutcome, MonitorError>,
+}
+
+/// What [`AsyncThreadPort::submit`] did with a call.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// The call was synchronous under the policy (replicated, ordered,
+    /// synchronous lockstep or process-lifecycle): the port blocked at the
+    /// reap point and this is the verdict.
+    Completed(Result<SyscallOutcome, MonitorError>),
+    /// The call was pipelined; reap the verdict later with
+    /// [`AsyncThreadPort::reap`].
+    Ticket(Ticket),
+}
+
+/// The variant-side handle of the asynchronous gateway: a per-(variant,
+/// thread) port whose calls travel through paired submission/completion
+/// rings to a dedicated monitor-side gateway worker.
+///
+/// Like [`ThreadPort`], the handle is `Send` (move it into the OS thread
+/// that runs the logical thread) but `!Sync` (the ticket counter and reap
+/// buffer are unsynchronized per-thread state), and at most one live port
+/// may own a (variant, thread) — enforced through the inner `ThreadPort`
+/// acquisition.
+pub struct AsyncThreadPort {
+    monitor: Arc<Monitor>,
+    agent: Arc<dyn SyncAgent>,
+    ctx: SyncContext,
+    variant: usize,
+    thread: usize,
+    submissions: Arc<DescRing<Submission>>,
+    completions: Arc<DescRing<Completion>>,
+    /// The reaper's wait discipline: spin → yield → park on the completion
+    /// ring's event count, the agents' adaptive strategy.
+    waiter: Waiter,
+    /// Next ticket to hand out; plain `Cell`, this port is the only writer.
+    next_ticket: Cell<Ticket>,
+    /// Tickets submitted but not yet reaped by the caller.
+    outstanding: Cell<usize>,
+    /// Verdicts drained from the completion ring but not yet asked for
+    /// (reaps may happen out of submission order).
+    reaped: RefCell<HashMap<Ticket, Result<SyscallOutcome, MonitorError>>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl AsyncThreadPort {
+    /// Binds an async port to (variant, thread) and spawns its gateway
+    /// worker.  `depth` is the ring capacity in descriptors (rounded up to
+    /// a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or if a live port (sync or async)
+    /// already owns this (variant, thread).
+    pub(crate) fn new(
+        monitor: Arc<Monitor>,
+        agent: Arc<dyn SyncAgent>,
+        variant: usize,
+        thread: usize,
+        depth: usize,
+    ) -> Self {
+        // Acquire the inner port *here*, not in the worker, so the
+        // one-live-port panic surfaces on the caller's stack.
+        let inner = ThreadPort::new(Arc::clone(&monitor), Arc::clone(&agent), variant, thread);
+        let submissions = Arc::new(DescRing::new(depth));
+        let completions = Arc::new(DescRing::new(depth));
+        let worker = {
+            let submissions = Arc::clone(&submissions);
+            let completions = Arc::clone(&completions);
+            std::thread::Builder::new()
+                .name(format!("mvee-gw-v{variant}t{thread}"))
+                .spawn(move || serve_port(inner, &submissions, &completions))
+                .expect("spawning a gateway worker thread failed")
+        };
+        AsyncThreadPort {
+            ctx: SyncContext::new(VariantRole::from_variant_index(variant), thread),
+            agent,
+            variant,
+            thread,
+            submissions,
+            completions,
+            waiter: Waiter::with_strategy(RING_SPIN, WaitStrategy::Adaptive),
+            next_ticket: Cell::new(0),
+            outstanding: Cell::new(0),
+            reaped: RefCell::new(HashMap::new()),
+            worker: Some(worker),
+            monitor,
+        }
+    }
+
+    /// Zero-based variant index (0 is the master).
+    pub fn variant_index(&self) -> usize {
+        self.variant
+    }
+
+    /// Logical thread index within the variant.
+    pub fn thread_index(&self) -> usize {
+        self.thread
+    }
+
+    /// Whether this port belongs to the master variant.
+    pub fn is_master(&self) -> bool {
+        self.variant == 0
+    }
+
+    /// The monitor this port issues calls against.
+    pub fn monitor(&self) -> &Arc<Monitor> {
+        &self.monitor
+    }
+
+    /// Ring capacity in descriptors: how far this thread may run ahead.
+    pub fn depth(&self) -> usize {
+        self.submissions.capacity()
+    }
+
+    /// Tickets submitted and not yet reaped by the caller.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.get()
+    }
+
+    /// Whether the MVEE has shut down due to divergence.
+    pub fn is_shut_down(&self) -> bool {
+        self.monitor.has_diverged()
+    }
+
+    /// Submits a call.  Compare-only deferrable calls and uncompared local
+    /// calls are pipelined ([`SubmitOutcome::Ticket`]); calls the policy
+    /// marks synchronous block at the reap point and come back
+    /// [`SubmitOutcome::Completed`] (see the module docs).
+    pub fn submit(&self, req: &SyscallRequest) -> SubmitOutcome {
+        let disposition = self.monitor.config().policy.disposition(req.no);
+        let pipelined = disposition.defer_compare
+            || !(disposition.lockstep || disposition.replicate || disposition.ordered);
+        let ticket = self.next_ticket.get();
+        self.next_ticket.set(ticket + 1);
+        self.outstanding.set(self.outstanding.get() + 1);
+        self.push_submission(Submission::Call {
+            ticket,
+            req: req.clone(),
+        });
+        if pipelined {
+            SubmitOutcome::Ticket(ticket)
+        } else {
+            SubmitOutcome::Completed(self.reap(ticket))
+        }
+    }
+
+    /// Blocks until `ticket`'s verdict is available and returns it.
+    ///
+    /// Every submitted ticket is eventually answered — divergence included
+    /// (the worker posts the error) — so a parked reaper always wakes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ticket that was never issued or was already reaped.
+    pub fn reap(&self, ticket: Ticket) -> Result<SyscallOutcome, MonitorError> {
+        assert!(
+            ticket < self.next_ticket.get(),
+            "reaping a ticket this port never issued"
+        );
+        loop {
+            self.drain_completions();
+            if let Some(result) = self.reaped.borrow_mut().remove(&ticket) {
+                self.outstanding.set(self.outstanding.get() - 1);
+                return result;
+            }
+            self.waiter
+                .wait_until_event(self.completions.ready_events(), || {
+                    !self.completions.is_empty()
+                });
+        }
+    }
+
+    /// Non-blocking reap: the verdict if it has already been posted.
+    pub fn try_reap(&self, ticket: Ticket) -> Option<Result<SyscallOutcome, MonitorError>> {
+        self.drain_completions();
+        let result = self.reaped.borrow_mut().remove(&ticket);
+        if result.is_some() {
+            self.outstanding.set(self.outstanding.get() - 1);
+        }
+        result
+    }
+
+    /// Issues a system call and blocks for its verdict: submit + reap.
+    /// Observably equivalent to [`ThreadPort::syscall`] for this (variant,
+    /// thread) — the gateway worker runs the identical pipeline.
+    pub fn syscall(&self, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
+        match self.submit(req) {
+            SubmitOutcome::Completed(result) => result,
+            SubmitOutcome::Ticket(ticket) => self.reap(ticket),
+        }
+    }
+
+    /// Flush barrier: resolves every deferred comparison submitted so far
+    /// and returns the verdict.  Replication points
+    /// ([`before_sync_op`](Self::before_sync_op)) call this implicitly.
+    pub fn flush(&self) -> Result<(), MonitorError> {
+        let ticket = self.next_ticket.get();
+        self.next_ticket.set(ticket + 1);
+        self.outstanding.set(self.outstanding.get() + 1);
+        self.push_submission(Submission::Flush { ticket });
+        self.reap(ticket).map(|_| ())
+    }
+
+    /// Brackets the *start* of a sync op: submits a flush barrier, blocks
+    /// at its reap point (a replication point must never overtake a
+    /// pending comparison — the same position in the call stream as the
+    /// sync transport's inline flush), then enters the agent.
+    pub fn before_sync_op(&self, addr: u64) {
+        // A flush failure has already recorded the divergence and poisoned
+        // table + agent; the thread learns about it at its next monitored
+        // call, exactly like the sync transport.
+        let _ = self.flush();
+        self.agent.before_sync_op(&self.ctx, addr);
+    }
+
+    /// Brackets the end of a sync op.
+    pub fn after_sync_op(&self, addr: u64) {
+        self.agent.after_sync_op(&self.ctx, addr);
+    }
+
+    /// Convenience: brackets `op` between
+    /// [`before_sync_op`](Self::before_sync_op) and
+    /// [`after_sync_op`](Self::after_sync_op).
+    pub fn sync_op<T>(&self, addr: u64, op: impl FnOnce() -> T) -> T {
+        self.before_sync_op(addr);
+        let result = op();
+        self.after_sync_op(addr);
+        result
+    }
+
+    /// Deposits one submission, draining completions while the ring is
+    /// full so a stalled worker (blocked pushing a completion) can always
+    /// make progress — the backpressure half of the deadlock-freedom
+    /// argument in the module docs.
+    fn push_submission(&self, submission: Submission) {
+        let mut pending = submission;
+        loop {
+            match self.submissions.try_push(pending) {
+                Ok(()) => return,
+                Err(back) => {
+                    pending = back;
+                    self.drain_completions();
+                    self.waiter
+                        .wait_until_event(self.submissions.space_events(), || {
+                            !self.submissions.is_full() || !self.completions.is_empty()
+                        });
+                }
+            }
+        }
+    }
+
+    /// Moves every posted verdict from the completion ring into the local
+    /// reap buffer.
+    fn drain_completions(&self) {
+        while let Some(completion) = self.completions.try_pop() {
+            self.reaped
+                .borrow_mut()
+                .insert(completion.ticket, completion.result);
+        }
+    }
+}
+
+impl Drop for AsyncThreadPort {
+    fn drop(&mut self) {
+        // Closing the gateway answers every in-flight ticket first (the
+        // worker drains the ring in order), so nothing is lost silently:
+        // un-reaped verdicts are simply abandoned by the caller.  The
+        // worker's inner `ThreadPort` drop then flushes any still-deferred
+        // comparisons and hands the (variant, thread) binding back.
+        self.push_submission(Submission::Close);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for AsyncThreadPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncThreadPort")
+            .field("variant", &self.variant)
+            .field("thread", &self.thread)
+            .field("depth", &self.submissions.capacity())
+            .field("next_ticket", &self.next_ticket.get())
+            .field("outstanding", &self.outstanding.get())
+            .finish()
+    }
+}
+
+/// The gateway worker: drains one port's submission ring through the
+/// monitor pipeline and posts verdicts to its completion ring.
+///
+/// The worker owns the port's inner [`ThreadPort`], so every descriptor
+/// takes exactly the path a synchronous call would — keys, batching,
+/// statistics and verdicts included.  It keeps serving after divergence
+/// (the pipeline answers `ShutDown` immediately) so no ticket is ever left
+/// unanswered, and exits on [`Submission::Close`].
+fn serve_port(
+    port: ThreadPort,
+    submissions: &DescRing<Submission>,
+    completions: &DescRing<Completion>,
+) {
+    let waiter = Waiter::with_strategy(RING_SPIN, WaitStrategy::Adaptive);
+    loop {
+        let Some(submission) = submissions.try_pop() else {
+            waiter.wait_until_event(submissions.ready_events(), || !submissions.is_empty());
+            continue;
+        };
+        let (ticket, result) = match submission {
+            Submission::Call { ticket, req } => (ticket, port.syscall(&req)),
+            Submission::Flush { ticket } => (ticket, port.flush().map(|()| SyscallOutcome::ok(0))),
+            Submission::Close => return,
+        };
+        let mut completion = Completion { ticket, result };
+        loop {
+            match completions.try_push(completion) {
+                Ok(()) => break,
+                Err(back) => {
+                    completion = back;
+                    waiter.wait_until_event(completions.space_events(), || !completions.is_full());
+                }
+            }
+        }
+    }
+    // `port` drops here: deferred comparisons flush, the binding releases.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Transport;
+    use crate::mvee::Mvee;
+    use mvee_kernel::syscall::Sysno;
+
+    fn async_mvee(variants: usize, batch: usize) -> Mvee {
+        Mvee::builder()
+            .variants(variants)
+            .batch(batch)
+            .transport(Transport::AsyncRings { depth: 8 })
+            .manual_clock(true)
+            .build()
+    }
+
+    #[test]
+    fn async_port_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<AsyncThreadPort>();
+    }
+
+    #[test]
+    fn async_port_answers_self_awareness_with_the_variant_index() {
+        let mvee = async_mvee(3, 1);
+        for v in 0..3 {
+            let port = mvee.async_thread_port(v, 0);
+            let out = port
+                .syscall(&SyscallRequest::new(Sysno::MveeSelfAware))
+                .unwrap();
+            assert_eq!(out.result, Ok(v as i64));
+        }
+        assert_eq!(mvee.monitor_stats().self_aware_queries, 3);
+    }
+
+    #[test]
+    fn deferrable_calls_pipeline_and_reap_out_of_order() {
+        let mvee = async_mvee(1, 8);
+        let port = mvee.async_thread_port(0, 0);
+        let mut tickets = Vec::new();
+        for _ in 0..4 {
+            match port.submit(&SyscallRequest::new(Sysno::Brk).with_int(0)) {
+                SubmitOutcome::Ticket(t) => tickets.push(t),
+                SubmitOutcome::Completed(_) => panic!("brk must pipeline"),
+            }
+        }
+        assert_eq!(port.outstanding(), 4);
+        // Reap in reverse order: the local reap buffer reorders verdicts.
+        for t in tickets.into_iter().rev() {
+            port.reap(t).unwrap();
+        }
+        assert_eq!(port.outstanding(), 0);
+        assert_eq!(mvee.monitor_stats().total_syscalls, 4);
+    }
+
+    #[test]
+    fn synchronous_calls_block_at_the_reap_point() {
+        let mvee = async_mvee(1, 8);
+        let port = mvee.async_thread_port(0, 0);
+        // A replicated call must come back Completed, not a ticket.
+        match port.submit(&SyscallRequest::new(Sysno::Gettimeofday)) {
+            SubmitOutcome::Completed(result) => assert!(result.unwrap().is_ok()),
+            SubmitOutcome::Ticket(_) => panic!("replicated calls must block at the reap point"),
+        }
+    }
+
+    #[test]
+    fn variant_runs_ahead_past_ring_capacity() {
+        // More pipelined submissions than the ring holds: backpressure
+        // makes the variant drain completions while waiting for space, and
+        // every verdict still arrives.
+        let mvee = async_mvee(1, 4);
+        let port = mvee.async_thread_port(0, 0);
+        assert_eq!(port.depth(), 8);
+        let tickets: Vec<Ticket> = (0..100)
+            .map(
+                |_| match port.submit(&SyscallRequest::new(Sysno::Brk).with_int(0)) {
+                    SubmitOutcome::Ticket(t) => t,
+                    SubmitOutcome::Completed(_) => panic!("brk must pipeline"),
+                },
+            )
+            .collect();
+        for t in tickets {
+            port.reap(t).unwrap();
+        }
+        assert_eq!(mvee.monitor_stats().total_syscalls, 100);
+        assert_eq!(mvee.monitor().live_deferred(), 0);
+    }
+
+    #[test]
+    fn second_live_port_panics_even_across_transports() {
+        let mvee = async_mvee(1, 1);
+        let _port = mvee.async_thread_port(0, 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _second = mvee.thread_port(0, 0);
+        }));
+        assert!(result.is_err(), "the inner port enforces one live owner");
+    }
+
+    #[test]
+    fn dropping_an_async_port_hands_the_sequence_back() {
+        let mvee = async_mvee(1, 1);
+        {
+            let port = mvee.async_thread_port(0, 0);
+            port.syscall(&SyscallRequest::new(Sysno::Getpid)).unwrap();
+            port.syscall(&SyscallRequest::new(Sysno::Getpid)).unwrap();
+        }
+        let port = mvee.async_thread_port(0, 0);
+        port.syscall(&SyscallRequest::new(Sysno::Getpid)).unwrap();
+        assert_eq!(mvee.monitor_stats().total_syscalls, 3);
+    }
+
+    #[test]
+    fn sync_op_flushes_pipelined_comparisons_first() {
+        let mvee = async_mvee(2, 8);
+        let mut handles = Vec::new();
+        for v in 0..2 {
+            let port = mvee.async_thread_port(v, 0);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2 {
+                    match port.submit(&SyscallRequest::new(Sysno::Brk).with_int(0)) {
+                        SubmitOutcome::Ticket(_) => {}
+                        SubmitOutcome::Completed(_) => panic!("brk must pipeline"),
+                    }
+                }
+                // The replication point is a verdict barrier.
+                port.sync_op(0x1000, || ());
+                // Both pipelined verdicts are now posted.
+                assert_eq!(port.try_reap(0).unwrap(), port.try_reap(1).unwrap());
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = mvee.monitor_stats();
+        assert_eq!(stats.batched_comparisons, 4);
+        assert_eq!(stats.batch_flushes, 2, "one flush per variant");
+        assert!(!mvee.monitor().has_diverged());
+    }
+}

@@ -109,6 +109,70 @@ impl Placement {
     }
 }
 
+/// Default submission/completion ring depth for
+/// [`Transport::AsyncRings`]: deep enough to cover a full comparison batch
+/// plus pipelined run-ahead, small enough to stay cache-resident.
+pub const DEFAULT_RING_DEPTH: usize = 64;
+
+/// How variant threads hand their system calls to the monitor.
+///
+/// * [`Transport::Sync`] — the historical shape: the variant thread walks
+///   the monitor pipeline itself inside
+///   [`ThreadPort::syscall`](crate::port::ThreadPort::syscall) and blocks
+///   in every rendezvous.
+/// * [`Transport::AsyncRings`] — the asynchronous gateway: each
+///   (variant, thread) port owns a paired submission/completion ring
+///   (virtio split-queue style); the variant thread deposits descriptors
+///   and runs ahead into already-resolved work while a per-port gateway
+///   worker drains the submission ring through the same pipeline and posts
+///   verdicts to the completion ring.  Calls the policy marks synchronous
+///   (replicated, ordered, process-lifecycle) still block at the reap
+///   point, so verdicts are identical to the sync transport; see
+///   [`crate::async_port`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Variant threads block in the monitor pipeline directly.
+    #[default]
+    Sync,
+    /// Per-port submission/completion rings with a gateway worker.
+    AsyncRings {
+        /// Ring capacity in descriptors (rounded up to a power of two):
+        /// how far a variant thread may run ahead of the monitor.
+        depth: usize,
+    },
+}
+
+impl Transport {
+    /// An [`AsyncRings`](Transport::AsyncRings) transport with the default
+    /// ring depth.
+    pub fn async_default() -> Self {
+        Transport::AsyncRings {
+            depth: DEFAULT_RING_DEPTH,
+        }
+    }
+
+    /// Whether this is the asynchronous ring transport.
+    pub fn is_async(&self) -> bool {
+        matches!(self, Transport::AsyncRings { .. })
+    }
+
+    /// The configured ring depth, if asynchronous.
+    pub fn depth(&self) -> Option<usize> {
+        match self {
+            Transport::Sync => None,
+            Transport::AsyncRings { depth } => Some(*depth),
+        }
+    }
+
+    /// Short name used in benchmark tables and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transport::Sync => "sync",
+            Transport::AsyncRings { .. } => "async-rings",
+        }
+    }
+}
+
 /// The shared MVEE tuning knobs: one struct, consumed by every front end.
 ///
 /// `MveeBuilder`, `RunConfig` and `NginxServerConfig` all embed an
@@ -137,6 +201,10 @@ pub struct MveeConfig {
     /// How long a rendezvous or replication wait may take before the monitor
     /// declares divergence.
     pub lockstep_timeout: Duration,
+    /// How variant threads hand calls to the monitor: blocking in the
+    /// pipeline ([`Transport::Sync`], the default) or through per-port
+    /// submission/completion rings ([`Transport::AsyncRings`]).
+    pub transport: Transport,
 }
 
 impl Default for MveeConfig {
@@ -149,6 +217,7 @@ impl Default for MveeConfig {
             batch: 1,
             placement: Placement::RoundRobin,
             lockstep_timeout: Duration::from_secs(5),
+            transport: Transport::Sync,
         }
     }
 }
@@ -212,6 +281,19 @@ impl MveeConfig {
     /// Sets the rendezvous / replication timeout (builder style).
     pub fn with_lockstep_timeout(mut self, timeout: Duration) -> Self {
         self.lockstep_timeout = timeout;
+        self
+    }
+
+    /// Sets the variant↔monitor transport (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an [`Transport::AsyncRings`] depth of zero.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        if let Transport::AsyncRings { depth } = transport {
+            assert!(depth > 0, "async ring depth must be at least one");
+        }
+        self.transport = transport;
         self
     }
 }
@@ -326,6 +408,32 @@ mod tests {
             MveeConfig::default().agent_config.wait,
             WaitStrategy::Adaptive
         );
+    }
+
+    #[test]
+    fn transport_defaults_to_sync_and_reports_its_shape() {
+        let c = MveeConfig::default();
+        assert_eq!(c.transport, Transport::Sync);
+        assert!(!c.transport.is_async());
+        assert_eq!(c.transport.depth(), None);
+        assert_eq!(c.transport.name(), "sync");
+
+        let c = c.with_transport(Transport::async_default());
+        assert!(c.transport.is_async());
+        assert_eq!(c.transport.depth(), Some(DEFAULT_RING_DEPTH));
+        assert_eq!(c.transport.name(), "async-rings");
+        assert_eq!(
+            c.with_transport(Transport::AsyncRings { depth: 16 })
+                .transport
+                .depth(),
+            Some(16)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ring depth")]
+    fn zero_ring_depth_panics() {
+        let _ = MveeConfig::default().with_transport(Transport::AsyncRings { depth: 0 });
     }
 
     #[test]

@@ -31,6 +31,19 @@ pub enum DivergenceKind {
         /// The variant(s) that did arrive in time.
         arrived: Vec<usize>,
     },
+    /// A variant timed out waiting for another variant (the publisher —
+    /// in practice always the master) to publish a replicated outcome or
+    /// an ordering timestamp.  The report's `variant` field names the
+    /// *waiting* variant — the one whose call stream reached a point the
+    /// publisher's never did — and `publisher` names the variant whose
+    /// publication never came.
+    ReplicationTimeout {
+        /// The variant that never published the awaited outcome.
+        publisher: usize,
+        /// The variants that actually arrived at the slot, as recorded in
+        /// the lockstep table (empty when the call carries no rendezvous).
+        arrived: Vec<usize>,
+    },
     /// A variant issued a call that the policy forbids outright
     /// (used by tests to model policies with deny-lists).
     PolicyViolation {
@@ -68,6 +81,10 @@ impl DivergenceReport {
             DivergenceKind::RendezvousTimeout { arrived } => format!(
                 "divergence on thread {} call #{}: variant {} did not reach the rendezvous (arrived: {:?})",
                 self.thread, self.sequence, self.variant, arrived
+            ),
+            DivergenceKind::ReplicationTimeout { publisher, arrived } => format!(
+                "divergence on thread {} call #{}: variant {} timed out waiting for variant {} to publish its outcome (arrived: {:?})",
+                self.thread, self.sequence, self.variant, publisher, arrived
             ),
             DivergenceKind::PolicyViolation { call } => format!(
                 "policy violation on thread {} call #{}: variant {} issued forbidden call {}",
@@ -180,5 +197,22 @@ mod tests {
             variant: 1,
         };
         assert!(timeout.summary().contains("did not reach"));
+    }
+
+    #[test]
+    fn replication_timeout_summary_names_waiter_and_publisher() {
+        let report = DivergenceReport {
+            kind: DivergenceKind::ReplicationTimeout {
+                publisher: 0,
+                arrived: vec![1],
+            },
+            thread: 3,
+            sequence: 9,
+            variant: 1,
+        };
+        let s = report.summary();
+        assert!(s.contains("variant 1 timed out"));
+        assert!(s.contains("variant 0 to publish"));
+        assert!(s.contains("[1]"));
     }
 }

@@ -40,8 +40,14 @@
 //!   the [`config::Placement`] policy), sequence counter, agent context and
 //!   deferred-comparison queue, turning thread identity into a type instead
 //!   of a per-call `(variant, thread)` convention.
+//! * [`async_port::AsyncThreadPort`] — the asynchronous transport: paired
+//!   per-port submission/completion rings (virtio split-queue style) with a
+//!   dedicated monitor-side gateway worker, so a variant thread deposits a
+//!   call descriptor and runs ahead while the monitor compares in the
+//!   background.  Selected via [`config::Transport`]; calls the policy
+//!   marks synchronous still block at the reap point.
 //! * [`config::MveeConfig`] — the one shared tuning block (policy, agent,
-//!   shards, batch, placement, timeout) every front end embeds.
+//!   transport, shards, batch, placement, timeout) every front end embeds.
 //!
 //! The crate deliberately knows nothing about *how* variants execute; the
 //! `mvee-variant` crate drives real OS threads through the gateway.
@@ -49,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod async_port;
 pub mod config;
 pub mod divergence;
 pub mod lockstep;
@@ -58,7 +65,8 @@ pub mod ordering;
 pub mod policy;
 pub mod port;
 
-pub use config::{MveeConfig, Placement};
+pub use async_port::{AsyncThreadPort, SubmitOutcome, Ticket};
+pub use config::{MveeConfig, Placement, Transport};
 pub use divergence::{DivergenceKind, DivergenceReport};
 pub use monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
 pub use mvee::{Mvee, MveeBuilder, VariantGateway};

@@ -258,6 +258,19 @@ impl LockstepTable {
         self.shards.iter().map(|s| s.slots.lock().len()).collect()
     }
 
+    /// The variants currently recorded as arrived at `key`, for divergence
+    /// reports.  Purely observational: it does not create a slot, register
+    /// a waiter or disturb reclamation; an absent slot reads as no
+    /// arrivals.
+    pub fn arrivals(&self, key: SlotKey) -> Vec<usize> {
+        self.shard(key)
+            .slots
+            .lock()
+            .get(&key)
+            .map(Self::arrived_variants)
+            .unwrap_or_default()
+    }
+
     /// Marks the table as poisoned and wakes every waiter.
     ///
     /// Called when divergence has been detected so that threads blocked in a

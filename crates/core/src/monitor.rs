@@ -50,7 +50,7 @@ use mvee_kernel::process::Pid;
 use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest, Sysno};
 use mvee_sync_agent::guards::Waiter;
 
-use crate::config::Placement;
+use crate::config::{Placement, Transport};
 use crate::divergence::{DivergenceKind, DivergenceReport};
 use crate::lockstep::{
     ArrivalResult, BatchArrival, LockstepTable, SlotKey, DEFAULT_SHARDS, MAX_BATCH,
@@ -98,6 +98,11 @@ pub struct MonitorConfig {
     /// [`Placement`](crate::config::Placement)).  [`Placement::RoundRobin`]
     /// reproduces the historical `thread % shards` binding.
     pub placement: Placement,
+    /// How variant threads hand calls to the monitor (see
+    /// [`Transport`](crate::config::Transport)): blocking in the pipeline
+    /// directly, or through per-port submission/completion rings drained by
+    /// a gateway worker ([`crate::async_port`]).
+    pub transport: Transport,
 }
 
 impl Default for MonitorConfig {
@@ -111,6 +116,7 @@ impl Default for MonitorConfig {
             shards: DEFAULT_SHARDS,
             batch: 1,
             placement: Placement::RoundRobin,
+            transport: Transport::Sync,
         }
     }
 }
@@ -763,13 +769,22 @@ impl Monitor {
                     if self.has_diverged() {
                         return Err(MonitorError::ShutDown);
                     }
+                    // The slave reached this call but the master never
+                    // published an outcome for it.  Blame the *waiting*
+                    // variant — it is the one whose call stream reached a
+                    // point the publisher's never did — name the missing
+                    // publisher, and report the slot's real arrival set
+                    // (not a fabricated `vec![variant]`, which used to
+                    // masquerade the timed-out slave as the only arrival
+                    // while blaming the master).
                     Err(self.record_divergence(DivergenceReport {
-                        kind: DivergenceKind::RendezvousTimeout {
-                            arrived: vec![variant],
+                        kind: DivergenceKind::ReplicationTimeout {
+                            publisher: 0,
+                            arrived: self.lockstep.arrivals(key),
                         },
                         thread,
                         sequence: seq,
-                        variant: 0,
+                        variant,
                     }))
                 }
             }
@@ -805,13 +820,18 @@ impl Monitor {
                     if self.has_diverged() {
                         return Err(MonitorError::ShutDown);
                     }
+                    // Same attribution as `run_replicated`: the waiting
+                    // slave diverged relative to the master's (absent)
+                    // timestamp publication, and the report names the
+                    // missing publisher plus the slot's real arrival set.
                     return Err(self.record_divergence(DivergenceReport {
-                        kind: DivergenceKind::RendezvousTimeout {
-                            arrived: vec![variant],
+                        kind: DivergenceKind::ReplicationTimeout {
+                            publisher: 0,
+                            arrived: self.lockstep.arrivals(key),
                         },
                         thread,
                         sequence: seq,
-                        variant: 0,
+                        variant,
                     }));
                 }
             };
@@ -1376,6 +1396,115 @@ mod tests {
             0,
             "divergence must drop pending batches"
         );
+    }
+
+    #[test]
+    fn replication_timeout_blames_the_waiting_slave_and_names_the_publisher() {
+        // Regression: the timeout path used to emit
+        // `RendezvousTimeout { arrived: vec![variant] }` with `variant: 0`
+        // — blaming the master for a slave's timeout and presenting the
+        // timed-out slave as the only arrival.  A slave waiting on a
+        // replicated outcome (recv: replicated, never locksteped) that the
+        // master never publishes must be reported as the diverging party,
+        // with the missing publisher named and the real arrival set.
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::StrictLockstep);
+        let r = monitor.syscall(1, 0, &SyscallRequest::new(Sysno::Recv).with_fd(3));
+        assert!(r.is_err());
+        let report = monitor
+            .divergence()
+            .expect("timeout must record divergence");
+        assert_eq!(
+            report.variant, 1,
+            "the waiting slave is the diverging party"
+        );
+        assert_eq!(report.thread, 0);
+        assert_eq!(report.sequence, 0);
+        match report.kind {
+            DivergenceKind::ReplicationTimeout { publisher, arrived } => {
+                assert_eq!(publisher, 0, "the master never published");
+                assert!(
+                    arrived.is_empty(),
+                    "a replication-only call carries no rendezvous arrivals, got {arrived:?}"
+                );
+            }
+            other => panic!("expected ReplicationTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ordered_publisher_timeout_blames_the_waiting_slave() {
+        // Same attribution on the ordered path: under NoComparison a brk is
+        // ordered (timestamp-published), so a slave issuing one the master
+        // never issued times out waiting for the publication.
+        let (monitor, _) = make_monitor(2, MonitoringPolicy::NoComparison);
+        let r = monitor.syscall(1, 0, &SyscallRequest::new(Sysno::Brk).with_int(0));
+        assert!(r.is_err());
+        let report = monitor
+            .divergence()
+            .expect("timeout must record divergence");
+        assert_eq!(report.variant, 1);
+        assert!(matches!(
+            report.kind,
+            DivergenceKind::ReplicationTimeout { publisher: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn mid_batch_divergence_on_the_legacy_path_releases_each_waiter_once() {
+        // Pin: when divergence lands while other threads stream deferrable
+        // calls through the legacy index-addressed path, the poison sweep
+        // must release every rendezvous waiter exactly once.  A
+        // double-release underflows `Slot::waiters` (a debug-assert panic
+        // that would surface in the `join` below) and a missed release
+        // leaks the slot (`live_deferred` stays nonzero).
+        let (monitor, _) = make_monitor_config(2, MonitoringPolicy::StrictLockstep, 2, 4);
+        let mut streams = Vec::new();
+        for variant in 0..2 {
+            let m = Arc::clone(&monitor);
+            streams.push(std::thread::spawn(move || {
+                // Stream until the divergence shuts the MVEE down (bounded
+                // so a missed shutdown fails the test instead of hanging).
+                for _ in 0..2_000_000 {
+                    if m.syscall(variant, 0, &SyscallRequest::new(Sysno::Brk).with_int(0))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }));
+        }
+        // Mid-stream, thread 1 diverges: mismatched calls at its first slot.
+        let m = Arc::clone(&monitor);
+        let slave = std::thread::spawn(move || {
+            m.syscall(1, 1, &SyscallRequest::new(Sysno::Mprotect).with_int(4096))
+        });
+        let master = monitor.syscall(
+            0,
+            1,
+            &SyscallRequest::new(Sysno::Write)
+                .with_fd(1)
+                .with_payload(b"x"),
+        );
+        let slave = slave.join().expect("diverging slave must not panic");
+        assert!(
+            master.is_err() || slave.is_err(),
+            "the mismatch must be detected"
+        );
+        for s in streams {
+            s.join()
+                .expect("stream thread must not panic (no waiter double-release)");
+        }
+        assert!(monitor.has_diverged());
+        assert_eq!(
+            monitor.live_deferred(),
+            0,
+            "post-divergence deferred queues must be dropped, not leaked"
+        );
+        // And the shutdown is absorbing: later calls answer ShutDown without
+        // re-queueing comparisons.
+        let r = monitor.syscall(0, 0, &SyscallRequest::new(Sysno::Brk).with_int(0));
+        assert_eq!(r, Err(MonitorError::ShutDown));
+        assert_eq!(monitor.live_deferred(), 0);
     }
 
     #[test]

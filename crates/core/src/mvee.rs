@@ -17,7 +17,8 @@ use mvee_sync_agent::agents::{build_agent, AgentKind};
 use mvee_sync_agent::context::{AgentConfig, SyncContext, VariantRole};
 use mvee_sync_agent::{AgentStats, SyncAgent};
 
-use crate::config::{MveeConfig, Placement};
+use crate::async_port::AsyncThreadPort;
+use crate::config::{MveeConfig, Placement, Transport, DEFAULT_RING_DEPTH};
 use crate::divergence::DivergenceReport;
 use crate::monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
 use crate::policy::MonitoringPolicy;
@@ -165,6 +166,20 @@ impl MveeBuilder {
         self
     }
 
+    /// Selects the variant↔monitor transport: [`Transport::Sync`] (the
+    /// default — calls block inline in the monitor pipeline) or
+    /// [`Transport::AsyncRings`] (per-port submission/completion rings with
+    /// a monitor-side gateway worker; see
+    /// [`AsyncThreadPort`](crate::async_port::AsyncThreadPort)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an async ring depth of zero.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.config = self.config.with_transport(transport);
+        self
+    }
+
     /// Builds the MVEE: spawns one kernel process per variant, constructs the
     /// monitor and injects the synchronization agent.
     ///
@@ -198,6 +213,7 @@ impl MveeBuilder {
             shards: self.config.shards,
             batch: self.config.batch,
             placement: self.config.placement.clone(),
+            transport: self.config.transport,
         };
         let monitor = Arc::new(Monitor::new(
             monitor_config,
@@ -342,6 +358,20 @@ impl Mvee {
     pub fn thread_port(&self, variant: usize, thread: usize) -> ThreadPort {
         self.gateway(variant).thread(thread)
     }
+
+    /// Acquires the [`AsyncThreadPort`] for logical thread `thread` of
+    /// variant `variant`: the ring-based transport, with the depth taken
+    /// from the configured [`Transport`] (or the default depth when the
+    /// MVEE was built with the synchronous transport).  Shorthand for
+    /// `mvee.gateway(variant).async_thread(thread)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or if a live port already owns this
+    /// (variant, thread).
+    pub fn async_thread_port(&self, variant: usize, thread: usize) -> AsyncThreadPort {
+        self.gateway(variant).async_thread(thread)
+    }
 }
 
 /// A per-variant handle: the system-call gateway plus the sync-agent hooks.
@@ -389,6 +419,33 @@ impl VariantGateway {
         )
     }
 
+    /// Acquires the [`AsyncThreadPort`] for logical thread `thread`: the
+    /// asynchronous ring transport (see the [`async_port`](crate::async_port)
+    /// module docs).  The ring depth comes from the monitor's configured
+    /// [`Transport`]; an MVEE built with [`Transport::Sync`] still hands out
+    /// async ports on request, at the default depth, which is how the
+    /// equivalence harness runs both transports against one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range thread index or if a live port already
+    /// owns this (variant, thread).
+    pub fn async_thread(&self, thread: usize) -> AsyncThreadPort {
+        let depth = self
+            .monitor
+            .config()
+            .transport
+            .depth()
+            .unwrap_or(DEFAULT_RING_DEPTH);
+        AsyncThreadPort::new(
+            Arc::clone(&self.monitor),
+            Arc::clone(&self.agent),
+            self.variant,
+            thread,
+            depth,
+        )
+    }
+
     /// Builds the sync context for logical thread `thread`.
     pub fn sync_context(&self, thread: usize) -> SyncContext {
         SyncContext::new(self.role(), thread)
@@ -423,6 +480,13 @@ impl VariantGateway {
     /// Direct access to the injected agent.
     pub fn agent(&self) -> &Arc<dyn SyncAgent> {
         &self.agent
+    }
+
+    /// The transport the MVEE was configured with — what
+    /// [`thread_port`](crate::mvee::Mvee::thread_port)-style factories use
+    /// to decide between sync and async ports.
+    pub fn transport(&self) -> Transport {
+        self.monitor.config().transport
     }
 
     /// Whether the MVEE has shut down due to divergence.

@@ -282,11 +282,26 @@ impl ThreadPort {
 
 impl Drop for ThreadPort {
     fn drop(&mut self) {
+        // Ports are advertised as re-acquirable "across phases of a
+        // workload", so a drop is *not* evidence of shutdown: a thread may
+        // hand its port back mid-run with compare-only calls still
+        // deferred, and silently discarding them would let those calls
+        // return `Ok` without ever being compared — a missed-divergence
+        // window.  Flush them here; the peers' equivalent drops (or their
+        // next synchronous calls) meet the batch in the rendezvous table
+        // exactly as an inline flush would.  A flush failure has already
+        // recorded the divergence, and `Drop` has nowhere to report the
+        // error anyway — the next monitored call returns `ShutDown`.
+        //
+        // Only a poisoned MVEE drops the queue outright: the table would
+        // answer `Poisoned` and the variants are terminating.
+        if self.monitor.has_diverged() {
+            self.pending.borrow_mut().clear();
+        } else {
+            let _ = self.flush();
+        }
         // Hand the sequence counter back so a later port (or the legacy
-        // path) continues the key stream.  Any still-deferred comparisons
-        // are dropped with the port: a cleanly terminating thread has
-        // already flushed (process-lifecycle calls are synchronous), so a
-        // non-empty queue here means the MVEE is shutting down.
+        // path) continues the key stream.
         self.monitor
             .release_port(self.variant, self.thread, self.seq.get());
     }
@@ -447,6 +462,87 @@ mod tests {
             master.syscall(&SyscallRequest::new(Sysno::SchedYield)),
             Err(MonitorError::ShutDown)
         );
+    }
+
+    #[test]
+    fn dropping_a_port_flushes_pending_comparisons() {
+        // Regression: drop used to clear the pending queue outright,
+        // silently discarding deferred comparisons even though ports are
+        // documented as re-acquirable across workload phases — a
+        // missed-divergence window.  Here each variant defers one
+        // *mismatched* compare-only call and then drops its port mid-phase:
+        // the drop-flush must rendezvous and catch the mismatch.
+        let mvee = Mvee::builder()
+            .variants(2)
+            .batch(8)
+            .manual_clock(true)
+            .lockstep_timeout(std::time::Duration::from_secs(5))
+            .build();
+        let mut handles = Vec::new();
+        for v in 0..2 {
+            let port = mvee.thread_port(v, 0);
+            handles.push(std::thread::spawn(move || {
+                let len = if v == 0 { 4096 } else { 666 };
+                let r = port.syscall(&SyscallRequest::new(Sysno::Mprotect).with_int(len));
+                assert!(
+                    r.is_ok(),
+                    "the compare-only call is deferred, not compared yet"
+                );
+                assert_eq!(port.pending_comparisons(), 1);
+                drop(port); // end of phase: must flush, not discard
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = mvee
+            .divergence()
+            .expect("the drop-flush must detect the deferred mismatch");
+        assert!(matches!(
+            report.kind,
+            crate::divergence::DivergenceKind::SyscallMismatch { .. }
+        ));
+        assert_eq!(report.variant, 1);
+        assert_eq!(report.sequence, 0);
+        // The next phase's re-acquired port observes the shutdown.
+        let port = mvee.thread_port(0, 0);
+        assert_eq!(
+            port.syscall(&SyscallRequest::new(Sysno::SchedYield)),
+            Err(MonitorError::ShutDown)
+        );
+    }
+
+    #[test]
+    fn clean_drop_flushes_and_the_next_phase_continues() {
+        // The matching-comparison half of the drop-flush contract: trailing
+        // deferred comparisons are resolved (counted as a flush), nothing
+        // diverges, and the next phase re-acquires cleanly.
+        let mvee = Mvee::builder()
+            .variants(2)
+            .batch(8)
+            .manual_clock(true)
+            .build();
+        for phase in 0..2 {
+            let mut handles = Vec::new();
+            for v in 0..2 {
+                let port = mvee.thread_port(v, 0);
+                handles.push(std::thread::spawn(move || {
+                    let calls = if phase == 0 { 2 } else { 1 };
+                    for _ in 0..calls {
+                        port.syscall(&SyscallRequest::new(Sysno::Brk).with_int(0))
+                            .unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        let stats = mvee.monitor_stats();
+        assert!(!mvee.monitor().has_diverged());
+        assert_eq!(stats.batched_comparisons, 6);
+        assert_eq!(stats.batch_flushes, 4, "one flush per variant per phase");
+        assert_eq!(mvee.monitor().live_deferred(), 0);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod clockwall;
 pub mod context;
 pub mod guards;
 pub mod ring;
+pub mod spsc;
 pub mod stats;
 
 pub use agents::{AgentKind, NullAgent, PartialOrderAgent, TotalOrderAgent, WallOfClocksAgent};

@@ -246,7 +246,8 @@ impl SharedStats {
                 .fetch_add(tally.spins, Ordering::Relaxed);
         }
         if tally.yields > 0 {
-            lane.master_yields.fetch_add(tally.yields, Ordering::Relaxed);
+            lane.master_yields
+                .fetch_add(tally.yields, Ordering::Relaxed);
         }
         if tally.parks > 0 {
             lane.master_parks.fetch_add(tally.parks, Ordering::Relaxed);

@@ -24,12 +24,29 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use mvee_core::async_port::{AsyncThreadPort, SubmitOutcome, Ticket};
 use mvee_core::monitor::MonitorError;
 use mvee_core::mvee::VariantGateway;
 use mvee_core::port::ThreadPort;
 use mvee_kernel::kernel::Kernel;
 use mvee_kernel::process::Pid;
 use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest};
+
+/// What [`ThreadSyscallPort::submit`] did with a call: either the verdict
+/// (the port completed it synchronously) or a ticket to [`reap`] later.
+///
+/// Mirrors [`SubmitOutcome`] from the core async transport, re-expressed at
+/// the trait level so the executor does not need to know which transport is
+/// behind the box.
+///
+/// [`reap`]: ThreadSyscallPort::reap
+#[derive(Debug)]
+pub enum Submitted {
+    /// The call completed synchronously; this is its verdict.
+    Done(Result<SyscallOutcome, MonitorError>),
+    /// The call was pipelined; reap the verdict with the ticket.
+    Pending(Ticket),
+}
 
 /// What one variant *thread* calls instead of the kernel.
 ///
@@ -39,6 +56,27 @@ use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest};
 pub trait ThreadSyscallPort: Send {
     /// Issues a system call on behalf of this port's logical thread.
     fn syscall(&self, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError>;
+
+    /// Submits a call, possibly without waiting for its verdict.
+    ///
+    /// Synchronous transports complete every call inline, so the default
+    /// simply wraps [`syscall`](Self::syscall) in [`Submitted::Done`].  The
+    /// async ring transport pipelines compare-only and uncompared calls as
+    /// [`Submitted::Pending`] tickets instead.
+    fn submit(&self, req: &SyscallRequest) -> Submitted {
+        Submitted::Done(self.syscall(req))
+    }
+
+    /// Blocks for — and returns — the verdict of a [`Submitted::Pending`]
+    /// ticket.
+    ///
+    /// # Panics
+    ///
+    /// The default panics: synchronous transports never hand out tickets,
+    /// so reaping one is an executor bug, not a runtime condition.
+    fn reap(&self, ticket: Ticket) -> Result<SyscallOutcome, MonitorError> {
+        panic!("this port completes calls synchronously; ticket {ticket} was never issued");
+    }
 
     /// Called immediately before a sync op on the variable at `addr`.
     fn before_sync_op(&self, addr: u64);
@@ -88,9 +126,50 @@ impl ThreadSyscallPort for ThreadPort {
     }
 }
 
+impl ThreadSyscallPort for AsyncThreadPort {
+    fn syscall(&self, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
+        AsyncThreadPort::syscall(self, req)
+    }
+
+    fn submit(&self, req: &SyscallRequest) -> Submitted {
+        match AsyncThreadPort::submit(self, req) {
+            SubmitOutcome::Completed(result) => Submitted::Done(result),
+            SubmitOutcome::Ticket(ticket) => Submitted::Pending(ticket),
+        }
+    }
+
+    fn reap(&self, ticket: Ticket) -> Result<SyscallOutcome, MonitorError> {
+        AsyncThreadPort::reap(self, ticket)
+    }
+
+    fn before_sync_op(&self, addr: u64) {
+        AsyncThreadPort::before_sync_op(self, addr)
+    }
+
+    fn after_sync_op(&self, addr: u64) {
+        AsyncThreadPort::after_sync_op(self, addr)
+    }
+
+    fn variant_index(&self) -> usize {
+        AsyncThreadPort::variant_index(self)
+    }
+
+    fn thread_index(&self) -> usize {
+        AsyncThreadPort::thread_index(self)
+    }
+}
+
 impl SyscallPort for VariantGateway {
+    /// Transport-aware: yields a synchronous [`ThreadPort`] or an
+    /// [`AsyncThreadPort`] according to the MVEE's configured
+    /// [`Transport`](mvee_core::config::Transport), so executors pick up
+    /// the ring transport with no code change.
     fn thread_port(&self, thread: usize) -> Box<dyn ThreadSyscallPort> {
-        Box::new(self.thread(thread))
+        if self.transport().is_async() {
+            Box::new(self.async_thread(thread))
+        } else {
+            Box::new(self.thread(thread))
+        }
     }
 
     fn variant_index(&self) -> usize {
@@ -225,6 +304,48 @@ mod tests {
             port.syscall(&SyscallRequest::new(Sysno::Gettid)).unwrap();
         }
         assert_eq!(factory.syscall_count(), 3);
+    }
+
+    #[test]
+    fn sync_ports_complete_submissions_inline() {
+        // The trait's default `submit` wraps `syscall`: a synchronous port
+        // never hands out tickets.
+        let kernel = Arc::new(Kernel::new_manual_clock());
+        let pid = kernel.spawn_process();
+        let factory = NativePort::new(Arc::clone(&kernel), pid);
+        let port = factory.thread_port(0);
+        match port.submit(&SyscallRequest::new(Sysno::Getpid)) {
+            Submitted::Done(result) => assert!(result.unwrap().is_ok()),
+            Submitted::Pending(_) => panic!("sync ports must complete inline"),
+        }
+    }
+
+    #[test]
+    fn async_transport_factory_yields_pipelining_ports() {
+        // With Transport::AsyncRings configured, the gateway factory hands
+        // out ring-backed ports behind the same trait object, and
+        // compare-only calls come back as tickets.
+        let mvee = mvee_core::mvee::Mvee::builder()
+            .variants(1)
+            .transport(mvee_core::config::Transport::AsyncRings { depth: 8 })
+            .manual_clock(true)
+            .build();
+        let gw = mvee.gateway(0);
+        let factory: &dyn SyscallPort = &gw;
+        let port = factory.thread_port(0);
+        match port.submit(&SyscallRequest::new(Sysno::Brk).with_int(0)) {
+            Submitted::Pending(ticket) => {
+                port.reap(ticket).unwrap();
+            }
+            Submitted::Done(_) => panic!("the async transport must pipeline brk"),
+        }
+        // Replicated calls stay synchronous even on the async transport.
+        match port.submit(&SyscallRequest::new(Sysno::Gettimeofday)) {
+            Submitted::Done(result) => assert!(result.unwrap().is_ok()),
+            Submitted::Pending(_) => panic!("replicated calls must block at the reap point"),
+        }
+        drop(port);
+        assert_eq!(mvee.monitor_stats().total_syscalls, 2);
     }
 
     #[test]

@@ -89,6 +89,10 @@ fn run_plan(
                                 ok += 1;
                             }
                         }
+                        // The port path flushes trailing deferred
+                        // comparisons when the port drops; mirror that
+                        // end-of-plan flush so the stats stay comparable.
+                        let _ = mvee.monitor().flush_deferred(variant, thread);
                     }
                     Path::Port => {
                         let port = mvee.thread_port(variant, thread);
