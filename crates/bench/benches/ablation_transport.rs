@@ -1,5 +1,7 @@
 //! Ablation: the variant↔monitor transport — synchronous ports vs the
-//! asynchronous submission/completion rings.
+//! asynchronous submission/completion rings, with the ring cells split by
+//! who drains them: a dedicated gateway worker per port (`PerPort`) or a
+//! fixed polling pool of 1, 2 or `THREADS` shards (`Pool(n)`).
 //!
 //! Every (variant, thread) pair drives the same deferrable-heavy call
 //! stream (brk/mmap/mprotect with a periodic replicated `gettimeofday`)
@@ -15,14 +17,16 @@
 //! per (variants × transport) cell and writes the machine-readable
 //! `BENCH_transport.json` at the repository root (override the path with
 //! `MVEE_BENCH_JSON`); `BASELINES.md` records the same numbers.
-//! `MVEE_BENCH_VARIANTS` (default `2,8`) tunes the sweep.
+//! `MVEE_BENCH_VARIANTS` (default `2,8`) tunes the sweep;
+//! `MVEE_BENCH_TRANSPORTS` (comma-separated `Transport::label()` values,
+//! e.g. `sync,async-pool1`) restricts which transport cells run.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use mvee_core::async_port::SubmitOutcome;
-use mvee_core::config::Transport;
+use mvee_core::config::{Pollers, Transport};
 use mvee_core::mvee::Mvee;
 use mvee_kernel::syscall::{SyscallRequest, Sysno};
 use mvee_sync_agent::agents::AgentKind;
@@ -170,8 +174,46 @@ fn run_issue_timed(variants: usize, transport: Transport) -> (u64, u128) {
     (mvee.monitor_stats().total_syscalls, issue_ns)
 }
 
-fn transports() -> [Transport; 2] {
-    [Transport::Sync, Transport::AsyncRings { depth: RING_DEPTH }]
+/// The transport cells: sync, per-port ring workers, and polling pools of
+/// 1, 2 and `THREADS` shards.  `MVEE_BENCH_TRANSPORTS` (comma-separated
+/// labels) restricts the set — CI uses it for a `sync,async-pool1` smoke.
+fn transports() -> Vec<Transport> {
+    let all = vec![
+        Transport::Sync,
+        Transport::AsyncRings {
+            depth: RING_DEPTH,
+            pollers: Pollers::PerPort,
+        },
+        Transport::AsyncRings {
+            depth: RING_DEPTH,
+            pollers: Pollers::Pool(1),
+        },
+        Transport::AsyncRings {
+            depth: RING_DEPTH,
+            pollers: Pollers::Pool(2),
+        },
+        Transport::AsyncRings {
+            depth: RING_DEPTH,
+            pollers: Pollers::Pool(THREADS),
+        },
+    ];
+    let Ok(filter) = std::env::var("MVEE_BENCH_TRANSPORTS") else {
+        return all;
+    };
+    let wanted: Vec<&str> = filter
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let picked: Vec<Transport> = all
+        .into_iter()
+        .filter(|t| wanted.iter().any(|w| *w == t.label()))
+        .collect();
+    assert!(
+        !picked.is_empty(),
+        "MVEE_BENCH_TRANSPORTS={filter:?} matched no transport label"
+    );
+    picked
 }
 
 /// One calibrated measurement cell: repeat the run until ~`budget` has
@@ -206,7 +248,7 @@ fn emit_json(cells: &[(usize, Transport, f64, f64)]) {
         .map(|(variants, transport, wall, issue)| {
             format!(
                 "    {{ \"variants\": {variants}, \"transport\": \"{}\", \"ns_per_call\": {wall:.1}, \"issue_ns_per_call\": {issue:.1} }}",
-                transport.name()
+                transport.label()
             )
         })
         .collect();
@@ -230,7 +272,7 @@ fn bench_transports(c: &mut Criterion) {
     group.sample_size(10);
     for variants in variant_counts() {
         for transport in transports() {
-            let id = BenchmarkId::new(format!("{variants}v/{THREADS}t"), transport.name());
+            let id = BenchmarkId::new(format!("{variants}v/{THREADS}t"), transport.label());
             group.bench_function(id, |b| {
                 b.iter(|| run(variants, transport));
             });

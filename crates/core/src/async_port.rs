@@ -22,23 +22,29 @@
 //! generalized to carry owned descriptors; see
 //! [`mvee_sync_agent::spsc`](mvee_sync_agent::spsc).
 //!
-//! # One gateway worker per port
+//! # Who drains the rings: per-port workers or a poller pool
 //!
-//! Each `AsyncThreadPort` owns a dedicated *gateway worker* thread on the
-//! monitor side.  The worker owns the port's inner [`ThreadPort`] and
-//! drains the submission ring's whole backlog in one pass, running every
-//! descriptor through the **identical** pipeline
-//! (`gate_and_count`/`arrive_sync`/`resolve_batch`/`dispatch_resolved`,
-//! via `ThreadPort::syscall`) — same rendezvous keys, same batching, same
-//! statistics lanes, same verdicts, by construction.  The per-port worker
-//! is not an accident of convenience: a shared drain thread multiplexing
-//! several logical threads' *blocking* rendezvous would deadlock, because
-//! cross-thread submission order legitimately differs between variants
-//! (the paper's premise) — a worker blocked in thread A's rendezvous for
-//! variant 0 may be the only thing that could deposit thread B's arrival,
-//! which variant 1's worker is blocked waiting for.  A *polling* monitor
-//! shard that multiplexes ports through non-blocking arrivals is the
-//! follow-on step (see ROADMAP) that this transport's rings enable.
+//! Under `Pollers::PerPort` each `AsyncThreadPort` owns a dedicated
+//! *gateway worker* thread on the monitor side.  The worker owns the
+//! port's inner [`ThreadPort`] and drains the submission ring's whole
+//! backlog in one pass, running every descriptor through the **identical**
+//! pipeline (`gate_and_count`/`arrive_sync`/`resolve_batch`/
+//! `dispatch_resolved`, via `ThreadPort::syscall`) — same rendezvous keys,
+//! same batching, same statistics lanes, same verdicts, by construction.
+//! The per-port worker is not an accident of convenience: a shared drain
+//! thread multiplexing several logical threads' *blocking* rendezvous
+//! would deadlock, because cross-thread submission order legitimately
+//! differs between variants (the paper's premise) — a worker blocked in
+//! thread A's rendezvous for variant 0 may be the only thing that could
+//! deposit thread B's arrival, which variant 1's worker is blocked waiting
+//! for.
+//!
+//! Under `Pollers::Pool(n)` no thread is spawned per port: the MVEE's
+//! shared [`PollerPool`] serves all ports from `n` polling monitor shards
+//! that advance each port through *non-blocking* rendezvous
+//! (`try_arrive`/`poll_*`; see [`crate::poller`]), which removes the
+//! circular-wait hazard and caps monitor-side threads at `n` regardless of
+//! variants×threads.  `PerPort` remains as the ablation baseline.
 //!
 //! # When the variant still blocks
 //!
@@ -78,17 +84,14 @@ use std::thread::JoinHandle;
 
 use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest};
 use mvee_sync_agent::context::{SyncContext, VariantRole};
-use mvee_sync_agent::guards::{WaitStrategy, Waiter};
+use mvee_sync_agent::guards::Waiter;
 use mvee_sync_agent::spsc::DescRing;
 use mvee_sync_agent::SyncAgent;
 
+use crate::lockstep::PollWaker;
 use crate::monitor::{Monitor, MonitorError};
+use crate::poller::{PollerPool, TaskDone};
 use crate::port::ThreadPort;
-
-/// Spin budget for the ring waiters on both sides of the gateway, matching
-/// the agents' default before the adaptive escalation parks on the ring's
-/// event count.
-const RING_SPIN: u32 = 64;
 
 /// A completion ticket: identifies one submitted call on its port.
 /// Tickets are per-port and monotonically increasing.
@@ -96,7 +99,7 @@ pub type Ticket = u64;
 
 /// One descriptor deposited into a port's submission ring.
 #[derive(Debug)]
-enum Submission {
+pub(crate) enum Submission {
     /// A system call to run through the monitor pipeline.
     Call {
         /// The ticket the verdict will be posted under.
@@ -117,9 +120,27 @@ enum Submission {
 
 /// One verdict posted to a port's completion ring.
 #[derive(Debug)]
-struct Completion {
-    ticket: Ticket,
-    result: Result<SyscallOutcome, MonitorError>,
+pub(crate) struct Completion {
+    pub(crate) ticket: Ticket,
+    pub(crate) result: Result<SyscallOutcome, MonitorError>,
+}
+
+/// Who serves this port's submission ring on the monitor side.
+enum Gateway {
+    /// A dedicated gateway worker thread owning the port's inner
+    /// [`ThreadPort`] (`Pollers::PerPort`, and the only mode available on
+    /// an MVEE built without a poller pool).
+    Dedicated(Option<JoinHandle<()>>),
+    /// A shared polling shard ([`PollerPool`], `Pollers::Pool(n)`): no
+    /// thread is spawned for this port.  The waker tells the serving
+    /// poller a submission landed; `done` is raised once `Close` has been
+    /// fully processed and the binding released.
+    Pooled {
+        /// Keeps the pool's poller threads alive until the last port closes.
+        _pool: Arc<PollerPool>,
+        waker: Arc<PollWaker>,
+        done: Arc<TaskDone>,
+    },
 }
 
 /// What [`AsyncThreadPort::submit`] did with a call.
@@ -161,7 +182,7 @@ pub struct AsyncThreadPort {
     /// Verdicts drained from the completion ring but not yet asked for
     /// (reaps may happen out of submission order).
     reaped: RefCell<HashMap<Ticket, Result<SyscallOutcome, MonitorError>>>,
-    worker: Option<JoinHandle<()>>,
+    gateway: Gateway,
 }
 
 impl AsyncThreadPort {
@@ -195,18 +216,61 @@ impl AsyncThreadPort {
         };
         AsyncThreadPort {
             ctx: SyncContext::new(VariantRole::from_variant_index(variant), thread),
+            waiter: monitor.config().ring_waiter(),
             agent,
             variant,
             thread,
             submissions,
             completions,
-            waiter: Waiter::with_strategy(RING_SPIN, WaitStrategy::Adaptive),
             next_ticket: Cell::new(0),
             outstanding: Cell::new(0),
             reaped: RefCell::new(HashMap::new()),
-            worker: Some(worker),
+            gateway: Gateway::Dedicated(Some(worker)),
             monitor,
         }
+    }
+
+    /// Binds an async port to (variant, thread) served by a shared
+    /// [`PollerPool`] instead of a dedicated worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or if a live port (sync or async)
+    /// already owns this (variant, thread) — the pool acquires the binding
+    /// on this caller's stack.
+    pub(crate) fn new_pooled(
+        monitor: Arc<Monitor>,
+        agent: Arc<dyn SyncAgent>,
+        variant: usize,
+        thread: usize,
+        depth: usize,
+        pool: &Arc<PollerPool>,
+    ) -> Self {
+        let registration = pool.register(&monitor, variant, thread, depth);
+        AsyncThreadPort {
+            ctx: SyncContext::new(VariantRole::from_variant_index(variant), thread),
+            waiter: monitor.config().ring_waiter(),
+            agent,
+            variant,
+            thread,
+            submissions: registration.submissions,
+            completions: registration.completions,
+            next_ticket: Cell::new(0),
+            outstanding: Cell::new(0),
+            reaped: RefCell::new(HashMap::new()),
+            gateway: Gateway::Pooled {
+                _pool: Arc::clone(pool),
+                waker: registration.waker,
+                done: registration.done,
+            },
+            monitor,
+        }
+    }
+
+    /// Whether this port is served by its own gateway worker thread
+    /// (`Pollers::PerPort`) rather than a shared polling shard.
+    pub fn has_dedicated_worker(&self) -> bool {
+        matches!(self.gateway, Gateway::Dedicated(_))
     }
 
     /// Zero-based variant index (0 is the master).
@@ -279,9 +343,32 @@ impl AsyncThreadPort {
             ticket < self.next_ticket.get(),
             "reaping a ticket this port never issued"
         );
+        if let Some(result) = self.reaped.borrow_mut().remove(&ticket) {
+            self.outstanding.set(self.outstanding.get() - 1);
+            return result;
+        }
         loop {
-            self.drain_completions();
-            if let Some(result) = self.reaped.borrow_mut().remove(&ticket) {
+            // Completions are posted in ticket order (the gateway — worker
+            // or poller — answers submissions FIFO), so the common in-order
+            // reap pops its verdict straight off the ring; only verdicts
+            // the caller skipped past are parked in the reap buffer.  Ring
+            // space is released to the gateway once per burst.
+            let mut found = None;
+            let mut drained = false;
+            while let Some(completion) = self.completions.try_pop_quiet() {
+                drained = true;
+                if completion.ticket == ticket {
+                    found = Some(completion.result);
+                    break;
+                }
+                self.reaped
+                    .borrow_mut()
+                    .insert(completion.ticket, completion.result);
+            }
+            if drained {
+                self.completions.space_events().notify();
+            }
+            if let Some(result) = found {
                 self.outstanding.set(self.outstanding.get() - 1);
                 return result;
             }
@@ -357,7 +444,29 @@ impl AsyncThreadPort {
     fn push_submission(&self, submission: Submission) {
         let mut pending = submission;
         loop {
-            match self.submissions.try_push(pending) {
+            let was_empty = self.submissions.is_empty();
+            let pushed = match &self.gateway {
+                // A dedicated worker parks on the submission ring's own
+                // ready events, so the push must carry the notification.
+                Gateway::Dedicated(_) => self.submissions.try_push(pending),
+                // A shared poller parks on its aggregated waker instead;
+                // the quiet push skips the ring notify fence and the raise
+                // is elided while the ring already holds work: the poller
+                // cannot commit to a park without re-observing the
+                // non-empty ring, and the one racy interleaving (it drains
+                // the backlog between our emptiness check and the push
+                // landing) is bounded by the waiter's 1 ms park backstop.
+                Gateway::Pooled { waker, .. } => match self.submissions.try_push_quiet(pending) {
+                    Ok(()) => {
+                        if was_empty {
+                            waker.raise();
+                        }
+                        Ok(())
+                    }
+                    Err(back) => Err(back),
+                },
+            };
+            match pushed {
                 Ok(()) => return,
                 Err(back) => {
                     pending = back;
@@ -372,12 +481,17 @@ impl AsyncThreadPort {
     }
 
     /// Moves every posted verdict from the completion ring into the local
-    /// reap buffer.
+    /// reap buffer, releasing ring space to the gateway once per burst.
     fn drain_completions(&self) {
-        while let Some(completion) = self.completions.try_pop() {
+        let mut drained = false;
+        while let Some(completion) = self.completions.try_pop_quiet() {
             self.reaped
                 .borrow_mut()
                 .insert(completion.ticket, completion.result);
+            drained = true;
+        }
+        if drained {
+            self.completions.space_events().notify();
         }
     }
 }
@@ -390,8 +504,20 @@ impl Drop for AsyncThreadPort {
         // worker's inner `ThreadPort` drop then flushes any still-deferred
         // comparisons and hands the (variant, thread) binding back.
         self.push_submission(Submission::Close);
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        match &mut self.gateway {
+            Gateway::Dedicated(worker) => {
+                if let Some(worker) = worker.take() {
+                    let _ = worker.join();
+                }
+            }
+            Gateway::Pooled { waker, done, .. } => {
+                // The poller flushes trailing comparisons and releases the
+                // binding when it reaches the `Close`; wait for that signal
+                // so a re-acquired port never races the release.
+                waker.raise();
+                self.waiter
+                    .wait_until_event(done.events(), || done.is_finished());
+            }
         }
     }
 }
@@ -421,7 +547,7 @@ fn serve_port(
     submissions: &DescRing<Submission>,
     completions: &DescRing<Completion>,
 ) {
-    let waiter = Waiter::with_strategy(RING_SPIN, WaitStrategy::Adaptive);
+    let waiter = port.monitor().config().ring_waiter();
     loop {
         let Some(submission) = submissions.try_pop() else {
             waiter.wait_until_event(submissions.ready_events(), || !submissions.is_empty());
@@ -449,7 +575,7 @@ fn serve_port(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Transport;
+    use crate::config::{Pollers, Transport};
     use crate::mvee::Mvee;
     use mvee_kernel::syscall::Sysno;
 
@@ -457,7 +583,10 @@ mod tests {
         Mvee::builder()
             .variants(variants)
             .batch(batch)
-            .transport(Transport::AsyncRings { depth: 8 })
+            .transport(Transport::AsyncRings {
+                depth: 8,
+                pollers: Pollers::PerPort,
+            })
             .manual_clock(true)
             .build()
     }

@@ -114,6 +114,41 @@ impl Placement {
 /// plus pipelined run-ahead, small enough to stay cache-resident.
 pub const DEFAULT_RING_DEPTH: usize = 64;
 
+/// Who drains the [`Transport::AsyncRings`] submission rings on the monitor
+/// side.
+///
+/// * [`Pollers::PerPort`] — the historical shape: every
+///   [`AsyncThreadPort`](crate::async_port::AsyncThreadPort) spawns a
+///   dedicated gateway worker that *blocks* inside the monitor pipeline.
+///   Monitor-side threads scale as `variants × threads`; on a box with no
+///   spare cores the context switches eat the decoupling win.  Kept as the
+///   ablation baseline.
+/// * [`Pollers::Pool(n)`](Pollers::Pool) — a fixed pool of `n` polling
+///   shards ([`crate::poller`]): each shard owns many ports' rings and
+///   round-robins drain → non-blocking rendezvous (try/poll) → complete,
+///   parking only when every served ring is empty and every in-flight
+///   arrival is pending.  Monitor-side threads are exactly `n` regardless
+///   of `variants × threads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pollers {
+    /// One dedicated blocking gateway worker per (variant, thread) port.
+    #[default]
+    PerPort,
+    /// A fixed pool of `n` polling shards serving all ports.
+    Pool(usize),
+}
+
+impl Pollers {
+    /// Short name used in benchmark tables and reports: `per-port` or
+    /// `pool{n}`.
+    pub fn label(&self) -> String {
+        match self {
+            Pollers::PerPort => "per-port".to_string(),
+            Pollers::Pool(n) => format!("pool{n}"),
+        }
+    }
+}
+
 /// How variant threads hand their system calls to the monitor.
 ///
 /// * [`Transport::Sync`] — the historical shape: the variant thread walks
@@ -123,31 +158,45 @@ pub const DEFAULT_RING_DEPTH: usize = 64;
 /// * [`Transport::AsyncRings`] — the asynchronous gateway: each
 ///   (variant, thread) port owns a paired submission/completion ring
 ///   (virtio split-queue style); the variant thread deposits descriptors
-///   and runs ahead into already-resolved work while a per-port gateway
-///   worker drains the submission ring through the same pipeline and posts
-///   verdicts to the completion ring.  Calls the policy marks synchronous
-///   (replicated, ordered, process-lifecycle) still block at the reap
-///   point, so verdicts are identical to the sync transport; see
-///   [`crate::async_port`].
+///   and runs ahead into already-resolved work while the monitor side —
+///   a per-port gateway worker or a shared polling shard, per
+///   [`Pollers`] — drains the submission ring through the same pipeline
+///   and posts verdicts to the completion ring.  Calls the policy marks
+///   synchronous (replicated, ordered, process-lifecycle) still block at
+///   the reap point, so verdicts are identical to the sync transport; see
+///   [`crate::async_port`] and [`crate::poller`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Transport {
     /// Variant threads block in the monitor pipeline directly.
     #[default]
     Sync,
-    /// Per-port submission/completion rings with a gateway worker.
+    /// Per-port submission/completion rings, drained per [`Pollers`].
     AsyncRings {
         /// Ring capacity in descriptors (rounded up to a power of two):
         /// how far a variant thread may run ahead of the monitor.
         depth: usize,
+        /// Who drains the submission rings: a blocking worker per port or
+        /// a fixed polling pool.
+        pollers: Pollers,
     },
 }
 
 impl Transport {
     /// An [`AsyncRings`](Transport::AsyncRings) transport with the default
-    /// ring depth.
+    /// ring depth and per-port gateway workers.
     pub fn async_default() -> Self {
         Transport::AsyncRings {
             depth: DEFAULT_RING_DEPTH,
+            pollers: Pollers::PerPort,
+        }
+    }
+
+    /// An [`AsyncRings`](Transport::AsyncRings) transport with the default
+    /// ring depth drained by a fixed pool of `n` polling shards.
+    pub fn async_pool(n: usize) -> Self {
+        Transport::AsyncRings {
+            depth: DEFAULT_RING_DEPTH,
+            pollers: Pollers::Pool(n),
         }
     }
 
@@ -160,15 +209,40 @@ impl Transport {
     pub fn depth(&self) -> Option<usize> {
         match self {
             Transport::Sync => None,
-            Transport::AsyncRings { depth } => Some(*depth),
+            Transport::AsyncRings { depth, .. } => Some(*depth),
         }
     }
 
-    /// Short name used in benchmark tables and reports.
+    /// The configured monitor-side drain shape, if asynchronous.
+    pub fn pollers(&self) -> Option<Pollers> {
+        match self {
+            Transport::Sync => None,
+            Transport::AsyncRings { pollers, .. } => Some(*pollers),
+        }
+    }
+
+    /// Short name used in benchmark tables and reports.  Stable across
+    /// poller shapes; use [`Transport::label`] to distinguish them.
     pub fn name(&self) -> &'static str {
         match self {
             Transport::Sync => "sync",
             Transport::AsyncRings { .. } => "async-rings",
+        }
+    }
+
+    /// Cell label for benchmark tables: distinguishes the poller shape
+    /// (`sync`, `async-rings` for per-port, `async-pool{n}`).
+    pub fn label(&self) -> String {
+        match self {
+            Transport::Sync => "sync".to_string(),
+            Transport::AsyncRings {
+                pollers: Pollers::PerPort,
+                ..
+            } => "async-rings".to_string(),
+            Transport::AsyncRings {
+                pollers: Pollers::Pool(n),
+                ..
+            } => format!("async-pool{n}"),
         }
     }
 }
@@ -288,10 +362,20 @@ impl MveeConfig {
     ///
     /// # Panics
     ///
-    /// Panics on an [`Transport::AsyncRings`] depth of zero.
+    /// Panics on an [`Transport::AsyncRings`] depth of zero, or on an
+    /// empty polling pool ([`Pollers::Pool(0)`](Pollers::Pool)) — a pool
+    /// with no workers would never drain any ring.
     pub fn with_transport(mut self, transport: Transport) -> Self {
-        if let Transport::AsyncRings { depth } = transport {
+        if let Transport::AsyncRings { depth, pollers } = transport {
             assert!(depth > 0, "async ring depth must be at least one");
+            if let Pollers::Pool(n) = pollers {
+                assert!(
+                    n > 0,
+                    "a polling pool needs at least one worker (Pollers::Pool(0) \
+                     would never drain any submission ring); use Pollers::PerPort \
+                     or Pool(1+)"
+                );
+            }
         }
         self.transport = transport;
         self
@@ -421,19 +505,46 @@ mod tests {
         let c = c.with_transport(Transport::async_default());
         assert!(c.transport.is_async());
         assert_eq!(c.transport.depth(), Some(DEFAULT_RING_DEPTH));
+        assert_eq!(c.transport.pollers(), Some(Pollers::PerPort));
         assert_eq!(c.transport.name(), "async-rings");
+        assert_eq!(c.transport.label(), "async-rings");
         assert_eq!(
-            c.with_transport(Transport::AsyncRings { depth: 16 })
-                .transport
-                .depth(),
+            c.with_transport(Transport::AsyncRings {
+                depth: 16,
+                pollers: Pollers::PerPort,
+            })
+            .transport
+            .depth(),
             Some(16)
         );
     }
 
     #[test]
+    fn pool_transport_reports_its_shape() {
+        let c = MveeConfig::default().with_transport(Transport::async_pool(2));
+        assert_eq!(c.transport.pollers(), Some(Pollers::Pool(2)));
+        // `name()` stays stable across poller shapes; `label()` tells
+        // bench cells apart.
+        assert_eq!(c.transport.name(), "async-rings");
+        assert_eq!(c.transport.label(), "async-pool2");
+        assert_eq!(Pollers::PerPort.label(), "per-port");
+        assert_eq!(Pollers::Pool(4).label(), "pool4");
+        assert_eq!(Transport::Sync.pollers(), None);
+    }
+
+    #[test]
     #[should_panic(expected = "ring depth")]
     fn zero_ring_depth_panics() {
-        let _ = MveeConfig::default().with_transport(Transport::AsyncRings { depth: 0 });
+        let _ = MveeConfig::default().with_transport(Transport::AsyncRings {
+            depth: 0,
+            pollers: Pollers::PerPort,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_poller_pool_panics() {
+        let _ = MveeConfig::default().with_transport(Transport::async_pool(0));
     }
 
     #[test]

@@ -41,11 +41,17 @@
 //!   deferred-comparison queue, turning thread identity into a type instead
 //!   of a per-call `(variant, thread)` convention.
 //! * [`async_port::AsyncThreadPort`] — the asynchronous transport: paired
-//!   per-port submission/completion rings (virtio split-queue style) with a
-//!   dedicated monitor-side gateway worker, so a variant thread deposits a
-//!   call descriptor and runs ahead while the monitor compares in the
-//!   background.  Selected via [`config::Transport`]; calls the policy
-//!   marks synchronous still block at the reap point.
+//!   per-port submission/completion rings (virtio split-queue style), so a
+//!   variant thread deposits a call descriptor and runs ahead while the
+//!   monitor compares in the background.  Selected via
+//!   [`config::Transport`]; calls the policy marks synchronous still block
+//!   at the reap point.
+//! * [`poller::PollerPool`] — polling monitor shards: with
+//!   `Pollers::Pool(n)` a fixed set of `n` poller threads drains every
+//!   port's rings through the lockstep table's non-blocking try/poll
+//!   rendezvous, capping monitor-side threads at `n` instead of
+//!   variants×threads (`Pollers::PerPort` keeps a dedicated gateway worker
+//!   per port as the ablation baseline).
 //! * [`config::MveeConfig`] — the one shared tuning block (policy, agent,
 //!   transport, shards, batch, placement, timeout) every front end embeds.
 //!
@@ -63,13 +69,15 @@ pub mod monitor;
 pub mod mvee;
 pub mod ordering;
 pub mod policy;
+pub mod poller;
 pub mod port;
 
 pub use async_port::{AsyncThreadPort, SubmitOutcome, Ticket};
-pub use config::{MveeConfig, Placement, Transport};
+pub use config::{MveeConfig, Placement, Pollers, Transport};
 pub use divergence::{DivergenceKind, DivergenceReport};
 pub use monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
 pub use mvee::{Mvee, MveeBuilder, VariantGateway};
 pub use ordering::SyscallOrderingClock;
 pub use policy::MonitoringPolicy;
+pub use poller::PollerPool;
 pub use port::ThreadPort;

@@ -65,12 +65,14 @@
 //! the length of the execution.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use mvee_kernel::syscall::{ComparisonKey, SyscallOutcome};
+use mvee_sync_agent::guards::EventCount;
 
 use crate::divergence::first_mismatch;
 
@@ -162,6 +164,49 @@ impl Shard {
     }
 }
 
+/// Wake signal shared between the rendezvous table and a polling monitor
+/// shard ([`crate::poller`]).
+///
+/// A poller parks only when every ring it serves is empty and every
+/// in-flight arrival is pending; anything that could change either — a ring
+/// push, a rendezvous deposit, an outcome publication, poison — calls
+/// [`PollWaker::raise`].  The epoch counter lets the poller detect a raise
+/// that lands between its idle check and its park (snapshot the epoch, park
+/// on `epoch changed || work visible`), closing the lost-wakeup window
+/// without holding any lock across the park.
+#[derive(Debug, Default)]
+pub struct PollWaker {
+    /// Bumped on every raise; pollers snapshot it before deciding to park.
+    epoch: AtomicU64,
+    /// The parking target.
+    events: EventCount,
+}
+
+impl PollWaker {
+    /// Creates a waker with epoch zero and no parked poller.
+    pub fn new() -> Self {
+        PollWaker::default()
+    }
+
+    /// Signals that state a poller may be waiting on has changed: bumps the
+    /// epoch and wakes a parked poller, if any.
+    pub fn raise(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.events.notify();
+    }
+
+    /// The current raise epoch.  A poller snapshots this before its idle
+    /// check; a change since the snapshot means a raise raced the check.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The event count a poller parks on.
+    pub fn events(&self) -> &EventCount {
+        &self.events
+    }
+}
+
 /// The sharded rendezvous / replication table shared by all monitor threads.
 #[derive(Debug)]
 pub struct LockstepTable {
@@ -172,6 +217,12 @@ pub struct LockstepTable {
     /// `None` keeps the historical `thread % shards` binding.
     placement_map: Option<Box<[usize]>>,
     poisoned: AtomicBool,
+    /// Registered polling-shard wakers, raised on every deposit, outcome
+    /// publication and poison.  Empty (and bypassed via `observed`) unless
+    /// a poller pool is wired up, so the sync and per-port transports pay
+    /// one relaxed load, nothing more.
+    observers: Mutex<Vec<Arc<PollWaker>>>,
+    observed: AtomicBool,
 }
 
 impl LockstepTable {
@@ -200,6 +251,8 @@ impl LockstepTable {
             shards: (0..shards).map(|_| Shard::new()).collect(),
             placement_map: None,
             poisoned: AtomicBool::new(false),
+            observers: Mutex::new(Vec::new()),
+            observed: AtomicBool::new(false),
         }
     }
 
@@ -288,11 +341,31 @@ impl LockstepTable {
             drop(shard.slots.lock());
             shard.changed.notify_all();
         }
+        self.notify_observers();
     }
 
     /// Whether the table has been poisoned.  Lock-free.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Registers a polling-shard waker: from now on every deposit, outcome
+    /// publication and poison [`raise`](PollWaker::raise)s it, so a poller
+    /// parked on the waker re-examines its pending arrivals.
+    pub fn register_observer(&self, waker: Arc<PollWaker>) {
+        self.observers.lock().push(waker);
+        self.observed.store(true, Ordering::Release);
+    }
+
+    /// Raises every registered waker.  The no-observer fast path (sync and
+    /// per-port transports) is a single relaxed-ish load.
+    fn notify_observers(&self) {
+        if !self.observed.load(Ordering::Acquire) {
+            return;
+        }
+        for waker in self.observers.lock().iter() {
+            waker.raise();
+        }
     }
 
     /// The result a fully or partially arrived slot currently resolves to,
@@ -342,7 +415,7 @@ impl LockstepTable {
         cmp: ComparisonKey,
         timeout: Duration,
     ) -> ArrivalResult {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         let shard = self.shard(key);
         let mut slots = shard.slots.lock();
         let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
@@ -352,6 +425,8 @@ impl LockstepTable {
                 slot.mismatch = true;
             }
             shard.changed.notify_all();
+            drop(slots);
+            self.notify_observers();
             return result;
         }
         // Not complete yet: register as a waiter so the slot cannot be
@@ -360,6 +435,7 @@ impl LockstepTable {
         // shard's map under the same condvar), then block.
         slot.waiters += 1;
         shard.changed.notify_all();
+        self.notify_observers();
         let result = self.wait_for_rendezvous(shard, &mut slots, key, deadline);
         // The registration is released exactly once, here, whatever path
         // `wait_for_rendezvous` returned through.
@@ -453,7 +529,7 @@ impl LockstepTable {
             (1..batch.len()).all(|i| batch[..i].iter().all(|a| a.key != batch[i].key)),
             "a batch must not deposit the same slot twice"
         );
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         let shard = &self.shards[shard_idx];
         let mut slots = shard.slots.lock();
 
@@ -480,6 +556,7 @@ impl LockstepTable {
             }
         }
         shard.changed.notify_all();
+        self.notify_observers();
 
         while unresolved > 0 {
             if self.is_poisoned() {
@@ -548,6 +625,8 @@ impl LockstepTable {
         slot.outcome = Some(outcome);
         slot.timestamp = timestamp;
         shard.changed.notify_all();
+        drop(slots);
+        self.notify_observers();
     }
 
     /// Blocks until the master has published an outcome for `key`.
@@ -589,6 +668,385 @@ impl LockstepTable {
                 slots.remove(&key);
             }
         }
+    }
+
+    // --- Poll-mode rendezvous: the non-blocking mirror of the API above ---
+    //
+    // A polling monitor shard must never sleep inside one port's rendezvous,
+    // or a cross-variant circular wait (thread A of v0 and thread B of v1
+    // arriving in opposite order) deadlocks it the way it would deadlock a
+    // naive blocking drain.  The `try_*` calls deposit exactly like their
+    // blocking twins and return `Pending` with a token instead of parking;
+    // `poll_*` re-examines a token without sleeping.  Deadlines are fixed at
+    // deposit time — precisely where the blocking calls compute theirs — so
+    // the `Timeout` verdicts (and their arrived-variant lists) are identical
+    // to what the blocking path would report.  A `Pending` token holds the
+    // slot's waiter registration; it is released exactly once, by the
+    // `poll_*` call that resolves it, so slot reclamation is unchanged.
+
+    /// Deposits variant `variant`'s arrival at `key` without blocking.
+    ///
+    /// Returns [`TryArrive::Ready`] when the rendezvous resolves at deposit
+    /// time (all peers already arrived, a mismatch, or the table is
+    /// poisoned) and [`TryArrive::Pending`] otherwise; poll the token with
+    /// [`poll_arrival`](Self::poll_arrival).
+    pub fn try_arrive(
+        &self,
+        key: SlotKey,
+        variant: usize,
+        cmp: ComparisonKey,
+        timeout: Duration,
+    ) -> TryArrive {
+        let deadline = Instant::now() + timeout;
+        let shard = self.shard(key);
+        let mut slots = shard.slots.lock();
+        let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
+        slot.keys[variant] = Some(cmp);
+        if let Some(result) = self.slot_result(slot) {
+            if matches!(result, ArrivalResult::Mismatch(..)) {
+                slot.mismatch = true;
+            }
+            shard.changed.notify_all();
+            drop(slots);
+            self.notify_observers();
+            return TryArrive::Ready(result);
+        }
+        slot.waiters += 1;
+        shard.changed.notify_all();
+        if self.is_poisoned() {
+            // Same verdict the blocking path's first wake-up would return;
+            // resolve immediately so no token (and no registration) escapes.
+            self.release_waiter(&mut slots, key);
+            return TryArrive::Ready(ArrivalResult::Poisoned);
+        }
+        drop(slots);
+        self.notify_observers();
+        TryArrive::Pending(ArrivalToken { key, deadline })
+    }
+
+    /// Checks a pending arrival without sleeping.
+    ///
+    /// `Ok` resolves the token (releasing its waiter registration) with the
+    /// same verdict the blocking [`arrive`](Self::arrive) would have
+    /// returned; `Err` hands the still-pending token back.
+    pub fn poll_arrival(&self, token: ArrivalToken) -> Result<ArrivalResult, ArrivalToken> {
+        let shard = self.shard(token.key);
+        let mut slots = shard.slots.lock();
+        if self.is_poisoned() {
+            self.release_waiter(&mut slots, token.key);
+            return Ok(ArrivalResult::Poisoned);
+        }
+        let resolved = match slots.get(&token.key) {
+            // Defensive, as in `wait_for_rendezvous`: the waiter refcount
+            // makes a vanished slot unreachable.
+            None => Some(ArrivalResult::Consistent),
+            Some(slot) => self.slot_result(slot),
+        };
+        if let Some(result) = resolved {
+            self.release_waiter(&mut slots, token.key);
+            return Ok(result);
+        }
+        if Instant::now() >= token.deadline {
+            // The slot was just inspected and is incomplete: report which
+            // variants did arrive, exactly like the blocking timeout path
+            // (whose at-the-wire re-check this poll already performed).
+            let arrived = slots
+                .get(&token.key)
+                .map(Self::arrived_variants)
+                .unwrap_or_default();
+            self.release_waiter(&mut slots, token.key);
+            return Ok(ArrivalResult::Timeout(arrived));
+        }
+        Err(token)
+    }
+
+    /// Deposits a whole block of pending comparisons without blocking: the
+    /// poll-mode mirror of [`arrive_batch`](Self::arrive_batch), with the
+    /// same single-lock deposit, the same per-key verdicts and the same
+    /// shared batch deadline.
+    ///
+    /// # Panics
+    ///
+    /// As [`arrive_batch`](Self::arrive_batch): oversized, shard-spanning
+    /// or duplicate-key batches panic.
+    pub fn try_arrive_batch(
+        &self,
+        variant: usize,
+        batch: &[BatchArrival],
+        timeout: Duration,
+    ) -> TryBatch {
+        assert!(
+            batch.len() <= MAX_BATCH,
+            "batch of {} exceeds MAX_BATCH ({MAX_BATCH})",
+            batch.len()
+        );
+        if batch.is_empty() {
+            return TryBatch::Ready(Vec::new());
+        }
+        let shard_idx = self.shard_of(batch[0].key.0);
+        assert!(
+            batch.iter().all(|a| self.shard_of(a.key.0) == shard_idx),
+            "a batch must stay within one rendezvous shard"
+        );
+        assert!(
+            (1..batch.len()).all(|i| batch[..i].iter().all(|a| a.key != batch[i].key)),
+            "a batch must not deposit the same slot twice"
+        );
+        let deadline = Instant::now() + timeout;
+        let shard = &self.shards[shard_idx];
+        let mut slots = shard.slots.lock();
+        let mut token = BatchToken {
+            shard_idx,
+            deadline,
+            keys: batch.iter().map(|a| a.key).collect(),
+            holds_waiter: vec![false; batch.len()],
+            results: vec![None; batch.len()],
+            unresolved: 0,
+        };
+        for (i, arrival) in batch.iter().enumerate() {
+            let slot = slots
+                .entry(arrival.key)
+                .or_insert_with(|| Slot::new(self.variants));
+            slot.keys[variant] = Some(arrival.cmp.clone());
+            if let Some(result) = self.slot_result(slot) {
+                if matches!(result, ArrivalResult::Mismatch(..)) {
+                    slot.mismatch = true;
+                }
+                token.results[i] = Some(result);
+            } else {
+                slot.waiters += 1;
+                token.holds_waiter[i] = true;
+                token.unresolved += 1;
+            }
+        }
+        shard.changed.notify_all();
+        if token.unresolved > 0 && self.is_poisoned() {
+            for r in token.results.iter_mut().filter(|r| r.is_none()) {
+                *r = Some(ArrivalResult::Poisoned);
+            }
+            token.unresolved = 0;
+        }
+        if token.unresolved == 0 {
+            let results = token.resolve(self, &mut slots);
+            drop(slots);
+            self.notify_observers();
+            return TryBatch::Ready(results);
+        }
+        drop(slots);
+        self.notify_observers();
+        TryBatch::Pending(token)
+    }
+
+    /// Checks a pending batch without sleeping: resolves every key that
+    /// completed since the deposit (or since the last poll), fills
+    /// `Poisoned` / `Timeout` verdicts when the table poisons or the batch
+    /// deadline passes, and returns `Ok` — releasing every held waiter
+    /// registration exactly once — as soon as no key is left unresolved.
+    pub fn poll_batch(&self, mut token: BatchToken) -> Result<Vec<ArrivalResult>, BatchToken> {
+        let shard = &self.shards[token.shard_idx];
+        let mut slots = shard.slots.lock();
+        if self.is_poisoned() {
+            for r in token.results.iter_mut().filter(|r| r.is_none()) {
+                *r = Some(ArrivalResult::Poisoned);
+            }
+            token.unresolved = 0;
+        } else {
+            for i in 0..token.keys.len() {
+                if token.results[i].is_some() {
+                    continue;
+                }
+                let resolved = match slots.get(&token.keys[i]) {
+                    None => Some(ArrivalResult::Consistent),
+                    Some(slot) => self.slot_result(slot),
+                };
+                if let Some(result) = resolved {
+                    token.results[i] = Some(result);
+                    token.unresolved -= 1;
+                }
+            }
+            if token.unresolved > 0 && Instant::now() >= token.deadline {
+                for i in 0..token.keys.len() {
+                    if token.results[i].is_some() {
+                        continue;
+                    }
+                    token.results[i] = Some(match slots.get(&token.keys[i]) {
+                        None => ArrivalResult::Consistent,
+                        Some(slot) => ArrivalResult::Timeout(Self::arrived_variants(slot)),
+                    });
+                }
+                token.unresolved = 0;
+            }
+        }
+        if token.unresolved == 0 {
+            return Ok(token.resolve(self, &mut slots));
+        }
+        Err(token)
+    }
+
+    /// Checks for the master's published outcome without blocking.
+    ///
+    /// Mirrors [`wait_outcome`](Self::wait_outcome): `Ready(Some(..))` when
+    /// an outcome is already published, `Ready(None)` when the table is
+    /// poisoned, `Pending` otherwise; poll the token with
+    /// [`poll_outcome`](Self::poll_outcome).  No waiter registration is
+    /// taken — outcome waits never pin a slot, exactly as on the blocking
+    /// path.
+    pub fn try_wait_outcome(&self, key: SlotKey, timeout: Duration) -> TryOutcome {
+        let deadline = Instant::now() + timeout;
+        let shard = self.shard(key);
+        let slots = shard.slots.lock();
+        if self.is_poisoned() {
+            return TryOutcome::Ready(None);
+        }
+        if let Some(slot) = slots.get(&key) {
+            if let Some(outcome) = &slot.outcome {
+                return TryOutcome::Ready(Some((outcome.clone(), slot.timestamp)));
+            }
+        }
+        TryOutcome::Pending(OutcomeToken { key, deadline })
+    }
+
+    /// Checks a pending outcome wait without sleeping.
+    ///
+    /// `Ok(Some(..))` — the outcome arrived; `Ok(None)` — poisoned or the
+    /// deadline passed with nothing published (the verdict blocking
+    /// [`wait_outcome`](Self::wait_outcome) reports as `None`); `Err` —
+    /// still pending.
+    pub fn poll_outcome(
+        &self,
+        token: OutcomeToken,
+    ) -> Result<Option<(SyscallOutcome, Option<u64>)>, OutcomeToken> {
+        let shard = self.shard(token.key);
+        let slots = shard.slots.lock();
+        if self.is_poisoned() {
+            return Ok(None);
+        }
+        if let Some(slot) = slots.get(&token.key) {
+            if let Some(outcome) = &slot.outcome {
+                return Ok(Some((outcome.clone(), slot.timestamp)));
+            }
+        }
+        if Instant::now() >= token.deadline {
+            // The at-the-wire re-check just happened above; nothing was
+            // published.
+            return Ok(None);
+        }
+        Err(token)
+    }
+}
+
+/// Outcome of a non-blocking arrival deposit
+/// ([`LockstepTable::try_arrive`]).
+#[derive(Debug)]
+pub enum TryArrive {
+    /// The rendezvous resolved at deposit time.
+    Ready(ArrivalResult),
+    /// Peers are still missing; poll with
+    /// [`LockstepTable::poll_arrival`].
+    Pending(ArrivalToken),
+}
+
+/// A pending single-slot arrival: holds the slot's waiter registration
+/// until a [`LockstepTable::poll_arrival`] call resolves it.  The deadline
+/// was fixed when the arrival was deposited, so timeout verdicts match the
+/// blocking path's.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArrivalToken {
+    key: SlotKey,
+    deadline: Instant,
+}
+
+impl ArrivalToken {
+    /// The slot this arrival is waiting on.
+    pub fn key(&self) -> SlotKey {
+        self.key
+    }
+
+    /// When this arrival times out (fixed at deposit).
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+/// Outcome of a non-blocking batch deposit
+/// ([`LockstepTable::try_arrive_batch`]).
+#[derive(Debug)]
+pub enum TryBatch {
+    /// Every key of the batch resolved at deposit time (in batch order).
+    Ready(Vec<ArrivalResult>),
+    /// At least one key is still pending; poll with
+    /// [`LockstepTable::poll_batch`].
+    Pending(BatchToken),
+}
+
+/// A pending batched arrival: tracks which keys already resolved (they keep
+/// their verdicts) and holds one waiter registration per initially
+/// unresolved key, all released by the [`LockstepTable::poll_batch`] call
+/// that completes the batch.
+#[derive(Debug)]
+pub struct BatchToken {
+    shard_idx: usize,
+    deadline: Instant,
+    keys: Vec<SlotKey>,
+    holds_waiter: Vec<bool>,
+    results: Vec<Option<ArrivalResult>>,
+    unresolved: usize,
+}
+
+impl BatchToken {
+    /// When this batch times out (fixed at deposit).
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    /// Releases every held waiter registration (the single release site of
+    /// the poll-mode batch path) and unwraps the per-key verdicts.
+    fn resolve(
+        self,
+        table: &LockstepTable,
+        slots: &mut MutexGuard<'_, HashMap<SlotKey, Slot>>,
+    ) -> Vec<ArrivalResult> {
+        for (i, key) in self.keys.iter().enumerate() {
+            if self.holds_waiter[i] {
+                table.release_waiter(slots, *key);
+            }
+        }
+        self.results
+            .into_iter()
+            .map(|r| r.expect("every batch key resolves before return"))
+            .collect()
+    }
+}
+
+/// Outcome of a non-blocking outcome check
+/// ([`LockstepTable::try_wait_outcome`]).
+#[derive(Debug)]
+pub enum TryOutcome {
+    /// Resolved: the published outcome (with its ordering timestamp), or
+    /// `None` when the table is poisoned — the same `None` the blocking
+    /// [`LockstepTable::wait_outcome`] reports.
+    Ready(Option<(SyscallOutcome, Option<u64>)>),
+    /// Nothing published yet; poll with [`LockstepTable::poll_outcome`].
+    Pending(OutcomeToken),
+}
+
+/// A pending outcome wait.  Carries no waiter registration (outcome waits
+/// never pin slots); the deadline was fixed when the wait began.
+#[derive(Debug, PartialEq, Eq)]
+pub struct OutcomeToken {
+    key: SlotKey,
+    deadline: Instant,
+}
+
+impl OutcomeToken {
+    /// The slot this wait is watching.
+    pub fn key(&self) -> SlotKey {
+        self.key
+    }
+
+    /// When this wait times out (fixed when the wait began).
+    pub fn deadline(&self) -> Instant {
+        self.deadline
     }
 }
 
@@ -1001,6 +1459,146 @@ mod tests {
             },
         ];
         let _ = table.arrive_batch(0, &batch, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn try_arrive_resolves_like_the_blocking_path() {
+        let table = LockstepTable::new(2);
+        // First variant: pending with a token.
+        let token = match table.try_arrive((0, 0), 0, cmp(Sysno::Brk, b"x"), Duration::from_secs(5))
+        {
+            TryArrive::Pending(t) => t,
+            TryArrive::Ready(r) => panic!("must be pending, got {r:?}"),
+        };
+        assert_eq!(token.key(), (0, 0));
+        // Still pending before the peer arrives.
+        let token = table.poll_arrival(token).expect_err("still pending");
+        // Second variant completes the rendezvous synchronously at deposit.
+        match table.try_arrive((0, 0), 1, cmp(Sysno::Brk, b"x"), Duration::from_secs(5)) {
+            TryArrive::Ready(ArrivalResult::Consistent) => {}
+            other => panic!("peer deposit must resolve Ready(Consistent), got {other:?}"),
+        }
+        assert_eq!(table.poll_arrival(token), Ok(ArrivalResult::Consistent));
+        table.consume((0, 0));
+        table.consume((0, 0));
+        assert_eq!(table.live_slots(), 0, "poll released its registration");
+    }
+
+    #[test]
+    fn poll_timeout_reports_the_same_arrivals_as_blocking() {
+        let table = LockstepTable::new(3);
+        let token =
+            match table.try_arrive((0, 0), 1, cmp(Sysno::Brk, b"x"), Duration::from_millis(30)) {
+                TryArrive::Pending(t) => t,
+                TryArrive::Ready(r) => panic!("must be pending, got {r:?}"),
+            };
+        std::thread::sleep(Duration::from_millis(60));
+        // Same verdict shape the blocking arrive reports on its deadline:
+        // the list of variants that did arrive.
+        assert_eq!(
+            table.poll_arrival(token),
+            Ok(ArrivalResult::Timeout(vec![1]))
+        );
+    }
+
+    #[test]
+    fn poison_resolves_pending_polls() {
+        let table = LockstepTable::new(2);
+        let token = match table.try_arrive((0, 0), 0, cmp(Sysno::Brk, b"x"), Duration::from_secs(5))
+        {
+            TryArrive::Pending(t) => t,
+            TryArrive::Ready(r) => panic!("must be pending, got {r:?}"),
+        };
+        table.poison();
+        assert_eq!(table.poll_arrival(token), Ok(ArrivalResult::Poisoned));
+        // New deposits resolve poisoned immediately, with no token escaping.
+        match table.try_arrive((0, 1), 0, cmp(Sysno::Brk, b"x"), Duration::from_secs(5)) {
+            TryArrive::Ready(ArrivalResult::Poisoned) => {}
+            other => panic!("deposit on a poisoned table must be Ready(Poisoned), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_batch_mirrors_arrive_batch_verdicts() {
+        let table = Arc::new(LockstepTable::new(2));
+        let mk = |variant: usize| -> Vec<BatchArrival> {
+            (0..4u64)
+                .map(|seq| BatchArrival {
+                    key: (0, seq),
+                    cmp: if seq == 2 && variant == 1 {
+                        cmp(Sysno::Mprotect, b"evil")
+                    } else {
+                        cmp(Sysno::Brk, &[seq as u8])
+                    },
+                })
+                .collect()
+        };
+        // Variant 0 deposits first: everything pends.
+        let token = match table.try_arrive_batch(0, &mk(0), Duration::from_secs(5)) {
+            TryBatch::Pending(t) => t,
+            TryBatch::Ready(r) => panic!("must be pending, got {r:?}"),
+        };
+        let token = table.poll_batch(token).expect_err("still pending");
+        // Variant 1's deposit completes every slot at deposit time.
+        let r1 = match table.try_arrive_batch(1, &mk(1), Duration::from_secs(5)) {
+            TryBatch::Ready(r) => r,
+            TryBatch::Pending(_) => panic!("peer deposit must resolve the whole batch"),
+        };
+        let r0 = table.poll_batch(token).expect("resolved");
+        for results in [&r0, &r1] {
+            for (seq, result) in results.iter().enumerate() {
+                if seq == 2 {
+                    assert!(matches!(result, ArrivalResult::Mismatch(1, _, _)));
+                } else {
+                    assert_eq!(result, &ArrivalResult::Consistent);
+                }
+            }
+        }
+        for seq in 0..4u64 {
+            table.consume((0, seq));
+            table.consume((0, seq));
+        }
+        assert_eq!(table.live_slots(), 0, "batch polls released every waiter");
+    }
+
+    #[test]
+    fn try_wait_outcome_polls_to_the_published_value() {
+        let table = LockstepTable::new(2);
+        let token = match table.try_wait_outcome((1, 5), Duration::from_secs(5)) {
+            TryOutcome::Pending(t) => t,
+            TryOutcome::Ready(r) => panic!("must be pending, got {r:?}"),
+        };
+        assert_eq!(token.key(), (1, 5));
+        let token = table.poll_outcome(token).expect_err("still pending");
+        table.publish_outcome((1, 5), SyscallOutcome::ok(42), Some(9));
+        assert_eq!(
+            table.poll_outcome(token),
+            Ok(Some((SyscallOutcome::ok(42), Some(9))))
+        );
+        // An expired wait with nothing published reports `None`, like the
+        // blocking path.
+        let token = match table.try_wait_outcome((2, 0), Duration::from_millis(20)) {
+            TryOutcome::Pending(t) => t,
+            TryOutcome::Ready(r) => panic!("must be pending, got {r:?}"),
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(table.poll_outcome(token), Ok(None));
+    }
+
+    #[test]
+    fn observers_are_raised_on_deposits_and_publishes() {
+        let table = LockstepTable::new(2);
+        let waker = Arc::new(PollWaker::new());
+        table.register_observer(Arc::clone(&waker));
+        let e0 = waker.epoch();
+        let _ = table.try_arrive((0, 0), 0, cmp(Sysno::Brk, b"x"), Duration::from_secs(1));
+        assert!(waker.epoch() > e0, "a deposit must raise the waker");
+        let e1 = waker.epoch();
+        table.publish_outcome((0, 1), SyscallOutcome::ok(0), None);
+        assert!(waker.epoch() > e1, "a publish must raise the waker");
+        let e2 = waker.epoch();
+        table.poison();
+        assert!(waker.epoch() > e2, "poison must raise the waker");
     }
 
     #[test]

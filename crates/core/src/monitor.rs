@@ -48,7 +48,7 @@ use parking_lot::Mutex;
 use mvee_kernel::kernel::Kernel;
 use mvee_kernel::process::Pid;
 use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest, Sysno};
-use mvee_sync_agent::guards::Waiter;
+use mvee_sync_agent::guards::{WaitStrategy, Waiter};
 
 use crate::config::{Placement, Transport};
 use crate::divergence::{DivergenceKind, DivergenceReport};
@@ -101,8 +101,19 @@ pub struct MonitorConfig {
     /// How variant threads hand calls to the monitor (see
     /// [`Transport`](crate::config::Transport)): blocking in the pipeline
     /// directly, or through per-port submission/completion rings drained by
-    /// a gateway worker ([`crate::async_port`]).
+    /// a gateway worker or a polling pool ([`crate::async_port`],
+    /// [`crate::poller`]).
     pub transport: Transport,
+    /// How the transport's ring waiters (reapers parked on completion
+    /// rings, gateway workers parked on submission rings, polling shards
+    /// parked on their aggregated wakers) wait: the adaptive
+    /// spin → yield → park escalation (default) or the legacy spin-yield
+    /// loop.  Mirrors the agents' `AgentConfig::wait` knob so the
+    /// `ablation_agent` comparison covers the transport too.
+    pub wait: WaitStrategy,
+    /// Busy-spin iterations before a ring waiter starts yielding; the same
+    /// budget `AgentConfig::spin_before_yield` gives the agents.
+    pub spin_before_yield: u32,
 }
 
 impl Default for MonitorConfig {
@@ -117,7 +128,18 @@ impl Default for MonitorConfig {
             batch: 1,
             placement: Placement::RoundRobin,
             transport: Transport::Sync,
+            wait: WaitStrategy::Adaptive,
+            spin_before_yield: 64,
         }
+    }
+}
+
+impl MonitorConfig {
+    /// The waiter the async transport's ring loops use, built from the
+    /// configured wait strategy and spin budget — the same discipline the
+    /// agents get from `AgentConfig::waiter`.
+    pub fn ring_waiter(&self) -> Waiter {
+        Waiter::with_strategy(self.spin_before_yield, self.wait)
     }
 }
 
@@ -411,7 +433,33 @@ impl Monitor {
         state.port_live.store(false, Ordering::Release);
     }
 
-    fn record_divergence(&self, report: DivergenceReport) -> MonitorError {
+    /// The rendezvous table; the polling shards drive its try/poll mirror
+    /// directly.
+    pub(crate) fn lockstep(&self) -> &LockstepTable {
+        &self.lockstep
+    }
+
+    /// Variant `variant`'s ordering clock for `shard`; the polling shards
+    /// claim, check (`try_turn`) and advance it directly.
+    pub(crate) fn ordering_clock(
+        &self,
+        variant: usize,
+        shard: usize,
+    ) -> &crate::ordering::SyscallOrderingClock {
+        self.ordering_clocks[variant].clock(shard)
+    }
+
+    /// Executes `req` against `variant`'s kernel process.
+    pub(crate) fn execute_kernel(
+        &self,
+        variant: usize,
+        thread: usize,
+        req: &SyscallRequest,
+    ) -> SyscallOutcome {
+        self.kernel.execute(self.pids[variant], thread as u64, req)
+    }
+
+    pub(crate) fn record_divergence(&self, report: DivergenceReport) -> MonitorError {
         // Count the divergence in the diverging thread's own lane (the shard
         // binding depends only on the thread index, so variant 0's state is
         // as good as any) so the per-shard `lane_stats` view attributes it
@@ -498,6 +546,28 @@ impl Monitor {
         let results = self
             .lockstep
             .arrive_batch(variant, batch, self.config.lockstep_timeout);
+        self.map_batch_results(thread, batch, results)
+    }
+
+    /// Counts a batch flush in `lane`'s stripe; the polling shards call this
+    /// where [`resolve_batch`](Self::resolve_batch) would.
+    pub(crate) fn count_batch_flush(&self, lane: usize) {
+        self.lane(lane)
+            .batch_flushes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Turns a batch's per-key [`ArrivalResult`]s into the first divergence
+    /// they prove, consuming every batch slot on the way (even past a
+    /// mismatch, so surviving slots are reclaimed).  Shared by the blocking
+    /// [`resolve_batch`](Self::resolve_batch) and the polling shards, whose
+    /// verdicts must map identically.
+    pub(crate) fn map_batch_results(
+        &self,
+        thread: usize,
+        batch: &[BatchArrival],
+        results: Vec<ArrivalResult>,
+    ) -> Result<(), MonitorError> {
         let mut failure = None;
         for (arrival, result) in batch.iter().zip(results) {
             // Consume every batch slot — even past a mismatch — so the
@@ -584,6 +654,18 @@ impl Monitor {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_replicated(&self, lane: usize) {
+        self.lane(lane)
+            .replicated_syscalls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_ordered(&self, lane: usize) {
+        self.lane(lane)
+            .ordered_syscalls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The synchronous (unbatched) lockstep rendezvous for one call.
     pub(crate) fn arrive_sync(
         &self,
@@ -593,12 +675,26 @@ impl Monitor {
         seq: u64,
         req: &SyscallRequest,
     ) -> Result<(), MonitorError> {
-        match self.lockstep.arrive(
+        let result = self.lockstep.arrive(
             key,
             variant,
             req.comparison_key(),
             self.config.lockstep_timeout,
-        ) {
+        );
+        self.map_sync_arrival(result, thread, seq)
+    }
+
+    /// Turns a synchronous (unbatched) rendezvous verdict into the
+    /// divergence it proves, if any.  Shared by
+    /// [`arrive_sync`](Self::arrive_sync) and the polling shards so both
+    /// transports report byte-identical divergence verdicts.
+    pub(crate) fn map_sync_arrival(
+        &self,
+        result: ArrivalResult,
+        thread: usize,
+        seq: u64,
+    ) -> Result<(), MonitorError> {
+        match result {
             ArrivalResult::Consistent => Ok(()),
             ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => Err(self
                 .record_divergence(DivergenceReport {
@@ -639,15 +735,11 @@ impl Monitor {
         req: &SyscallRequest,
     ) -> Result<SyscallOutcome, MonitorError> {
         if disposition.replicate {
-            self.lane(shard)
-                .replicated_syscalls
-                .fetch_add(1, Ordering::Relaxed);
+            self.count_replicated(shard);
             return self.run_replicated(variant, thread, seq, key, req);
         }
         if disposition.ordered {
-            self.lane(shard)
-                .ordered_syscalls
-                .fetch_add(1, Ordering::Relaxed);
+            self.count_ordered(shard);
             return self.run_ordered(variant, thread, seq, shard, key, req);
         }
         // Neither replicated nor ordered: the variant executes against its

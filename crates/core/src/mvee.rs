@@ -18,10 +18,11 @@ use mvee_sync_agent::context::{AgentConfig, SyncContext, VariantRole};
 use mvee_sync_agent::{AgentStats, SyncAgent};
 
 use crate::async_port::AsyncThreadPort;
-use crate::config::{MveeConfig, Placement, Transport, DEFAULT_RING_DEPTH};
+use crate::config::{MveeConfig, Placement, Pollers, Transport, DEFAULT_RING_DEPTH};
 use crate::divergence::DivergenceReport;
 use crate::monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
 use crate::policy::MonitoringPolicy;
+use crate::poller::PollerPool;
 use crate::port::ThreadPort;
 
 /// Per-variant address-space layout (ASLR / DCL diversity).
@@ -185,8 +186,20 @@ impl MveeBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if a layout vector of the wrong length was supplied.
+    /// Panics if a layout vector of the wrong length was supplied, or if
+    /// the configured async ring depth is smaller than the comparison
+    /// batch size (a port could then fill its ring with deferred calls
+    /// that never reach a flush point the monitor side can serve).
     pub fn build(self) -> Mvee {
+        if let Transport::AsyncRings { depth, .. } = self.config.transport {
+            let batch = self.config.batch.clamp(1, crate::lockstep::MAX_BATCH);
+            assert!(
+                depth >= batch,
+                "async ring depth ({depth}) must be at least the comparison batch \
+                 size ({batch}): a ring smaller than one batch cannot hold the \
+                 deferred calls a single flush resolves"
+            );
+        }
         let kernel = Arc::new(if self.manual_clock {
             Kernel::new_manual_clock()
         } else {
@@ -214,12 +227,23 @@ impl MveeBuilder {
             batch: self.config.batch,
             placement: self.config.placement.clone(),
             transport: self.config.transport,
+            wait: self.config.agent_config.wait,
+            spin_before_yield: self.config.agent_config.spin_before_yield,
         };
         let monitor = Arc::new(Monitor::new(
             monitor_config,
             Arc::clone(&kernel),
             pids.clone(),
         ));
+        // A pooled async transport shares one fixed set of polling monitor
+        // shards across every port the MVEE hands out.
+        let pollers = match self.config.transport {
+            Transport::AsyncRings {
+                pollers: Pollers::Pool(n),
+                ..
+            } => Some(Arc::new(PollerPool::new(&monitor, n))),
+            _ => None,
+        };
         let agent_config = self
             .config
             .agent_config
@@ -264,6 +288,7 @@ impl MveeBuilder {
             pids,
             variants: self.variants,
             threads: self.threads,
+            pollers,
         }
     }
 }
@@ -277,6 +302,8 @@ pub struct Mvee {
     pids: Vec<Pid>,
     variants: usize,
     threads: usize,
+    /// The shared polling shards (`Pollers::Pool(n)` transports only).
+    pollers: Option<Arc<PollerPool>>,
 }
 
 impl Mvee {
@@ -344,7 +371,15 @@ impl Mvee {
             variant,
             monitor: Arc::clone(&self.monitor),
             agent: Arc::clone(&self.agent),
+            pollers: self.pollers.clone(),
         }
+    }
+
+    /// Number of monitor-side poller threads: `n` under
+    /// `Pollers::Pool(n)` — independent of variants×threads — and `0` for
+    /// the sync and per-port transports (which spawn no shared pollers).
+    pub fn poller_threads(&self) -> usize {
+        self.pollers.as_ref().map_or(0, |p| p.worker_count())
     }
 
     /// Acquires the [`ThreadPort`] for logical thread `thread` of variant
@@ -380,6 +415,7 @@ pub struct VariantGateway {
     variant: usize,
     monitor: Arc<Monitor>,
     agent: Arc<dyn SyncAgent>,
+    pollers: Option<Arc<PollerPool>>,
 }
 
 impl VariantGateway {
@@ -437,13 +473,23 @@ impl VariantGateway {
             .transport
             .depth()
             .unwrap_or(DEFAULT_RING_DEPTH);
-        AsyncThreadPort::new(
-            Arc::clone(&self.monitor),
-            Arc::clone(&self.agent),
-            self.variant,
-            thread,
-            depth,
-        )
+        match &self.pollers {
+            Some(pool) => AsyncThreadPort::new_pooled(
+                Arc::clone(&self.monitor),
+                Arc::clone(&self.agent),
+                self.variant,
+                thread,
+                depth,
+                pool,
+            ),
+            None => AsyncThreadPort::new(
+                Arc::clone(&self.monitor),
+                Arc::clone(&self.agent),
+                self.variant,
+                thread,
+                depth,
+            ),
+        }
     }
 
     /// Builds the sync context for logical thread `thread`.
@@ -679,5 +725,66 @@ mod tests {
             .variants(3)
             .layouts(vec![VariantLayout::default_layout()])
             .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least the comparison batch")]
+    fn ring_depth_smaller_than_batch_panics_at_build_time() {
+        let _ = Mvee::builder()
+            .variants(1)
+            .batch(8)
+            .transport(Transport::AsyncRings {
+                depth: 4,
+                pollers: Pollers::PerPort,
+            })
+            .manual_clock(true)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_poller_pool_is_rejected_before_build() {
+        let _ = Mvee::builder().transport(Transport::AsyncRings {
+            depth: 8,
+            pollers: Pollers::Pool(0),
+        });
+    }
+
+    #[test]
+    fn pool_transport_spawns_exactly_n_pollers_and_no_port_workers() {
+        let mvee = Mvee::builder()
+            .variants(4)
+            .threads(4)
+            .transport(Transport::AsyncRings {
+                depth: 8,
+                pollers: Pollers::Pool(2),
+            })
+            .manual_clock(true)
+            .build();
+        assert_eq!(mvee.poller_threads(), 2);
+        let mut ports = Vec::new();
+        for v in 0..4 {
+            for t in 0..4 {
+                ports.push(mvee.async_thread_port(v, t));
+            }
+        }
+        assert!(
+            ports.iter().all(|p| !p.has_dedicated_worker()),
+            "pooled ports must not spawn gateway workers"
+        );
+        assert_eq!(
+            mvee.poller_threads(),
+            2,
+            "16 live ports, still exactly 2 monitor-side threads"
+        );
+        drop(ports);
+        // Per-port mode keeps the old shape: a worker per port, no pollers.
+        let per_port = Mvee::builder()
+            .variants(2)
+            .transport(Transport::async_default())
+            .manual_clock(true)
+            .build();
+        assert_eq!(per_port.poller_threads(), 0);
+        assert!(per_port.async_thread_port(0, 0).has_dedicated_worker());
     }
 }

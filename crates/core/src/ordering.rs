@@ -62,6 +62,14 @@ impl SyscallOrderingClock {
             .wait_until_deadline(timeout, || self.time.load(Ordering::Acquire) >= timestamp)
     }
 
+    /// Slave side, poll mode: the non-blocking mirror of
+    /// [`wait_for_turn`](Self::wait_for_turn) — one lock-free check of the
+    /// same condition, for a polling monitor shard that must never sleep
+    /// inside one port's turn wait.
+    pub fn try_turn(&self, timestamp: u64) -> bool {
+        self.time.load(Ordering::Acquire) >= timestamp
+    }
+
     /// Slave side: marks the ordered call as finished, advancing the clock.
     pub fn advance(&self) -> u64 {
         self.time.fetch_add(1, Ordering::AcqRel) + 1

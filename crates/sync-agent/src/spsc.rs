@@ -130,6 +130,24 @@ impl<T> DescRing<T> {
 
     /// Attempts to deposit `value`; returns it back if the ring is full.
     pub fn try_push(&self, value: T) -> Result<(), T> {
+        self.push_inner(value, true)
+    }
+
+    /// [`try_push`](Self::try_push) without the `ready` notification.
+    ///
+    /// For producers that batch deposits and post one explicit
+    /// `ready_events().notify()` per burst (or wake the consumer through a
+    /// separate channel, as the polling gateway does): the notify's seq-cst
+    /// fence is the dominant cost of an uncontended push, so burst
+    /// producers should not pay it per entry.  A consumer parked on
+    /// `ready_events` is still safe — its bounded park re-checks the ring —
+    /// but may sleep up to the park backstop, so only elide the wake when
+    /// some later notify (or another wake channel) covers the burst.
+    pub fn try_push_quiet(&self, value: T) -> Result<(), T> {
+        self.push_inner(value, false)
+    }
+
+    fn push_inner(&self, value: T, notify: bool) -> Result<(), T> {
         let mut pos = self.head.0.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[(pos & self.mask) as usize];
@@ -144,7 +162,9 @@ impl<T> DescRing<T> {
                     Ok(_) => {
                         *slot.value.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
                         slot.seq.store(pos + 1, Ordering::Release);
-                        self.ready.notify();
+                        if notify {
+                            self.ready.notify();
+                        }
                         return Ok(());
                     }
                     Err(current) => pos = current,
@@ -160,6 +180,21 @@ impl<T> DescRing<T> {
 
     /// Attempts to take the oldest entry; `None` when the ring is empty.
     pub fn try_pop(&self) -> Option<T> {
+        self.pop_inner(true)
+    }
+
+    /// [`try_pop`](Self::try_pop) without the `space` notification.
+    ///
+    /// The draining mirror of [`try_push_quiet`](Self::try_push_quiet):
+    /// consumers that pop in bursts post one `space_events().notify()` per
+    /// burst instead of one fence per entry.  A producer parked on a full
+    /// ring still wakes via its bounded park even if the burst notify is
+    /// missed.
+    pub fn try_pop_quiet(&self) -> Option<T> {
+        self.pop_inner(false)
+    }
+
+    fn pop_inner(&self, notify: bool) -> Option<T> {
         let mut pos = self.tail.0.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[(pos & self.mask) as usize];
@@ -180,7 +215,9 @@ impl<T> DescRing<T> {
                             .expect("a published slot always holds a value");
                         slot.seq
                             .store(pos + self.capacity() as u64, Ordering::Release);
-                        self.space.notify();
+                        if notify {
+                            self.space.notify();
+                        }
                         return Some(value);
                     }
                     Err(current) => pos = current,

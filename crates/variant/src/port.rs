@@ -327,7 +327,10 @@ mod tests {
         // compare-only calls come back as tickets.
         let mvee = mvee_core::mvee::Mvee::builder()
             .variants(1)
-            .transport(mvee_core::config::Transport::AsyncRings { depth: 8 })
+            .transport(mvee_core::config::Transport::AsyncRings {
+                depth: 8,
+                pollers: mvee_core::config::Pollers::PerPort,
+            })
             .manual_clock(true)
             .build();
         let gw = mvee.gateway(0);

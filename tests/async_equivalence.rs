@@ -22,7 +22,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use mvee::core::async_port::SubmitOutcome;
-use mvee::core::config::Transport;
+use mvee::core::config::{Pollers, Transport};
 use mvee::core::monitor::MonitorStats;
 use mvee::core::mvee::Mvee;
 use mvee::core::DivergenceReport;
@@ -57,9 +57,13 @@ fn req_for(tag: u8) -> SyscallRequest {
 fn build_mvee(path: Path, variants: usize, threads: usize, batch: usize) -> Mvee {
     let transport = match path {
         Path::Sync => Transport::Sync,
-        // A small depth on purpose: plans longer than the ring exercise the
-        // backpressure path (drain completions while waiting for space).
-        Path::Async => Transport::AsyncRings { depth: 4 },
+        // The smallest depth the builder accepts for batch = 8: plans longer
+        // than the ring exercise the backpressure path (drain completions
+        // while waiting for space).
+        Path::Async => Transport::AsyncRings {
+            depth: 8,
+            pollers: Pollers::PerPort,
+        },
     };
     Mvee::builder()
         .variants(variants)
@@ -237,7 +241,10 @@ fn parked_reaper_shuts_down_cleanly_on_divergence() {
             .threads(1)
             .agent(AgentKind::Null)
             .batch(8)
-            .transport(Transport::AsyncRings { depth: 8 })
+            .transport(Transport::AsyncRings {
+                depth: 8,
+                pollers: Pollers::PerPort,
+            })
             .lockstep_timeout(std::time::Duration::from_secs(5))
             .manual_clock(true)
             .build(),
