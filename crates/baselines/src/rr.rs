@@ -38,6 +38,22 @@ pub struct RecPlayLog {
 }
 
 impl RecPlayLog {
+    /// Builds a log from a globally ordered stream of `(thread, variable)`
+    /// operations, assigning per-variable Lamport timestamps the way
+    /// [`RecPlayRecorder`] would have live.
+    ///
+    /// This is the bridge from the divergence journal (`mvee-core`'s
+    /// `journal` module): its arrival records carry a total order over sync
+    /// operations, and feeding `(thread, slot-key)` pairs here yields a
+    /// RecPlay log whose replay reproduces the journaled schedule.
+    pub fn from_order(ops: impl IntoIterator<Item = (usize, u64)>) -> Self {
+        let mut rec = RecPlayRecorder::new();
+        for (thread, variable) in ops {
+            rec.record(thread, variable);
+        }
+        rec.finish()
+    }
+
     /// Number of recorded operations.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -235,6 +251,19 @@ mod tests {
             }],
         };
         assert_eq!(log.replay(), None);
+    }
+
+    #[test]
+    fn from_order_matches_live_recording() {
+        let order = [(0usize, 7u64), (1, 7), (0, 8), (1, 9), (0, 7)];
+        let log = RecPlayLog::from_order(order);
+
+        let mut rec = RecPlayRecorder::new();
+        for (thread, variable) in order {
+            rec.record(thread, variable);
+        }
+        assert_eq!(log, rec.finish());
+        assert!(log.replay().is_some(), "derived log must stay consistent");
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //! `BENCH_transport.json` at the repository root (override the path with
 //! `MVEE_BENCH_JSON`); `BASELINES.md` records the same numbers.
 //! `MVEE_BENCH_VARIANTS` (default `2,8`) tunes the sweep;
-//! `MVEE_BENCH_TRANSPORTS` (comma-separated `Transport::label()` values,
-//! e.g. `sync,async-pool1`) restricts which transport cells run.
+//! `MVEE_BENCH_TRANSPORTS` (comma-separated cell labels — the
+//! `Transport::label()` values plus `sync+journal`, e.g. `sync,async-pool1`)
+//! restricts which transport cells run.  The `sync+journal` cell reruns the
+//! sync transport with divergence-journal recording on, so its delta
+//! against `sync` is the journal's hot-path overhead.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,6 +30,7 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use mvee_core::async_port::SubmitOutcome;
 use mvee_core::config::{Pollers, Transport};
+use mvee_core::journal::{JournalMode, JournalRecorder};
 use mvee_core::mvee::Mvee;
 use mvee_kernel::syscall::{SyscallRequest, Sysno};
 use mvee_sync_agent::agents::AgentKind;
@@ -56,13 +60,44 @@ fn req_for(i: u64) -> SyscallRequest {
     }
 }
 
-fn build(variants: usize, transport: Transport) -> Mvee {
+/// One measurement cell: a transport, optionally with divergence-journal
+/// recording on (each run gets a fresh in-memory recorder).
+#[derive(Clone, Copy)]
+struct Cell {
+    transport: Transport,
+    journal: bool,
+}
+
+impl Cell {
+    fn plain(transport: Transport) -> Self {
+        Cell {
+            transport,
+            journal: false,
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.journal {
+            format!("{}+journal", self.transport.label())
+        } else {
+            self.transport.label()
+        }
+    }
+}
+
+fn build(variants: usize, cell: Cell) -> Mvee {
+    let journal = if cell.journal {
+        JournalMode::Record(Arc::new(JournalRecorder::new()))
+    } else {
+        JournalMode::Off
+    };
     Mvee::builder()
         .variants(variants)
         .threads(THREADS)
         .agent(AgentKind::Null)
         .batch(BATCH)
-        .transport(transport)
+        .transport(cell.transport)
+        .journal(journal)
         .shards(THREADS)
         .lockstep_timeout(Duration::from_secs(30))
         .manual_clock(true)
@@ -71,13 +106,13 @@ fn build(variants: usize, transport: Transport) -> Mvee {
 
 /// One full run: `variants × THREADS` OS threads, `OPS` calls each, through
 /// the chosen transport.  Returns the total number of monitored calls.
-fn run(variants: usize, transport: Transport) -> u64 {
-    let mvee = Arc::new(build(variants, transport));
+fn run(variants: usize, cell: Cell) -> u64 {
+    let mvee = Arc::new(build(variants, cell));
     let mut handles = Vec::with_capacity(variants * THREADS);
     for variant in 0..variants {
         for thread in 0..THREADS {
             let mvee = Arc::clone(&mvee);
-            handles.push(std::thread::spawn(move || match transport {
+            handles.push(std::thread::spawn(move || match cell.transport {
                 Transport::Sync => {
                     let port = mvee.thread_port(variant, thread);
                     for i in 0..OPS {
@@ -126,15 +161,15 @@ const ISSUE_OPS: u64 = 48;
 /// the decoupling the rings buy, which a wall-clock number over a
 /// do-nothing-between-calls workload cannot show.  The pipelined verdicts
 /// are reaped after the timer stops.  Returns (calls, summed issue ns).
-fn run_issue_timed(variants: usize, transport: Transport) -> (u64, u128) {
-    let mvee = Arc::new(build(variants, transport));
+fn run_issue_timed(variants: usize, cell: Cell) -> (u64, u128) {
+    let mvee = Arc::new(build(variants, cell));
     let req = SyscallRequest::new(Sysno::Brk).with_int(0);
     let mut handles = Vec::with_capacity(variants * THREADS);
     for variant in 0..variants {
         for thread in 0..THREADS {
             let mvee = Arc::clone(&mvee);
             let req = req.clone();
-            handles.push(std::thread::spawn(move || match transport {
+            handles.push(std::thread::spawn(move || match cell.transport {
                 Transport::Sync => {
                     let port = mvee.thread_port(variant, thread);
                     let started = Instant::now();
@@ -174,28 +209,33 @@ fn run_issue_timed(variants: usize, transport: Transport) -> (u64, u128) {
     (mvee.monitor_stats().total_syscalls, issue_ns)
 }
 
-/// The transport cells: sync, per-port ring workers, and polling pools of
+/// The measurement cells: sync, sync with journal recording on (the
+/// journal-overhead cell), per-port ring workers, and polling pools of
 /// 1, 2 and `THREADS` shards.  `MVEE_BENCH_TRANSPORTS` (comma-separated
 /// labels) restricts the set — CI uses it for a `sync,async-pool1` smoke.
-fn transports() -> Vec<Transport> {
+fn cells() -> Vec<Cell> {
     let all = vec![
-        Transport::Sync,
-        Transport::AsyncRings {
+        Cell::plain(Transport::Sync),
+        Cell {
+            transport: Transport::Sync,
+            journal: true,
+        },
+        Cell::plain(Transport::AsyncRings {
             depth: RING_DEPTH,
             pollers: Pollers::PerPort,
-        },
-        Transport::AsyncRings {
+        }),
+        Cell::plain(Transport::AsyncRings {
             depth: RING_DEPTH,
             pollers: Pollers::Pool(1),
-        },
-        Transport::AsyncRings {
+        }),
+        Cell::plain(Transport::AsyncRings {
             depth: RING_DEPTH,
             pollers: Pollers::Pool(2),
-        },
-        Transport::AsyncRings {
+        }),
+        Cell::plain(Transport::AsyncRings {
             depth: RING_DEPTH,
             pollers: Pollers::Pool(THREADS),
-        },
+        }),
     ];
     let Ok(filter) = std::env::var("MVEE_BENCH_TRANSPORTS") else {
         return all;
@@ -205,13 +245,13 @@ fn transports() -> Vec<Transport> {
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .collect();
-    let picked: Vec<Transport> = all
+    let picked: Vec<Cell> = all
         .into_iter()
-        .filter(|t| wanted.iter().any(|w| *w == t.label()))
+        .filter(|c| wanted.iter().any(|w| *w == c.label()))
         .collect();
     assert!(
         !picked.is_empty(),
-        "MVEE_BENCH_TRANSPORTS={filter:?} matched no transport label"
+        "MVEE_BENCH_TRANSPORTS={filter:?} matched no cell label"
     );
     picked
 }
@@ -219,21 +259,21 @@ fn transports() -> Vec<Transport> {
 /// One calibrated measurement cell: repeat the run until ~`budget` has
 /// elapsed (at least 3 runs).  Returns (wall ns per monitored call, issue
 /// ns per monitored call).
-fn measure_cell(variants: usize, transport: Transport, budget: Duration) -> (f64, f64) {
+fn measure_cell(variants: usize, cell: Cell, budget: Duration) -> (f64, f64) {
     // Warm-up run, unmeasured.
-    run(variants, transport);
+    run(variants, cell);
     let started = Instant::now();
     let mut calls = 0u64;
     let mut runs = 0u32;
     while runs < 3 || started.elapsed() < budget {
-        calls += run(variants, transport);
+        calls += run(variants, cell);
         runs += 1;
     }
     let wall = started.elapsed().as_nanos() as f64 / calls as f64;
     let mut issue_calls = 0u64;
     let mut issue_ns = 0u128;
     for _ in 0..runs.min(8) {
-        let (c, ns) = run_issue_timed(variants, transport);
+        let (c, ns) = run_issue_timed(variants, cell);
         issue_calls += c;
         issue_ns += ns;
     }
@@ -242,13 +282,13 @@ fn measure_cell(variants: usize, transport: Transport, budget: Duration) -> (f64
 
 /// Writes the machine-readable ablation record.  The vendored serde stub is
 /// a no-op, so the JSON is formatted by hand.
-fn emit_json(cells: &[(usize, Transport, f64, f64)]) {
+fn emit_json(cells: &[(usize, Cell, f64, f64)]) {
     let results: Vec<String> = cells
         .iter()
-        .map(|(variants, transport, wall, issue)| {
+        .map(|(variants, cell, wall, issue)| {
             format!(
                 "    {{ \"variants\": {variants}, \"transport\": \"{}\", \"ns_per_call\": {wall:.1}, \"issue_ns_per_call\": {issue:.1} }}",
-                transport.label()
+                cell.label()
             )
         })
         .collect();
@@ -271,10 +311,10 @@ fn bench_transports(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(10);
     for variants in variant_counts() {
-        for transport in transports() {
-            let id = BenchmarkId::new(format!("{variants}v/{THREADS}t"), transport.label());
+        for cell in cells() {
+            let id = BenchmarkId::new(format!("{variants}v/{THREADS}t"), cell.label());
             group.bench_function(id, |b| {
-                b.iter(|| run(variants, transport));
+                b.iter(|| run(variants, cell));
             });
         }
     }
@@ -291,13 +331,13 @@ fn main() {
     } else {
         Duration::from_millis(800)
     };
-    let mut cells = Vec::new();
+    let mut measured = Vec::new();
     for variants in variant_counts() {
-        for transport in transports() {
-            let (wall, issue) = measure_cell(variants, transport, budget);
-            cells.push((variants, transport, wall, issue));
+        for cell in cells() {
+            let (wall, issue) = measure_cell(variants, cell, budget);
+            measured.push((variants, cell, wall, issue));
         }
     }
-    emit_json(&cells);
+    emit_json(&measured);
     benches();
 }

@@ -19,6 +19,7 @@ use mvee_sync_agent::agents::AgentKind;
 use mvee_sync_agent::context::AgentConfig;
 use mvee_sync_agent::guards::WaitStrategy;
 
+use crate::journal::JournalMode;
 use crate::lockstep::DEFAULT_SHARDS;
 use crate::policy::MonitoringPolicy;
 
@@ -136,16 +137,30 @@ pub enum Pollers {
     PerPort,
     /// A fixed pool of `n` polling shards serving all ports.
     Pool(usize),
+    /// A fixed polling pool auto-sized from the machine:
+    /// [`Pollers::auto_pool_size`] applied to
+    /// `std::thread::available_parallelism()` at build time.
+    Auto,
 }
 
 impl Pollers {
-    /// Short name used in benchmark tables and reports: `per-port` or
-    /// `pool{n}`.
+    /// Short name used in benchmark tables and reports: `per-port`,
+    /// `pool{n}` or `auto`.
     pub fn label(&self) -> String {
         match self {
             Pollers::PerPort => "per-port".to_string(),
             Pollers::Pool(n) => format!("pool{n}"),
+            Pollers::Auto => "auto".to_string(),
         }
+    }
+
+    /// The sizing rule behind [`Pollers::Auto`]: half the machine's
+    /// available parallelism — pollers share cores with `variants × threads`
+    /// workload threads, so claiming every core would starve the very ports
+    /// the pool drains — floored at one worker and capped at eight (beyond
+    /// that the shards outnumber the rendezvous shards they feed).
+    pub fn auto_pool_size(parallelism: usize) -> usize {
+        (parallelism / 2).clamp(1, 8)
     }
 }
 
@@ -243,6 +258,10 @@ impl Transport {
                 pollers: Pollers::Pool(n),
                 ..
             } => format!("async-pool{n}"),
+            Transport::AsyncRings {
+                pollers: Pollers::Auto,
+                ..
+            } => "async-auto".to_string(),
         }
     }
 }
@@ -279,6 +298,10 @@ pub struct MveeConfig {
     /// pipeline ([`Transport::Sync`], the default) or through per-port
     /// submission/completion rings ([`Transport::AsyncRings`]).
     pub transport: Transport,
+    /// The divergence journal: off (default), record the run through a
+    /// [`crate::journal::JournalRecorder`], or carry a decoded journal as
+    /// the replay source (see [`crate::journal`]).
+    pub journal: JournalMode,
 }
 
 impl Default for MveeConfig {
@@ -292,6 +315,7 @@ impl Default for MveeConfig {
             placement: Placement::RoundRobin,
             lockstep_timeout: Duration::from_secs(5),
             transport: Transport::Sync,
+            journal: JournalMode::Off,
         }
     }
 }
@@ -372,12 +396,20 @@ impl MveeConfig {
                 assert!(
                     n > 0,
                     "a polling pool needs at least one worker (Pollers::Pool(0) \
-                     would never drain any submission ring); use Pollers::PerPort \
-                     or Pool(1+)"
+                     would never drain any submission ring); use Pollers::PerPort, \
+                     Pool(1+) or Auto"
                 );
             }
         }
         self.transport = transport;
+        self
+    }
+
+    /// Sets the divergence-journal mode (builder style): record the run
+    /// through a [`crate::journal::JournalRecorder`] or carry a decoded
+    /// journal for offline replay.
+    pub fn with_journal(mut self, journal: JournalMode) -> Self {
+        self.journal = journal;
         self
     }
 }
@@ -530,6 +562,44 @@ mod tests {
         assert_eq!(Pollers::PerPort.label(), "per-port");
         assert_eq!(Pollers::Pool(4).label(), "pool4");
         assert_eq!(Transport::Sync.pollers(), None);
+    }
+
+    #[test]
+    fn auto_pool_sizing_rule_is_pinned() {
+        // Half the available parallelism, floored at 1, capped at 8.
+        assert_eq!(Pollers::auto_pool_size(1), 1);
+        assert_eq!(Pollers::auto_pool_size(2), 1);
+        assert_eq!(Pollers::auto_pool_size(4), 2);
+        assert_eq!(Pollers::auto_pool_size(8), 4);
+        assert_eq!(Pollers::auto_pool_size(16), 8);
+        assert_eq!(Pollers::auto_pool_size(32), 8);
+        assert_eq!(Pollers::auto_pool_size(0), 1, "degenerate probe floors");
+    }
+
+    #[test]
+    fn auto_pollers_are_accepted_and_labelled() {
+        let c = MveeConfig::default().with_transport(Transport::AsyncRings {
+            depth: DEFAULT_RING_DEPTH,
+            pollers: Pollers::Auto,
+        });
+        assert_eq!(c.transport.pollers(), Some(Pollers::Auto));
+        assert_eq!(c.transport.name(), "async-rings");
+        assert_eq!(c.transport.label(), "async-auto");
+        assert_eq!(Pollers::Auto.label(), "auto");
+    }
+
+    #[test]
+    fn journal_defaults_off_and_threads_through_the_builder() {
+        use crate::journal::JournalRecorder;
+
+        let c = MveeConfig::default();
+        assert!(matches!(c.journal, JournalMode::Off));
+        assert!(c.journal.recorder().is_none());
+        assert!(c.journal.replay_source().is_none());
+
+        let rec = std::sync::Arc::new(JournalRecorder::new());
+        let c = c.with_journal(JournalMode::Record(std::sync::Arc::clone(&rec)));
+        assert!(c.journal.recorder().is_some());
     }
 
     #[test]

@@ -1,0 +1,1771 @@
+//! Divergence journal: record a run's rendezvous schedule and replicated
+//! outcomes, replay it offline.
+//!
+//! A journal is the evidence a divergence would otherwise take with it when
+//! the run is poisoned and torn down: which call entered the gateway on
+//! which thread, in what order the variants' comparison keys arrived at the
+//! rendezvous table, what the master published for replicated/ordered
+//! calls, and — when the monitor declared divergence — the exact report.
+//! RecPlay (the model behind [`crate::baselines` → `rr`]'s namesake in
+//! `mvee-baselines`) records a timestamp per sync op and replays by
+//! ordering; this journal records the monitor-side equivalent, the global
+//! arrival order of every rendezvous deposit, plus the agent-side sync-op
+//! stream.
+//!
+//! ## Format (version 1)
+//!
+//! The byte stream is a fixed header followed by length-prefixed,
+//! CRC-protected records, all little-endian:
+//!
+//! ```text
+//! header : magic "MVJL" | version u16 | variants u16 | threads u16
+//!        | shards u16 | batch u16                           (14 bytes)
+//! record : body_len u32 | crc32(body) u32 | body
+//! body   : tag u8 | fields...
+//! ```
+//!
+//! The CRC is the standard reflected CRC-32 (polynomial `0xEDB88320`), so a
+//! torn write, a flipped bit or a truncated file surfaces as a typed
+//! [`JournalError`] instead of a silently wrong replay.  The stream ends
+//! with an `End` record carrying the record count; its absence
+//! ([`JournalError::MissingEnd`]) marks a journal whose recording run died
+//! mid-write.  The vendored `serde` facade is a no-op stub, so the codec
+//! here is purpose-built and hand-written — that is what pins the format.
+//!
+//! ## Record vs replay
+//!
+//! [`JournalRecorder`] is the sink the monitor writes through (installed
+//! via `MveeConfig::journal`); it is transport-agnostic — the synchronous
+//! ports, the per-port gateway workers and the polling pools all funnel
+//! through the same [`crate::monitor::Monitor`]/[`crate::lockstep`] choke
+//! points, so every transport emits an identical stream for the same
+//! schedule.  [`replay`] consumes the bytes, re-derives the monitor
+//! statistics and — for a divergent run — re-runs the verdict over the
+//! recorded arrival keys via [`first_mismatch`], checking the re-derived
+//! first-mismatch slot and variant against the recorded report field by
+//! field.  No live variants are involved.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mvee_kernel::error::Errno;
+use mvee_kernel::syscall::{ComparisonKey, SyscallArg, SyscallOutcome, Sysno};
+
+use crate::divergence::{first_mismatch, DivergenceKind, DivergenceReport};
+use crate::monitor::{MonitorStats, DEFERRED_SEQ_BIT};
+
+/// The four magic bytes opening every journal.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"MVJL";
+
+/// The format version this build writes and replays.
+pub const JOURNAL_VERSION: u16 = 1;
+
+/// Byte length of the fixed journal header.
+pub const JOURNAL_HEADER_LEN: usize = 14;
+
+/// Reflected CRC-32 (polynomial `0xEDB88320`), computed bitwise — the
+/// journal is not a hot path, and a table would be 1 KiB of baked-in state
+/// for no observable gain at journal sizes.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The run parameters a journal was recorded under.  Replay needs
+/// `variants` to size arrival slots; the rest pins the configuration for
+/// offline inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Format version (see [`JOURNAL_VERSION`]).
+    pub version: u16,
+    /// Number of variants in the recorded run.
+    pub variants: u16,
+    /// Logical threads per variant.
+    pub threads: u16,
+    /// Rendezvous shards.
+    pub shards: u16,
+    /// Comparison batch size.
+    pub batch: u16,
+}
+
+impl JournalHeader {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&JOURNAL_MAGIC);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.extend_from_slice(&self.variants.to_le_bytes());
+        buf.extend_from_slice(&self.threads.to_le_bytes());
+        buf.extend_from_slice(&self.shards.to_le_bytes());
+        buf.extend_from_slice(&self.batch.to_le_bytes());
+    }
+}
+
+/// How the gateway classified a call — the journal-side mirror of the
+/// monitor's per-class counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassKind {
+    /// Immediate cross-variant comparison.
+    Lockstep,
+    /// Comparison deferred into the caller's batch.
+    Batched,
+    /// Master executes, slaves receive the replicated outcome.
+    Replicated,
+    /// Executed under the cross-variant ordering clock.
+    Ordered,
+    /// A batch of deferred comparisons was flushed to the table.
+    BatchFlush,
+}
+
+impl ClassKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            ClassKind::Lockstep => 0,
+            ClassKind::Batched => 1,
+            ClassKind::Replicated => 2,
+            ClassKind::Ordered => 3,
+            ClassKind::BatchFlush => 4,
+        }
+    }
+
+    fn from_wire(tag: u8) -> Option<ClassKind> {
+        Some(match tag {
+            0 => ClassKind::Lockstep,
+            1 => ClassKind::Batched,
+            2 => ClassKind::Replicated,
+            3 => ClassKind::Ordered,
+            4 => ClassKind::BatchFlush,
+            _ => return None,
+        })
+    }
+}
+
+/// One journal record.  See the module docs for the stream layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A call entered the gateway (`gate_and_count`): one per monitored
+    /// call, so the count of these reproduces `total_syscalls`.
+    Enter {
+        /// Issuing variant.
+        variant: u16,
+        /// Logical thread of the call.
+        thread: u32,
+        /// Stat lane the call was counted in.
+        lane: u16,
+        /// Whether this was the self-awareness pseudo call (answered at the
+        /// gate, never reaching the rendezvous table).
+        self_aware: bool,
+    },
+    /// The gateway classified a call (or flushed a batch).
+    Class {
+        /// The classification.
+        kind: ClassKind,
+        /// Stat lane it was counted in.
+        lane: u16,
+    },
+    /// A comparison key was deposited into a rendezvous slot.  `order` is a
+    /// global arrival counter — the journal's RecPlay timestamp.
+    Arrival {
+        /// Depositing variant.
+        variant: u16,
+        /// Slot thread (the key's first component).
+        thread: u32,
+        /// Slot sequence, raw: deferred comparisons carry
+        /// [`DEFERRED_SEQ_BIT`] exactly as the live table keys them.
+        seq: u64,
+        /// Shard the slot lives in.
+        shard: u16,
+        /// Global arrival order of this deposit (strictly increasing).
+        order: u64,
+        /// The deposited comparison key.
+        cmp: ComparisonKey,
+    },
+    /// The master published a replicated outcome (and, for ordered calls,
+    /// an ordering timestamp) into a slot.
+    Publish {
+        /// Slot thread.
+        thread: u32,
+        /// Slot sequence.
+        seq: u64,
+        /// Ordering timestamp, when the call ran under the ordering clock.
+        timestamp: Option<u64>,
+        /// The published outcome.
+        outcome: SyscallOutcome,
+    },
+    /// The monitor declared divergence; one record per `record_divergence`
+    /// call, so the count reproduces the `divergences` counter and the
+    /// first record is the run's surviving report.
+    Diverge {
+        /// The report, exactly as the live monitor stored it.
+        report: DivergenceReport,
+    },
+    /// An agent replication point fired (`before_sync_op`).
+    SyncOp {
+        /// Variant whose thread hit the sync op.
+        variant: u16,
+        /// Logical thread.
+        thread: u32,
+    },
+    /// Stream trailer: number of records preceding it.  A journal without
+    /// one was torn mid-recording.
+    End {
+        /// Count of records before this trailer.
+        records: u64,
+    },
+}
+
+const TAG_ENTER: u8 = 1;
+const TAG_CLASS: u8 = 2;
+const TAG_ARRIVAL: u8 = 3;
+const TAG_PUBLISH: u8 = 4;
+const TAG_DIVERGE: u8 = 5;
+const TAG_SYNC_OP: u8 = 6;
+const TAG_END: u8 = 7;
+
+/// Known [`Sysno`] variants in wire order; `Unknown` is encoded out of band
+/// (wire tag 1 + raw number).  Appending here is a compatible change;
+/// reordering is not — the golden-format tests pin the order.
+const SYSNO_TABLE: [Sysno; 47] = [
+    Sysno::Read,
+    Sysno::Write,
+    Sysno::Open,
+    Sysno::Close,
+    Sysno::Stat,
+    Sysno::Fstat,
+    Sysno::Lseek,
+    Sysno::Mmap,
+    Sysno::Mprotect,
+    Sysno::Munmap,
+    Sysno::Brk,
+    Sysno::Pipe,
+    Sysno::Dup,
+    Sysno::Socket,
+    Sysno::Bind,
+    Sysno::Listen,
+    Sysno::Accept,
+    Sysno::Connect,
+    Sysno::Send,
+    Sysno::Recv,
+    Sysno::Shutdown,
+    Sysno::FutexWait,
+    Sysno::FutexWake,
+    Sysno::Clone,
+    Sysno::Exit,
+    Sysno::ExitGroup,
+    Sysno::Gettimeofday,
+    Sysno::ClockGettime,
+    Sysno::Getpid,
+    Sysno::Gettid,
+    Sysno::SchedYield,
+    Sysno::Nanosleep,
+    Sysno::SchedSetaffinity,
+    Sysno::Getrandom,
+    Sysno::Madvise,
+    Sysno::Fcntl,
+    Sysno::Ioctl,
+    Sysno::Readlink,
+    Sysno::Access,
+    Sysno::Unlink,
+    Sysno::Rename,
+    Sysno::Mkdir,
+    Sysno::Epoll,
+    Sysno::Poll,
+    Sysno::Sendfile,
+    Sysno::Writev,
+    Sysno::MveeSelfAware,
+];
+
+fn encode_sysno(buf: &mut Vec<u8>, no: Sysno) {
+    if let Sysno::Unknown(raw) = no {
+        buf.push(1);
+        buf.extend_from_slice(&raw.to_le_bytes());
+        return;
+    }
+    // The exhaustive position lookup keeps encode/decode symmetric by
+    // construction; a Sysno variant missing from the table is a bug the
+    // round-trip tests catch immediately.
+    let idx = SYSNO_TABLE
+        .iter()
+        .position(|&s| s == no)
+        .expect("known Sysno missing from SYSNO_TABLE");
+    buf.push(0);
+    buf.extend_from_slice(&(idx as u32).to_le_bytes());
+}
+
+fn decode_sysno(r: &mut Reader<'_>) -> Result<Sysno, String> {
+    let tag = r.u8()?;
+    let raw = r.u32()?;
+    match tag {
+        0 => SYSNO_TABLE
+            .get(raw as usize)
+            .copied()
+            .ok_or_else(|| format!("sysno index {raw} out of range")),
+        1 => Ok(Sysno::Unknown(raw)),
+        t => Err(format!("bad sysno tag {t}")),
+    }
+}
+
+const ARG_INT: u8 = 0;
+const ARG_FD: u8 = 1;
+const ARG_FLAGS: u8 = 2;
+const ARG_POINTER: u8 = 3;
+const ARG_PATH: u8 = 4;
+const ARG_BUF_LEN: u8 = 5;
+
+fn encode_arg(buf: &mut Vec<u8>, arg: &SyscallArg) {
+    match arg {
+        SyscallArg::Int(v) => {
+            buf.push(ARG_INT);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        SyscallArg::Fd(v) => {
+            buf.push(ARG_FD);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        SyscallArg::Flags(v) => {
+            buf.push(ARG_FLAGS);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        SyscallArg::Pointer(v) => {
+            buf.push(ARG_POINTER);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        SyscallArg::Path(p) => {
+            buf.push(ARG_PATH);
+            buf.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            buf.extend_from_slice(p.as_bytes());
+        }
+        SyscallArg::BufLen(v) => {
+            buf.push(ARG_BUF_LEN);
+            buf.extend_from_slice(&(*v as u64).to_le_bytes());
+        }
+    }
+}
+
+fn decode_arg(r: &mut Reader<'_>) -> Result<SyscallArg, String> {
+    Ok(match r.u8()? {
+        ARG_INT => SyscallArg::Int(r.i64()?),
+        ARG_FD => SyscallArg::Fd(r.i32()?),
+        ARG_FLAGS => SyscallArg::Flags(r.u64()?),
+        ARG_POINTER => SyscallArg::Pointer(r.u64()?),
+        ARG_PATH => {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            SyscallArg::Path(
+                String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 path arg".to_string())?,
+            )
+        }
+        ARG_BUF_LEN => SyscallArg::BufLen(r.u64()? as usize),
+        t => return Err(format!("bad arg tag {t}")),
+    })
+}
+
+fn encode_cmp(buf: &mut Vec<u8>, cmp: &ComparisonKey) {
+    encode_sysno(buf, cmp.no);
+    buf.extend_from_slice(&(cmp.args.len() as u16).to_le_bytes());
+    for arg in &cmp.args {
+        encode_arg(buf, arg);
+    }
+    buf.extend_from_slice(&cmp.payload_digest.to_le_bytes());
+    buf.extend_from_slice(&(cmp.payload_len as u64).to_le_bytes());
+}
+
+fn decode_cmp(r: &mut Reader<'_>) -> Result<ComparisonKey, String> {
+    let no = decode_sysno(r)?;
+    let nargs = r.u16()? as usize;
+    let mut args = Vec::with_capacity(nargs.min(64));
+    for _ in 0..nargs {
+        args.push(decode_arg(r)?);
+    }
+    Ok(ComparisonKey {
+        no,
+        args,
+        payload_digest: r.u64()?,
+        payload_len: r.u64()? as usize,
+    })
+}
+
+fn encode_outcome(buf: &mut Vec<u8>, outcome: &SyscallOutcome) {
+    match outcome.result {
+        Ok(v) => {
+            buf.push(0);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Err(e) => {
+            buf.push(1);
+            buf.extend_from_slice(&e.as_raw().to_le_bytes());
+            buf.extend_from_slice(&[0u8; 4]);
+        }
+    }
+    buf.extend_from_slice(&(outcome.payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&outcome.payload);
+}
+
+fn decode_outcome(r: &mut Reader<'_>) -> Result<SyscallOutcome, String> {
+    let result = match r.u8()? {
+        0 => Ok(r.i64()?),
+        1 => {
+            let raw = r.i32()?;
+            let _pad = r.u32()?;
+            Err(Errno::from_raw(raw).ok_or_else(|| format!("unknown errno {raw}"))?)
+        }
+        t => return Err(format!("bad outcome tag {t}")),
+    };
+    let len = r.u32()? as usize;
+    let payload = r.take(len)?.to_vec();
+    Ok(SyscallOutcome { result, payload })
+}
+
+const KIND_MISMATCH: u8 = 0;
+const KIND_RENDEZVOUS_TIMEOUT: u8 = 1;
+const KIND_REPLICATION_TIMEOUT: u8 = 2;
+const KIND_POLICY: u8 = 3;
+
+fn encode_variant_list(buf: &mut Vec<u8>, list: &[usize]) {
+    buf.extend_from_slice(&(list.len() as u16).to_le_bytes());
+    for &v in list {
+        buf.extend_from_slice(&(v as u32).to_le_bytes());
+    }
+}
+
+fn decode_variant_list(r: &mut Reader<'_>) -> Result<Vec<usize>, String> {
+    let n = r.u16()? as usize;
+    let mut list = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        list.push(r.u32()? as usize);
+    }
+    Ok(list)
+}
+
+fn encode_report(buf: &mut Vec<u8>, report: &DivergenceReport) {
+    match &report.kind {
+        DivergenceKind::SyscallMismatch { master, variant } => {
+            buf.push(KIND_MISMATCH);
+            encode_sysno(buf, *master);
+            encode_sysno(buf, *variant);
+        }
+        DivergenceKind::RendezvousTimeout { arrived } => {
+            buf.push(KIND_RENDEZVOUS_TIMEOUT);
+            encode_variant_list(buf, arrived);
+        }
+        DivergenceKind::ReplicationTimeout { publisher, arrived } => {
+            buf.push(KIND_REPLICATION_TIMEOUT);
+            buf.extend_from_slice(&(*publisher as u32).to_le_bytes());
+            encode_variant_list(buf, arrived);
+        }
+        DivergenceKind::PolicyViolation { call } => {
+            buf.push(KIND_POLICY);
+            encode_sysno(buf, *call);
+        }
+    }
+    buf.extend_from_slice(&(report.thread as u32).to_le_bytes());
+    buf.extend_from_slice(&report.sequence.to_le_bytes());
+    buf.extend_from_slice(&(report.variant as u32).to_le_bytes());
+}
+
+fn decode_report(r: &mut Reader<'_>) -> Result<DivergenceReport, String> {
+    let kind = match r.u8()? {
+        KIND_MISMATCH => DivergenceKind::SyscallMismatch {
+            master: decode_sysno(r)?,
+            variant: decode_sysno(r)?,
+        },
+        KIND_RENDEZVOUS_TIMEOUT => DivergenceKind::RendezvousTimeout {
+            arrived: decode_variant_list(r)?,
+        },
+        KIND_REPLICATION_TIMEOUT => DivergenceKind::ReplicationTimeout {
+            publisher: r.u32()? as usize,
+            arrived: decode_variant_list(r)?,
+        },
+        KIND_POLICY => DivergenceKind::PolicyViolation {
+            call: decode_sysno(r)?,
+        },
+        t => return Err(format!("bad divergence kind {t}")),
+    };
+    Ok(DivergenceReport {
+        kind,
+        thread: r.u32()? as usize,
+        sequence: r.u64()?,
+        variant: r.u32()? as usize,
+    })
+}
+
+impl JournalRecord {
+    /// Serializes the record body (tag + fields, no frame).
+    pub fn encode_body(&self, buf: &mut Vec<u8>) {
+        match self {
+            JournalRecord::Enter {
+                variant,
+                thread,
+                lane,
+                self_aware,
+            } => {
+                buf.push(TAG_ENTER);
+                buf.extend_from_slice(&variant.to_le_bytes());
+                buf.extend_from_slice(&thread.to_le_bytes());
+                buf.extend_from_slice(&lane.to_le_bytes());
+                buf.push(u8::from(*self_aware));
+            }
+            JournalRecord::Class { kind, lane } => {
+                buf.push(TAG_CLASS);
+                buf.push(kind.to_wire());
+                buf.extend_from_slice(&lane.to_le_bytes());
+            }
+            JournalRecord::Arrival {
+                variant,
+                thread,
+                seq,
+                shard,
+                order,
+                cmp,
+            } => {
+                buf.push(TAG_ARRIVAL);
+                buf.extend_from_slice(&variant.to_le_bytes());
+                buf.extend_from_slice(&thread.to_le_bytes());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&shard.to_le_bytes());
+                buf.extend_from_slice(&order.to_le_bytes());
+                encode_cmp(buf, cmp);
+            }
+            JournalRecord::Publish {
+                thread,
+                seq,
+                timestamp,
+                outcome,
+            } => {
+                buf.push(TAG_PUBLISH);
+                buf.extend_from_slice(&thread.to_le_bytes());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                match timestamp {
+                    Some(ts) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&ts.to_le_bytes());
+                    }
+                    None => {
+                        buf.push(0);
+                        buf.extend_from_slice(&0u64.to_le_bytes());
+                    }
+                }
+                encode_outcome(buf, outcome);
+            }
+            JournalRecord::Diverge { report } => {
+                buf.push(TAG_DIVERGE);
+                encode_report(buf, report);
+            }
+            JournalRecord::SyncOp { variant, thread } => {
+                buf.push(TAG_SYNC_OP);
+                buf.extend_from_slice(&variant.to_le_bytes());
+                buf.extend_from_slice(&thread.to_le_bytes());
+            }
+            JournalRecord::End { records } => {
+                buf.push(TAG_END);
+                buf.extend_from_slice(&records.to_le_bytes());
+            }
+        }
+    }
+
+    /// Parses a record body (tag + fields, no frame).  The error is a
+    /// human-readable reason, wrapped into [`JournalError::Malformed`] by
+    /// the stream decoder.
+    pub fn decode_body(body: &[u8]) -> Result<JournalRecord, String> {
+        let mut r = Reader::new(body);
+        let record = match r.u8()? {
+            TAG_ENTER => JournalRecord::Enter {
+                variant: r.u16()?,
+                thread: r.u32()?,
+                lane: r.u16()?,
+                self_aware: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(format!("bad self_aware flag {b}")),
+                },
+            },
+            TAG_CLASS => JournalRecord::Class {
+                kind: {
+                    let raw = r.u8()?;
+                    ClassKind::from_wire(raw).ok_or_else(|| format!("bad class kind {raw}"))?
+                },
+                lane: r.u16()?,
+            },
+            TAG_ARRIVAL => JournalRecord::Arrival {
+                variant: r.u16()?,
+                thread: r.u32()?,
+                seq: r.u64()?,
+                shard: r.u16()?,
+                order: r.u64()?,
+                cmp: decode_cmp(&mut r)?,
+            },
+            TAG_PUBLISH => JournalRecord::Publish {
+                thread: r.u32()?,
+                seq: r.u64()?,
+                timestamp: {
+                    let has = r.u8()?;
+                    let ts = r.u64()?;
+                    match has {
+                        0 => None,
+                        1 => Some(ts),
+                        b => return Err(format!("bad timestamp flag {b}")),
+                    }
+                },
+                outcome: decode_outcome(&mut r)?,
+            },
+            TAG_DIVERGE => JournalRecord::Diverge {
+                report: decode_report(&mut r)?,
+            },
+            TAG_SYNC_OP => JournalRecord::SyncOp {
+                variant: r.u16()?,
+                thread: r.u32()?,
+            },
+            TAG_END => JournalRecord::End { records: r.u64()? },
+            t => return Err(format!("unknown record tag {t}")),
+        };
+        r.finish()?;
+        Ok(record)
+    }
+}
+
+/// Little-endian byte reader over a record body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| format!("body truncated at byte {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, String> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after record body",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+}
+
+/// Why a journal byte stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The stream does not start with the `MVJL` magic.
+    BadMagic,
+    /// The header carries a version this build does not speak.
+    UnsupportedVersion(u16),
+    /// The stream ends mid-header or mid-record (torn write).
+    Truncated {
+        /// Byte offset at which the stream ran out.
+        offset: usize,
+    },
+    /// A record's CRC does not match its body (bit rot / torn write).
+    CorruptRecord {
+        /// Zero-based index of the bad record.
+        index: u64,
+        /// Byte offset of the record's frame.
+        offset: usize,
+    },
+    /// A record's body parsed to garbage despite a valid CRC.
+    Malformed {
+        /// Zero-based index of the bad record.
+        index: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The stream has no `End` trailer: the recording run died mid-write.
+    MissingEnd,
+    /// Bytes follow the `End` trailer.
+    TrailingData {
+        /// Byte offset of the first trailing byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::BadMagic => write!(f, "not a journal: bad magic"),
+            JournalError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported journal version {v} (this build speaks {JOURNAL_VERSION})"
+                )
+            }
+            JournalError::Truncated { offset } => {
+                write!(f, "journal truncated at byte {offset}")
+            }
+            JournalError::CorruptRecord { index, offset } => {
+                write!(f, "record #{index} at byte {offset} fails its CRC")
+            }
+            JournalError::Malformed { index, reason } => {
+                write!(f, "record #{index} is malformed: {reason}")
+            }
+            JournalError::MissingEnd => {
+                write!(f, "journal has no End trailer (recording died mid-write)")
+            }
+            JournalError::TrailingData { offset } => {
+                write!(f, "unexpected data after End trailer at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// A fully decoded journal: header + records, `End` trailer validated and
+/// stripped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    /// The recorded run's parameters.
+    pub header: JournalHeader,
+    /// The records, in file (= global arrival) order, without the trailer.
+    pub records: Vec<JournalRecord>,
+}
+
+fn decode_header(bytes: &[u8]) -> Result<JournalHeader, JournalError> {
+    if bytes.len() < 4 || bytes[..4] != JOURNAL_MAGIC {
+        if bytes.len() < 4 {
+            return Err(JournalError::Truncated {
+                offset: bytes.len(),
+            });
+        }
+        return Err(JournalError::BadMagic);
+    }
+    if bytes.len() < JOURNAL_HEADER_LEN {
+        return Err(JournalError::Truncated {
+            offset: bytes.len(),
+        });
+    }
+    let word = |at: usize| u16::from_le_bytes([bytes[at], bytes[at + 1]]);
+    let header = JournalHeader {
+        version: word(4),
+        variants: word(6),
+        threads: word(8),
+        shards: word(10),
+        batch: word(12),
+    };
+    if header.version != JOURNAL_VERSION {
+        return Err(JournalError::UnsupportedVersion(header.version));
+    }
+    Ok(header)
+}
+
+impl Journal {
+    /// Strictly decodes a journal: every record must frame and parse, the
+    /// `End` trailer must be present, carry the right count and be last.
+    pub fn decode(bytes: &[u8]) -> Result<Journal, JournalError> {
+        match Self::decode_inner(bytes) {
+            Ok((journal, None)) => Ok(journal),
+            Ok((_, Some(err))) | Err(err) => Err(err),
+        }
+    }
+
+    /// Salvage decode: parses the longest valid record prefix.  Returns the
+    /// salvaged journal plus the error that stopped the parse (`None` when
+    /// the stream was complete).  Header errors are not salvageable.
+    pub fn decode_lossy(bytes: &[u8]) -> Result<(Journal, Option<JournalError>), JournalError> {
+        Self::decode_inner(bytes)
+    }
+
+    fn decode_inner(bytes: &[u8]) -> Result<(Journal, Option<JournalError>), JournalError> {
+        let header = decode_header(bytes)?;
+        let mut records = Vec::new();
+        let mut offset = JOURNAL_HEADER_LEN;
+        let mut index = 0u64;
+        let journal = |records: Vec<JournalRecord>| Journal { header, records };
+        loop {
+            if offset == bytes.len() {
+                return Ok((journal(records), Some(JournalError::MissingEnd)));
+            }
+            if bytes.len() - offset < 8 {
+                return Ok((journal(records), Some(JournalError::Truncated { offset })));
+            }
+            let body_len =
+                u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+            if bytes.len() - offset - 8 < body_len {
+                return Ok((journal(records), Some(JournalError::Truncated { offset })));
+            }
+            let body = &bytes[offset + 8..offset + 8 + body_len];
+            if crc32(body) != crc {
+                let err = JournalError::CorruptRecord { index, offset };
+                return Ok((journal(records), Some(err)));
+            }
+            let record = match JournalRecord::decode_body(body) {
+                Ok(record) => record,
+                Err(reason) => {
+                    let err = JournalError::Malformed { index, reason };
+                    return Ok((journal(records), Some(err)));
+                }
+            };
+            offset += 8 + body_len;
+            if let JournalRecord::End { records: count } = record {
+                if count != index {
+                    let err = JournalError::Malformed {
+                        index,
+                        reason: format!("End trailer claims {count} records, stream has {index}"),
+                    };
+                    return Ok((journal(records), Some(err)));
+                }
+                if offset != bytes.len() {
+                    return Ok((
+                        journal(records),
+                        Some(JournalError::TrailingData { offset }),
+                    ));
+                }
+                return Ok((journal(records), None));
+            }
+            records.push(record);
+            index += 1;
+        }
+    }
+
+    /// Re-encodes the journal to bytes (header, records, `End` trailer).
+    /// `decode(encode(j)) == j` — the golden tests pin this.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.header.encode(&mut buf);
+        let mut body = Vec::new();
+        for record in &self.records {
+            body.clear();
+            record.encode_body(&mut body);
+            push_frame(&mut buf, &body);
+        }
+        body.clear();
+        JournalRecord::End {
+            records: self.records.len() as u64,
+        }
+        .encode_body(&mut body);
+        push_frame(&mut buf, &body);
+        buf
+    }
+}
+
+fn push_frame(buf: &mut Vec<u8>, body: &[u8]) {
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(body).to_le_bytes());
+    buf.extend_from_slice(body);
+}
+
+/// The journal knob on `MveeConfig`: record the run, replay a prior one,
+/// or neither (the default — the journal hooks are a `None` check on the
+/// hot path).
+#[derive(Debug, Clone, Default)]
+pub enum JournalMode {
+    /// No journaling.
+    #[default]
+    Off,
+    /// Record the run through the given sink; call
+    /// [`JournalRecorder::finish`] after the run for the bytes.
+    Record(Arc<JournalRecorder>),
+    /// Carry a decoded journal as the run's replay source; the MVEE exposes
+    /// it through `Mvee::replay_recorded`, which re-derives the verdicts
+    /// offline.
+    Replay(Arc<Journal>),
+}
+
+impl JournalMode {
+    /// The recording sink, when in [`JournalMode::Record`].
+    pub fn recorder(&self) -> Option<&Arc<JournalRecorder>> {
+        match self {
+            JournalMode::Record(rec) => Some(rec),
+            _ => None,
+        }
+    }
+
+    /// The replay source, when in [`JournalMode::Replay`].
+    pub fn replay_source(&self) -> Option<&Arc<Journal>> {
+        match self {
+            JournalMode::Replay(journal) => Some(journal),
+            _ => None,
+        }
+    }
+}
+
+struct RecorderInner {
+    buf: Vec<u8>,
+    records: u64,
+    next_order: u64,
+    begun: bool,
+}
+
+/// Thread-safe journal sink.  The monitor and the rendezvous table append
+/// records under a single leaf mutex, so file order is a valid global order
+/// of the events — that single serialization point is what makes the
+/// `order` counter a RecPlay-style timestamp.
+pub struct JournalRecorder {
+    inner: Mutex<RecorderInner>,
+}
+
+impl JournalRecorder {
+    /// Creates an empty, not-yet-begun recorder.  [`begin`] must run before
+    /// records are accepted; the monitor calls it at construction.
+    ///
+    /// [`begin`]: JournalRecorder::begin
+    pub fn new() -> Self {
+        JournalRecorder {
+            inner: Mutex::new(RecorderInner {
+                buf: Vec::new(),
+                records: 0,
+                next_order: 0,
+                begun: false,
+            }),
+        }
+    }
+
+    /// Creates a recorder and begins it with `header` — the convenient
+    /// constructor for hand-built journals (fixtures, tests).
+    pub fn with_header(header: JournalHeader) -> Self {
+        let rec = JournalRecorder::new();
+        rec.begin(header);
+        rec
+    }
+
+    /// Writes the stream header.  Idempotent: only the first call takes
+    /// effect, so the monitor can begin unconditionally.
+    pub fn begin(&self, header: JournalHeader) {
+        let mut inner = self.inner.lock();
+        if !inner.begun {
+            let mut buf = std::mem::take(&mut inner.buf);
+            header.encode(&mut buf);
+            inner.buf = buf;
+            inner.begun = true;
+        }
+    }
+
+    fn push(&self, record: &JournalRecord) {
+        let mut body = Vec::with_capacity(64);
+        record.encode_body(&mut body);
+        let mut inner = self.inner.lock();
+        if !inner.begun {
+            // Records before `begin` have no header to follow; dropping
+            // them (instead of corrupting the stream) keeps the invariant
+            // that a recorder's bytes always decode.
+            return;
+        }
+        let mut buf = std::mem::take(&mut inner.buf);
+        push_frame(&mut buf, &body);
+        inner.buf = buf;
+        inner.records += 1;
+    }
+
+    /// Records a gateway entry.
+    pub fn record_enter(&self, variant: usize, thread: usize, lane: usize, self_aware: bool) {
+        self.push(&JournalRecord::Enter {
+            variant: variant as u16,
+            thread: thread as u32,
+            lane: lane as u16,
+            self_aware,
+        });
+    }
+
+    /// Records a gateway classification (or batch flush).
+    pub fn record_class(&self, kind: ClassKind, lane: usize) {
+        self.push(&JournalRecord::Class {
+            kind,
+            lane: lane as u16,
+        });
+    }
+
+    /// Records a rendezvous deposit; the global arrival order is assigned
+    /// here, under the journal lock.
+    pub fn record_arrival(
+        &self,
+        variant: usize,
+        thread: usize,
+        seq: u64,
+        shard: usize,
+        cmp: &ComparisonKey,
+    ) {
+        // Assign the order under the same lock that serializes the write so
+        // order values appear in file order.
+        let mut body = Vec::with_capacity(64);
+        let mut inner = self.inner.lock();
+        if !inner.begun {
+            return;
+        }
+        let order = inner.next_order;
+        inner.next_order += 1;
+        JournalRecord::Arrival {
+            variant: variant as u16,
+            thread: thread as u32,
+            seq,
+            shard: shard as u16,
+            order,
+            cmp: cmp.clone(),
+        }
+        .encode_body(&mut body);
+        let mut buf = std::mem::take(&mut inner.buf);
+        push_frame(&mut buf, &body);
+        inner.buf = buf;
+        inner.records += 1;
+    }
+
+    /// Records a published replicated outcome.
+    pub fn record_publish(
+        &self,
+        thread: usize,
+        seq: u64,
+        timestamp: Option<u64>,
+        outcome: &SyscallOutcome,
+    ) {
+        self.push(&JournalRecord::Publish {
+            thread: thread as u32,
+            seq,
+            timestamp,
+            outcome: outcome.clone(),
+        });
+    }
+
+    /// Records a divergence declaration.
+    pub fn record_diverge(&self, report: &DivergenceReport) {
+        self.push(&JournalRecord::Diverge {
+            report: report.clone(),
+        });
+    }
+
+    /// Records an agent replication point.
+    pub fn record_sync_op(&self, variant: usize, thread: usize) {
+        self.push(&JournalRecord::SyncOp {
+            variant: variant as u16,
+            thread: thread as u32,
+        });
+    }
+
+    /// Number of records written so far (trailer excluded).
+    pub fn records(&self) -> u64 {
+        self.inner.lock().records
+    }
+
+    /// Snapshots the journal bytes: the stream so far plus an `End`
+    /// trailer.  The recorder itself is untouched, so `finish` can be
+    /// called repeatedly (each call yields a complete, decodable journal).
+    pub fn finish(&self) -> Vec<u8> {
+        let inner = self.inner.lock();
+        let mut buf = inner.buf.clone();
+        let mut body = Vec::with_capacity(16);
+        JournalRecord::End {
+            records: inner.records,
+        }
+        .encode_body(&mut body);
+        push_frame(&mut buf, &body);
+        buf
+    }
+}
+
+impl Default for JournalRecorder {
+    fn default() -> Self {
+        JournalRecorder::new()
+    }
+}
+
+impl fmt::Debug for JournalRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("JournalRecorder")
+            .field("begun", &inner.begun)
+            .field("records", &inner.records)
+            .field("bytes", &inner.buf.len())
+            .finish()
+    }
+}
+
+/// Why a decoded journal could not be replayed consistently.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The byte stream itself was bad.
+    Journal(JournalError),
+    /// The recorded schedule is internally inconsistent (out-of-order
+    /// arrival stamps, variants beyond the header's count, duplicate
+    /// deposits).
+    InconsistentSchedule {
+        /// Index of the offending record.
+        index: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Re-deriving the verdict from the recorded arrivals did not reproduce
+    /// the recorded divergence report.
+    VerdictMismatch {
+        /// The report the live run recorded.
+        recorded: DivergenceReport,
+        /// Why the re-derivation disagrees.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Journal(err) => write!(f, "journal error: {err}"),
+            ReplayError::InconsistentSchedule { index, reason } => {
+                write!(f, "inconsistent schedule at record #{index}: {reason}")
+            }
+            ReplayError::VerdictMismatch { recorded, reason } => {
+                write!(
+                    f,
+                    "replay verdict mismatch ({reason}); recorded: {}",
+                    recorded.summary()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<JournalError> for ReplayError {
+    fn from(err: JournalError) -> Self {
+        ReplayError::Journal(err)
+    }
+}
+
+/// The result of replaying a journal offline: the re-derived monitor
+/// statistics and (for a divergent run) the re-verified report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedRun {
+    /// The recorded run's parameters.
+    pub header: JournalHeader,
+    /// Monitor counters re-derived from the record stream; for a faithful
+    /// journal these equal the live run's [`MonitorStats`] exactly.
+    pub stats: MonitorStats,
+    /// Distinct rendezvous slots that saw at least one deposit.
+    pub slots: usize,
+    /// Total rendezvous deposits.
+    pub arrivals: u64,
+    /// Replicated/ordered outcomes published.
+    pub publishes: u64,
+    /// Agent replication points.
+    pub sync_ops: u64,
+    /// The first recorded divergence report, re-verified against the
+    /// recorded arrival keys; `None` for a clean run.
+    pub divergence: Option<DivergenceReport>,
+}
+
+/// Decodes and replays a journal byte stream.  See [`replay_journal`].
+pub fn replay(bytes: &[u8]) -> Result<ReplayedRun, ReplayError> {
+    let journal = Journal::decode(bytes)?;
+    replay_journal(&journal)
+}
+
+/// Replays a decoded journal: re-derives the monitor statistics from the
+/// record stream and, when the run diverged, re-runs the verdict over the
+/// recorded arrival keys — the re-derived first-mismatch slot and variant
+/// must reproduce the recorded report field by field, else
+/// [`ReplayError::VerdictMismatch`].
+pub fn replay_journal(journal: &Journal) -> Result<ReplayedRun, ReplayError> {
+    use std::collections::BTreeMap;
+
+    let variants = journal.header.variants as usize;
+    let mut stats = MonitorStats::default();
+    let mut slots: BTreeMap<(u32, u64), Vec<Option<ComparisonKey>>> = BTreeMap::new();
+    let mut arrivals = 0u64;
+    let mut publishes = 0u64;
+    let mut sync_ops = 0u64;
+    let mut last_order: Option<u64> = None;
+    let mut divergence: Option<DivergenceReport> = None;
+
+    for (index, record) in journal.records.iter().enumerate() {
+        let index = index as u64;
+        match record {
+            JournalRecord::Enter { self_aware, .. } => {
+                stats.total_syscalls += 1;
+                if *self_aware {
+                    stats.self_aware_queries += 1;
+                }
+            }
+            JournalRecord::Class { kind, .. } => match kind {
+                ClassKind::Lockstep => stats.lockstep_syscalls += 1,
+                ClassKind::Batched => stats.batched_comparisons += 1,
+                ClassKind::Replicated => stats.replicated_syscalls += 1,
+                ClassKind::Ordered => stats.ordered_syscalls += 1,
+                ClassKind::BatchFlush => stats.batch_flushes += 1,
+            },
+            JournalRecord::Arrival {
+                variant,
+                thread,
+                seq,
+                order,
+                cmp,
+                ..
+            } => {
+                let variant = *variant as usize;
+                if variant >= variants {
+                    return Err(ReplayError::InconsistentSchedule {
+                        index,
+                        reason: format!(
+                            "arrival from variant {variant} but the header declares {variants}"
+                        ),
+                    });
+                }
+                if last_order.is_some_and(|prev| *order <= prev) {
+                    return Err(ReplayError::InconsistentSchedule {
+                        index,
+                        reason: format!(
+                            "arrival order {} not after predecessor {}",
+                            order,
+                            last_order.unwrap()
+                        ),
+                    });
+                }
+                last_order = Some(*order);
+                let keys = slots
+                    .entry((*thread, *seq))
+                    .or_insert_with(|| vec![None; variants]);
+                if keys[variant].is_some() {
+                    return Err(ReplayError::InconsistentSchedule {
+                        index,
+                        reason: format!(
+                            "duplicate deposit by variant {variant} at slot ({thread}, {seq:#x})"
+                        ),
+                    });
+                }
+                keys[variant] = Some(cmp.clone());
+                arrivals += 1;
+            }
+            JournalRecord::Publish { .. } => publishes += 1,
+            JournalRecord::Diverge { report } => {
+                stats.divergences += 1;
+                if divergence.is_none() {
+                    divergence = Some(report.clone());
+                }
+            }
+            JournalRecord::SyncOp { .. } => sync_ops += 1,
+            JournalRecord::End { .. } => {
+                return Err(ReplayError::InconsistentSchedule {
+                    index,
+                    reason: "End trailer inside the record stream".to_string(),
+                });
+            }
+        }
+    }
+
+    if let Some(report) = &divergence {
+        verify_report(report, &slots)?;
+    }
+
+    Ok(ReplayedRun {
+        header: journal.header,
+        stats,
+        slots: slots.len(),
+        arrivals,
+        publishes,
+        sync_ops,
+        divergence,
+    })
+}
+
+/// Re-derives the verdict for `report` from the recorded arrival keys.
+///
+/// Reports strip [`DEFERRED_SEQ_BIT`] from the sequence, so both candidate
+/// slots — the direct one and the deferred one — are consulted.
+fn verify_report(
+    report: &DivergenceReport,
+    slots: &std::collections::BTreeMap<(u32, u64), Vec<Option<ComparisonKey>>>,
+) -> Result<(), ReplayError> {
+    let thread = report.thread as u32;
+    let candidates = [
+        (thread, report.sequence),
+        (thread, report.sequence | DEFERRED_SEQ_BIT),
+    ];
+    match &report.kind {
+        DivergenceKind::SyscallMismatch { master, variant } => {
+            for key in candidates {
+                let Some(keys) = slots.get(&key) else {
+                    continue;
+                };
+                if let Some((v, master_key, variant_key)) = first_mismatch(keys) {
+                    if v == report.variant && master_key.no == *master && variant_key.no == *variant
+                    {
+                        return Ok(());
+                    }
+                    return Err(ReplayError::VerdictMismatch {
+                        recorded: report.clone(),
+                        reason: format!(
+                            "re-derived mismatch blames variant {v} ({} vs {}), \
+                             report blames variant {} ({} vs {})",
+                            master_key.no.name(),
+                            variant_key.no.name(),
+                            report.variant,
+                            master.name(),
+                            variant.name()
+                        ),
+                    });
+                }
+            }
+            Err(ReplayError::VerdictMismatch {
+                recorded: report.clone(),
+                reason: "no recorded slot re-derives the mismatch".to_string(),
+            })
+        }
+        DivergenceKind::RendezvousTimeout { arrived }
+        | DivergenceKind::ReplicationTimeout { arrived, .. } => {
+            // Ordered-turn waits and replication-only slots fabricate their
+            // arrived set without any table deposit; a report over a slot
+            // with zero recorded arrivals is accepted as-is.
+            let deposited: Vec<&Vec<Option<ComparisonKey>>> =
+                candidates.iter().filter_map(|k| slots.get(k)).collect();
+            if deposited.is_empty() {
+                return Ok(());
+            }
+            for &v in arrived {
+                let seen = deposited
+                    .iter()
+                    .any(|keys| keys.get(v).map(Option::is_some).unwrap_or(false));
+                if !seen {
+                    return Err(ReplayError::VerdictMismatch {
+                        recorded: report.clone(),
+                        reason: format!(
+                            "report lists variant {v} as arrived but the journal has no \
+                             deposit from it at that slot"
+                        ),
+                    });
+                }
+            }
+            Ok(())
+        }
+        // The gate denies a forbidden call before any deposit; there is no
+        // schedule to cross-check.
+        DivergenceKind::PolicyViolation { .. } => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvee_kernel::syscall::SyscallRequest;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            variants: 2,
+            threads: 4,
+            shards: 8,
+            batch: 1,
+        }
+    }
+
+    fn cmp(no: Sysno) -> ComparisonKey {
+        SyscallRequest::new(no).comparison_key()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn empty_journal_round_trips() {
+        let rec = JournalRecorder::with_header(header());
+        let bytes = rec.finish();
+        let journal = Journal::decode(&bytes).expect("decode");
+        assert_eq!(journal.header, header());
+        assert!(journal.records.is_empty());
+        assert_eq!(journal.encode(), bytes);
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let rec = JournalRecorder::with_header(header());
+        rec.record_enter(0, 3, 3, false);
+        rec.record_enter(1, 3, 3, true);
+        rec.record_class(ClassKind::Lockstep, 3);
+        rec.record_class(ClassKind::BatchFlush, 0);
+        rec.record_arrival(0, 3, 7, 3, &cmp(Sysno::Brk));
+        rec.record_arrival(1, 3, 7 | DEFERRED_SEQ_BIT, 3, &cmp(Sysno::Brk));
+        rec.record_publish(3, 7, Some(42), &SyscallOutcome::ok(0));
+        rec.record_publish(
+            3,
+            8,
+            None,
+            &SyscallOutcome {
+                result: Err(Errno::Einval),
+                payload: vec![1, 2, 3],
+            },
+        );
+        rec.record_diverge(&DivergenceReport {
+            kind: DivergenceKind::SyscallMismatch {
+                master: Sysno::Brk,
+                variant: Sysno::Mmap,
+            },
+            thread: 3,
+            sequence: 7,
+            variant: 1,
+        });
+        rec.record_sync_op(1, 2);
+        assert_eq!(rec.records(), 10);
+
+        let bytes = rec.finish();
+        let journal = Journal::decode(&bytes).expect("decode");
+        assert_eq!(journal.records.len(), 10);
+        assert_eq!(
+            journal.records[1],
+            JournalRecord::Enter {
+                variant: 1,
+                thread: 3,
+                lane: 3,
+                self_aware: true
+            }
+        );
+        assert!(matches!(
+            journal.records[5],
+            JournalRecord::Arrival { order: 1, seq, .. } if seq == 7 | DEFERRED_SEQ_BIT
+        ));
+        assert_eq!(journal.encode(), bytes);
+    }
+
+    #[test]
+    fn comparison_keys_with_every_arg_kind_round_trip() {
+        let key = ComparisonKey {
+            no: Sysno::Unknown(999),
+            args: vec![
+                SyscallArg::Int(-5),
+                SyscallArg::Fd(3),
+                SyscallArg::Flags(0xDEAD_BEEF),
+                SyscallArg::Pointer(0x7FFF_0000),
+                SyscallArg::Path("/tmp/x".to_string()),
+                SyscallArg::BufLen(4096),
+            ],
+            payload_digest: 0x0123_4567_89AB_CDEF,
+            payload_len: 17,
+        };
+        let rec = JournalRecorder::with_header(header());
+        rec.record_arrival(0, 0, 0, 0, &key);
+        let journal = Journal::decode(&rec.finish()).expect("decode");
+        assert!(matches!(
+            &journal.records[0],
+            JournalRecord::Arrival { cmp, .. } if *cmp == key
+        ));
+    }
+
+    #[test]
+    fn all_divergence_kinds_round_trip() {
+        let kinds = [
+            DivergenceKind::SyscallMismatch {
+                master: Sysno::Read,
+                variant: Sysno::Write,
+            },
+            DivergenceKind::RendezvousTimeout {
+                arrived: vec![0, 2],
+            },
+            DivergenceKind::ReplicationTimeout {
+                publisher: 0,
+                arrived: vec![1],
+            },
+            DivergenceKind::PolicyViolation { call: Sysno::Open },
+        ];
+        let rec = JournalRecorder::with_header(header());
+        for (i, kind) in kinds.iter().enumerate() {
+            rec.record_diverge(&DivergenceReport {
+                kind: kind.clone(),
+                thread: i,
+                sequence: i as u64,
+                variant: 1,
+            });
+        }
+        let journal = Journal::decode(&rec.finish()).expect("decode");
+        for (i, kind) in kinds.iter().enumerate() {
+            assert!(matches!(
+                &journal.records[i],
+                JournalRecord::Diverge { report } if report.kind == *kind
+            ));
+        }
+    }
+
+    #[test]
+    fn records_before_begin_are_dropped_not_corrupting() {
+        let rec = JournalRecorder::new();
+        rec.record_enter(0, 0, 0, false);
+        rec.begin(header());
+        rec.record_enter(0, 1, 1, false);
+        let journal = Journal::decode(&rec.finish()).expect("decode");
+        assert_eq!(journal.records.len(), 1);
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let rec = JournalRecorder::with_header(header());
+        let mut bytes = rec.finish();
+        bytes[0] = b'X';
+        assert_eq!(Journal::decode(&bytes), Err(JournalError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let rec = JournalRecorder::with_header(JournalHeader {
+            version: JOURNAL_VERSION + 1,
+            ..header()
+        });
+        assert_eq!(
+            Journal::decode(&rec.finish()),
+            Err(JournalError::UnsupportedVersion(JOURNAL_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let rec = JournalRecorder::with_header(header());
+        rec.record_enter(0, 0, 0, false);
+        rec.record_arrival(0, 0, 0, 0, &cmp(Sysno::Brk));
+        let bytes = rec.finish();
+        for cut in 0..bytes.len() {
+            let err = Journal::decode(&bytes[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(
+                    err,
+                    JournalError::Truncated { .. } | JournalError::MissingEnd
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_record_fails_crc_with_its_index() {
+        let rec = JournalRecorder::with_header(header());
+        rec.record_enter(0, 0, 0, false);
+        rec.record_enter(0, 1, 1, false);
+        let mut bytes = rec.finish();
+        // Flip one bit inside the second record's body: header (14) +
+        // record 0 frame (8 + 10) + record 1 frame header (8) + 1.
+        let offset = JOURNAL_HEADER_LEN + 8 + 10;
+        bytes[offset + 8 + 1] ^= 0x40;
+        assert_eq!(
+            Journal::decode(&bytes),
+            Err(JournalError::CorruptRecord { index: 1, offset })
+        );
+    }
+
+    #[test]
+    fn trailing_data_after_end_is_rejected() {
+        let rec = JournalRecorder::with_header(header());
+        let mut bytes = rec.finish();
+        let offset = bytes.len();
+        bytes.push(0);
+        assert_eq!(
+            Journal::decode(&bytes),
+            Err(JournalError::TrailingData { offset })
+        );
+    }
+
+    #[test]
+    fn lossy_decode_salvages_the_valid_prefix() {
+        let rec = JournalRecorder::with_header(header());
+        rec.record_enter(0, 0, 0, false);
+        rec.record_enter(0, 1, 1, false);
+        let bytes = rec.finish();
+        // Cut inside the second record.
+        let cut = JOURNAL_HEADER_LEN + 8 + 10 + 4;
+        let (journal, err) = Journal::decode_lossy(&bytes[..cut]).expect("header intact");
+        assert_eq!(journal.records.len(), 1);
+        assert!(matches!(err, Some(JournalError::Truncated { .. })));
+        // A complete stream salvages everything with no error.
+        let (journal, err) = Journal::decode_lossy(&bytes).expect("header intact");
+        assert_eq!(journal.records.len(), 2);
+        assert_eq!(err, None);
+    }
+
+    #[test]
+    fn replay_reconstructs_stats_and_clean_run() {
+        let rec = JournalRecorder::with_header(header());
+        rec.record_enter(0, 0, 0, false);
+        rec.record_enter(1, 0, 0, false);
+        rec.record_class(ClassKind::Lockstep, 0);
+        rec.record_arrival(0, 0, 1, 0, &cmp(Sysno::Brk));
+        rec.record_arrival(1, 0, 1, 0, &cmp(Sysno::Brk));
+        rec.record_publish(0, 2, None, &SyscallOutcome::ok(7));
+        rec.record_sync_op(0, 0);
+        let run = replay(&rec.finish()).expect("replay");
+        assert_eq!(run.stats.total_syscalls, 2);
+        assert_eq!(run.stats.lockstep_syscalls, 1);
+        assert_eq!(run.stats.divergences, 0);
+        assert_eq!(run.slots, 1);
+        assert_eq!(run.arrivals, 2);
+        assert_eq!(run.publishes, 1);
+        assert_eq!(run.sync_ops, 1);
+        assert_eq!(run.divergence, None);
+    }
+
+    #[test]
+    fn replay_reverifies_a_recorded_mismatch() {
+        let rec = JournalRecorder::with_header(header());
+        rec.record_arrival(0, 2, 5, 2, &cmp(Sysno::Brk));
+        rec.record_arrival(1, 2, 5, 2, &cmp(Sysno::Mmap));
+        let report = DivergenceReport {
+            kind: DivergenceKind::SyscallMismatch {
+                master: Sysno::Brk,
+                variant: Sysno::Mmap,
+            },
+            thread: 2,
+            sequence: 5,
+            variant: 1,
+        };
+        rec.record_diverge(&report);
+        let run = replay(&rec.finish()).expect("replay");
+        assert_eq!(run.divergence, Some(report));
+        assert_eq!(run.stats.divergences, 1);
+    }
+
+    #[test]
+    fn replay_reverifies_a_deferred_slot_mismatch() {
+        // The live table keys deferred comparisons with DEFERRED_SEQ_BIT;
+        // the report strips it.  Replay must find the deferred slot.
+        let rec = JournalRecorder::with_header(header());
+        rec.record_arrival(0, 1, 3 | DEFERRED_SEQ_BIT, 1, &cmp(Sysno::Brk));
+        rec.record_arrival(1, 1, 3 | DEFERRED_SEQ_BIT, 1, &cmp(Sysno::Munmap));
+        let report = DivergenceReport {
+            kind: DivergenceKind::SyscallMismatch {
+                master: Sysno::Brk,
+                variant: Sysno::Munmap,
+            },
+            thread: 1,
+            sequence: 3,
+            variant: 1,
+        };
+        rec.record_diverge(&report);
+        let run = replay(&rec.finish()).expect("replay");
+        assert_eq!(run.divergence, Some(report));
+    }
+
+    #[test]
+    fn replay_rejects_a_report_the_schedule_contradicts() {
+        // Identical keys deposited, yet a mismatch report: the verdict
+        // cannot be re-derived.
+        let rec = JournalRecorder::with_header(header());
+        rec.record_arrival(0, 0, 1, 0, &cmp(Sysno::Brk));
+        rec.record_arrival(1, 0, 1, 0, &cmp(Sysno::Brk));
+        rec.record_diverge(&DivergenceReport {
+            kind: DivergenceKind::SyscallMismatch {
+                master: Sysno::Brk,
+                variant: Sysno::Mmap,
+            },
+            thread: 0,
+            sequence: 1,
+            variant: 1,
+        });
+        assert!(matches!(
+            replay(&rec.finish()),
+            Err(ReplayError::VerdictMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_accepts_zero_arrival_timeout_reports() {
+        // Ordered-turn waits fabricate RendezvousTimeout reports without a
+        // table deposit; replay accepts them as-is.
+        let rec = JournalRecorder::with_header(header());
+        rec.record_diverge(&DivergenceReport {
+            kind: DivergenceKind::RendezvousTimeout { arrived: vec![1] },
+            thread: 0,
+            sequence: 9,
+            variant: 0,
+        });
+        assert!(replay(&rec.finish()).is_ok());
+    }
+
+    #[test]
+    fn replay_checks_timeout_arrived_sets_against_deposits() {
+        let rec = JournalRecorder::with_header(header());
+        rec.record_arrival(0, 0, 4, 0, &cmp(Sysno::Brk));
+        // Variant 1 never deposited, yet the report claims it arrived.
+        rec.record_diverge(&DivergenceReport {
+            kind: DivergenceKind::RendezvousTimeout { arrived: vec![1] },
+            thread: 0,
+            sequence: 4,
+            variant: 0,
+        });
+        assert!(matches!(
+            replay(&rec.finish()),
+            Err(ReplayError::VerdictMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_rejects_out_of_order_arrival_stamps() {
+        // Hand-build a journal whose order stamps regress.
+        let mut journal = Journal {
+            header: header(),
+            records: Vec::new(),
+        };
+        for order in [1u64, 0u64] {
+            journal.records.push(JournalRecord::Arrival {
+                variant: 0,
+                thread: 0,
+                seq: order,
+                shard: 0,
+                order,
+                cmp: cmp(Sysno::Brk),
+            });
+        }
+        assert!(matches!(
+            replay_journal(&journal),
+            Err(ReplayError::InconsistentSchedule { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn replay_rejects_variants_beyond_the_header() {
+        let rec = JournalRecorder::with_header(header());
+        rec.record_arrival(5, 0, 0, 0, &cmp(Sysno::Brk));
+        assert!(matches!(
+            replay(&rec.finish()),
+            Err(ReplayError::InconsistentSchedule { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let err = JournalError::CorruptRecord {
+            index: 3,
+            offset: 99,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains("99"));
+        let replay_err = ReplayError::Journal(JournalError::MissingEnd);
+        assert!(replay_err.to_string().contains("End"));
+    }
+}

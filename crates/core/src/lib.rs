@@ -54,6 +54,10 @@
 //!   per port as the ablation baseline).
 //! * [`config::MveeConfig`] — the one shared tuning block (policy, agent,
 //!   transport, shards, batch, placement, timeout) every front end embeds.
+//! * [`journal`] — the divergence journal: record a run's rendezvous
+//!   schedule, arrival order and replicated outcomes into a CRC-protected
+//!   binary stream, replay it offline to re-derive the verdict (same
+//!   first-mismatch slot and variant) with zero live variants.
 //!
 //! The crate deliberately knows nothing about *how* variants execute; the
 //! `mvee-variant` crate drives real OS threads through the gateway.
@@ -64,6 +68,7 @@
 pub mod async_port;
 pub mod config;
 pub mod divergence;
+pub mod journal;
 pub mod lockstep;
 pub mod monitor;
 pub mod mvee;
@@ -75,6 +80,7 @@ pub mod port;
 pub use async_port::{AsyncThreadPort, SubmitOutcome, Ticket};
 pub use config::{MveeConfig, Placement, Pollers, Transport};
 pub use divergence::{DivergenceKind, DivergenceReport};
+pub use journal::{Journal, JournalError, JournalMode, JournalRecorder, ReplayError, ReplayedRun};
 pub use monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
 pub use mvee::{Mvee, MveeBuilder, VariantGateway};
 pub use ordering::SyscallOrderingClock;

@@ -223,6 +223,11 @@ pub struct LockstepTable {
     /// one relaxed load, nothing more.
     observers: Mutex<Vec<Arc<PollWaker>>>,
     observed: AtomicBool,
+    /// Divergence-journal sink: every deposit and outcome publication is
+    /// recorded here when the run is journaled (see [`crate::journal`]).
+    /// The journal's mutex is a leaf lock — taken under the shard lock,
+    /// never the other way around.
+    journal: Option<Arc<crate::journal::JournalRecorder>>,
 }
 
 impl LockstepTable {
@@ -253,6 +258,23 @@ impl LockstepTable {
             poisoned: AtomicBool::new(false),
             observers: Mutex::new(Vec::new()),
             observed: AtomicBool::new(false),
+            journal: None,
+        }
+    }
+
+    /// Installs the divergence-journal sink; the monitor wires this at
+    /// construction, before any port can deposit.
+    pub(crate) fn set_journal(&mut self, journal: Arc<crate::journal::JournalRecorder>) {
+        self.journal = Some(journal);
+    }
+
+    /// Records a deposit into the journal, when one is attached.  Called
+    /// under the shard lock, so the journal's global arrival order embeds
+    /// each shard's deposit order.
+    #[inline]
+    fn journal_arrival(&self, key: SlotKey, variant: usize, cmp: &ComparisonKey) {
+        if let Some(journal) = &self.journal {
+            journal.record_arrival(variant, key.0, key.1, self.shard_of(key.0), cmp);
         }
     }
 
@@ -418,6 +440,7 @@ impl LockstepTable {
         let deadline = Instant::now() + timeout;
         let shard = self.shard(key);
         let mut slots = shard.slots.lock();
+        self.journal_arrival(key, variant, &cmp);
         let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
         slot.keys[variant] = Some(cmp);
         if let Some(result) = self.slot_result(slot) {
@@ -540,6 +563,7 @@ impl LockstepTable {
         let mut holds_waiter = vec![false; batch.len()];
         let mut unresolved = 0usize;
         for (i, arrival) in batch.iter().enumerate() {
+            self.journal_arrival(arrival.key, variant, &arrival.cmp);
             let slot = slots
                 .entry(arrival.key)
                 .or_insert_with(|| Slot::new(self.variants));
@@ -621,6 +645,9 @@ impl LockstepTable {
     pub fn publish_outcome(&self, key: SlotKey, outcome: SyscallOutcome, timestamp: Option<u64>) {
         let shard = self.shard(key);
         let mut slots = shard.slots.lock();
+        if let Some(journal) = &self.journal {
+            journal.record_publish(key.0, key.1, timestamp, &outcome);
+        }
         let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
         slot.outcome = Some(outcome);
         slot.timestamp = timestamp;
@@ -700,6 +727,7 @@ impl LockstepTable {
         let deadline = Instant::now() + timeout;
         let shard = self.shard(key);
         let mut slots = shard.slots.lock();
+        self.journal_arrival(key, variant, &cmp);
         let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
         slot.keys[variant] = Some(cmp);
         if let Some(result) = self.slot_result(slot) {
@@ -804,6 +832,7 @@ impl LockstepTable {
             unresolved: 0,
         };
         for (i, arrival) in batch.iter().enumerate() {
+            self.journal_arrival(arrival.key, variant, &arrival.cmp);
             let slot = slots
                 .entry(arrival.key)
                 .or_insert_with(|| Slot::new(self.variants));

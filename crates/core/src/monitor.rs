@@ -41,6 +41,7 @@
 //! a key mismatch.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -52,6 +53,7 @@ use mvee_sync_agent::guards::{WaitStrategy, Waiter};
 
 use crate::config::{Placement, Transport};
 use crate::divergence::{DivergenceKind, DivergenceReport};
+use crate::journal::{ClassKind, JournalHeader, JournalRecorder, JOURNAL_VERSION};
 use crate::lockstep::{
     ArrivalResult, BatchArrival, LockstepTable, SlotKey, DEFAULT_SHARDS, MAX_BATCH,
 };
@@ -114,6 +116,10 @@ pub struct MonitorConfig {
     /// Busy-spin iterations before a ring waiter starts yielding; the same
     /// budget `AgentConfig::spin_before_yield` gives the agents.
     pub spin_before_yield: u32,
+    /// Divergence-journal sink, when the run is being recorded (see
+    /// [`crate::journal`]).  `None` — the default — keeps the journal hooks
+    /// off the hot path entirely.
+    pub journal: Option<Arc<JournalRecorder>>,
 }
 
 impl Default for MonitorConfig {
@@ -130,6 +136,7 @@ impl Default for MonitorConfig {
             transport: Transport::Sync,
             wait: WaitStrategy::Adaptive,
             spin_before_yield: 64,
+            journal: None,
         }
     }
 }
@@ -325,8 +332,23 @@ impl Monitor {
                 pending: Mutex::new(Vec::new()),
             })
             .collect();
+        let mut lockstep =
+            LockstepTable::with_placement_map(config.variants, shards, placement_map);
+        if let Some(recorder) = &config.journal {
+            recorder.begin(JournalHeader {
+                version: JOURNAL_VERSION,
+                variants: config.variants as u16,
+                threads: config.max_threads as u16,
+                shards: shards as u16,
+                batch: config.batch as u16,
+            });
+            // The table emits the Arrival/Publish records itself — one
+            // choke point all three transports (sync ports, per-port
+            // workers, polling shards) already funnel through.
+            lockstep.set_journal(Arc::clone(recorder));
+        }
         Monitor {
-            lockstep: LockstepTable::with_placement_map(config.variants, shards, placement_map),
+            lockstep,
             ordering_clocks: (0..config.variants)
                 .map(|_| ShardedOrderingClock::new(shards))
                 .collect(),
@@ -468,6 +490,9 @@ impl Monitor {
             .thread_state(0, report.thread % self.config.max_threads)
             .shard;
         self.lane(lane).divergences.fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &self.config.journal {
+            journal.record_diverge(&report);
+        }
         let mut slot = self.divergence_report.lock();
         if slot.is_none() {
             *slot = Some(report.clone());
@@ -540,9 +565,7 @@ impl Monitor {
         lane: usize,
         batch: &[BatchArrival],
     ) -> Result<(), MonitorError> {
-        self.lane(lane)
-            .batch_flushes
-            .fetch_add(1, Ordering::Relaxed);
+        self.count_batch_flush(lane);
         let results = self
             .lockstep
             .arrive_batch(variant, batch, self.config.lockstep_timeout);
@@ -555,6 +578,9 @@ impl Monitor {
         self.lane(lane)
             .batch_flushes
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &self.config.journal {
+            journal.record_class(ClassKind::BatchFlush, lane);
+        }
     }
 
     /// Turns a batch's per-key [`ArrivalResult`]s into the first divergence
@@ -624,6 +650,7 @@ impl Monitor {
     pub(crate) fn gate_and_count(
         &self,
         variant: usize,
+        thread: usize,
         lane: usize,
         req: &SyscallRequest,
     ) -> Result<Option<SyscallOutcome>, MonitorError> {
@@ -633,7 +660,11 @@ impl Monitor {
         self.lane(lane)
             .total_syscalls
             .fetch_add(1, Ordering::Relaxed);
-        if req.no == Sysno::MveeSelfAware {
+        let self_aware = req.no == Sysno::MveeSelfAware;
+        if let Some(journal) = &self.config.journal {
+            journal.record_enter(variant, thread, lane, self_aware);
+        }
+        if self_aware {
             self.lane(lane)
                 .self_aware_queries
                 .fetch_add(1, Ordering::Relaxed);
@@ -646,24 +677,36 @@ impl Monitor {
         self.lane(lane)
             .lockstep_syscalls
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &self.config.journal {
+            journal.record_class(ClassKind::Lockstep, lane);
+        }
     }
 
     pub(crate) fn count_batched(&self, lane: usize) {
         self.lane(lane)
             .batched_comparisons
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &self.config.journal {
+            journal.record_class(ClassKind::Batched, lane);
+        }
     }
 
     pub(crate) fn count_replicated(&self, lane: usize) {
         self.lane(lane)
             .replicated_syscalls
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &self.config.journal {
+            journal.record_class(ClassKind::Replicated, lane);
+        }
     }
 
     pub(crate) fn count_ordered(&self, lane: usize) {
         self.lane(lane)
             .ordered_syscalls
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &self.config.journal {
+            journal.record_class(ClassKind::Ordered, lane);
+        }
     }
 
     /// The synchronous (unbatched) lockstep rendezvous for one call.
@@ -779,7 +822,7 @@ impl Monitor {
 
         let state = self.thread_state(variant, thread);
         let shard = state.shard;
-        if let Some(answered) = self.gate_and_count(variant, shard, req)? {
+        if let Some(answered) = self.gate_and_count(variant, thread, shard, req)? {
             return Ok(answered);
         }
 

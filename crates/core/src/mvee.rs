@@ -167,6 +167,17 @@ impl MveeBuilder {
         self
     }
 
+    /// Selects the divergence-journal mode (see [`crate::journal`]):
+    /// [`JournalMode::Off`](crate::journal::JournalMode::Off) (the default),
+    /// `Record` to stream the run's schedule and outcomes into a
+    /// [`JournalRecorder`](crate::journal::JournalRecorder), or `Replay` to
+    /// carry a decoded [`Journal`](crate::journal::Journal) for
+    /// [`Mvee::replay_recorded`].
+    pub fn journal(mut self, journal: crate::journal::JournalMode) -> Self {
+        self.config = self.config.with_journal(journal);
+        self
+    }
+
     /// Selects the variant↔monitor transport: [`Transport::Sync`] (the
     /// default — calls block inline in the monitor pipeline) or
     /// [`Transport::AsyncRings`] (per-port submission/completion rings with
@@ -229,6 +240,7 @@ impl MveeBuilder {
             transport: self.config.transport,
             wait: self.config.agent_config.wait,
             spin_before_yield: self.config.agent_config.spin_before_yield,
+            journal: self.config.journal.recorder().cloned(),
         };
         let monitor = Arc::new(Monitor::new(
             monitor_config,
@@ -242,6 +254,19 @@ impl MveeBuilder {
                 pollers: Pollers::Pool(n),
                 ..
             } => Some(Arc::new(PollerPool::new(&monitor, n))),
+            Transport::AsyncRings {
+                pollers: Pollers::Auto,
+                ..
+            } => {
+                // Sized once at build time from the machine the MVEE
+                // actually runs on; half the cores, bounded, so the poller
+                // pool never crowds out the variants it serves.
+                let parallelism = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                let n = Pollers::auto_pool_size(parallelism);
+                Some(Arc::new(PollerPool::new(&monitor, n)))
+            }
             _ => None,
         };
         let agent_config = self
@@ -263,7 +288,8 @@ impl MveeBuilder {
         // poisoned agent abandons whatever is left.  The hook holds the
         // monitor weakly — the monitor already holds the agent through the
         // poison hook, and a strong reference back would leak the pair.
-        if self.config.batch > 1 {
+        let journal_recorder = self.config.journal.recorder().cloned();
+        if self.config.batch > 1 || journal_recorder.is_some() {
             let weak_monitor = Arc::downgrade(&monitor);
             agent.set_replication_hook(Arc::new(move |event| {
                 let Some(monitor) = weak_monitor.upgrade() else {
@@ -271,6 +297,9 @@ impl MveeBuilder {
                 };
                 match event {
                     mvee_sync_agent::ReplicationEvent::SyncOp(ctx) => {
+                        if let Some(recorder) = &journal_recorder {
+                            recorder.record_sync_op(ctx.role.variant_index(), ctx.thread);
+                        }
                         // A flush failure has already recorded the
                         // divergence and poisoned table + agent; the thread
                         // learns about it at its next monitored call.
@@ -280,6 +309,7 @@ impl MveeBuilder {
                 }
             }));
         }
+        let journal = self.config.journal.clone();
         Mvee {
             kernel,
             monitor,
@@ -289,6 +319,7 @@ impl MveeBuilder {
             variants: self.variants,
             threads: self.threads,
             pollers,
+            journal,
         }
     }
 }
@@ -304,6 +335,8 @@ pub struct Mvee {
     threads: usize,
     /// The shared polling shards (`Pollers::Pool(n)` transports only).
     pollers: Option<Arc<PollerPool>>,
+    /// The journal mode the MVEE was built with (see [`crate::journal`]).
+    journal: crate::journal::JournalMode,
 }
 
 impl Mvee {
@@ -360,6 +393,33 @@ impl Mvee {
     /// Agent counters.
     pub fn agent_stats(&self) -> AgentStats {
         self.agent.stats()
+    }
+
+    /// The divergence-journal recorder, when the MVEE was built with
+    /// [`JournalMode::Record`](crate::journal::JournalMode::Record).
+    ///
+    /// Call [`JournalRecorder::finish`](crate::journal::JournalRecorder::finish)
+    /// on it — at shutdown or mid-run — to snapshot the encoded journal.
+    pub fn journal_recorder(&self) -> Option<&Arc<crate::journal::JournalRecorder>> {
+        self.journal.recorder()
+    }
+
+    /// Snapshots and encodes the journal recorded so far, if recording.
+    pub fn finish_journal(&self) -> Option<Vec<u8>> {
+        self.journal.recorder().map(|rec| rec.finish())
+    }
+
+    /// Replays the journal the MVEE was built with
+    /// ([`JournalMode::Replay`](crate::journal::JournalMode::Replay)),
+    /// re-deriving verdicts offline with zero live variants.
+    ///
+    /// Returns `None` when the MVEE is not in replay mode.
+    pub fn replay_recorded(
+        &self,
+    ) -> Option<Result<crate::journal::ReplayedRun, crate::journal::ReplayError>> {
+        self.journal
+            .replay_source()
+            .map(|journal| crate::journal::replay_journal(journal))
     }
 
     /// Returns the gateway for variant `v`; the variant execution engine

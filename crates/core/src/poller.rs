@@ -550,7 +550,7 @@ impl PortTask {
     /// [`ThreadPort::syscall`](crate::port::ThreadPort::syscall), stopping
     /// at the first wait instead of blocking in it.
     fn start_call(&mut self, monitor: &Monitor, ticket: Ticket, req: SyscallRequest) -> Step {
-        match monitor.gate_and_count(self.variant, self.shard, &req) {
+        match monitor.gate_and_count(self.variant, self.thread, self.shard, &req) {
             Ok(None) => {}
             Ok(Some(answered)) => {
                 self.complete(ticket, Ok(answered));

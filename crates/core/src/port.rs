@@ -164,7 +164,7 @@ impl ThreadPort {
     /// deferred-queue mutex are gone.
     pub fn syscall(&self, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
         let monitor = &*self.monitor;
-        match monitor.gate_and_count(self.variant, self.shard, req) {
+        match monitor.gate_and_count(self.variant, self.thread, self.shard, req) {
             Ok(None) => {}
             Ok(Some(answered)) => return Ok(answered),
             Err(e) => {

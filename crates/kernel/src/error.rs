@@ -78,6 +78,40 @@ impl Errno {
         -(self as i32 as i64)
     }
 
+    /// Reconstructs an [`Errno`] from a raw (positive) error number, as
+    /// stored in serialized journals and traces.  Returns `None` for
+    /// numbers outside the modelled subset so corrupted input surfaces as
+    /// a decode error instead of a bogus errno.
+    pub fn from_raw(raw: i32) -> Option<Errno> {
+        Some(match raw {
+            1 => Errno::Eperm,
+            2 => Errno::Enoent,
+            4 => Errno::Eintr,
+            5 => Errno::Eio,
+            9 => Errno::Ebadf,
+            11 => Errno::Eagain,
+            12 => Errno::Enomem,
+            13 => Errno::Eacces,
+            14 => Errno::Efault,
+            16 => Errno::Ebusy,
+            17 => Errno::Eexist,
+            20 => Errno::Enotdir,
+            21 => Errno::Eisdir,
+            22 => Errno::Einval,
+            24 => Errno::Emfile,
+            29 => Errno::Espipe,
+            32 => Errno::Epipe,
+            38 => Errno::Enosys,
+            88 => Errno::Enotsock,
+            98 => Errno::Eaddrinuse,
+            104 => Errno::Econnreset,
+            107 => Errno::Enotconn,
+            110 => Errno::Etimedout,
+            111 => Errno::Econnrefused,
+            _ => return None,
+        })
+    }
+
     /// Returns the conventional upper-case symbol (e.g. `"ENOENT"`).
     pub fn symbol(self) -> &'static str {
         match self {
@@ -154,6 +188,41 @@ mod tests {
             assert!(e.symbol().chars().all(|c| c.is_ascii_uppercase()));
             assert!(e.symbol().starts_with('E'));
         }
+    }
+
+    #[test]
+    fn errno_from_raw_round_trips_every_variant() {
+        for e in [
+            Errno::Eperm,
+            Errno::Enoent,
+            Errno::Eintr,
+            Errno::Eio,
+            Errno::Ebadf,
+            Errno::Eagain,
+            Errno::Enomem,
+            Errno::Eacces,
+            Errno::Efault,
+            Errno::Ebusy,
+            Errno::Eexist,
+            Errno::Enotdir,
+            Errno::Eisdir,
+            Errno::Einval,
+            Errno::Emfile,
+            Errno::Espipe,
+            Errno::Epipe,
+            Errno::Enosys,
+            Errno::Enotsock,
+            Errno::Eaddrinuse,
+            Errno::Econnreset,
+            Errno::Enotconn,
+            Errno::Econnrefused,
+            Errno::Etimedout,
+        ] {
+            assert_eq!(Errno::from_raw(e.as_raw()), Some(e));
+        }
+        assert_eq!(Errno::from_raw(0), None);
+        assert_eq!(Errno::from_raw(-2), None);
+        assert_eq!(Errno::from_raw(12345), None);
     }
 
     #[test]

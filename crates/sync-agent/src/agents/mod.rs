@@ -76,10 +76,20 @@ impl HookCell {
         let _ = self.0.set(hook);
     }
 
-    /// Fires the replication-point event for `ctx`'s thread.
+    /// Fires the replication-point event for `ctx`'s thread and counts it
+    /// in `stats` ([`AgentStats::replication_points`]) — an uninstalled cell
+    /// counts nothing, so the counter reads zero unless a front end actually
+    /// consumes replication points (deferred flushes, journal recording).
+    ///
+    /// [`AgentStats::replication_points`]: crate::stats::AgentStats::replication_points
     #[inline]
-    pub(crate) fn sync_op(&self, ctx: &crate::context::SyncContext) {
+    pub(crate) fn sync_op(
+        &self,
+        ctx: &crate::context::SyncContext,
+        stats: &crate::stats::SharedStats,
+    ) {
         if let Some(hook) = self.0.get() {
+            stats.count_replication_point(ctx.thread);
             hook(crate::ReplicationEvent::SyncOp(ctx));
         }
     }

@@ -32,7 +32,7 @@ impl SyncAgent for NullAgent {
     fn before_sync_op(&self, ctx: &SyncContext, _addr: u64) {
         // Even the no-op agent marks its replication points, so deferred
         // comparisons flush at the same program positions under every agent.
-        self.hook.sync_op(ctx);
+        self.hook.sync_op(ctx, &self.stats);
         if ctx.role.is_master() {
             self.stats.count_record(ctx.thread);
         } else {

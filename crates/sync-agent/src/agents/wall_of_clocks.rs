@@ -189,7 +189,7 @@ impl SyncAgent for WallOfClocksAgent {
 
     fn before_sync_op(&self, ctx: &SyncContext, addr: u64) {
         // Replication point: flush deferred work before any guard is taken.
-        self.hook.sync_op(ctx);
+        self.hook.sync_op(ctx, &self.stats);
         match ctx.role {
             VariantRole::Master => self.master_before(ctx, addr),
             VariantRole::Slave { index } => self.slave_before(ctx, index),

@@ -59,6 +59,11 @@ pub struct AgentStats {
     /// Times two distinct sync-variable addresses hashed onto the same
     /// logical clock (wall-of-clocks only): false serialization.
     pub clock_collisions: u64,
+    /// Replication points reached: sync ops at which the replication hook
+    /// (deferred-comparison flushes, divergence-journal emissions) was
+    /// consulted.  Counted once per hook invocation regardless of role.
+    #[serde(default)]
+    pub replication_points: u64,
 }
 
 impl AgentStats {
@@ -102,6 +107,7 @@ impl AgentStats {
         self.master_parks += other.master_parks;
         self.cursor_rescans += other.cursor_rescans;
         self.clock_collisions += other.clock_collisions;
+        self.replication_points += other.replication_points;
     }
 }
 
@@ -121,6 +127,7 @@ struct Lane {
     master_yields: AtomicU64,
     master_parks: AtomicU64,
     clock_collisions: AtomicU64,
+    replication_points: AtomicU64,
 }
 
 impl Lane {
@@ -140,6 +147,7 @@ impl Lane {
             // adds them into its own snapshot.
             cursor_rescans: 0,
             clock_collisions: self.clock_collisions.load(Ordering::Relaxed),
+            replication_points: self.replication_points.load(Ordering::Relaxed),
         }
     }
 }
@@ -254,6 +262,14 @@ impl SharedStats {
         }
     }
 
+    /// Counts one replication point: a sync op at which the injected
+    /// replication hook was consulted.
+    pub fn count_replication_point(&self, lane: usize) {
+        self.lane(lane)
+            .replication_points
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one hash collision between distinct addresses on one clock.
     pub fn count_clock_collision(&self, lane: usize) {
         self.lane(lane)
@@ -291,6 +307,9 @@ mod tests {
         s.count_master_stall(3);
         s.add_spin_iterations(4, 10);
         s.count_clock_collision(5);
+        s.count_replication_point(6);
+        s.count_replication_point(6);
+        s.count_replication_point(7);
         let snap = s.snapshot();
         assert_eq!(snap.ops_recorded, 2);
         assert_eq!(snap.ops_replayed, 1);
@@ -298,6 +317,7 @@ mod tests {
         assert_eq!(snap.master_stalls, 1);
         assert_eq!(snap.slave_spin_iterations, 10);
         assert_eq!(snap.clock_collisions, 1);
+        assert_eq!(snap.replication_points, 3);
     }
 
     #[test]

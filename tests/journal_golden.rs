@@ -1,0 +1,291 @@
+//! Golden-file tests pinning the divergence journal's binary format.
+//!
+//! The journal is a persistence format: a `.journal` recorded today must
+//! still decode (and replay) under every future build that speaks
+//! [`JOURNAL_VERSION`].  These tests freeze the byte stream two ways:
+//!
+//! * checked-in fixtures under `tests/golden/` are regenerated in memory by
+//!   the same deterministic recorder calls and compared byte-for-byte — any
+//!   unversioned codec change fails with a hex diff naming the first
+//!   differing offset;
+//! * the minimal journal (header + `End` trailer) is pinned as a hex
+//!   literal in this file, so even a wholesale fixture regeneration cannot
+//!   silently move the format.
+//!
+//! To bless an *intentional* format change: bump [`JOURNAL_VERSION`], run
+//! `MVEE_BLESS_GOLDEN=1 cargo test --test journal_golden`, update the hex
+//! literal below and commit the new fixtures.
+
+use mvee::core::journal::{
+    replay, ClassKind, Journal, JournalHeader, JournalRecorder, JOURNAL_HEADER_LEN, JOURNAL_MAGIC,
+    JOURNAL_VERSION,
+};
+use mvee::core::monitor::DEFERRED_SEQ_BIT;
+use mvee::core::{DivergenceKind, DivergenceReport};
+use mvee::kernel::error::Errno;
+use mvee::kernel::syscall::{
+    fnv1a, ComparisonKey, SyscallArg, SyscallOutcome, SyscallRequest, Sysno,
+};
+
+/// The complete minimal journal — header (2 variants, 1 thread, 1 shard,
+/// batch 1) followed by an empty-stream `End` trailer — as hex.  Pins the
+/// magic, the header layout, the frame layout and the CRC polynomial all at
+/// once.
+const MINIMAL_JOURNAL_HEX: &str = "4d564a4c010002000100010001000900000067796882070000000000000000";
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the checked-in fixture, blessing it when
+/// `MVEE_BLESS_GOLDEN` is set; on drift, fails with a hex diff.
+fn assert_golden(name: &str, actual: &[u8]) {
+    let path = golden_path(name);
+    if std::env::var_os("MVEE_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("blessed {} ({} bytes)", path.display(), actual.len());
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with MVEE_BLESS_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        panic!(
+            "journal format drift against {}:\n{}\n\
+             If this change is intentional, bump JOURNAL_VERSION and re-bless \
+             with MVEE_BLESS_GOLDEN=1.",
+            path.display(),
+            hex_diff(&expected, actual)
+        );
+    }
+}
+
+/// Renders the first difference between two byte strings: offset, lengths
+/// and a 16-byte-per-row hex dump of the surrounding window on both sides.
+fn hex_diff(expected: &[u8], actual: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let first = expected
+        .iter()
+        .zip(actual.iter())
+        .position(|(e, a)| e != a)
+        .unwrap_or_else(|| expected.len().min(actual.len()));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "first difference at byte {first} (expected {} bytes, got {})",
+        expected.len(),
+        actual.len()
+    );
+    let start = first.saturating_sub(16) & !15;
+    for (label, bytes) in [("expected", expected), ("actual  ", actual)] {
+        for row in 0..3 {
+            let at = start + row * 16;
+            if at >= bytes.len() {
+                break;
+            }
+            let end = (at + 16).min(bytes.len());
+            let hex: Vec<String> = bytes[at..end].iter().map(|b| format!("{b:02x}")).collect();
+            let _ = writeln!(out, "{label} {at:06x}: {}", hex.join(" "));
+        }
+    }
+    out
+}
+
+/// A comparison key exercising every compared argument kind plus a payload
+/// digest — the widest key shape the codec must round-trip.
+fn exotic_key() -> ComparisonKey {
+    ComparisonKey {
+        no: Sysno::Open,
+        args: vec![
+            SyscallArg::Path("/etc/hosts".to_string()),
+            SyscallArg::Flags(0o644),
+            SyscallArg::Fd(3),
+            SyscallArg::BufLen(4096),
+            SyscallArg::Pointer(0xdead_beef_0000),
+            SyscallArg::Int(-1),
+        ],
+        payload_digest: fnv1a(b"payload"),
+        payload_len: 7,
+    }
+}
+
+fn write_key(payload: &[u8]) -> ComparisonKey {
+    SyscallRequest::new(Sysno::Write)
+        .with_fd(1)
+        .with_payload(payload)
+        .comparison_key()
+}
+
+fn mprotect_key(len: i64) -> ComparisonKey {
+    SyscallRequest::new(Sysno::Mprotect)
+        .with_int(len)
+        .comparison_key()
+}
+
+/// A clean (non-divergent) run touching every record type and every
+/// class/outcome shape the recorder can emit.
+fn clean_fixture() -> Vec<u8> {
+    let rec = JournalRecorder::with_header(JournalHeader {
+        version: JOURNAL_VERSION,
+        variants: 2,
+        threads: 2,
+        shards: 2,
+        batch: 4,
+    });
+    rec.record_enter(0, 0, 0, false);
+    rec.record_class(ClassKind::Lockstep, 0);
+    rec.record_arrival(0, 0, 0, 0, &write_key(b"hello"));
+    rec.record_enter(1, 0, 0, false);
+    rec.record_class(ClassKind::Batched, 1);
+    rec.record_arrival(1, 0, 0, 0, &write_key(b"hello"));
+    rec.record_class(ClassKind::Replicated, 0);
+    rec.record_publish(0, 0, None, &SyscallOutcome::ok(5));
+    rec.record_class(ClassKind::Ordered, 1);
+    rec.record_publish(
+        1,
+        3,
+        Some(42),
+        &SyscallOutcome::ok_with_payload(4, b"data".to_vec()),
+    );
+    rec.record_publish(0, 4, None, &SyscallOutcome::err(Errno::Eagain));
+    rec.record_class(ClassKind::BatchFlush, 0);
+    rec.record_arrival(0, 1, 2 | DEFERRED_SEQ_BIT, 1, &exotic_key());
+    rec.record_enter(0, 1, 1, true);
+    rec.record_sync_op(1, 1);
+    rec.finish()
+}
+
+/// The report the divergent fixture records (and replay must re-derive).
+fn divergent_report() -> DivergenceReport {
+    DivergenceReport {
+        kind: DivergenceKind::SyscallMismatch {
+            master: Sysno::Mprotect,
+            variant: Sysno::Mprotect,
+        },
+        thread: 0,
+        sequence: 1,
+        variant: 1,
+    }
+}
+
+/// A divergent run: a clean slot, then a mid-stream mismatch, then one
+/// record of every remaining report kind so their wire layout is pinned too
+/// (replay verifies only the first report, as the live monitor keeps only
+/// the first).
+fn divergent_fixture() -> Vec<u8> {
+    let rec = JournalRecorder::with_header(JournalHeader {
+        version: JOURNAL_VERSION,
+        variants: 2,
+        threads: 1,
+        shards: 1,
+        batch: 1,
+    });
+    rec.record_enter(0, 0, 0, false);
+    rec.record_arrival(0, 0, 0, 0, &mprotect_key(4096));
+    rec.record_enter(1, 0, 0, false);
+    rec.record_arrival(1, 0, 0, 0, &mprotect_key(4096));
+    rec.record_enter(0, 0, 0, false);
+    rec.record_arrival(0, 0, 1, 0, &mprotect_key(4096));
+    rec.record_enter(1, 0, 0, false);
+    rec.record_arrival(1, 0, 1, 0, &mprotect_key(666));
+    rec.record_diverge(&divergent_report());
+    rec.record_diverge(&DivergenceReport {
+        kind: DivergenceKind::RendezvousTimeout { arrived: vec![0] },
+        thread: 0,
+        sequence: 2,
+        variant: 1,
+    });
+    rec.record_diverge(&DivergenceReport {
+        kind: DivergenceKind::ReplicationTimeout {
+            publisher: 0,
+            arrived: vec![1],
+        },
+        thread: 0,
+        sequence: 3,
+        variant: 1,
+    });
+    rec.record_diverge(&DivergenceReport {
+        kind: DivergenceKind::PolicyViolation {
+            call: Sysno::Socket,
+        },
+        thread: 0,
+        sequence: 4,
+        variant: 0,
+    });
+    rec.finish()
+}
+
+#[test]
+fn minimal_journal_bytes_are_pinned() {
+    let rec = JournalRecorder::with_header(JournalHeader {
+        version: JOURNAL_VERSION,
+        variants: 2,
+        threads: 1,
+        shards: 1,
+        batch: 1,
+    });
+    let actual: String = rec.finish().iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(
+        actual, MINIMAL_JOURNAL_HEX,
+        "the minimal journal's bytes moved: header or frame layout changed \
+         without a JOURNAL_VERSION bump"
+    );
+    // The magic and header length are load-bearing parts of the literal.
+    assert_eq!(&JOURNAL_MAGIC, b"MVJL");
+    assert_eq!(JOURNAL_HEADER_LEN, 14);
+    assert_eq!(JOURNAL_VERSION, 1);
+}
+
+#[test]
+fn clean_fixture_matches_golden_file() {
+    assert_golden("clean_run.journal", &clean_fixture());
+}
+
+#[test]
+fn divergent_fixture_matches_golden_file() {
+    assert_golden("divergent_run.journal", &divergent_fixture());
+}
+
+#[test]
+fn golden_fixtures_round_trip_through_decode_and_encode() {
+    for name in ["clean_run.journal", "divergent_run.journal"] {
+        let bytes = std::fs::read(golden_path(name))
+            .unwrap_or_else(|e| panic!("missing fixture {name}: {e}"));
+        let journal = Journal::decode(&bytes)
+            .unwrap_or_else(|e| panic!("checked-in fixture {name} no longer decodes: {e}"));
+        assert_eq!(
+            journal.encode(),
+            bytes,
+            "{name}: decode→encode is not the identity"
+        );
+    }
+}
+
+#[test]
+fn divergent_fixture_replays_to_the_recorded_report() {
+    let run = replay(&divergent_fixture()).expect("fixture must replay");
+    assert_eq!(run.divergence, Some(divergent_report()));
+    assert_eq!(run.stats.total_syscalls, 4);
+    assert_eq!(run.stats.divergences, 4);
+    assert_eq!(run.arrivals, 4);
+    assert_eq!(run.slots, 2);
+}
+
+#[test]
+fn unversioned_header_tweak_is_rejected() {
+    // Bump the version field of an otherwise valid stream: decoding must
+    // refuse it rather than guess at the format.
+    let mut bytes = clean_fixture();
+    bytes[4] = 0x2a;
+    bytes[5] = 0;
+    match Journal::decode(&bytes) {
+        Err(mvee::core::JournalError::UnsupportedVersion(42)) => {}
+        other => panic!("expected UnsupportedVersion(42), got {other:?}"),
+    }
+}
