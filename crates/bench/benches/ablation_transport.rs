@@ -139,6 +139,9 @@ fn run(variants: usize, cell: Cell) -> u64 {
                         port.reap(ticket).expect("bench call diverged");
                     }
                 }
+                Transport::Remote { .. } => {
+                    unreachable!("the remote transport has its own bench: ablation_remote")
+                }
             }));
         }
     }
@@ -197,6 +200,9 @@ fn run_issue_timed(variants: usize, cell: Cell) -> (u64, u128) {
                         port.reap(ticket).expect("bench call diverged");
                     }
                     issued
+                }
+                Transport::Remote { .. } => {
+                    unreachable!("the remote transport has its own bench: ablation_remote")
                 }
             }));
         }

@@ -5,7 +5,13 @@
 //! this binary shows both the paper's values and the rates the scaled
 //! synthetic programs actually achieve when run natively.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use mvee_bench::{format_row, print_table_header, workload_scale};
+use mvee_core::config::{RemoteChannel, Transport};
+use mvee_core::mvee::Mvee;
+use mvee_kernel::syscall::{SyscallRequest, Sysno};
 use mvee_sync_agent::agents::AgentKind;
 use mvee_variant::runner::{run_mvee, run_native, RunConfig};
 use mvee_workloads::catalog::{BenchmarkSpec, Suite, CATALOG};
@@ -57,6 +63,7 @@ fn main() {
     println!("\n(sc/s = system calls per second, sy/s = sync ops per second)");
 
     print_stall_taxonomy(scale);
+    print_detection_lag();
 }
 
 /// The agent-time attribution table: where slave and master wait time went
@@ -105,4 +112,94 @@ fn print_stall_taxonomy(scale: f64) {
     println!(
         "(spins/yields/parks = slave wait phases, m-* = master full-buffer wait phases; rescans = producer min-cursor refreshes)"
     );
+}
+
+/// How many leader sync ops the follower's pump ingests in the staged
+/// mismatch probe before the mismatching batch can resolve.
+const LAG_SYNC_OPS: u64 = 64;
+
+/// The divergence-detection-lag table for the distributed deployment: the
+/// leader flushes a batch whose comparison will eventually mismatch (the
+/// slave disagrees on one `mprotect` length) and keeps retiring sync ops
+/// while the slave dawdles; every sync op the follower ingests before the
+/// verdict is leader progress *after* the divergent call executed —
+/// `MonitorStats::detection_lag_sync_ops`, per replication channel.
+fn print_detection_lag() {
+    println!("\nDivergence detection lag — leader/follower split, 2 variants");
+    let widths = [16, 14, 14];
+    print_table_header("Lag", &["channel", "staged sy", "lag (sy)"], &widths);
+    for channel in [
+        RemoteChannel::InProc,
+        RemoteChannel::Unix,
+        RemoteChannel::Tcp,
+    ] {
+        let lag = measure_detection_lag(channel);
+        println!(
+            "{}",
+            format_row(
+                &[
+                    format!("remote-{}", channel.name()),
+                    LAG_SYNC_OPS.to_string(),
+                    lag.to_string(),
+                ],
+                &widths,
+            )
+        );
+    }
+    println!(
+        "(staged sy = sync ops the leader retires behind the mismatching batch; lag = how many the follower had ingested when the verdict landed)"
+    );
+}
+
+/// One staged-mismatch run on the given replication channel; returns the
+/// follower's recorded detection lag in sync ops.
+fn measure_detection_lag(channel: RemoteChannel) -> u64 {
+    const BATCH: usize = 8;
+    let mvee = Arc::new(
+        Mvee::builder()
+            .variants(2)
+            .threads(1)
+            .agent(AgentKind::Null)
+            .batch(BATCH)
+            .transport(Transport::Remote { channel })
+            .lockstep_timeout(Duration::from_secs(30))
+            .manual_clock(true)
+            .build(),
+    );
+    let leader = {
+        let mvee = Arc::clone(&mvee);
+        std::thread::spawn(move || {
+            let port = mvee.leader_port(0);
+            for _ in 0..BATCH {
+                let _ = port.syscall(&SyscallRequest::new(Sysno::Mprotect).with_int(4096));
+            }
+            // Let the pump deposit the batch first, then pace the sync ops
+            // so they are ingested while the arrival is still pending.
+            std::thread::sleep(Duration::from_millis(5));
+            for i in 0..LAG_SYNC_OPS {
+                port.sync_op(0x1000, || ());
+                if i % 8 == 7 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        })
+    };
+    let slave = {
+        let mvee = Arc::clone(&mvee);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            let port = mvee.thread_port(1, 0);
+            for i in 0..BATCH {
+                let len = if i == 3 { 666 } else { 4096 };
+                let _ = port.syscall(&SyscallRequest::new(Sysno::Mprotect).with_int(len));
+            }
+        })
+    };
+    leader.join().expect("leader thread panicked");
+    slave.join().expect("slave thread panicked");
+    assert!(
+        mvee.divergence().is_some(),
+        "the staged mismatch must be detected"
+    );
+    mvee.monitor_stats().detection_lag_sync_ops
 }

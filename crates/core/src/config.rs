@@ -164,6 +164,33 @@ impl Pollers {
     }
 }
 
+/// The byte channel a [`Transport::Remote`] leader streams its replication
+/// frames over.  All three shapes are loopback in this reproduction — the
+/// point is the framed wire discipline, not the physical distance — but the
+/// socket shapes exercise a real kernel byte stream with real partial reads
+/// and real teardown semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RemoteChannel {
+    /// An in-process duplex pipe: the fastest loopback, no OS descriptors.
+    #[default]
+    InProc,
+    /// A `socketpair`-style Unix stream pair.
+    Unix,
+    /// A TCP connection over `127.0.0.1` (ephemeral port).
+    Tcp,
+}
+
+impl RemoteChannel {
+    /// Short name used in benchmark tables and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RemoteChannel::InProc => "inproc",
+            RemoteChannel::Unix => "unix",
+            RemoteChannel::Tcp => "tcp",
+        }
+    }
+}
+
 /// How variant threads hand their system calls to the monitor.
 ///
 /// * [`Transport::Sync`] — the historical shape: the variant thread walks
@@ -180,6 +207,14 @@ impl Pollers {
 ///   synchronous (replicated, ordered, process-lifecycle) still block at
 ///   the reap point, so verdicts are identical to the sync transport; see
 ///   [`crate::async_port`] and [`crate::poller`].
+/// * [`Transport::Remote`] — the distributed (dMVX-style) split: variant 0
+///   becomes a *leader* that executes immediately and streams CRC-framed
+///   `(seq, comparison-key, replicated-result)` records over a
+///   [`RemoteChannel`]; a *follower* pump replays the stream into the
+///   rendezvous table against the remaining variants and acknowledges.
+///   The leader blocks only where the in-proc master blocks — at
+///   non-deferred lockstep rendezvous — while deferred comparisons stream
+///   without a round trip; see [`crate::remote`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Transport {
     /// Variant threads block in the monitor pipeline directly.
@@ -193,6 +228,11 @@ pub enum Transport {
         /// Who drains the submission rings: a blocking worker per port or
         /// a fixed polling pool.
         pollers: Pollers,
+    },
+    /// Leader/follower split over a framed replication channel.
+    Remote {
+        /// The byte channel the replication frames cross.
+        channel: RemoteChannel,
     },
 }
 
@@ -215,15 +255,36 @@ impl Transport {
         }
     }
 
+    /// A [`Remote`](Transport::Remote) transport over the in-process
+    /// duplex loopback.
+    pub fn remote_inproc() -> Self {
+        Transport::Remote {
+            channel: RemoteChannel::InProc,
+        }
+    }
+
     /// Whether this is the asynchronous ring transport.
     pub fn is_async(&self) -> bool {
         matches!(self, Transport::AsyncRings { .. })
     }
 
+    /// Whether this is the distributed leader/follower transport.
+    pub fn is_remote(&self) -> bool {
+        matches!(self, Transport::Remote { .. })
+    }
+
+    /// The configured replication channel, if remote.
+    pub fn remote_channel(&self) -> Option<RemoteChannel> {
+        match self {
+            Transport::Remote { channel } => Some(*channel),
+            _ => None,
+        }
+    }
+
     /// The configured ring depth, if asynchronous.
     pub fn depth(&self) -> Option<usize> {
         match self {
-            Transport::Sync => None,
+            Transport::Sync | Transport::Remote { .. } => None,
             Transport::AsyncRings { depth, .. } => Some(*depth),
         }
     }
@@ -231,7 +292,7 @@ impl Transport {
     /// The configured monitor-side drain shape, if asynchronous.
     pub fn pollers(&self) -> Option<Pollers> {
         match self {
-            Transport::Sync => None,
+            Transport::Sync | Transport::Remote { .. } => None,
             Transport::AsyncRings { pollers, .. } => Some(*pollers),
         }
     }
@@ -242,11 +303,13 @@ impl Transport {
         match self {
             Transport::Sync => "sync",
             Transport::AsyncRings { .. } => "async-rings",
+            Transport::Remote { .. } => "remote",
         }
     }
 
     /// Cell label for benchmark tables: distinguishes the poller shape
-    /// (`sync`, `async-rings` for per-port, `async-pool{n}`).
+    /// (`sync`, `async-rings` for per-port, `async-pool{n}`) and the
+    /// remote channel (`remote-inproc`, `remote-unix`, `remote-tcp`).
     pub fn label(&self) -> String {
         match self {
             Transport::Sync => "sync".to_string(),
@@ -262,6 +325,7 @@ impl Transport {
                 pollers: Pollers::Auto,
                 ..
             } => "async-auto".to_string(),
+            Transport::Remote { channel } => format!("remote-{}", channel.name()),
         }
     }
 }
@@ -562,6 +626,27 @@ mod tests {
         assert_eq!(Pollers::PerPort.label(), "per-port");
         assert_eq!(Pollers::Pool(4).label(), "pool4");
         assert_eq!(Transport::Sync.pollers(), None);
+    }
+
+    #[test]
+    fn remote_transport_reports_its_shape() {
+        let c = MveeConfig::default().with_transport(Transport::remote_inproc());
+        assert!(c.transport.is_remote());
+        assert!(!c.transport.is_async());
+        assert_eq!(c.transport.remote_channel(), Some(RemoteChannel::InProc));
+        assert_eq!(c.transport.depth(), None);
+        assert_eq!(c.transport.pollers(), None);
+        assert_eq!(c.transport.name(), "remote");
+        assert_eq!(c.transport.label(), "remote-inproc");
+        let unix = Transport::Remote {
+            channel: RemoteChannel::Unix,
+        };
+        assert_eq!(unix.label(), "remote-unix");
+        let tcp = Transport::Remote {
+            channel: RemoteChannel::Tcp,
+        };
+        assert_eq!(tcp.label(), "remote-tcp");
+        assert_eq!(Transport::Sync.remote_channel(), None);
     }
 
     #[test]

@@ -54,7 +54,10 @@ use mvee_kernel::error::Errno;
 use mvee_kernel::syscall::{ComparisonKey, SyscallArg, SyscallOutcome, Sysno};
 
 use crate::divergence::{first_mismatch, DivergenceKind, DivergenceReport};
+use crate::frame::{next_frame, push_frame, FrameError, Reader};
 use crate::monitor::{MonitorStats, DEFERRED_SEQ_BIT};
+
+pub use crate::frame::crc32;
 
 /// The four magic bytes opening every journal.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"MVJL";
@@ -64,21 +67,6 @@ pub const JOURNAL_VERSION: u16 = 1;
 
 /// Byte length of the fixed journal header.
 pub const JOURNAL_HEADER_LEN: usize = 14;
-
-/// Reflected CRC-32 (polynomial `0xEDB88320`), computed bitwise — the
-/// journal is not a hot path, and a table would be 1 KiB of baked-in state
-/// for no observable gain at journal sizes.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
 
 /// The run parameters a journal was recorded under.  Replay needs
 /// `variants` to size arrival slots; the rest pins the configuration for
@@ -125,7 +113,7 @@ pub enum ClassKind {
 }
 
 impl ClassKind {
-    fn to_wire(self) -> u8 {
+    pub(crate) fn to_wire(self) -> u8 {
         match self {
             ClassKind::Lockstep => 0,
             ClassKind::Batched => 1,
@@ -135,7 +123,7 @@ impl ClassKind {
         }
     }
 
-    fn from_wire(tag: u8) -> Option<ClassKind> {
+    pub(crate) fn from_wire(tag: u8) -> Option<ClassKind> {
         Some(match tag {
             0 => ClassKind::Lockstep,
             1 => ClassKind::Batched,
@@ -367,7 +355,7 @@ fn decode_arg(r: &mut Reader<'_>) -> Result<SyscallArg, String> {
     })
 }
 
-fn encode_cmp(buf: &mut Vec<u8>, cmp: &ComparisonKey) {
+pub(crate) fn encode_cmp(buf: &mut Vec<u8>, cmp: &ComparisonKey) {
     encode_sysno(buf, cmp.no);
     buf.extend_from_slice(&(cmp.args.len() as u16).to_le_bytes());
     for arg in &cmp.args {
@@ -377,7 +365,7 @@ fn encode_cmp(buf: &mut Vec<u8>, cmp: &ComparisonKey) {
     buf.extend_from_slice(&(cmp.payload_len as u64).to_le_bytes());
 }
 
-fn decode_cmp(r: &mut Reader<'_>) -> Result<ComparisonKey, String> {
+pub(crate) fn decode_cmp(r: &mut Reader<'_>) -> Result<ComparisonKey, String> {
     let no = decode_sysno(r)?;
     let nargs = r.u16()? as usize;
     let mut args = Vec::with_capacity(nargs.min(64));
@@ -392,7 +380,7 @@ fn decode_cmp(r: &mut Reader<'_>) -> Result<ComparisonKey, String> {
     })
 }
 
-fn encode_outcome(buf: &mut Vec<u8>, outcome: &SyscallOutcome) {
+pub(crate) fn encode_outcome(buf: &mut Vec<u8>, outcome: &SyscallOutcome) {
     match outcome.result {
         Ok(v) => {
             buf.push(0);
@@ -408,7 +396,7 @@ fn encode_outcome(buf: &mut Vec<u8>, outcome: &SyscallOutcome) {
     buf.extend_from_slice(&outcome.payload);
 }
 
-fn decode_outcome(r: &mut Reader<'_>) -> Result<SyscallOutcome, String> {
+pub(crate) fn decode_outcome(r: &mut Reader<'_>) -> Result<SyscallOutcome, String> {
     let result = match r.u8()? {
         0 => Ok(r.i64()?),
         1 => {
@@ -444,7 +432,7 @@ fn decode_variant_list(r: &mut Reader<'_>) -> Result<Vec<usize>, String> {
     Ok(list)
 }
 
-fn encode_report(buf: &mut Vec<u8>, report: &DivergenceReport) {
+pub(crate) fn encode_report(buf: &mut Vec<u8>, report: &DivergenceReport) {
     match &report.kind {
         DivergenceKind::SyscallMismatch { master, variant } => {
             buf.push(KIND_MISMATCH);
@@ -470,7 +458,7 @@ fn encode_report(buf: &mut Vec<u8>, report: &DivergenceReport) {
     buf.extend_from_slice(&(report.variant as u32).to_le_bytes());
 }
 
-fn decode_report(r: &mut Reader<'_>) -> Result<DivergenceReport, String> {
+pub(crate) fn decode_report(r: &mut Reader<'_>) -> Result<DivergenceReport, String> {
     let kind = match r.u8()? {
         KIND_MISMATCH => DivergenceKind::SyscallMismatch {
             master: decode_sysno(r)?,
@@ -630,64 +618,6 @@ impl JournalRecord {
     }
 }
 
-/// Little-endian byte reader over a record body.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Reader { bytes, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&end| end <= self.bytes.len())
-            .ok_or_else(|| format!("body truncated at byte {}", self.pos))?;
-        let out = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn i32(&mut self) -> Result<i32, String> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn i64(&mut self) -> Result<i64, String> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn finish(&self) -> Result<(), String> {
-        if self.pos == self.bytes.len() {
-            Ok(())
-        } else {
-            Err(format!(
-                "{} trailing bytes after record body",
-                self.bytes.len() - self.pos
-            ))
-        }
-    }
-}
-
 /// Why a journal byte stream could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JournalError {
@@ -816,23 +746,19 @@ impl Journal {
         let mut index = 0u64;
         let journal = |records: Vec<JournalRecord>| Journal { header, records };
         loop {
-            if offset == bytes.len() {
-                return Ok((journal(records), Some(JournalError::MissingEnd)));
-            }
-            if bytes.len() - offset < 8 {
-                return Ok((journal(records), Some(JournalError::Truncated { offset })));
-            }
-            let body_len =
-                u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
-            if bytes.len() - offset - 8 < body_len {
-                return Ok((journal(records), Some(JournalError::Truncated { offset })));
-            }
-            let body = &bytes[offset + 8..offset + 8 + body_len];
-            if crc32(body) != crc {
-                let err = JournalError::CorruptRecord { index, offset };
-                return Ok((journal(records), Some(err)));
-            }
+            let (body, next) = match next_frame(bytes, offset) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => {
+                    return Ok((journal(records), Some(JournalError::MissingEnd)));
+                }
+                Err(FrameError::Truncated { offset }) => {
+                    return Ok((journal(records), Some(JournalError::Truncated { offset })));
+                }
+                Err(FrameError::Corrupt { offset }) => {
+                    let err = JournalError::CorruptRecord { index, offset };
+                    return Ok((journal(records), Some(err)));
+                }
+            };
             let record = match JournalRecord::decode_body(body) {
                 Ok(record) => record,
                 Err(reason) => {
@@ -840,7 +766,7 @@ impl Journal {
                     return Ok((journal(records), Some(err)));
                 }
             };
-            offset += 8 + body_len;
+            offset = next;
             if let JournalRecord::End { records: count } = record {
                 if count != index {
                     let err = JournalError::Malformed {
@@ -881,12 +807,6 @@ impl Journal {
         push_frame(&mut buf, &body);
         buf
     }
-}
-
-fn push_frame(buf: &mut Vec<u8>, body: &[u8]) {
-    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    buf.extend_from_slice(&crc32(body).to_le_bytes());
-    buf.extend_from_slice(body);
 }
 
 /// The journal knob on `MveeConfig`: record the run, replay a prior one,

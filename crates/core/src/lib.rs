@@ -58,6 +58,12 @@
 //!   schedule, arrival order and replicated outcomes into a CRC-protected
 //!   binary stream, replay it offline to re-derive the verdict (same
 //!   first-mismatch slot and variant) with zero live variants.
+//! * [`remote`] — the distributed deployment: variant 0 becomes a *leader*
+//!   that executes through a [`remote::LeaderPort`] and streams CRC-framed
+//!   monitoring records over a byte channel ([`remote::Duplex`]: in-proc
+//!   pipes, Unix socketpair or TCP loopback) to a *follower* monitor that
+//!   compares asynchronously, acknowledges, and reports field-identical
+//!   divergence verdicts back.  Selected via `Transport::Remote`.
 //!
 //! The crate deliberately knows nothing about *how* variants execute; the
 //! `mvee-variant` crate drives real OS threads through the gateway.
@@ -68,6 +74,7 @@
 pub mod async_port;
 pub mod config;
 pub mod divergence;
+pub mod frame;
 pub mod journal;
 pub mod lockstep;
 pub mod monitor;
@@ -76,9 +83,10 @@ pub mod ordering;
 pub mod policy;
 pub mod poller;
 pub mod port;
+pub mod remote;
 
 pub use async_port::{AsyncThreadPort, SubmitOutcome, Ticket};
-pub use config::{MveeConfig, Placement, Pollers, Transport};
+pub use config::{MveeConfig, Placement, Pollers, RemoteChannel, Transport};
 pub use divergence::{DivergenceKind, DivergenceReport};
 pub use journal::{Journal, JournalError, JournalMode, JournalRecorder, ReplayError, ReplayedRun};
 pub use monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
@@ -87,3 +95,7 @@ pub use ordering::SyscallOrderingClock;
 pub use policy::MonitoringPolicy;
 pub use poller::PollerPool;
 pub use port::ThreadPort;
+pub use remote::{
+    Duplex, Follower, FollowerHandle, LeaderPort, PeerFailure, PeerFailureKind, RemoteLeader,
+    RemotePeer,
+};

@@ -158,6 +158,10 @@ pub enum MonitorError {
     /// The MVEE has already been shut down (divergence detected elsewhere);
     /// the variant thread must terminate.
     ShutDown,
+    /// The replication channel to the remote peer failed (distributed runs
+    /// only, see [`crate::remote`]): the carried failure names the missing
+    /// peer and how it was lost.
+    Peer(crate::remote::PeerFailure),
 }
 
 impl std::fmt::Display for MonitorError {
@@ -165,6 +169,7 @@ impl std::fmt::Display for MonitorError {
         match self {
             MonitorError::Diverged(report) => write!(f, "{}", report.summary()),
             MonitorError::ShutDown => write!(f, "MVEE has been shut down"),
+            MonitorError::Peer(failure) => write!(f, "{failure}"),
         }
     }
 }
@@ -191,6 +196,13 @@ pub struct MonitorStats {
     pub batched_comparisons: u64,
     /// Batches flushed to the rendezvous table.
     pub batch_flushes: u64,
+    /// Divergence-detection lag, summed over mismatching arrivals: how many
+    /// leader sync ops completed between a mismatching arrival reaching the
+    /// follower and its verdict ([`Transport::Remote`](crate::config::Transport)
+    /// only — the in-proc transports compare before the call returns, so
+    /// their lag is zero by construction, and the journal does not carry
+    /// it).
+    pub detection_lag_sync_ops: u64,
 }
 
 /// One stripe of monitor counters, padded to a cache line so lanes of
@@ -209,6 +221,7 @@ struct StatLane {
     self_aware_queries: AtomicU64,
     batched_comparisons: AtomicU64,
     batch_flushes: AtomicU64,
+    detection_lag_sync_ops: AtomicU64,
 }
 
 impl StatLane {
@@ -222,6 +235,7 @@ impl StatLane {
             self_aware_queries: self.self_aware_queries.load(Ordering::Relaxed),
             batched_comparisons: self.batched_comparisons.load(Ordering::Relaxed),
             batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
+            detection_lag_sync_ops: self.detection_lag_sync_ops.load(Ordering::Relaxed),
         }
     }
 }
@@ -236,6 +250,7 @@ impl MonitorStats {
         self.self_aware_queries += other.self_aware_queries;
         self.batched_comparisons += other.batched_comparisons;
         self.batch_flushes += other.batch_flushes;
+        self.detection_lag_sync_ops += other.detection_lag_sync_ops;
     }
 }
 
@@ -657,10 +672,22 @@ impl Monitor {
         if self.has_diverged() {
             return Err(MonitorError::ShutDown);
         }
+        let self_aware = req.no == Sysno::MveeSelfAware;
+        self.count_enter(variant, thread, lane, self_aware);
+        if self_aware {
+            return Ok(Some(SyscallOutcome::ok(variant as i64)));
+        }
+        Ok(None)
+    }
+
+    /// Counts (and journals) one gateway entry without the divergence gate
+    /// or the self-awareness answer.  The follower pump applies the
+    /// leader's `Enter` frames through this, so a remote run's counters and
+    /// journal mirror the in-proc gateway exactly.
+    pub(crate) fn count_enter(&self, variant: usize, thread: usize, lane: usize, self_aware: bool) {
         self.lane(lane)
             .total_syscalls
             .fetch_add(1, Ordering::Relaxed);
-        let self_aware = req.no == Sysno::MveeSelfAware;
         if let Some(journal) = &self.config.journal {
             journal.record_enter(variant, thread, lane, self_aware);
         }
@@ -668,9 +695,16 @@ impl Monitor {
             self.lane(lane)
                 .self_aware_queries
                 .fetch_add(1, Ordering::Relaxed);
-            return Ok(Some(SyscallOutcome::ok(variant as i64)));
         }
-        Ok(None)
+    }
+
+    /// Adds `sync_ops` leader sync ops to `lane`'s divergence-detection-lag
+    /// counter: how far the leader had run ahead (in replication points)
+    /// when a mismatching arrival's verdict landed.  Remote transport only.
+    pub(crate) fn count_detection_lag(&self, lane: usize, sync_ops: u64) {
+        self.lane(lane)
+            .detection_lag_sync_ops
+            .fetch_add(sync_ops, Ordering::Relaxed);
     }
 
     pub(crate) fn count_lockstep(&self, lane: usize) {

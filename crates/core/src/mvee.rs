@@ -309,6 +309,28 @@ impl MveeBuilder {
                 }
             }));
         }
+        // A remote transport splits the pair here: the follower's reader +
+        // pump threads take one end of the channel, the leader front end
+        // the other.  Everything above (kernel, monitor, agent, hooks) is
+        // shared — the leader executes through the same monitor instance,
+        // only its rendezvous evidence travels by wire.
+        let remote = match self.config.transport {
+            Transport::Remote { channel } => {
+                let (leader_end, follower_end) = crate::remote::Duplex::pair(channel)
+                    .expect("establishing the replication channel failed");
+                let follower = crate::remote::Follower::spawn(Arc::clone(&monitor), follower_end);
+                let leader = crate::remote::RemoteLeader::connect(
+                    Arc::clone(&monitor),
+                    Arc::clone(&agent),
+                    leader_end,
+                );
+                Some(RemoteParts {
+                    leader,
+                    follower: Some(follower),
+                })
+            }
+            _ => None,
+        };
         let journal = self.config.journal.clone();
         Mvee {
             kernel,
@@ -320,7 +342,24 @@ impl MveeBuilder {
             threads: self.threads,
             pollers,
             journal,
+            remote,
         }
+    }
+}
+
+/// The two ends of a distributed MVEE's replication link, owned by the
+/// front end so teardown is ordered: the leader's write half closes first
+/// (its `Bye` lets the follower drain to a clean EOF), then the follower
+/// handle joins its threads.
+struct RemoteParts {
+    leader: Arc<crate::remote::RemoteLeader>,
+    follower: Option<crate::remote::FollowerHandle>,
+}
+
+impl Drop for RemoteParts {
+    fn drop(&mut self) {
+        self.leader.shutdown();
+        self.follower.take();
     }
 }
 
@@ -337,6 +376,9 @@ pub struct Mvee {
     pollers: Option<Arc<PollerPool>>,
     /// The journal mode the MVEE was built with (see [`crate::journal`]).
     journal: crate::journal::JournalMode,
+    /// The replication link of a distributed MVEE (`Transport::Remote`):
+    /// the leader front end plus the follower's thread handle.
+    remote: Option<RemoteParts>,
 }
 
 impl Mvee {
@@ -432,6 +474,7 @@ impl Mvee {
             monitor: Arc::clone(&self.monitor),
             agent: Arc::clone(&self.agent),
             pollers: self.pollers.clone(),
+            remote: self.remote.as_ref().map(|parts| Arc::clone(&parts.leader)),
         }
     }
 
@@ -467,6 +510,57 @@ impl Mvee {
     pub fn async_thread_port(&self, variant: usize, thread: usize) -> AsyncThreadPort {
         self.gateway(variant).async_thread(thread)
     }
+
+    /// Acquires the [`LeaderPort`](crate::remote::LeaderPort) for logical
+    /// thread `thread` of the leader (variant 0) of a distributed MVEE —
+    /// the remote counterpart of [`thread_port`](Self::thread_port).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the MVEE was not built with `Transport::Remote`, on an
+    /// out-of-range thread index, or if a live port already owns
+    /// (variant 0, thread).
+    pub fn leader_port(&self, thread: usize) -> crate::remote::LeaderPort {
+        let parts = self
+            .remote
+            .as_ref()
+            .expect("leader_port requires Transport::Remote");
+        parts.leader.port(thread)
+    }
+
+    /// Waits until the follower of a distributed MVEE has fully processed
+    /// every frame streamed so far, making its counters and verdicts final
+    /// — the remote quiescence point the equivalence harness compares at.
+    /// A non-remote MVEE is trivially quiescent: `Ok(())`.
+    pub fn remote_barrier(&self) -> Result<(), MonitorError> {
+        match &self.remote {
+            Some(parts) => parts.leader.barrier(),
+            None => Ok(()),
+        }
+    }
+
+    /// Kills the follower of a distributed MVEE: the pump stops, poisons
+    /// the rendezvous table and closes its half of the channel, so the
+    /// leader observes a [`Disconnected`](crate::remote::PeerFailureKind)
+    /// follower.  Fault-injection hook for the resilience tests; a no-op on
+    /// non-remote MVEEs.
+    pub fn abort_follower(&self) {
+        if let Some(parts) = &self.remote {
+            if let Some(follower) = &parts.follower {
+                follower.abort();
+            }
+        }
+    }
+
+    /// The replication-channel failure of a distributed MVEE, if either
+    /// side observed one (`None` for non-remote MVEEs and healthy links).
+    pub fn remote_fault(&self) -> Option<crate::remote::PeerFailure> {
+        let parts = self.remote.as_ref()?;
+        parts
+            .leader
+            .failure()
+            .or_else(|| parts.follower.as_ref().and_then(|f| f.fault()))
+    }
 }
 
 /// A per-variant handle: the system-call gateway plus the sync-agent hooks.
@@ -476,6 +570,11 @@ pub struct VariantGateway {
     monitor: Arc<Monitor>,
     agent: Arc<dyn SyncAgent>,
     pollers: Option<Arc<PollerPool>>,
+    /// The leader front end of a distributed MVEE; `Some` only under
+    /// `Transport::Remote`, where variant 0's ports come from
+    /// [`leader_thread`](Self::leader_thread) instead of the in-proc
+    /// factories.
+    remote: Option<Arc<crate::remote::RemoteLeader>>,
 }
 
 impl VariantGateway {
@@ -504,9 +603,16 @@ impl VariantGateway {
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range thread index or if a live port already
-    /// owns this (variant, thread).
+    /// Panics on an out-of-range thread index, if a live port already
+    /// owns this (variant, thread), or for the leader (variant 0) of a
+    /// distributed MVEE — its calls travel by wire, so acquire a
+    /// [`leader_thread`](Self::leader_thread) port instead.
     pub fn thread(&self, thread: usize) -> ThreadPort {
+        assert!(
+            !(self.remote.is_some() && self.variant == 0),
+            "variant 0 of a distributed MVEE is the remote leader: use \
+             leader_thread / Mvee::leader_port instead of an in-proc port"
+        );
         ThreadPort::new(
             Arc::clone(&self.monitor),
             Arc::clone(&self.agent),
@@ -527,6 +633,11 @@ impl VariantGateway {
     /// Panics on an out-of-range thread index or if a live port already
     /// owns this (variant, thread).
     pub fn async_thread(&self, thread: usize) -> AsyncThreadPort {
+        assert!(
+            !(self.remote.is_some() && self.variant == 0),
+            "variant 0 of a distributed MVEE is the remote leader: use \
+             leader_thread / Mvee::leader_port instead of an in-proc port"
+        );
         let depth = self
             .monitor
             .config()
@@ -550,6 +661,27 @@ impl VariantGateway {
                 depth,
             ),
         }
+    }
+
+    /// Acquires the [`LeaderPort`](crate::remote::LeaderPort) for logical
+    /// thread `thread` — the leader-side syscall handle of a distributed
+    /// MVEE (this gateway must belong to variant 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the MVEE is not remote, when this gateway is not
+    /// variant 0's, on an out-of-range thread index, or if a live port
+    /// already owns (variant 0, thread).
+    pub fn leader_thread(&self, thread: usize) -> crate::remote::LeaderPort {
+        assert!(
+            self.variant == 0,
+            "only variant 0 of a distributed MVEE runs behind the leader port"
+        );
+        let leader = self
+            .remote
+            .as_ref()
+            .expect("leader_thread requires Transport::Remote");
+        leader.port(thread)
     }
 
     /// Builds the sync context for logical thread `thread`.

@@ -1,0 +1,857 @@
+//! The follower monitor: consumes the leader's frame stream, drives the
+//! in-proc rendezvous machinery on the leader's behalf, compares
+//! asynchronously and acknowledges progress.
+//!
+//! [`Follower::spawn`] starts two threads over the follower end of a
+//! [`Duplex`]:
+//!
+//! * a **reader** that decodes frames off the channel into an inbox (it
+//!   never touches monitor state, so a slow rendezvous cannot back up the
+//!   raw byte stream), and
+//! * a **pump** that applies the records: counter records
+//!   ([`Enter`](WireRecord::Enter), [`Class`](WireRecord::Class),
+//!   [`SyncOp`](WireRecord::SyncOp)) update the monitor's stat lanes
+//!   directly, while rendezvous records ([`Arrive`](WireRecord::Arrive),
+//!   [`Batch`](WireRecord::Batch), [`Publish`](WireRecord::Publish)) are
+//!   queued per leader thread and deposited into the
+//!   [`LockstepTable`](crate::lockstep::LockstepTable) as variant 0 —
+//!   through the same non-blocking try/poll interface and the same verdict
+//!   mappers the polling shards use, so a remote run's divergence reports
+//!   are field-identical to an in-proc run's.
+//!
+//! The pump acknowledges the longest *contiguous* prefix of fully
+//! processed frames.  A synchronous arrival acks only once its rendezvous
+//! resolved — that ack is what unblocks the leader, making the leader
+//! block exactly where the in-proc master blocks.  Deferred batches ack at
+//! resolution too, but the leader never waits for those watermarks, so
+//! comparison stays asynchronous; the distance it ran ahead (measured in
+//! leader sync ops) is recorded as the divergence-detection lag when a
+//! deferred comparison turns out to diverge.
+//!
+//! The pump never blocks on any single rendezvous: per-thread queues
+//! advance independently, and the pump parks on a [`PollWaker`] registered
+//! with the table — a slave deposit, an outcome publication, poison, a new
+//! frame, or an abort all wake it.
+//!
+//! If the stream dies (torn connection, garbage, leader gone without
+//! [`Bye`](WireRecord::Bye)) the pump records a typed [`PeerFailure`]
+//! naming the leader and poisons the rendezvous table so every in-proc
+//! slave thread unblocks promptly.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use mvee_kernel::syscall::{ComparisonKey, SyscallOutcome};
+
+use crate::frame::{FrameReader, ReadFrameError};
+use crate::lockstep::{ArrivalToken, BatchArrival, BatchToken, PollWaker, TryArrive, TryBatch};
+use crate::monitor::{Monitor, MonitorError};
+use crate::remote::transport::Duplex;
+use crate::remote::wire::WireRecord;
+use crate::remote::{PeerFailure, PeerFailureKind, RemotePeer};
+
+/// Namespace for [`Follower::spawn`].
+#[derive(Debug)]
+pub struct Follower;
+
+/// Handle to a running follower: fault inspection, abort, and join-on-drop.
+///
+/// Drop order contract: close the leader end of the channel (or let
+/// [`RemoteLeader`](crate::remote::RemoteLeader) drop) **before** dropping
+/// this handle — the reader thread unblocks only when the leader's write
+/// half closes.
+#[derive(Debug)]
+pub struct FollowerHandle {
+    fault: Arc<Mutex<Option<PeerFailure>>>,
+    stop: Arc<AtomicBool>,
+    waker: Arc<PollWaker>,
+    reader: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl Follower {
+    /// Starts the reader and pump threads over the follower end of a
+    /// replication channel, applying the stream to `monitor`.
+    pub fn spawn(monitor: Arc<Monitor>, duplex: Duplex) -> FollowerHandle {
+        let (rx, tx) = duplex.into_split();
+        let fault = Arc::new(Mutex::new(None));
+        let stop = Arc::new(AtomicBool::new(false));
+        let waker = Arc::new(PollWaker::new());
+        let inbox = Arc::new(Inbox {
+            queue: Mutex::new(VecDeque::new()),
+            reader_done: AtomicBool::new(false),
+        });
+        let reader = {
+            let inbox = Arc::clone(&inbox);
+            let fault = Arc::clone(&fault);
+            let waker = Arc::clone(&waker);
+            std::thread::Builder::new()
+                .name("mvee-follower-rx".into())
+                .spawn(move || read_leader_stream(rx, &inbox, &fault, &waker))
+                .expect("spawning the follower reader thread failed")
+        };
+        let pump = {
+            let fault = Arc::clone(&fault);
+            let stop = Arc::clone(&stop);
+            let waker = Arc::clone(&waker);
+            std::thread::Builder::new()
+                .name("mvee-follower-pump".into())
+                .spawn(move || Pump::new(monitor, tx, inbox, fault, stop, waker).run())
+                .expect("spawning the follower pump thread failed")
+        };
+        FollowerHandle {
+            fault,
+            stop,
+            waker,
+            reader: Some(reader),
+            pump: Some(pump),
+        }
+    }
+}
+
+impl FollowerHandle {
+    /// The channel failure the follower observed, if any.
+    pub fn fault(&self) -> Option<PeerFailure> {
+        *self.fault.lock()
+    }
+
+    /// Asks the pump to stop at its next pass — simulating follower death
+    /// for the fault tests.  The pump poisons the rendezvous table and
+    /// closes its write half on the way out, so the leader observes EOF.
+    pub fn abort(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.waker.raise();
+    }
+}
+
+impl Drop for FollowerHandle {
+    fn drop(&mut self) {
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Decoded frames handed from the reader to the pump.
+struct Inbox {
+    queue: Mutex<VecDeque<WireRecord>>,
+    reader_done: AtomicBool,
+}
+
+fn set_fault(fault: &Mutex<Option<PeerFailure>>, waker: &PollWaker, kind: PeerFailureKind) {
+    let mut slot = fault.lock();
+    if slot.is_none() {
+        *slot = Some(PeerFailure {
+            peer: RemotePeer::Leader,
+            kind,
+        });
+    }
+    drop(slot);
+    waker.raise();
+}
+
+/// The reader thread: frames off the wire into the inbox, nothing else.
+fn read_leader_stream(
+    rx: Box<dyn Read + Send>,
+    inbox: &Inbox,
+    fault: &Mutex<Option<PeerFailure>>,
+    waker: &PollWaker,
+) {
+    let mut frames = FrameReader::new(rx);
+    loop {
+        match frames.read_frame() {
+            Ok(Some(body)) => match WireRecord::decode(body) {
+                Ok(record) => {
+                    let is_bye = matches!(record, WireRecord::Bye);
+                    inbox.queue.lock().push_back(record);
+                    waker.raise();
+                    if is_bye {
+                        // The leader closes its write half after `Bye`;
+                        // stop here rather than read the EOF.
+                        break;
+                    }
+                }
+                Err(_) => {
+                    set_fault(fault, waker, PeerFailureKind::Corrupt);
+                    break;
+                }
+            },
+            // EOF at a frame boundary without a `Bye`: the leader vanished.
+            Ok(None) => {
+                set_fault(fault, waker, PeerFailureKind::Disconnected);
+                break;
+            }
+            Err(ReadFrameError::Io(_)) => {
+                set_fault(fault, waker, PeerFailureKind::Disconnected);
+                break;
+            }
+            // Truncated / oversized / CRC-mismatching frame.
+            Err(_) => {
+                set_fault(fault, waker, PeerFailureKind::Corrupt);
+                break;
+            }
+        }
+    }
+    inbox.reader_done.store(true, Ordering::Release);
+    waker.raise();
+}
+
+/// A rendezvous record queued behind its thread's earlier records.
+enum LaneOp {
+    Arrive {
+        stat_lane: usize,
+        seq: u64,
+        will_publish: bool,
+        cmp: ComparisonKey,
+    },
+    Batch {
+        stat_lane: usize,
+        calls: Vec<(u64, ComparisonKey)>,
+    },
+    Publish {
+        seq: u64,
+        timestamp: Option<u64>,
+        outcome: SyscallOutcome,
+    },
+}
+
+/// A deposited rendezvous awaiting peers.
+struct Pending {
+    /// Stream index of the frame; acked once the rendezvous resolves.
+    index: u64,
+    /// Leader sync ops ingested when this record was *ingested* — the
+    /// baseline the detection-lag metric measures from.  Ingest time, not
+    /// deposit time: the leader had already executed the call when the
+    /// record entered the stream, so lane-FIFO queueing counts as lag too.
+    sync_ops_at_ingest: u64,
+    op: PendingOp,
+}
+
+enum PendingOp {
+    Arrive {
+        token: ArrivalToken,
+        seq: u64,
+        will_publish: bool,
+        stat_lane: usize,
+    },
+    Batch {
+        token: BatchToken,
+        batch: Vec<BatchArrival>,
+        stat_lane: usize,
+    },
+}
+
+impl Pending {
+    fn deadline(&self) -> Instant {
+        match &self.op {
+            PendingOp::Arrive { token, .. } => token.deadline(),
+            PendingOp::Batch { token, .. } => token.deadline(),
+        }
+    }
+}
+
+/// One leader thread's rendezvous stream: strictly FIFO — the next record
+/// deposits only once the previous one resolved, mirroring the in-proc
+/// master's program order (it blocks through a flush before arriving, and
+/// through an arrival before publishing).
+struct Lane {
+    thread: usize,
+    /// Queued records: (stream index, sync ops ingested at ingest, op).
+    queue: VecDeque<(u64, u64, LaneOp)>,
+    pending: Option<Pending>,
+}
+
+impl Lane {
+    fn idle(&self) -> bool {
+        self.queue.is_empty() && self.pending.is_none()
+    }
+}
+
+/// The pump thread state (see the [module docs](self)).
+struct Pump {
+    monitor: Arc<Monitor>,
+    tx: Option<Box<dyn Write + Send>>,
+    inbox: Arc<Inbox>,
+    fault: Arc<Mutex<Option<PeerFailure>>>,
+    stop: Arc<AtomicBool>,
+    waker: Arc<PollWaker>,
+    /// Stream index assigned to the next ingested record.
+    next_index: u64,
+    /// Fully processed records not yet covered by `acked`.
+    resolved: BTreeSet<u64>,
+    /// Longest contiguous prefix of processed records (= the ack value).
+    acked: u64,
+    lanes: HashMap<u32, Lane>,
+    /// Leader sync ops ingested so far — the detection-lag clock.
+    sync_ops_seen: u64,
+    hello_seen: bool,
+    saw_bye: bool,
+    verdict_sent: bool,
+}
+
+impl Pump {
+    fn new(
+        monitor: Arc<Monitor>,
+        tx: Box<dyn Write + Send>,
+        inbox: Arc<Inbox>,
+        fault: Arc<Mutex<Option<PeerFailure>>>,
+        stop: Arc<AtomicBool>,
+        waker: Arc<PollWaker>,
+    ) -> Pump {
+        Pump {
+            monitor,
+            tx: Some(tx),
+            inbox,
+            fault,
+            stop,
+            waker,
+            next_index: 0,
+            resolved: BTreeSet::new(),
+            acked: 0,
+            lanes: HashMap::new(),
+            sync_ops_seen: 0,
+            hello_seen: false,
+            saw_bye: false,
+            verdict_sent: false,
+        }
+    }
+
+    fn run(mut self) {
+        self.monitor
+            .lockstep()
+            .register_observer(Arc::clone(&self.waker));
+        let waiter = self.monitor.config().ring_waiter();
+        loop {
+            // Snapshot the raise epoch before looking at any work, so a
+            // raise racing this pass is caught by the park condition.
+            let epoch = self.waker.epoch();
+            let mut progressed = self.ingest();
+            progressed |= self.advance_lanes();
+            if !self.verdict_sent {
+                if let Some(report) = self.monitor.divergence() {
+                    self.send(&WireRecord::Verdict { report });
+                    self.verdict_sent = true;
+                }
+            }
+            let mut ack_advanced = false;
+            while self.resolved.remove(&self.acked) {
+                self.acked += 1;
+                ack_advanced = true;
+            }
+            if ack_advanced {
+                let through = self.acked;
+                self.send(&WireRecord::Ack { through });
+            }
+            if self.stop.load(Ordering::Acquire) || self.fault.lock().is_some() {
+                break;
+            }
+            if self.inbox.reader_done.load(Ordering::Acquire)
+                && self.inbox.queue.lock().is_empty()
+                && self.lanes.values().all(Lane::idle)
+            {
+                break;
+            }
+            if progressed || ack_advanced {
+                continue;
+            }
+            let deadline = self
+                .lanes
+                .values()
+                .filter_map(|lane| lane.pending.as_ref().map(Pending::deadline))
+                .min();
+            // Turn advances and passed deadlines raise no event, but the
+            // event count's bounded park re-evaluates this condition
+            // periodically, so a missed deadline degrades to a poll.
+            waiter.wait_until_event(self.waker.events(), || {
+                self.waker.epoch() != epoch
+                    || self.stop.load(Ordering::Acquire)
+                    || !self.inbox.queue.lock().is_empty()
+                    || deadline.is_some_and(|d| Instant::now() >= d)
+            });
+        }
+        // Anything short of a clean `Bye` means in-proc slave threads may
+        // still be parked waiting on leader arrivals that will never come.
+        if self.fault.lock().is_some() || !self.saw_bye || self.stop.load(Ordering::Acquire) {
+            self.monitor.lockstep().poison();
+        } else {
+            self.send(&WireRecord::Bye);
+        }
+        // Dropping the write half is the leader's EOF.
+        self.tx = None;
+    }
+
+    /// Drains the inbox, counting counter records immediately and queueing
+    /// rendezvous records on their thread's lane.  Returns whether any
+    /// record was ingested.
+    fn ingest(&mut self) -> bool {
+        let drained: Vec<WireRecord> = {
+            let mut queue = self.inbox.queue.lock();
+            queue.drain(..).collect()
+        };
+        let mut progressed = false;
+        for record in drained {
+            progressed = true;
+            let index = self.next_index;
+            self.next_index += 1;
+            if !self.hello_seen {
+                match record {
+                    WireRecord::Hello {
+                        variants,
+                        threads,
+                        shards,
+                        batch,
+                    } => {
+                        let config = self.monitor.config();
+                        let matches = usize::from(variants) == config.variants
+                            && threads as usize == config.workload_threads
+                            && usize::from(shards) == self.monitor.shard_count()
+                            && usize::from(batch) == config.batch;
+                        if !matches {
+                            set_fault(&self.fault, &self.waker, PeerFailureKind::Corrupt);
+                            return progressed;
+                        }
+                        self.hello_seen = true;
+                        self.resolved.insert(index);
+                        continue;
+                    }
+                    // Any stream that does not open with a matching Hello
+                    // is not a leader stream.
+                    _ => {
+                        set_fault(&self.fault, &self.waker, PeerFailureKind::Corrupt);
+                        return progressed;
+                    }
+                }
+            }
+            match record {
+                WireRecord::Enter {
+                    thread,
+                    lane,
+                    self_aware,
+                } => {
+                    self.monitor
+                        .count_enter(0, thread as usize, lane as usize, self_aware);
+                    self.resolved.insert(index);
+                }
+                WireRecord::Class { kind, lane } => {
+                    use crate::journal::ClassKind;
+                    let lane = lane as usize;
+                    match kind {
+                        ClassKind::Lockstep => self.monitor.count_lockstep(lane),
+                        ClassKind::Batched => self.monitor.count_batched(lane),
+                        ClassKind::Replicated => self.monitor.count_replicated(lane),
+                        ClassKind::Ordered => self.monitor.count_ordered(lane),
+                        ClassKind::BatchFlush => self.monitor.count_batch_flush(lane),
+                    }
+                    self.resolved.insert(index);
+                }
+                WireRecord::SyncOp { .. } => {
+                    self.sync_ops_seen += 1;
+                    self.resolved.insert(index);
+                }
+                WireRecord::Barrier => {
+                    // Nothing to apply: the contiguous-prefix ack rule means
+                    // this index is acknowledged only once every earlier
+                    // frame fully resolved — the quiescence point.
+                    self.resolved.insert(index);
+                }
+                WireRecord::Bye => {
+                    self.saw_bye = true;
+                    self.resolved.insert(index);
+                }
+                WireRecord::Arrive {
+                    thread,
+                    lane,
+                    seq,
+                    will_publish,
+                    cmp,
+                } => {
+                    let seen = self.sync_ops_seen;
+                    self.lane(thread).queue.push_back((
+                        index,
+                        seen,
+                        LaneOp::Arrive {
+                            stat_lane: lane as usize,
+                            seq,
+                            will_publish,
+                            cmp,
+                        },
+                    ));
+                }
+                WireRecord::Batch {
+                    thread,
+                    lane,
+                    calls,
+                } => {
+                    let seen = self.sync_ops_seen;
+                    self.lane(thread).queue.push_back((
+                        index,
+                        seen,
+                        LaneOp::Batch {
+                            stat_lane: lane as usize,
+                            calls,
+                        },
+                    ));
+                }
+                WireRecord::Publish {
+                    thread,
+                    seq,
+                    timestamp,
+                    outcome,
+                } => {
+                    let seen = self.sync_ops_seen;
+                    self.lane(thread).queue.push_back((
+                        index,
+                        seen,
+                        LaneOp::Publish {
+                            seq,
+                            timestamp,
+                            outcome,
+                        },
+                    ));
+                }
+                // Follower→leader records arriving here mean the stream is
+                // not a leader stream (or the ends are crossed).
+                WireRecord::Hello { .. } | WireRecord::Ack { .. } | WireRecord::Verdict { .. } => {
+                    set_fault(&self.fault, &self.waker, PeerFailureKind::Corrupt);
+                    return progressed;
+                }
+            }
+        }
+        progressed
+    }
+
+    fn lane(&mut self, thread: u32) -> &mut Lane {
+        self.lanes.entry(thread).or_insert_with(|| Lane {
+            thread: thread as usize,
+            queue: VecDeque::new(),
+            pending: None,
+        })
+    }
+
+    /// Advances every lane: polls its pending rendezvous and deposits
+    /// queued records as previous ones resolve.  Returns whether anything
+    /// moved.
+    fn advance_lanes(&mut self) -> bool {
+        let mut progressed = false;
+        let timeout = self.monitor.config().lockstep_timeout;
+        // The borrow split: lanes are advanced against the monitor and the
+        // resolved set, never against each other.
+        let mut finished: Vec<u64> = Vec::new();
+        let mut lag: Vec<(usize, u64)> = Vec::new();
+        for lane in self.lanes.values_mut() {
+            loop {
+                if let Some(pending) = lane.pending.take() {
+                    match poll_pending(&self.monitor, lane.thread, pending, self.sync_ops_seen) {
+                        Polled::Still(pending) => {
+                            lane.pending = Some(pending);
+                            break;
+                        }
+                        Polled::Done { index, lagged } => {
+                            finished.push(index);
+                            if let Some(entry) = lagged {
+                                lag.push(entry);
+                            }
+                            progressed = true;
+                            continue;
+                        }
+                    }
+                }
+                let Some((index, at_ingest, op)) = lane.queue.pop_front() else {
+                    break;
+                };
+                progressed = true;
+                match deposit(
+                    &self.monitor,
+                    lane.thread,
+                    index,
+                    op,
+                    at_ingest,
+                    self.sync_ops_seen,
+                    timeout,
+                ) {
+                    Polled::Still(pending) => {
+                        lane.pending = Some(pending);
+                        break;
+                    }
+                    Polled::Done { index, lagged } => {
+                        finished.push(index);
+                        if let Some(entry) = lagged {
+                            lag.push(entry);
+                        }
+                    }
+                }
+            }
+        }
+        for index in finished {
+            self.resolved.insert(index);
+        }
+        for (stat_lane, ops) in lag {
+            self.monitor.count_detection_lag(stat_lane, ops);
+        }
+        progressed
+    }
+
+    /// Encodes and writes a follower→leader record; a dead channel records
+    /// a fault, which ends the pass loop and poisons the table on exit.
+    fn send(&mut self, record: &WireRecord) {
+        let Some(tx) = self.tx.as_mut() else {
+            return;
+        };
+        let mut bytes = Vec::with_capacity(64);
+        record.encode_frame(&mut bytes);
+        if tx.write_all(&bytes).and_then(|()| tx.flush()).is_err() {
+            self.tx = None;
+            set_fault(&self.fault, &self.waker, PeerFailureKind::Disconnected);
+        }
+    }
+}
+
+/// Outcome of depositing or polling one lane record.
+enum Polled {
+    /// Peers still missing; keep the registration and re-poll later.
+    Still(Pending),
+    /// The record fully resolved: ack `index`; `lagged` carries a
+    /// detection-lag contribution when the record proved a divergence.
+    Done {
+        index: u64,
+        lagged: Option<(usize, u64)>,
+    },
+}
+
+/// Deposits one lane record into the rendezvous table as variant 0.
+fn deposit(
+    monitor: &Monitor,
+    thread: usize,
+    index: u64,
+    op: LaneOp,
+    sync_ops_at_ingest: u64,
+    sync_ops_seen: u64,
+    timeout: std::time::Duration,
+) -> Polled {
+    match op {
+        LaneOp::Arrive {
+            stat_lane,
+            seq,
+            will_publish,
+            cmp,
+        } => match monitor
+            .lockstep()
+            .try_arrive((thread, seq), 0, cmp, timeout)
+        {
+            TryArrive::Ready(result) => finish_arrive(
+                monitor,
+                thread,
+                index,
+                seq,
+                will_publish,
+                stat_lane,
+                sync_ops_at_ingest,
+                sync_ops_seen,
+                result,
+            ),
+            TryArrive::Pending(token) => Polled::Still(Pending {
+                index,
+                sync_ops_at_ingest,
+                op: PendingOp::Arrive {
+                    token,
+                    seq,
+                    will_publish,
+                    stat_lane,
+                },
+            }),
+        },
+        LaneOp::Batch { stat_lane, calls } => {
+            monitor.count_batch_flush(stat_lane);
+            let batch: Vec<BatchArrival> = calls
+                .into_iter()
+                .map(|(seq, cmp)| BatchArrival {
+                    key: (thread, seq),
+                    cmp,
+                })
+                .collect();
+            match monitor.lockstep().try_arrive_batch(0, &batch, timeout) {
+                TryBatch::Ready(results) => finish_batch(
+                    monitor,
+                    thread,
+                    index,
+                    &batch,
+                    stat_lane,
+                    sync_ops_at_ingest,
+                    sync_ops_seen,
+                    results,
+                ),
+                TryBatch::Pending(token) => Polled::Still(Pending {
+                    index,
+                    sync_ops_at_ingest,
+                    op: PendingOp::Batch {
+                        token,
+                        batch,
+                        stat_lane,
+                    },
+                }),
+            }
+        }
+        LaneOp::Publish {
+            seq,
+            timestamp,
+            outcome,
+        } => {
+            let key = (thread, seq);
+            monitor.lockstep().publish_outcome(key, outcome, timestamp);
+            monitor.lockstep().consume(key);
+            Polled::Done {
+                index,
+                lagged: None,
+            }
+        }
+    }
+}
+
+/// Polls a pending rendezvous.
+fn poll_pending(monitor: &Monitor, thread: usize, pending: Pending, sync_ops_seen: u64) -> Polled {
+    let Pending {
+        index,
+        sync_ops_at_ingest,
+        op,
+    } = pending;
+    match op {
+        PendingOp::Arrive {
+            token,
+            seq,
+            will_publish,
+            stat_lane,
+        } => match monitor.lockstep().poll_arrival(token) {
+            Ok(result) => finish_arrive(
+                monitor,
+                thread,
+                index,
+                seq,
+                will_publish,
+                stat_lane,
+                sync_ops_at_ingest,
+                sync_ops_seen,
+                result,
+            ),
+            Err(token) => Polled::Still(Pending {
+                index,
+                sync_ops_at_ingest,
+                op: PendingOp::Arrive {
+                    token,
+                    seq,
+                    will_publish,
+                    stat_lane,
+                },
+            }),
+        },
+        PendingOp::Batch {
+            token,
+            batch,
+            stat_lane,
+        } => match monitor.lockstep().poll_batch(token) {
+            Ok(results) => finish_batch(
+                monitor,
+                thread,
+                index,
+                &batch,
+                stat_lane,
+                sync_ops_at_ingest,
+                sync_ops_seen,
+                results,
+            ),
+            Err(token) => Polled::Still(Pending {
+                index,
+                sync_ops_at_ingest,
+                op: PendingOp::Batch {
+                    token,
+                    batch,
+                    stat_lane,
+                },
+            }),
+        },
+    }
+}
+
+/// Whether the monitor's recorded divergence blames `thread`'s call `seq`.
+///
+/// The race this covers: when an in-proc slave arrives last at a
+/// mismatching slot, *its* mapper records the divergence and poisons the
+/// table before the pump re-polls — so the pump observes `Poisoned`, not
+/// `Mismatch`, for the very record whose comparison produced the verdict.
+/// The lag still belongs to that record.
+fn divergence_blames(monitor: &Monitor, thread: usize, seq: u64) -> bool {
+    monitor
+        .divergence()
+        .is_some_and(|report| report.thread == thread && report.sequence == seq)
+}
+
+/// Maps a resolved synchronous arrival through the shared verdict mapper
+/// (identical divergence reports to the in-proc path) and consumes the
+/// slot when no publication will follow — mirroring the in-proc master's
+/// `dispatch_resolved` consume.
+#[allow(clippy::too_many_arguments)]
+fn finish_arrive(
+    monitor: &Monitor,
+    thread: usize,
+    index: u64,
+    seq: u64,
+    will_publish: bool,
+    stat_lane: usize,
+    sync_ops_at_ingest: u64,
+    sync_ops_seen: u64,
+    result: crate::lockstep::ArrivalResult,
+) -> Polled {
+    let lagged = match monitor.map_sync_arrival(result, thread, seq) {
+        Ok(()) => {
+            if !will_publish {
+                monitor.lockstep().consume((thread, seq));
+            }
+            None
+        }
+        Err(MonitorError::Diverged(_)) => Some((stat_lane, sync_ops_seen - sync_ops_at_ingest)),
+        Err(_) if divergence_blames(monitor, thread, seq) => {
+            Some((stat_lane, sync_ops_seen - sync_ops_at_ingest))
+        }
+        Err(_) => None,
+    };
+    Polled::Done { index, lagged }
+}
+
+/// Maps a resolved batch through the shared batch mapper (which consumes
+/// every batch slot itself).
+#[allow(clippy::too_many_arguments)]
+fn finish_batch(
+    monitor: &Monitor,
+    thread: usize,
+    index: u64,
+    batch: &[BatchArrival],
+    stat_lane: usize,
+    sync_ops_at_ingest: u64,
+    sync_ops_seen: u64,
+    results: Vec<crate::lockstep::ArrivalResult>,
+) -> Polled {
+    let blamed = |monitor: &Monitor| {
+        batch.iter().any(|arrival| {
+            divergence_blames(
+                monitor,
+                thread,
+                arrival.key.1 & !crate::monitor::DEFERRED_SEQ_BIT,
+            )
+        })
+    };
+    let lagged = match monitor.map_batch_results(thread, batch, results) {
+        Ok(()) => None,
+        Err(MonitorError::Diverged(_)) => Some((stat_lane, sync_ops_seen - sync_ops_at_ingest)),
+        Err(_) if blamed(monitor) => Some((stat_lane, sync_ops_seen - sync_ops_at_ingest)),
+        Err(_) => None,
+    };
+    Polled::Done { index, lagged }
+}

@@ -1,0 +1,371 @@
+//! The replication wire protocol: typed records framed with the shared
+//! CRC-32 codec ([`crate::frame`]).
+//!
+//! Every record travels as one `len | crc | body` frame.  Frames carry no
+//! explicit sequence number: both ends number them implicitly by stream
+//! position (the leader's writes are serialized behind one connection lock,
+//! the follower's reader decodes them in order), and the follower's
+//! [`Ack`](WireRecord::Ack) acknowledges a *count* of fully processed
+//! frames — the contiguous resolved prefix of the stream.
+//!
+//! Leader → follower: [`Hello`](WireRecord::Hello),
+//! [`Enter`](WireRecord::Enter), [`Class`](WireRecord::Class),
+//! [`Arrive`](WireRecord::Arrive), [`Batch`](WireRecord::Batch),
+//! [`Publish`](WireRecord::Publish), [`SyncOp`](WireRecord::SyncOp),
+//! [`Barrier`](WireRecord::Barrier), [`Bye`](WireRecord::Bye).
+//! Follower → leader: [`Ack`](WireRecord::Ack),
+//! [`Verdict`](WireRecord::Verdict), [`Bye`](WireRecord::Bye).
+//!
+//! Comparison keys, replicated outcomes and divergence reports reuse the
+//! journal's body codecs, so a report decoded from a `Verdict` frame is
+//! field-identical to the in-proc [`DivergenceReport`].
+
+use mvee_kernel::syscall::{ComparisonKey, SyscallOutcome};
+
+use crate::divergence::DivergenceReport;
+use crate::frame::{push_frame, Reader};
+use crate::journal::{
+    decode_cmp, decode_outcome, decode_report, encode_cmp, encode_outcome, encode_report, ClassKind,
+};
+
+const TAG_HELLO: u8 = 1;
+const TAG_ENTER: u8 = 2;
+const TAG_CLASS: u8 = 3;
+const TAG_ARRIVE: u8 = 4;
+const TAG_BATCH: u8 = 5;
+const TAG_PUBLISH: u8 = 6;
+const TAG_SYNC_OP: u8 = 7;
+const TAG_BARRIER: u8 = 8;
+const TAG_BYE: u8 = 9;
+const TAG_ACK: u8 = 10;
+const TAG_VERDICT: u8 = 11;
+
+/// One protocol record (see the [module docs](self) for direction).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WireRecord {
+    /// Stream prologue: the leader's view of the MVEE shape, verified by
+    /// the follower before any other record is applied.
+    Hello {
+        /// Variant count.
+        variants: u16,
+        /// Workload threads per variant.
+        threads: u32,
+        /// Rendezvous shard count.
+        shards: u16,
+        /// Comparison batch size.
+        batch: u16,
+    },
+    /// A call entered the leader's gateway (mirror of `count_enter`).
+    Enter {
+        thread: u32,
+        lane: u16,
+        self_aware: bool,
+    },
+    /// A per-class counter bump (mirror of `count_lockstep` & co.).
+    Class { kind: ClassKind, lane: u16 },
+    /// A synchronous lockstep arrival: the follower deposits variant 0's
+    /// comparison key at `(thread, seq)`.  `will_publish` tells the
+    /// follower whether a `Publish` for the same key follows (which then
+    /// owns the slot consume).
+    Arrive {
+        thread: u32,
+        lane: u16,
+        seq: u64,
+        will_publish: bool,
+        cmp: ComparisonKey,
+    },
+    /// A flushed deferred-comparison batch: the sequence values carry the
+    /// deferred-keyspace bit exactly as deposited in proc.
+    Batch {
+        thread: u32,
+        lane: u16,
+        calls: Vec<(u64, ComparisonKey)>,
+    },
+    /// The leader's executed outcome (and ordering timestamp, for ordered
+    /// calls) for `(thread, seq)`: the follower publishes it to its
+    /// rendezvous table and consumes the slot.
+    Publish {
+        thread: u32,
+        seq: u64,
+        timestamp: Option<u64>,
+        outcome: SyscallOutcome,
+    },
+    /// The leader passed a replication point (feeds the follower's
+    /// divergence-detection-lag metric).
+    SyncOp { thread: u32 },
+    /// An explicit quiescence point: acknowledging it proves every earlier
+    /// frame has been fully processed.
+    Barrier,
+    /// Clean end of stream.
+    Bye,
+    /// Follower → leader: `through` frames of the leader's stream are fully
+    /// processed (comparisons resolved, outcomes published).
+    Ack { through: u64 },
+    /// Follower → leader: the run diverged; the report is field-identical
+    /// to the in-proc verdict.
+    Verdict { report: DivergenceReport },
+}
+
+impl WireRecord {
+    /// Appends this record to `out` as one CRC-framed wire frame.
+    pub(crate) fn encode_frame(&self, out: &mut Vec<u8>) {
+        let mut body = Vec::with_capacity(32);
+        self.encode_body(&mut body);
+        push_frame(out, &body);
+    }
+
+    fn encode_body(&self, buf: &mut Vec<u8>) {
+        match self {
+            WireRecord::Hello {
+                variants,
+                threads,
+                shards,
+                batch,
+            } => {
+                buf.push(TAG_HELLO);
+                buf.extend_from_slice(&variants.to_le_bytes());
+                buf.extend_from_slice(&threads.to_le_bytes());
+                buf.extend_from_slice(&shards.to_le_bytes());
+                buf.extend_from_slice(&batch.to_le_bytes());
+            }
+            WireRecord::Enter {
+                thread,
+                lane,
+                self_aware,
+            } => {
+                buf.push(TAG_ENTER);
+                buf.extend_from_slice(&thread.to_le_bytes());
+                buf.extend_from_slice(&lane.to_le_bytes());
+                buf.push(u8::from(*self_aware));
+            }
+            WireRecord::Class { kind, lane } => {
+                buf.push(TAG_CLASS);
+                buf.push(kind.to_wire());
+                buf.extend_from_slice(&lane.to_le_bytes());
+            }
+            WireRecord::Arrive {
+                thread,
+                lane,
+                seq,
+                will_publish,
+                cmp,
+            } => {
+                buf.push(TAG_ARRIVE);
+                buf.extend_from_slice(&thread.to_le_bytes());
+                buf.extend_from_slice(&lane.to_le_bytes());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.push(u8::from(*will_publish));
+                encode_cmp(buf, cmp);
+            }
+            WireRecord::Batch {
+                thread,
+                lane,
+                calls,
+            } => {
+                buf.push(TAG_BATCH);
+                buf.extend_from_slice(&thread.to_le_bytes());
+                buf.extend_from_slice(&lane.to_le_bytes());
+                buf.extend_from_slice(&(calls.len() as u16).to_le_bytes());
+                for (seq, cmp) in calls {
+                    buf.extend_from_slice(&seq.to_le_bytes());
+                    encode_cmp(buf, cmp);
+                }
+            }
+            WireRecord::Publish {
+                thread,
+                seq,
+                timestamp,
+                outcome,
+            } => {
+                buf.push(TAG_PUBLISH);
+                buf.extend_from_slice(&thread.to_le_bytes());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                match timestamp {
+                    Some(ts) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&ts.to_le_bytes());
+                    }
+                    None => buf.push(0),
+                }
+                encode_outcome(buf, outcome);
+            }
+            WireRecord::SyncOp { thread } => {
+                buf.push(TAG_SYNC_OP);
+                buf.extend_from_slice(&thread.to_le_bytes());
+            }
+            WireRecord::Barrier => buf.push(TAG_BARRIER),
+            WireRecord::Bye => buf.push(TAG_BYE),
+            WireRecord::Ack { through } => {
+                buf.push(TAG_ACK);
+                buf.extend_from_slice(&through.to_le_bytes());
+            }
+            WireRecord::Verdict { report } => {
+                buf.push(TAG_VERDICT);
+                encode_report(buf, report);
+            }
+        }
+    }
+
+    /// Decodes one frame body.
+    pub(crate) fn decode(body: &[u8]) -> Result<WireRecord, String> {
+        let mut r = Reader::new(body);
+        let record = match r.u8()? {
+            TAG_HELLO => WireRecord::Hello {
+                variants: r.u16()?,
+                threads: r.u32()?,
+                shards: r.u16()?,
+                batch: r.u16()?,
+            },
+            TAG_ENTER => WireRecord::Enter {
+                thread: r.u32()?,
+                lane: r.u16()?,
+                self_aware: r.u8()? != 0,
+            },
+            TAG_CLASS => {
+                let tag = r.u8()?;
+                let kind =
+                    ClassKind::from_wire(tag).ok_or_else(|| format!("unknown class kind {tag}"))?;
+                WireRecord::Class {
+                    kind,
+                    lane: r.u16()?,
+                }
+            }
+            TAG_ARRIVE => WireRecord::Arrive {
+                thread: r.u32()?,
+                lane: r.u16()?,
+                seq: r.u64()?,
+                will_publish: r.u8()? != 0,
+                cmp: decode_cmp(&mut r)?,
+            },
+            TAG_BATCH => {
+                let thread = r.u32()?;
+                let lane = r.u16()?;
+                let count = r.u16()? as usize;
+                let mut calls = Vec::with_capacity(count.min(256));
+                for _ in 0..count {
+                    let seq = r.u64()?;
+                    calls.push((seq, decode_cmp(&mut r)?));
+                }
+                WireRecord::Batch {
+                    thread,
+                    lane,
+                    calls,
+                }
+            }
+            TAG_PUBLISH => WireRecord::Publish {
+                thread: r.u32()?,
+                seq: r.u64()?,
+                timestamp: match r.u8()? {
+                    0 => None,
+                    _ => Some(r.u64()?),
+                },
+                outcome: decode_outcome(&mut r)?,
+            },
+            TAG_SYNC_OP => WireRecord::SyncOp { thread: r.u32()? },
+            TAG_BARRIER => WireRecord::Barrier,
+            TAG_BYE => WireRecord::Bye,
+            TAG_ACK => WireRecord::Ack { through: r.u64()? },
+            TAG_VERDICT => WireRecord::Verdict {
+                report: decode_report(&mut r)?,
+            },
+            tag => return Err(format!("unknown wire record tag {tag}")),
+        };
+        r.finish()?;
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::divergence::DivergenceKind;
+    use crate::frame::next_frame;
+    use mvee_kernel::syscall::{SyscallRequest, Sysno};
+
+    fn roundtrip(record: WireRecord) {
+        let mut bytes = Vec::new();
+        record.encode_frame(&mut bytes);
+        let (body, end) = next_frame(&bytes, 0).unwrap().unwrap();
+        assert_eq!(end, bytes.len(), "one frame per record");
+        assert_eq!(WireRecord::decode(body).unwrap(), record);
+    }
+
+    fn cmp(no: Sysno, payload: &[u8]) -> ComparisonKey {
+        SyscallRequest::new(no)
+            .with_payload(payload)
+            .comparison_key()
+    }
+
+    #[test]
+    fn every_record_kind_roundtrips() {
+        roundtrip(WireRecord::Hello {
+            variants: 4,
+            threads: 8,
+            shards: 2,
+            batch: 16,
+        });
+        roundtrip(WireRecord::Enter {
+            thread: 3,
+            lane: 1,
+            self_aware: true,
+        });
+        roundtrip(WireRecord::Class {
+            kind: ClassKind::Replicated,
+            lane: 0,
+        });
+        roundtrip(WireRecord::Arrive {
+            thread: 2,
+            lane: 1,
+            seq: 41,
+            will_publish: true,
+            cmp: cmp(Sysno::Write, b"hello"),
+        });
+        roundtrip(WireRecord::Batch {
+            thread: 0,
+            lane: 0,
+            calls: vec![
+                (1 << 63, cmp(Sysno::Brk, b"")),
+                ((1 << 63) | 1, cmp(Sysno::Mprotect, b"x")),
+            ],
+        });
+        roundtrip(WireRecord::Publish {
+            thread: 1,
+            seq: 9,
+            timestamp: Some(77),
+            outcome: SyscallOutcome::ok(42),
+        });
+        roundtrip(WireRecord::Publish {
+            thread: 1,
+            seq: 10,
+            timestamp: None,
+            outcome: SyscallOutcome::ok(-1),
+        });
+        roundtrip(WireRecord::SyncOp { thread: 5 });
+        roundtrip(WireRecord::Barrier);
+        roundtrip(WireRecord::Bye);
+        roundtrip(WireRecord::Ack { through: 1234 });
+        roundtrip(WireRecord::Verdict {
+            report: DivergenceReport {
+                kind: DivergenceKind::SyscallMismatch {
+                    master: Sysno::Write,
+                    variant: Sysno::Mprotect,
+                },
+                thread: 2,
+                sequence: 17,
+                variant: 1,
+            },
+        });
+    }
+
+    #[test]
+    fn truncated_and_trailing_bodies_are_rejected() {
+        let mut bytes = Vec::new();
+        WireRecord::Ack { through: 7 }.encode_frame(&mut bytes);
+        let (body, _) = next_frame(&bytes, 0).unwrap().unwrap();
+        assert!(WireRecord::decode(&body[..body.len() - 1]).is_err());
+        let mut long = body.to_vec();
+        long.push(0);
+        assert!(WireRecord::decode(&long).is_err());
+        assert!(WireRecord::decode(&[200]).is_err(), "unknown tag");
+    }
+}

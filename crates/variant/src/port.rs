@@ -28,6 +28,7 @@ use mvee_core::async_port::{AsyncThreadPort, SubmitOutcome, Ticket};
 use mvee_core::monitor::MonitorError;
 use mvee_core::mvee::VariantGateway;
 use mvee_core::port::ThreadPort;
+use mvee_core::remote::LeaderPort;
 use mvee_kernel::kernel::Kernel;
 use mvee_kernel::process::Pid;
 use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest};
@@ -159,13 +160,38 @@ impl ThreadSyscallPort for AsyncThreadPort {
     }
 }
 
+impl ThreadSyscallPort for LeaderPort {
+    fn syscall(&self, req: &SyscallRequest) -> Result<SyscallOutcome, MonitorError> {
+        LeaderPort::syscall(self, req)
+    }
+
+    fn before_sync_op(&self, addr: u64) {
+        LeaderPort::before_sync_op(self, addr)
+    }
+
+    fn after_sync_op(&self, addr: u64) {
+        LeaderPort::after_sync_op(self, addr)
+    }
+
+    fn variant_index(&self) -> usize {
+        LeaderPort::variant_index(self)
+    }
+
+    fn thread_index(&self) -> usize {
+        LeaderPort::thread_index(self)
+    }
+}
+
 impl SyscallPort for VariantGateway {
-    /// Transport-aware: yields a synchronous [`ThreadPort`] or an
-    /// [`AsyncThreadPort`] according to the MVEE's configured
+    /// Transport-aware: yields a synchronous [`ThreadPort`], an
+    /// [`AsyncThreadPort`] or — for variant 0 of a distributed MVEE — a
+    /// [`LeaderPort`] according to the MVEE's configured
     /// [`Transport`](mvee_core::config::Transport), so executors pick up
-    /// the ring transport with no code change.
+    /// the ring or replication transport with no code change.
     fn thread_port(&self, thread: usize) -> Box<dyn ThreadSyscallPort> {
-        if self.transport().is_async() {
+        if self.transport().is_remote() && SyscallPort::variant_index(self) == 0 {
+            Box::new(self.leader_thread(thread))
+        } else if self.transport().is_async() {
             Box::new(self.async_thread(thread))
         } else {
             Box::new(self.thread(thread))

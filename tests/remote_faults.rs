@@ -1,0 +1,307 @@
+//! Fault injection against the replication channel: a follower killed
+//! mid-batch, a torn connection and garbage byte streams must each surface
+//! as a *typed* [`PeerFailure`] naming the missing peer — never a hang, a
+//! panic, or a bogus divergence verdict.
+//!
+//! Every live scenario runs under a watchdog: the failure mode these tests
+//! guard against is a leader (or an in-proc slave) blocked forever on a
+//! peer that will never answer.
+
+use std::io::Write;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mvee::core::config::{RemoteChannel, Transport};
+use mvee::core::mvee::Mvee;
+use mvee::core::remote::transport::pipe;
+use mvee::core::remote::{
+    Duplex, Follower, PeerFailure, PeerFailureKind, RemoteLeader, RemotePeer,
+};
+use mvee::core::MonitorError;
+use mvee::kernel::syscall::{SyscallRequest, Sysno};
+use mvee::sync_agent::agents::AgentKind;
+
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Runs `f` on a scenario thread and panics if it outlives the watchdog.
+fn with_watchdog<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (done_tx, done_rx) = mpsc::channel();
+    let scenario = thread::spawn(move || {
+        let _ = done_tx.send(f());
+    });
+    match done_rx.recv_timeout(WATCHDOG) {
+        Ok(value) => {
+            scenario.join().expect("scenario thread panicked");
+            value
+        }
+        Err(_) => panic!("{label}: remote fault scenario deadlocked ({WATCHDOG:?})"),
+    }
+}
+
+/// Polls `probe` until it returns `Some` or the deadline passes.
+fn eventually<T>(label: &str, mut probe: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(value) = probe() {
+            return value;
+        }
+        assert!(Instant::now() < deadline, "{label}: condition never held");
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A follower aborted (killed) while the leader is blocked waiting for its
+/// synchronous-arrival ack and still holds half a deferred batch: the
+/// leader must unblock promptly — well before the lockstep timeout's
+/// backstop — with a typed failure naming the follower, and later calls
+/// must fail fast instead of streaming into the void.
+#[test]
+fn follower_killed_mid_batch_unblocks_the_leader() {
+    with_watchdog("follower killed mid-batch", || {
+        let mvee = Mvee::builder()
+            .variants(2)
+            .threads(1)
+            .agent(AgentKind::Null)
+            .batch(8)
+            .transport(Transport::Remote {
+                channel: RemoteChannel::InProc,
+            })
+            .lockstep_timeout(Duration::from_secs(60))
+            .manual_clock(true)
+            .build();
+        let mvee = Arc::new(mvee);
+        // Variant 1 never runs, so the leader's synchronous write can only
+        // resolve by timeout (60s) — or by the follower dying first.
+        let leader_thread = {
+            let mvee = Arc::clone(&mvee);
+            thread::spawn(move || {
+                let port = mvee.leader_port(0);
+                // Half a batch of deferred comparisons rides along.
+                for _ in 0..3 {
+                    port.syscall(&SyscallRequest::new(Sysno::Brk).with_int(0))?;
+                }
+                // Blocks waiting for the follower's ack.
+                port.syscall(
+                    &SyscallRequest::new(Sysno::Write)
+                        .with_fd(1)
+                        .with_payload(b"stuck"),
+                )
+                .map(|_| ())
+            })
+        };
+        thread::sleep(Duration::from_millis(100));
+        assert!(
+            !leader_thread.is_finished(),
+            "the leader must be blocked on the follower's ack"
+        );
+        // Kill the follower. The pump poisons the table, drops its write
+        // half, and the leader's reader observes the death.
+        let killed_at = Instant::now();
+        mvee.abort_follower();
+        let result = leader_thread.join().expect("leader thread panicked");
+        let unblocked_in = killed_at.elapsed();
+        let err = result.expect_err("the blocked write must fail");
+        assert_eq!(
+            err,
+            MonitorError::Peer(PeerFailure {
+                peer: RemotePeer::Follower,
+                kind: PeerFailureKind::Disconnected,
+            }),
+            "the leader must learn exactly which peer died and how"
+        );
+        assert!(
+            unblocked_in < Duration::from_secs(10),
+            "the leader took {unblocked_in:?} to unblock — the channel \
+             death must beat the 60s lockstep timeout"
+        );
+        assert_eq!(
+            mvee.remote_fault(),
+            Some(PeerFailure {
+                peer: RemotePeer::Follower,
+                kind: PeerFailureKind::Disconnected,
+            })
+        );
+        // Later leader calls fail fast at the gate.
+        let port = mvee.leader_port(1);
+        let err = port
+            .syscall(&SyscallRequest::new(Sysno::Brk).with_int(0))
+            .expect_err("calls after the follower died must fail");
+        assert!(matches!(err, MonitorError::Peer(_)));
+    });
+}
+
+/// Builds a monitor + agent pair for splicing raw channels under the
+/// public leader/follower entry points.
+fn bare_mvee(variants: usize) -> Mvee {
+    Mvee::builder()
+        .variants(variants)
+        .threads(1)
+        .agent(AgentKind::Null)
+        .batch(1)
+        .lockstep_timeout(Duration::from_secs(60))
+        .manual_clock(true)
+        .build()
+}
+
+/// Garbage bytes fed to a follower must surface as a `Corrupt` failure
+/// naming the leader — and poison the rendezvous table so in-proc slave
+/// threads unblock instead of waiting on arrivals that will never come.
+#[test]
+fn garbage_stream_faults_the_follower_naming_the_leader() {
+    with_watchdog("garbage stream to follower", || {
+        let mvee = Arc::new(bare_mvee(2));
+        let (f_rx, mut garbage_tx) = pipe();
+        let (_ack_rx, f_tx) = pipe();
+        let handle = Follower::spawn(
+            Arc::clone(mvee.monitor()),
+            Duplex::from_parts(Box::new(f_rx), Box::new(f_tx)),
+        );
+        // A slave blocks in a rendezvous the leader will never join.
+        let slave = {
+            let mvee = Arc::clone(&mvee);
+            thread::spawn(move || {
+                let port = mvee.thread_port(1, 0);
+                port.syscall(
+                    &SyscallRequest::new(Sysno::Write)
+                        .with_fd(1)
+                        .with_payload(b"waiting"),
+                )
+            })
+        };
+        thread::sleep(Duration::from_millis(50));
+        garbage_tx
+            .write_all(b"this is definitely not a CRC-framed record stream")
+            .expect("the pipe is open");
+        let fault = eventually("follower fault", || handle.fault());
+        assert_eq!(
+            fault,
+            PeerFailure {
+                peer: RemotePeer::Leader,
+                kind: PeerFailureKind::Corrupt,
+            },
+            "garbage must be blamed on the leader as corruption"
+        );
+        // The poisoned table unblocks the slave with ShutDown, not a hang.
+        let err = slave
+            .join()
+            .expect("slave thread panicked")
+            .expect_err("the slave's rendezvous must abort");
+        assert_eq!(err, MonitorError::ShutDown);
+        drop(garbage_tx);
+        drop(handle);
+    });
+}
+
+/// A connection torn mid-frame (valid prefix, then EOF before the frame
+/// completes) is corruption, not a clean goodbye.
+#[test]
+fn torn_frame_is_reported_as_corruption() {
+    with_watchdog("torn frame to follower", || {
+        let mvee = bare_mvee(2);
+        let (f_rx, mut torn_tx) = pipe();
+        let (_ack_rx, f_tx) = pipe();
+        let handle = Follower::spawn(
+            Arc::clone(mvee.monitor()),
+            Duplex::from_parts(Box::new(f_rx), Box::new(f_tx)),
+        );
+        // Half a frame header, then the connection dies.
+        torn_tx.write_all(&[0x03, 0x00]).expect("the pipe is open");
+        drop(torn_tx);
+        let fault = eventually("follower fault", || handle.fault());
+        assert_eq!(
+            fault,
+            PeerFailure {
+                peer: RemotePeer::Leader,
+                kind: PeerFailureKind::Corrupt,
+            },
+            "a torn frame must read as corruption, not a clean close"
+        );
+        drop(handle);
+    });
+}
+
+/// A leader whose stream simply ends — no `Bye`, no torn frame — died:
+/// the follower names the leader as disconnected.
+#[test]
+fn silent_leader_death_is_reported_as_disconnection() {
+    with_watchdog("silent leader death", || {
+        let mvee = bare_mvee(2);
+        let (f_rx, silent_tx) = pipe();
+        let (_ack_rx, f_tx) = pipe();
+        let handle = Follower::spawn(
+            Arc::clone(mvee.monitor()),
+            Duplex::from_parts(Box::new(f_rx), Box::new(f_tx)),
+        );
+        drop(silent_tx); // clean EOF at a frame boundary, but no Bye
+        let fault = eventually("follower fault", || handle.fault());
+        assert_eq!(
+            fault,
+            PeerFailure {
+                peer: RemotePeer::Leader,
+                kind: PeerFailureKind::Disconnected,
+            }
+        );
+        drop(handle);
+    });
+}
+
+/// Garbage on the leader's ack stream: the leader blames the follower for
+/// corruption, and blocked waits (the barrier) resolve with the typed
+/// failure.
+#[test]
+fn garbage_ack_stream_faults_the_leader_naming_the_follower() {
+    with_watchdog("garbage acks to leader", || {
+        let mvee = bare_mvee(2);
+        let (l_rx, mut garbage_tx) = pipe();
+        let (_sink_rx, l_tx) = pipe();
+        let leader = RemoteLeader::connect(
+            Arc::clone(mvee.monitor()),
+            Arc::clone(mvee.agent()),
+            Duplex::from_parts(Box::new(l_rx), Box::new(l_tx)),
+        );
+        garbage_tx
+            .write_all(b"not an ack, not a verdict, not a frame")
+            .expect("the pipe is open");
+        let err = leader
+            .barrier()
+            .expect_err("the barrier must fail on a corrupt ack stream");
+        assert_eq!(
+            err,
+            MonitorError::Peer(PeerFailure {
+                peer: RemotePeer::Follower,
+                kind: PeerFailureKind::Corrupt,
+            })
+        );
+        drop(garbage_tx);
+    });
+}
+
+/// A mismatched `Hello` (an MVEE of a different shape on the far end) is
+/// refused as corruption before any record is applied.
+#[test]
+fn mismatched_hello_is_refused() {
+    with_watchdog("mismatched hello", || {
+        let mvee = bare_mvee(2);
+        let other = bare_mvee(3); // three variants: wrong shape
+        let (leader_end, follower_end) = Duplex::in_proc_pair();
+        let handle = Follower::spawn(Arc::clone(mvee.monitor()), follower_end);
+        let leader = RemoteLeader::connect(
+            Arc::clone(other.monitor()),
+            Arc::clone(other.agent()),
+            leader_end,
+        );
+        let fault = eventually("follower fault", || handle.fault());
+        assert_eq!(
+            fault,
+            PeerFailure {
+                peer: RemotePeer::Leader,
+                kind: PeerFailureKind::Corrupt,
+            },
+            "a wrong-shape Hello must be refused as corruption"
+        );
+        leader.shutdown();
+        drop(leader);
+        drop(handle);
+    });
+}
