@@ -57,7 +57,7 @@ fn hammer_table(batch: usize) {
                             Duration::from_secs(30),
                         );
                         assert_eq!(r, ArrivalResult::Consistent, "bench rendezvous diverged");
-                        table.consume((thread, seq));
+                        table.consume((thread, seq), variant);
                         seq += 1;
                     } else {
                         let block: Vec<BatchArrival> = (seq..(seq + batch as u64).min(OPS))
@@ -70,7 +70,7 @@ fn hammer_table(batch: usize) {
                             assert_eq!(r, ArrivalResult::Consistent, "bench rendezvous diverged");
                         }
                         for arrival in &block {
-                            table.consume(arrival.key);
+                            table.consume(arrival.key, variant);
                         }
                         seq += block.len() as u64;
                     }

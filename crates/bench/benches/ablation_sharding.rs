@@ -36,7 +36,7 @@ fn hammer(shards: usize) {
                     let key = (thread, seq);
                     let r = table.arrive(key, variant, cmp.clone(), Duration::from_secs(30));
                     assert_eq!(r, ArrivalResult::Consistent, "bench rendezvous diverged");
-                    table.consume(key);
+                    table.consume(key, variant);
                 }
             }));
         }

@@ -330,6 +330,54 @@ impl Transport {
     }
 }
 
+/// What the monitor does with the rest of the run when one variant
+/// diverges.
+///
+/// * [`RecoveryPolicy::PoisonAll`] — the paper's detect-and-kill model and
+///   the historical behaviour: the first divergence poisons the lockstep
+///   table, every waiter is broadcast-woken with
+///   [`SyscallResult::Poisoned`](crate::lockstep::SyscallResult) and the
+///   whole run tears down.
+/// * [`RecoveryPolicy::Quarantine`] — the dMVX recovery model: only the
+///   *blamed* variant is dropped.  The lockstep table removes it from every
+///   shard's expected-arrival set, in-flight waiters re-resolve against the
+///   reduced quorum, and the surviving variants keep serving.  The victim
+///   can later be restored from the last agreed snapshot and re-admitted
+///   via [`Mvee::respawn_variant`](crate::mvee::Mvee::respawn_variant).
+///   `min_quorum` is the floor: when quarantining one more variant would
+///   leave fewer than `min_quorum` live variants, the monitor falls back to
+///   poisoning the run (a 1-variant "MVEE" compares nothing, so the
+///   default floor is 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// First divergence poisons the entire run (historical behaviour).
+    #[default]
+    PoisonAll,
+    /// Drop only the blamed variant; survivors keep serving on a degraded
+    /// quorum, down to `min_quorum` live variants.
+    Quarantine {
+        /// Minimum number of live variants to keep serving with; below
+        /// this the monitor poisons the run instead of quarantining.
+        min_quorum: usize,
+    },
+}
+
+impl RecoveryPolicy {
+    /// A [`RecoveryPolicy::Quarantine`] with the default quorum floor of
+    /// two live variants (the smallest set that still compares anything).
+    pub fn quarantine() -> Self {
+        RecoveryPolicy::Quarantine { min_quorum: 2 }
+    }
+
+    /// Short name used in benchmark tables and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::PoisonAll => "poison-all",
+            RecoveryPolicy::Quarantine { .. } => "quarantine",
+        }
+    }
+}
+
 /// The shared MVEE tuning knobs: one struct, consumed by every front end.
 ///
 /// `MveeBuilder`, `RunConfig` and `NginxServerConfig` all embed an
@@ -366,6 +414,16 @@ pub struct MveeConfig {
     /// [`crate::journal::JournalRecorder`], or carry a decoded journal as
     /// the replay source (see [`crate::journal`]).
     pub journal: JournalMode,
+    /// What happens to the run when a variant diverges: poison everything
+    /// (default, the paper's model) or quarantine only the blamed variant
+    /// and keep serving on a degraded quorum.
+    pub recovery: RecoveryPolicy,
+    /// Take a state snapshot of every live variant each `n` sync ops
+    /// (`None` disables snapshotting).  The snapshot is captured at the
+    /// transport-shared replication choke point, so sync ports, gateway
+    /// workers, poller pools and the remote leader all snapshot at the
+    /// same logical instants; see [`crate::snapshot`].
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for MveeConfig {
@@ -380,6 +438,8 @@ impl Default for MveeConfig {
             lockstep_timeout: Duration::from_secs(5),
             transport: Transport::Sync,
             journal: JournalMode::Off,
+            recovery: RecoveryPolicy::PoisonAll,
+            snapshot_every: None,
         }
     }
 }
@@ -474,6 +534,37 @@ impl MveeConfig {
     /// journal for offline replay.
     pub fn with_journal(mut self, journal: JournalMode) -> Self {
         self.journal = journal;
+        self
+    }
+
+    /// Sets the divergence recovery policy (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`RecoveryPolicy::Quarantine`] quorum floor below one —
+    /// a zero-variant quorum could quarantine the entire MVEE away.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        if let RecoveryPolicy::Quarantine { min_quorum } = recovery {
+            assert!(
+                min_quorum >= 1,
+                "a quarantine quorum floor must keep at least one live variant"
+            );
+        }
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the snapshot interval in sync ops (builder style); `None`
+    /// disables snapshotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)` — a zero interval would snapshot on every call.
+    pub fn with_snapshot_every(mut self, every: Option<u64>) -> Self {
+        if let Some(n) = every {
+            assert!(n > 0, "the snapshot interval must be at least one sync op");
+        }
+        self.snapshot_every = every;
         self
     }
 }
@@ -685,6 +776,34 @@ mod tests {
         let rec = std::sync::Arc::new(JournalRecorder::new());
         let c = c.with_journal(JournalMode::Record(std::sync::Arc::clone(&rec)));
         assert!(c.journal.recorder().is_some());
+    }
+
+    #[test]
+    fn recovery_defaults_to_poison_all_and_threads_through_the_builder() {
+        let c = MveeConfig::default();
+        assert_eq!(c.recovery, RecoveryPolicy::PoisonAll);
+        assert_eq!(c.snapshot_every, None);
+        assert_eq!(RecoveryPolicy::PoisonAll.name(), "poison-all");
+
+        let c = c
+            .with_recovery(RecoveryPolicy::quarantine())
+            .with_snapshot_every(Some(256));
+        assert_eq!(c.recovery, RecoveryPolicy::Quarantine { min_quorum: 2 });
+        assert_eq!(c.recovery.name(), "quarantine");
+        assert_eq!(c.snapshot_every, Some(256));
+        assert_eq!(c.with_snapshot_every(None).snapshot_every, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum floor")]
+    fn zero_quarantine_quorum_panics() {
+        let _ = MveeConfig::default().with_recovery(RecoveryPolicy::Quarantine { min_quorum: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot interval")]
+    fn zero_snapshot_interval_panics() {
+        let _ = MveeConfig::default().with_snapshot_every(Some(0));
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub enum DivergenceKind {
     /// Two variants issued different system calls (or the same call with
     /// different compared arguments) at the same rendezvous point.
     SyscallMismatch {
-        /// The call issued by the master variant.
+        /// The call the agreeing plurality issued (the reference — the
+        /// master's call whenever the master agrees with the plurality).
         master: Sysno,
         /// The call issued by the diverging variant.
         variant: Sysno,
@@ -62,7 +63,7 @@ pub struct DivergenceReport {
     /// Per-thread sequence number of the monitored call.
     pub sequence: u64,
     /// Index of the variant the monitor blames (the first variant whose key
-    /// differed from the master's, or the first missing variant).
+    /// differed from the plurality's, or the first missing variant).
     pub variant: usize,
 }
 
@@ -97,20 +98,46 @@ impl DivergenceReport {
     }
 }
 
-/// Compares the master's key against every other variant's key.
+/// Compares the arrived keys and names the variant that diverged.
 ///
-/// Returns the index and key of the first variant that disagrees, if any.
-/// `keys[i]` is `None` when variant `i` has not arrived; absent variants are
-/// not treated as divergent here (the rendezvous timeout handles them).
+/// The reference key is decided by plurality vote over the arrived keys:
+/// the key shared by the largest agreement group wins, with ties going to
+/// the group containing the lowest-indexed arrival (which preserves the
+/// historical "variant 0 is the master" attribution for two-variant
+/// tables).  The blamed variant is the first arrival outside that group —
+/// crucially, when the diverging variant *is* variant 0, comparing
+/// everyone against the master would blame an innocent survivor, and
+/// under [`RecoveryPolicy::Quarantine`](crate::config::RecoveryPolicy)
+/// that mis-attribution would drop healthy variants until the quorum
+/// collapsed.
+///
+/// Returns the blamed index, the reference key, and the blamed key.
+/// `keys[i]` is `None` when variant `i` has not arrived; absent variants
+/// are not treated as divergent here (the rendezvous timeout handles
+/// them).
 pub fn first_mismatch(
     keys: &[Option<ComparisonKey>],
 ) -> Option<(usize, ComparisonKey, ComparisonKey)> {
-    let master = keys.first().and_then(|k| k.as_ref())?;
-    for (i, key) in keys.iter().enumerate().skip(1) {
-        if let Some(k) = key {
-            if k != master {
-                return Some((i, master.clone(), k.clone()));
-            }
+    let arrived: Vec<(usize, &ComparisonKey)> = keys
+        .iter()
+        .enumerate()
+        .filter_map(|(i, k)| k.as_ref().map(|k| (i, k)))
+        .collect();
+    let mut reference: Option<&ComparisonKey> = None;
+    let mut best = 0usize;
+    for (_, key) in &arrived {
+        let count = arrived.iter().filter(|(_, other)| other == key).count();
+        // Strict `>` with an index-ordered scan: on a tie the group seen
+        // first — the one with the lowest-indexed member — keeps the win.
+        if count > best {
+            best = count;
+            reference = Some(key);
+        }
+    }
+    let reference = reference?;
+    for (i, key) in &arrived {
+        if key != &reference {
+            return Some((*i, reference.clone(), (*key).clone()));
         }
     }
     None
@@ -156,6 +183,37 @@ mod tests {
             Some(key(Sysno::Write, b"leaked secrets!")),
         ];
         assert!(first_mismatch(&keys).is_some());
+    }
+
+    #[test]
+    fn diverging_master_is_blamed_by_the_plurality() {
+        // Variant 0 is the outlier: the agreement group {1, 2} outvotes
+        // it, so blame lands on the master itself — not on the first
+        // survivor that happens to disagree with it.
+        let keys = vec![
+            Some(key(Sysno::Mprotect, b"x")),
+            Some(key(Sysno::Write, b"x")),
+            Some(key(Sysno::Write, b"x")),
+        ];
+        let (variant, master, diverged) = first_mismatch(&keys).unwrap();
+        assert_eq!(variant, 0);
+        assert_eq!(master.no, Sysno::Write);
+        assert_eq!(diverged.no, Sysno::Mprotect);
+    }
+
+    #[test]
+    fn survivors_are_compared_even_without_the_master() {
+        // Variant 0 quarantined (absent): the remaining pair still gets a
+        // verdict, with the tie going to the lowest-indexed arrival.
+        let keys = vec![
+            None,
+            Some(key(Sysno::Write, b"x")),
+            Some(key(Sysno::Mprotect, b"x")),
+        ];
+        let (variant, master, diverged) = first_mismatch(&keys).unwrap();
+        assert_eq!(variant, 2);
+        assert_eq!(master.no, Sysno::Write);
+        assert_eq!(diverged.no, Sysno::Mprotect);
     }
 
     #[test]

@@ -684,6 +684,20 @@ impl fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
+/// What [`Journal::recover_from_bytes`] salvaged from a possibly torn
+/// stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJournal {
+    /// The longest valid record prefix.
+    pub journal: Journal,
+    /// What stopped the parse — `None` when the stream was complete and
+    /// nothing was dropped.
+    pub damage: Option<JournalError>,
+    /// Bytes past the last salvaged record that were discarded (0 for a
+    /// complete stream).
+    pub dropped_bytes: usize,
+}
+
 /// A fully decoded journal: header + records, `End` trailer validated and
 /// stripped.
 #[derive(Debug, Clone, PartialEq)]
@@ -727,8 +741,8 @@ impl Journal {
     /// `End` trailer must be present, carry the right count and be last.
     pub fn decode(bytes: &[u8]) -> Result<Journal, JournalError> {
         match Self::decode_inner(bytes) {
-            Ok((journal, None)) => Ok(journal),
-            Ok((_, Some(err))) | Err(err) => Err(err),
+            Ok((journal, None, _)) => Ok(journal),
+            Ok((_, Some(err), _)) | Err(err) => Err(err),
         }
     }
 
@@ -736,53 +750,78 @@ impl Journal {
     /// salvaged journal plus the error that stopped the parse (`None` when
     /// the stream was complete).  Header errors are not salvageable.
     pub fn decode_lossy(bytes: &[u8]) -> Result<(Journal, Option<JournalError>), JournalError> {
-        Self::decode_inner(bytes)
+        Self::decode_inner(bytes).map(|(journal, damage, _)| (journal, damage))
     }
 
-    fn decode_inner(bytes: &[u8]) -> Result<(Journal, Option<JournalError>), JournalError> {
+    /// Crash-recovery entry point: salvages the longest valid record prefix
+    /// of a possibly torn journal and accounts for what was lost.
+    ///
+    /// This is what a respawn reads after a variant died mid-run — possibly
+    /// mid-write — so unlike [`decode`](Self::decode) it treats a torn,
+    /// corrupt or trailer-less stream as data, not as failure: the damage
+    /// becomes [`RecoveredJournal::damage`] and the unsalvageable suffix
+    /// length becomes [`RecoveredJournal::dropped_bytes`].  Only header
+    /// damage (bad magic, wrong version, a stream shorter than the header)
+    /// is unrecoverable, because without a header no record can be
+    /// interpreted.
+    pub fn recover_from_bytes(bytes: &[u8]) -> Result<RecoveredJournal, JournalError> {
+        let (journal, damage, consumed) = Self::decode_inner(bytes)?;
+        Ok(RecoveredJournal {
+            journal,
+            damage,
+            dropped_bytes: bytes.len() - consumed,
+        })
+    }
+
+    /// Walks the record stream.  The third element of the success tuple is
+    /// the byte offset consumed into salvaged records (header included) —
+    /// what [`recover_from_bytes`](Self::recover_from_bytes) subtracts from
+    /// the stream length to report the dropped suffix.
+    fn decode_inner(bytes: &[u8]) -> Result<(Journal, Option<JournalError>, usize), JournalError> {
         let header = decode_header(bytes)?;
         let mut records = Vec::new();
         let mut offset = JOURNAL_HEADER_LEN;
         let mut index = 0u64;
         let journal = |records: Vec<JournalRecord>| Journal { header, records };
         loop {
+            // `offset` always sits just past the last salvaged record here,
+            // so every early return reports it as the consumed length.
             let (body, next) = match next_frame(bytes, offset) {
                 Ok(Some(frame)) => frame,
                 Ok(None) => {
-                    return Ok((journal(records), Some(JournalError::MissingEnd)));
+                    return Ok((journal(records), Some(JournalError::MissingEnd), offset));
                 }
-                Err(FrameError::Truncated { offset }) => {
-                    return Ok((journal(records), Some(JournalError::Truncated { offset })));
+                Err(FrameError::Truncated { offset: at }) => {
+                    let err = JournalError::Truncated { offset: at };
+                    return Ok((journal(records), Some(err), offset));
                 }
-                Err(FrameError::Corrupt { offset }) => {
-                    let err = JournalError::CorruptRecord { index, offset };
-                    return Ok((journal(records), Some(err)));
+                Err(FrameError::Corrupt { offset: at }) => {
+                    let err = JournalError::CorruptRecord { index, offset: at };
+                    return Ok((journal(records), Some(err), offset));
                 }
             };
             let record = match JournalRecord::decode_body(body) {
                 Ok(record) => record,
                 Err(reason) => {
                     let err = JournalError::Malformed { index, reason };
-                    return Ok((journal(records), Some(err)));
+                    return Ok((journal(records), Some(err), offset));
                 }
             };
-            offset = next;
             if let JournalRecord::End { records: count } = record {
                 if count != index {
                     let err = JournalError::Malformed {
                         index,
                         reason: format!("End trailer claims {count} records, stream has {index}"),
                     };
-                    return Ok((journal(records), Some(err)));
+                    return Ok((journal(records), Some(err), offset));
                 }
-                if offset != bytes.len() {
-                    return Ok((
-                        journal(records),
-                        Some(JournalError::TrailingData { offset }),
-                    ));
+                if next != bytes.len() {
+                    let err = JournalError::TrailingData { offset: next };
+                    return Ok((journal(records), Some(err), next));
                 }
-                return Ok((journal(records), None));
+                return Ok((journal(records), None, next));
             }
+            offset = next;
             records.push(record);
             index += 1;
         }

@@ -84,13 +84,16 @@ pub mod policy;
 pub mod poller;
 pub mod port;
 pub mod remote;
+pub mod snapshot;
 
 pub use async_port::{AsyncThreadPort, SubmitOutcome, Ticket};
-pub use config::{MveeConfig, Placement, Pollers, RemoteChannel, Transport};
+pub use config::{MveeConfig, Placement, Pollers, RecoveryPolicy, RemoteChannel, Transport};
 pub use divergence::{DivergenceKind, DivergenceReport};
-pub use journal::{Journal, JournalError, JournalMode, JournalRecorder, ReplayError, ReplayedRun};
+pub use journal::{
+    Journal, JournalError, JournalMode, JournalRecorder, RecoveredJournal, ReplayError, ReplayedRun,
+};
 pub use monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
-pub use mvee::{Mvee, MveeBuilder, VariantGateway};
+pub use mvee::{Mvee, MveeBuilder, RespawnError, RespawnReport, VariantGateway};
 pub use ordering::SyscallOrderingClock;
 pub use policy::MonitoringPolicy;
 pub use poller::PollerPool;
@@ -99,3 +102,4 @@ pub use remote::{
     Duplex, Follower, FollowerHandle, LeaderPort, PeerFailure, PeerFailureKind, RemoteLeader,
     RemotePeer,
 };
+pub use snapshot::{SnapshotError, SnapshotRecord, SnapshotStore};

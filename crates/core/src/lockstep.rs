@@ -124,27 +124,94 @@ struct Slot {
     keys: Vec<Option<ComparisonKey>>,
     outcome: Option<SyscallOutcome>,
     timestamp: Option<u64>,
+    /// How many consumptions have been recorded (the reclaim criterion for
+    /// tables too wide for the mask, which never quarantine).
     consumed: usize,
+    /// Which variants have consumed this slot, as a bitmask.  Kept
+    /// per-variant so a quarantine sweep can erase the victim's credit:
+    /// an anonymous counter would let a swept variant's in-flight
+    /// consumption count toward the *survivors'* quota and reclaim the
+    /// slot before a survivor read its outcome.
+    consumed_mask: u64,
     mismatch: bool,
     /// Number of `arrive` calls currently blocked on this slot.  The slot is
     /// only reclaimed when this drops to zero (see module docs).
     waiters: usize,
+    /// How many variants this slot waits for: the live-variant count at slot
+    /// creation.  Equal to the table's variant count until a quarantine
+    /// shrinks the expected-arrival set (see
+    /// [`LockstepTable::quarantine`]).
+    expected: usize,
+    /// Which variants this slot expects, as a bitmask (valid for tables of
+    /// up to 64 variants; larger tables never quarantine).  Captured from
+    /// the table's active mask at slot creation and extended when a
+    /// re-admitted variant deposits into a pre-existing slot.
+    mask: u64,
 }
 
 impl Slot {
-    fn new(variants: usize) -> Self {
+    fn new(variants: usize, mask: u64) -> Self {
+        let expected = if variants >= 64 {
+            variants
+        } else {
+            mask.count_ones() as usize
+        };
         Slot {
             keys: vec![None; variants],
             outcome: None,
             timestamp: None,
             consumed: 0,
+            consumed_mask: 0,
             mismatch: false,
             waiters: 0,
+            expected,
+            mask,
         }
     }
 
     fn arrived(&self) -> usize {
         self.keys.iter().filter(|k| k.is_some()).count()
+    }
+
+    /// Whether every expected variant has consumed the slot.  Narrow tables
+    /// compare the per-variant masks; wide tables (≥ 64 variants, which
+    /// never quarantine) fall back to the counter.
+    fn fully_consumed(&self) -> bool {
+        if self.mask == u64::MAX {
+            self.consumed >= self.expected
+        } else {
+            self.mask & !self.consumed_mask == 0
+        }
+    }
+
+    /// Records `variant`'s membership in the expected-arrival set (idempotent)
+    /// and deposits its comparison key.  Membership growth happens when a
+    /// re-admitted variant reaches a slot created while it was quarantined.
+    fn deposit(&mut self, variant: usize, cmp: ComparisonKey) {
+        let bit = variant_bit(variant);
+        if bit != 0 && self.mask & bit == 0 {
+            self.mask |= bit;
+            self.expected += 1;
+        }
+        self.keys[variant] = Some(cmp);
+    }
+}
+
+/// The active-mask bit of a variant; zero for indices the 64-bit mask cannot
+/// name (such variants are treated as permanently active — quarantine
+/// asserts the table is at most 64 variants wide).
+#[inline]
+fn variant_bit(variant: usize) -> u64 {
+    1u64.checked_shl(variant as u32).unwrap_or(0)
+}
+
+/// The all-active mask for a table of `variants` variants.
+#[inline]
+fn full_mask(variants: usize) -> u64 {
+    if variants >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << variants) - 1
     }
 }
 
@@ -211,6 +278,11 @@ impl PollWaker {
 #[derive(Debug)]
 pub struct LockstepTable {
     variants: usize,
+    /// Which variants are currently expected at new slots, as a bitmask.
+    /// All bits set for the full quorum; [`LockstepTable::quarantine`]
+    /// clears a bit, [`LockstepTable::readmit`] restores it.  Tables wider
+    /// than 64 variants keep the mask saturated and never quarantine.
+    active_mask: AtomicU64,
     shards: Box<[Shard]>,
     /// Optional thread→shard binding map (indexed `thread % len`), supplied
     /// by the monitor when a non-round-robin placement policy is configured.
@@ -253,6 +325,7 @@ impl LockstepTable {
         assert!(shards > 0, "need at least one shard");
         LockstepTable {
             variants,
+            active_mask: AtomicU64::new(full_mask(variants)),
             shards: (0..shards).map(|_| Shard::new()).collect(),
             placement_map: None,
             poisoned: AtomicBool::new(false),
@@ -371,6 +444,101 @@ impl LockstepTable {
         self.poisoned.load(Ordering::SeqCst)
     }
 
+    /// Whether `variant` is in the expected-arrival set.  Lock-free.
+    pub fn is_active(&self, variant: usize) -> bool {
+        let bit = variant_bit(variant);
+        bit == 0 || self.active_mask.load(Ordering::SeqCst) & bit != 0
+    }
+
+    /// Number of live (non-quarantined) variants.
+    pub fn active_count(&self) -> usize {
+        if self.variants >= 64 {
+            self.variants
+        } else {
+            self.active_mask.load(Ordering::SeqCst).count_ones() as usize
+        }
+    }
+
+    /// The live variants, in index order.
+    pub fn active_variants(&self) -> Vec<usize> {
+        (0..self.variants).filter(|&v| self.is_active(v)).collect()
+    }
+
+    /// Drops `victim` from the table's expected-arrival set: the
+    /// degraded-quorum mode behind
+    /// [`RecoveryPolicy::Quarantine`](crate::config::RecoveryPolicy).
+    ///
+    /// New slots no longer expect the victim; every existing slot sheds the
+    /// victim's membership, its deposited key, and — when the victim's key
+    /// was the only disagreeing one — its mismatch flag, so in-flight
+    /// waiters re-resolve against the reduced variant set with exactly the
+    /// verdicts a run that never included the victim would produce.  Slots
+    /// the removal leaves fully consumed and unreferenced are reclaimed on
+    /// the spot.  Every shard is then broadcast-woken so blocked survivors
+    /// re-inspect their slots immediately instead of running into their
+    /// deadlines.
+    ///
+    /// Returns `false` when the victim was already quarantined (the sweep
+    /// is idempotent; only the first caller performs it).
+    ///
+    /// # Panics
+    ///
+    /// Panics on tables wider than 64 variants (the active mask cannot name
+    /// the members) and on an out-of-range victim.
+    pub fn quarantine(&self, victim: usize) -> bool {
+        assert!(
+            self.variants <= 64,
+            "quarantine requires a table of at most 64 variants"
+        );
+        assert!(victim < self.variants, "quarantine victim out of range");
+        let bit = variant_bit(victim);
+        let prev = self.active_mask.fetch_and(!bit, Ordering::SeqCst);
+        if prev & bit == 0 {
+            return false;
+        }
+        for shard in self.shards.iter() {
+            let mut slots = shard.slots.lock();
+            slots.retain(|_, slot| {
+                if slot.mask & bit != 0 {
+                    slot.mask &= !bit;
+                    slot.expected -= 1;
+                    slot.keys[victim] = None;
+                    // Erase the victim's consumption credit too: its
+                    // membership is gone, so a consume it already made must
+                    // not count toward the survivors' reclaim quota.
+                    slot.consumed_mask &= !bit;
+                    if slot.mismatch && first_mismatch(&slot.keys).is_none() {
+                        slot.mismatch = false;
+                    }
+                }
+                // The removal may leave a slot fully consumed with no
+                // waiters — the state `consume` reclaims on.
+                !(slot.waiters == 0 && slot.expected > 0 && slot.fully_consumed())
+            });
+            shard.changed.notify_all();
+        }
+        self.notify_observers();
+        true
+    }
+
+    /// Restores a quarantined variant to the expected-arrival set: slots
+    /// created from now on expect it again, and a deposit it makes into an
+    /// older, still-open slot re-registers its membership there.  Existing
+    /// slots it never reaches stay on the reduced quorum.  The caller
+    /// (`Mvee::respawn_variant`) re-admits only at a quiescent batch
+    /// boundary, with the victim's sequence numbers fast-forwarded to the
+    /// survivors' frontier.
+    pub fn readmit(&self, variant: usize) {
+        assert!(variant < self.variants, "readmit variant out of range");
+        self.active_mask
+            .fetch_or(variant_bit(variant), Ordering::SeqCst);
+        for shard in self.shards.iter() {
+            drop(shard.slots.lock());
+            shard.changed.notify_all();
+        }
+        self.notify_observers();
+    }
+
     /// Registers a polling-shard waker: from now on every deposit, outcome
     /// publication and poison [`raise`](PollWaker::raise)s it, so a poller
     /// parked on the waker re-examines its pending arrivals.
@@ -398,7 +566,7 @@ impl LockstepTable {
                 first_mismatch(&slot.keys).expect("mismatch flag implies a mismatch");
             return Some(ArrivalResult::Mismatch(idx, master, other));
         }
-        if slot.arrived() == self.variants {
+        if slot.arrived() >= slot.expected {
             return Some(match first_mismatch(&slot.keys) {
                 Some((idx, master, other)) => ArrivalResult::Mismatch(idx, master, other),
                 None => ArrivalResult::Consistent,
@@ -422,14 +590,19 @@ impl LockstepTable {
     fn release_waiter(&self, slots: &mut MutexGuard<'_, HashMap<SlotKey, Slot>>, key: SlotKey) {
         if let Some(slot) = slots.get_mut(&key) {
             slot.waiters -= 1;
-            if slot.waiters == 0 && slot.consumed >= self.variants {
+            if slot.waiters == 0 && slot.fully_consumed() {
                 slots.remove(&key);
             }
         }
     }
 
+    /// A fresh slot expecting the currently active variant set.
+    fn new_slot(&self) -> Slot {
+        Slot::new(self.variants, self.active_mask.load(Ordering::SeqCst))
+    }
+
     /// Registers variant `variant`'s arrival at `key` with comparison key
-    /// `cmp` and waits until every variant has arrived (lockstep).
+    /// `cmp` and waits until every expected variant has arrived (lockstep).
     pub fn arrive(
         &self,
         key: SlotKey,
@@ -437,12 +610,46 @@ impl LockstepTable {
         cmp: ComparisonKey,
         timeout: Duration,
     ) -> ArrivalResult {
+        self.arrive_inner(key, variant, cmp, timeout, true)
+    }
+
+    /// Re-registers an arrival whose first verdict was superseded by a
+    /// quarantine: identical to [`arrive`](Self::arrive) — the deposit is
+    /// idempotent, so a key already present is simply re-presented — except
+    /// that the deadline restarts and nothing is journaled (the original
+    /// arrival already was; the journal keeps the pre-quarantine schedule).
+    pub fn rearrive(
+        &self,
+        key: SlotKey,
+        variant: usize,
+        cmp: ComparisonKey,
+        timeout: Duration,
+    ) -> ArrivalResult {
+        self.arrive_inner(key, variant, cmp, timeout, false)
+    }
+
+    fn arrive_inner(
+        &self,
+        key: SlotKey,
+        variant: usize,
+        cmp: ComparisonKey,
+        timeout: Duration,
+        journal: bool,
+    ) -> ArrivalResult {
         let deadline = Instant::now() + timeout;
         let shard = self.shard(key);
         let mut slots = shard.slots.lock();
-        self.journal_arrival(key, variant, &cmp);
-        let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
-        slot.keys[variant] = Some(cmp);
+        if !self.is_active(variant) {
+            // A quarantined lane's late arrival: refuse the deposit (it is
+            // no longer part of any expected set) with the same verdict a
+            // poisoned table reports — the caller shuts the lane down.
+            return ArrivalResult::Poisoned;
+        }
+        if journal {
+            self.journal_arrival(key, variant, &cmp);
+        }
+        let slot = slots.entry(key).or_insert_with(|| self.new_slot());
+        slot.deposit(variant, cmp);
         if let Some(result) = self.slot_result(slot) {
             if matches!(result, ArrivalResult::Mismatch(..)) {
                 slot.mismatch = true;
@@ -531,6 +738,27 @@ impl LockstepTable {
         batch: &[BatchArrival],
         timeout: Duration,
     ) -> Vec<ArrivalResult> {
+        self.arrive_batch_inner(variant, batch, timeout, true)
+    }
+
+    /// The batched twin of [`rearrive`](Self::rearrive): re-deposits the
+    /// given keys with a fresh shared deadline, journaling nothing.
+    pub fn rearrive_batch(
+        &self,
+        variant: usize,
+        batch: &[BatchArrival],
+        timeout: Duration,
+    ) -> Vec<ArrivalResult> {
+        self.arrive_batch_inner(variant, batch, timeout, false)
+    }
+
+    fn arrive_batch_inner(
+        &self,
+        variant: usize,
+        batch: &[BatchArrival],
+        timeout: Duration,
+        journal: bool,
+    ) -> Vec<ArrivalResult> {
         assert!(
             batch.len() <= MAX_BATCH,
             "batch of {} exceeds MAX_BATCH ({MAX_BATCH})",
@@ -555,6 +783,10 @@ impl LockstepTable {
         let deadline = Instant::now() + timeout;
         let shard = &self.shards[shard_idx];
         let mut slots = shard.slots.lock();
+        if !self.is_active(variant) {
+            // Quarantined lane: refuse the whole batch, as `arrive` would.
+            return vec![ArrivalResult::Poisoned; batch.len()];
+        }
 
         // Deposit every key under the one lock hold.  Keys whose rendezvous
         // completes right here resolve immediately; the rest register a
@@ -563,11 +795,11 @@ impl LockstepTable {
         let mut holds_waiter = vec![false; batch.len()];
         let mut unresolved = 0usize;
         for (i, arrival) in batch.iter().enumerate() {
-            self.journal_arrival(arrival.key, variant, &arrival.cmp);
-            let slot = slots
-                .entry(arrival.key)
-                .or_insert_with(|| Slot::new(self.variants));
-            slot.keys[variant] = Some(arrival.cmp.clone());
+            if journal {
+                self.journal_arrival(arrival.key, variant, &arrival.cmp);
+            }
+            let slot = slots.entry(arrival.key).or_insert_with(|| self.new_slot());
+            slot.deposit(variant, arrival.cmp.clone());
             if let Some(result) = self.slot_result(slot) {
                 if matches!(result, ArrivalResult::Mismatch(..)) {
                     slot.mismatch = true;
@@ -648,7 +880,7 @@ impl LockstepTable {
         if let Some(journal) = &self.journal {
             journal.record_publish(key.0, key.1, timestamp, &outcome);
         }
-        let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
+        let slot = slots.entry(key).or_insert_with(|| self.new_slot());
         slot.outcome = Some(outcome);
         slot.timestamp = timestamp;
         shard.changed.notify_all();
@@ -664,6 +896,21 @@ impl LockstepTable {
         key: SlotKey,
         timeout: Duration,
     ) -> Option<(SyscallOutcome, Option<u64>)> {
+        self.wait_outcome_until(key, timeout, || false)
+    }
+
+    /// [`wait_outcome`](Self::wait_outcome) with an early-abort predicate,
+    /// re-checked on every wake-up.  A quarantine broadcast-wakes every
+    /// shard, so a slave parked on a dead publisher's slot passes through
+    /// `abort` immediately — the monitor uses this to fail replication over
+    /// to the new master without spending the whole rendezvous deadline.
+    /// Returns `None` when `abort` fired and no outcome had been published.
+    pub fn wait_outcome_until(
+        &self,
+        key: SlotKey,
+        timeout: Duration,
+        abort: impl Fn() -> bool,
+    ) -> Option<(SyscallOutcome, Option<u64>)> {
         let deadline = std::time::Instant::now() + timeout;
         let shard = self.shard(key);
         let mut slots = shard.slots.lock();
@@ -676,6 +923,9 @@ impl LockstepTable {
                     return Some((outcome.clone(), slot.timestamp));
                 }
             }
+            if abort() {
+                return None;
+            }
             if shard.changed.wait_until(&mut slots, deadline).timed_out() {
                 let slot = slots.get(&key)?;
                 let outcome = slot.outcome.clone()?;
@@ -684,14 +934,18 @@ impl LockstepTable {
         }
     }
 
-    /// Marks one variant's use of the slot as finished; the slot is reclaimed
-    /// once every variant has consumed it and no waiter still references it.
-    pub fn consume(&self, key: SlotKey) {
+    /// Marks `variant`'s use of the slot as finished; the slot is reclaimed
+    /// once every expected variant has consumed it and no waiter still
+    /// references it.  Consumption is tracked per variant so a quarantined
+    /// variant finishing an in-flight call cannot spend a *survivor's*
+    /// credit and reclaim the slot under it.
+    pub fn consume(&self, key: SlotKey, variant: usize) {
         let shard = self.shard(key);
         let mut slots = shard.slots.lock();
         if let Some(slot) = slots.get_mut(&key) {
             slot.consumed += 1;
-            if slot.consumed >= self.variants && slot.waiters == 0 {
+            slot.consumed_mask |= variant_bit(variant);
+            if slot.fully_consumed() && slot.waiters == 0 {
                 slots.remove(&key);
             }
         }
@@ -724,12 +978,40 @@ impl LockstepTable {
         cmp: ComparisonKey,
         timeout: Duration,
     ) -> TryArrive {
+        self.try_arrive_inner(key, variant, cmp, timeout, true)
+    }
+
+    /// The poll-mode twin of [`rearrive`](Self::rearrive): re-deposits the
+    /// key with a fresh deadline, journaling nothing.
+    pub fn try_rearrive(
+        &self,
+        key: SlotKey,
+        variant: usize,
+        cmp: ComparisonKey,
+        timeout: Duration,
+    ) -> TryArrive {
+        self.try_arrive_inner(key, variant, cmp, timeout, false)
+    }
+
+    fn try_arrive_inner(
+        &self,
+        key: SlotKey,
+        variant: usize,
+        cmp: ComparisonKey,
+        timeout: Duration,
+        journal: bool,
+    ) -> TryArrive {
         let deadline = Instant::now() + timeout;
         let shard = self.shard(key);
         let mut slots = shard.slots.lock();
-        self.journal_arrival(key, variant, &cmp);
-        let slot = slots.entry(key).or_insert_with(|| Slot::new(self.variants));
-        slot.keys[variant] = Some(cmp);
+        if !self.is_active(variant) {
+            return TryArrive::Ready(ArrivalResult::Poisoned);
+        }
+        if journal {
+            self.journal_arrival(key, variant, &cmp);
+        }
+        let slot = slots.entry(key).or_insert_with(|| self.new_slot());
+        slot.deposit(variant, cmp);
         if let Some(result) = self.slot_result(slot) {
             if matches!(result, ArrivalResult::Mismatch(..)) {
                 slot.mismatch = true;
@@ -803,6 +1085,28 @@ impl LockstepTable {
         batch: &[BatchArrival],
         timeout: Duration,
     ) -> TryBatch {
+        self.try_arrive_batch_inner(variant, batch, timeout, true)
+    }
+
+    /// The poll-mode twin of [`rearrive_batch`](Self::rearrive_batch):
+    /// re-deposits the keys with a fresh shared deadline, journaling
+    /// nothing.
+    pub fn try_rearrive_batch(
+        &self,
+        variant: usize,
+        batch: &[BatchArrival],
+        timeout: Duration,
+    ) -> TryBatch {
+        self.try_arrive_batch_inner(variant, batch, timeout, false)
+    }
+
+    fn try_arrive_batch_inner(
+        &self,
+        variant: usize,
+        batch: &[BatchArrival],
+        timeout: Duration,
+        journal: bool,
+    ) -> TryBatch {
         assert!(
             batch.len() <= MAX_BATCH,
             "batch of {} exceeds MAX_BATCH ({MAX_BATCH})",
@@ -823,6 +1127,9 @@ impl LockstepTable {
         let deadline = Instant::now() + timeout;
         let shard = &self.shards[shard_idx];
         let mut slots = shard.slots.lock();
+        if !self.is_active(variant) {
+            return TryBatch::Ready(vec![ArrivalResult::Poisoned; batch.len()]);
+        }
         let mut token = BatchToken {
             shard_idx,
             deadline,
@@ -832,11 +1139,11 @@ impl LockstepTable {
             unresolved: 0,
         };
         for (i, arrival) in batch.iter().enumerate() {
-            self.journal_arrival(arrival.key, variant, &arrival.cmp);
-            let slot = slots
-                .entry(arrival.key)
-                .or_insert_with(|| Slot::new(self.variants));
-            slot.keys[variant] = Some(arrival.cmp.clone());
+            if journal {
+                self.journal_arrival(arrival.key, variant, &arrival.cmp);
+            }
+            let slot = slots.entry(arrival.key).or_insert_with(|| self.new_slot());
+            slot.deposit(variant, arrival.cmp.clone());
             if let Some(result) = self.slot_result(slot) {
                 if matches!(result, ArrivalResult::Mismatch(..)) {
                     slot.mismatch = true;
@@ -1168,9 +1475,9 @@ mod tests {
         let table = LockstepTable::new(2);
         table.publish_outcome((0, 0), SyscallOutcome::ok(1), None);
         assert_eq!(table.live_slots(), 1);
-        table.consume((0, 0));
+        table.consume((0, 0), 0);
         assert_eq!(table.live_slots(), 1);
-        table.consume((0, 0));
+        table.consume((0, 0), 1);
         assert_eq!(table.live_slots(), 0);
     }
 
@@ -1278,8 +1585,8 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(50));
         // Both variants consume the slot out from under the blocked waiter.
-        table.consume((0, 0));
-        table.consume((0, 0));
+        table.consume((0, 0), 0);
+        table.consume((0, 0), 1);
         assert_eq!(
             table.live_slots(),
             1,
@@ -1312,7 +1619,7 @@ mod tests {
         let results = table.arrive_batch(0, &batch, Duration::from_millis(50));
         assert_eq!(results, vec![ArrivalResult::Consistent; 4]);
         for seq in 0..4u64 {
-            table.consume((0, seq));
+            table.consume((0, seq), 0);
         }
         assert_eq!(table.live_slots(), 0);
     }
@@ -1335,8 +1642,8 @@ mod tests {
         assert_eq!(r0, vec![ArrivalResult::Consistent; 8]);
         assert_eq!(r1, vec![ArrivalResult::Consistent; 8]);
         for seq in 0..8u64 {
-            table.consume((0, seq));
-            table.consume((0, seq));
+            table.consume((0, seq), 0);
+            table.consume((0, seq), 1);
         }
         assert_eq!(table.live_slots(), 0);
     }
@@ -1377,8 +1684,8 @@ mod tests {
             }
         }
         for seq in 0..5u64 {
-            table.consume((0, seq));
-            table.consume((0, seq));
+            table.consume((0, seq), 0);
+            table.consume((0, seq), 1);
         }
         assert_eq!(table.live_slots(), 0);
     }
@@ -1437,8 +1744,8 @@ mod tests {
         // With the refcounts balanced, consuming every key from both sides
         // reclaims everything; a leaked registration would pin a slot alive.
         for seq in 0..3u64 {
-            table.consume((7, seq));
-            table.consume((7, seq));
+            table.consume((7, seq), 0);
+            table.consume((7, seq), 1);
         }
         assert_eq!(table.live_slots(), 0, "a waiter registration leaked");
     }
@@ -1467,8 +1774,8 @@ mod tests {
         }
         assert_eq!(handle.join().unwrap(), vec![ArrivalResult::Consistent; 6]);
         for seq in 0..6u64 {
-            table.consume((0, seq));
-            table.consume((0, seq));
+            table.consume((0, seq), 0);
+            table.consume((0, seq), 1);
         }
         assert_eq!(table.live_slots(), 0);
     }
@@ -1508,8 +1815,8 @@ mod tests {
             other => panic!("peer deposit must resolve Ready(Consistent), got {other:?}"),
         }
         assert_eq!(table.poll_arrival(token), Ok(ArrivalResult::Consistent));
-        table.consume((0, 0));
-        table.consume((0, 0));
+        table.consume((0, 0), 0);
+        table.consume((0, 0), 1);
         assert_eq!(table.live_slots(), 0, "poll released its registration");
     }
 
@@ -1584,8 +1891,8 @@ mod tests {
             }
         }
         for seq in 0..4u64 {
-            table.consume((0, seq));
-            table.consume((0, seq));
+            table.consume((0, seq), 0);
+            table.consume((0, seq), 1);
         }
         assert_eq!(table.live_slots(), 0, "batch polls released every waiter");
     }
@@ -1649,7 +1956,7 @@ mod tests {
                             Duration::from_secs(10),
                         );
                         assert_eq!(r, ArrivalResult::Consistent);
-                        t.consume((thread, seq));
+                        t.consume((thread, seq), variant);
                     }
                 }));
             }

@@ -51,7 +51,7 @@ use mvee_kernel::process::Pid;
 use mvee_kernel::syscall::{SyscallOutcome, SyscallRequest, Sysno};
 use mvee_sync_agent::guards::{WaitStrategy, Waiter};
 
-use crate::config::{Placement, Transport};
+use crate::config::{Placement, RecoveryPolicy, Transport};
 use crate::divergence::{DivergenceKind, DivergenceReport};
 use crate::journal::{ClassKind, JournalHeader, JournalRecorder, JOURNAL_VERSION};
 use crate::lockstep::{
@@ -120,6 +120,10 @@ pub struct MonitorConfig {
     /// [`crate::journal`]).  `None` — the default — keeps the journal hooks
     /// off the hot path entirely.
     pub journal: Option<Arc<JournalRecorder>>,
+    /// What happens to the run when a variant diverges: poison everything
+    /// (default) or quarantine only the blamed variant and keep serving on
+    /// a degraded quorum (see [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for MonitorConfig {
@@ -137,6 +141,7 @@ impl Default for MonitorConfig {
             wait: WaitStrategy::Adaptive,
             spin_before_yield: 64,
             journal: None,
+            recovery: RecoveryPolicy::PoisonAll,
         }
     }
 }
@@ -176,6 +181,34 @@ impl std::fmt::Display for MonitorError {
 
 impl std::error::Error for MonitorError {}
 
+/// How a rendezvous verdict settles once routed through the recovery
+/// policy.  `Retry` only occurs under
+/// [`RecoveryPolicy::Quarantine`](crate::config::RecoveryPolicy): the
+/// verdict was superseded by a quarantine and the caller must re-present
+/// its arrival (blocking callers loop on
+/// [`LockstepTable::rearrive`](crate::lockstep::LockstepTable::rearrive);
+/// polling callers re-enter their pending state via `try_rearrive`).
+#[derive(Debug)]
+pub(crate) enum ArrivalSettle {
+    /// The rendezvous is consistent; proceed.
+    Done,
+    /// The call fails with this error (divergence, shutdown, ...).
+    Fail(MonitorError),
+    /// A quarantine superseded the verdict; re-present the arrival.
+    Retry,
+}
+
+/// How a batch's verdicts settle once routed through the recovery policy.
+#[derive(Debug)]
+pub(crate) enum BatchSettle {
+    /// Every key settled; the result is the batch's overall outcome.
+    Done(Result<(), MonitorError>),
+    /// These batch indices (in batch order) must be re-presented; their
+    /// slots were deliberately not consumed.  Every other key settled and
+    /// was consumed.
+    Retry(Vec<usize>),
+}
+
 /// Aggregate counters the monitor maintains.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MonitorStats {
@@ -203,6 +236,15 @@ pub struct MonitorStats {
     /// their lag is zero by construction, and the journal does not carry
     /// it).
     pub detection_lag_sync_ops: u64,
+    /// Variants dropped from the expected-arrival set by
+    /// [`RecoveryPolicy::Quarantine`] instead of poisoning the run.
+    pub quarantines: u64,
+    /// Quarantined variants restored to the quorum by
+    /// `Mvee::respawn_variant`.
+    pub respawns: u64,
+    /// Gateway entries served while at least one variant was quarantined
+    /// (the degraded-quorum window).
+    pub degraded_calls: u64,
 }
 
 /// One stripe of monitor counters, padded to a cache line so lanes of
@@ -222,6 +264,9 @@ struct StatLane {
     batched_comparisons: AtomicU64,
     batch_flushes: AtomicU64,
     detection_lag_sync_ops: AtomicU64,
+    quarantines: AtomicU64,
+    respawns: AtomicU64,
+    degraded_calls: AtomicU64,
 }
 
 impl StatLane {
@@ -236,6 +281,9 @@ impl StatLane {
             batched_comparisons: self.batched_comparisons.load(Ordering::Relaxed),
             batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
             detection_lag_sync_ops: self.detection_lag_sync_ops.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            degraded_calls: self.degraded_calls.load(Ordering::Relaxed),
         }
     }
 }
@@ -251,6 +299,9 @@ impl MonitorStats {
         self.batched_comparisons += other.batched_comparisons;
         self.batch_flushes += other.batch_flushes;
         self.detection_lag_sync_ops += other.detection_lag_sync_ops;
+        self.quarantines += other.quarantines;
+        self.respawns += other.respawns;
+        self.degraded_calls += other.degraded_calls;
     }
 }
 
@@ -309,7 +360,25 @@ pub struct Monitor {
     /// waits (replay, full buffers) abort as promptly as the rendezvous
     /// waiters do.
     poison_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+    /// Per-variant quarantine flags ([`RecoveryPolicy::Quarantine`] only):
+    /// a quarantined variant's further gateway entries return `ShutDown`
+    /// and its lockstep deposits are refused, while the survivors keep
+    /// serving.  Also the serialization point for quarantine decisions —
+    /// the flags only flip under [`Monitor::quarantine_reports`]'s lock, so
+    /// two concurrent divergences cannot drop the quorum below its floor.
+    quarantined: Box<[AtomicBool]>,
+    /// The divergence report behind each quarantine, in quarantine order.
+    /// Kept separate from `divergence_report`, which stays reserved for the
+    /// run-ending poison.
+    quarantine_reports: Mutex<Vec<DivergenceReport>>,
+    /// Called on every quarantine (`readmitted == false`) and re-admission
+    /// (`readmitted == true`) with the variant index.  The front end wires
+    /// the sync agent's lane hooks here.
+    lane_hook: Mutex<Option<LaneHook>>,
 }
+
+/// A quarantine/re-admission observer: `(variant, readmitted)`.
+type LaneHook = Box<dyn Fn(usize, bool) + Send + Sync>;
 
 impl Monitor {
     /// Creates a monitor over an existing kernel and pre-spawned variant
@@ -372,6 +441,11 @@ impl Monitor {
             diverged: AtomicBool::new(false),
             divergence_report: Mutex::new(None),
             poison_hook: Mutex::new(None),
+            quarantined: (0..config.variants)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            quarantine_reports: Mutex::new(Vec::new()),
+            lane_hook: Mutex::new(None),
             config,
             kernel,
             pids,
@@ -386,6 +460,168 @@ impl Monitor {
         *self.poison_hook.lock() = Some(Box::new(hook));
     }
 
+    /// Installs the lane hook: called with `(variant, false)` on every
+    /// quarantine and `(variant, true)` on every re-admission.  The front
+    /// end forwards these to the sync agent's lane hooks.
+    pub fn set_lane_hook(&self, hook: impl Fn(usize, bool) + Send + Sync + 'static) {
+        *self.lane_hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Whether `variant` is currently quarantined.
+    pub fn is_quarantined(&self, variant: usize) -> bool {
+        self.quarantined[variant].load(Ordering::Acquire)
+    }
+
+    /// The currently quarantined variants, in index order.
+    pub fn quarantined_variants(&self) -> Vec<usize> {
+        (0..self.config.variants)
+            .filter(|&v| self.is_quarantined(v))
+            .collect()
+    }
+
+    /// The divergence reports behind every quarantine so far, in quarantine
+    /// order.  Unlike [`divergence`](Self::divergence) — which stays `None`
+    /// while the run keeps serving — these do not imply the run ended.
+    pub fn quarantine_reports(&self) -> Vec<DivergenceReport> {
+        self.quarantine_reports.lock().clone()
+    }
+
+    /// The variant currently acting as replication master: the
+    /// lowest-indexed live variant.  Variant 0 until a quarantine fails it
+    /// over.
+    pub fn master_variant(&self) -> usize {
+        (0..self.config.variants)
+            .find(|&v| self.lockstep.is_active(v))
+            .unwrap_or(0)
+    }
+
+    /// Attempts to quarantine `blamed` for the failure `report` describes.
+    ///
+    /// Returns `true` when the variant is quarantined on return (including
+    /// the idempotent already-quarantined case) and `false` when the quorum
+    /// floor forbids dropping another variant — the caller then falls back
+    /// to poisoning the run.  The decision is serialized under the
+    /// quarantine-report lock so concurrent divergences cannot race the
+    /// quorum below `min_quorum`.
+    fn quarantine_variant(
+        &self,
+        blamed: usize,
+        min_quorum: usize,
+        report: &DivergenceReport,
+    ) -> bool {
+        let mut reports = self.quarantine_reports.lock();
+        if self.quarantined[blamed].load(Ordering::Acquire) {
+            return true;
+        }
+        // The active mask cannot name variants past 64; such tables never
+        // quarantine (the config cannot produce them, this is belt and
+        // braces).
+        if self.config.variants > 64 || self.lockstep.active_count() <= min_quorum {
+            return false;
+        }
+        self.quarantined[blamed].store(true, Ordering::Release);
+        let mut recorded = report.clone();
+        recorded.variant = blamed;
+        let lane = self
+            .thread_state(0, recorded.thread % self.config.max_threads)
+            .shard;
+        self.lane(lane).quarantines.fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &self.config.journal {
+            journal.record_diverge(&recorded);
+        }
+        reports.push(recorded);
+        drop(reports);
+        // Drop the victim's monitor-owned deferred comparisons (its
+        // port-local queues die with the refused flush), then sweep it out
+        // of the rendezvous table — this wakes every survivor blocked on a
+        // slot the victim will never complete.
+        for thread in 0..self.config.max_threads {
+            self.thread_state(blamed, thread).pending.lock().clear();
+        }
+        self.lockstep.quarantine(blamed);
+        if let Some(hook) = &*self.lane_hook.lock() {
+            hook(blamed, false);
+        }
+        true
+    }
+
+    /// Restores a quarantined variant to the quorum at a quiescent batch
+    /// boundary: fast-forwards its per-thread sequence counters and
+    /// ordering clocks to the survivors' frontier, clears its quarantine
+    /// flag, and re-admits it into the lockstep expected-arrival set.
+    ///
+    /// The caller (`Mvee::respawn_variant`) must guarantee quiescence — no
+    /// survivor call in flight — or the fast-forwarded counters could trail
+    /// slots the survivors have already reclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is not quarantined.
+    pub(crate) fn readmit_variant(&self, variant: usize) {
+        assert!(
+            self.is_quarantined(variant),
+            "variant {variant} is not quarantined"
+        );
+        let survivor = self.master_variant();
+        for thread in 0..self.config.max_threads {
+            let frontier = (0..self.config.variants)
+                .filter(|&v| self.lockstep.is_active(v))
+                .map(|v| self.thread_state(v, thread).seq.load(Ordering::Acquire))
+                .max()
+                .unwrap_or(0);
+            self.thread_state(variant, thread)
+                .seq
+                .store(frontier, Ordering::Release);
+        }
+        for shard in 0..self.lockstep.shard_count() {
+            let now = self.ordering_clocks[survivor].clock(shard).now();
+            self.ordering_clocks[variant].clock(shard).resync(now);
+        }
+        self.quarantined[variant].store(false, Ordering::Release);
+        self.lockstep.readmit(variant);
+        let lane = self.thread_state(0, 0).shard;
+        self.lane(lane).respawns.fetch_add(1, Ordering::Relaxed);
+        if let Some(hook) = &*self.lane_hook.lock() {
+            hook(variant, true);
+        }
+    }
+
+    /// Routes a proven failure through the recovery policy: under
+    /// [`RecoveryPolicy::PoisonAll`] the failure poisons the run; under
+    /// [`RecoveryPolicy::Quarantine`] the blamed variant is dropped from
+    /// the quorum and the *surviving* caller retries its wait, while the
+    /// blamed caller itself is handed the divergence without poisoning
+    /// anything.  `report` is recorded as-is on the poison path; the
+    /// quarantine record names the blamed variant.
+    pub(crate) fn fault(
+        &self,
+        caller: usize,
+        blamed: usize,
+        report: DivergenceReport,
+    ) -> ArrivalSettle {
+        if self.is_quarantined(caller) {
+            // A quarantined caller finishing an in-flight call gets no say:
+            // its waits legitimately starve (survivor slots no longer hold
+            // outcomes for it), and letting it indict a survivor — or
+            // poison the run at the quorum floor — would turn its own
+            // removal into the very teardown quarantine exists to avoid.
+            return ArrivalSettle::Fail(MonitorError::ShutDown);
+        }
+        match self.config.recovery {
+            RecoveryPolicy::PoisonAll => ArrivalSettle::Fail(self.record_divergence(report)),
+            RecoveryPolicy::Quarantine { min_quorum } => {
+                if !self.quarantine_variant(blamed, min_quorum, &report) {
+                    return ArrivalSettle::Fail(self.record_divergence(report));
+                }
+                if caller == blamed {
+                    ArrivalSettle::Fail(MonitorError::Diverged(report))
+                } else {
+                    ArrivalSettle::Retry
+                }
+            }
+        }
+    }
+
     /// Number of rendezvous/ordering shards the monitor state is split into.
     pub fn shard_count(&self) -> usize {
         self.lockstep.shard_count()
@@ -395,6 +631,13 @@ impl Monitor {
     /// thread) queue; tests use this to verify flush and abandon behaviour.
     pub fn live_deferred(&self) -> usize {
         self.threads.iter().map(|t| t.pending.lock().len()).sum()
+    }
+
+    /// Live waiter registrations in the rendezvous table; zero once every
+    /// in-flight arrival has resolved or been released.  The fault suites
+    /// assert this on shutdown to prove nothing leaked a slot.
+    pub fn live_slots(&self) -> usize {
+        self.lockstep.live_slots()
     }
 
     /// The monitor configuration.
@@ -584,7 +827,22 @@ impl Monitor {
         let results = self
             .lockstep
             .arrive_batch(variant, batch, self.config.lockstep_timeout);
-        self.map_batch_results(thread, batch, results)
+        let mut batch: Vec<BatchArrival> = batch.to_vec();
+        let mut results = results;
+        loop {
+            match self.settle_batch_results(variant, thread, &batch, results) {
+                BatchSettle::Done(outcome) => return outcome,
+                BatchSettle::Retry(indices) => {
+                    // Re-present only the unsettled keys: the settled ones
+                    // were consumed, and re-depositing them could resurrect
+                    // reclaimed slots the peers will never revisit.
+                    batch = indices.into_iter().map(|i| batch[i].clone()).collect();
+                    results =
+                        self.lockstep
+                            .rearrive_batch(variant, &batch, self.config.lockstep_timeout);
+                }
+            }
+        }
     }
 
     /// Counts a batch flush in `lane`'s stripe; the polling shards call this
@@ -599,29 +857,36 @@ impl Monitor {
     }
 
     /// Turns a batch's per-key [`ArrivalResult`]s into the first divergence
-    /// they prove, consuming every batch slot on the way (even past a
-    /// mismatch, so surviving slots are reclaimed).  Shared by the blocking
+    /// they prove, routed through the recovery policy.  Settled slots are
+    /// consumed on the way (even past a mismatch, so surviving slots are
+    /// reclaimed); keys whose verdicts a quarantine superseded are *not*
+    /// consumed and come back as [`BatchSettle::Retry`] indices for the
+    /// caller to re-present.  Shared by the blocking
     /// [`resolve_batch`](Self::resolve_batch) and the polling shards, whose
     /// verdicts must map identically.
-    pub(crate) fn map_batch_results(
+    pub(crate) fn settle_batch_results(
         &self,
+        caller: usize,
         thread: usize,
         batch: &[BatchArrival],
         results: Vec<ArrivalResult>,
-    ) -> Result<(), MonitorError> {
+    ) -> BatchSettle {
         let mut failure = None;
-        for (arrival, result) in batch.iter().zip(results) {
-            // Consume every batch slot — even past a mismatch — so the
-            // surviving slots are reclaimed rather than leaked.
-            self.lockstep.consume(arrival.key);
+        let mut retries: Vec<usize> = Vec::new();
+        for (i, (arrival, result)) in batch.iter().zip(results).enumerate() {
             if failure.is_some() {
+                // Consume every remaining slot past a failure so the
+                // surviving slots are reclaimed rather than leaked.
+                self.lockstep.consume(arrival.key, caller);
                 continue;
             }
             let sequence = arrival.key.1 & !DEFERRED_SEQ_BIT;
-            failure = match result {
-                ArrivalResult::Consistent => None,
-                ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => {
-                    Some(self.record_divergence(DivergenceReport {
+            let settle = match result {
+                ArrivalResult::Consistent => ArrivalSettle::Done,
+                ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => self.fault(
+                    caller,
+                    bad_variant,
+                    DivergenceReport {
                         kind: DivergenceKind::SyscallMismatch {
                             master: master_key.no,
                             variant: bad_key.no,
@@ -629,30 +894,80 @@ impl Monitor {
                         thread,
                         sequence,
                         variant: bad_variant,
-                    }))
-                }
+                    },
+                ),
                 ArrivalResult::Timeout(arrived) => {
                     if self.has_diverged() {
-                        Some(MonitorError::ShutDown)
+                        ArrivalSettle::Fail(MonitorError::ShutDown)
                     } else {
-                        let missing = (0..self.config.variants)
-                            .find(|v| !arrived.contains(v))
-                            .unwrap_or(0);
-                        Some(self.record_divergence(DivergenceReport {
-                            kind: DivergenceKind::RendezvousTimeout { arrived },
-                            thread,
-                            sequence,
-                            variant: missing,
-                        }))
+                        self.timeout_fault(caller, thread, sequence, arrived)
                     }
                 }
-                ArrivalResult::Poisoned => Some(MonitorError::ShutDown),
+                ArrivalResult::Poisoned => ArrivalSettle::Fail(MonitorError::ShutDown),
             };
+            match settle {
+                ArrivalSettle::Done => self.lockstep.consume(arrival.key, caller),
+                ArrivalSettle::Fail(error) => {
+                    self.lockstep.consume(arrival.key, caller);
+                    failure = Some(error);
+                }
+                ArrivalSettle::Retry => retries.push(i),
+            }
         }
-        match failure {
-            Some(error) => Err(error),
-            None => Ok(()),
+        if let Some(error) = failure {
+            // The run is over (or this lane is): nothing will re-present
+            // the retry-marked keys, so consume them too.
+            for i in retries {
+                self.lockstep.consume(batch[i].key, caller);
+            }
+            return BatchSettle::Done(Err(error));
         }
+        if retries.is_empty() {
+            BatchSettle::Done(Ok(()))
+        } else {
+            BatchSettle::Retry(retries)
+        }
+    }
+
+    /// Routes a rendezvous timeout through the recovery policy, blaming the
+    /// first *live* variant missing from the arrival set.  When every live
+    /// variant did arrive the verdict is stale — it was computed before a
+    /// quarantine shrank the expected set — and the caller simply retries
+    /// (under [`RecoveryPolicy::PoisonAll`] nothing is ever inactive, so
+    /// this degenerates to the historical blame-first-missing behaviour).
+    fn timeout_fault(
+        &self,
+        caller: usize,
+        thread: usize,
+        sequence: u64,
+        arrived: Vec<usize>,
+    ) -> ArrivalSettle {
+        let missing = (0..self.config.variants)
+            .filter(|&v| self.lockstep.is_active(v))
+            .find(|v| !arrived.contains(v));
+        let Some(missing) = missing else {
+            return match self.config.recovery {
+                RecoveryPolicy::Quarantine { .. } => ArrivalSettle::Retry,
+                RecoveryPolicy::PoisonAll => {
+                    ArrivalSettle::Fail(self.record_divergence(DivergenceReport {
+                        kind: DivergenceKind::RendezvousTimeout { arrived },
+                        thread,
+                        sequence,
+                        variant: 0,
+                    }))
+                }
+            };
+        };
+        self.fault(
+            caller,
+            missing,
+            DivergenceReport {
+                kind: DivergenceKind::RendezvousTimeout { arrived },
+                thread,
+                sequence,
+                variant: missing,
+            },
+        )
     }
 
     /// Shared gateway prologue: the divergence gate, the total-call counter
@@ -672,6 +987,13 @@ impl Monitor {
         if self.has_diverged() {
             return Err(MonitorError::ShutDown);
         }
+        if self.is_quarantined(variant) {
+            // A quarantined lane must terminate: its deposits are refused
+            // and no peer waits for it.  `ShutDown` is the same "stop this
+            // thread" instruction a poisoned run hands out, without a new
+            // divergence record.
+            return Err(MonitorError::ShutDown);
+        }
         let self_aware = req.no == Sysno::MveeSelfAware;
         self.count_enter(variant, thread, lane, self_aware);
         if self_aware {
@@ -688,6 +1010,11 @@ impl Monitor {
         self.lane(lane)
             .total_syscalls
             .fetch_add(1, Ordering::Relaxed);
+        if self.lockstep.active_count() < self.config.variants {
+            self.lane(lane)
+                .degraded_calls
+                .fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(journal) = &self.config.journal {
             journal.record_enter(variant, thread, lane, self_aware);
         }
@@ -752,29 +1079,46 @@ impl Monitor {
         seq: u64,
         req: &SyscallRequest,
     ) -> Result<(), MonitorError> {
-        let result = self.lockstep.arrive(
-            key,
-            variant,
-            req.comparison_key(),
-            self.config.lockstep_timeout,
-        );
-        self.map_sync_arrival(result, thread, seq)
+        let cmp = req.comparison_key();
+        let mut result =
+            self.lockstep
+                .arrive(key, variant, cmp.clone(), self.config.lockstep_timeout);
+        loop {
+            match self.settle_sync_arrival(result, variant, thread, seq) {
+                ArrivalSettle::Done => return Ok(()),
+                ArrivalSettle::Fail(error) => return Err(error),
+                ArrivalSettle::Retry => {
+                    result = self.lockstep.rearrive(
+                        key,
+                        variant,
+                        cmp.clone(),
+                        self.config.lockstep_timeout,
+                    );
+                }
+            }
+        }
     }
 
     /// Turns a synchronous (unbatched) rendezvous verdict into the
-    /// divergence it proves, if any.  Shared by
+    /// divergence it proves, routed through the recovery policy.  Shared by
     /// [`arrive_sync`](Self::arrive_sync) and the polling shards so both
-    /// transports report byte-identical divergence verdicts.
-    pub(crate) fn map_sync_arrival(
+    /// transports report byte-identical divergence verdicts; a
+    /// [`ArrivalSettle::Retry`] tells the caller a quarantine superseded
+    /// the verdict and the arrival must be re-presented
+    /// (`rearrive`/`try_rearrive`).
+    pub(crate) fn settle_sync_arrival(
         &self,
         result: ArrivalResult,
+        caller: usize,
         thread: usize,
         seq: u64,
-    ) -> Result<(), MonitorError> {
+    ) -> ArrivalSettle {
         match result {
-            ArrivalResult::Consistent => Ok(()),
-            ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => Err(self
-                .record_divergence(DivergenceReport {
+            ArrivalResult::Consistent => ArrivalSettle::Done,
+            ArrivalResult::Mismatch(bad_variant, master_key, bad_key) => self.fault(
+                caller,
+                bad_variant,
+                DivergenceReport {
                     kind: DivergenceKind::SyscallMismatch {
                         master: master_key.no,
                         variant: bad_key.no,
@@ -782,19 +1126,10 @@ impl Monitor {
                     thread,
                     sequence: seq,
                     variant: bad_variant,
-                })),
-            ArrivalResult::Timeout(arrived) => {
-                let missing = (0..self.config.variants)
-                    .find(|v| !arrived.contains(v))
-                    .unwrap_or(0);
-                Err(self.record_divergence(DivergenceReport {
-                    kind: DivergenceKind::RendezvousTimeout { arrived },
-                    thread,
-                    sequence: seq,
-                    variant: missing,
-                }))
-            }
-            ArrivalResult::Poisoned => Err(MonitorError::ShutDown),
+                },
+            ),
+            ArrivalResult::Timeout(arrived) => self.timeout_fault(caller, thread, seq, arrived),
+            ArrivalResult::Poisoned => ArrivalSettle::Fail(MonitorError::ShutDown),
         }
     }
 
@@ -811,6 +1146,13 @@ impl Monitor {
         disposition: CallDisposition,
         req: &SyscallRequest,
     ) -> Result<SyscallOutcome, MonitorError> {
+        if self.is_quarantined(variant) {
+            // The comparison may have settled Consistent *because* a
+            // quarantine swept this variant's key out of the slot; its
+            // in-flight call must stop here rather than chase outcome
+            // publications the survivors no longer hold for it.
+            return Err(MonitorError::ShutDown);
+        }
         if disposition.replicate {
             self.count_replicated(shard);
             return self.run_replicated(variant, thread, seq, key, req);
@@ -822,7 +1164,7 @@ impl Monitor {
         // Neither replicated nor ordered: the variant executes against its
         // own kernel process directly (sched_yield, gettid-style queries that
         // happen to differ, exit of a single thread, ...).
-        self.lockstep.consume(key);
+        self.lockstep.consume(key, variant);
         Ok(self.kernel.execute(self.pids[variant], thread as u64, req))
     }
 
@@ -919,42 +1261,55 @@ impl Monitor {
         key: SlotKey,
         req: &SyscallRequest,
     ) -> Result<SyscallOutcome, MonitorError> {
-        if variant == 0 {
-            // Master: execute once, publish, done.
-            let outcome = self.kernel.execute(self.pids[0], thread as u64, req);
-            self.lockstep.publish_outcome(key, outcome.clone(), None);
-            self.lockstep.consume(key);
-            Ok(outcome)
-        } else {
+        loop {
+            // The master role follows the quorum: the lowest live variant
+            // (variant 0 until a quarantine fails it over) executes once
+            // and publishes.
+            let master = self.master_variant();
+            if variant == master {
+                let outcome = self.kernel.execute(self.pids[variant], thread as u64, req);
+                self.lockstep.publish_outcome(key, outcome.clone(), None);
+                self.lockstep.consume(key, variant);
+                return Ok(outcome);
+            }
             match self
                 .lockstep
-                .wait_outcome(key, self.config.lockstep_timeout)
-            {
+                .wait_outcome_until(key, self.config.lockstep_timeout, || {
+                    self.master_variant() != master || self.is_quarantined(variant)
+                }) {
                 Some((outcome, _)) => {
-                    self.lockstep.consume(key);
-                    Ok(outcome)
+                    self.lockstep.consume(key, variant);
+                    return Ok(outcome);
                 }
                 None => {
                     if self.has_diverged() {
                         return Err(MonitorError::ShutDown);
                     }
                     // The slave reached this call but the master never
-                    // published an outcome for it.  Blame the *waiting*
-                    // variant — it is the one whose call stream reached a
-                    // point the publisher's never did — name the missing
-                    // publisher, and report the slot's real arrival set
-                    // (not a fabricated `vec![variant]`, which used to
-                    // masquerade the timed-out slave as the only arrival
-                    // while blaming the master).
-                    Err(self.record_divergence(DivergenceReport {
+                    // published an outcome for it.  Under `PoisonAll`,
+                    // blame the *waiting* variant — it is the one whose
+                    // call stream reached a point the publisher's never did
+                    // — name the missing publisher, and report the slot's
+                    // real arrival set (not a fabricated `vec![variant]`,
+                    // which used to masquerade the timed-out slave as the
+                    // only arrival while blaming the master).  Under
+                    // `Quarantine`, the dead publisher is the one that gets
+                    // dropped; this waiter retries, and may itself become
+                    // the new master on the next pass.
+                    let report = DivergenceReport {
                         kind: DivergenceKind::ReplicationTimeout {
-                            publisher: 0,
+                            publisher: master,
                             arrived: self.lockstep.arrivals(key),
                         },
                         thread,
                         sequence: seq,
                         variant,
-                    }))
+                    };
+                    match self.fault(variant, master, report) {
+                        ArrivalSettle::Done => unreachable!("fault never settles Done"),
+                        ArrivalSettle::Fail(error) => return Err(error),
+                        ArrivalSettle::Retry => continue,
+                    }
                 }
             }
         }
@@ -969,39 +1324,72 @@ impl Monitor {
         key: SlotKey,
         req: &SyscallRequest,
     ) -> Result<SyscallOutcome, MonitorError> {
-        if variant == 0 {
+        let master = self.master_variant();
+        if variant == master {
             // Master: claim a timestamp on this thread group's shard clock,
             // execute, publish the timestamp so the slaves can replay the
             // cross-thread order within the shard.
-            let ts = self.ordering_clocks[0].clock(shard).claim_timestamp();
-            let outcome = self.kernel.execute(self.pids[0], thread as u64, req);
+            let ts = self.ordering_clocks[variant].clock(shard).claim_timestamp();
+            let outcome = self.kernel.execute(self.pids[variant], thread as u64, req);
             self.lockstep
                 .publish_outcome(key, outcome.clone(), Some(ts));
-            self.lockstep.consume(key);
+            self.lockstep.consume(key, variant);
             Ok(outcome)
         } else {
-            let (_, ts) = match self
-                .lockstep
-                .wait_outcome(key, self.config.lockstep_timeout)
-            {
-                Some(v) => v,
-                None => {
-                    if self.has_diverged() {
-                        return Err(MonitorError::ShutDown);
+            let (_, ts) = loop {
+                // Re-read mastership each pass, like `run_replicated`: a
+                // quarantine may have failed the publisher over mid-wait,
+                // and this waiter may itself have become the new master —
+                // then it claims a timestamp and publishes in the dead
+                // publisher's stead.
+                let master = self.master_variant();
+                if variant == master {
+                    let clock = self.ordering_clocks[variant].clock(shard);
+                    let ts = clock.claim_timestamp();
+                    let outcome = self.kernel.execute(self.pids[variant], thread as u64, req);
+                    self.lockstep
+                        .publish_outcome(key, outcome.clone(), Some(ts));
+                    self.lockstep.consume(key, variant);
+                    return Ok(outcome);
+                }
+                match self
+                    .lockstep
+                    .wait_outcome_until(key, self.config.lockstep_timeout, || {
+                        self.master_variant() != master || self.is_quarantined(variant)
+                    }) {
+                    Some(v) => break v,
+                    None => {
+                        if self.has_diverged() {
+                            return Err(MonitorError::ShutDown);
+                        }
+                        if self.master_variant() != master {
+                            // The wait broke because mastership moved, not
+                            // because anyone is provably silent: retry
+                            // against the new master without blaming it.
+                            continue;
+                        }
+                        // Same attribution as `run_replicated`: the waiting
+                        // slave diverged relative to the master's (absent)
+                        // timestamp publication, and the report names the
+                        // missing publisher plus the slot's real arrival
+                        // set.  Under `Quarantine` the publisher is
+                        // dropped; this waiter retries, and may itself
+                        // become the new master on the next pass.
+                        let report = DivergenceReport {
+                            kind: DivergenceKind::ReplicationTimeout {
+                                publisher: master,
+                                arrived: self.lockstep.arrivals(key),
+                            },
+                            thread,
+                            sequence: seq,
+                            variant,
+                        };
+                        match self.fault(variant, master, report) {
+                            ArrivalSettle::Done => unreachable!("fault never settles Done"),
+                            ArrivalSettle::Fail(error) => return Err(error),
+                            ArrivalSettle::Retry => continue,
+                        }
                     }
-                    // Same attribution as `run_replicated`: the waiting
-                    // slave diverged relative to the master's (absent)
-                    // timestamp publication, and the report names the
-                    // missing publisher plus the slot's real arrival set.
-                    return Err(self.record_divergence(DivergenceReport {
-                        kind: DivergenceKind::ReplicationTimeout {
-                            publisher: 0,
-                            arrived: self.lockstep.arrivals(key),
-                        },
-                        thread,
-                        sequence: seq,
-                        variant,
-                    }));
                 }
             };
             let ts = ts.unwrap_or(0);
@@ -1011,9 +1399,12 @@ impl Monitor {
             // a turn that will never come.
             let turn_reached = Waiter::default()
                 .wait_until_deadline(self.config.lockstep_timeout, || {
-                    self.has_diverged() || clock.now() >= ts
+                    self.has_diverged() || self.is_quarantined(variant) || clock.now() >= ts
                 });
-            if self.has_diverged() {
+            if self.has_diverged() || self.is_quarantined(variant) {
+                // Poisoned run or quarantined lane: either way this thread
+                // must stop instead of spinning out a turn that will never
+                // come (a quarantined lane's clock never advances again).
                 return Err(MonitorError::ShutDown);
             }
             if !turn_reached {
@@ -1028,7 +1419,7 @@ impl Monitor {
             }
             let outcome = self.kernel.execute(self.pids[variant], thread as u64, req);
             clock.advance();
-            self.lockstep.consume(key);
+            self.lockstep.consume(key, variant);
             Ok(outcome)
         }
     }

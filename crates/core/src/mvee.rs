@@ -18,12 +18,16 @@ use mvee_sync_agent::context::{AgentConfig, SyncContext, VariantRole};
 use mvee_sync_agent::{AgentStats, SyncAgent};
 
 use crate::async_port::AsyncThreadPort;
-use crate::config::{MveeConfig, Placement, Pollers, Transport, DEFAULT_RING_DEPTH};
+use crate::config::{
+    MveeConfig, Placement, Pollers, RecoveryPolicy, Transport, DEFAULT_RING_DEPTH,
+};
 use crate::divergence::DivergenceReport;
+use crate::journal::{Journal, JournalError, ReplayError};
 use crate::monitor::{Monitor, MonitorConfig, MonitorError, MonitorStats};
 use crate::policy::MonitoringPolicy;
 use crate::poller::PollerPool;
 use crate::port::ThreadPort;
+use crate::snapshot::{SnapshotRecord, SnapshotStore};
 
 /// Per-variant address-space layout (ASLR / DCL diversity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +182,30 @@ impl MveeBuilder {
         self
     }
 
+    /// Selects the [`RecoveryPolicy`]: what happens once a divergence is
+    /// proven.  [`RecoveryPolicy::PoisonAll`] (the default) tears the run
+    /// down; [`RecoveryPolicy::Quarantine`] drops only the blamed variant
+    /// and keeps serving on the surviving quorum, from which
+    /// [`Mvee::respawn_variant`] can later replay it back.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.config = self.config.with_recovery(recovery);
+        self
+    }
+
+    /// Enables periodic state snapshots: every `every` sync ops (per
+    /// variant, at the agent's replication points — a transport-invariant
+    /// choke point), the variant's private kernel state is captured into
+    /// the [`SnapshotStore`].  [`Mvee::respawn_variant`] restores from the
+    /// latest such snapshot instead of replaying from process start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.config = self.config.with_snapshot_every(Some(every));
+        self
+    }
+
     /// Selects the variant↔monitor transport: [`Transport::Sync`] (the
     /// default — calls block inline in the monitor pipeline) or
     /// [`Transport::AsyncRings`] (per-port submission/completion rings with
@@ -241,6 +269,7 @@ impl MveeBuilder {
             wait: self.config.agent_config.wait,
             spin_before_yield: self.config.agent_config.spin_before_yield,
             journal: self.config.journal.recorder().cloned(),
+            recovery: self.config.recovery,
         };
         let monitor = Arc::new(Monitor::new(
             monitor_config,
@@ -282,6 +311,19 @@ impl MveeBuilder {
             let agent = Arc::clone(&agent);
             move || agent.poison()
         });
+        // Quarantine and re-admission reach the agent through the lane
+        // hook, so an agent that tracks per-variant drain state can stop
+        // (resp. resume) expecting the variant without being poisoned.
+        monitor.set_lane_hook({
+            let agent = Arc::clone(&agent);
+            move |variant, readmitted| {
+                if readmitted {
+                    agent.readmit_lane(variant);
+                } else {
+                    agent.quarantine_lane(variant);
+                }
+            }
+        });
         // With batched comparisons on, the agent's replication points become
         // flush points: a sync op must not record or replay while the
         // calling thread still has unresolved comparisons queued, and a
@@ -289,21 +331,57 @@ impl MveeBuilder {
         // monitor weakly — the monitor already holds the agent through the
         // poison hook, and a strong reference back would leak the pair.
         let journal_recorder = self.config.journal.recorder().cloned();
-        if self.config.batch > 1 || journal_recorder.is_some() {
+        // Snapshots are taken from inside the same hook, right after the
+        // flush: the replication point is the one choke point every
+        // transport — blocking ports, gateway workers, poller pools, the
+        // remote leader — funnels through, so the capture boundary is
+        // identical no matter how the variant's calls reach the monitor.
+        let snapshots = self
+            .config
+            .snapshot_every
+            .map(|every| Arc::new(SnapshotStore::new(self.variants, every)));
+        if self.config.batch > 1 || journal_recorder.is_some() || snapshots.is_some() {
             let weak_monitor = Arc::downgrade(&monitor);
+            let hook_kernel = Arc::clone(&kernel);
+            let hook_snapshots = snapshots.clone();
+            let hook_pids = pids.clone();
             agent.set_replication_hook(Arc::new(move |event| {
                 let Some(monitor) = weak_monitor.upgrade() else {
                     return;
                 };
                 match event {
                     mvee_sync_agent::ReplicationEvent::SyncOp(ctx) => {
+                        let variant = ctx.role.variant_index();
                         if let Some(recorder) = &journal_recorder {
-                            recorder.record_sync_op(ctx.role.variant_index(), ctx.thread);
+                            recorder.record_sync_op(variant, ctx.thread);
                         }
                         // A flush failure has already recorded the
                         // divergence and poisoned table + agent; the thread
                         // learns about it at its next monitored call.
-                        let _ = monitor.flush_deferred(ctx.role.variant_index(), ctx.thread);
+                        let _ = monitor.flush_deferred(variant, ctx.thread);
+                        let Some(store) = &hook_snapshots else {
+                            return;
+                        };
+                        let Some(sync_ops) = store.tick(variant) else {
+                            return;
+                        };
+                        // A dead lane's state is exactly what a respawn
+                        // must NOT roll forward to; keep its last good
+                        // snapshot instead.
+                        if monitor.is_quarantined(variant) || monitor.has_diverged() {
+                            return;
+                        }
+                        if let Some(image) = hook_kernel.capture_process(hook_pids[variant]) {
+                            store.install(SnapshotRecord {
+                                variant,
+                                sync_ops,
+                                journal_records: journal_recorder
+                                    .as_ref()
+                                    .map_or(0, |rec| rec.records()),
+                                clock_ns: hook_kernel.clock().now_nanos(),
+                                image,
+                            });
+                        }
                     }
                     mvee_sync_agent::ReplicationEvent::Poisoned => monitor.abandon_deferred(),
                 }
@@ -342,6 +420,7 @@ impl MveeBuilder {
             threads: self.threads,
             pollers,
             journal,
+            snapshots,
             remote,
         }
     }
@@ -376,6 +455,8 @@ pub struct Mvee {
     pollers: Option<Arc<PollerPool>>,
     /// The journal mode the MVEE was built with (see [`crate::journal`]).
     journal: crate::journal::JournalMode,
+    /// Per-variant snapshot slots (`snapshot_every` builds only).
+    snapshots: Option<Arc<SnapshotStore>>,
     /// The replication link of a distributed MVEE (`Transport::Remote`):
     /// the leader front end plus the follower's thread handle.
     remote: Option<RemoteParts>,
@@ -561,7 +642,137 @@ impl Mvee {
             .failure()
             .or_else(|| parts.follower.as_ref().and_then(|f| f.fault()))
     }
+
+    /// The snapshot store, when the MVEE was built with
+    /// [`snapshot_every`](MveeBuilder::snapshot_every).
+    pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.snapshots.as_ref()
+    }
+
+    /// The most recent snapshot of `variant`, if snapshots are enabled and
+    /// one has been taken.
+    pub fn latest_snapshot(&self, variant: usize) -> Option<Arc<SnapshotRecord>> {
+        self.snapshots.as_ref()?.latest(variant)
+    }
+
+    /// The currently quarantined variants, in index order (empty unless the
+    /// MVEE runs under [`RecoveryPolicy::Quarantine`] and a divergence was
+    /// proven).
+    pub fn quarantined_variants(&self) -> Vec<usize> {
+        self.monitor.quarantined_variants()
+    }
+
+    /// The divergence reports behind every quarantine so far.  Unlike
+    /// [`divergence`](Self::divergence) — which stays `None` while the run
+    /// keeps serving — these do not imply the run ended.
+    pub fn quarantine_reports(&self) -> Vec<DivergenceReport> {
+        self.monitor.quarantine_reports()
+    }
+
+    /// Replays a quarantined variant back into the quorum.
+    ///
+    /// The recovery sequence is the dMVX one the paper's line of work
+    /// builds towards:
+    ///
+    /// 1. **Restore** — the variant's private kernel state rolls back to
+    ///    its last agreed snapshot (when snapshots are enabled and one was
+    ///    taken; otherwise the variant keeps its state as of the
+    ///    quarantine, which for this emulated kernel is the state the
+    ///    survivors agreed on up to the divergent call).
+    /// 2. **Replay** — when the run records a journal, the journal is
+    ///    salvaged ([`Journal::recover_from_bytes`] — the variant may have
+    ///    died mid-write) and re-validated through the replay machinery;
+    ///    the suffix past the snapshot's journal position is what catches
+    ///    the variant up to the survivors' frontier.
+    /// 3. **Re-admit** — the variant's sequence counters and ordering
+    ///    clocks fast-forward to the survivors' frontier and it rejoins
+    ///    the lockstep expected-arrival set; subsequent calls compare
+    ///    across the full quorum again.
+    ///
+    /// The caller must guarantee a quiescent batch boundary: no survivor
+    /// call in flight (the equivalence and fault suites join their worker
+    /// threads first).  Respawning is only meaningful while the run is
+    /// still serving — a fully diverged (poisoned) run cannot be rejoined.
+    pub fn respawn_variant(&self, variant: usize) -> Result<RespawnReport, RespawnError> {
+        assert!(variant < self.variants, "unknown variant index");
+        if self.monitor.has_diverged() {
+            return Err(RespawnError::Diverged);
+        }
+        if !self.monitor.is_quarantined(variant) {
+            return Err(RespawnError::NotQuarantined);
+        }
+        let snapshot = self.latest_snapshot(variant);
+        if let Some(snapshot) = &snapshot {
+            self.kernel
+                .restore_process(self.pids[variant], &snapshot.image);
+        }
+        let mut replayed_records = 0;
+        let mut dropped_bytes = 0;
+        if let Some(recorder) = self.journal.recorder() {
+            let bytes = recorder.finish();
+            let recovered = Journal::recover_from_bytes(&bytes).map_err(RespawnError::Journal)?;
+            dropped_bytes = recovered.dropped_bytes;
+            // Validate the full salvaged history (the verdicts must
+            // re-derive), then count the suffix past the snapshot as the
+            // catch-up work.
+            crate::journal::replay_journal(&recovered.journal).map_err(RespawnError::Replay)?;
+            let from = snapshot.as_ref().map_or(0, |s| s.journal_records);
+            replayed_records = (recovered.journal.records.len() as u64).saturating_sub(from);
+        }
+        self.monitor.readmit_variant(variant);
+        Ok(RespawnReport {
+            variant,
+            restored_sync_ops: snapshot.as_ref().map(|s| s.sync_ops),
+            replayed_records,
+            dropped_bytes,
+        })
+    }
 }
+
+/// What [`Mvee::respawn_variant`] did to bring a variant back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RespawnReport {
+    /// The respawned variant.
+    pub variant: usize,
+    /// The sync-op position of the snapshot the variant restored from
+    /// (`None` when no snapshot was available and the variant rejoined
+    /// from its quarantine-time state).
+    pub restored_sync_ops: Option<u64>,
+    /// Journal records past the snapshot that were replayed to catch the
+    /// variant up (0 when the run does not record a journal).
+    pub replayed_records: u64,
+    /// Torn-suffix bytes the journal salvage discarded (0 for a clean
+    /// journal).
+    pub dropped_bytes: usize,
+}
+
+/// Why [`Mvee::respawn_variant`] refused or failed.
+#[derive(Debug)]
+pub enum RespawnError {
+    /// The variant is live — there is nothing to respawn.
+    NotQuarantined,
+    /// The whole run has diverged (poisoned); there is no quorum to rejoin.
+    Diverged,
+    /// The recorded journal's header was unreadable, so nothing could be
+    /// salvaged.
+    Journal(JournalError),
+    /// The salvaged journal does not replay consistently — the recorded
+    /// history itself is suspect, so the variant stays quarantined.
+    Replay(ReplayError),
+}
+
+impl std::fmt::Display for RespawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RespawnError::NotQuarantined => write!(f, "variant is not quarantined"),
+            RespawnError::Diverged => write!(f, "the run has fully diverged"),
+            RespawnError::Journal(e) => write!(f, "journal unrecoverable: {e}"),
+            RespawnError::Replay(e) => write!(f, "journal does not replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RespawnError {}
 
 /// A per-variant handle: the system-call gateway plus the sync-agent hooks.
 #[derive(Clone)]

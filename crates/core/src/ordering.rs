@@ -74,6 +74,14 @@ impl SyscallOrderingClock {
     pub fn advance(&self) -> u64 {
         self.time.fetch_add(1, Ordering::AcqRel) + 1
     }
+
+    /// Fast-forwards (or rewinds) the clock to `time`.  Used when a
+    /// quarantined variant is re-admitted at a quiescent boundary: its clock
+    /// stopped ticking while the survivors' advanced, so it resyncs to a
+    /// survivor's position before rejoining the ordered stream.
+    pub fn resync(&self, time: u64) {
+        self.time.store(time, Ordering::Release);
+    }
 }
 
 /// One variant's wall of per-shard ordering clocks.

@@ -29,7 +29,8 @@
 //!   circular wait above just interleaves.
 //! * The per-port state machine runs the **identical** monitor pipeline —
 //!   `gate_and_count`, the same rendezvous keys and batch discipline, the
-//!   shared verdict mappers (`map_sync_arrival` / `map_batch_results`) and
+//!   shared verdict settlers (`settle_sync_arrival` /
+//!   `settle_batch_results`, including their quarantine-retry protocol) and
 //!   the same timeout attribution with deadlines fixed at deposit — so
 //!   verdicts are byte-identical to the blocking transports by
 //!   construction (`tests/polling_equivalence.rs` proves it by property).
@@ -62,10 +63,10 @@ use mvee_sync_agent::spsc::DescRing;
 use crate::async_port::{Completion, Submission, Ticket};
 use crate::divergence::{DivergenceKind, DivergenceReport};
 use crate::lockstep::{
-    ArrivalToken, BatchArrival, BatchToken, OutcomeToken, PollWaker, SlotKey, TryArrive, TryBatch,
-    TryOutcome,
+    ArrivalResult, ArrivalToken, BatchArrival, BatchToken, OutcomeToken, PollWaker, SlotKey,
+    TryArrive, TryBatch, TryOutcome,
 };
-use crate::monitor::{Monitor, MonitorError, DEFERRED_SEQ_BIT};
+use crate::monitor::{ArrivalSettle, BatchSettle, Monitor, MonitorError, DEFERRED_SEQ_BIT};
 use crate::policy::CallDisposition;
 
 /// The completion signal a pooled port's `Drop` waits on: raised once by
@@ -481,6 +482,7 @@ impl PortTask {
         match &self.state {
             TaskState::AwaitTurn { ts, .. } => {
                 monitor.has_diverged()
+                    || monitor.is_quarantined(self.variant)
                     || monitor
                         .ordering_clock(self.variant, self.shard)
                         .try_turn(*ts)
@@ -506,10 +508,7 @@ impl PortTask {
             }
             TaskState::Flushing { token, batch, next } => {
                 match monitor.lockstep().poll_batch(token) {
-                    Ok(results) => {
-                        let flushed = monitor.map_batch_results(self.thread, &batch, results);
-                        self.after_flush(monitor, flushed, next)
-                    }
+                    Ok(results) => self.settle_flush(monitor, batch, results, next),
                     Err(token) => {
                         self.state = TaskState::Flushing { token, batch, next };
                         Step::Blocked
@@ -518,13 +517,7 @@ impl PortTask {
             }
             TaskState::AwaitArrival { token, call } => {
                 match monitor.lockstep().poll_arrival(token) {
-                    Ok(result) => match monitor.map_sync_arrival(result, self.thread, call.seq) {
-                        Ok(()) => self.dispatch(monitor, call),
-                        Err(e) => {
-                            self.complete(call.ticket, Err(e));
-                            Step::Progress
-                        }
-                    },
+                    Ok(result) => self.settle_arrival(monitor, result, call),
                     Err(token) => {
                         self.state = TaskState::AwaitArrival { token, call };
                         Step::Blocked
@@ -532,6 +525,21 @@ impl PortTask {
                 }
             }
             TaskState::AwaitOutcome { token, call } => {
+                if monitor.is_quarantined(self.variant) {
+                    // The publisher's slot may already be consumed and
+                    // reclaimed by the survivors; a quarantined lane must
+                    // terminate, not wait out the deadline (outcome tokens
+                    // hold no waiter registration to release).
+                    self.complete(call.ticket, Err(MonitorError::ShutDown));
+                    return Step::Progress;
+                }
+                if monitor.master_variant() == self.variant {
+                    // Mastership failed over to this lane mid-wait: publish
+                    // in the dead publisher's stead instead of waiting for
+                    // an outcome that will never come.
+                    let key: SlotKey = (self.thread, call.seq);
+                    return self.master_publish(monitor, call, key);
+                }
                 match monitor.lockstep().poll_outcome(token) {
                     Ok(resolved) => self.finish_wait(monitor, call, resolved),
                     Err(token) => {
@@ -618,15 +626,7 @@ impl PortTask {
                 call.req.comparison_key(),
                 timeout,
             ) {
-                TryArrive::Ready(result) => {
-                    match monitor.map_sync_arrival(result, self.thread, call.seq) {
-                        Ok(()) => self.dispatch(monitor, call),
-                        Err(e) => {
-                            self.complete(call.ticket, Err(e));
-                            Step::Progress
-                        }
-                    }
-                }
+                TryArrive::Ready(result) => self.settle_arrival(monitor, result, call),
                 TryArrive::Pending(token) => {
                     // The deposit itself is progress: a peer may resolve on
                     // it right now.
@@ -638,6 +638,80 @@ impl PortTask {
         self.dispatch(monitor, call)
     }
 
+    /// Resolves a synchronous arrival verdict, re-depositing with a fresh
+    /// deadline whenever the monitor quarantines a peer out of the
+    /// rendezvous — the poll-mode mirror of `arrive_sync`'s retry loop.
+    /// The re-deposit never blocks: a still-pending retry parks the task
+    /// back in [`TaskState::AwaitArrival`].
+    fn settle_arrival(&mut self, monitor: &Monitor, result: ArrivalResult, call: CallCtx) -> Step {
+        let mut result = result;
+        loop {
+            match monitor.settle_sync_arrival(result, self.variant, self.thread, call.seq) {
+                ArrivalSettle::Done => return self.dispatch(monitor, call),
+                ArrivalSettle::Fail(e) => {
+                    self.complete(call.ticket, Err(e));
+                    return Step::Progress;
+                }
+                ArrivalSettle::Retry => {
+                    let key: SlotKey = (self.thread, call.seq);
+                    let timeout = monitor.config().lockstep_timeout;
+                    match monitor.lockstep().try_rearrive(
+                        key,
+                        self.variant,
+                        call.req.comparison_key(),
+                        timeout,
+                    ) {
+                        TryArrive::Ready(next) => result = next,
+                        TryArrive::Pending(token) => {
+                            self.state = TaskState::AwaitArrival { token, call };
+                            return Step::Progress;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves a flushed batch's verdicts, re-presenting the unconsumed
+    /// keys of a quarantined peer's rendezvous without blocking — the
+    /// poll-mode mirror of `resolve_batch`'s retry loop.
+    fn settle_flush(
+        &mut self,
+        monitor: &Monitor,
+        batch: Vec<BatchArrival>,
+        results: Vec<ArrivalResult>,
+        next: AfterFlush,
+    ) -> Step {
+        let (mut batch, mut results) = (batch, results);
+        loop {
+            match monitor.settle_batch_results(self.variant, self.thread, &batch, results) {
+                BatchSettle::Done(flushed) => return self.after_flush(monitor, flushed, next),
+                BatchSettle::Retry(indices) => {
+                    let sub: Vec<BatchArrival> =
+                        indices.iter().map(|&i| batch[i].clone()).collect();
+                    let timeout = monitor.config().lockstep_timeout;
+                    match monitor
+                        .lockstep()
+                        .try_rearrive_batch(self.variant, &sub, timeout)
+                    {
+                        TryBatch::Ready(redone) => {
+                            batch = sub;
+                            results = redone;
+                        }
+                        TryBatch::Pending(token) => {
+                            self.state = TaskState::Flushing {
+                                token,
+                                batch: sub,
+                                next,
+                            };
+                            return Step::Progress;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// The gateway tail after any lockstep comparison has been resolved:
     /// replicate, order, or execute directly — the polling mirror of
     /// [`Monitor::dispatch_resolved`](crate::monitor::Monitor).
@@ -646,36 +720,43 @@ impl PortTask {
         let key: SlotKey = (self.thread, call.seq);
         if disposition.replicate {
             monitor.count_replicated(self.shard);
-            if self.variant == 0 {
-                // Master: execute once, publish, done.
-                let outcome = monitor.execute_kernel(0, self.thread, &call.req);
-                monitor
-                    .lockstep()
-                    .publish_outcome(key, outcome.clone(), None);
-                monitor.lockstep().consume(key);
-                self.complete(call.ticket, Ok(outcome));
-                return Step::Progress;
+            if self.variant == monitor.master_variant() {
+                return self.master_publish(monitor, call, key);
             }
             return self.await_outcome(monitor, call, key);
         }
         if disposition.ordered {
             monitor.count_ordered(self.shard);
-            if self.variant == 0 {
-                let ts = monitor.ordering_clock(0, self.shard).claim_timestamp();
-                let outcome = monitor.execute_kernel(0, self.thread, &call.req);
-                monitor
-                    .lockstep()
-                    .publish_outcome(key, outcome.clone(), Some(ts));
-                monitor.lockstep().consume(key);
-                self.complete(call.ticket, Ok(outcome));
-                return Step::Progress;
+            if self.variant == monitor.master_variant() {
+                return self.master_publish(monitor, call, key);
             }
             return self.await_outcome(monitor, call, key);
         }
         // Neither replicated nor ordered: execute against the variant's own
         // kernel process directly.
-        monitor.lockstep().consume(key);
+        monitor.lockstep().consume(key, self.variant);
         let outcome = monitor.execute_kernel(self.variant, self.thread, &call.req);
+        self.complete(call.ticket, Ok(outcome));
+        Step::Progress
+    }
+
+    /// Master tail of a replicated/ordered call: execute once, publish the
+    /// outcome (with the claimed timestamp for ordered calls), done.  The
+    /// master lane is the lowest *active* variant, so after a quarantine a
+    /// surviving slave can land here mid-call.
+    fn master_publish(&mut self, monitor: &Monitor, call: CallCtx, key: SlotKey) -> Step {
+        let ts = if call.disposition.ordered {
+            Some(
+                monitor
+                    .ordering_clock(self.variant, self.shard)
+                    .claim_timestamp(),
+            )
+        } else {
+            None
+        };
+        let outcome = monitor.execute_kernel(self.variant, self.thread, &call.req);
+        monitor.lockstep().publish_outcome(key, outcome.clone(), ts);
+        monitor.lockstep().consume(key, self.variant);
         self.complete(call.ticket, Ok(outcome));
         Step::Progress
     }
@@ -706,28 +787,48 @@ impl PortTask {
     ) -> Step {
         let key: SlotKey = (self.thread, call.seq);
         let Some((outcome, ts)) = resolved else {
-            let err = if monitor.has_diverged() {
-                MonitorError::ShutDown
-            } else {
-                // The slave reached this call but the master never
-                // published an outcome for it: blame the waiting variant,
-                // name the missing publisher, report the slot's real
-                // arrival set — byte-identical to the blocking path.
-                monitor.record_divergence(DivergenceReport {
-                    kind: DivergenceKind::ReplicationTimeout {
-                        publisher: 0,
-                        arrived: monitor.lockstep().arrivals(key),
-                    },
-                    thread: self.thread,
-                    sequence: call.seq,
-                    variant: self.variant,
-                })
+            if monitor.has_diverged() {
+                self.complete(call.ticket, Err(MonitorError::ShutDown));
+                return Step::Progress;
+            }
+            // The slave reached this call but the master never published an
+            // outcome for it: name the missing publisher, report the slot's
+            // real arrival set.  Under PoisonAll the waiting variant is
+            // blamed and the run poisons, byte-identical to the blocking
+            // path; under Quarantine the stalled publisher is dropped and
+            // this lane either inherits mastership or re-waits on the new
+            // master's publication.
+            let master = monitor.master_variant();
+            if master == self.variant {
+                // Mastership already failed over to this lane: publish
+                // rather than indict (blaming here would name *itself*).
+                return self.master_publish(monitor, call, key);
+            }
+            let report = DivergenceReport {
+                kind: DivergenceKind::ReplicationTimeout {
+                    publisher: master,
+                    arrived: monitor.lockstep().arrivals(key),
+                },
+                thread: self.thread,
+                sequence: call.seq,
+                variant: self.variant,
             };
-            self.complete(call.ticket, Err(err));
-            return Step::Progress;
+            return match monitor.fault(self.variant, master, report) {
+                ArrivalSettle::Fail(e) => {
+                    self.complete(call.ticket, Err(e));
+                    Step::Progress
+                }
+                _ => {
+                    if monitor.master_variant() == self.variant {
+                        self.master_publish(monitor, call, key)
+                    } else {
+                        self.await_outcome(monitor, call, key)
+                    }
+                }
+            };
         };
         if call.disposition.replicate {
-            monitor.lockstep().consume(key);
+            monitor.lockstep().consume(key, self.variant);
             self.complete(call.ticket, Ok(outcome));
             return Step::Progress;
         }
@@ -747,8 +848,11 @@ impl PortTask {
         deadline: Instant,
     ) -> Step {
         // Divergence breaks the wait first, exactly like the blocking
-        // path's `has_diverged || turn` condition.
-        if monitor.has_diverged() {
+        // path's `has_diverged || turn` condition.  A lane quarantined
+        // while parked in a turn wait must bail out the same way: its
+        // clock will never advance again, and letting it time out would
+        // poison the surviving quorum.
+        if monitor.has_diverged() || monitor.is_quarantined(self.variant) {
             self.complete(call.ticket, Err(MonitorError::ShutDown));
             return Step::Progress;
         }
@@ -757,7 +861,7 @@ impl PortTask {
             let key: SlotKey = (self.thread, call.seq);
             let outcome = monitor.execute_kernel(self.variant, self.thread, &call.req);
             clock.advance();
-            monitor.lockstep().consume(key);
+            monitor.lockstep().consume(key, self.variant);
             self.complete(call.ticket, Ok(outcome));
             return Step::Progress;
         }
@@ -791,10 +895,7 @@ impl PortTask {
             .lockstep()
             .try_arrive_batch(self.variant, &batch, timeout)
         {
-            TryBatch::Ready(results) => {
-                let flushed = monitor.map_batch_results(self.thread, &batch, results);
-                self.after_flush(monitor, flushed, next)
-            }
+            TryBatch::Ready(results) => self.settle_flush(monitor, batch, results, next),
             TryBatch::Pending(token) => {
                 self.state = TaskState::Flushing { token, batch, next };
                 Step::Progress

@@ -242,6 +242,9 @@ enum PendingOp {
         seq: u64,
         will_publish: bool,
         stat_lane: usize,
+        /// Kept for quarantine retries: a re-deposit after a peer is
+        /// dropped from the quorum presents the same key again.
+        cmp: ComparisonKey,
     },
     Batch {
         token: BatchToken,
@@ -381,12 +384,45 @@ impl Pump {
         // Anything short of a clean `Bye` means in-proc slave threads may
         // still be parked waiting on leader arrivals that will never come.
         if self.fault.lock().is_some() || !self.saw_bye || self.stop.load(Ordering::Acquire) {
-            self.monitor.lockstep().poison();
+            if !self.quarantine_wire_lane() {
+                self.monitor.lockstep().poison();
+            }
         } else {
             self.send(&WireRecord::Bye);
         }
         // Dropping the write half is the leader's EOF.
         self.tx = None;
+    }
+
+    /// Under [`RecoveryPolicy::Quarantine`](crate::config::RecoveryPolicy),
+    /// a dead replication peer is a dead *variant*, not a dead run: the
+    /// wire-attached lane (variant 0, whose rendezvous evidence arrived
+    /// over this channel) is dropped from the quorum and the in-proc
+    /// survivors keep serving degraded, exactly as they would had the
+    /// variant died locally.  Returns `false` when the policy — or the
+    /// quorum floor, in which case `fault` has already poisoned — says the
+    /// failure must end the run instead.
+    fn quarantine_wire_lane(&self) -> bool {
+        use crate::config::RecoveryPolicy;
+        if !matches!(
+            self.monitor.config().recovery,
+            RecoveryPolicy::Quarantine { .. }
+        ) {
+            return false;
+        }
+        let report = crate::divergence::DivergenceReport {
+            kind: crate::divergence::DivergenceKind::ReplicationTimeout {
+                publisher: 0,
+                arrived: Vec::new(),
+            },
+            thread: 0,
+            sequence: self.sync_ops_seen,
+            variant: 0,
+        };
+        matches!(
+            self.monitor.fault(1, 0, report),
+            crate::monitor::ArrivalSettle::Retry
+        )
     }
 
     /// Drains the inbox, counting counter records immediately and queueing
@@ -645,7 +681,7 @@ fn deposit(
             cmp,
         } => match monitor
             .lockstep()
-            .try_arrive((thread, seq), 0, cmp, timeout)
+            .try_arrive((thread, seq), 0, cmp.clone(), timeout)
         {
             TryArrive::Ready(result) => finish_arrive(
                 monitor,
@@ -657,6 +693,7 @@ fn deposit(
                 sync_ops_at_ingest,
                 sync_ops_seen,
                 result,
+                cmp,
             ),
             TryArrive::Pending(token) => Polled::Still(Pending {
                 index,
@@ -666,6 +703,7 @@ fn deposit(
                     seq,
                     will_publish,
                     stat_lane,
+                    cmp,
                 },
             }),
         },
@@ -683,7 +721,7 @@ fn deposit(
                     monitor,
                     thread,
                     index,
-                    &batch,
+                    batch,
                     stat_lane,
                     sync_ops_at_ingest,
                     sync_ops_seen,
@@ -707,7 +745,7 @@ fn deposit(
         } => {
             let key = (thread, seq);
             monitor.lockstep().publish_outcome(key, outcome, timestamp);
-            monitor.lockstep().consume(key);
+            monitor.lockstep().consume(key, 0);
             Polled::Done {
                 index,
                 lagged: None,
@@ -729,6 +767,7 @@ fn poll_pending(monitor: &Monitor, thread: usize, pending: Pending, sync_ops_see
             seq,
             will_publish,
             stat_lane,
+            cmp,
         } => match monitor.lockstep().poll_arrival(token) {
             Ok(result) => finish_arrive(
                 monitor,
@@ -740,6 +779,7 @@ fn poll_pending(monitor: &Monitor, thread: usize, pending: Pending, sync_ops_see
                 sync_ops_at_ingest,
                 sync_ops_seen,
                 result,
+                cmp,
             ),
             Err(token) => Polled::Still(Pending {
                 index,
@@ -749,6 +789,7 @@ fn poll_pending(monitor: &Monitor, thread: usize, pending: Pending, sync_ops_see
                     seq,
                     will_publish,
                     stat_lane,
+                    cmp,
                 },
             }),
         },
@@ -761,7 +802,7 @@ fn poll_pending(monitor: &Monitor, thread: usize, pending: Pending, sync_ops_see
                 monitor,
                 thread,
                 index,
-                &batch,
+                batch,
                 stat_lane,
                 sync_ops_at_ingest,
                 sync_ops_seen,
@@ -793,10 +834,11 @@ fn divergence_blames(monitor: &Monitor, thread: usize, seq: u64) -> bool {
         .is_some_and(|report| report.thread == thread && report.sequence == seq)
 }
 
-/// Maps a resolved synchronous arrival through the shared verdict mapper
-/// (identical divergence reports to the in-proc path) and consumes the
-/// slot when no publication will follow — mirroring the in-proc master's
-/// `dispatch_resolved` consume.
+/// Settles a resolved synchronous arrival through the shared verdict
+/// settler (identical divergence reports to the in-proc path) and consumes
+/// the slot when no publication will follow — mirroring the in-proc
+/// master's `dispatch_resolved` consume.  A quarantine retry re-deposits
+/// the leader's key without blocking and parks the record again.
 #[allow(clippy::too_many_arguments)]
 fn finish_arrive(
     monitor: &Monitor,
@@ -808,37 +850,69 @@ fn finish_arrive(
     sync_ops_at_ingest: u64,
     sync_ops_seen: u64,
     result: crate::lockstep::ArrivalResult,
+    cmp: ComparisonKey,
 ) -> Polled {
-    let lagged = match monitor.map_sync_arrival(result, thread, seq) {
-        Ok(()) => {
-            if !will_publish {
-                monitor.lockstep().consume((thread, seq));
+    let mut result = result;
+    loop {
+        let lagged = match monitor.settle_sync_arrival(result, 0, thread, seq) {
+            crate::monitor::ArrivalSettle::Done => {
+                if !will_publish {
+                    monitor.lockstep().consume((thread, seq), 0);
+                }
+                None
             }
-            None
-        }
-        Err(MonitorError::Diverged(_)) => Some((stat_lane, sync_ops_seen - sync_ops_at_ingest)),
-        Err(_) if divergence_blames(monitor, thread, seq) => {
-            Some((stat_lane, sync_ops_seen - sync_ops_at_ingest))
-        }
-        Err(_) => None,
-    };
-    Polled::Done { index, lagged }
+            crate::monitor::ArrivalSettle::Retry => {
+                let timeout = monitor.config().lockstep_timeout;
+                match monitor
+                    .lockstep()
+                    .try_rearrive((thread, seq), 0, cmp.clone(), timeout)
+                {
+                    TryArrive::Ready(next) => {
+                        result = next;
+                        continue;
+                    }
+                    TryArrive::Pending(token) => {
+                        return Polled::Still(Pending {
+                            index,
+                            sync_ops_at_ingest,
+                            op: PendingOp::Arrive {
+                                token,
+                                seq,
+                                will_publish,
+                                stat_lane,
+                                cmp,
+                            },
+                        });
+                    }
+                }
+            }
+            crate::monitor::ArrivalSettle::Fail(MonitorError::Diverged(_)) => {
+                Some((stat_lane, sync_ops_seen - sync_ops_at_ingest))
+            }
+            crate::monitor::ArrivalSettle::Fail(_) if divergence_blames(monitor, thread, seq) => {
+                Some((stat_lane, sync_ops_seen - sync_ops_at_ingest))
+            }
+            crate::monitor::ArrivalSettle::Fail(_) => None,
+        };
+        return Polled::Done { index, lagged };
+    }
 }
 
-/// Maps a resolved batch through the shared batch mapper (which consumes
-/// every batch slot itself).
+/// Settles a resolved batch through the shared batch settler (which
+/// consumes every batch slot itself), re-presenting the unconsumed keys of
+/// a quarantined peer's rendezvous without blocking.
 #[allow(clippy::too_many_arguments)]
 fn finish_batch(
     monitor: &Monitor,
     thread: usize,
     index: u64,
-    batch: &[BatchArrival],
+    batch: Vec<BatchArrival>,
     stat_lane: usize,
     sync_ops_at_ingest: u64,
     sync_ops_seen: u64,
     results: Vec<crate::lockstep::ArrivalResult>,
 ) -> Polled {
-    let blamed = |monitor: &Monitor| {
+    fn blamed(monitor: &Monitor, thread: usize, batch: &[BatchArrival]) -> bool {
         batch.iter().any(|arrival| {
             divergence_blames(
                 monitor,
@@ -846,12 +920,41 @@ fn finish_batch(
                 arrival.key.1 & !crate::monitor::DEFERRED_SEQ_BIT,
             )
         })
-    };
-    let lagged = match monitor.map_batch_results(thread, batch, results) {
-        Ok(()) => None,
-        Err(MonitorError::Diverged(_)) => Some((stat_lane, sync_ops_seen - sync_ops_at_ingest)),
-        Err(_) if blamed(monitor) => Some((stat_lane, sync_ops_seen - sync_ops_at_ingest)),
-        Err(_) => None,
-    };
-    Polled::Done { index, lagged }
+    }
+    let (mut batch, mut results) = (batch, results);
+    loop {
+        let lagged = match monitor.settle_batch_results(0, thread, &batch, results) {
+            crate::monitor::BatchSettle::Done(Ok(())) => None,
+            crate::monitor::BatchSettle::Retry(indices) => {
+                let sub: Vec<BatchArrival> = indices.iter().map(|&i| batch[i].clone()).collect();
+                let timeout = monitor.config().lockstep_timeout;
+                match monitor.lockstep().try_rearrive_batch(0, &sub, timeout) {
+                    TryBatch::Ready(redone) => {
+                        batch = sub;
+                        results = redone;
+                        continue;
+                    }
+                    TryBatch::Pending(token) => {
+                        return Polled::Still(Pending {
+                            index,
+                            sync_ops_at_ingest,
+                            op: PendingOp::Batch {
+                                token,
+                                batch: sub,
+                                stat_lane,
+                            },
+                        });
+                    }
+                }
+            }
+            crate::monitor::BatchSettle::Done(Err(MonitorError::Diverged(_))) => {
+                Some((stat_lane, sync_ops_seen - sync_ops_at_ingest))
+            }
+            crate::monitor::BatchSettle::Done(Err(_)) if blamed(monitor, thread, &batch) => {
+                Some((stat_lane, sync_ops_seen - sync_ops_at_ingest))
+            }
+            crate::monitor::BatchSettle::Done(Err(_)) => None,
+        };
+        return Polled::Done { index, lagged };
+    }
 }

@@ -51,7 +51,7 @@ pub enum FdObject {
 ///
 /// Allocation follows the POSIX rule the paper relies on: the lowest
 /// non-negative integer not currently open.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FdTable {
     entries: BTreeMap<i32, FdObject>,
     /// Maximum number of open descriptors (RLIMIT_NOFILE model).
@@ -86,6 +86,11 @@ impl FdTable {
     /// Overrides the descriptor limit.
     pub fn set_limit(&mut self, limit: usize) {
         self.limit = limit;
+    }
+
+    /// The current descriptor limit (RLIMIT_NOFILE model).
+    pub fn limit(&self) -> usize {
+        self.limit
     }
 
     /// Number of open descriptors.

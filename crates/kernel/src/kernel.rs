@@ -173,6 +173,35 @@ impl Kernel {
             .unwrap_or(0)
     }
 
+    /// Captures a point-in-time image of `pid`'s private state (descriptor
+    /// table, address space, threads, affinity, exit status).
+    ///
+    /// Shared kernel state — VFS contents, pipe buffers, socket queues, the
+    /// virtual clock, futex wait queues — is *not* captured: it belongs to
+    /// the whole variant set, and on restore the process rejoins whatever
+    /// frontier the surviving variants have advanced it to.
+    pub fn capture_process(&self, pid: Pid) -> Option<crate::process::ProcessImage> {
+        self.state
+            .lock()
+            .processes
+            .get(pid as usize)
+            .map(|p| p.capture())
+    }
+
+    /// Restores `pid`'s private state from a previously captured image.
+    ///
+    /// Returns `false` when `pid` does not exist.  See
+    /// [`Self::capture_process`] for what the image does and does not cover.
+    pub fn restore_process(&self, pid: Pid, image: &crate::process::ProcessImage) -> bool {
+        match self.state.lock().processes.get_mut(pid as usize) {
+            Some(p) => {
+                p.restore(image);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Executes one system call on behalf of thread `tid` of process `pid`.
     ///
     /// The call is executed exactly as issued; whether it *should* be

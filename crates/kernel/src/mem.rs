@@ -100,7 +100,7 @@ pub fn page_align_up(v: u64) -> u64 {
 }
 
 /// A single process's address space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AddressSpace {
     /// Initial program break.
     brk_base: u64,
@@ -142,9 +142,39 @@ impl AddressSpace {
         }
     }
 
+    /// Rebuilds an address space from its raw parts, bypassing the layout
+    /// normalisation of [`Self::with_layout`].  Used by the snapshot codec,
+    /// which must reproduce a captured space byte-for-byte (including a
+    /// moved break and mmap cursor).
+    pub fn from_raw_parts(
+        brk_base: u64,
+        brk_current: u64,
+        mmap_top: u64,
+        mmap_cursor: u64,
+        regions: impl IntoIterator<Item = Region>,
+    ) -> Self {
+        AddressSpace {
+            brk_base,
+            brk_current,
+            mmap_top,
+            mmap_cursor,
+            regions: regions.into_iter().map(|r| (r.start, r)).collect(),
+        }
+    }
+
     /// Current program break.
     pub fn brk(&self) -> u64 {
         self.brk_current
+    }
+
+    /// Initial program break (the base `brk` grows from).
+    pub fn brk_base(&self) -> u64 {
+        self.brk_base
+    }
+
+    /// Next `mmap` allocation cursor (allocations grow down from here).
+    pub fn mmap_cursor(&self) -> u64 {
+        self.mmap_cursor
     }
 
     /// Top of the mmap area (the address below which `mmap` allocates).

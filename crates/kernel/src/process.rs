@@ -32,7 +32,7 @@ pub enum ThreadState {
 }
 
 /// A thread belonging to a process.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Thread {
     /// Thread id within the process.
     pub tid: Tid,
@@ -168,6 +168,59 @@ impl Process {
     pub fn affinity(&self, tid: Tid) -> Option<u32> {
         self.affinity.get(&tid).copied()
     }
+
+    /// Captures a point-in-time copy of this process's private state.
+    ///
+    /// The image covers everything owned by the process alone: descriptor
+    /// table, address space, threads, affinity and exit status.  Shared
+    /// kernel state the process merely references (VFS contents, pipe
+    /// buffers, socket queues, the virtual clock) is *not* part of the
+    /// image — a restored process rejoins whatever frontier the surviving
+    /// processes have advanced that shared state to.
+    pub fn capture(&self) -> ProcessImage {
+        ProcessImage {
+            pid: self.pid,
+            fds: self.fds.clone(),
+            mem: self.mem.clone(),
+            threads: self.threads.clone(),
+            affinity: self.affinity.clone(),
+            exited: self.exited,
+        }
+    }
+
+    /// Overwrites this process's private state with a captured image.
+    ///
+    /// The pid is intentionally left untouched: a respawned variant keeps
+    /// its kernel identity, only its state rolls back.
+    pub fn restore(&mut self, image: &ProcessImage) {
+        self.fds = image.fds.clone();
+        self.mem = image.mem.clone();
+        self.threads = image.threads.clone();
+        self.affinity = image.affinity.clone();
+        self.exited = image.exited;
+    }
+}
+
+/// A point-in-time copy of one process's private state, as captured by
+/// [`Process::capture`].
+///
+/// Images are what the MVEE's snapshot subsystem persists: restoring one
+/// through [`Process::restore`] rewinds a diverged variant to the last
+/// agreed rendezvous so the journal suffix can be replayed over it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessImage {
+    /// Pid the image was captured from.
+    pub pid: Pid,
+    /// Descriptor table at capture time.
+    pub fds: FdTable,
+    /// Address space at capture time.
+    pub mem: AddressSpace,
+    /// All threads (including exited ones) at capture time.
+    pub threads: Vec<Thread>,
+    /// Per-thread CPU pinning at capture time.
+    pub affinity: std::collections::BTreeMap<Tid, u32>,
+    /// `exit_group` status, if the process had exited.
+    pub exited: Option<i32>,
 }
 
 #[cfg(test)]
@@ -228,5 +281,30 @@ mod tests {
     fn processes_have_standard_streams() {
         let p = Process::new(3);
         assert_eq!(p.fds.len(), 3);
+    }
+
+    #[test]
+    fn capture_restore_rewinds_private_state() {
+        let mut p = Process::new(1);
+        p.spawn_thread();
+        p.count_syscall(0);
+        p.set_affinity(1, 3);
+        let image = p.capture();
+
+        // Diverge past the capture point...
+        p.spawn_thread();
+        p.count_syscall(0);
+        p.count_syscall(2);
+        p.set_affinity(0, 7);
+        p.exit_thread(1, 0);
+        assert_ne!(p.capture(), image);
+
+        // ...and rewind.
+        p.restore(&image);
+        assert_eq!(p.capture(), image);
+        assert_eq!(p.thread_count(), 2);
+        assert_eq!(p.total_syscalls(), 1);
+        assert_eq!(p.affinity(1), Some(3));
+        assert_eq!(p.affinity(0), None);
     }
 }

@@ -154,6 +154,26 @@ pub trait SyncAgent: Send + Sync {
         false
     }
 
+    /// Tells the agent that `variant` has been quarantined: dropped from
+    /// the replication quorum after a proven divergence, while the
+    /// surviving variants keep recording and replaying.  Unlike
+    /// [`poison`](Self::poison) this is not a shutdown — the agent should
+    /// keep serving the survivors and merely stop expecting the quarantined
+    /// variant to drain its buffers.
+    ///
+    /// The default implementation does nothing: the built-in agents' replay
+    /// waits are already released by the monitor's rendezvous sweep, and a
+    /// quarantined variant's threads stop calling the sync-op hooks.
+    fn quarantine_lane(&self, _variant: usize) {}
+
+    /// Tells the agent that a previously quarantined `variant` has been
+    /// restored to the quorum at a quiescent boundary and will resume
+    /// issuing sync ops from the survivors' frontier.
+    ///
+    /// The default implementation does nothing (see
+    /// [`quarantine_lane`](Self::quarantine_lane)).
+    fn readmit_lane(&self, _variant: usize) {}
+
     /// Installs the [`ReplicationHook`] fired at every replication point
     /// (the start of [`before_sync_op`](Self::before_sync_op)) and on
     /// [`poison`](Self::poison).

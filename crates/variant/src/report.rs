@@ -51,8 +51,16 @@ pub struct RunReport {
     pub monitor: MonitorStats,
     /// Agent counters.
     pub agent_stats: AgentStats,
-    /// The divergence report, if the MVEE shut the variants down.
+    /// The divergence report, if the MVEE shut the variants down.  Stays
+    /// `None` under `RecoveryPolicy::Quarantine` while the run keeps
+    /// serving on a degraded quorum — check [`quarantined`](Self::quarantined)
+    /// for dropped variants.
     pub divergence: Option<DivergenceReport>,
+    /// Variants still quarantined when the run ended, in index order.
+    pub quarantined: Vec<usize>,
+    /// Total snapshot records captured across all variants (zero unless
+    /// the run configured `with_snapshot_every`).
+    pub snapshots: u64,
     /// Console output of each variant (only the master's output would be
     /// visible to a real user; the others are kept for verification).
     pub outputs: Vec<Vec<u8>>,
@@ -62,6 +70,13 @@ impl RunReport {
     /// Whether the run completed without divergence.
     pub fn completed_cleanly(&self) -> bool {
         self.divergence.is_none() && !self.threads.killed
+    }
+
+    /// Whether the run finished on a degraded quorum: no run-ending
+    /// divergence, but at least one variant was quarantined and never
+    /// respawned.
+    pub fn completed_degraded(&self) -> bool {
+        self.divergence.is_none() && !self.quarantined.is_empty()
     }
 
     /// Whether every variant that produced console output produced the same
@@ -121,6 +136,8 @@ mod tests {
             monitor: MonitorStats::default(),
             agent_stats: AgentStats::default(),
             divergence: None,
+            quarantined: Vec::new(),
+            snapshots: 0,
             outputs,
         }
     }
@@ -158,5 +175,16 @@ mod tests {
         assert!(r.completed_cleanly());
         r.threads.killed = true;
         assert!(!r.completed_cleanly());
+    }
+
+    #[test]
+    fn degraded_completion_requires_a_quarantine_without_divergence() {
+        let mut r = run(1, vec![b"x".to_vec()]);
+        assert!(!r.completed_degraded());
+        r.quarantined = vec![1];
+        assert!(r.completed_degraded());
+        // A quarantined run still counts as cleanly completed: the
+        // survivors finished, nothing tore down.
+        assert!(r.completed_cleanly());
     }
 }

@@ -22,7 +22,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mvee_core::config::{MveeConfig, Placement};
+use mvee_core::config::{MveeConfig, Placement, RecoveryPolicy};
 use mvee_core::mvee::Mvee;
 use mvee_core::policy::MonitoringPolicy;
 use mvee_kernel::kernel::Kernel;
@@ -116,6 +116,23 @@ impl RunConfig {
     /// the ablation baseline of the adaptive default.
     pub fn with_wait_strategy(mut self, wait: mvee_sync_agent::guards::WaitStrategy) -> Self {
         self.mvee = self.mvee.with_wait_strategy(wait);
+        self
+    }
+
+    /// Sets the divergence recovery policy (builder style):
+    /// [`RecoveryPolicy::Quarantine`] keeps a run serving on a degraded
+    /// quorum when one variant diverges, instead of tearing everything
+    /// down.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.mvee = self.mvee.with_recovery(recovery);
+        self
+    }
+
+    /// Snapshots every live variant's emulated-kernel state each `every`
+    /// sync ops (builder style) — the restore points
+    /// `Mvee::respawn_variant` rewinds a quarantined variant to.
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.mvee = self.mvee.with_snapshot_every(Some(every));
         self
     }
 }
@@ -228,6 +245,9 @@ pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
     let outputs = (0..config.variants)
         .map(|v| mvee.kernel().console_output(mvee.pid_of(v)))
         .collect();
+    let snapshots = mvee.snapshot_store().map_or(0, |store| {
+        (0..config.variants).map(|v| store.taken(v)).sum()
+    });
 
     RunReport {
         program: program.name.clone(),
@@ -238,6 +258,8 @@ pub fn run_mvee(program: &Program, config: &RunConfig) -> RunReport {
         monitor: mvee.monitor_stats(),
         agent_stats: mvee.agent_stats(),
         divergence: mvee.divergence(),
+        quarantined: mvee.quarantined_variants(),
+        snapshots,
         outputs,
     }
 }
@@ -508,5 +530,42 @@ mod tests {
         let report = run_mvee(&io_program(), &RunConfig::new(1, AgentKind::Null));
         assert!(report.completed_cleanly());
         assert_eq!(report.variants, 1);
+    }
+
+    #[test]
+    fn snapshotting_run_captures_records_without_changing_the_verdict() {
+        let config = RunConfig::new(2, AgentKind::WallOfClocks).with_snapshot_every(4);
+        let report = run_mvee(&io_program(), &config);
+        assert!(
+            report.completed_cleanly(),
+            "divergence: {:?}",
+            report.divergence
+        );
+        assert!(report.outputs_identical());
+        assert!(
+            report.snapshots > 0,
+            "a sync-op-heavy run must cross the 4-op snapshot interval"
+        );
+        let bare = run_mvee(&io_program(), &RunConfig::new(2, AgentKind::WallOfClocks));
+        assert_eq!(bare.snapshots, 0, "snapshotting defaults off");
+    }
+
+    #[test]
+    fn quarantine_policy_changes_nothing_on_a_clean_run() {
+        let config = RunConfig::new(2, AgentKind::WallOfClocks)
+            .with_recovery(RecoveryPolicy::quarantine())
+            .with_snapshot_every(8);
+        let report = run_mvee(&io_program(), &config);
+        assert!(
+            report.completed_cleanly(),
+            "divergence: {:?}",
+            report.divergence
+        );
+        assert!(!report.completed_degraded());
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.monitor.quarantines, 0);
+        assert_eq!(report.monitor.respawns, 0);
+        assert_eq!(report.monitor.degraded_calls, 0);
+        assert!(report.outputs_identical());
     }
 }

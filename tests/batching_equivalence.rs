@@ -57,7 +57,7 @@ fn run_plan(batch: usize, variants: usize, plan: &[Vec<u8>]) -> Vec<Vec<ArrivalR
                         let key = (thread, seq as u64);
                         let cmp = key_for(chunk[0], thread, seq, variant, variants);
                         results.push(table.arrive(key, variant, cmp, Duration::from_secs(10)));
-                        table.consume(key);
+                        table.consume(key, variant);
                     } else {
                         let block: Vec<BatchArrival> = chunk
                             .iter()
@@ -76,7 +76,7 @@ fn run_plan(batch: usize, variants: usize, plan: &[Vec<u8>]) -> Vec<Vec<ArrivalR
                             Duration::from_secs(10),
                         ));
                         for arrival in &block {
-                            table.consume(arrival.key);
+                            table.consume(arrival.key, variant);
                         }
                     }
                 }

@@ -12,7 +12,7 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mvee::core::config::{RemoteChannel, Transport};
+use mvee::core::config::{RecoveryPolicy, RemoteChannel, Transport};
 use mvee::core::mvee::Mvee;
 use mvee::core::remote::transport::pipe;
 use mvee::core::remote::{
@@ -274,6 +274,72 @@ fn garbage_ack_stream_faults_the_leader_naming_the_follower() {
             })
         );
         drop(garbage_tx);
+    });
+}
+
+/// Under [`RecoveryPolicy::Quarantine`], a dead replication peer is a dead
+/// *variant*, not a dead run: when the leader's stream ends without a
+/// `Bye`, the follower quarantines the wire-attached lane (variant 0)
+/// instead of poisoning the table, mastership fails over to the lowest
+/// in-proc survivor, and the degraded quorum keeps serving.
+#[test]
+fn dead_leader_is_quarantined_and_survivors_keep_serving() {
+    with_watchdog("leader death under quarantine", || {
+        let mvee = Arc::new(
+            Mvee::builder()
+                .variants(3)
+                .threads(1)
+                .agent(AgentKind::Null)
+                .batch(1)
+                .recovery(RecoveryPolicy::quarantine())
+                .lockstep_timeout(Duration::from_secs(60))
+                .manual_clock(true)
+                .build(),
+        );
+        let (f_rx, silent_tx) = pipe();
+        let (_ack_rx, f_tx) = pipe();
+        let handle = Follower::spawn(
+            Arc::clone(mvee.monitor()),
+            Duplex::from_parts(Box::new(f_rx), Box::new(f_tx)),
+        );
+        drop(silent_tx); // silent leader death: EOF, no Bye
+        let fault = eventually("follower fault", || handle.fault());
+        assert_eq!(fault.peer, RemotePeer::Leader);
+        eventually("variant 0 quarantined", || {
+            mvee.quarantined_variants().contains(&0).then_some(())
+        });
+        assert_eq!(mvee.divergence(), None, "the run must keep serving");
+        assert_eq!(
+            mvee.monitor().master_variant(),
+            1,
+            "mastership fails over to the lowest in-proc survivor"
+        );
+        // The in-proc survivors still rendezvous — now against each other.
+        let mut survivors = Vec::new();
+        for variant in 1..3 {
+            let mvee = Arc::clone(&mvee);
+            survivors.push(thread::spawn(move || {
+                let port = mvee.thread_port(variant, 0);
+                port.syscall(
+                    &SyscallRequest::new(Sysno::Write)
+                        .with_fd(1)
+                        .with_payload(b"degraded"),
+                )
+            }));
+        }
+        for h in survivors {
+            h.join()
+                .expect("survivor thread panicked")
+                .expect("the degraded quorum must keep serving");
+        }
+        assert_eq!(mvee.quarantined_variants(), vec![0]);
+        let stats = mvee.monitor_stats();
+        assert_eq!(stats.quarantines, 1);
+        assert!(
+            stats.degraded_calls >= 2,
+            "both survivor calls ran degraded"
+        );
+        drop(handle);
     });
 }
 

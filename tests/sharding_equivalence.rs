@@ -42,7 +42,7 @@ fn run_plan(shards: usize, variants: usize, plan: &[Vec<u8>]) -> Vec<Vec<Arrival
                     let key = (thread, seq as u64);
                     let cmp = key_for(tag, thread, seq, variant, variants);
                     results.push(table.arrive(key, variant, cmp, Duration::from_secs(10)));
-                    table.consume(key);
+                    table.consume(key, variant);
                 }
                 ((variant, thread), results)
             }));
@@ -86,8 +86,8 @@ proptest! {
                 let key = (i % threads, (i / threads) as u64);
                 table.publish_outcome(key, SyscallOutcome::ok(v), Some(i as u64));
                 observed.push(table.wait_outcome(key, Duration::from_secs(1)));
-                table.consume(key);
-                table.consume(key);
+                table.consume(key, 0);
+                table.consume(key, 1);
             }
             assert_eq!(table.live_slots(), 0, "shards={shard_count}: slots leaked");
             observed
